@@ -1,0 +1,48 @@
+//! Criterion benches for the compiler and serialization paths.
+//!
+//! The paper's toolchain compiles models to internal instructions once
+//! per captured trace; these benches pin the cost of that path — compile,
+//! binary encode/decode, assemble/disassemble — so toolchain regressions
+//! are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparsetrain_core::dataflow::asm::{assemble, disassemble};
+use sparsetrain_core::dataflow::encoding::{decode_program, encode_program};
+use sparsetrain_core::dataflow::synth::{SynthLayer, SynthNet};
+use sparsetrain_core::dataflow::{compile, NetworkTrace, Program};
+use std::hint::black_box;
+
+fn trace(density: f64) -> NetworkTrace {
+    let mut rng = StdRng::seed_from_u64(1);
+    SynthNet::new("isa-bench", "synthetic")
+        .conv(SynthLayer::conv(32, 32, 24, 3).input_density(density).dout_density(density))
+        .generate(&mut rng)
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("isa_compile");
+    for density in [1.0, 0.25] {
+        let t = trace(density);
+        g.bench_with_input(BenchmarkId::new("density", density), &t, |b, t| {
+            b.iter(|| compile(black_box(t)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let program: Program = compile(&trace(0.25));
+    let bytes = encode_program(&program).unwrap();
+    let text = disassemble(&program);
+    let mut g = c.benchmark_group("isa_serialize");
+    g.bench_function("encode_binary", |b| b.iter(|| encode_program(black_box(&program))));
+    g.bench_function("decode_binary", |b| b.iter(|| decode_program(black_box(&bytes))));
+    g.bench_function("disassemble", |b| b.iter(|| disassemble(black_box(&program))));
+    g.bench_function("assemble", |b| b.iter(|| assemble(black_box(&text))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_serialize);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Kernel micro-benchmarks: the three sparse 1-D primitives vs a dense row
+//! convolution, across operand densities.
+//!
+//! The paper's premise is that row-level work scales with the non-zero
+//! count; these benches make the scaling visible (SRC at 10% density should
+//! run close to 10% of the dense-equivalent time, plus overheads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparsetrain_sparse::msrc::msrc_conv;
+use sparsetrain_sparse::osrc::osrc_conv;
+use sparsetrain_sparse::src::src_conv;
+use sparsetrain_sparse::{RowMask, SparseVec};
+use sparsetrain_tensor::conv::ConvGeometry;
+use std::hint::black_box;
+
+const ROW_LEN: usize = 512;
+const DENSITIES: [f64; 3] = [1.0, 0.3, 0.1];
+
+fn random_row(rng: &mut StdRng, len: usize, density: f64) -> Vec<f32> {
+    (0..len)
+        .map(|_| {
+            if rng.gen::<f64>() < density {
+                rng.gen::<f32>() - 0.5
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+fn dense_row_conv(input: &[f32], kernel: &[f32], geom: ConvGeometry) -> Vec<f32> {
+    let out_len = geom.output_extent(input.len());
+    let mut out = vec![0.0; out_len];
+    for (ox, o) in out.iter_mut().enumerate() {
+        for (v, &w) in kernel.iter().enumerate() {
+            let ix = ox as isize * geom.stride as isize - geom.pad as isize + v as isize;
+            if ix >= 0 && (ix as usize) < input.len() {
+                *o += w * input[ix as usize];
+            }
+        }
+    }
+    out
+}
+
+fn bench_src(c: &mut Criterion) {
+    let geom = ConvGeometry::new(3, 1, 1);
+    let kernel = [0.25f32, 0.5, 0.25];
+    let mut group = c.benchmark_group("src_row_conv");
+    group.sample_size(20);
+    for density in DENSITIES {
+        let mut rng = StdRng::seed_from_u64(1);
+        let dense = random_row(&mut rng, ROW_LEN, density);
+        let sparse = SparseVec::from_dense(&dense);
+        group.bench_with_input(BenchmarkId::new("sparse", density), &sparse, |b, s| {
+            b.iter(|| black_box(src_conv(s, &kernel, geom, ROW_LEN)));
+        });
+        group.bench_with_input(BenchmarkId::new("dense_ref", density), &dense, |b, d| {
+            b.iter(|| black_box(dense_row_conv(d, &kernel, geom)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_msrc(c: &mut Criterion) {
+    let geom = ConvGeometry::new(3, 1, 1);
+    let kernel = [0.25f32, 0.5, 0.25];
+    let mut group = c.benchmark_group("msrc_row_conv");
+    group.sample_size(20);
+    for density in DENSITIES {
+        let mut rng = StdRng::seed_from_u64(2);
+        let grad = SparseVec::from_dense(&random_row(&mut rng, ROW_LEN, density));
+        let mask_row = random_row(&mut rng, ROW_LEN, 0.4);
+        let mask = RowMask::from_dense(&mask_row);
+        group.bench_with_input(BenchmarkId::new("masked", density), &grad, |b, g| {
+            b.iter(|| black_box(msrc_conv(g, &kernel, geom, &mask, ROW_LEN)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_osrc(c: &mut Criterion) {
+    let geom = ConvGeometry::new(3, 1, 1);
+    let mut group = c.benchmark_group("osrc_row_conv");
+    group.sample_size(20);
+    for density in DENSITIES {
+        let mut rng = StdRng::seed_from_u64(3);
+        let input = SparseVec::from_dense(&random_row(&mut rng, ROW_LEN, density));
+        let grad = SparseVec::from_dense(&random_row(&mut rng, ROW_LEN, density));
+        group.bench_with_input(
+            BenchmarkId::new("two_sparse", density),
+            &(input, grad),
+            |b, (i, g)| {
+                b.iter(|| black_box(osrc_conv(i, g, geom)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_conv_lowering(c: &mut Criterion) {
+    use sparsetrain_tensor::{conv, im2row, Tensor3, Tensor4};
+    let mut rng = StdRng::seed_from_u64(4);
+    let input = Tensor3::from_fn(16, 16, 16, |_, _, _| rng.gen::<f32>() - 0.5);
+    let weights = Tensor4::from_fn(16, 16, 3, 3, |_, _, _, _| rng.gen::<f32>() - 0.5);
+    let geom = ConvGeometry::new(3, 1, 1);
+    let mut group = c.benchmark_group("conv2d_forward");
+    group.sample_size(20);
+    group.bench_function("reference", |b| {
+        b.iter(|| black_box(conv::forward(&input, &weights, None, geom)));
+    });
+    group.bench_function("im2row", |b| {
+        b.iter(|| black_box(im2row::forward(&input, &weights, None, geom)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_src, bench_msrc, bench_osrc, bench_conv_lowering);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches for the memory-system refinement models.
+//!
+//! Measures the DRAM row-buffer model and the banked-buffer conflict
+//! model at simulation scale (millions of modelled words per call), and
+//! contrasts streaming vs page-hopping access patterns — the quantitative
+//! backing for the flat-bandwidth assumption the whole-network simulator
+//! makes for SparseTrain's streaming transfers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparsetrain_sim::buffer::{BankedBuffer, BufferConfig};
+use sparsetrain_sim::dram::{DramConfig, DramModel};
+use std::hint::black_box;
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_model");
+    for (label, stride) in [("stream", 1u64), ("page_hop", 8192)] {
+        g.bench_with_input(BenchmarkId::new("pattern", label), &stride, |b, &stride| {
+            b.iter(|| {
+                let mut dram = DramModel::new(DramConfig::lpddr4_like());
+                let mut total = 0u64;
+                for i in 0..1000u64 {
+                    let s = dram.read(black_box(i * stride), 64);
+                    total += s.cycles;
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_buffer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("banked_buffer");
+    for banks in [8usize, 32, 128] {
+        g.bench_with_input(BenchmarkId::new("stream", banks), &banks, |b, &banks| {
+            let cfg = BufferConfig { banks, words_per_bank_per_cycle: 1, capacity_words: 1 << 20 };
+            b.iter(|| {
+                let mut buf = BankedBuffer::new(cfg);
+                buf.service_stream(black_box(0), 1 << 14, 168)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dram, bench_buffer);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Pruning-algorithm benchmarks: the paper's O(n) single-pass streaming
+//! pruner vs the O(n log n) sort-based threshold selection it replaces
+//! (§III-B's complexity claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparsetrain_core::prune::{prune_slice, LayerPruner, PruneConfig};
+use sparsetrain_tensor::init::sample_standard_normal;
+use std::hint::black_box;
+
+fn gradient_batch(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| sample_standard_normal(&mut rng) * 0.05).collect()
+}
+
+/// The naive alternative: sort |g| and read the p-quantile threshold.
+fn sort_based_threshold(grads: &[f32], p: f64) -> f64 {
+    let mut mags: Vec<f32> = grads.iter().map(|g| g.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((mags.len() as f64 * p) as usize).min(mags.len() - 1);
+    mags[idx] as f64
+}
+
+fn bench_streaming_vs_sort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_selection");
+    group.sample_size(15);
+    for n in [16_384usize, 65_536, 262_144] {
+        let grads = gradient_batch(n, 7);
+        group.bench_with_input(BenchmarkId::new("streaming_o_n", n), &grads, |b, g| {
+            b.iter(|| {
+                // One pass: Σ|g| + analytic quantile (the paper's method).
+                let abs_sum: f64 = g.iter().map(|&v| (v as f64).abs()).sum();
+                let sigma = sparsetrain_core::prune::sigma_hat(abs_sum, g.len());
+                black_box(sparsetrain_core::prune::determine_threshold(sigma, 0.9))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sort_o_nlogn", n), &grads, |b, g| {
+            b.iter(|| black_box(sort_based_threshold(g, 0.9)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_prune_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune_batch");
+    group.sample_size(15);
+    for n in [65_536usize, 262_144] {
+        group.bench_with_input(BenchmarkId::new("layer_pruner", n), &n, |b, &n| {
+            let template = gradient_batch(n, 9);
+            let mut pruner = LayerPruner::new(PruneConfig::paper_default());
+            let mut rng = StdRng::seed_from_u64(1);
+            // Warm up the FIFO so the benched pass actually prunes.
+            for _ in 0..4 {
+                let mut batch = template.clone();
+                pruner.prune_batch(&mut batch, &mut rng);
+            }
+            b.iter_batched(
+                || template.clone(),
+                |mut batch| {
+                    pruner.prune_batch(&mut batch, &mut rng);
+                    black_box(batch)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+        group.bench_with_input(BenchmarkId::new("raw_prune_slice", n), &n, |b, &n| {
+            let template = gradient_batch(n, 9);
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter_batched(
+                || template.clone(),
+                |mut batch| {
+                    prune_slice(&mut batch, 0.05, &mut rng);
+                    black_box(batch)
+                },
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// The PPU's in-stream hardware pruning stage (LFSR lanes) vs the
+/// software pruner on the same batch: the hardware model must not be
+/// slower at simulation time, and its one-value-per-cycle structure is
+/// what the machine's zero-overhead accounting rests on.
+fn bench_hardware_prune_unit(c: &mut Criterion) {
+    use sparsetrain_sim::prune_unit::PruneUnit;
+    let mut group = c.benchmark_group("hardware_prune");
+    group.sample_size(20);
+    let grads = gradient_batch(65_536, 11);
+    group.bench_function("ppu_lfsr_stream", |b| {
+        b.iter(|| {
+            let mut unit = PruneUnit::new(0xACE1);
+            unit.set_threshold(0.08);
+            let mut sink = 0.0f32;
+            for &g in black_box(&grads) {
+                sink += unit.process_one(g);
+            }
+            sink
+        })
+    });
+    group.bench_function("software_prune_slice", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut batch = grads.clone();
+            prune_slice(black_box(&mut batch), 0.08, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_vs_sort, bench_full_prune_pass, bench_hardware_prune_unit);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Simulator throughput: whole-network simulation of a captured trace,
+//! sparse vs densified-baseline configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparsetrain_core::dataflow::NetworkTrace;
+use sparsetrain_core::prune::PruneConfig;
+use sparsetrain_nn::data::SyntheticSpec;
+use sparsetrain_nn::models;
+use sparsetrain_nn::train::{TrainConfig, Trainer};
+use sparsetrain_sim::baseline::densified;
+use sparsetrain_sim::machine::OperandFormat;
+use sparsetrain_sim::{ArchConfig, Machine};
+use std::hint::black_box;
+
+fn captured_trace() -> NetworkTrace {
+    let (train, _) = SyntheticSpec::tiny(4).generate();
+    let net = models::mini_cnn_for(3, 8, 4, 8, Some(PruneConfig::paper_default()), 3);
+    let mut trainer = Trainer::new(net, TrainConfig::quick());
+    for _ in 0..3 {
+        trainer.train_epoch(&train);
+    }
+    trainer.capture_trace(&train, "mini", "tiny")
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let trace = captured_trace();
+    let dense = densified(&trace);
+    let machine = Machine::new(ArchConfig::paper_default());
+
+    let mut group = c.benchmark_group("machine_simulate");
+    group.sample_size(20);
+    group.bench_function("sparse_trace", |b| {
+        b.iter(|| black_box(machine.simulate(&trace)));
+    });
+    group.bench_function("dense_baseline_trace", |b| {
+        b.iter(|| black_box(machine.simulate_with_format(&dense, OperandFormat::Raw)));
+    });
+    group.finish();
+}
+
+fn bench_trace_capture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_capture");
+    group.sample_size(10);
+    group.bench_function("train_and_capture", |b| {
+        b.iter(|| black_box(captured_trace()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate, bench_trace_capture);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! End-to-end training-step cost with and without gradient pruning — the
+//! software-side overhead of the pruning algorithm (the paper claims it is
+//! negligible relative to a training step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparsetrain_core::prune::PruneConfig;
+use sparsetrain_nn::data::SyntheticSpec;
+use sparsetrain_nn::models;
+use sparsetrain_nn::train::{TrainConfig, Trainer};
+use std::hint::black_box;
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let (train, _) = SyntheticSpec::tiny(4).generate();
+    let mut group = c.benchmark_group("train_epoch_mini_cnn");
+    group.sample_size(10);
+
+    group.bench_function("dense", |b| {
+        let net = models::mini_cnn(4, 8, None);
+        let mut trainer = Trainer::new(net, TrainConfig::quick());
+        b.iter(|| black_box(trainer.train_epoch(&train)));
+    });
+
+    group.bench_function("pruned_p090", |b| {
+        let net = models::mini_cnn(4, 8, Some(PruneConfig::new(0.9, 4)));
+        let mut trainer = Trainer::new(net, TrainConfig::quick());
+        b.iter(|| black_box(trainer.train_epoch(&train)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_epoch);
+criterion_main!(benches);

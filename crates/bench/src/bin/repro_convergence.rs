@@ -1,0 +1,32 @@
+//! Regenerates the §VI-B convergence study: per-epoch training loss for
+//! dense vs pruned training (the pruned curve should track the dense one).
+
+use sparsetrain_bench::experiments::convergence::run;
+use sparsetrain_bench::profile::Profile;
+use sparsetrain_bench::table::{fmt, render};
+use sparsetrain_nn::models::ModelKind;
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("Convergence reproduction ({profile:?} profile)");
+    println!("paper: pruned loss curves track the dense curve; AlexNet slightly slower at aggressive p\n");
+
+    for model in [ModelKind::Alexnet, ModelKind::Resnet18] {
+        let curves = run(model, "cifar10", &[None, Some(0.7), Some(0.9), Some(0.99)], profile);
+        println!("model: {}", model.name());
+        let epochs = curves[0].losses.len();
+        let mut rows = vec![{
+            let mut h = vec!["p".to_string()];
+            h.extend((1..=epochs).map(|e| format!("ep{e}")));
+            h.push("final acc".into());
+            h
+        }];
+        for c in &curves {
+            let mut row = vec![c.p.map_or("dense".to_string(), |p| format!("{p}"))];
+            row.extend(c.losses.iter().map(|&l| fmt(l, 3)));
+            row.push(fmt(c.final_accuracy * 100.0, 1));
+            rows.push(row);
+        }
+        println!("{}", render(&rows));
+    }
+}

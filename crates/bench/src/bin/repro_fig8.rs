@@ -1,0 +1,33 @@
+//! Regenerates Fig. 8: average training latency per sample for each
+//! model/dataset pair, SparseTrain vs the dense baseline, with speedups.
+
+use sparsetrain_bench::experiments::latency::{mean_speedup, run_grid};
+use sparsetrain_bench::profile::Profile;
+use sparsetrain_bench::table::{fmt, render};
+use sparsetrain_nn::models::ModelKind;
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("Fig. 8 reproduction ({profile:?} profile)");
+    println!("paper: up to 4.5x speedup (AlexNet/CIFAR-10), ~2.7x average\n");
+
+    let rows = run_grid(profile, &ModelKind::ALL, &Profile::dataset_names());
+    let mut out = vec![vec![
+        "model".to_string(),
+        "dataset".to_string(),
+        "dense ms/sample".to_string(),
+        "sparse ms/sample".to_string(),
+        "speedup".to_string(),
+    ]];
+    for r in &rows {
+        out.push(vec![
+            r.model.name().to_string(),
+            r.dataset.clone(),
+            fmt(r.dense_ms, 3),
+            fmt(r.sparse_ms, 3),
+            format!("{}x", fmt(r.speedup, 2)),
+        ]);
+    }
+    println!("{}", render(&out));
+    println!("geometric-mean speedup: {}x", fmt(mean_speedup(&rows), 2));
+}

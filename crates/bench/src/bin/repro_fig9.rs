@@ -1,0 +1,71 @@
+//! Regenerates Fig. 9: average energy per sample broken down into DRAM /
+//! SRAM / register / combinational components, with efficiency ratios.
+
+use sparsetrain_bench::experiments::latency::{mean_energy_efficiency, run_grid};
+use sparsetrain_bench::profile::Profile;
+use sparsetrain_bench::table::{fmt, render};
+use sparsetrain_nn::models::ModelKind;
+use sparsetrain_sim::energy::EnergyBreakdown;
+
+fn breakdown_cells(e: &EnergyBreakdown) -> [String; 5] {
+    [
+        fmt(e.dram_pj / 1e6, 2),
+        fmt(e.sram_pj / 1e6, 2),
+        fmt(e.reg_pj / 1e6, 2),
+        fmt(e.comb_pj / 1e6, 2),
+        fmt(e.total_uj(), 2),
+    ]
+}
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("Fig. 9 reproduction ({profile:?} profile) — energy in uJ/sample");
+    println!("paper: baseline SRAM share 62-71%; SparseTrain cuts SRAM 30-59%, comb 53-88%; 1.5-2.8x efficiency (avg 2.2x)\n");
+
+    let rows = run_grid(profile, &ModelKind::ALL, &Profile::dataset_names());
+    let mut out = vec![vec![
+        "model".to_string(),
+        "dataset".to_string(),
+        "arch".to_string(),
+        "DRAM".to_string(),
+        "SRAM".to_string(),
+        "Reg".to_string(),
+        "Comb".to_string(),
+        "total".to_string(),
+        "SRAM share".to_string(),
+        "efficiency".to_string(),
+    ]];
+    for r in &rows {
+        let d = breakdown_cells(&r.dense_energy);
+        out.push(vec![
+            r.model.name().to_string(),
+            r.dataset.clone(),
+            "baseline".into(),
+            d[0].clone(),
+            d[1].clone(),
+            d[2].clone(),
+            d[3].clone(),
+            d[4].clone(),
+            format!("{}%", fmt(r.dense_energy.sram_share() * 100.0, 0)),
+            "1.00x".into(),
+        ]);
+        let s = breakdown_cells(&r.sparse_energy);
+        out.push(vec![
+            String::new(),
+            String::new(),
+            "sparsetrain".into(),
+            s[0].clone(),
+            s[1].clone(),
+            s[2].clone(),
+            s[3].clone(),
+            s[4].clone(),
+            format!("{}%", fmt(r.sparse_energy.sram_share() * 100.0, 0)),
+            format!("{}x", fmt(r.energy_efficiency, 2)),
+        ]);
+    }
+    println!("{}", render(&out));
+    println!(
+        "geometric-mean energy efficiency: {}x",
+        fmt(mean_energy_efficiency(&rows), 2)
+    );
+}

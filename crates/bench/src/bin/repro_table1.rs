@@ -1,0 +1,43 @@
+//! Regenerates Table I: density of the six data types involved in one
+//! training step.
+
+use sparsetrain_bench::experiments::table1::run;
+use sparsetrain_bench::profile::Profile;
+use sparsetrain_bench::table::{fmt, render};
+
+fn main() {
+    let profile = Profile::from_env();
+    println!("Table I reproduction ({profile:?} profile)");
+    println!("paper: W, dW, dI, O dense; I, dO sparse\n");
+    let row = run(profile);
+    let out = render(&[
+        vec!["data type".into(), "symbol".into(), "density".into(), "paper".into()],
+        vec!["Weights".into(), "W".into(), fmt(row.weights, 2), "dense".into()],
+        vec!["Weight gradients".into(), "dW".into(), fmt(row.weight_grads, 2), "dense".into()],
+        vec![
+            "Input activations".into(),
+            "I".into(),
+            fmt(row.input_activations, 2),
+            "sparse".into(),
+        ],
+        vec![
+            "Gradients to input activations".into(),
+            "dI".into(),
+            fmt(row.input_grads, 2),
+            "dense".into(),
+        ],
+        vec![
+            "Output activations".into(),
+            "O".into(),
+            fmt(row.output_activations, 2),
+            "dense".into(),
+        ],
+        vec![
+            "Gradients to output activations".into(),
+            "dO".into(),
+            fmt(row.output_grads, 2),
+            "sparse".into(),
+        ],
+    ]);
+    println!("{out}");
+}

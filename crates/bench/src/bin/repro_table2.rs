@@ -1,0 +1,71 @@
+//! Regenerates Table II: accuracy (`acc%`) and gradient density (`ρ_nnz`)
+//! for every model × dataset × pruning-rate combination.
+//!
+//! Usage: `repro_table2 [--quick|--full] [--models alexnet,resnet18,...]`
+//! (profile also honours `SPARSETRAIN_PROFILE=quick|full`).
+
+use sparsetrain_bench::experiments::table2::{run_cell, PRUNE_RATES};
+use sparsetrain_bench::profile::Profile;
+use sparsetrain_bench::table::{fmt, render};
+use sparsetrain_nn::models::ModelKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let profile = if args.iter().any(|a| a == "--full") {
+        Profile::Full
+    } else if args.iter().any(|a| a == "--quick") {
+        Profile::Quick
+    } else {
+        Profile::from_env()
+    };
+    let models: Vec<ModelKind> = match args.iter().position(|a| a == "--models") {
+        Some(i) => args[i + 1]
+            .split(',')
+            .map(|name| {
+                ModelKind::ALL
+                    .into_iter()
+                    .find(|m| m.name() == name)
+                    .unwrap_or_else(|| panic!("unknown model {name}"))
+            })
+            .collect(),
+        None => ModelKind::ALL.to_vec(),
+    };
+
+    println!("Table II reproduction ({profile:?} profile)");
+    println!("paper: accuracy preserved for p <= 0.9; density drops 3-10x; deeper nets -> lower density\n");
+
+    let mut rows = vec![{
+        let mut header = vec![
+            "model".to_string(),
+            "dataset".to_string(),
+            "base acc".to_string(),
+            "base rho".to_string(),
+        ];
+        for p in PRUNE_RATES {
+            header.push(format!("p={p} acc"));
+            header.push(format!("p={p} rho"));
+        }
+        header
+    }];
+
+    for model in models {
+        for dataset in Profile::dataset_names() {
+            eprint!("running {} / {dataset} ...", model.name());
+            let base = run_cell(model, dataset, None, profile);
+            let mut row = vec![
+                model.name().to_string(),
+                dataset.to_string(),
+                fmt(base.accuracy * 100.0, 1),
+                fmt(base.density, 2),
+            ];
+            for p in PRUNE_RATES {
+                let cell = run_cell(model, dataset, Some(p), profile);
+                row.push(fmt(cell.accuracy * 100.0, 1));
+                row.push(fmt(cell.density, 2));
+            }
+            eprintln!(" done");
+            rows.push(row);
+        }
+    }
+    println!("{}", render(&rows));
+}

@@ -1,0 +1,83 @@
+//! Energy-model sensitivity sweep.
+//!
+//! The per-event energy table is the one calibrated degree of freedom of
+//! the Fig. 9 reproduction (DESIGN.md §5). This binary perturbs each
+//! constant ±50 % and reports how the SparseTrain-vs-baseline efficiency
+//! ratio moves — demonstrating that the paper's *conclusion* (SparseTrain
+//! is substantially more energy-efficient) is robust to the calibration,
+//! even though absolute energies are not.
+
+use sparsetrain_bench::profile::Profile;
+use sparsetrain_bench::table::{fmt, render};
+use sparsetrain_core::prune::PruneConfig;
+use sparsetrain_nn::models::ModelKind;
+use sparsetrain_nn::train::{TrainConfig, Trainer};
+use sparsetrain_sim::baseline::densified;
+use sparsetrain_sim::energy::EnergyModel;
+use sparsetrain_sim::machine::OperandFormat;
+use sparsetrain_sim::{ArchConfig, Machine};
+
+fn main() {
+    let profile = Profile::from_env();
+    let spec = profile.sim_dataset("cifar10");
+    let (train, _) = spec.generate();
+    let net = ModelKind::Resnet18.build(
+        spec.channels,
+        spec.size,
+        spec.classes,
+        Some(PruneConfig::paper_default()),
+        11,
+    );
+    let mut trainer = Trainer::new(
+        net,
+        TrainConfig {
+            batch_size: 16,
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 5,
+        },
+    );
+    for _ in 0..profile.sim_warmup_epochs() {
+        trainer.train_epoch(&train);
+    }
+    let trace = trainer.capture_trace(&train, "resnet18", "cifar10");
+    let dense_trace = densified(&trace);
+    let cfg = ArchConfig::paper_default();
+
+    let base = EnergyModel::finfet_14nm();
+    let variants: Vec<(&str, EnergyModel)> = vec![
+        ("calibrated", base),
+        ("mac +50%", EnergyModel { mac_pj: base.mac_pj * 1.5, ..base }),
+        ("mac -50%", EnergyModel { mac_pj: base.mac_pj * 0.5, ..base }),
+        ("sram +50%", EnergyModel { sram_pj: base.sram_pj * 1.5, ..base }),
+        ("sram -50%", EnergyModel { sram_pj: base.sram_pj * 0.5, ..base }),
+        ("dram +50%", EnergyModel { dram_pj: base.dram_pj * 1.5, ..base }),
+        ("dram -50%", EnergyModel { dram_pj: base.dram_pj * 0.5, ..base }),
+        ("reg +50%", EnergyModel { reg_pj: base.reg_pj * 1.5, ..base }),
+        ("ctrl +50%", EnergyModel { ctrl_pj: base.ctrl_pj * 1.5, ..base }),
+    ];
+
+    println!("Energy-model sensitivity (resnet18/cifar10 trace, {profile:?} profile)\n");
+    let mut rows = vec![vec![
+        "variant".to_string(),
+        "baseline uJ".to_string(),
+        "sparse uJ".to_string(),
+        "baseline SRAM share".to_string(),
+        "efficiency".to_string(),
+    ]];
+    for (name, model) in variants {
+        let machine = Machine::with_energy(cfg, model);
+        let sparse = machine.simulate(&trace);
+        let dense = machine.simulate_with_format(&dense_trace, OperandFormat::Raw);
+        rows.push(vec![
+            name.to_string(),
+            fmt(dense.energy.total_uj(), 1),
+            fmt(sparse.energy.total_uj(), 1),
+            format!("{}%", fmt(dense.energy.sram_share() * 100.0, 0)),
+            format!("{}x", fmt(sparse.energy_efficiency_over(&dense), 2)),
+        ]);
+    }
+    println!("{}", render(&rows));
+    println!("expected shape: efficiency stays well above 1x under every perturbation");
+}

@@ -1,0 +1,6 @@
+//! Paper-experiment implementations shared by the repro binaries.
+
+pub mod convergence;
+pub mod latency;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,21 @@
+//! Benchmark harness and paper-experiment reproduction for SparseTrain.
+//!
+//! Each experiment in the paper's evaluation section has a module here and
+//! a binary in `src/bin` that prints the same rows/series the paper
+//! reports:
+//!
+//! | Paper artefact | Module | Binary |
+//! |---|---|---|
+//! | Table I (data sparsity) | [`experiments::table1`] | `repro_table1` |
+//! | Table II (accuracy & density) | [`experiments::table2`] | `repro_table2` |
+//! | Fig. 8 (latency / speedup) | [`experiments::latency`] | `repro_fig8` |
+//! | Fig. 9 (energy breakdown) | [`experiments::latency`] | `repro_fig9` |
+//! | §VI-B convergence | [`experiments::convergence`] | `repro_convergence` |
+//!
+//! The Criterion benches in `benches/` cover the kernel, pruning, simulator
+//! and training-step micro-costs plus the design-choice ablations listed in
+//! DESIGN.md.
+
+pub mod experiments;
+pub mod profile;
+pub mod table;

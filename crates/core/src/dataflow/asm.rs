@@ -1,0 +1,398 @@
+//! Textual assembly for instruction programs.
+//!
+//! The binary format in [`super::encoding`] is what a device consumes; this
+//! module is what a human reads. [`disassemble`] renders a [`Program`] as
+//! one mnemonic line per instruction, and [`assemble`] parses the same
+//! syntax back. Round-tripping is lossless, which the test-suite and the
+//! `isa_inspect` example rely on.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment — everything after ';' is ignored
+//! src   layer=0 task=12 k=3 s=1 p1=17
+//! msrc  layer=0 task=13 k=3 s=1 p1=9  mask=22
+//! osrc  layer=1 task=0  k=5 s=2 p1=30 p2=11
+//! ```
+//!
+//! Fields may appear in any order; omitted populations default to zero.
+//! `k` (kernel) and `s` (stride) are required and must be non-zero.
+//!
+//! # Example
+//!
+//! ```
+//! use sparsetrain_core::dataflow::asm::{assemble, disassemble};
+//!
+//! let text = "src layer=0 task=0 k=3 s=1 p1=5\n";
+//! let program = assemble(text)?;
+//! let listing = disassemble(&program);
+//! assert!(listing.contains("src   layer=0 task=0 k=3 s=1 p1=5"));
+//! assert_eq!(assemble(&listing)?.instrs, program.instrs);
+//! # Ok::<(), sparsetrain_core::dataflow::asm::AsmError>(())
+//! ```
+
+use super::compiler::{Instr, Program};
+use super::ops::StepKind;
+use std::error::Error;
+use std::fmt;
+
+/// Error parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong on that line.
+    pub kind: AsmErrorKind,
+}
+
+/// The ways a line of assembly can be malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// The mnemonic is not `src`, `msrc` or `osrc`.
+    UnknownMnemonic(String),
+    /// A token is not of the form `key=value`.
+    MalformedField(String),
+    /// A field key is not recognised.
+    UnknownField(String),
+    /// A field value is not a valid integer or overflows its width.
+    BadValue {
+        /// The field key.
+        key: String,
+        /// The raw value text.
+        value: String,
+    },
+    /// The same field appears twice.
+    DuplicateField(String),
+    /// A required field (`k` or `s`) is missing or zero.
+    MissingField(&'static str),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::MalformedField(t) => write!(f, "expected key=value, found `{t}`"),
+            AsmErrorKind::UnknownField(k) => write!(f, "unknown field `{k}`"),
+            AsmErrorKind::BadValue { key, value } => {
+                write!(f, "field `{key}` has invalid value `{value}`")
+            }
+            AsmErrorKind::DuplicateField(k) => write!(f, "field `{k}` given twice"),
+            AsmErrorKind::MissingField(k) => write!(f, "required field `{k}` missing or zero"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+fn mnemonic(step: StepKind) -> &'static str {
+    match step {
+        StepKind::Forward => "src",
+        StepKind::Gta => "msrc",
+        StepKind::Gtw => "osrc",
+    }
+}
+
+/// Renders one instruction as a line of assembly (no trailing newline).
+pub fn format_instr(instr: &Instr) -> String {
+    let mut line = format!(
+        "{:<5} layer={} task={} k={} s={} p1={}",
+        mnemonic(instr.step),
+        instr.layer,
+        instr.task,
+        instr.kernel,
+        instr.stride,
+        instr.port1_nnz
+    );
+    if instr.port2_nnz != 0 {
+        line.push_str(&format!(" p2={}", instr.port2_nnz));
+    }
+    if instr.mask_nnz != 0 {
+        line.push_str(&format!(" mask={}", instr.mask_nnz));
+    }
+    line
+}
+
+/// Renders a whole program, one instruction per line, with a header
+/// comment carrying the instruction count.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    if !program.is_empty() {
+        out.push_str(&format!("; sparsetrain program, {} instructions\n", program.len()));
+    }
+    for instr in &program.instrs {
+        out.push_str(&format_instr(instr));
+        out.push('\n');
+    }
+    out
+}
+
+struct LineParser<'a> {
+    line_no: usize,
+    layer: Option<u32>,
+    task: Option<u32>,
+    kernel: Option<u8>,
+    stride: Option<u8>,
+    p1: Option<u32>,
+    p2: Option<u32>,
+    mask: Option<u32>,
+    _src: &'a str,
+}
+
+impl<'a> LineParser<'a> {
+    fn err(&self, kind: AsmErrorKind) -> AsmError {
+        AsmError { line: self.line_no, kind }
+    }
+
+    fn check_fresh(&self, slot_is_some: bool, key: &str) -> Result<(), AsmError> {
+        if slot_is_some {
+            return Err(self.err(AsmErrorKind::DuplicateField(key.to_string())));
+        }
+        Ok(())
+    }
+
+    fn parse_u32(&self, key: &str, value: &str) -> Result<u32, AsmError> {
+        value.parse::<u32>().map_err(|_| {
+            self.err(AsmErrorKind::BadValue { key: key.to_string(), value: value.to_string() })
+        })
+    }
+
+    fn parse_u8(&self, key: &str, value: &str) -> Result<u8, AsmError> {
+        value.parse::<u8>().map_err(|_| {
+            self.err(AsmErrorKind::BadValue { key: key.to_string(), value: value.to_string() })
+        })
+    }
+
+    fn field(&mut self, token: &str) -> Result<(), AsmError> {
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(self.err(AsmErrorKind::MalformedField(token.to_string())));
+        };
+        match key {
+            "layer" => {
+                self.check_fresh(self.layer.is_some(), key)?;
+                self.layer = Some(self.parse_u32(key, value)?);
+            }
+            "task" => {
+                self.check_fresh(self.task.is_some(), key)?;
+                self.task = Some(self.parse_u32(key, value)?);
+            }
+            "k" => {
+                self.check_fresh(self.kernel.is_some(), key)?;
+                self.kernel = Some(self.parse_u8(key, value)?);
+            }
+            "s" => {
+                self.check_fresh(self.stride.is_some(), key)?;
+                self.stride = Some(self.parse_u8(key, value)?);
+            }
+            "p1" => {
+                self.check_fresh(self.p1.is_some(), key)?;
+                self.p1 = Some(self.parse_u32(key, value)?);
+            }
+            "p2" => {
+                self.check_fresh(self.p2.is_some(), key)?;
+                self.p2 = Some(self.parse_u32(key, value)?);
+            }
+            "mask" => {
+                self.check_fresh(self.mask.is_some(), key)?;
+                self.mask = Some(self.parse_u32(key, value)?);
+            }
+            other => return Err(self.err(AsmErrorKind::UnknownField(other.to_string()))),
+        }
+        Ok(())
+    }
+
+    fn finish(self, step: StepKind) -> Result<Instr, AsmError> {
+        let kernel = match self.kernel {
+            Some(k) if k > 0 => k,
+            _ => return Err(self.err(AsmErrorKind::MissingField("k"))),
+        };
+        let stride = match self.stride {
+            Some(s) if s > 0 => s,
+            _ => return Err(self.err(AsmErrorKind::MissingField("s"))),
+        };
+        Ok(Instr {
+            layer: self.layer.unwrap_or(0),
+            step,
+            task: self.task.unwrap_or(0),
+            kernel,
+            stride,
+            port1_nnz: self.p1.unwrap_or(0),
+            port2_nnz: self.p2.unwrap_or(0),
+            mask_nnz: self.mask.unwrap_or(0),
+        })
+    }
+}
+
+/// Parses one line of assembly (comments and blank lines yield `None`).
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] tagged with `line_no` on malformed input.
+pub fn parse_line(line: &str, line_no: usize) -> Result<Option<Instr>, AsmError> {
+    let code = line.split(';').next().unwrap_or("").trim();
+    if code.is_empty() {
+        return Ok(None);
+    }
+    let mut tokens = code.split_whitespace();
+    let mnemonic = tokens.next().expect("non-empty code has a first token");
+    let step = match mnemonic {
+        "src" => StepKind::Forward,
+        "msrc" => StepKind::Gta,
+        "osrc" => StepKind::Gtw,
+        other => {
+            return Err(AsmError {
+                line: line_no,
+                kind: AsmErrorKind::UnknownMnemonic(other.to_string()),
+            })
+        }
+    };
+    let mut parser = LineParser {
+        line_no,
+        layer: None,
+        task: None,
+        kernel: None,
+        stride: None,
+        p1: None,
+        p2: None,
+        mask: None,
+        _src: code,
+    };
+    for token in tokens {
+        parser.field(token)?;
+    }
+    parser.finish(step).map(Some)
+}
+
+/// Parses a whole assembly listing into a program.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, tagged with its 1-based
+/// line number.
+pub fn assemble(text: &str) -> Result<Program, AsmError> {
+    let mut program = Program::default();
+    for (idx, line) in text.lines().enumerate() {
+        if let Some(instr) = parse_line(line, idx + 1)? {
+            program.instrs.push(instr);
+        }
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instr(step: StepKind) -> Instr {
+        Instr {
+            layer: 3,
+            step,
+            task: 17,
+            kernel: 3,
+            stride: 1,
+            port1_nnz: 40,
+            port2_nnz: if step == StepKind::Gtw { 12 } else { 0 },
+            mask_nnz: if step == StepKind::Gta { 8 } else { 0 },
+        }
+    }
+
+    #[test]
+    fn single_line_roundtrip() {
+        for step in StepKind::ALL {
+            let i = instr(step);
+            let line = format_instr(&i);
+            let parsed = parse_line(&line, 1).unwrap().unwrap();
+            assert_eq!(parsed, i, "line was: {line}");
+        }
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let mut p = Program::default();
+        for step in StepKind::ALL {
+            for t in 0..5 {
+                let mut i = instr(step);
+                i.task = t;
+                p.instrs.push(i);
+            }
+        }
+        let text = disassemble(&p);
+        let back = assemble(&text).unwrap();
+        assert_eq!(back.instrs, p.instrs);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "\n; a comment\n  \nsrc k=3 s=1 p1=2 ; trailing\n";
+        let p = assemble(text).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.instrs[0].port1_nnz, 2);
+    }
+
+    #[test]
+    fn fields_in_any_order() {
+        let a = parse_line("osrc p2=4 k=5 p1=9 s=2 task=1 layer=2", 1).unwrap().unwrap();
+        assert_eq!(a.kernel, 5);
+        assert_eq!(a.stride, 2);
+        assert_eq!(a.port1_nnz, 9);
+        assert_eq!(a.port2_nnz, 4);
+        assert_eq!(a.layer, 2);
+        assert_eq!(a.task, 1);
+    }
+
+    #[test]
+    fn unknown_mnemonic_errors() {
+        let e = assemble("frobnicate k=1 s=1").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(matches!(e.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn missing_required_fields_error() {
+        assert!(matches!(
+            assemble("src p1=3 s=1").unwrap_err().kind,
+            AsmErrorKind::MissingField("k")
+        ));
+        assert!(matches!(
+            assemble("src p1=3 k=3").unwrap_err().kind,
+            AsmErrorKind::MissingField("s")
+        ));
+        // Zero counts as missing for k and s.
+        assert!(matches!(
+            assemble("src k=0 s=1").unwrap_err().kind,
+            AsmErrorKind::MissingField("k")
+        ));
+    }
+
+    #[test]
+    fn malformed_and_duplicate_fields_error() {
+        assert!(matches!(
+            assemble("src k=3 s=1 banana").unwrap_err().kind,
+            AsmErrorKind::MalformedField(_)
+        ));
+        assert!(matches!(
+            assemble("src k=3 s=1 k=5").unwrap_err().kind,
+            AsmErrorKind::DuplicateField(_)
+        ));
+        assert!(matches!(
+            assemble("src k=3 s=1 wat=5").unwrap_err().kind,
+            AsmErrorKind::UnknownField(_)
+        ));
+        assert!(matches!(
+            assemble("src k=three s=1").unwrap_err().kind,
+            AsmErrorKind::BadValue { .. }
+        ));
+    }
+
+    #[test]
+    fn error_line_numbers_are_one_based() {
+        let text = "src k=3 s=1\n\nbad k=3 s=1\n";
+        assert_eq!(assemble(text).unwrap_err().line, 3);
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let e = assemble("nope").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+}

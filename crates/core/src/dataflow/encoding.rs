@@ -1,0 +1,514 @@
+//! Binary encoding of compiled instruction programs.
+//!
+//! The paper's controller consumes "internal instructions" produced by its
+//! compiler. This module pins that interface down to the bit: every
+//! [`Instr`] packs into one 128-bit little-endian word, and a [`Program`]
+//! serializes as a small header followed by the packed words. The format is
+//! what a host driver would DMA into the accelerator's instruction queue,
+//! and its field widths document the hardware limits of the design (kernel
+//! ≤ 15, stride ≤ 7, 24-bit row populations).
+//!
+//! # Word layout (least-significant bit first)
+//!
+//! | bits    | field       | width | meaning                                   |
+//! |---------|-------------|-------|-------------------------------------------|
+//! | 0–1     | opcode      | 2     | 0 = SRC, 1 = MSRC, 2 = OSRC               |
+//! | 2–5     | kernel      | 4     | kernel size `K` (1–15)                    |
+//! | 6–8     | stride      | 3     | stride (1–7)                              |
+//! | 9–15    | reserved    | 7     | must be zero                              |
+//! | 16–31   | layer       | 16    | layer index                               |
+//! | 32–55   | task        | 24    | scheduling task id                        |
+//! | 56–79   | port1_nnz   | 24    | Port-1 stream population                  |
+//! | 80–103  | port2_nnz   | 24    | Port-2 stream population (OSRC only)      |
+//! | 104–127 | mask_nnz    | 24    | Port-3 mask population (MSRC only)        |
+//!
+//! # Example
+//!
+//! ```
+//! use sparsetrain_core::dataflow::{compile, NetworkTrace};
+//! use sparsetrain_core::dataflow::encoding::{encode_program, decode_program};
+//!
+//! let program = compile(&NetworkTrace::new("empty", "none"));
+//! let bytes = encode_program(&program).unwrap();
+//! let back = decode_program(&bytes).unwrap();
+//! assert_eq!(back.instrs, program.instrs);
+//! ```
+
+use super::compiler::{Instr, Program};
+use super::ops::StepKind;
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes that open a serialized program.
+pub const MAGIC: [u8; 8] = *b"STPROG\x01\x00";
+
+/// Format version written into the header.
+pub const VERSION: u16 = 1;
+
+/// Size of one encoded instruction, in bytes.
+pub const INSTR_BYTES: usize = 16;
+
+/// Size of the program header, in bytes.
+pub const HEADER_BYTES: usize = 16;
+
+/// Widest kernel the 4-bit field can carry.
+pub const MAX_KERNEL: u8 = 15;
+
+/// Largest stride the 3-bit field can carry.
+pub const MAX_STRIDE: u8 = 7;
+
+/// Largest layer index the 16-bit field can carry.
+pub const MAX_LAYER: u32 = 0xFFFF;
+
+/// Largest value a 24-bit population/task field can carry.
+pub const MAX_FIELD24: u32 = 0xFF_FFFF;
+
+/// A field of [`Instr`] that can overflow its encoded width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Field {
+    /// The layer index (16 bits).
+    Layer,
+    /// The task id (24 bits).
+    Task,
+    /// The kernel size (4 bits, non-zero).
+    Kernel,
+    /// The stride (3 bits, non-zero).
+    Stride,
+    /// The Port-1 population (24 bits).
+    Port1,
+    /// The Port-2 population (24 bits).
+    Port2,
+    /// The Port-3 mask population (24 bits).
+    Mask,
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Field::Layer => "layer",
+            Field::Task => "task",
+            Field::Kernel => "kernel",
+            Field::Stride => "stride",
+            Field::Port1 => "port1_nnz",
+            Field::Port2 => "port2_nnz",
+            Field::Mask => "mask_nnz",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error encoding a program into bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An instruction field does not fit its encoded width.
+    FieldOverflow {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The field that overflowed.
+        field: Field,
+        /// The value that did not fit.
+        value: u32,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::FieldOverflow { index, field, value } => write!(
+                f,
+                "instruction {index}: {field} value {value} exceeds its encoded width"
+            ),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Error decoding bytes into a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer is shorter than a header.
+    TruncatedHeader,
+    /// The magic bytes do not match [`MAGIC`].
+    BadMagic,
+    /// The header version is not [`VERSION`].
+    UnsupportedVersion(u16),
+    /// The payload length disagrees with the instruction count.
+    LengthMismatch {
+        /// Instructions promised by the header.
+        expected: u64,
+        /// Whole instruction words actually present.
+        actual: u64,
+    },
+    /// An instruction word carries an unknown opcode.
+    InvalidOpcode {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The opcode value found.
+        opcode: u8,
+    },
+    /// An instruction word has non-zero reserved bits.
+    ReservedBits {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// A kernel or stride field is zero (both must be ≥ 1).
+    ZeroField {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The zero field.
+        field: Field,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TruncatedHeader => write!(f, "buffer shorter than the program header"),
+            DecodeError::BadMagic => write!(f, "magic bytes are not a SparseTrain program"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported program version {v}"),
+            DecodeError::LengthMismatch { expected, actual } => write!(
+                f,
+                "header promises {expected} instructions but payload holds {actual}"
+            ),
+            DecodeError::InvalidOpcode { index, opcode } => {
+                write!(f, "instruction {index}: invalid opcode {opcode}")
+            }
+            DecodeError::ReservedBits { index } => {
+                write!(f, "instruction {index}: reserved bits are set")
+            }
+            DecodeError::ZeroField { index, field } => {
+                write!(f, "instruction {index}: {field} must be non-zero")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+fn opcode_of(step: StepKind) -> u128 {
+    match step {
+        StepKind::Forward => 0,
+        StepKind::Gta => 1,
+        StepKind::Gtw => 2,
+    }
+}
+
+fn step_of(opcode: u8) -> Option<StepKind> {
+    match opcode {
+        0 => Some(StepKind::Forward),
+        1 => Some(StepKind::Gta),
+        2 => Some(StepKind::Gtw),
+        _ => None,
+    }
+}
+
+fn check24(index: usize, field: Field, value: u32) -> Result<u128, EncodeError> {
+    if value > MAX_FIELD24 {
+        return Err(EncodeError::FieldOverflow { index, field, value });
+    }
+    Ok(value as u128)
+}
+
+/// Packs one instruction into its 128-bit word.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::FieldOverflow`] when a field exceeds its width;
+/// `index` is echoed into the error for context.
+pub fn encode_instr(instr: &Instr, index: usize) -> Result<[u8; INSTR_BYTES], EncodeError> {
+    if instr.kernel == 0 || instr.kernel > MAX_KERNEL {
+        return Err(EncodeError::FieldOverflow {
+            index,
+            field: Field::Kernel,
+            value: instr.kernel as u32,
+        });
+    }
+    if instr.stride == 0 || instr.stride > MAX_STRIDE {
+        return Err(EncodeError::FieldOverflow {
+            index,
+            field: Field::Stride,
+            value: instr.stride as u32,
+        });
+    }
+    if instr.layer > MAX_LAYER {
+        return Err(EncodeError::FieldOverflow {
+            index,
+            field: Field::Layer,
+            value: instr.layer,
+        });
+    }
+    let mut word: u128 = opcode_of(instr.step);
+    word |= (instr.kernel as u128) << 2;
+    word |= (instr.stride as u128) << 6;
+    word |= (instr.layer as u128) << 16;
+    word |= check24(index, Field::Task, instr.task)? << 32;
+    word |= check24(index, Field::Port1, instr.port1_nnz)? << 56;
+    word |= check24(index, Field::Port2, instr.port2_nnz)? << 80;
+    word |= check24(index, Field::Mask, instr.mask_nnz)? << 104;
+    Ok(word.to_le_bytes())
+}
+
+/// Unpacks one 128-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] describing the first malformed field.
+pub fn decode_instr(bytes: &[u8; INSTR_BYTES], index: usize) -> Result<Instr, DecodeError> {
+    let word = u128::from_le_bytes(*bytes);
+    let opcode = (word & 0b11) as u8;
+    let step = step_of(opcode).ok_or(DecodeError::InvalidOpcode { index, opcode })?;
+    if (word >> 9) & 0x7F != 0 {
+        return Err(DecodeError::ReservedBits { index });
+    }
+    let kernel = ((word >> 2) & 0xF) as u8;
+    if kernel == 0 {
+        return Err(DecodeError::ZeroField { index, field: Field::Kernel });
+    }
+    let stride = ((word >> 6) & 0x7) as u8;
+    if stride == 0 {
+        return Err(DecodeError::ZeroField { index, field: Field::Stride });
+    }
+    Ok(Instr {
+        layer: ((word >> 16) & 0xFFFF) as u32,
+        step,
+        task: ((word >> 32) & 0xFF_FFFF) as u32,
+        kernel,
+        stride,
+        port1_nnz: ((word >> 56) & 0xFF_FFFF) as u32,
+        port2_nnz: ((word >> 80) & 0xFF_FFFF) as u32,
+        mask_nnz: ((word >> 104) & 0xFF_FFFF) as u32,
+    })
+}
+
+/// Serializes a program: a 16-byte header ([`MAGIC`], [`VERSION`], count)
+/// followed by one packed word per instruction.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::FieldOverflow`] if any instruction does not fit
+/// the format.
+pub fn encode_program(program: &Program) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::with_capacity(HEADER_BYTES + program.len() * INSTR_BYTES);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&[0u8; 2]); // reserved
+    out.extend_from_slice(&(program.len() as u32).to_le_bytes());
+    for (index, instr) in program.instrs.iter().enumerate() {
+        out.extend_from_slice(&encode_instr(instr, index)?);
+    }
+    Ok(out)
+}
+
+/// Deserializes a program produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] describing the first structural problem:
+/// truncated or foreign headers, version or length disagreements, and
+/// malformed instruction words.
+pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(DecodeError::TruncatedHeader);
+    }
+    if bytes[..8] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let count = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]) as u64;
+    let payload = &bytes[HEADER_BYTES..];
+    let actual = (payload.len() / INSTR_BYTES) as u64;
+    if actual != count || !payload.len().is_multiple_of(INSTR_BYTES) {
+        return Err(DecodeError::LengthMismatch { expected: count, actual });
+    }
+    let mut program = Program::default();
+    program.instrs.reserve(count as usize);
+    for (index, chunk) in payload.chunks_exact(INSTR_BYTES).enumerate() {
+        let word: [u8; INSTR_BYTES] = chunk.try_into().expect("chunks_exact yields full chunks");
+        program.instrs.push(decode_instr(&word, index)?);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instr() -> Instr {
+        Instr {
+            layer: 7,
+            step: StepKind::Gta,
+            task: 1234,
+            kernel: 3,
+            stride: 2,
+            port1_nnz: 99,
+            port2_nnz: 0,
+            mask_nnz: 41,
+        }
+    }
+
+    #[test]
+    fn instr_roundtrips() {
+        let i = sample_instr();
+        let bytes = encode_instr(&i, 0).unwrap();
+        assert_eq!(decode_instr(&bytes, 0).unwrap(), i);
+    }
+
+    #[test]
+    fn all_opcodes_roundtrip() {
+        for step in StepKind::ALL {
+            let mut i = sample_instr();
+            i.step = step;
+            let bytes = encode_instr(&i, 0).unwrap();
+            assert_eq!(decode_instr(&bytes, 0).unwrap().step, step);
+        }
+    }
+
+    #[test]
+    fn extreme_field_values_roundtrip() {
+        let i = Instr {
+            layer: MAX_LAYER,
+            step: StepKind::Gtw,
+            task: MAX_FIELD24,
+            kernel: MAX_KERNEL,
+            stride: MAX_STRIDE,
+            port1_nnz: MAX_FIELD24,
+            port2_nnz: MAX_FIELD24,
+            mask_nnz: MAX_FIELD24,
+        };
+        let bytes = encode_instr(&i, 0).unwrap();
+        assert_eq!(decode_instr(&bytes, 0).unwrap(), i);
+    }
+
+    #[test]
+    fn oversized_fields_are_rejected() {
+        let mut i = sample_instr();
+        i.task = MAX_FIELD24 + 1;
+        assert_eq!(
+            encode_instr(&i, 5),
+            Err(EncodeError::FieldOverflow { index: 5, field: Field::Task, value: MAX_FIELD24 + 1 })
+        );
+        let mut i = sample_instr();
+        i.kernel = MAX_KERNEL + 1;
+        assert!(matches!(
+            encode_instr(&i, 0),
+            Err(EncodeError::FieldOverflow { field: Field::Kernel, .. })
+        ));
+        let mut i = sample_instr();
+        i.stride = 0;
+        assert!(matches!(
+            encode_instr(&i, 0),
+            Err(EncodeError::FieldOverflow { field: Field::Stride, .. })
+        ));
+        let mut i = sample_instr();
+        i.layer = MAX_LAYER + 1;
+        assert!(matches!(
+            encode_instr(&i, 0),
+            Err(EncodeError::FieldOverflow { field: Field::Layer, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_opcode_is_rejected() {
+        let word: u128 = 0b11 | (3 << 2) | (1 << 6); // opcode 3 does not exist
+        let err = decode_instr(&word.to_le_bytes(), 2).unwrap_err();
+        assert_eq!(err, DecodeError::InvalidOpcode { index: 2, opcode: 3 });
+    }
+
+    #[test]
+    fn reserved_bits_are_rejected() {
+        let i = sample_instr();
+        let mut bytes = encode_instr(&i, 0).unwrap();
+        bytes[1] |= 0x80; // bit 15 lives in the reserved span
+        assert_eq!(decode_instr(&bytes, 0), Err(DecodeError::ReservedBits { index: 0 }));
+    }
+
+    #[test]
+    fn zero_kernel_or_stride_is_rejected() {
+        // Hand-build words with zero kernel / stride fields.
+        let zero_kernel: u128 = 1 << 6; // opcode 0, kernel 0, stride 1
+        assert_eq!(
+            decode_instr(&zero_kernel.to_le_bytes(), 0),
+            Err(DecodeError::ZeroField { index: 0, field: Field::Kernel })
+        );
+        let zero_stride: u128 = 3 << 2; // opcode 0, kernel 3, stride 0
+        assert_eq!(
+            decode_instr(&zero_stride.to_le_bytes(), 0),
+            Err(DecodeError::ZeroField { index: 0, field: Field::Stride })
+        );
+    }
+
+    #[test]
+    fn program_roundtrips() {
+        let mut p = Program::default();
+        for t in 0..50u32 {
+            let mut i = sample_instr();
+            i.task = t;
+            i.port1_nnz = t * 3 + 1;
+            p.instrs.push(i);
+        }
+        let bytes = encode_program(&p).unwrap();
+        assert_eq!(bytes.len(), HEADER_BYTES + 50 * INSTR_BYTES);
+        let back = decode_program(&bytes).unwrap();
+        assert_eq!(back.instrs, p.instrs);
+    }
+
+    #[test]
+    fn empty_program_roundtrips() {
+        let bytes = encode_program(&Program::default()).unwrap();
+        assert_eq!(bytes.len(), HEADER_BYTES);
+        assert!(decode_program(&bytes).unwrap().is_empty());
+    }
+
+    #[test]
+    fn header_errors_are_detected() {
+        assert_eq!(decode_program(&[0u8; 4]), Err(DecodeError::TruncatedHeader));
+
+        let mut bytes = encode_program(&Program::default()).unwrap();
+        bytes[0] = b'X';
+        assert_eq!(decode_program(&bytes), Err(DecodeError::BadMagic));
+
+        let mut bytes = encode_program(&Program::default()).unwrap();
+        bytes[8] = 9;
+        assert_eq!(decode_program(&bytes), Err(DecodeError::UnsupportedVersion(9)));
+    }
+
+    #[test]
+    fn length_mismatch_is_detected() {
+        let mut p = Program::default();
+        p.instrs.push(sample_instr());
+        let mut bytes = encode_program(&p).unwrap();
+        // Claim two instructions while shipping one.
+        bytes[12] = 2;
+        assert_eq!(
+            decode_program(&bytes),
+            Err(DecodeError::LengthMismatch { expected: 2, actual: 1 })
+        );
+        // Ragged payload.
+        let mut p2 = Program::default();
+        p2.instrs.push(sample_instr());
+        let mut ragged = encode_program(&p2).unwrap();
+        ragged.pop();
+        assert!(matches!(decode_program(&ragged), Err(DecodeError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn error_messages_are_nonempty() {
+        let e = EncodeError::FieldOverflow { index: 0, field: Field::Port2, value: 1 };
+        assert!(!e.to_string().is_empty());
+        for d in [
+            DecodeError::TruncatedHeader,
+            DecodeError::BadMagic,
+            DecodeError::UnsupportedVersion(2),
+            DecodeError::LengthMismatch { expected: 1, actual: 0 },
+            DecodeError::InvalidOpcode { index: 0, opcode: 3 },
+            DecodeError::ReservedBits { index: 0 },
+            DecodeError::ZeroField { index: 0, field: Field::Kernel },
+        ] {
+            assert!(!d.to_string().is_empty());
+        }
+    }
+}

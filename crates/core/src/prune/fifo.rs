@@ -1,0 +1,144 @@
+//! FIFO-based threshold prediction (§III-B, Fig. 5).
+//!
+//! Computing the exact threshold for a batch requires `Σ|g|` over the whole
+//! batch — which is only known *after* the gradients have been produced.
+//! To prune gradients on the fly (before they are written back to memory),
+//! the threshold is *predicted* as the mean of the last `N_F` determined
+//! thresholds. `N_F ≪ N` (the number of batches), so the predictor adapts
+//! as training changes the gradient distribution.
+
+use std::collections::VecDeque;
+
+/// A fixed-depth FIFO of recently determined thresholds.
+///
+/// ```
+/// use sparsetrain_core::prune::ThresholdFifo;
+/// let mut f = ThresholdFifo::new(2);
+/// assert_eq!(f.predict(), None); // not warmed up yet
+/// f.push(1.0);
+/// f.push(3.0);
+/// assert_eq!(f.predict(), Some(2.0));
+/// f.push(5.0); // evicts 1.0
+/// assert_eq!(f.predict(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdFifo {
+    depth: usize,
+    values: VecDeque<f64>,
+}
+
+impl ThresholdFifo {
+    /// Creates a FIFO of the given depth `N_F`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "FIFO depth must be positive");
+        Self {
+            depth,
+            values: VecDeque::with_capacity(depth),
+        }
+    }
+
+    /// The configured depth `N_F`.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of thresholds currently stored.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the FIFO holds no thresholds yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the FIFO has filled to its depth (prediction enabled).
+    pub fn is_warm(&self) -> bool {
+        self.values.len() == self.depth
+    }
+
+    /// Pushes a newly determined threshold, evicting the oldest if full.
+    pub fn push(&mut self, tau: f64) {
+        if self.values.len() == self.depth {
+            self.values.pop_front();
+        }
+        self.values.push_back(tau);
+    }
+
+    /// Predicted threshold: the mean of the stored values, or `None` until
+    /// the FIFO is warm (the paper prunes nothing before warm-up).
+    pub fn predict(&self) -> Option<f64> {
+        if !self.is_warm() {
+            return None;
+        }
+        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Clears all stored thresholds (e.g. between training phases).
+    pub fn reset(&mut self) {
+        self.values.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warms_up_after_depth_pushes() {
+        let mut f = ThresholdFifo::new(3);
+        f.push(1.0);
+        f.push(1.0);
+        assert!(!f.is_warm());
+        assert_eq!(f.predict(), None);
+        f.push(1.0);
+        assert!(f.is_warm());
+        assert_eq!(f.predict(), Some(1.0));
+    }
+
+    #[test]
+    fn evicts_oldest() {
+        let mut f = ThresholdFifo::new(2);
+        f.push(10.0);
+        f.push(20.0);
+        f.push(30.0);
+        assert_eq!(f.predict(), Some(25.0));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut f = ThresholdFifo::new(1);
+        f.push(5.0);
+        assert!(f.is_warm());
+        f.reset();
+        assert!(f.is_empty());
+        assert_eq!(f.predict(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_rejected() {
+        let _ = ThresholdFifo::new(0);
+    }
+
+    #[test]
+    fn prediction_tracks_drift() {
+        // As determined thresholds drift downward during training, the
+        // prediction follows with N_F lag.
+        let mut f = ThresholdFifo::new(4);
+        for i in 0..4 {
+            f.push(1.0 - i as f64 * 0.1);
+        }
+        let p1 = f.predict().unwrap();
+        for i in 4..8 {
+            f.push(1.0 - i as f64 * 0.1);
+        }
+        let p2 = f.predict().unwrap();
+        assert!(p2 < p1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Layer-wise stochastic activation-gradient pruning (§III).
+//!
+//! The pipeline, per CONV layer and per batch:
+//!
+//! 1. **Prediction** — the pruning threshold `τ̂` for the incoming batch is
+//!    the mean of a FIFO of the last `N_F` *determined* thresholds
+//!    ([`ThresholdFifo`]); no pruning happens until the FIFO fills.
+//! 2. **Streaming prune** — each gradient is inspected once as it is
+//!    produced: values with `|g| ≥ τ̂` pass through; smaller values are
+//!    stochastically snapped to `sign(g)·τ̂` (with probability `|g|/τ̂`) or
+//!    zero, preserving `E[ĝ] = g` ([`stochastic`]).
+//! 3. **Determination** — alongside the prune, `Σ|g|` is accumulated; at
+//!    batch end it yields the unbiased normal-σ estimate and this batch's
+//!    exact threshold, which is pushed into the FIFO ([`threshold`]).
+//!
+//! [`LayerPruner`] ties the three together (Algorithm 1 of the paper).
+
+pub mod diagnostics;
+pub mod fifo;
+pub mod normal;
+pub mod predictor;
+pub mod pruner;
+pub mod stochastic;
+pub mod threshold;
+
+pub use diagnostics::DistributionSummary;
+pub use fifo::ThresholdFifo;
+pub use predictor::{EmaPredictor, FifoPredictor, LastValuePredictor, ThresholdPredictor};
+pub use pruner::{LayerPruner, PruneConfig, PruneStats};
+pub use stochastic::{prune_slice, PruneOutcome};
+pub use threshold::{determine_threshold, sigma_hat, threshold_from_slice};

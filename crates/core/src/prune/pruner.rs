@@ -1,0 +1,353 @@
+//! The per-layer pruning state machine — Algorithm 1 of the paper.
+
+use super::fifo::ThresholdFifo;
+use super::stochastic::{prune_slice, PruneOutcome};
+use super::threshold::{determine_threshold, sigma_hat};
+use rand::Rng;
+
+/// Configuration of the layer-wise gradient pruner.
+///
+/// ```
+/// use sparsetrain_core::prune::PruneConfig;
+/// let cfg = PruneConfig::new(0.9, 4);
+/// assert_eq!(cfg.target_sparsity, 0.9);
+/// assert_eq!(cfg.fifo_depth, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneConfig {
+    /// Target fraction `p` of gradients to prune, in `[0, 1)`.
+    pub target_sparsity: f64,
+    /// FIFO depth `N_F` for threshold prediction.
+    pub fifo_depth: usize,
+}
+
+impl PruneConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_sparsity ∉ [0, 1)` or `fifo_depth == 0`.
+    pub fn new(target_sparsity: f64, fifo_depth: usize) -> Self {
+        assert!(
+            (0.0..1.0).contains(&target_sparsity),
+            "target sparsity must be in [0, 1), got {target_sparsity}"
+        );
+        assert!(fifo_depth > 0, "FIFO depth must be positive");
+        Self {
+            target_sparsity,
+            fifo_depth,
+        }
+    }
+
+    /// The paper's typical setting: `p = 0.9`, `N_F = 4`.
+    pub fn paper_default() -> Self {
+        Self::new(0.9, 4)
+    }
+
+    /// A disabled pruner (`p = 0`): batches pass through unchanged but
+    /// statistics are still collected — this is the dense baseline.
+    pub fn disabled() -> Self {
+        Self {
+            target_sparsity: 0.0,
+            fifo_depth: 1,
+        }
+    }
+}
+
+impl Default for PruneConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Running statistics reported by a [`LayerPruner`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PruneStats {
+    /// Batches processed so far.
+    pub batches: usize,
+    /// Outcome of the most recent batch.
+    pub last_outcome: Option<PruneOutcome>,
+    /// Density (non-zero fraction) of the most recent pruned batch.
+    last_density: Option<f64>,
+    /// Sum of post-prune densities, for averaging.
+    density_sum: f64,
+    /// Batches included in `density_sum` (those pruned after warm-up).
+    density_count: usize,
+    /// Most recent predicted threshold (None until warm).
+    pub last_predicted_tau: Option<f64>,
+    /// Most recent determined threshold.
+    pub last_determined_tau: Option<f64>,
+}
+
+impl PruneStats {
+    /// Post-prune density of the most recent batch, if any.
+    pub fn last_density(&self) -> Option<f64> {
+        self.last_density
+    }
+
+    /// Mean post-prune density over all batches processed after warm-up.
+    pub fn mean_density(&self) -> Option<f64> {
+        if self.density_count == 0 {
+            None
+        } else {
+            Some(self.density_sum / self.density_count as f64)
+        }
+    }
+}
+
+fn add_outcomes(a: PruneOutcome, b: PruneOutcome) -> PruneOutcome {
+    PruneOutcome {
+        kept: a.kept + b.kept,
+        snapped: a.snapped + b.snapped,
+        zeroed: a.zeroed + b.zeroed,
+    }
+}
+
+/// Per-layer streaming gradient pruner (Algorithm 1).
+///
+/// One instance is attached to each CONV layer's pruning position (Fig. 4):
+/// the activation-gradient tensor flowing backward is handed to
+/// [`LayerPruner::prune_batch`] once per batch.
+///
+/// The pruner performs a *single pass* per batch: it accumulates `Σ|g|`
+/// while pruning against the FIFO-predicted threshold, then determines this
+/// batch's exact threshold and pushes it into the FIFO — so gradients never
+/// need to be stored un-pruned (the property that makes the hardware
+/// integration free, §III-B).
+#[derive(Debug, Clone)]
+pub struct LayerPruner {
+    config: PruneConfig,
+    fifo: ThresholdFifo,
+    stats: PruneStats,
+}
+
+impl LayerPruner {
+    /// Creates a pruner with the given configuration.
+    pub fn new(config: PruneConfig) -> Self {
+        Self {
+            fifo: ThresholdFifo::new(config.fifo_depth),
+            config,
+            stats: PruneStats::default(),
+        }
+    }
+
+    /// The pruner's configuration.
+    pub fn config(&self) -> &PruneConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &PruneStats {
+        &self.stats
+    }
+
+    /// Whether the FIFO has warmed up (batches are actually being pruned).
+    pub fn is_warm(&self) -> bool {
+        self.fifo.is_warm()
+    }
+
+    /// The threshold that would be applied to the next batch, if warm.
+    pub fn predicted_threshold(&self) -> Option<f64> {
+        if self.config.target_sparsity == 0.0 {
+            return None;
+        }
+        self.fifo.predict()
+    }
+
+    /// Processes one batch of activation gradients in place and returns the
+    /// outcome counts.
+    ///
+    /// Implements lines 2–18 of Algorithm 1 for one batch: prune under the
+    /// predicted threshold (if warm), accumulate `Σ|g|` of the *original*
+    /// gradients, determine this batch's threshold and push it to the FIFO.
+    pub fn prune_batch<R: Rng + ?Sized>(&mut self, grads: &mut [f32], rng: &mut R) -> PruneOutcome {
+        self.prune_batch_parts(&mut [grads], rng)
+    }
+
+    /// Like [`LayerPruner::prune_batch`], but the batch's gradient vector is
+    /// supplied in several parts (e.g. one tensor per sample of the batch).
+    /// The parts are treated as one logical vector `g`: a single predicted
+    /// threshold prunes all of them, a single `Σ|g|` determines the next
+    /// threshold.
+    pub fn prune_batch_parts<R: Rng + ?Sized>(
+        &mut self,
+        parts: &mut [&mut [f32]],
+        rng: &mut R,
+    ) -> PruneOutcome {
+        // Σ|g| accumulates over the incoming (un-pruned) gradients — in
+        // hardware the PPU taps the stream before the pruning stage.
+        let mut abs_sum = 0.0f64;
+        let mut n = 0usize;
+        for part in parts.iter() {
+            abs_sum += part.iter().map(|&g| (g as f64).abs()).sum::<f64>();
+            n += part.len();
+        }
+
+        let predicted = self.predicted_threshold();
+        let outcome = match predicted {
+            Some(tau) if tau > 0.0 => {
+                let mut total = PruneOutcome::default();
+                for part in parts.iter_mut() {
+                    total = add_outcomes(total, prune_slice(part, tau, rng));
+                }
+                total
+            }
+            _ => {
+                // Not warm (or pruning disabled): pass through, but still
+                // count the natural zero pattern.
+                let kept = parts
+                    .iter()
+                    .map(|p| p.iter().filter(|&&g| g != 0.0).count())
+                    .sum();
+                PruneOutcome {
+                    kept,
+                    snapped: 0,
+                    zeroed: n - kept,
+                }
+            }
+        };
+
+        if self.config.target_sparsity > 0.0 {
+            let tau = determine_threshold(sigma_hat(abs_sum, n), self.config.target_sparsity);
+            self.fifo.push(tau);
+            self.stats.last_determined_tau = Some(tau);
+        }
+
+        self.stats.batches += 1;
+        self.stats.last_predicted_tau = predicted;
+        let density = if n == 0 {
+            1.0
+        } else {
+            (outcome.kept + outcome.snapped) as f64 / n as f64
+        };
+        self.stats.last_density = Some(density);
+        if predicted.is_some() {
+            self.stats.density_sum += density;
+            self.stats.density_count += 1;
+        }
+        self.stats.last_outcome = Some(outcome);
+        outcome
+    }
+
+    /// Clears the FIFO and statistics (e.g. when the learning-rate schedule
+    /// changes the gradient scale abruptly).
+    pub fn reset(&mut self) {
+        self.fifo.reset();
+        self.stats = PruneStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sparsetrain_tensor::init::sample_standard_normal;
+
+    fn normal_batch(rng: &mut StdRng, n: usize, sigma: f32) -> Vec<f32> {
+        (0..n).map(|_| sample_standard_normal(rng) * sigma).collect()
+    }
+
+    #[test]
+    fn no_pruning_until_fifo_warm() {
+        let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 3));
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..3 {
+            assert!(!pruner.is_warm(), "warm too early at batch {i}");
+            let mut batch = normal_batch(&mut rng, 1000, 0.1);
+            let before = batch.clone();
+            pruner.prune_batch(&mut batch, &mut rng);
+            assert_eq!(batch, before, "batch {i} modified before warm-up");
+        }
+        assert!(pruner.is_warm());
+        let mut batch = normal_batch(&mut rng, 1000, 0.1);
+        let before = batch.clone();
+        pruner.prune_batch(&mut batch, &mut rng);
+        assert_ne!(batch, before, "warm pruner left batch unchanged");
+    }
+
+    #[test]
+    fn achieves_target_density_on_normal_data() {
+        for &p in &[0.7, 0.9, 0.99] {
+            let mut pruner = LayerPruner::new(PruneConfig::new(p, 4));
+            let mut rng = StdRng::seed_from_u64(99);
+            for _ in 0..10 {
+                let mut batch = normal_batch(&mut rng, 20_000, 0.05);
+                pruner.prune_batch(&mut batch, &mut rng);
+            }
+            let density = pruner.stats().last_density().unwrap();
+            // Stochastic pruning re-inserts ±τ values: of the fraction p
+            // below τ, E[|g|/τ | |g|<τ] survive. For a centred normal the
+            // survivor fraction is meaningful, so density lands between
+            // (1 - p) and roughly (1 - p) + 0.45 p.
+            let floor = 1.0 - p;
+            let ceil = (1.0 - p) + 0.5 * p;
+            assert!(
+                density > floor * 0.8 && density < ceil,
+                "p={p}: density {density} outside ({floor}, {ceil})"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_pruner_passes_through() {
+        let mut pruner = LayerPruner::new(PruneConfig::disabled());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut batch = normal_batch(&mut rng, 100, 1.0);
+        let before = batch.clone();
+        for _ in 0..5 {
+            pruner.prune_batch(&mut batch, &mut rng);
+            assert_eq!(batch, before);
+        }
+        assert_eq!(pruner.predicted_threshold(), None);
+    }
+
+    #[test]
+    fn predicted_tracks_determined() {
+        let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 4));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..8 {
+            let mut batch = normal_batch(&mut rng, 10_000, 0.2);
+            pruner.prune_batch(&mut batch, &mut rng);
+        }
+        let predicted = pruner.stats().last_predicted_tau.unwrap();
+        let determined = pruner.stats().last_determined_tau.unwrap();
+        assert!(
+            (predicted - determined).abs() / determined < 0.1,
+            "prediction {predicted} far from determination {determined}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut pruner = LayerPruner::new(PruneConfig::new(0.8, 2));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..6 {
+            let mut batch = normal_batch(&mut rng, 1000, 0.1);
+            pruner.prune_batch(&mut batch, &mut rng);
+        }
+        assert_eq!(pruner.stats().batches, 6);
+        assert!(pruner.stats().mean_density().is_some());
+    }
+
+    #[test]
+    fn reset_returns_to_cold() {
+        let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 1));
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut batch = normal_batch(&mut rng, 100, 0.1);
+        pruner.prune_batch(&mut batch, &mut rng);
+        assert!(pruner.is_warm());
+        pruner.reset();
+        assert!(!pruner.is_warm());
+        assert_eq!(pruner.stats().batches, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_handled() {
+        let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 1));
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut batch: Vec<f32> = Vec::new();
+        let out = pruner.prune_batch(&mut batch, &mut rng);
+        assert_eq!(out.total(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! The stochastic pruning rule (§III-A, Fig. 3).
+//!
+//! A gradient with `|g| < τ` cannot simply be zeroed in bulk — that shifts
+//! the gradient distribution and hurts convergence. Instead it is snapped to
+//! `sign(g)·τ` with probability `|g|/τ` and to `0` otherwise, which keeps
+//! `E[ĝ] = (|g|/τ)·sign(g)·τ = g` — the update is unbiased.
+
+use rand::Rng;
+
+/// Outcome counts of one pruning pass, for instrumentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneOutcome {
+    /// Values left untouched (`|g| ≥ τ`).
+    pub kept: usize,
+    /// Values snapped to `±τ`.
+    pub snapped: usize,
+    /// Values set to zero.
+    pub zeroed: usize,
+}
+
+impl PruneOutcome {
+    /// Total number of values inspected.
+    pub fn total(&self) -> usize {
+        self.kept + self.snapped + self.zeroed
+    }
+
+    /// Density of the pruned output (non-zero fraction), counting inputs
+    /// that were already zero as zeros. Returns 1.0 for an empty pass.
+    pub fn density(&self, already_zero: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 1.0;
+        }
+        (self.kept + self.snapped - already_zero.min(self.kept)) as f64 / total as f64
+    }
+}
+
+/// Applies the stochastic pruning rule to every element of `grads` with
+/// threshold `tau`, in place. Returns the outcome counts.
+///
+/// `tau <= 0` disables pruning (everything is kept).
+///
+/// Exact zeros are counted as `zeroed` (they stay zero and never consume a
+/// random draw, matching the hardware, which only sees non-zero gradients
+/// in the compressed stream).
+///
+/// ```
+/// use sparsetrain_core::prune::prune_slice;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let mut g = vec![0.5, -0.001, 0.0008, 2.0];
+/// let out = prune_slice(&mut g, 0.01, &mut StdRng::seed_from_u64(0));
+/// assert_eq!(out.kept, 2);               // 0.5 and 2.0 pass through
+/// assert_eq!(out.snapped + out.zeroed, 2);
+/// for &v in &g {
+///     assert!(v == 0.0 || v.abs() >= 0.01 - 1e-9 || v == 0.5 || v == 2.0);
+/// }
+/// ```
+pub fn prune_slice<R: Rng + ?Sized>(grads: &mut [f32], tau: f64, rng: &mut R) -> PruneOutcome {
+    let mut outcome = PruneOutcome::default();
+    if tau <= 0.0 {
+        outcome.kept = grads.iter().filter(|&&g| g != 0.0).count();
+        outcome.zeroed = grads.len() - outcome.kept;
+        return outcome;
+    }
+    let tau_f = tau as f32;
+    for g in grads.iter_mut() {
+        let a = g.abs();
+        if *g == 0.0 {
+            outcome.zeroed += 1;
+        } else if (a as f64) < tau {
+            // r ~ U[0,1): keep ±τ iff |g| > τ·r  ⇔  with probability |g|/τ.
+            let r: f64 = rng.gen();
+            if (a as f64) > tau * r {
+                *g = if *g > 0.0 { tau_f } else { -tau_f };
+                outcome.snapped += 1;
+            } else {
+                *g = 0.0;
+                outcome.zeroed += 1;
+            }
+        } else {
+            outcome.kept += 1;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_tau_keeps_everything() {
+        let mut g = vec![0.1, -0.2, 0.0];
+        let out = prune_slice(&mut g, 0.0, &mut StdRng::seed_from_u64(0));
+        assert_eq!(g, vec![0.1, -0.2, 0.0]);
+        assert_eq!(out.kept, 2);
+        assert_eq!(out.zeroed, 1);
+    }
+
+    #[test]
+    fn large_values_pass_through() {
+        let mut g = vec![1.0, -1.0];
+        let out = prune_slice(&mut g, 0.5, &mut StdRng::seed_from_u64(0));
+        assert_eq!(g, vec![1.0, -1.0]);
+        assert_eq!(out.kept, 2);
+    }
+
+    #[test]
+    fn small_values_become_zero_or_tau() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g: Vec<f32> = (0..1000).map(|i| (i as f32 - 500.0) * 1e-5).collect();
+        prune_slice(&mut g, 0.01, &mut rng);
+        for &v in &g {
+            assert!(
+                v == 0.0 || (v.abs() - 0.01).abs() < 1e-9,
+                "value {v} is neither 0 nor ±τ"
+            );
+        }
+    }
+
+    #[test]
+    fn signs_are_preserved_when_snapped() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // Values just below τ snap with high probability; check sign.
+        let mut g = vec![0.0099f32; 50];
+        g.extend(vec![-0.0099f32; 50]);
+        prune_slice(&mut g, 0.01, &mut rng);
+        for (i, &v) in g.iter().enumerate() {
+            if v != 0.0 {
+                if i < 50 {
+                    assert!(v > 0.0);
+                } else {
+                    assert!(v < 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expectation_is_preserved() {
+        // The core unbiasedness property: E[ĝ] = g.
+        let mut rng = StdRng::seed_from_u64(7);
+        let g0 = 0.003f32;
+        let tau = 0.01f64;
+        let n = 200_000;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            let mut g = [g0];
+            prune_slice(&mut g, tau, &mut rng);
+            sum += g[0] as f64;
+        }
+        let mean = sum / n as f64;
+        assert!(
+            (mean - g0 as f64).abs() < 2e-4,
+            "E[pruned] = {mean}, want {g0}"
+        );
+    }
+
+    #[test]
+    fn snap_probability_matches_ratio() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let tau = 0.01f64;
+        let g0 = 0.007f32; // expect snapped with prob 0.7
+        let n = 100_000;
+        let mut g: Vec<f32> = vec![g0; n];
+        let out = prune_slice(&mut g, tau, &mut rng);
+        let frac = out.snapped as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.01, "snap fraction {frac}, want 0.7");
+    }
+
+    #[test]
+    fn outcome_total_and_density() {
+        let out = PruneOutcome {
+            kept: 5,
+            snapped: 3,
+            zeroed: 2,
+        };
+        assert_eq!(out.total(), 10);
+        assert_eq!(out.density(0), 0.8);
+    }
+
+    #[test]
+    fn empty_slice_is_noop() {
+        let mut g: Vec<f32> = Vec::new();
+        let out = prune_slice(&mut g, 0.1, &mut StdRng::seed_from_u64(0));
+        assert_eq!(out.total(), 0);
+        assert_eq!(out.density(0), 1.0);
+    }
+}

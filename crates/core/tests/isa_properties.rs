@@ -1,0 +1,95 @@
+//! Property tests for the instruction-set serialization paths.
+//!
+//! For any in-range instruction sequence, the binary encoding and the
+//! textual assembly must both be lossless inverses, and every corrupted
+//! header must be rejected rather than mis-decoded.
+
+use proptest::prelude::*;
+use sparsetrain_core::dataflow::asm::{assemble, disassemble};
+use sparsetrain_core::dataflow::encoding::{
+    decode_program, encode_program, MAX_FIELD24, MAX_KERNEL, MAX_LAYER, MAX_STRIDE,
+};
+use sparsetrain_core::dataflow::{Instr, Program, StepKind};
+
+fn arb_step() -> impl Strategy<Value = StepKind> {
+    prop_oneof![Just(StepKind::Forward), Just(StepKind::Gta), Just(StepKind::Gtw)]
+}
+
+prop_compose! {
+    fn arb_instr()(
+        step in arb_step(),
+        layer in 0..=MAX_LAYER,
+        task in 0..=MAX_FIELD24,
+        kernel in 1..=MAX_KERNEL,
+        stride in 1..=MAX_STRIDE,
+        p1 in 0..=MAX_FIELD24,
+        p2 in 0..=MAX_FIELD24,
+        mask in 0..=MAX_FIELD24,
+    ) -> Instr {
+        Instr {
+            layer,
+            step,
+            task,
+            kernel,
+            stride,
+            port1_nnz: p1,
+            port2_nnz: p2,
+            mask_nnz: mask,
+        }
+    }
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_instr(), 0..64).prop_map(|instrs| Program { instrs })
+}
+
+proptest! {
+    #[test]
+    fn binary_roundtrip_is_lossless(program in arb_program()) {
+        let bytes = encode_program(&program).expect("in-range instrs encode");
+        let back = decode_program(&bytes).expect("encoded bytes decode");
+        prop_assert_eq!(back.instrs, program.instrs);
+    }
+
+    #[test]
+    fn assembly_roundtrip_is_lossless(program in arb_program()) {
+        let text = disassemble(&program);
+        let back = assemble(&text).expect("disassembly re-assembles");
+        prop_assert_eq!(back.instrs, program.instrs);
+    }
+
+    #[test]
+    fn encoded_size_is_exact(program in arb_program()) {
+        let bytes = encode_program(&program).unwrap();
+        prop_assert_eq!(bytes.len(), 16 + 16 * program.len());
+    }
+
+    #[test]
+    fn single_byte_header_corruption_is_detected(
+        program in arb_program(),
+        byte in 0usize..8,
+        flip in 1u8..=255,
+    ) {
+        // Magic corruption must always be caught (bytes 0..8 are magic).
+        let mut bytes = encode_program(&program).unwrap();
+        bytes[byte] ^= flip;
+        prop_assert!(decode_program(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_is_detected(program in arb_program(), cut in 1usize..16) {
+        prop_assume!(!program.is_empty());
+        let mut bytes = encode_program(&program).unwrap();
+        let len = bytes.len();
+        bytes.truncate(len - cut);
+        prop_assert!(decode_program(&bytes).is_err());
+    }
+
+    #[test]
+    fn assembled_programs_preserve_step_counts(program in arb_program()) {
+        let text = disassemble(&program);
+        let back = assemble(&text).unwrap();
+        prop_assert_eq!(back.instrs_per_step(), program.instrs_per_step());
+        prop_assert_eq!(back.total_stream_values(), program.total_stream_values());
+    }
+}

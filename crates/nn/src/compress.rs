@@ -1,0 +1,137 @@
+//! Weight compression extension: magnitude pruning of trained weights.
+//!
+//! The paper's introduction motivates SparseTrain via weight-pruning
+//! accelerators (Deep Compression, EIE, SCNN) and its dataflow "supports
+//! all kinds of sparsity in training" — the SRC/MSRC kernels skip zero
+//! kernel taps. This module supplies the missing piece for exploiting that
+//! on the weight side: classic magnitude pruning, so a model can be
+//! sparsified and fine-tuned with the gradient-pruning pipeline on top.
+
+use crate::layer::Layer;
+
+/// Result of one magnitude-pruning pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompressionStats {
+    /// Parameters inspected.
+    pub total: usize,
+    /// Parameters newly set to zero by this pass.
+    pub pruned: usize,
+    /// Parameters that remain non-zero after the pass.
+    pub remaining_nnz: usize,
+}
+
+impl CompressionStats {
+    /// Density after pruning (1.0 when nothing was inspected). Counts
+    /// pre-existing zeros (e.g. fresh bias vectors) as zeros.
+    pub fn density(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.remaining_nnz as f64 / self.total as f64
+        }
+    }
+}
+
+/// Sets the smallest-magnitude fraction `rate` of every parameter tensor of
+/// `net` to zero (per-tensor thresholding, as in Deep Compression's
+/// layer-wise pruning).
+///
+/// Bias-sized vectors are pruned too; callers wanting weights-only pruning
+/// should apply this before biases matter (they are a negligible fraction).
+///
+/// # Panics
+///
+/// Panics if `rate` is not within `[0, 1]`.
+pub fn magnitude_prune(net: &mut dyn Layer, rate: f64) -> CompressionStats {
+    assert!((0.0..=1.0).contains(&rate), "prune rate must be in [0, 1]");
+    let mut stats = CompressionStats::default();
+    net.visit_params(&mut |param, _grad| {
+        stats.total += param.len();
+        if !param.is_empty() && rate > 0.0 {
+            let mut mags: Vec<f32> = param.iter().map(|v| v.abs()).collect();
+            mags.sort_by(|a, b| a.partial_cmp(b).expect("weights are finite"));
+            let cutoff_idx = ((param.len() as f64 * rate) as usize).min(param.len() - 1);
+            let threshold = mags[cutoff_idx];
+            for v in param.iter_mut() {
+                if v.abs() < threshold {
+                    if *v != 0.0 {
+                        stats.pruned += 1;
+                    }
+                    *v = 0.0;
+                }
+            }
+        }
+        stats.remaining_nnz += param.iter().filter(|&&v| v != 0.0).count();
+    });
+    stats
+}
+
+/// Measures the current weight density of `net`.
+pub fn weight_density(net: &mut dyn Layer) -> f64 {
+    let mut total = 0usize;
+    let mut nnz = 0usize;
+    net.visit_params(&mut |param, _| {
+        total += param.len();
+        nnz += param.iter().filter(|&&v| v != 0.0).count();
+    });
+    if total == 0 {
+        1.0
+    } else {
+        nnz as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+
+    #[test]
+    fn pruning_hits_target_density() {
+        let mut net = models::mini_cnn(4, 8, None);
+        let stats = magnitude_prune(&mut net, 0.5);
+        let density = stats.density();
+        assert!(
+            (density - 0.5).abs() < 0.05,
+            "density {density} far from target 0.5"
+        );
+        assert!((weight_density(&mut net) - density).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rate_is_noop() {
+        let mut net = models::mini_cnn(3, 4, None);
+        let before = weight_density(&mut net);
+        let stats = magnitude_prune(&mut net, 0.0);
+        assert_eq!(stats.pruned, 0);
+        assert_eq!(weight_density(&mut net), before);
+    }
+
+    #[test]
+    fn pruned_network_still_runs_forward() {
+        use sparsetrain_tensor::Tensor3;
+        let mut net = models::mini_cnn(3, 4, None);
+        magnitude_prune(&mut net, 0.8);
+        let out = net.forward(vec![Tensor3::zeros(3, 8, 8)], false);
+        assert_eq!(out[0].shape(), (3, 1, 1));
+        assert!(out[0].as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn invalid_rate_rejected() {
+        let mut net = models::mini_cnn(2, 2, None);
+        magnitude_prune(&mut net, 1.5);
+    }
+
+    #[test]
+    fn higher_rates_prune_more() {
+        let density_at = |rate: f64| {
+            let mut net = models::mini_cnn(4, 8, None);
+            magnitude_prune(&mut net, rate);
+            weight_density(&mut net)
+        };
+        assert!(density_at(0.9) < density_at(0.5));
+        assert!(density_at(0.5) < density_at(0.1));
+    }
+}

@@ -1,0 +1,75 @@
+//! The layer abstraction: batched forward/backward with instrumentation.
+
+use rand::RngCore;
+use sparsetrain_core::dataflow::LayerTrace;
+use sparsetrain_tensor::Tensor3;
+
+/// A trainable network layer operating on a batch of per-sample tensors.
+///
+/// Layers own their parameters, gradients and any context captured during
+/// the forward pass that the backward pass needs. The batch is represented
+/// as `Vec<Tensor3>` (one feature map per sample) so that batch-statistics
+/// layers (BatchNorm) see the whole batch while convolution stays a simple
+/// per-sample operation.
+///
+/// Beyond compute, the trait carries the instrumentation the experiments
+/// need: parameter visitation for the optimizer, activation-gradient
+/// density reporting (Table II), and dataflow trace capture for the
+/// accelerator simulator (Figs. 8–9).
+pub trait Layer {
+    /// Human-readable layer name (unique within a network is helpful but
+    /// not required).
+    fn name(&self) -> &str;
+
+    /// Consumes the batch of inputs and produces the batch of outputs.
+    /// `train` selects training behaviour (batch statistics, context
+    /// retention for backward).
+    fn forward(&mut self, xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3>;
+
+    /// Consumes the batch of output gradients and produces the batch of
+    /// input gradients, accumulating parameter gradients internally.
+    /// `rng` feeds stochastic pruning hooks.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward(…, true)`.
+    fn backward(&mut self, grads: Vec<Tensor3>, rng: &mut dyn RngCore) -> Vec<Tensor3>;
+
+    /// Visits every `(parameter, gradient)` slice pair, in a stable order.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    /// Clears accumulated parameter gradients.
+    fn zero_grads(&mut self) {}
+
+    /// Enables or disables dataflow trace capture for the next
+    /// forward/backward pass (sample 0 of the batch is traced).
+    fn set_capture(&mut self, _enable: bool) {}
+
+    /// Appends any traces captured since `set_capture(true)` to `out`, in
+    /// forward order.
+    fn collect_traces(&self, _out: &mut Vec<LayerTrace>) {}
+
+    /// Appends `(layer name, last activation-gradient density)` pairs.
+    fn grad_densities(&self, _out: &mut Vec<(String, f64)>) {}
+
+    /// Enables or disables gradient tapping at pruning positions: the
+    /// next backward pass stores a copy of the *pre-prune* activation
+    /// gradients for distribution diagnostics.
+    fn set_grad_tap(&mut self, _enable: bool) {}
+
+    /// Moves any tapped gradients out as `(layer name, values)` pairs.
+    fn take_tapped_grads(&mut self, _out: &mut Vec<(String, Vec<f32>)>) {}
+
+    /// Resets accumulated density statistics.
+    fn reset_density_stats(&mut self) {}
+
+    /// Number of trainable parameters (for reporting).
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+/// Helper: total parameter count of a layer tree.
+pub fn param_count(layer: &dyn Layer) -> usize {
+    layer.param_count()
+}

@@ -1,0 +1,97 @@
+//! Global average pooling.
+
+use crate::layer::Layer;
+use rand::RngCore;
+use sparsetrain_tensor::Tensor3;
+
+/// Averages each channel plane to a single value: `(C, H, W) → (C, 1, 1)`.
+///
+/// Used as the ResNet head before the classifier.
+pub struct GlobalAvgPool {
+    name: String,
+    in_shape: (usize, usize, usize),
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average-pool layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            in_shape: (0, 0, 0),
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, xs: Vec<Tensor3>, _train: bool) -> Vec<Tensor3> {
+        xs.into_iter()
+            .map(|x| {
+                let (c, h, w) = x.shape();
+                self.in_shape = (c, h, w);
+                let m = (h * w) as f32;
+                let data: Vec<f32> = (0..c)
+                    .map(|ci| x.channel(ci).iter().sum::<f32>() / m)
+                    .collect();
+                Tensor3::from_vec(c, 1, 1, data)
+            })
+            .collect()
+    }
+
+    fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+        let (c, h, w) = self.in_shape;
+        let m = (h * w) as f32;
+        grads
+            .into_iter()
+            .map(|g| {
+                let gv = g.into_vec();
+                Tensor3::from_fn(c, h, w, |ci, _, _| gv[ci] / m)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_averages_channels() {
+        let mut pool = GlobalAvgPool::new("gap");
+        let x = Tensor3::from_fn(2, 2, 2, |c, _, _| (c + 1) as f32);
+        let out = pool.forward(vec![x], true);
+        assert_eq!(out[0].as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_distributes_evenly() {
+        let mut pool = GlobalAvgPool::new("gap");
+        pool.forward(vec![Tensor3::zeros(1, 2, 2)], true);
+        let din = pool.backward(
+            vec![Tensor3::from_vec(1, 1, 1, vec![4.0])],
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(din[0].as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn adjoint_property() {
+        // <y, Pool(x)> == <Pool^T(y), x> for the linear pooling operator.
+        let mut pool = GlobalAvgPool::new("gap");
+        let x = Tensor3::from_fn(2, 2, 2, |c, y, xx| (c * 4 + y * 2 + xx) as f32);
+        let y = vec![0.5f32, -1.5];
+        let fwd = pool.forward(vec![x.clone()], true);
+        let lhs: f32 = fwd[0].as_slice().iter().zip(&y).map(|(a, b)| a * b).sum();
+        let din = pool.backward(
+            vec![Tensor3::from_vec(2, 1, 1, y)],
+            &mut StdRng::seed_from_u64(0),
+        );
+        let rhs: f32 = din[0].as_slice().iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+}

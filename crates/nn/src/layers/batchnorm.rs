@@ -1,0 +1,321 @@
+//! 2-D batch normalization.
+
+use crate::layer::Layer;
+use rand::RngCore;
+use sparsetrain_tensor::Tensor3;
+
+/// Per-channel batch normalization over `(batch, height, width)`.
+///
+/// Training mode uses batch statistics (and updates running statistics for
+/// evaluation); evaluation mode uses the running statistics. This is the
+/// layer that makes ResNet's activation gradients dense (`dO` loses the
+/// ReLU zero pattern after passing through BN backward) — the situation the
+/// paper's pruning algorithm exists to fix.
+pub struct BatchNorm2d {
+    name: String,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    dgamma: Vec<f32>,
+    dbeta: Vec<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    // Context from the training forward pass:
+    ctx_xhat: Vec<Tensor3>,
+    ctx_inv_std: Vec<f32>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer with `gamma = 1`, `beta = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(name: impl Into<String>, channels: usize) -> Self {
+        assert!(channels > 0, "channels must be positive");
+        Self {
+            name: name.into(),
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            dgamma: vec![0.0; channels],
+            dbeta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            ctx_xhat: Vec::new(),
+            ctx_inv_std: Vec::new(),
+        }
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+        assert!(!xs.is_empty(), "{}: empty batch", self.name);
+        let (c, h, w) = xs[0].shape();
+        assert_eq!(c, self.channels, "{}: channel mismatch", self.name);
+        let m = (xs.len() * h * w) as f32;
+
+        if train {
+            // Batch statistics per channel.
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for x in &xs {
+                for (ci, m) in mean.iter_mut().enumerate() {
+                    for &v in x.channel(ci) {
+                        *m += v;
+                    }
+                }
+            }
+            for mu in &mut mean {
+                *mu /= m;
+            }
+            for x in &xs {
+                for (ci, vv) in var.iter_mut().enumerate() {
+                    for &v in x.channel(ci) {
+                        let d = v - mean[ci];
+                        *vv += d * d;
+                    }
+                }
+            }
+            for v in &mut var {
+                *v /= m;
+            }
+            let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+
+            for ci in 0..c {
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+            }
+
+            let mut outs = Vec::with_capacity(xs.len());
+            let mut xhats = Vec::with_capacity(xs.len());
+            for x in &xs {
+                let mut xhat = Tensor3::zeros(c, h, w);
+                let mut out = Tensor3::zeros(c, h, w);
+                for ci in 0..c {
+                    for y in 0..h {
+                        for xi in 0..w {
+                            let xh = (x.get(ci, y, xi) - mean[ci]) * inv_std[ci];
+                            xhat.set(ci, y, xi, xh);
+                            out.set(ci, y, xi, self.gamma[ci] * xh + self.beta[ci]);
+                        }
+                    }
+                }
+                outs.push(out);
+                xhats.push(xhat);
+            }
+            self.ctx_xhat = xhats;
+            self.ctx_inv_std = inv_std;
+            outs
+        } else {
+            xs.into_iter()
+                .map(|x| {
+                    let mut out = Tensor3::zeros(c, h, w);
+                    for ci in 0..c {
+                        let inv = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+                        for y in 0..h {
+                            for xi in 0..w {
+                                let xh = (x.get(ci, y, xi) - self.running_mean[ci]) * inv;
+                                out.set(ci, y, xi, self.gamma[ci] * xh + self.beta[ci]);
+                            }
+                        }
+                    }
+                    out
+                })
+                .collect()
+        }
+    }
+
+    fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+        assert_eq!(grads.len(), self.ctx_xhat.len(), "{}: no stored context", self.name);
+        let (c, h, w) = grads[0].shape();
+        let m = (grads.len() * h * w) as f32;
+
+        // Per-channel reductions: Σ dy and Σ dy·x̂.
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for (g, xhat) in grads.iter().zip(&self.ctx_xhat) {
+            for ci in 0..c {
+                for (gv, xh) in g.channel(ci).iter().zip(xhat.channel(ci)) {
+                    sum_dy[ci] += gv;
+                    sum_dy_xhat[ci] += gv * xh;
+                }
+            }
+        }
+        for ci in 0..c {
+            self.dgamma[ci] += sum_dy_xhat[ci];
+            self.dbeta[ci] += sum_dy[ci];
+        }
+
+        // dx = (gamma * inv_std / m) * (m*dy − Σdy − x̂·Σ(dy·x̂))
+        grads
+            .iter()
+            .zip(&self.ctx_xhat)
+            .map(|(g, xhat)| {
+                let mut din = Tensor3::zeros(c, h, w);
+                for ci in 0..c {
+                    let scale = self.gamma[ci] * self.ctx_inv_std[ci] / m;
+                    for y in 0..h {
+                        for xi in 0..w {
+                            let dy = g.get(ci, y, xi);
+                            let xh = xhat.get(ci, y, xi);
+                            din.set(
+                                ci,
+                                y,
+                                xi,
+                                scale * (m * dy - sum_dy[ci] - xh * sum_dy_xhat[ci]),
+                            );
+                        }
+                    }
+                }
+                din
+            })
+            .collect()
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.gamma, &mut self.dgamma);
+        f(&mut self.beta, &mut self.dbeta);
+    }
+
+    fn zero_grads(&mut self) {
+        self.dgamma.fill(0.0);
+        self.dbeta.fill(0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.channels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sparsetrain_tensor::init::sample_standard_normal;
+
+    #[test]
+    fn forward_normalizes_batch() {
+        let mut bn = BatchNorm2d::new("bn", 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let xs: Vec<Tensor3> = (0..4)
+            .map(|_| Tensor3::from_fn(2, 4, 4, |_, _, _| sample_standard_normal(&mut rng) * 3.0 + 5.0))
+            .collect();
+        let out = bn.forward(xs, true);
+        // Per-channel mean ~0, var ~1 across the batch.
+        for ci in 0..2 {
+            let vals: Vec<f32> = out.iter().flat_map(|o| o.channel(ci).to_vec()).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        // Check d loss/d x for loss = <dout, BN(x)> at a few positions.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mk_batch = |rng: &mut StdRng| -> Vec<Tensor3> {
+            (0..2)
+                .map(|_| Tensor3::from_fn(1, 2, 2, |_, _, _| sample_standard_normal(rng)))
+                .collect()
+        };
+        let xs = mk_batch(&mut rng);
+        let dout: Vec<Tensor3> = (0..2)
+            .map(|_| Tensor3::from_fn(1, 2, 2, |_, _, _| sample_standard_normal(&mut rng)))
+            .collect();
+
+        let loss = |xs: &[Tensor3], dout: &[Tensor3]| -> f32 {
+            let mut bn = BatchNorm2d::new("bn", 1);
+            let out = bn.forward(xs.to_vec(), true);
+            out.iter()
+                .zip(dout)
+                .map(|(o, d)| {
+                    o.as_slice()
+                        .iter()
+                        .zip(d.as_slice())
+                        .map(|(a, b)| a * b)
+                        .sum::<f32>()
+                })
+                .sum()
+        };
+
+        let mut bn = BatchNorm2d::new("bn", 1);
+        bn.forward(xs.clone(), true);
+        let din = bn.backward(dout.clone(), &mut rng);
+
+        let eps = 1e-2;
+        for &(s, y, x) in &[(0usize, 0usize, 0usize), (1, 1, 1), (0, 1, 0)] {
+            let mut plus = xs.clone();
+            plus[s].add_at(0, y, x, eps);
+            let mut minus = xs.clone();
+            minus[s].add_at(0, y, x, -eps);
+            let fd = (loss(&plus, &dout) - loss(&minus, &dout)) / (2.0 * eps);
+            let an = din[s].get(0, y, x);
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs().max(an.abs())),
+                "sample {s} ({y},{x}): fd {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_densifies_sparse_gradient() {
+        // The key property motivating the paper: a sparse dout becomes a
+        // dense din after BN backward.
+        let mut bn = BatchNorm2d::new("bn", 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<Tensor3> = (0..2)
+            .map(|_| Tensor3::from_fn(1, 4, 4, |_, _, _| sample_standard_normal(&mut rng)))
+            .collect();
+        bn.forward(xs, true);
+        let mut g = Tensor3::zeros(1, 4, 4);
+        g.set(0, 1, 1, 1.0); // a single non-zero gradient
+        let din = bn.backward(vec![g, Tensor3::zeros(1, 4, 4)], &mut rng);
+        let nnz = din[0].as_slice().iter().filter(|&&v| v != 0.0).count();
+        assert!(nnz > 8, "BN backward should densify, nnz = {nnz}");
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new("bn", 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let xs: Vec<Tensor3> = (0..4)
+                .map(|_| Tensor3::from_fn(1, 2, 2, |_, _, _| sample_standard_normal(&mut rng) * 2.0 + 1.0))
+                .collect();
+            bn.forward(xs, true);
+        }
+        // Eval on the same distribution should be roughly normalized.
+        let xs: Vec<Tensor3> = (0..16)
+            .map(|_| Tensor3::from_fn(1, 2, 2, |_, _, _| sample_standard_normal(&mut rng) * 2.0 + 1.0))
+            .collect();
+        let out = bn.forward(xs, false);
+        let vals: Vec<f32> = out.iter().flat_map(|o| o.as_slice().to_vec()).collect();
+        let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+        assert!(mean.abs() < 0.4, "eval mean {mean} not near 0");
+    }
+
+    #[test]
+    fn visit_params_exposes_gamma_beta() {
+        let mut bn = BatchNorm2d::new("bn", 3);
+        let mut count = 0;
+        bn.visit_params(&mut |p, _| {
+            assert_eq!(p.len(), 3);
+            count += 1;
+        });
+        assert_eq!(count, 2);
+    }
+}

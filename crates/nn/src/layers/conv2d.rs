@@ -1,0 +1,306 @@
+//! 2-D convolution layer with dataflow trace capture.
+
+use crate::layer::Layer;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use sparsetrain_core::dataflow::{ConvLayerTrace, LayerTrace};
+use sparsetrain_sparse::rowconv::SparseFeatureMap;
+use sparsetrain_tensor::conv::{self, ConvGeometry};
+use sparsetrain_tensor::{im2row, init, stats, Tensor3, Tensor4};
+
+/// A trainable 2-D convolution.
+///
+/// Forward uses the im2row-lowered convolution (verified against the dense
+/// reference); backward accumulates weight/bias gradients over the batch
+/// and produces input gradients (skipped for the first layer of a network
+/// via [`Conv2d::set_first_layer`]).
+///
+/// Instrumentation: the layer records the density of its incoming output
+/// gradients each backward pass (Table II's ρ_nnz), and when capture is
+/// enabled it snapshots a [`ConvLayerTrace`] of sample 0 for the
+/// accelerator simulator.
+pub struct Conv2d {
+    name: String,
+    geom: ConvGeometry,
+    in_channels: usize,
+    out_channels: usize,
+    weights: Tensor4,
+    bias: Vec<f32>,
+    wgrad: Tensor4,
+    bgrad: Vec<f32>,
+    ctx_inputs: Vec<Tensor3>,
+    first_layer: bool,
+    capture: bool,
+    captured: Option<ConvLayerTrace>,
+    dout_density_sum: f64,
+    dout_density_count: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer with Kaiming-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(
+        name: impl Into<String>,
+        in_channels: usize,
+        out_channels: usize,
+        geom: ConvGeometry,
+        seed: u64,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights = init::kaiming_conv(&mut rng, out_channels, in_channels, geom.kernel, geom.kernel);
+        Self {
+            name: name.into(),
+            geom,
+            in_channels,
+            out_channels,
+            wgrad: Tensor4::zeros(out_channels, in_channels, geom.kernel, geom.kernel),
+            weights,
+            bias: vec![0.0; out_channels],
+            bgrad: vec![0.0; out_channels],
+            ctx_inputs: Vec::new(),
+            first_layer: false,
+            capture: false,
+            captured: None,
+            dout_density_sum: 0.0,
+            dout_density_count: 0,
+        }
+    }
+
+    /// Marks this as the network's first layer: its input gradient is never
+    /// needed, so the GTA step is skipped (also reflected in captured
+    /// traces).
+    pub fn set_first_layer(&mut self, first: bool) {
+        self.first_layer = first;
+    }
+
+    /// The layer's convolution geometry.
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geom
+    }
+
+    /// Immutable access to the weights (for tests and inspection).
+    pub fn weights(&self) -> &Tensor4 {
+        &self.weights
+    }
+
+    /// Mean density of incoming output gradients since the last reset.
+    pub fn mean_dout_density(&self) -> Option<f64> {
+        if self.dout_density_count == 0 {
+            None
+        } else {
+            Some(self.dout_density_sum / self.dout_density_count as f64)
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+        let out = xs
+            .iter()
+            .map(|x| {
+                assert_eq!(x.channels(), self.in_channels, "{}: input channel mismatch", self.name);
+                im2row::forward(x, &self.weights, Some(&self.bias), self.geom)
+            })
+            .collect();
+        if train {
+            self.ctx_inputs = xs;
+        }
+        out
+    }
+
+    fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+        assert_eq!(
+            grads.len(),
+            self.ctx_inputs.len(),
+            "{}: backward called with mismatched batch",
+            self.name
+        );
+        // Instrument ρ_nnz of dO over the whole batch.
+        let mut nnz = 0usize;
+        let mut total = 0usize;
+        for g in &grads {
+            nnz += stats::nnz(g.as_slice());
+            total += g.len();
+        }
+        if total > 0 {
+            self.dout_density_sum += nnz as f64 / total as f64;
+            self.dout_density_count += 1;
+        }
+
+        if self.capture {
+            // Snapshot sample 0 as a dataflow trace.
+            let input_fm = SparseFeatureMap::from_tensor(&self.ctx_inputs[0]);
+            let masks = if self.first_layer { Vec::new() } else { input_fm.masks() };
+            self.captured = Some(ConvLayerTrace {
+                name: self.name.clone(),
+                geom: self.geom,
+                filters: self.out_channels,
+                input: input_fm,
+                input_masks: masks,
+                dout: SparseFeatureMap::from_tensor(&grads[0]),
+                needs_input_grad: !self.first_layer,
+            });
+        }
+
+        let mut dins = Vec::with_capacity(grads.len());
+        for (x, g) in self.ctx_inputs.iter().zip(&grads) {
+            let dw = conv::weight_grad(x, g, self.geom);
+            self.wgrad.add_assign(&dw);
+            for (bg, d) in self.bgrad.iter_mut().zip(conv::bias_grad(g)) {
+                *bg += d;
+            }
+            if self.first_layer {
+                dins.push(Tensor3::zeros(x.channels(), x.height(), x.width()));
+            } else {
+                dins.push(conv::input_grad(g, &self.weights, self.geom, x.height(), x.width()));
+            }
+        }
+        dins
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(self.weights.as_mut_slice(), self.wgrad.as_mut_slice());
+        f(&mut self.bias, &mut self.bgrad);
+    }
+
+    fn zero_grads(&mut self) {
+        self.wgrad.fill(0.0);
+        self.bgrad.fill(0.0);
+    }
+
+    fn set_capture(&mut self, enable: bool) {
+        self.capture = enable;
+        if !enable {
+            self.captured = None;
+        }
+    }
+
+    fn collect_traces(&self, out: &mut Vec<LayerTrace>) {
+        if let Some(t) = &self.captured {
+            out.push(LayerTrace::Conv(t.clone()));
+        }
+    }
+
+    fn grad_densities(&self, out: &mut Vec<(String, f64)>) {
+        if let Some(d) = self.mean_dout_density() {
+            out.push((self.name.clone(), d));
+        }
+    }
+
+    fn reset_density_stats(&mut self) {
+        self.dout_density_sum = 0.0;
+        self.dout_density_count = 0;
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut conv = Conv2d::new("c", 3, 8, ConvGeometry::new(3, 1, 1), 1);
+        let xs = vec![Tensor3::zeros(3, 8, 8), Tensor3::zeros(3, 8, 8)];
+        let out = conv.forward(xs, true);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].shape(), (8, 8, 8));
+    }
+
+    #[test]
+    fn backward_accumulates_over_batch() {
+        let mut conv = Conv2d::new("c", 1, 1, ConvGeometry::new(1, 1, 0), 2);
+        let xs = vec![
+            Tensor3::from_vec(1, 1, 2, vec![1.0, 2.0]),
+            Tensor3::from_vec(1, 1, 2, vec![3.0, 4.0]),
+        ];
+        conv.forward(xs, true);
+        let grads = vec![
+            Tensor3::from_vec(1, 1, 2, vec![1.0, 1.0]),
+            Tensor3::from_vec(1, 1, 2, vec![1.0, 1.0]),
+        ];
+        conv.backward(grads, &mut rng());
+        // dW = sum over batch of <g, x> = (1+2) + (3+4) = 10
+        assert_eq!(conv.wgrad.get(0, 0, 0, 0), 10.0);
+        assert_eq!(conv.bgrad[0], 4.0);
+    }
+
+    #[test]
+    fn first_layer_skips_input_grad() {
+        let mut conv = Conv2d::new("c", 2, 2, ConvGeometry::new(3, 1, 1), 3);
+        conv.set_first_layer(true);
+        let xs = vec![Tensor3::from_fn(2, 4, 4, |_, y, x| (y + x) as f32)];
+        conv.forward(xs, true);
+        let dins = conv.backward(vec![Tensor3::from_fn(2, 4, 4, |_, _, _| 1.0)], &mut rng());
+        assert!(dins[0].as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn capture_produces_valid_trace() {
+        let mut conv = Conv2d::new("c", 2, 3, ConvGeometry::new(3, 1, 1), 4);
+        conv.set_capture(true);
+        let xs = vec![Tensor3::from_fn(2, 4, 4, |c, y, x| {
+            if (c + y + x) % 2 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        })];
+        conv.forward(xs, true);
+        conv.backward(vec![Tensor3::from_fn(3, 4, 4, |_, y, x| (y * x % 2) as f32)], &mut rng());
+        let mut traces = Vec::new();
+        conv.collect_traces(&mut traces);
+        assert_eq!(traces.len(), 1);
+        if let LayerTrace::Conv(t) = &traces[0] {
+            assert!(t.validate().is_ok());
+            assert!(t.input_density() < 1.0);
+        } else {
+            panic!("expected conv trace");
+        }
+    }
+
+    #[test]
+    fn density_instrumentation() {
+        let mut conv = Conv2d::new("c", 1, 1, ConvGeometry::new(1, 1, 0), 5);
+        conv.forward(vec![Tensor3::zeros(1, 2, 2)], true);
+        let g = Tensor3::from_vec(1, 2, 2, vec![1.0, 0.0, 0.0, 0.0]);
+        conv.backward(vec![g], &mut rng());
+        assert_eq!(conv.mean_dout_density(), Some(0.25));
+        conv.reset_density_stats();
+        assert_eq!(conv.mean_dout_density(), None);
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut conv = Conv2d::new("c", 1, 1, ConvGeometry::new(1, 1, 0), 6);
+        conv.forward(vec![Tensor3::from_vec(1, 1, 1, vec![2.0])], true);
+        conv.backward(vec![Tensor3::from_vec(1, 1, 1, vec![3.0])], &mut rng());
+        assert_ne!(conv.wgrad.get(0, 0, 0, 0), 0.0);
+        conv.zero_grads();
+        assert_eq!(conv.wgrad.get(0, 0, 0, 0), 0.0);
+        assert_eq!(conv.bgrad[0], 0.0);
+    }
+
+    #[test]
+    fn param_count() {
+        let conv = Conv2d::new("c", 3, 8, ConvGeometry::new(3, 1, 1), 7);
+        assert_eq!(Layer::param_count(&conv), 8 * 3 * 9 + 8);
+    }
+}

@@ -1,0 +1,141 @@
+//! Dropout regularization.
+//!
+//! AlexNet's classifier uses dropout; it also adds *training-time* sparsity
+//! to the FC activations, which the FC cost model in the simulator benefits
+//! from — another instance of the natural sparsity the paper exploits.
+
+use crate::layer::Layer;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use sparsetrain_tensor::Tensor3;
+
+/// Inverted dropout: keeps each activation with probability `1 - rate`,
+/// scaling survivors by `1 / (1 - rate)`; identity in evaluation mode.
+pub struct Dropout {
+    name: String,
+    rate: f32,
+    rng: StdRng,
+    masks: Vec<Vec<bool>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate ∉ [0, 1)`.
+    pub fn new(name: impl Into<String>, rate: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "dropout rate must be in [0, 1)");
+        Self {
+            name: name.into(),
+            rate,
+            rng: StdRng::seed_from_u64(seed),
+            masks: Vec::new(),
+        }
+    }
+
+    /// The configured drop rate.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, mut xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+        if !train || self.rate == 0.0 {
+            if train {
+                self.masks = xs.iter().map(|x| vec![true; x.len()]).collect();
+            }
+            return xs;
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        self.masks = xs
+            .iter()
+            .map(|x| (0..x.len()).map(|_| self.rng.gen::<f32>() < keep).collect())
+            .collect();
+        for (x, mask) in xs.iter_mut().zip(&self.masks) {
+            for (v, &m) in x.as_mut_slice().iter_mut().zip(mask) {
+                *v = if m { *v * scale } else { 0.0 };
+            }
+        }
+        xs
+    }
+
+    fn backward(&mut self, mut grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+        assert_eq!(grads.len(), self.masks.len(), "{}: no stored mask", self.name);
+        let scale = 1.0 / (1.0 - self.rate);
+        for (g, mask) in grads.iter_mut().zip(&self.masks) {
+            for (v, &m) in g.as_mut_slice().iter_mut().zip(mask) {
+                *v = if m { *v * scale } else { 0.0 };
+            }
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new("d", 0.5, 1);
+        let x = Tensor3::from_fn(2, 4, 4, |c, y, xx| (c + y + xx) as f32);
+        let out = d.forward(vec![x.clone()], false);
+        assert_eq!(out[0], x);
+    }
+
+    #[test]
+    fn training_drops_roughly_rate_fraction() {
+        let mut d = Dropout::new("d", 0.4, 2);
+        let x = Tensor3::from_fn(4, 16, 16, |_, _, _| 1.0);
+        let out = d.forward(vec![x], true);
+        let zeros = out[0].as_slice().iter().filter(|&&v| v == 0.0).count() as f64;
+        let frac = zeros / out[0].len() as f64;
+        assert!((frac - 0.4).abs() < 0.05, "dropped fraction {frac}");
+    }
+
+    #[test]
+    fn survivors_are_scaled() {
+        let mut d = Dropout::new("d", 0.5, 3);
+        let x = Tensor3::from_fn(1, 8, 8, |_, _, _| 1.0);
+        let out = d.forward(vec![x], true);
+        for &v in out[0].as_slice() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new("d", 0.5, 4);
+        let x = Tensor3::from_fn(1, 4, 4, |_, _, _| 1.0);
+        let out = d.forward(vec![x], true);
+        let g = Tensor3::from_fn(1, 4, 4, |_, _, _| 1.0);
+        let din = d.backward(vec![g], &mut StdRng::seed_from_u64(0));
+        // Gradient zero pattern matches the forward zero pattern.
+        for (o, gi) in out[0].as_slice().iter().zip(din[0].as_slice()) {
+            assert_eq!(*o == 0.0, *gi == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_rate_passes_through() {
+        let mut d = Dropout::new("d", 0.0, 5);
+        let x = Tensor3::from_fn(1, 2, 2, |_, y, xx| (y * 2 + xx) as f32);
+        let out = d.forward(vec![x.clone()], true);
+        assert_eq!(out[0], x);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in [0, 1)")]
+    fn full_rate_rejected() {
+        let _ = Dropout::new("d", 1.0, 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Flatten `(C, H, W)` to `(C·H·W, 1, 1)`.
+
+use crate::layer::Layer;
+use rand::RngCore;
+use sparsetrain_tensor::Tensor3;
+
+/// Reshapes each feature map into a column vector (and back in backward).
+pub struct Flatten {
+    name: String,
+    in_shape: (usize, usize, usize),
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            in_shape: (0, 0, 0),
+        }
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, xs: Vec<Tensor3>, _train: bool) -> Vec<Tensor3> {
+        xs.into_iter()
+            .map(|x| {
+                self.in_shape = x.shape();
+                let n = x.len();
+                Tensor3::from_vec(n, 1, 1, x.into_vec())
+            })
+            .collect()
+    }
+
+    fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+        let (c, h, w) = self.in_shape;
+        grads
+            .into_iter()
+            .map(|g| Tensor3::from_vec(c, h, w, g.into_vec()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_shape() {
+        let mut f = Flatten::new("fl");
+        let out = f.forward(vec![Tensor3::from_fn(2, 3, 4, |c, y, x| (c + y + x) as f32)], true);
+        assert_eq!(out[0].shape(), (24, 1, 1));
+        let back = f.backward(out, &mut StdRng::seed_from_u64(0));
+        assert_eq!(back[0].shape(), (2, 3, 4));
+    }
+
+    #[test]
+    fn preserves_data_order() {
+        let mut f = Flatten::new("fl");
+        let t = Tensor3::from_fn(1, 2, 2, |_, y, x| (y * 2 + x) as f32);
+        let out = f.forward(vec![t.clone()], true);
+        assert_eq!(out[0].as_slice(), t.as_slice());
+    }
+}

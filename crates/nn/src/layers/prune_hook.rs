@@ -1,0 +1,196 @@
+//! Gradient-pruning hook layer.
+//!
+//! Identity in the forward direction; in the backward direction it applies
+//! the paper's stochastic pruning to the activation gradients flowing
+//! through it. Placed directly after a CONV layer (Conv-ReLU structure) or
+//! between CONV and BN (Conv-BN-ReLU structure) so that its backward sees
+//! exactly the tensor the paper's Fig. 4 marks as the pruning target: the
+//! gradient about to become that CONV layer's `dO` operand.
+
+use crate::layer::Layer;
+use rand::RngCore;
+use sparsetrain_core::prune::{LayerPruner, PruneConfig};
+use sparsetrain_tensor::Tensor3;
+
+/// A pruning point in the backward graph.
+pub struct PruneHook {
+    name: String,
+    pruner: Option<LayerPruner>,
+    tap_enabled: bool,
+    tapped: Option<Vec<f32>>,
+}
+
+impl PruneHook {
+    /// Creates a hook. `config: None` disables pruning (the hook becomes a
+    /// pure pass-through, used for dense baselines).
+    pub fn new(name: impl Into<String>, config: Option<PruneConfig>) -> Self {
+        Self {
+            name: name.into(),
+            pruner: config.map(LayerPruner::new),
+            tap_enabled: false,
+            tapped: None,
+        }
+    }
+
+    /// Whether pruning is active.
+    pub fn is_enabled(&self) -> bool {
+        self.pruner.is_some()
+    }
+
+    /// Access to the underlying pruner's statistics.
+    pub fn pruner(&self) -> Option<&LayerPruner> {
+        self.pruner.as_ref()
+    }
+}
+
+impl Layer for PruneHook {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, xs: Vec<Tensor3>, _train: bool) -> Vec<Tensor3> {
+        xs
+    }
+
+    fn backward(&mut self, mut grads: Vec<Tensor3>, rng: &mut dyn RngCore) -> Vec<Tensor3> {
+        if self.tap_enabled {
+            let mut values = Vec::new();
+            for g in &grads {
+                values.extend_from_slice(g.as_slice());
+            }
+            self.tapped = Some(values);
+        }
+        if let Some(pruner) = &mut self.pruner {
+            // The whole batch's gradients form one logical vector g
+            // (Algorithm 1 treats one batch's gradients per layer jointly).
+            let mut parts: Vec<&mut [f32]> = grads.iter_mut().map(|g| g.as_mut_slice()).collect();
+            pruner.prune_batch_parts(&mut parts, rng);
+        }
+        grads
+    }
+
+    fn grad_densities(&self, out: &mut Vec<(String, f64)>) {
+        if let Some(p) = &self.pruner {
+            if let Some(d) = p.stats().mean_density() {
+                out.push((self.name.clone(), d));
+            }
+        }
+    }
+
+    fn set_grad_tap(&mut self, enable: bool) {
+        self.tap_enabled = enable;
+        if !enable {
+            self.tapped = None;
+        }
+    }
+
+    fn take_tapped_grads(&mut self, out: &mut Vec<(String, Vec<f32>)>) {
+        if let Some(values) = self.tapped.take() {
+            out.push((self.name.clone(), values));
+        }
+    }
+
+    fn reset_density_stats(&mut self) {
+        // Keep the FIFO (threshold state) but clear reported statistics by
+        // re-creating stats via reset would lose warm-up; statistics are
+        // cheap enough to keep, so this is a no-op by design.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sparsetrain_tensor::init::sample_standard_normal;
+
+    fn batch(rng: &mut StdRng, n: usize) -> Vec<Tensor3> {
+        (0..n)
+            .map(|_| Tensor3::from_fn(2, 4, 4, |_, _, _| sample_standard_normal(rng) * 0.1))
+            .collect()
+    }
+
+    #[test]
+    fn disabled_hook_is_identity() {
+        let mut hook = PruneHook::new("h", None);
+        let mut rng = StdRng::seed_from_u64(0);
+        let grads = batch(&mut rng, 2);
+        let before = grads.clone();
+        let after = hook.backward(grads, &mut rng);
+        assert_eq!(after, before);
+        assert!(!hook.is_enabled());
+    }
+
+    #[test]
+    fn enabled_hook_prunes_after_warmup() {
+        let mut hook = PruneHook::new("h", Some(PruneConfig::new(0.9, 2)));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..4 {
+            let grads = batch(&mut rng, 4);
+            hook.backward(grads, &mut rng);
+        }
+        let grads = batch(&mut rng, 4);
+        let out = hook.backward(grads, &mut rng);
+        let nnz: usize = out
+            .iter()
+            .map(|g| g.as_slice().iter().filter(|&&v| v != 0.0).count())
+            .sum();
+        let total: usize = out.iter().map(Tensor3::len).sum();
+        assert!(
+            (nnz as f64) < 0.6 * total as f64,
+            "hook failed to sparsify: {nnz}/{total}"
+        );
+    }
+
+    #[test]
+    fn forward_is_identity() {
+        let mut hook = PruneHook::new("h", Some(PruneConfig::paper_default()));
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs = batch(&mut rng, 1);
+        let before = xs.clone();
+        assert_eq!(hook.forward(xs, true), before);
+    }
+
+    #[test]
+    fn tap_captures_pre_prune_gradients() {
+        let mut hook = PruneHook::new("h", Some(PruneConfig::new(0.9, 1)));
+        let mut rng = StdRng::seed_from_u64(9);
+        // Warm the FIFO so pruning is active.
+        hook.backward(batch(&mut rng, 2), &mut rng);
+        hook.set_grad_tap(true);
+        let grads = batch(&mut rng, 2);
+        let original: Vec<f32> =
+            grads.iter().flat_map(|g| g.as_slice().to_vec()).collect();
+        let out = hook.backward(grads, &mut rng);
+        let mut tapped = Vec::new();
+        hook.take_tapped_grads(&mut tapped);
+        assert_eq!(tapped.len(), 1);
+        assert_eq!(tapped[0].1, original, "tap must see pre-prune values");
+        let pruned: Vec<f32> = out.iter().flat_map(|g| g.as_slice().to_vec()).collect();
+        assert_ne!(pruned, original, "pruning must still run");
+        // Taking drains the buffer.
+        let mut again = Vec::new();
+        hook.take_tapped_grads(&mut again);
+        assert!(again.is_empty());
+        // Disabling clears any stored tap.
+        hook.backward(batch(&mut rng, 1), &mut rng);
+        hook.set_grad_tap(false);
+        let mut cleared = Vec::new();
+        hook.take_tapped_grads(&mut cleared);
+        assert!(cleared.is_empty());
+    }
+
+    #[test]
+    fn densities_reported() {
+        let mut hook = PruneHook::new("h", Some(PruneConfig::new(0.8, 1)));
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..3 {
+            let grads = batch(&mut rng, 2);
+            hook.backward(grads, &mut rng);
+        }
+        let mut out = Vec::new();
+        hook.grad_densities(&mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].1 > 0.0 && out[0].1 <= 1.0);
+    }
+}

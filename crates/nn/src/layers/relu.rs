@@ -1,0 +1,91 @@
+//! ReLU activation.
+
+use crate::layer::Layer;
+use rand::RngCore;
+use sparsetrain_tensor::Tensor3;
+
+/// Point-wise `max(0, x)`.
+///
+/// The forward pass records the positive mask; the backward pass replays it
+/// — exactly the `mask` mechanism of §II that the GTA step reuses.
+pub struct Relu {
+    name: String,
+    masks: Vec<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            masks: Vec::new(),
+        }
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, mut xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+        if train {
+            self.masks = xs
+                .iter()
+                .map(|x| x.as_slice().iter().map(|&v| v > 0.0).collect())
+                .collect();
+        }
+        for x in &mut xs {
+            x.map_inplace(|v| v.max(0.0));
+        }
+        xs
+    }
+
+    fn backward(&mut self, mut grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+        assert_eq!(grads.len(), self.masks.len(), "{}: no stored mask", self.name);
+        for (g, mask) in grads.iter_mut().zip(&self.masks) {
+            for (v, &keep) in g.as_mut_slice().iter_mut().zip(mask) {
+                if !keep {
+                    *v = 0.0;
+                }
+            }
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = Relu::new("r");
+        let out = relu.forward(vec![Tensor3::from_vec(1, 1, 4, vec![-1.0, 2.0, -3.0, 0.0])], true);
+        assert_eq!(out[0].as_slice(), &[0.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = Relu::new("r");
+        relu.forward(vec![Tensor3::from_vec(1, 1, 3, vec![-1.0, 2.0, 3.0])], true);
+        let din = relu.backward(
+            vec![Tensor3::from_vec(1, 1, 3, vec![5.0, 5.0, 5.0])],
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(din[0].as_slice(), &[0.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn zero_input_is_not_positive() {
+        let mut relu = Relu::new("r");
+        relu.forward(vec![Tensor3::from_vec(1, 1, 1, vec![0.0])], true);
+        let din = relu.backward(
+            vec![Tensor3::from_vec(1, 1, 1, vec![7.0])],
+            &mut StdRng::seed_from_u64(0),
+        );
+        assert_eq!(din[0].as_slice(), &[0.0]);
+    }
+}

@@ -1,0 +1,53 @@
+//! CNN training framework for the SparseTrain reproduction.
+//!
+//! A compact, dependency-free training stack that supports everything the
+//! paper's experiments need:
+//!
+//! * [`layer`] — the [`layer::Layer`] trait: batched forward/backward with
+//!   parameter visitation, trace capture and gradient-density
+//!   instrumentation.
+//! * [`layers`] — Conv2d, ReLU, MaxPool2d, BatchNorm2d, Linear, global
+//!   AvgPool, Flatten, and the [`layers::PruneHook`] that applies the
+//!   paper's stochastic gradient pruning at the positions of Fig. 4.
+//! * [`sequential`] / [`residual`] — composition (plain stacks and
+//!   ResNet-style basic blocks).
+//! * [`models`] — AlexNet- and ResNet-style CIFAR-scale model builders.
+//! * [`data`] — synthetic labelled image datasets (the stand-in for
+//!   CIFAR-10/100 and ImageNet; see DESIGN.md §5 for the substitution
+//!   rationale).
+//! * [`loss`] / [`optim`] — softmax cross-entropy and SGD with momentum.
+//! * [`train`] — the batch training loop with pruning, density metrics and
+//!   trace capture for the accelerator simulator.
+//!
+//! # Example: train a tiny CNN on synthetic data
+//!
+//! ```
+//! use sparsetrain_nn::data::SyntheticSpec;
+//! use sparsetrain_nn::models;
+//! use sparsetrain_nn::train::{TrainConfig, Trainer};
+//!
+//! let (train, test) = SyntheticSpec::tiny(3).generate();
+//! let net = models::mini_cnn(3, 4, None);
+//! let mut trainer = Trainer::new(net, TrainConfig::quick());
+//! for _ in 0..2 {
+//!     trainer.train_epoch(&train);
+//! }
+//! let acc = trainer.evaluate(&test);
+//! assert!(acc >= 0.0 && acc <= 1.0);
+//! ```
+
+pub mod compress;
+pub mod data;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod models;
+pub mod optim;
+pub mod residual;
+pub mod schedule;
+pub mod sequential;
+pub mod train;
+
+pub use layer::Layer;
+pub use sequential::Sequential;

@@ -1,0 +1,100 @@
+//! Softmax cross-entropy loss.
+
+/// Computes softmax cross-entropy loss and its gradient w.r.t. the logits.
+///
+/// Numerically stable (max-subtracted). Returns `(loss, dlogits)`.
+///
+/// # Panics
+///
+/// Panics if `label >= logits.len()` or `logits` is empty.
+///
+/// ```
+/// use sparsetrain_nn::loss::softmax_cross_entropy;
+/// let (loss, grad) = softmax_cross_entropy(&[2.0, 0.0, 0.0], 0);
+/// assert!(loss < 0.5);            // confident and correct -> low loss
+/// assert!(grad[0] < 0.0);         // push the true logit up
+/// assert!(grad[1] > 0.0 && grad[2] > 0.0);
+/// ```
+pub fn softmax_cross_entropy(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
+    assert!(!logits.is_empty(), "logits must be non-empty");
+    assert!(label < logits.len(), "label {label} out of range {}", logits.len());
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    let mut grad: Vec<f32> = exps.iter().map(|&e| e / sum).collect();
+    let p_true = grad[label].max(1e-12);
+    let loss = -p_true.ln();
+    grad[label] -= 1.0;
+    (loss, grad)
+}
+
+/// Index of the maximal logit (argmax prediction).
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn argmax(logits: &[f32]) -> usize {
+    assert!(!logits.is_empty(), "logits must be non-empty");
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map(|(i, _)| i)
+        .expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let k = 4;
+        let (loss, _) = softmax_cross_entropy(&vec![0.0; k], 2);
+        assert!((loss - (k as f32).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero() {
+        let (_, grad) = softmax_cross_entropy(&[1.0, -2.0, 0.5, 3.0], 1);
+        let sum: f32 = grad.iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = [0.3f32, -0.7, 1.2];
+        let label = 2;
+        let (_, grad) = softmax_cross_entropy(&logits, label);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut p = logits;
+            p[i] += eps;
+            let mut m = logits;
+            m[i] -= eps;
+            let (lp, _) = softmax_cross_entropy(&p, label);
+            let (lm, _) = softmax_cross_entropy(&m, label);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - grad[i]).abs() < 1e-3, "grad[{i}]: fd {fd} vs {}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn stable_under_large_logits() {
+        let (loss, grad) = softmax_cross_entropy(&[1000.0, 0.0], 0);
+        assert!(loss.is_finite() && loss < 1e-6);
+        assert!(grad.iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 0.5, -0.2]), 1);
+        assert_eq!(argmax(&[3.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_label_panics() {
+        let _ = softmax_cross_entropy(&[0.0, 0.0], 5);
+    }
+}

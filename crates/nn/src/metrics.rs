@@ -1,0 +1,279 @@
+//! Classification metrics beyond plain accuracy.
+//!
+//! Table II reports top-1 accuracy; the convergence study (§VI-B) needs a
+//! finer view to show that pruned and unpruned runs agree not just in the
+//! headline number but in *which* classes they learn. This module
+//! provides top-k accuracy and a confusion matrix with the derived
+//! per-class precision / recall / F1.
+//!
+//! # Example
+//!
+//! ```
+//! use sparsetrain_nn::metrics::ConfusionMatrix;
+//!
+//! let mut cm = ConfusionMatrix::new(3);
+//! cm.record(0, 0);
+//! cm.record(1, 1);
+//! cm.record(2, 1); // true 2 predicted as 1
+//! assert_eq!(cm.accuracy(), 2.0 / 3.0);
+//! assert_eq!(cm.recall(2), Some(0.0));
+//! ```
+
+/// Whether `label` is among the `k` largest logits.
+///
+/// Ties are broken pessimistically: a logit equal to the label's own
+/// counts against it, so the result never overstates accuracy.
+pub fn in_top_k(logits: &[f32], label: usize, k: usize) -> bool {
+    if label >= logits.len() || k == 0 {
+        return false;
+    }
+    let own = logits[label];
+    let better = logits
+        .iter()
+        .enumerate()
+        .filter(|&(i, &v)| i != label && v >= own)
+        .count();
+    better < k
+}
+
+/// Top-k accuracy over an iterator of `(logits, label)` pairs
+/// (`None` when the iterator is empty).
+pub fn top_k_accuracy<'a, I>(pairs: I, k: usize) -> Option<f64>
+where
+    I: IntoIterator<Item = (&'a [f32], usize)>,
+{
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (logits, label) in pairs {
+        total += 1;
+        if in_top_k(logits, label, k) {
+            hits += 1;
+        }
+    }
+    (total > 0).then(|| hits as f64 / total as f64)
+}
+
+/// A square confusion matrix: `count(true class, predicted class)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix over `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        Self { classes, counts: vec![0; classes * classes] }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, true_class: usize, predicted: usize) {
+        assert!(true_class < self.classes && predicted < self.classes, "class out of range");
+        self.counts[true_class * self.classes + predicted] += 1;
+    }
+
+    /// Records a prediction straight from logits (argmax).
+    pub fn record_logits(&mut self, true_class: usize, logits: &[f32]) {
+        let pred = crate::loss::argmax(logits);
+        self.record(true_class, pred);
+    }
+
+    /// The count for `(true_class, predicted)`.
+    pub fn count(&self, true_class: usize, predicted: usize) -> u64 {
+        self.counts[true_class * self.classes + predicted]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.count(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of one class: `tp / (tp + fp)`. `None` when the class
+    /// was never predicted.
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let tp = self.count(class, class);
+        let predicted: u64 = (0..self.classes).map(|t| self.count(t, class)).sum();
+        (predicted > 0).then(|| tp as f64 / predicted as f64)
+    }
+
+    /// Recall of one class: `tp / (tp + fn)`. `None` when the class
+    /// never occurred.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let tp = self.count(class, class);
+        let actual: u64 = (0..self.classes).map(|p| self.count(class, p)).sum();
+        (actual > 0).then(|| tp as f64 / actual as f64)
+    }
+
+    /// F1 of one class (`None` when precision or recall is undefined, or
+    /// both are zero).
+    pub fn f1(&self, class: usize) -> Option<f64> {
+        let p = self.precision(class)?;
+        let r = self.recall(class)?;
+        if p + r == 0.0 {
+            return None;
+        }
+        Some(2.0 * p * r / (p + r))
+    }
+
+    /// Macro-averaged F1 over the classes where F1 is defined (`None`
+    /// when it is defined nowhere).
+    pub fn macro_f1(&self) -> Option<f64> {
+        let scores: Vec<f64> = (0..self.classes).filter_map(|c| self.f1(c)).collect();
+        (!scores.is_empty()).then(|| scores.iter().sum::<f64>() / scores.len() as f64)
+    }
+
+    /// Merges another matrix into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class counts differ.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.classes, other.classes, "class count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Clears all counts.
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top1_matches_argmax() {
+        let logits = [0.1f32, 0.9, 0.3];
+        assert!(in_top_k(&logits, 1, 1));
+        assert!(!in_top_k(&logits, 0, 1));
+        assert!(in_top_k(&logits, 2, 2));
+        assert!(!in_top_k(&logits, 0, 2));
+        assert!(in_top_k(&logits, 0, 3));
+    }
+
+    #[test]
+    fn ties_count_against_the_label() {
+        let logits = [0.5f32, 0.5];
+        assert!(!in_top_k(&logits, 0, 1), "tie must not count as a hit");
+        assert!(in_top_k(&logits, 0, 2));
+    }
+
+    #[test]
+    fn top_k_edge_cases() {
+        assert!(!in_top_k(&[0.1], 5, 1), "out-of-range label");
+        assert!(!in_top_k(&[0.1], 0, 0), "k = 0 hits nothing");
+        assert_eq!(top_k_accuracy(std::iter::empty(), 1), None);
+    }
+
+    #[test]
+    fn top_k_accuracy_averages() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        let pairs = vec![(&a[..], 0usize), (&b[..], 0usize)];
+        assert_eq!(top_k_accuracy(pairs, 1), Some(0.5));
+    }
+
+    #[test]
+    fn confusion_matrix_basic_counts() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.accuracy(), 0.75);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let mut cm = ConfusionMatrix::new(3);
+        // Class 0: 2 correct, 1 predicted elsewhere; one 1 misread as 0.
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 2);
+        cm.record(1, 0);
+        cm.record(1, 1);
+        assert_eq!(cm.precision(0), Some(2.0 / 3.0));
+        assert_eq!(cm.recall(0), Some(2.0 / 3.0));
+        let f1 = cm.f1(0).unwrap();
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+        // Class 2 never occurred as truth: recall undefined.
+        assert_eq!(cm.recall(2), None);
+        assert_eq!(cm.f1(2), None);
+        assert!(cm.macro_f1().is_some());
+    }
+
+    #[test]
+    fn perfect_predictions_score_one() {
+        let mut cm = ConfusionMatrix::new(4);
+        for c in 0..4 {
+            for _ in 0..5 {
+                cm.record(c, c);
+            }
+        }
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), Some(1.0));
+    }
+
+    #[test]
+    fn record_logits_uses_argmax() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record_logits(2, &[0.0, 0.2, 0.9]);
+        assert_eq!(cm.count(2, 2), 1);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = ConfusionMatrix::new(2);
+        let mut b = ConfusionMatrix::new(2);
+        a.record(0, 0);
+        b.record(1, 0);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        a.reset();
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "class out of range")]
+    fn out_of_range_record_panics() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_panics() {
+        let _ = ConfusionMatrix::new(0);
+    }
+}

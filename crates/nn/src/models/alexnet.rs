@@ -1,0 +1,156 @@
+//! AlexNet-style model (CIFAR-scale) and a minimal test CNN.
+
+use crate::layers::{Conv2d, Dropout, Flatten, Linear, MaxPool2d, PruneHook, Relu};
+use crate::sequential::Sequential;
+use sparsetrain_core::prune::PruneConfig;
+use sparsetrain_tensor::conv::ConvGeometry;
+
+/// Builds a CIFAR-scale AlexNet: five Conv-ReLU stages (three max-pools)
+/// followed by two fully-connected layers.
+///
+/// `width` scales all channel counts (the canonical CIFAR variant uses 64;
+/// 16 trains in minutes on CPU). Pruning hooks sit between each CONV and
+/// its ReLU — the Conv-ReLU pruning position of Fig. 4.
+///
+/// # Panics
+///
+/// Panics if `image_size` is not divisible by 8 (three 2× pools).
+pub fn alexnet(
+    in_channels: usize,
+    image_size: usize,
+    classes: usize,
+    width: usize,
+    prune: Option<PruneConfig>,
+    seed: u64,
+) -> Sequential {
+    assert_eq!(image_size % 8, 0, "image size must be divisible by 8");
+    let w = width;
+    let final_spatial = image_size / 8;
+    let g3 = ConvGeometry::new(3, 1, 1);
+    let mut net = Sequential::new("alexnet");
+
+    let mut conv1 = Conv2d::new("conv1", in_channels, w, g3, seed);
+    conv1.set_first_layer(true);
+    net.push_boxed(Box::new(conv1));
+    net.push_boxed(Box::new(PruneHook::new("prune1", prune)));
+    net.push_boxed(Box::new(Relu::new("relu1")));
+    net.push_boxed(Box::new(MaxPool2d::new("pool1", 2, 2)));
+
+    net.push_boxed(Box::new(Conv2d::new("conv2", w, 2 * w, g3, seed + 1)));
+    net.push_boxed(Box::new(PruneHook::new("prune2", prune)));
+    net.push_boxed(Box::new(Relu::new("relu2")));
+    net.push_boxed(Box::new(MaxPool2d::new("pool2", 2, 2)));
+
+    net.push_boxed(Box::new(Conv2d::new("conv3", 2 * w, 3 * w, g3, seed + 2)));
+    net.push_boxed(Box::new(PruneHook::new("prune3", prune)));
+    net.push_boxed(Box::new(Relu::new("relu3")));
+
+    net.push_boxed(Box::new(Conv2d::new("conv4", 3 * w, 3 * w, g3, seed + 3)));
+    net.push_boxed(Box::new(PruneHook::new("prune4", prune)));
+    net.push_boxed(Box::new(Relu::new("relu4")));
+
+    net.push_boxed(Box::new(Conv2d::new("conv5", 3 * w, 2 * w, g3, seed + 4)));
+    net.push_boxed(Box::new(PruneHook::new("prune5", prune)));
+    net.push_boxed(Box::new(Relu::new("relu5")));
+    net.push_boxed(Box::new(MaxPool2d::new("pool5", 2, 2)));
+
+    net.push_boxed(Box::new(Flatten::new("flatten")));
+    let feat = 2 * w * final_spatial * final_spatial;
+    net.push_boxed(Box::new(Dropout::new("drop_fc1", 0.2, seed + 7)));
+    net.push_boxed(Box::new(Linear::new("fc1", feat, 4 * w, seed + 5)));
+    net.push_boxed(Box::new(Relu::new("relu_fc1")));
+    net.push_boxed(Box::new(Linear::new("fc2", 4 * w, classes, seed + 6)));
+    net
+}
+
+/// A minimal two-conv CNN for unit tests and the quickstart example:
+/// Conv-ReLU-Pool ×2 → FC.
+///
+/// # Panics
+///
+/// Panics if `image_size` is not divisible by 4.
+pub fn mini_cnn(classes: usize, width: usize, prune: Option<PruneConfig>) -> Sequential {
+    mini_cnn_for(3, 8, classes, width, prune, 42)
+}
+
+/// [`mini_cnn`] with explicit input geometry and seed.
+///
+/// # Panics
+///
+/// Panics if `image_size` is not divisible by 4.
+pub fn mini_cnn_for(
+    in_channels: usize,
+    image_size: usize,
+    classes: usize,
+    width: usize,
+    prune: Option<PruneConfig>,
+    seed: u64,
+) -> Sequential {
+    assert_eq!(image_size % 4, 0, "image size must be divisible by 4");
+    let g3 = ConvGeometry::new(3, 1, 1);
+    let final_spatial = image_size / 4;
+    let mut net = Sequential::new("mini_cnn");
+    let mut conv1 = Conv2d::new("conv1", in_channels, width, g3, seed);
+    conv1.set_first_layer(true);
+    net.push_boxed(Box::new(conv1));
+    net.push_boxed(Box::new(PruneHook::new("prune1", prune)));
+    net.push_boxed(Box::new(Relu::new("relu1")));
+    net.push_boxed(Box::new(MaxPool2d::new("pool1", 2, 2)));
+    net.push_boxed(Box::new(Conv2d::new("conv2", width, 2 * width, g3, seed + 1)));
+    net.push_boxed(Box::new(PruneHook::new("prune2", prune)));
+    net.push_boxed(Box::new(Relu::new("relu2")));
+    net.push_boxed(Box::new(MaxPool2d::new("pool2", 2, 2)));
+    net.push_boxed(Box::new(Flatten::new("flatten")));
+    net.push_boxed(Box::new(Linear::new(
+        "fc",
+        2 * width * final_spatial * final_spatial,
+        classes,
+        seed + 2,
+    )));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sparsetrain_tensor::Tensor3;
+
+    #[test]
+    fn alexnet_forward_shape() {
+        let mut net = alexnet(3, 32, 10, 4, None, 1);
+        let out = net.forward(vec![Tensor3::zeros(3, 32, 32)], false);
+        assert_eq!(out[0].shape(), (10, 1, 1));
+    }
+
+    #[test]
+    fn alexnet_backward_runs() {
+        let mut net = alexnet(3, 16, 5, 2, Some(PruneConfig::paper_default()), 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = net.forward(vec![Tensor3::from_fn(3, 16, 16, |_, y, x| (y * x) as f32 * 0.01)], true);
+        let din = net.backward(vec![Tensor3::from_fn(5, 1, 1, |_, _, _| 0.1)], &mut rng);
+        assert_eq!(out[0].shape(), (5, 1, 1));
+        assert_eq!(din[0].shape(), (3, 16, 16));
+    }
+
+    #[test]
+    fn mini_cnn_shapes() {
+        let mut net = mini_cnn(4, 4, None);
+        let out = net.forward(vec![Tensor3::zeros(3, 8, 8)], false);
+        assert_eq!(out[0].shape(), (4, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 8")]
+    fn alexnet_rejects_bad_size() {
+        let _ = alexnet(3, 20, 10, 4, None, 0);
+    }
+
+    #[test]
+    fn alexnet_param_count_positive() {
+        let net = alexnet(3, 32, 10, 4, None, 3);
+        assert!(net.param_count() > 1000);
+    }
+}

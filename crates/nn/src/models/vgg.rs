@@ -1,0 +1,165 @@
+//! VGG-style model (CIFAR-scale).
+//!
+//! Not part of the paper's evaluation grid (that is AlexNet + ResNets),
+//! but VGG-16 anchors the paper's motivation (its weight-pruning citation
+//! compresses VGG 49×), and a Conv-ReLU-heavy deep network is a useful
+//! extra workload for the simulator: all-natural activation sparsity, no
+//! BN, many same-shape layers.
+
+use crate::layers::{Conv2d, Flatten, Linear, MaxPool2d, PruneHook, Relu};
+use crate::sequential::Sequential;
+use sparsetrain_core::prune::PruneConfig;
+use sparsetrain_tensor::conv::ConvGeometry;
+
+/// One stage entry of a VGG configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VggEntry {
+    /// A 3×3 convolution to the given channel count (followed by ReLU).
+    Conv(usize),
+    /// A 2×2 max pool.
+    Pool,
+}
+
+/// Builds a VGG-style network from a configuration list.
+///
+/// # Panics
+///
+/// Panics if the pools reduce the image below 1×1 or the configuration is
+/// empty/ends without a pool-consistent shape.
+pub fn vgg_from_config(
+    in_channels: usize,
+    image_size: usize,
+    classes: usize,
+    config: &[VggEntry],
+    prune: Option<PruneConfig>,
+    seed: u64,
+) -> Sequential {
+    assert!(!config.is_empty(), "VGG configuration must be non-empty");
+    let g3 = ConvGeometry::new(3, 1, 1);
+    let mut net = Sequential::new("vgg");
+    let mut channels = in_channels;
+    let mut spatial = image_size;
+    let mut conv_idx = 0usize;
+    let mut seed = seed;
+    for entry in config {
+        match *entry {
+            VggEntry::Conv(out) => {
+                conv_idx += 1;
+                seed += 1;
+                let mut conv = Conv2d::new(format!("conv{conv_idx}"), channels, out, g3, seed);
+                if conv_idx == 1 {
+                    conv.set_first_layer(true);
+                }
+                net.push_boxed(Box::new(conv));
+                net.push_boxed(Box::new(PruneHook::new(format!("prune{conv_idx}"), prune)));
+                net.push_boxed(Box::new(Relu::new(format!("relu{conv_idx}"))));
+                channels = out;
+            }
+            VggEntry::Pool => {
+                assert!(spatial >= 2, "pooling below 1x1");
+                net.push_boxed(Box::new(MaxPool2d::new(format!("pool_at_{conv_idx}"), 2, 2)));
+                spatial /= 2;
+            }
+        }
+    }
+    net.push_boxed(Box::new(Flatten::new("flatten")));
+    seed += 1;
+    net.push_boxed(Box::new(Linear::new(
+        "classifier",
+        channels * spatial * spatial,
+        classes,
+        seed,
+    )));
+    net
+}
+
+/// A VGG-11-like variant scaled by `width` (canonical widths are
+/// `width = 64`).
+///
+/// # Panics
+///
+/// Panics if `image_size` is not divisible by 16 (four 2× pools).
+pub fn vgg11(
+    in_channels: usize,
+    image_size: usize,
+    classes: usize,
+    width: usize,
+    prune: Option<PruneConfig>,
+    seed: u64,
+) -> Sequential {
+    assert_eq!(image_size % 16, 0, "image size must be divisible by 16");
+    let w = width;
+    let config = [
+        VggEntry::Conv(w),
+        VggEntry::Pool,
+        VggEntry::Conv(2 * w),
+        VggEntry::Pool,
+        VggEntry::Conv(4 * w),
+        VggEntry::Conv(4 * w),
+        VggEntry::Pool,
+        VggEntry::Conv(8 * w),
+        VggEntry::Conv(8 * w),
+        VggEntry::Pool,
+    ];
+    vgg_from_config(in_channels, image_size, classes, &config, prune, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sparsetrain_tensor::Tensor3;
+
+    #[test]
+    fn vgg11_forward_shape() {
+        let mut net = vgg11(3, 16, 10, 2, None, 1);
+        let out = net.forward(vec![Tensor3::zeros(3, 16, 16)], false);
+        assert_eq!(out[0].shape(), (10, 1, 1));
+    }
+
+    #[test]
+    fn vgg_train_step_runs_with_pruning() {
+        let mut net = vgg11(3, 16, 4, 2, Some(PruneConfig::paper_default()), 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let xs = vec![Tensor3::from_fn(3, 16, 16, |c, y, x| ((c + y * x) % 5) as f32 * 0.1)];
+        net.forward(xs, true);
+        let din = net.backward(vec![Tensor3::from_fn(4, 1, 1, |_, _, _| 0.2)], &mut rng);
+        assert_eq!(din[0].shape(), (3, 16, 16));
+    }
+
+    #[test]
+    fn custom_config_builds() {
+        let config = [VggEntry::Conv(4), VggEntry::Pool, VggEntry::Conv(8), VggEntry::Pool];
+        let mut net = vgg_from_config(3, 8, 2, &config, None, 3);
+        let out = net.forward(vec![Tensor3::zeros(3, 8, 8)], false);
+        assert_eq!(out[0].shape(), (2, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 16")]
+    fn vgg11_rejects_bad_size() {
+        let _ = vgg11(3, 24, 10, 2, None, 0);
+    }
+
+    #[test]
+    fn trace_capture_covers_all_convs() {
+        use crate::train::{TrainConfig, Trainer};
+        use crate::data::SyntheticSpec;
+        let mut spec = SyntheticSpec::tiny(2);
+        spec.size = 16;
+        let (train, _) = spec.generate();
+        let net = vgg11(3, 16, 2, 2, Some(PruneConfig::paper_default()), 4);
+        let mut trainer = Trainer::new(net, TrainConfig::quick());
+        trainer.train_epoch(&train);
+        let trace = trainer.capture_trace(&train, "vgg11", "tiny");
+        let convs = trace
+            .layers
+            .iter()
+            .filter(|l| matches!(l, sparsetrain_core::dataflow::LayerTrace::Conv(_)))
+            .count();
+        assert_eq!(convs, 6, "vgg11 has 6 convs");
+        assert!(trace.validate().is_ok());
+    }
+}

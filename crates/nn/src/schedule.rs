@@ -1,0 +1,129 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains with the standard step-decay recipes of its era (SGD
+//! with momentum, rate drops at fixed epochs). [`StepDecay`] reproduces
+//! that; [`CosineDecay`] is provided for the full-profile runs.
+
+/// A learning-rate schedule: maps an epoch index to a rate.
+pub trait LrSchedule {
+    /// Learning rate to use for `epoch` (0-based).
+    fn rate(&self, epoch: usize) -> f32;
+}
+
+/// Multiplies the base rate by `gamma` at each milestone epoch.
+///
+/// ```
+/// use sparsetrain_nn::schedule::{LrSchedule, StepDecay};
+/// let s = StepDecay::new(0.1, 0.1, vec![2, 4]);
+/// assert_eq!(s.rate(0), 0.1);
+/// assert!((s.rate(2) - 0.01).abs() < 1e-9);
+/// assert!((s.rate(4) - 0.001).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepDecay {
+    base: f32,
+    gamma: f32,
+    milestones: Vec<usize>,
+}
+
+impl StepDecay {
+    /// Creates a step-decay schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base <= 0`, `gamma <= 0`, or milestones are unsorted.
+    pub fn new(base: f32, gamma: f32, milestones: Vec<usize>) -> Self {
+        assert!(base > 0.0, "base rate must be positive");
+        assert!(gamma > 0.0, "gamma must be positive");
+        assert!(
+            milestones.windows(2).all(|w| w[0] < w[1]),
+            "milestones must be strictly increasing"
+        );
+        Self { base, gamma, milestones }
+    }
+}
+
+impl LrSchedule for StepDecay {
+    fn rate(&self, epoch: usize) -> f32 {
+        let drops = self.milestones.iter().filter(|&&m| epoch >= m).count() as i32;
+        self.base * self.gamma.powi(drops)
+    }
+}
+
+/// Cosine annealing from the base rate to `min_rate` over `total_epochs`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CosineDecay {
+    base: f32,
+    min_rate: f32,
+    total_epochs: usize,
+}
+
+impl CosineDecay {
+    /// Creates a cosine schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base <= min_rate`, `min_rate < 0`, or `total_epochs == 0`.
+    pub fn new(base: f32, min_rate: f32, total_epochs: usize) -> Self {
+        assert!(base > min_rate, "base must exceed the minimum rate");
+        assert!(min_rate >= 0.0, "minimum rate must be non-negative");
+        assert!(total_epochs > 0, "total epochs must be positive");
+        Self { base, min_rate, total_epochs }
+    }
+}
+
+impl LrSchedule for CosineDecay {
+    fn rate(&self, epoch: usize) -> f32 {
+        let t = (epoch.min(self.total_epochs) as f32) / self.total_epochs as f32;
+        self.min_rate
+            + 0.5 * (self.base - self.min_rate) * (1.0 + (std::f32::consts::PI * t).cos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_decay_drops_at_milestones() {
+        let s = StepDecay::new(1.0, 0.5, vec![3, 6]);
+        assert_eq!(s.rate(0), 1.0);
+        assert_eq!(s.rate(2), 1.0);
+        assert_eq!(s.rate(3), 0.5);
+        assert_eq!(s.rate(5), 0.5);
+        assert_eq!(s.rate(6), 0.25);
+        assert_eq!(s.rate(100), 0.25);
+    }
+
+    #[test]
+    fn no_milestones_is_constant() {
+        let s = StepDecay::new(0.1, 0.1, Vec::new());
+        assert_eq!(s.rate(0), 0.1);
+        assert_eq!(s.rate(50), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_milestones_rejected() {
+        let _ = StepDecay::new(0.1, 0.1, vec![5, 5]);
+    }
+
+    #[test]
+    fn cosine_decays_monotonically() {
+        let s = CosineDecay::new(0.1, 0.001, 10);
+        let mut prev = f32::INFINITY;
+        for e in 0..=10 {
+            let r = s.rate(e);
+            assert!(r <= prev, "rate increased at epoch {e}");
+            prev = r;
+        }
+        assert!((s.rate(0) - 0.1).abs() < 1e-7);
+        assert!((s.rate(10) - 0.001).abs() < 1e-7);
+    }
+
+    #[test]
+    fn cosine_clamps_beyond_horizon() {
+        let s = CosineDecay::new(0.1, 0.01, 5);
+        assert_eq!(s.rate(5), s.rate(50));
+    }
+}

@@ -1,0 +1,207 @@
+//! Sequential composition of layers.
+
+use crate::layer::Layer;
+use rand::RngCore;
+use sparsetrain_core::dataflow::LayerTrace;
+use sparsetrain_tensor::Tensor3;
+
+/// A stack of layers executed in order (and in reverse for backward).
+///
+/// `Sequential` is itself a [`Layer`], so stacks nest (residual blocks hold
+/// sequentials internally).
+#[derive(Default)]
+pub struct Sequential {
+    name: String,
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of direct child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Iterates over the direct children.
+    /// Renders a one-line-per-layer summary table: name and parameter
+    /// count, with the total at the end — the `print(model)` of this
+    /// framework.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{} ({} layers)\n", self.name, self.layers.len()));
+        let mut total = 0usize;
+        for layer in &self.layers {
+            let params = layer.param_count();
+            total += params;
+            out.push_str(&format!("  {:<28} {:>10}\n", layer.name(), params));
+        }
+        out.push_str(&format!("  {:<28} {:>10}\n", "total parameters", total));
+        out
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Layer> {
+        self.layers.iter().map(|b| b.as_ref())
+    }
+}
+
+impl Layer for Sequential {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn forward(&mut self, mut xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+        for layer in &mut self.layers {
+            xs = layer.forward(xs, train);
+        }
+        xs
+    }
+
+    fn backward(&mut self, mut grads: Vec<Tensor3>, rng: &mut dyn RngCore) -> Vec<Tensor3> {
+        for layer in self.layers.iter_mut().rev() {
+            grads = layer.backward(grads, rng);
+        }
+        grads
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    fn set_capture(&mut self, enable: bool) {
+        for layer in &mut self.layers {
+            layer.set_capture(enable);
+        }
+    }
+
+    fn collect_traces(&self, out: &mut Vec<LayerTrace>) {
+        for layer in &self.layers {
+            layer.collect_traces(out);
+        }
+    }
+
+    fn grad_densities(&self, out: &mut Vec<(String, f64)>) {
+        for layer in &self.layers {
+            layer.grad_densities(out);
+        }
+    }
+
+    fn reset_density_stats(&mut self) {
+        for layer in &mut self.layers {
+            layer.reset_density_stats();
+        }
+    }
+
+    fn set_grad_tap(&mut self, enable: bool) {
+        for layer in &mut self.layers {
+            layer.set_grad_tap(enable);
+        }
+    }
+
+    fn take_tapped_grads(&mut self, out: &mut Vec<(String, Vec<f32>)>) {
+        for layer in &mut self.layers {
+            layer.take_tapped_grads(out);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Conv2d, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sparsetrain_tensor::conv::ConvGeometry;
+
+    #[test]
+    fn forward_backward_chain() {
+        let mut net = Sequential::new("net")
+            .push(Conv2d::new("c1", 1, 2, ConvGeometry::new(3, 1, 1), 1))
+            .push(Relu::new("r1"))
+            .push(Conv2d::new("c2", 2, 1, ConvGeometry::new(3, 1, 1), 2));
+        let mut rng = StdRng::seed_from_u64(0);
+        let xs = vec![Tensor3::from_fn(1, 4, 4, |_, y, x| (y + x) as f32)];
+        let out = net.forward(xs, true);
+        assert_eq!(out[0].shape(), (1, 4, 4));
+        let din = net.backward(vec![Tensor3::from_fn(1, 4, 4, |_, _, _| 1.0)], &mut rng);
+        assert_eq!(din[0].shape(), (1, 4, 4));
+    }
+
+    #[test]
+    fn param_count_sums_children() {
+        let net = Sequential::new("net")
+            .push(Conv2d::new("c1", 1, 2, ConvGeometry::new(3, 1, 1), 1))
+            .push(Relu::new("r1"));
+        assert_eq!(net.param_count(), 2 * 9 + 2);
+        assert_eq!(net.len(), 2);
+    }
+
+    #[test]
+    fn visit_params_order_is_stable() {
+        let mut net = Sequential::new("net")
+            .push(Conv2d::new("c1", 1, 1, ConvGeometry::unit(), 1))
+            .push(Conv2d::new("c2", 1, 1, ConvGeometry::unit(), 2));
+        let mut sizes_a = Vec::new();
+        net.visit_params(&mut |p, _| sizes_a.push(p.len()));
+        let mut sizes_b = Vec::new();
+        net.visit_params(&mut |p, _| sizes_b.push(p.len()));
+        assert_eq!(sizes_a, sizes_b);
+        assert_eq!(sizes_a.len(), 4); // two convs × (weights, bias)
+    }
+
+    #[test]
+    fn describe_lists_layers_and_totals() {
+        let net = crate::models::mini_cnn(3, 8, None);
+        let d = net.describe();
+        assert!(d.contains("total parameters"));
+        // Every layer name appears once.
+        for layer in net.iter() {
+            assert!(d.contains(layer.name()), "missing {}", layer.name());
+        }
+        // The printed total matches param_count.
+        let total: usize = d
+            .lines()
+            .last()
+            .unwrap()
+            .split_whitespace()
+            .last()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(total, crate::layer::param_count(&net));
+    }
+}

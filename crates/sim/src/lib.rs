@@ -1,0 +1,63 @@
+//! Cycle-accurate simulator of the SparseTrain accelerator (§V) and its
+//! dense Eyeriss-style baseline (§VI).
+//!
+//! The simulated machine consists of PE groups (3 PEs + 1 PPU each), a
+//! banked global SRAM buffer, off-chip DRAM and a controller. Convolution
+//! layers execute as streams of SRC / MSRC / OSRC row operations enumerated
+//! from a captured [`sparsetrain_core::dataflow::NetworkTrace`]; the
+//! controller assigns each *task* (one output row's operations) to the
+//! least-loaded PE.
+//!
+//! Two timing engines are provided and tested to agree exactly:
+//!
+//! * [`pe::CycleExactPe`] — steps a PE state machine cycle by cycle,
+//! * [`sparsetrain_sparse::work`] — the closed-form per-op work model,
+//!   used by [`machine::Machine`] for whole-network simulation speed.
+//!
+//! Energy is accounted per event ([`energy::EnergyModel`]) with the same
+//! technology constants for SparseTrain and the baseline, so relative
+//! numbers (Fig. 9) are meaningful.
+//!
+//! Around the core machine sit refinement models that turn its
+//! assumptions into checked results: [`dram`] (row-buffer DRAM — why flat
+//! bandwidth holds for streams), [`buffer`] (banked SRAM conflicts),
+//! [`sched`] (controller scheduling policies vs the makespan lower
+//! bound), [`pipeline`] (double-buffered DMA hiding), [`update`] (the
+//! weight-update stage §II scopes out) and [`prune_unit`] (the PPU's
+//! LFSR-based in-stream pruning stage).
+//!
+//! # Example
+//!
+//! ```
+//! use sparsetrain_sim::config::ArchConfig;
+//! use sparsetrain_sim::machine::Machine;
+//! use sparsetrain_sim::baseline::densified;
+//! use sparsetrain_core::dataflow::NetworkTrace;
+//!
+//! let machine = Machine::new(ArchConfig::paper_default());
+//! let trace = NetworkTrace::new("empty", "none");
+//! let report = machine.simulate(&trace);
+//! assert_eq!(report.total_cycles, 0);
+//! let dense = machine.simulate(&densified(&trace));
+//! assert_eq!(dense.total_cycles, 0);
+//! ```
+
+pub mod baseline;
+pub mod buffer;
+pub mod config;
+pub mod dram;
+pub mod controller;
+pub mod energy;
+pub mod group;
+pub mod machine;
+pub mod pe;
+pub mod pipeline;
+pub mod ppu;
+pub mod prune_unit;
+pub mod sched;
+pub mod update;
+pub mod report;
+
+pub use config::ArchConfig;
+pub use machine::Machine;
+pub use report::SimReport;

@@ -1,0 +1,197 @@
+//! Layer-pipeline (double-buffering) timing model.
+//!
+//! The whole-network simulator treats DRAM traffic as fully overlapped
+//! with compute unless a layer's working set spills — the standard
+//! double-buffering assumption. This module makes that assumption a
+//! *result* instead: given the per-layer compute and DRAM transfer times,
+//! it computes the batch latency of the classic two-phase pipeline
+//!
+//! ```text
+//! total = dma₀ + Σᵢ max(computeᵢ, dmaᵢ₊₁)
+//! ```
+//!
+//! (prefetch of stage *i+1* hides behind compute of stage *i*), and
+//! compares it against the fully serial schedule `Σ (computeᵢ + dmaᵢ)`.
+//! When every `dmaᵢ₊₁ ≤ computeᵢ`, the pipelined latency equals the pure
+//! compute time — the condition under which `Machine`'s accounting is
+//! exact, which the integration tests assert for the paper's buffer size.
+//!
+//! # Example
+//!
+//! ```
+//! use sparsetrain_sim::pipeline::{pipeline_latency, Stage};
+//!
+//! let stages = vec![
+//!     Stage { label: "conv1".into(), compute_cycles: 100, dma_cycles: 10 },
+//!     Stage { label: "conv2".into(), compute_cycles: 80, dma_cycles: 20 },
+//! ];
+//! let r = pipeline_latency(&stages);
+//! assert_eq!(r.pipelined_cycles, 10 + 100.max(20) + 80);
+//! assert_eq!(r.serial_cycles, 210);
+//! ```
+
+use crate::config::ArchConfig;
+use crate::report::SimReport;
+
+/// One pipeline stage: a unit of compute with an associated input
+/// transfer that can be prefetched during the previous stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    /// Display label (layer and step).
+    pub label: String,
+    /// Cycles the PEs compute in this stage.
+    pub compute_cycles: u64,
+    /// Cycles the stage's input DMA occupies the DRAM channel.
+    pub dma_cycles: u64,
+}
+
+/// Latency of a stage sequence under serial and pipelined execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineReport {
+    /// Σ (compute + dma): no overlap at all.
+    pub serial_cycles: u64,
+    /// dma₀ + Σ max(computeᵢ, dmaᵢ₊₁): double-buffered.
+    pub pipelined_cycles: u64,
+    /// Σ compute: the lower bound when DMA hides completely.
+    pub compute_cycles: u64,
+    /// Stages whose *next* DMA did not fit under their compute (the
+    /// pipeline bubbles).
+    pub exposed_stages: usize,
+    /// The unavoidable first prefetch (exposed by definition).
+    pub first_dma: u64,
+}
+
+impl PipelineReport {
+    /// Fraction of serial time saved by pipelining (0 when empty).
+    pub fn overlap_saving(&self) -> f64 {
+        if self.serial_cycles == 0 {
+            0.0
+        } else {
+            1.0 - self.pipelined_cycles as f64 / self.serial_cycles as f64
+        }
+    }
+
+    /// Whether DMA is completely hidden behind compute (apart from the
+    /// first prefetch, which nothing can hide).
+    pub fn dma_hidden(&self) -> bool {
+        self.exposed_stages == 0
+            && self.pipelined_cycles <= self.compute_cycles + self.first_dma
+    }
+}
+
+/// Computes serial and pipelined latency for a stage sequence.
+pub fn pipeline_latency(stages: &[Stage]) -> PipelineReport {
+    let mut report = PipelineReport::default();
+    if stages.is_empty() {
+        return report;
+    }
+    report.first_dma = stages[0].dma_cycles;
+    report.pipelined_cycles = stages[0].dma_cycles;
+    for (i, stage) in stages.iter().enumerate() {
+        report.serial_cycles += stage.compute_cycles + stage.dma_cycles;
+        report.compute_cycles += stage.compute_cycles;
+        let next_dma = stages.get(i + 1).map_or(0, |s| s.dma_cycles);
+        if next_dma > stage.compute_cycles {
+            report.exposed_stages += 1;
+        }
+        report.pipelined_cycles += stage.compute_cycles.max(next_dma);
+    }
+    report
+}
+
+/// Builds the stage sequence of one training step from a simulation
+/// report: every layer contributes its three steps in execution order
+/// (all forwards, then the backward pair per layer in reverse), with DMA
+/// times derived from the report's DRAM word counts at the configured
+/// bandwidth. Steps the controller never schedules (e.g. the first
+/// layer's skipped GTA: zero compute, zero traffic) are omitted — an
+/// empty slot cannot hide or expose anything.
+pub fn stages_from_report(report: &SimReport, cfg: &ArchConfig) -> Vec<Stage> {
+    let mut stages = Vec::new();
+    let dma = |words: u64| words.div_ceil(cfg.dram_words_per_cycle);
+    let mut push = |label: String, compute: u64, dma_cycles: u64| {
+        if compute > 0 || dma_cycles > 0 {
+            stages.push(Stage { label, compute_cycles: compute, dma_cycles });
+        }
+    };
+    for layer in &report.layers {
+        push(
+            format!("{}/forward", layer.name),
+            layer.steps[0].cycles,
+            dma(layer.steps[0].dram_words),
+        );
+    }
+    for layer in report.layers.iter().rev() {
+        push(format!("{}/gta", layer.name), layer.steps[1].cycles, dma(layer.steps[1].dram_words));
+        push(format!("{}/gtw", layer.name), layer.steps[2].cycles, dma(layer.steps[2].dram_words));
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(c: u64, d: u64) -> Stage {
+        Stage { label: String::from("s"), compute_cycles: c, dma_cycles: d }
+    }
+
+    #[test]
+    fn empty_pipeline_is_free() {
+        let r = pipeline_latency(&[]);
+        assert_eq!(r.serial_cycles, 0);
+        assert_eq!(r.pipelined_cycles, 0);
+        assert_eq!(r.overlap_saving(), 0.0);
+    }
+
+    #[test]
+    fn pipelined_never_exceeds_serial() {
+        let stages: Vec<Stage> =
+            (0..20).map(|i| stage((i * 13 % 50) + 1, i * 7 % 30)).collect();
+        let r = pipeline_latency(&stages);
+        assert!(r.pipelined_cycles <= r.serial_cycles);
+        assert!(r.pipelined_cycles >= r.compute_cycles);
+    }
+
+    #[test]
+    fn zero_dma_means_compute_bound() {
+        let stages: Vec<Stage> = (1..=5).map(|i| stage(i * 10, 0)).collect();
+        let r = pipeline_latency(&stages);
+        assert_eq!(r.pipelined_cycles, r.compute_cycles);
+        assert_eq!(r.exposed_stages, 0);
+        assert!(r.dma_hidden());
+    }
+
+    #[test]
+    fn small_dma_hides_behind_compute() {
+        let stages = vec![stage(100, 5), stage(100, 50), stage(100, 80)];
+        let r = pipeline_latency(&stages);
+        // Only the first DMA is exposed.
+        assert_eq!(r.pipelined_cycles, 5 + 100 + 100 + 100);
+        assert!(r.dma_hidden());
+    }
+
+    #[test]
+    fn oversized_dma_creates_bubbles() {
+        let stages = vec![stage(10, 0), stage(10, 300)];
+        let r = pipeline_latency(&stages);
+        assert_eq!(r.exposed_stages, 1);
+        assert_eq!(r.pipelined_cycles, 300 + 10);
+        assert!(!r.dma_hidden());
+    }
+
+    #[test]
+    fn single_stage_pays_its_own_dma() {
+        let r = pipeline_latency(&[stage(40, 7)]);
+        assert_eq!(r.pipelined_cycles, 47);
+        assert_eq!(r.serial_cycles, 47);
+    }
+
+    #[test]
+    fn overlap_saving_is_positive_when_dma_hides() {
+        let stages = vec![stage(100, 40), stage(100, 40), stage(100, 40)];
+        let r = pipeline_latency(&stages);
+        // serial 420 vs pipelined 340: ~19% saved.
+        assert!(r.overlap_saving() > 0.15);
+    }
+}

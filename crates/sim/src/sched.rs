@@ -1,0 +1,229 @@
+//! Task scheduling policies.
+//!
+//! The controller assigns each *task* (one output row's operations) to a
+//! PE. The whole-network simulator hard-codes the sensible choice — greedy
+//! least-loaded (list scheduling) — but how much that choice matters is an
+//! ablation worth running: sparsity makes task lengths ragged, and a
+//! policy that ignores load (round-robin, contiguous blocks) loses cycles
+//! exactly when sparsity is high. This module evaluates any policy over a
+//! task-length list and reports makespan against the theoretical lower
+//! bound `max(⌈Σ/PEs⌉, max task)`.
+//!
+//! # Example
+//!
+//! ```
+//! use sparsetrain_sim::sched::{schedule, lower_bound, Policy};
+//!
+//! let tasks = [9, 1, 1, 1, 1, 1, 1, 1];
+//! let least = schedule(Policy::LeastLoaded, &tasks, 4);
+//! let robin = schedule(Policy::RoundRobin, &tasks, 4);
+//! assert!(least.makespan <= robin.makespan);
+//! assert!(least.makespan >= lower_bound(&tasks, 4));
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A task-to-PE assignment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Greedy list scheduling: each task goes to the least-loaded PE.
+    /// What the simulated controller implements.
+    LeastLoaded,
+    /// Cyclic assignment, ignoring load. One-register hardware, maximal
+    /// imbalance under ragged task lengths.
+    RoundRobin,
+    /// Contiguous blocks: the task list is cut into `pes` consecutive
+    /// chunks of near-equal *count*. What a DMA-friendly static split
+    /// would do.
+    Contiguous,
+}
+
+impl Policy {
+    /// All policies, for sweeps.
+    pub const ALL: [Policy; 3] = [Policy::LeastLoaded, Policy::RoundRobin, Policy::Contiguous];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::LeastLoaded => "least-loaded",
+            Policy::RoundRobin => "round-robin",
+            Policy::Contiguous => "contiguous",
+        }
+    }
+}
+
+/// Outcome of scheduling a task list onto `pes` PEs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleResult {
+    /// The policy that produced this schedule.
+    pub policy: Policy,
+    /// Final load (cycles) of every PE.
+    pub loads: Vec<u64>,
+    /// The slowest PE's load — the stage latency.
+    pub makespan: u64,
+}
+
+impl ScheduleResult {
+    /// Mean PE utilization relative to the makespan (1.0 = perfectly
+    /// balanced; 0.0 for an empty schedule).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0 || self.loads.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.loads.iter().sum();
+        total as f64 / (self.makespan as f64 * self.loads.len() as f64)
+    }
+}
+
+/// The makespan lower bound: no schedule beats the work bound
+/// `⌈Σ tasks / pes⌉` or the longest single task.
+pub fn lower_bound(tasks: &[u64], pes: usize) -> u64 {
+    if tasks.is_empty() || pes == 0 {
+        return 0;
+    }
+    let sum: u64 = tasks.iter().sum();
+    let max = tasks.iter().copied().max().unwrap_or(0);
+    sum.div_ceil(pes as u64).max(max)
+}
+
+/// Schedules `tasks` onto `pes` PEs under `policy`.
+///
+/// # Panics
+///
+/// Panics if `pes == 0`.
+pub fn schedule(policy: Policy, tasks: &[u64], pes: usize) -> ScheduleResult {
+    assert!(pes > 0, "need at least one PE");
+    let loads = match policy {
+        Policy::LeastLoaded => {
+            let mut heap: BinaryHeap<(Reverse<u64>, usize)> =
+                (0..pes).map(|i| (Reverse(0), i)).collect();
+            let mut loads = vec![0u64; pes];
+            for &t in tasks {
+                let (Reverse(load), idx) = heap.pop().expect("heap holds all PEs");
+                loads[idx] = load + t;
+                heap.push((Reverse(load + t), idx));
+            }
+            loads
+        }
+        Policy::RoundRobin => {
+            let mut loads = vec![0u64; pes];
+            for (i, &t) in tasks.iter().enumerate() {
+                loads[i % pes] += t;
+            }
+            loads
+        }
+        Policy::Contiguous => {
+            let mut loads = vec![0u64; pes];
+            if !tasks.is_empty() {
+                let chunk = tasks.len().div_ceil(pes);
+                for (i, block) in tasks.chunks(chunk).enumerate() {
+                    loads[i] = block.iter().sum();
+                }
+            }
+            loads
+        }
+    };
+    let makespan = loads.iter().copied().max().unwrap_or(0);
+    ScheduleResult { policy, loads, makespan }
+}
+
+/// Compares every policy on one task list; results are in
+/// [`Policy::ALL`] order.
+pub fn compare_policies(tasks: &[u64], pes: usize) -> Vec<ScheduleResult> {
+    Policy::ALL.iter().map(|&p| schedule(p, tasks, pes)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_loaded_meets_greedy_bound() {
+        // List scheduling is within 2× of the lower bound (Graham).
+        let tasks: Vec<u64> = (0..200).map(|i| (i * 37 % 91) + 1).collect();
+        for pes in [1, 3, 16, 168] {
+            let r = schedule(Policy::LeastLoaded, &tasks, pes);
+            let lb = lower_bound(&tasks, pes);
+            assert!(r.makespan >= lb);
+            assert!(r.makespan <= 2 * lb, "{} > 2×{lb} on {pes} PEs", r.makespan);
+        }
+    }
+
+    #[test]
+    fn least_loaded_never_loses_to_round_robin_on_ragged_tasks() {
+        let tasks: Vec<u64> = (0..64).map(|i| if i % 8 == 0 { 100 } else { 2 }).collect();
+        let least = schedule(Policy::LeastLoaded, &tasks, 8);
+        let robin = schedule(Policy::RoundRobin, &tasks, 8);
+        assert!(least.makespan <= robin.makespan);
+        assert!(least.utilization() >= robin.utilization());
+    }
+
+    #[test]
+    fn uniform_tasks_make_all_policies_equal() {
+        let tasks = vec![5u64; 32];
+        let results = compare_policies(&tasks, 8);
+        let makespans: Vec<u64> = results.iter().map(|r| r.makespan).collect();
+        assert!(makespans.iter().all(|&m| m == makespans[0]), "{makespans:?}");
+        assert_eq!(makespans[0], 20);
+    }
+
+    #[test]
+    fn single_pe_serializes_everything() {
+        let tasks = [3u64, 4, 5];
+        for p in Policy::ALL {
+            assert_eq!(schedule(p, &tasks, 1).makespan, 12);
+        }
+    }
+
+    #[test]
+    fn empty_task_list_is_free() {
+        for p in Policy::ALL {
+            let r = schedule(p, &[], 4);
+            assert_eq!(r.makespan, 0);
+            assert_eq!(r.utilization(), 0.0);
+        }
+        assert_eq!(lower_bound(&[], 4), 0);
+    }
+
+    #[test]
+    fn loads_conserve_work() {
+        let tasks: Vec<u64> = (1..=50).collect();
+        let total: u64 = tasks.iter().sum();
+        for p in Policy::ALL {
+            let r = schedule(p, &tasks, 7);
+            assert_eq!(r.loads.iter().sum::<u64>(), total, "{p:?} lost work");
+            assert_eq!(r.loads.len(), 7);
+        }
+    }
+
+    #[test]
+    fn contiguous_blocks_preserve_order() {
+        // A sorted-descending list puts all the heavy tasks in early
+        // blocks: contiguous must be at least as bad as least-loaded.
+        let mut tasks: Vec<u64> = (1..=40).collect();
+        tasks.reverse();
+        let cont = schedule(Policy::Contiguous, &tasks, 4);
+        let least = schedule(Policy::LeastLoaded, &tasks, 4);
+        assert!(cont.makespan >= least.makespan);
+    }
+
+    #[test]
+    fn lower_bound_respects_longest_task() {
+        assert_eq!(lower_bound(&[100, 1, 1], 3), 100);
+        assert_eq!(lower_bound(&[4, 4, 4, 4], 2), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_panics() {
+        let _ = schedule(Policy::LeastLoaded, &[1], 0);
+    }
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let names: Vec<_> = Policy::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+}

@@ -1,0 +1,198 @@
+//! Weight-update stage cost model.
+//!
+//! §II dismisses the weight-update stage: "generally, weight update stage
+//! is not a performance bottleneck for CNN training", and the simulator
+//! follows the paper in costing only Forward / GTA / GTW. This module
+//! turns that dismissal into a checkable number: the update stage is a
+//! pure elementwise stream over the parameters (no reuse, no sparsity —
+//! weights and their gradients are dense, Table I), so its cycles and
+//! traffic follow directly from the parameter count and the update rule.
+//! The integration tests assert it stays below a few percent of a
+//! training step for every evaluated model.
+//!
+//! # Example
+//!
+//! ```
+//! use sparsetrain_sim::update::{update_cost, UpdateRule};
+//! use sparsetrain_sim::ArchConfig;
+//!
+//! let cost = update_cost(1_000_000, UpdateRule::SgdMomentum, &ArchConfig::paper_default());
+//! assert!(cost.cycles > 0);
+//! ```
+
+use crate::config::ArchConfig;
+
+/// The optimizer's per-parameter recurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateRule {
+    /// `w ← w − α·g`: one MAC, streams `w` and `g`, writes `w`.
+    Sgd,
+    /// `v ← μv + g; w ← w − α·v`: two MACs, streams `w`, `g`, `v`,
+    /// writes `w` and `v`. What the paper's SGD training uses.
+    SgdMomentum,
+    /// Adam: first/second moment updates, bias correction, rsqrt — ~6
+    /// MAC-equivalents, streams four tensors, writes three.
+    Adam,
+}
+
+impl UpdateRule {
+    /// All rules, for sweeps.
+    pub const ALL: [UpdateRule; 3] = [UpdateRule::Sgd, UpdateRule::SgdMomentum, UpdateRule::Adam];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            UpdateRule::Sgd => "sgd",
+            UpdateRule::SgdMomentum => "sgd+momentum",
+            UpdateRule::Adam => "adam",
+        }
+    }
+
+    /// MAC-equivalents per parameter.
+    pub fn macs_per_param(&self) -> u64 {
+        match self {
+            UpdateRule::Sgd => 1,
+            UpdateRule::SgdMomentum => 2,
+            UpdateRule::Adam => 6,
+        }
+    }
+
+    /// Words read per parameter (weight, gradient, optimizer state).
+    pub fn reads_per_param(&self) -> u64 {
+        match self {
+            UpdateRule::Sgd => 2,
+            UpdateRule::SgdMomentum => 3,
+            UpdateRule::Adam => 4,
+        }
+    }
+
+    /// Words written per parameter (weight + updated state).
+    pub fn writes_per_param(&self) -> u64 {
+        match self {
+            UpdateRule::Sgd => 1,
+            UpdateRule::SgdMomentum => 2,
+            UpdateRule::Adam => 3,
+        }
+    }
+}
+
+/// Cost of one weight-update pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateCost {
+    /// Cycles (compute/bandwidth bound, whichever binds).
+    pub cycles: u64,
+    /// MAC-equivalents performed.
+    pub macs: u64,
+    /// Buffer words moved.
+    pub sram_words: u64,
+    /// DRAM words moved (optimizer state lives off-chip between batches).
+    pub dram_words: u64,
+}
+
+impl UpdateCost {
+    /// This cost as a fraction of a training step of `step_cycles`
+    /// (`f64::INFINITY` when the step is free).
+    pub fn fraction_of(&self, step_cycles: u64) -> f64 {
+        if step_cycles == 0 {
+            return f64::INFINITY;
+        }
+        self.cycles as f64 / step_cycles as f64
+    }
+}
+
+/// Costs one weight-update pass over `params` parameters.
+///
+/// The update runs once per *batch*; to compare against per-sample step
+/// reports divide by the batch size (or use
+/// [`update_cost_per_sample`]).
+pub fn update_cost(params: u64, rule: UpdateRule, cfg: &ArchConfig) -> UpdateCost {
+    let macs = params * rule.macs_per_param();
+    let throughput = (cfg.total_pes() * cfg.mac_lanes) as u64;
+    let compute = macs.div_ceil(throughput.max(1));
+    let sram_words = params * (rule.reads_per_param() + rule.writes_per_param());
+    let sram_bound = sram_words.div_ceil(cfg.sram_words_per_cycle);
+    // Weights and state stream from/to DRAM once per batch; optimizer
+    // state that never fits the buffer rides the same stream.
+    let dram_words = sram_words;
+    let dram_bound = dram_words.div_ceil(cfg.dram_words_per_cycle);
+    UpdateCost { cycles: compute.max(sram_bound).max(dram_bound), macs, sram_words, dram_words }
+}
+
+/// Per-sample share of the once-per-batch update.
+pub fn update_cost_per_sample(params: u64, rule: UpdateRule, cfg: &ArchConfig) -> UpdateCost {
+    let batch = cfg.batch_size as u64;
+    let full = update_cost(params, rule, cfg);
+    UpdateCost {
+        cycles: full.cycles.div_ceil(batch),
+        macs: full.macs.div_ceil(batch),
+        sram_words: full.sram_words.div_ceil(batch),
+        dram_words: full.dram_words.div_ceil(batch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_scales_with_params() {
+        let cfg = ArchConfig::paper_default();
+        let small = update_cost(10_000, UpdateRule::SgdMomentum, &cfg);
+        let large = update_cost(1_000_000, UpdateRule::SgdMomentum, &cfg);
+        assert!(large.cycles > small.cycles);
+        assert_eq!(large.macs, 2_000_000);
+    }
+
+    #[test]
+    fn richer_rules_cost_more() {
+        let cfg = ArchConfig::paper_default();
+        let params = 500_000;
+        let sgd = update_cost(params, UpdateRule::Sgd, &cfg);
+        let momentum = update_cost(params, UpdateRule::SgdMomentum, &cfg);
+        let adam = update_cost(params, UpdateRule::Adam, &cfg);
+        assert!(sgd.cycles <= momentum.cycles);
+        assert!(momentum.cycles < adam.cycles);
+        assert!(sgd.sram_words < momentum.sram_words);
+        assert!(momentum.sram_words < adam.sram_words);
+    }
+
+    #[test]
+    fn update_is_bandwidth_bound_at_paper_config() {
+        // Elementwise streaming with no reuse: DRAM (16 words/cycle)
+        // binds long before the 1848-lane MAC array does.
+        let cfg = ArchConfig::paper_default();
+        let cost = update_cost(1_000_000, UpdateRule::SgdMomentum, &cfg);
+        let compute = cost.macs.div_ceil((cfg.total_pes() * cfg.mac_lanes) as u64);
+        assert!(cost.cycles > compute, "update should be memory-bound");
+        assert_eq!(cost.cycles, cost.dram_words.div_ceil(cfg.dram_words_per_cycle));
+    }
+
+    #[test]
+    fn per_sample_share_divides_by_batch() {
+        let cfg = ArchConfig::paper_default();
+        let full = update_cost(640_000, UpdateRule::Sgd, &cfg);
+        let per = update_cost_per_sample(640_000, UpdateRule::Sgd, &cfg);
+        assert_eq!(per.cycles, full.cycles.div_ceil(cfg.batch_size as u64));
+    }
+
+    #[test]
+    fn fraction_handles_zero_step() {
+        let c = UpdateCost { cycles: 10, ..Default::default() };
+        assert!(c.fraction_of(0).is_infinite());
+        assert!((c.fraction_of(1000) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_params_cost_nothing() {
+        let cfg = ArchConfig::tiny();
+        let c = update_cost(0, UpdateRule::Adam, &cfg);
+        assert_eq!(c, UpdateCost::default());
+    }
+
+    #[test]
+    fn rule_names_are_distinct() {
+        let names: Vec<_> = UpdateRule::ALL.iter().map(|r| r.name()).collect();
+        assert!(names.iter().all(|n| !n.is_empty()));
+        assert_eq!(names.len(), 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Compressed sparse row vectors and the SparseTrain 1-D convolution kernels.
+//!
+//! The paper's dataflow (§IV) decomposes every 2-D convolution of CNN
+//! training into 1-D row convolutions, one of three flavours:
+//!
+//! * [`src::src_conv`] — **SRC** (Sparse Row Convolution): the Forward step.
+//!   A sparse activation row is convolved with a short dense kernel row.
+//! * [`msrc::msrc_conv`] — **MSRC** (Masked SRC): the GTA step. A sparse
+//!   output-gradient row is convolved with a (rotated) kernel row, and
+//!   output positions that the downstream ReLU mask will zero anyway are
+//!   skipped entirely.
+//! * [`osrc::osrc_conv`] — **OSRC** (Output-Store Row Convolution): the GTW
+//!   step. Two sparse rows are correlated; only `K` output positions exist
+//!   and are held in a scratchpad for the whole convolution.
+//!
+//! [`rowconv`] rebuilds the full 2-D convolutions of all three training
+//! stages from these primitives and is validated against the dense reference
+//! in `sparsetrain-tensor`; [`work`] provides the analytic PE cycle model
+//! for each primitive, which the cycle-exact simulator is checked against.
+
+pub mod compressed;
+pub mod formats;
+pub mod mask;
+pub mod msrc;
+pub mod osrc;
+pub mod rowconv;
+pub mod src;
+pub mod work;
+
+pub use compressed::SparseVec;
+pub use mask::RowMask;

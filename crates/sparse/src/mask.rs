@@ -1,0 +1,202 @@
+//! Non-zero position masks recorded in the Forward step.
+//!
+//! ReLU and MaxPool layers record which positions survived (§II); the GTA
+//! step replays these masks, and MSRC uses them to skip computing gradient
+//! values that the mask would zero anyway (§IV-A).
+
+/// A per-row bitmask of positions that are allowed to be non-zero.
+///
+/// ```
+/// use sparsetrain_sparse::RowMask;
+/// let m = RowMask::from_dense(&[0.0, 1.0, 0.0, 2.0]);
+/// assert!(m.contains(1));
+/// assert!(!m.contains(2));
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowMask {
+    len: usize,
+    bits: Vec<u64>,
+}
+
+impl RowMask {
+    /// Creates an all-false mask of logical length `len`.
+    pub fn empty(len: usize) -> Self {
+        Self {
+            len,
+            bits: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Creates an all-true mask (everything allowed — "no mask").
+    pub fn full(len: usize) -> Self {
+        let mut m = Self::empty(len);
+        for i in 0..len {
+            m.set(i);
+        }
+        m
+    }
+
+    /// Mask of the non-zero positions in a dense slice.
+    pub fn from_dense(dense: &[f32]) -> Self {
+        let mut m = Self::empty(dense.len());
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                m.set(i);
+            }
+        }
+        m
+    }
+
+    /// Mask from sorted offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any offset is `>= len`.
+    pub fn from_offsets(len: usize, offsets: &[u32]) -> Self {
+        let mut m = Self::empty(len);
+        for &o in offsets {
+            assert!((o as usize) < len, "offset {o} out of range {len}");
+            m.set(o as usize);
+        }
+        m
+    }
+
+    /// Logical length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Marks position `i` as allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "mask index {i} out of range {}", self.len);
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Marks position `i` as disallowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "mask index {i} out of range {}", self.len);
+        self.bits[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether position `i` is allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "mask index {i} out of range {}", self.len);
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of allowed positions.
+    pub fn count(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Whether any position in `[start, end)` (clamped to the mask) is allowed.
+    pub fn any_in_range(&self, start: usize, end: usize) -> bool {
+        let end = end.min(self.len);
+        if start >= end {
+            return false;
+        }
+        // Scan word by word; ranges here are kernel-sized (tiny), so a
+        // simple loop is fine.
+        (start..end).any(|i| self.contains(i))
+    }
+
+    /// Iterates over the allowed positions in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.contains(i))
+    }
+
+    /// Intersection with another mask of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn and(&self, other: &RowMask) -> RowMask {
+        assert_eq!(self.len, other.len, "mask length mismatch");
+        let bits = self.bits.iter().zip(&other.bits).map(|(a, b)| a & b).collect();
+        RowMask { len: self.len, bits }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let e = RowMask::empty(70);
+        assert_eq!(e.count(), 0);
+        let f = RowMask::full(70);
+        assert_eq!(f.count(), 70);
+        assert!(f.contains(69));
+    }
+
+    #[test]
+    fn set_clear_contains() {
+        let mut m = RowMask::empty(10);
+        m.set(3);
+        assert!(m.contains(3));
+        m.clear(3);
+        assert!(!m.contains(3));
+    }
+
+    #[test]
+    fn from_dense_matches_nonzeros() {
+        let m = RowMask::from_dense(&[1.0, 0.0, -2.0, 0.0]);
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn any_in_range_detects() {
+        let m = RowMask::from_offsets(10, &[5]);
+        assert!(m.any_in_range(3, 6));
+        assert!(!m.any_in_range(0, 5));
+        assert!(!m.any_in_range(6, 10));
+        assert!(m.any_in_range(5, 100)); // end clamped
+    }
+
+    #[test]
+    fn and_intersects() {
+        let a = RowMask::from_offsets(8, &[1, 3, 5]);
+        let b = RowMask::from_offsets(8, &[3, 5, 7]);
+        assert_eq!(a.and(&b).iter().collect::<Vec<_>>(), vec![3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_set_panics() {
+        let mut m = RowMask::empty(4);
+        m.set(4);
+    }
+
+    #[test]
+    fn word_boundary_behaviour() {
+        let mut m = RowMask::empty(130);
+        m.set(63);
+        m.set(64);
+        m.set(129);
+        assert_eq!(m.count(), 3);
+        assert!(m.contains(63) && m.contains(64) && m.contains(129));
+        assert!(!m.contains(65));
+    }
+}

@@ -1,0 +1,149 @@
+//! 16-bit fixed-point quantization (Q-format) helpers.
+//!
+//! The paper's RTL computes in 16-bit fixed point (the simulator's word
+//! accounting assumes 2-byte operands). This module provides the
+//! quantization used to justify that choice: activations and gradients are
+//! representable in Q-formats with enough headroom that training behaviour
+//! is unchanged, which the nn-crate tests verify by quantizing a training
+//! step.
+
+/// A 16-bit signed fixed-point format with `FRAC` fractional bits.
+///
+/// ```
+/// use sparsetrain_tensor::fixed::Fixed16;
+/// let q = Fixed16::<8>::from_f32(1.5);
+/// assert_eq!(q.to_f32(), 1.5);
+/// assert!((Fixed16::<8>::from_f32(0.123).to_f32() - 0.123).abs() < 1.0 / 256.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fixed16<const FRAC: u32>(i16);
+
+impl<const FRAC: u32> Fixed16<FRAC> {
+    /// Smallest representable increment.
+    pub const EPSILON: f32 = 1.0 / (1u32 << FRAC) as f32;
+
+    /// Largest representable value.
+    pub fn max_value() -> f32 {
+        i16::MAX as f32 * Self::EPSILON
+    }
+
+    /// Smallest (most negative) representable value.
+    pub fn min_value() -> f32 {
+        i16::MIN as f32 * Self::EPSILON
+    }
+
+    /// Quantizes an `f32`, saturating at the representable range.
+    pub fn from_f32(v: f32) -> Self {
+        let scaled = (v / Self::EPSILON).round();
+        let clamped = scaled.clamp(i16::MIN as f32, i16::MAX as f32);
+        Self(clamped as i16)
+    }
+
+    /// Dequantizes back to `f32`.
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 * Self::EPSILON
+    }
+
+    /// The raw 16-bit representation.
+    pub fn to_bits(self) -> i16 {
+        self.0
+    }
+
+    /// Builds from a raw 16-bit representation.
+    pub fn from_bits(bits: i16) -> Self {
+        Self(bits)
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, other: Self) -> Self {
+        Self(self.0.saturating_add(other.0))
+    }
+
+    /// Fixed-point multiply: `(a · b) >> FRAC`, saturating.
+    pub fn saturating_mul(self, other: Self) -> Self {
+        let wide = (self.0 as i32 * other.0 as i32) >> FRAC;
+        Self(wide.clamp(i16::MIN as i32, i16::MAX as i32) as i16)
+    }
+}
+
+/// Quantizes a whole slice through a Q-format and back — the round-trip a
+/// tensor takes through the accelerator's 16-bit datapath.
+pub fn quantize_slice<const FRAC: u32>(data: &mut [f32]) {
+    for v in data.iter_mut() {
+        *v = Fixed16::<FRAC>::from_f32(*v).to_f32();
+    }
+}
+
+/// Maximum absolute quantization error a Q-format introduces on `data`
+/// (values outside the representable range saturate and are excluded —
+/// returns `(max_rounding_error, saturated_count)`).
+pub fn quantization_error<const FRAC: u32>(data: &[f32]) -> (f32, usize) {
+    let mut max_err = 0.0f32;
+    let mut saturated = 0usize;
+    for &v in data {
+        if v > Fixed16::<FRAC>::max_value() || v < Fixed16::<FRAC>::min_value() {
+            saturated += 1;
+            continue;
+        }
+        let err = (Fixed16::<FRAC>::from_f32(v).to_f32() - v).abs();
+        max_err = max_err.max(err);
+    }
+    (max_err, saturated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_for_representable() {
+        for v in [-2.0f32, -0.5, 0.0, 0.25, 1.0, 63.996_094] {
+            assert_eq!(Fixed16::<8>::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn rounding_error_bounded_by_half_epsilon() {
+        let (err, sat) = quantization_error::<8>(&[0.001, 0.1234, -0.987, 3.141_59]);
+        assert_eq!(sat, 0);
+        assert!(err <= Fixed16::<8>::EPSILON / 2.0 + f32::EPSILON);
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let big = Fixed16::<8>::from_f32(1e6);
+        assert_eq!(big.to_bits(), i16::MAX);
+        let small = Fixed16::<8>::from_f32(-1e6);
+        assert_eq!(small.to_bits(), i16::MIN);
+    }
+
+    #[test]
+    fn fixed_multiply_approximates_float() {
+        let a = Fixed16::<10>::from_f32(1.5);
+        let b = Fixed16::<10>::from_f32(-2.25);
+        let prod = a.saturating_mul(b).to_f32();
+        assert!((prod - (-3.375)).abs() < 2.0 * Fixed16::<10>::EPSILON);
+    }
+
+    #[test]
+    fn quantize_slice_in_place() {
+        let mut data = vec![0.12345f32, -0.6789];
+        quantize_slice::<12>(&mut data);
+        for &v in &data {
+            let requantized = Fixed16::<12>::from_f32(v).to_f32();
+            assert_eq!(v, requantized, "slice not idempotent under quantization");
+        }
+    }
+
+    #[test]
+    fn epsilon_matches_frac_bits() {
+        assert_eq!(Fixed16::<8>::EPSILON, 1.0 / 256.0);
+        assert_eq!(Fixed16::<12>::EPSILON, 1.0 / 4096.0);
+    }
+
+    #[test]
+    fn saturating_add_at_bounds() {
+        let max = Fixed16::<8>::from_bits(i16::MAX);
+        assert_eq!(max.saturating_add(max).to_bits(), i16::MAX);
+    }
+}

@@ -1,0 +1,81 @@
+//! Weight initializers.
+//!
+//! Kaiming/He initialization is used for convolution and linear layers
+//! (matching the PyTorch defaults the paper's experiments relied on).
+
+use crate::matrix::Matrix;
+use crate::tensor::Tensor4;
+use rand::Rng;
+
+/// Samples one standard-normal value using the Box–Muller transform.
+///
+/// Implemented locally so the workspace does not depend on `rand_distr`.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    let r = (-2.0 * u1.ln()).sqrt();
+    (r * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Kaiming-normal initialization for convolution weights.
+///
+/// Standard deviation is `sqrt(2 / fan_in)` with `fan_in = c · kh · kw`,
+/// the correct gain for ReLU networks.
+pub fn kaiming_conv<R: Rng + ?Sized>(rng: &mut R, f: usize, c: usize, kh: usize, kw: usize) -> Tensor4 {
+    let fan_in = (c * kh * kw).max(1) as f32;
+    let std = (2.0 / fan_in).sqrt();
+    Tensor4::from_fn(f, c, kh, kw, |_, _, _, _| sample_standard_normal(rng) * std)
+}
+
+/// Kaiming-normal initialization for a fully-connected weight matrix
+/// (`rows = out_features`, `cols = in_features`).
+pub fn kaiming_linear<R: Rng + ?Sized>(rng: &mut R, out_features: usize, in_features: usize) -> Matrix {
+    let std = (2.0 / in_features.max(1) as f32).sqrt();
+    Matrix::from_fn(out_features, in_features, |_, _| sample_standard_normal(rng) * std)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn kaiming_conv_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let w = kaiming_conv(&mut rng, 32, 16, 3, 3);
+        let fan_in = (16 * 3 * 3) as f32;
+        let expect_std = (2.0 / fan_in).sqrt();
+        let n = w.len() as f32;
+        let mean: f32 = w.as_slice().iter().sum::<f32>() / n;
+        let std: f32 = (w.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n).sqrt();
+        assert!((std - expect_std).abs() / expect_std < 0.1, "std {std} vs expected {expect_std}");
+    }
+
+    #[test]
+    fn kaiming_linear_shape() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = kaiming_linear(&mut rng, 10, 64);
+        assert_eq!(m.rows(), 10);
+        assert_eq!(m.cols(), 64);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a = kaiming_conv(&mut StdRng::seed_from_u64(5), 4, 4, 3, 3);
+        let b = kaiming_conv(&mut StdRng::seed_from_u64(5), 4, 4, 3, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,249 @@
+//! A small row-major matrix type for fully-connected layers.
+
+/// Dense row-major `rows × cols` matrix of `f32`.
+///
+/// ```
+/// use sparsetrain_tensor::Matrix;
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+/// assert_eq!(m.get(1, 2), 5.0);
+/// assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from raw row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length does not match matrix shape");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Sets element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Adds `value` to the element at `(row, col)`.
+    #[inline]
+    pub fn add_at(&mut self, row: usize, col: usize, value: f32) {
+        assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] += value;
+    }
+
+    /// One row as a contiguous slice.
+    pub fn row(&self, row: usize) -> &[f32] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable view of one row.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        let c = self.cols;
+        &mut self.data[row * c..(row + 1) * c]
+    }
+
+    /// The underlying row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `y = self · x` (matrix–vector product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = self.row(r);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x) {
+                acc += a * b;
+            }
+            *yr = acc;
+        }
+        y
+    }
+
+    /// `y = selfᵀ · x` (transposed matrix–vector product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.rows, "matvec_t dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            let row = self.row(r);
+            if xr == 0.0 {
+                continue;
+            }
+            for (yc, a) in y.iter_mut().zip(row) {
+                *yc += a * xr;
+            }
+        }
+        y
+    }
+
+    /// Rank-1 update `self += alpha · x · yᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows` or `y.len() != cols`.
+    pub fn rank1_update(&mut self, alpha: f32, x: &[f32], y: &[f32]) {
+        assert_eq!(x.len(), self.rows);
+        assert_eq!(y.len(), self.cols);
+        for (r, &xv) in x.iter().enumerate() {
+            let xr = alpha * xv;
+            if xr == 0.0 {
+                continue;
+            }
+            let row = self.row_mut(r);
+            for (a, b) in row.iter_mut().zip(y) {
+                *a += xr * b;
+            }
+        }
+    }
+
+    /// Element-wise addition of another matrix of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += *b;
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Fills the matrix with a constant.
+    pub fn fill(&mut self, value: f32) {
+        self.data.fill(value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_identity() {
+        let m = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(m.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn matvec_t_is_transpose() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // m^T = [[1,4],[2,5],[3,6]]
+        assert_eq!(m.matvec_t(&[1.0, 1.0]), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn rank1_update_outer_product() {
+        let mut m = Matrix::zeros(2, 3);
+        m.rank1_update(2.0, &[1.0, 3.0], &[1.0, 0.0, 2.0]);
+        assert_eq!(m.as_slice(), &[2.0, 0.0, 4.0, 6.0, 0.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec dimension mismatch")]
+    fn matvec_wrong_dim_panics() {
+        let m = Matrix::zeros(2, 3);
+        let _ = m.matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_and_add_assign() {
+        let mut a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        a.add_assign(&b);
+        a.scale(2.0);
+        assert_eq!(a.as_slice(), &[8.0, 12.0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Shape descriptors for 3-D and 4-D tensors.
+
+use std::fmt;
+
+/// Shape of a 3-D feature-map tensor: channels × height × width.
+///
+/// ```
+/// use sparsetrain_tensor::Shape3;
+/// let s = Shape3::new(16, 32, 32);
+/// assert_eq!(s.len(), 16 * 32 * 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape3 {
+    /// Number of channels.
+    pub c: usize,
+    /// Spatial height.
+    pub h: usize,
+    /// Spatial width.
+    pub w: usize,
+}
+
+impl Shape3 {
+    /// Creates a new 3-D shape.
+    pub fn new(c: usize, h: usize, w: usize) -> Self {
+        Self { c, h, w }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Returns `true` when the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of element `(c, y, x)` in row-major (C, H, W) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of bounds.
+    #[inline]
+    pub fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        (c * self.h + y) * self.w + x
+    }
+}
+
+impl fmt::Display for Shape3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+/// Shape of a 4-D weight tensor: filters × channels × kernel height × kernel width.
+///
+/// ```
+/// use sparsetrain_tensor::Shape4;
+/// let s = Shape4::new(64, 3, 3, 3);
+/// assert_eq!(s.len(), 64 * 3 * 3 * 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Number of filters (output channels).
+    pub f: usize,
+    /// Number of input channels.
+    pub c: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+}
+
+impl Shape4 {
+    /// Creates a new 4-D shape.
+    pub fn new(f: usize, c: usize, kh: usize, kw: usize) -> Self {
+        Self { f, c, kh, kw }
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.f * self.c * self.kh * self.kw
+    }
+
+    /// Returns `true` when the shape contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat index of element `(f, c, u, v)` in row-major (F, C, KH, KW) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of bounds.
+    #[inline]
+    pub fn index(&self, f: usize, c: usize, u: usize, v: usize) -> usize {
+        debug_assert!(f < self.f && c < self.c && u < self.kh && v < self.kw);
+        ((f * self.c + c) * self.kh + u) * self.kw + v
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.f, self.c, self.kh, self.kw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape3_len_and_index() {
+        let s = Shape3::new(2, 3, 4);
+        assert_eq!(s.len(), 24);
+        assert!(!s.is_empty());
+        assert_eq!(s.index(0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 3), 3);
+        assert_eq!(s.index(0, 1, 0), 4);
+        assert_eq!(s.index(1, 0, 0), 12);
+        assert_eq!(s.index(1, 2, 3), 23);
+    }
+
+    #[test]
+    fn shape4_len_and_index() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(1, 2, 3, 4), 119);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+    }
+
+    #[test]
+    fn shape3_empty() {
+        assert!(Shape3::new(0, 4, 4).is_empty());
+    }
+
+    #[test]
+    fn shape_display() {
+        assert_eq!(Shape3::new(1, 2, 3).to_string(), "1x2x3");
+        assert_eq!(Shape4::new(1, 2, 3, 4).to_string(), "1x2x3x4");
+    }
+}

@@ -1,0 +1,90 @@
+//! Density and moment statistics used across the workspace.
+//!
+//! "Density" (`ρ_nnz` in the paper's Table II) is the fraction of non-zero
+//! elements in a tensor; the pruning algorithm's goal is to drive it down
+//! for activation gradients.
+
+/// Fraction of non-zero elements in `data` (1.0 for an empty slice,
+/// matching the convention that an absent tensor is dense).
+///
+/// ```
+/// use sparsetrain_tensor::stats::density;
+/// assert_eq!(density(&[0.0, 1.0, 0.0, 2.0]), 0.5);
+/// ```
+pub fn density(data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return 1.0;
+    }
+    let nnz = data.iter().filter(|&&v| v != 0.0).count();
+    nnz as f64 / data.len() as f64
+}
+
+/// Number of non-zero elements in `data`.
+pub fn nnz(data: &[f32]) -> usize {
+    data.iter().filter(|&&v| v != 0.0).count()
+}
+
+/// Arithmetic mean (0.0 for an empty slice).
+pub fn mean(data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().map(|&v| v as f64).sum::<f64>() / data.len() as f64
+}
+
+/// Mean of absolute values (0.0 for an empty slice).
+///
+/// This is the statistic the PPU accumulates on-line to estimate σ̂ for
+/// threshold determination.
+pub fn mean_abs(data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().map(|&v| (v as f64).abs()).sum::<f64>() / data.len() as f64
+}
+
+/// Population variance (0.0 for an empty slice).
+pub fn variance(data: &[f32]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|&v| (v as f64 - m).powi(2)).sum::<f64>() / data.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_of_all_zero() {
+        assert_eq!(density(&[0.0; 8]), 0.0);
+    }
+
+    #[test]
+    fn density_of_dense() {
+        assert_eq!(density(&[1.0, -2.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn density_empty_is_one() {
+        assert_eq!(density(&[]), 1.0);
+    }
+
+    #[test]
+    fn nnz_counts() {
+        assert_eq!(nnz(&[0.0, 1.0, 0.0, -0.5]), 2);
+    }
+
+    #[test]
+    fn mean_and_variance_known() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&d), 2.5);
+        assert_eq!(variance(&d), 1.25);
+    }
+
+    #[test]
+    fn mean_abs_ignores_sign() {
+        assert_eq!(mean_abs(&[-1.0, 1.0, -3.0, 3.0]), 2.0);
+    }
+}

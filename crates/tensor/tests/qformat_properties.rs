@@ -1,0 +1,81 @@
+//! Property tests for the Q-format quantization layer.
+
+use proptest::prelude::*;
+use sparsetrain_tensor::qformat::QFormat;
+
+proptest! {
+    #[test]
+    fn roundtrip_error_is_within_half_lsb_in_range(
+        frac in 0u32..=15,
+        values in prop::collection::vec(-100.0f32..100.0, 1..200),
+    ) {
+        let q = QFormat::new(frac);
+        let limit = q.max_value();
+        for &v in &values {
+            if v.abs() <= limit {
+                let e = (q.roundtrip(v) - v).abs();
+                prop_assert!(
+                    e <= q.epsilon() / 2.0 + f32::EPSILON,
+                    "value {v} error {e} at {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_is_idempotent(
+        frac in 0u32..=15,
+        values in prop::collection::vec(-1000.0f32..1000.0, 1..100),
+    ) {
+        let q = QFormat::new(frac);
+        let mut once = values.clone();
+        q.roundtrip_slice(&mut once);
+        let mut twice = once.clone();
+        q.roundtrip_slice(&mut twice);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn quantization_preserves_sign_and_order(
+        frac in 4u32..=15,
+        a in -10.0f32..10.0,
+        b in -10.0f32..10.0,
+    ) {
+        let q = QFormat::new(frac);
+        prop_assume!(a.abs() <= q.max_value() && b.abs() <= q.max_value());
+        // Monotone: a ≤ b ⇒ Q(a) ≤ Q(b).
+        if a <= b {
+            prop_assert!(q.roundtrip(a) <= q.roundtrip(b));
+        }
+        // Sign-preserving up to one LSB of wobble around zero.
+        if a.abs() > q.epsilon() {
+            prop_assert_eq!(q.roundtrip(a).signum(), a.signum());
+        }
+    }
+
+    #[test]
+    fn best_for_never_saturates(values in prop::collection::vec(-1e4f32..1e4, 1..200)) {
+        let q = QFormat::best_for(&values);
+        let err = q.roundtrip_error(&values);
+        prop_assert_eq!(err.saturated, 0);
+    }
+
+    #[test]
+    fn best_for_is_locally_optimal(values in prop::collection::vec(-100.0f32..100.0, 1..100)) {
+        let q = QFormat::best_for(&values);
+        prop_assume!(values.iter().any(|&v| v != 0.0));
+        // One more fractional bit must saturate (otherwise best_for
+        // should have chosen it).
+        if q.frac_bits() < 15 {
+            let finer = QFormat::new(q.frac_bits() + 1);
+            prop_assert!(finer.roundtrip_error(&values).saturated > 0);
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_to_range(frac in 0u32..=15, v in 1e5f32..1e9) {
+        let q = QFormat::new(frac);
+        prop_assert_eq!(q.roundtrip(v), q.max_value());
+        prop_assert!(q.roundtrip(-v) <= -q.max_value());
+    }
+}

@@ -1,0 +1,75 @@
+//! Simulates one captured training step of a ResNet on the SparseTrain
+//! accelerator and the dense baseline, printing the per-layer, per-stage
+//! cycle breakdown — the machinery behind the paper's Figs. 8 and 9.
+//!
+//! Run with: `cargo run --release --example accelerator_sim`
+
+use sparsetrain::core::dataflow::StepKind;
+use sparsetrain::core::prune::PruneConfig;
+use sparsetrain::nn::data::SyntheticSpec;
+use sparsetrain::nn::models::ModelKind;
+use sparsetrain::nn::train::{TrainConfig, Trainer};
+use sparsetrain::sim::baseline::simulate_baseline;
+use sparsetrain::sim::{ArchConfig, Machine};
+
+fn main() {
+    let mut spec = SyntheticSpec::cifar10_like();
+    spec.size = 16;
+    spec.train_samples = 200;
+    spec.test_samples = 50;
+    let (train, _) = spec.generate();
+
+    // Short pruned training run to develop realistic sparsity.
+    let net = ModelKind::Resnet18.build(
+        spec.channels,
+        spec.size,
+        spec.classes,
+        Some(PruneConfig::paper_default()),
+        11,
+    );
+    let mut trainer = Trainer::new(net, TrainConfig::quick());
+    for _ in 0..2 {
+        trainer.train_epoch(&train);
+    }
+    let trace = trainer.capture_trace(&train, "resnet18", "cifar10-like");
+    println!(
+        "captured trace: {} layers, mean I density {:.2}, mean dO density {:.2}",
+        trace.layers.len(),
+        trace.mean_input_density(),
+        trace.mean_dout_density()
+    );
+
+    let cfg = ArchConfig::paper_default();
+    let machine = Machine::new(cfg);
+    let sparse = machine.simulate(&trace);
+    let dense = simulate_baseline(&machine, &trace);
+
+    println!("\nper-layer cycles (sparse / dense):");
+    println!("{:<18} {:>22} {:>22} {:>22}", "layer", "forward", "gta", "gtw");
+    for (s, d) in sparse.layers.iter().zip(&dense.layers) {
+        println!(
+            "{:<18} {:>10} /{:>10} {:>10} /{:>10} {:>10} /{:>10}",
+            s.name,
+            s.step(StepKind::Forward).cycles,
+            d.step(StepKind::Forward).cycles,
+            s.step(StepKind::Gta).cycles,
+            d.step(StepKind::Gta).cycles,
+            s.step(StepKind::Gtw).cycles,
+            d.step(StepKind::Gtw).cycles,
+        );
+    }
+
+    println!(
+        "\ntotals: {} vs {} cycles -> {:.2}x speedup",
+        sparse.total_cycles,
+        dense.total_cycles,
+        sparse.speedup_over(&dense)
+    );
+    println!(
+        "energy: {:.1} uJ vs {:.1} uJ (baseline SRAM share {:.0}%) -> {:.2}x efficiency",
+        sparse.energy.total_uj(),
+        dense.energy.total_uj(),
+        dense.energy.sram_share() * 100.0,
+        sparse.energy_efficiency_over(&dense)
+    );
+}

@@ -1,0 +1,46 @@
+//! Inspects the compiled instruction program of one training step — the
+//! artifact the paper's "simple compiler" produces to drive the
+//! accelerator.
+//!
+//! Run with: `cargo run --release --example compile_program`
+
+use sparsetrain::core::dataflow::{compile, StepKind};
+use sparsetrain::core::prune::PruneConfig;
+use sparsetrain::nn::data::SyntheticSpec;
+use sparsetrain::nn::models;
+use sparsetrain::nn::train::{TrainConfig, Trainer};
+
+fn main() {
+    let (train, _) = SyntheticSpec::tiny(4).generate();
+    let net = models::mini_cnn(4, 8, Some(PruneConfig::paper_default()));
+    let mut trainer = Trainer::new(net, TrainConfig::quick());
+    for _ in 0..3 {
+        trainer.train_epoch(&train);
+    }
+    let trace = trainer.capture_trace(&train, "mini_cnn", "tiny");
+    let program = compile(&trace);
+
+    println!("compiled {} instructions over {} tasks", program.len(), program.task_count());
+    let [fwd, gta, gtw] = program.instrs_per_step();
+    println!("  forward: {fwd} SRC instructions");
+    println!("  gta:     {gta} MSRC instructions");
+    println!("  gtw:     {gtw} OSRC instructions");
+    println!("  total streamed operand values: {}", program.total_stream_values());
+
+    println!("\nfirst instructions of each stage:");
+    for step in [StepKind::Forward, StepKind::Gta, StepKind::Gtw] {
+        if let Some(i) = program.instrs.iter().find(|i| i.step == step) {
+            println!(
+                "  {:<8} layer {} task {:>3}: K={} stride={} port1_nnz={} port2_nnz={} mask_nnz={}",
+                step.name(),
+                i.layer,
+                i.task,
+                i.kernel,
+                i.stride,
+                i.port1_nnz,
+                i.port2_nnz,
+                i.mask_nnz
+            );
+        }
+    }
+}

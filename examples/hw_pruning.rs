@@ -1,0 +1,71 @@
+//! Algorithm 1 as the *hardware* executes it.
+//!
+//! The software view (`LayerPruner`) and the architecture view run the
+//! same algorithm with different parts: in hardware, the PPU's stream
+//! accumulators produce Σ|g| as a side effect of the GTA step, the
+//! controller determines the batch threshold from it and pushes it into
+//! the per-layer FIFO, and the PPU's pruning stage applies the predicted
+//! τ̂ with an LFSR per lane — one value per cycle, no extra pass, no
+//! buffering of unpruned gradients. This example runs both views over
+//! the same gradient stream and shows they agree.
+//!
+//! Run with: `cargo run --release --example hw_pruning`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sparsetrain::core::prune::predictor::{FifoPredictor, ThresholdPredictor};
+use sparsetrain::core::prune::{determine_threshold, sigma_hat, LayerPruner, PruneConfig};
+use sparsetrain::sim::prune_unit::PruneUnit;
+use sparsetrain::tensor::init::sample_standard_normal;
+
+fn main() {
+    let target_sparsity = 0.9;
+    let fifo_depth = 4;
+    let batches = 12;
+    let batch_len = 16_384;
+
+    // Software reference: the paper's Algorithm 1 in one object.
+    let mut software = LayerPruner::new(PruneConfig::new(target_sparsity, fifo_depth));
+    let mut sw_rng = StdRng::seed_from_u64(1);
+
+    // Hardware decomposition: PPU pruning stage + controller-side FIFO.
+    let mut unit = PruneUnit::new(0xACE1);
+    let mut fifo = FifoPredictor::new(fifo_depth);
+
+    let mut data_rng = StdRng::seed_from_u64(7);
+    println!("batch | software density | hardware density | tau-hat (hw)");
+    println!("------+------------------+------------------+-------------");
+    for batch in 0..batches {
+        let scale = 0.05 * (1.0 - batch as f32 / 40.0);
+        let grads: Vec<f32> =
+            (0..batch_len).map(|_| sample_standard_normal(&mut data_rng) * scale).collect();
+
+        // --- software path
+        let mut sw = grads.clone();
+        software.prune_batch(&mut sw, &mut sw_rng);
+        let sw_density = software.stats().last_density().unwrap_or(1.0);
+
+        // --- hardware path: load predicted tau (0 while FIFO cold),
+        // stream the batch through the PPU stage, then determine this
+        // batch's tau from the stream accumulators and push it.
+        let tau_hat = fifo.predict().unwrap_or(0.0);
+        unit.reset_stats();
+        unit.set_threshold(tau_hat as f32);
+        let _pruned = unit.process(&grads);
+        let stats = unit.stats();
+        let sigma = sigma_hat(stats.grad_abs_sum, stats.processed as usize);
+        fifo.observe(determine_threshold(sigma, target_sparsity));
+
+        println!(
+            "{batch:>5} | {sw_density:>16.3} | {:>16.3} | {tau_hat:>11.5}",
+            stats.density()
+        );
+    }
+
+    println!(
+        "\nboth paths warm up after {fifo_depth} batches and land at the same \
+         density;\nthe hardware path never stores an unpruned gradient and adds \
+         zero cycles\n(one value/cycle through the PPU it already traverses) — \
+         the 'almost no\noverhead' claim of §III-B."
+    );
+}

@@ -1,0 +1,63 @@
+//! Inspect the compiled instruction stream of a captured training step.
+//!
+//! Trains a small CNN for a moment, captures its dataflow trace, compiles
+//! the trace into the accelerator's internal instruction program, then
+//! shows the program three ways: summary statistics, the first lines of
+//! the textual assembly, and the size of the binary encoding a host
+//! driver would DMA to the device.
+//!
+//! Run with: `cargo run --release --example isa_inspect`
+
+use sparsetrain::core::dataflow::asm::disassemble;
+use sparsetrain::core::dataflow::encoding::{decode_program, encode_program};
+use sparsetrain::core::dataflow::{compile, StepKind};
+use sparsetrain::core::prune::PruneConfig;
+use sparsetrain::nn::data::SyntheticSpec;
+use sparsetrain::nn::models;
+use sparsetrain::nn::train::{TrainConfig, Trainer};
+
+fn main() {
+    let (train, _) = SyntheticSpec::tiny(4).generate();
+    let net = models::mini_cnn(4, 8, Some(PruneConfig::paper_default()));
+    let mut trainer = Trainer::new(net, TrainConfig::quick());
+    for _ in 0..3 {
+        trainer.train_epoch(&train);
+    }
+
+    let trace = trainer.capture_trace(&train, "mini_cnn", "tiny");
+    let program = compile(&trace);
+
+    println!("compiled {} instructions over {} tasks", program.len(), program.task_count());
+    let [fwd, gta, gtw] = program.instrs_per_step();
+    println!("  forward (SRC):  {fwd}");
+    println!("  GTA (MSRC):     {gta}");
+    println!("  GTW (OSRC):     {gtw}");
+    println!("  streamed operand values: {}", program.total_stream_values());
+
+    // A taste of the assembly, one line per step kind.
+    let listing = disassemble(&program);
+    println!("\nassembly head:");
+    for kind in StepKind::ALL {
+        if let Some(line) = listing
+            .lines()
+            .find(|l| l.starts_with(match kind {
+                StepKind::Forward => "src ",
+                StepKind::Gta => "msrc",
+                StepKind::Gtw => "osrc",
+            }))
+        {
+            println!("  {line}");
+        }
+    }
+
+    // Binary round-trip: what the host driver ships to the device.
+    let bytes = encode_program(&program).expect("program fits the 128-bit format");
+    let back = decode_program(&bytes).expect("encoding round-trips");
+    assert_eq!(back.instrs, program.instrs);
+    println!(
+        "\nbinary image: {} bytes ({} bytes/instruction incl. header)",
+        bytes.len(),
+        if program.is_empty() { 0 } else { bytes.len() / program.len() }
+    );
+    println!("round-trip decode verified.");
+}

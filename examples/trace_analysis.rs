@@ -1,0 +1,57 @@
+//! Captures a dataflow trace, saves it to disk, reloads it, and runs the
+//! static work analysis — the offline workflow for studying a workload
+//! without re-running training.
+//!
+//! Run with: `cargo run --release --example trace_analysis`
+
+use sparsetrain::core::dataflow::{analysis, trace_io, StepKind};
+use sparsetrain::core::prune::PruneConfig;
+use sparsetrain::nn::data::SyntheticSpec;
+use sparsetrain::nn::models;
+use sparsetrain::nn::train::{TrainConfig, Trainer};
+use sparsetrain::sim::baseline::simulate_baseline;
+use sparsetrain::sim::{ArchConfig, Machine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Capture.
+    let (train, _) = SyntheticSpec::tiny(4).generate();
+    let net = models::mini_cnn(4, 8, Some(PruneConfig::paper_default()));
+    let mut trainer = Trainer::new(net, TrainConfig::quick());
+    for _ in 0..3 {
+        trainer.train_epoch(&train);
+    }
+    let trace = trainer.capture_trace(&train, "mini_cnn", "tiny");
+
+    // Save and reload.
+    let path = std::env::temp_dir().join("sparsetrain_example.trace");
+    std::fs::write(&path, trace_io::to_text(&trace))?;
+    let loaded = trace_io::from_text(&std::fs::read_to_string(&path)?)?;
+    println!("trace round-tripped through {} ({} layers)", path.display(), loaded.layers.len());
+
+    // Static analysis: ideal bounds.
+    let summary = analysis::analyze(&loaded);
+    println!(
+        "dense MACs: {}  sparse MACs: {}  ideal speedup: {:.2}x",
+        summary.total_dense_macs(),
+        summary.total_sparse_macs(),
+        summary.ideal_speedup()
+    );
+    for step in [StepKind::Forward, StepKind::Gta, StepKind::Gtw] {
+        println!(
+            "  {:<8} MAC reduction: {:.2}x",
+            step.name(),
+            summary.stage_reduction(step)
+        );
+    }
+
+    // Compare the ideal bound with the simulated speedup.
+    let machine = Machine::new(ArchConfig::paper_default());
+    let sparse = machine.simulate(&loaded);
+    let dense = simulate_baseline(&machine, &loaded);
+    let measured = sparse.speedup_over(&dense);
+    println!(
+        "simulated speedup: {measured:.2}x (ideal bound {:.2}x; the gap is scheduling + bandwidth + per-op overhead)",
+        summary.ideal_speedup()
+    );
+    Ok(())
+}

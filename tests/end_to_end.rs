@@ -1,0 +1,84 @@
+//! End-to-end integration: train → prune → capture trace → simulate, and
+//! check the paper's qualitative claims hold across the crate boundaries.
+
+use sparsetrain::core::prune::PruneConfig;
+use sparsetrain::nn::data::SyntheticSpec;
+use sparsetrain::nn::models;
+use sparsetrain::nn::train::{TrainConfig, Trainer};
+use sparsetrain::sim::baseline::simulate_baseline;
+use sparsetrain::sim::{ArchConfig, Machine};
+
+fn trained_trainer(prune: Option<PruneConfig>, epochs: usize) -> (Trainer, sparsetrain::nn::data::Dataset, sparsetrain::nn::data::Dataset) {
+    let (train, test) = SyntheticSpec::tiny(3).generate();
+    let net = models::mini_cnn(3, 6, prune);
+    let mut trainer = Trainer::new(net, TrainConfig::quick());
+    for _ in 0..epochs {
+        trainer.train_epoch(&train);
+    }
+    (trainer, train, test)
+}
+
+#[test]
+fn pruned_training_matches_dense_accuracy() {
+    let (mut dense, _, test) = trained_trainer(None, 6);
+    let (mut pruned, _, _) = trained_trainer(Some(PruneConfig::new(0.9, 2)), 6);
+    let dense_acc = dense.evaluate(&test);
+    let pruned_acc = pruned.evaluate(&test);
+    assert!(
+        pruned_acc >= dense_acc - 0.15,
+        "pruned accuracy {pruned_acc} fell too far below dense {dense_acc}"
+    );
+}
+
+#[test]
+fn pruning_reduces_gradient_density() {
+    let (dense, _, _) = trained_trainer(None, 3);
+    let (pruned, _, _) = trained_trainer(Some(PruneConfig::new(0.9, 2)), 3);
+    let d_dense = dense.mean_grad_density().expect("dense density");
+    let d_pruned = pruned.mean_grad_density().expect("pruned density");
+    assert!(
+        d_pruned < d_dense,
+        "pruning did not reduce density: {d_pruned} vs {d_dense}"
+    );
+}
+
+#[test]
+fn simulated_speedup_and_efficiency_above_one() {
+    let (mut trainer, train, _) = trained_trainer(Some(PruneConfig::paper_default()), 4);
+    let trace = trainer.capture_trace(&train, "mini", "tiny");
+    assert!(trace.validate().is_ok());
+
+    let cfg = ArchConfig::paper_default();
+    let machine = Machine::new(cfg);
+    let sparse = machine.simulate(&trace);
+    let dense = simulate_baseline(&machine, &trace);
+
+    let speedup = sparse.speedup_over(&dense);
+    let efficiency = sparse.energy_efficiency_over(&dense);
+    assert!(speedup > 1.0, "speedup {speedup} <= 1");
+    assert!(efficiency > 1.0, "efficiency {efficiency} <= 1");
+}
+
+#[test]
+fn baseline_sram_share_in_paper_band() {
+    // §VI-C: "62% ~ 71% of the energy consumption comes from SRAM" for the
+    // baseline. Allow a wider tolerance band since our models are smaller.
+    let (mut trainer, train, _) = trained_trainer(Some(PruneConfig::paper_default()), 3);
+    let trace = trainer.capture_trace(&train, "mini", "tiny");
+    let machine = Machine::new(ArchConfig::paper_default());
+    let dense = simulate_baseline(&machine, &trace);
+    let share = dense.energy.sram_share();
+    assert!(
+        (0.4..0.85).contains(&share),
+        "baseline SRAM share {share} far outside the paper's band"
+    );
+}
+
+#[test]
+fn trace_capture_is_idempotent() {
+    let (mut trainer, train, _) = trained_trainer(None, 2);
+    let a = trainer.capture_trace(&train, "m", "d");
+    let b = trainer.capture_trace(&train, "m", "d");
+    assert_eq!(a.layers.len(), b.layers.len());
+    assert_eq!(a.dense_macs(), b.dense_macs());
+}

