@@ -1,0 +1,167 @@
+//! ScalarEngine vs ParallelEngine on AlexNet-shape layer workloads.
+//!
+//! Each bench executes one full layer stage (Forward / GTA / GTW) through
+//! the engine seam — the same zero-allocation accumulate-into-scratch hot
+//! path `Conv2d` and the dataflow executor use. Labels carry the engine
+//! name, so the JSON lines in `target/bench-results.jsonl` (see the
+//! criterion shim) give a machine-readable scalar-vs-parallel trajectory.
+//!
+//! The parallel engine bands work across filters/channels; its win scales
+//! with hardware threads (`≥1.5×` expected on 4+ cores for the forward
+//! multi-channel shapes below, parity on 1 core where it degenerates to
+//! one band).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sparsetrain_sparse::rowconv::{
+    forward_rows_with, input_grad_rows_with, weight_grad_rows_with, SparseFeatureMap,
+};
+use sparsetrain_sparse::{EngineKind, Workspace};
+use sparsetrain_tensor::conv::ConvGeometry;
+use sparsetrain_tensor::{Tensor3, Tensor4};
+use std::hint::black_box;
+
+/// AlexNet-style layer shapes (channels, filters, spatial size) at the
+/// width the paper's Table I evaluates, with representative densities for
+/// the input activations and pruned output gradients.
+const LAYERS: [(&str, usize, usize, usize, f64, f64); 3] = [
+    ("conv2_64x128x16", 64, 128, 16, 0.45, 0.15),
+    ("conv3_128x192x8", 128, 192, 8, 0.35, 0.10),
+    ("conv4_192x192x8", 192, 192, 8, 0.30, 0.05),
+];
+
+struct LayerFixture {
+    input: SparseFeatureMap,
+    dout: SparseFeatureMap,
+    weights: Tensor4,
+    bias: Vec<f32>,
+    geom: ConvGeometry,
+}
+
+fn fixture(c: usize, f: usize, hw: usize, in_density: f64, dout_density: f64) -> LayerFixture {
+    let geom = ConvGeometry::new(3, 1, 1);
+    let mut rng = StdRng::seed_from_u64(42);
+    let sparse = |rng: &mut StdRng, density: f64| {
+        if rng.gen::<f64>() < density {
+            rng.gen::<f32>() - 0.5
+        } else {
+            0.0
+        }
+    };
+    let input = Tensor3::from_fn(c, hw, hw, |_, _, _| sparse(&mut rng, in_density));
+    let dout = Tensor3::from_fn(f, hw, hw, |_, _, _| sparse(&mut rng, dout_density));
+    let weights = Tensor4::from_fn(f, c, 3, 3, |_, _, _, _| rng.gen::<f32>() - 0.5);
+    let bias: Vec<f32> = (0..f).map(|_| rng.gen::<f32>() - 0.5).collect();
+    LayerFixture {
+        input: SparseFeatureMap::from_tensor(&input),
+        dout: SparseFeatureMap::from_tensor(&dout),
+        weights,
+        bias,
+        geom,
+    }
+}
+
+const ENGINES: [EngineKind; 2] = [EngineKind::Scalar, EngineKind::Parallel];
+
+fn bench_forward(c: &mut Criterion) {
+    println!("hardware threads: {}", rayon::current_num_threads());
+    let mut group = c.benchmark_group("engine_forward");
+    group.sample_size(10);
+    for (name, ci, fi, hw, din, dout) in LAYERS {
+        let fx = fixture(ci, fi, hw, din, dout);
+        for kind in ENGINES {
+            group.bench_with_input(BenchmarkId::new(kind.name(), name), &fx, |b, fx| {
+                b.iter(|| {
+                    black_box(forward_rows_with(
+                        kind.engine(),
+                        &fx.input,
+                        &fx.weights,
+                        Some(&fx.bias),
+                        fx.geom,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_input_grad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_input_grad");
+    group.sample_size(10);
+    for (name, ci, fi, hw, din, dout) in LAYERS {
+        let fx = fixture(ci, fi, hw, din, dout);
+        let masks = fx.input.masks();
+        for kind in ENGINES {
+            group.bench_with_input(BenchmarkId::new(kind.name(), name), &fx, |b, fx| {
+                b.iter(|| {
+                    black_box(input_grad_rows_with(
+                        kind.engine(),
+                        &fx.dout,
+                        &fx.weights,
+                        fx.geom,
+                        hw,
+                        hw,
+                        &masks,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_weight_grad(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_weight_grad");
+    group.sample_size(10);
+    for (name, ci, fi, hw, din, dout) in LAYERS {
+        let fx = fixture(ci, fi, hw, din, dout);
+        for kind in ENGINES {
+            group.bench_with_input(BenchmarkId::new(kind.name(), name), &fx, |b, fx| {
+                b.iter(|| black_box(weight_grad_rows_with(kind.engine(), &fx.input, &fx.dout, fx.geom)));
+            });
+        }
+    }
+    group.finish();
+}
+
+/// Row-at-a-time kernels: allocating wrapper vs Workspace scratch reuse —
+/// the per-row allocation the engine layer eliminated.
+fn bench_workspace_vs_alloc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_kernel_alloc");
+    group.sample_size(20);
+    let geom = ConvGeometry::new(3, 1, 1);
+    let kernel = [0.25f32, 0.5, 0.25];
+    let mut rng = StdRng::seed_from_u64(7);
+    let dense: Vec<f32> = (0..512)
+        .map(|_| {
+            if rng.gen::<f64>() < 0.3 {
+                rng.gen::<f32>() - 0.5
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let row = sparsetrain_sparse::SparseVec::from_dense(&dense);
+    group.bench_function("src_alloc_per_row", |b| {
+        b.iter(|| black_box(sparsetrain_sparse::src::src_conv(&row, &kernel, geom, 512)));
+    });
+    let mut ws = Workspace::with_capacity(512, 3);
+    group.bench_function("src_workspace_reuse", |b| {
+        b.iter(|| {
+            let out = ws.src(&row, &kernel, geom, 512);
+            black_box(out[0])
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_input_grad,
+    bench_weight_grad,
+    bench_workspace_vs_alloc
+);
+criterion_main!(benches);

@@ -17,7 +17,11 @@ use std::hint::black_box;
 fn trace(density: f64) -> NetworkTrace {
     let mut rng = StdRng::seed_from_u64(1);
     SynthNet::new("isa-bench", "synthetic")
-        .conv(SynthLayer::conv(32, 32, 24, 3).input_density(density).dout_density(density))
+        .conv(
+            SynthLayer::conv(32, 32, 24, 3)
+                .input_density(density)
+                .dout_density(density),
+        )
         .generate(&mut rng)
 }
 
@@ -37,7 +41,9 @@ fn bench_serialize(c: &mut Criterion) {
     let bytes = encode_program(&program).unwrap();
     let text = disassemble(&program);
     let mut g = c.benchmark_group("isa_serialize");
-    g.bench_function("encode_binary", |b| b.iter(|| encode_program(black_box(&program))));
+    g.bench_function("encode_binary", |b| {
+        b.iter(|| encode_program(black_box(&program)))
+    });
     g.bench_function("decode_binary", |b| b.iter(|| decode_program(black_box(&bytes))));
     g.bench_function("disassemble", |b| b.iter(|| disassemble(black_box(&program))));
     g.bench_function("assemble", |b| b.iter(|| assemble(black_box(&text))));

@@ -33,7 +33,11 @@ fn bench_buffer(c: &mut Criterion) {
     let mut g = c.benchmark_group("banked_buffer");
     for banks in [8usize, 32, 128] {
         g.bench_with_input(BenchmarkId::new("stream", banks), &banks, |b, &banks| {
-            let cfg = BufferConfig { banks, words_per_bank_per_cycle: 1, capacity_words: 1 << 20 };
+            let cfg = BufferConfig {
+                banks,
+                words_per_bank_per_cycle: 1,
+                capacity_words: 1 << 20,
+            };
             b.iter(|| {
                 let mut buf = BankedBuffer::new(cfg);
                 buf.service_stream(black_box(0), 1 << 14, 168)

@@ -110,5 +110,10 @@ fn bench_hardware_prune_unit(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_streaming_vs_sort, bench_full_prune_pass, bench_hardware_prune_unit);
+criterion_group!(
+    benches,
+    bench_streaming_vs_sort,
+    bench_full_prune_pass,
+    bench_hardware_prune_unit
+);
 criterion_main!(benches);

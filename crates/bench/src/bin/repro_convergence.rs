@@ -12,7 +12,12 @@ fn main() {
     println!("paper: pruned loss curves track the dense curve; AlexNet slightly slower at aggressive p\n");
 
     for model in [ModelKind::Alexnet, ModelKind::Resnet18] {
-        let curves = run(model, "cifar10", &[None, Some(0.7), Some(0.9), Some(0.99)], profile);
+        let curves = run(
+            model,
+            "cifar10",
+            &[None, Some(0.7), Some(0.9), Some(0.99)],
+            profile,
+        );
         println!("model: {}", model.name());
         let epochs = curves[0].losses.len();
         let mut rows = vec![{

@@ -46,7 +46,14 @@ fn main() {
         );
         let mut trainer = Trainer::new(
             net,
-            TrainConfig { batch_size: 16, lr: 0.01, momentum: 0.9, weight_decay: 1e-4, seed: 5 },
+            TrainConfig {
+                batch_size: 16,
+                lr: 0.01,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+                seed: 5,
+                engine: None,
+            },
         );
         // A little training so the gradients are shaped by the data, not
         // just by initialization.
@@ -84,7 +91,12 @@ fn main() {
         // Per-position detail for the most and least normal positions.
         let mut scored: Vec<(String, f64)> = tapped
             .iter()
-            .map(|(name, v)| (name.clone(), DistributionSummary::from_nonzero(v).normality_score()))
+            .map(|(name, v)| {
+                (
+                    name.clone(),
+                    DistributionSummary::from_nonzero(v).normality_score(),
+                )
+            })
             .collect();
         scored.sort_by(|a, b| a.1.total_cmp(&b.1));
         if let (Some(worst), Some(best)) = (scored.first(), scored.last()) {

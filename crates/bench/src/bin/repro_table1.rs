@@ -11,9 +11,19 @@ fn main() {
     println!("paper: W, dW, dI, O dense; I, dO sparse\n");
     let row = run(profile);
     let out = render(&[
-        vec!["data type".into(), "symbol".into(), "density".into(), "paper".into()],
+        vec![
+            "data type".into(),
+            "symbol".into(),
+            "density".into(),
+            "paper".into(),
+        ],
         vec!["Weights".into(), "W".into(), fmt(row.weights, 2), "dense".into()],
-        vec!["Weight gradients".into(), "dW".into(), fmt(row.weight_grads, 2), "dense".into()],
+        vec![
+            "Weight gradients".into(),
+            "dW".into(),
+            fmt(row.weight_grads, 2),
+            "dense".into(),
+        ],
         vec![
             "Input activations".into(),
             "I".into(),

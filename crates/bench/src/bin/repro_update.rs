@@ -50,7 +50,14 @@ fn main() {
         let params = param_count(&net) as u64;
         let mut trainer = Trainer::new(
             net,
-            TrainConfig { batch_size: 16, lr: 0.01, momentum: 0.9, weight_decay: 1e-4, seed: 5 },
+            TrainConfig {
+                batch_size: 16,
+                lr: 0.01,
+                momentum: 0.9,
+                weight_decay: 1e-4,
+                seed: 5,
+                engine: None,
+            },
         );
         for _ in 0..2 {
             trainer.train_epoch(&train);

@@ -32,6 +32,7 @@ fn main() {
             momentum: 0.9,
             weight_decay: 1e-4,
             seed: 5,
+            engine: None,
         },
     );
     for _ in 0..profile.sim_warmup_epochs() {

@@ -36,6 +36,7 @@ fn main() {
             momentum: 0.9,
             weight_decay: 1e-4,
             seed: 5,
+            engine: None,
         },
     );
     for _ in 0..profile.sim_warmup_epochs() {
@@ -48,14 +49,62 @@ fn main() {
     let base = EnergyModel::finfet_14nm();
     let variants: Vec<(&str, EnergyModel)> = vec![
         ("calibrated", base),
-        ("mac +50%", EnergyModel { mac_pj: base.mac_pj * 1.5, ..base }),
-        ("mac -50%", EnergyModel { mac_pj: base.mac_pj * 0.5, ..base }),
-        ("sram +50%", EnergyModel { sram_pj: base.sram_pj * 1.5, ..base }),
-        ("sram -50%", EnergyModel { sram_pj: base.sram_pj * 0.5, ..base }),
-        ("dram +50%", EnergyModel { dram_pj: base.dram_pj * 1.5, ..base }),
-        ("dram -50%", EnergyModel { dram_pj: base.dram_pj * 0.5, ..base }),
-        ("reg +50%", EnergyModel { reg_pj: base.reg_pj * 1.5, ..base }),
-        ("ctrl +50%", EnergyModel { ctrl_pj: base.ctrl_pj * 1.5, ..base }),
+        (
+            "mac +50%",
+            EnergyModel {
+                mac_pj: base.mac_pj * 1.5,
+                ..base
+            },
+        ),
+        (
+            "mac -50%",
+            EnergyModel {
+                mac_pj: base.mac_pj * 0.5,
+                ..base
+            },
+        ),
+        (
+            "sram +50%",
+            EnergyModel {
+                sram_pj: base.sram_pj * 1.5,
+                ..base
+            },
+        ),
+        (
+            "sram -50%",
+            EnergyModel {
+                sram_pj: base.sram_pj * 0.5,
+                ..base
+            },
+        ),
+        (
+            "dram +50%",
+            EnergyModel {
+                dram_pj: base.dram_pj * 1.5,
+                ..base
+            },
+        ),
+        (
+            "dram -50%",
+            EnergyModel {
+                dram_pj: base.dram_pj * 0.5,
+                ..base
+            },
+        ),
+        (
+            "reg +50%",
+            EnergyModel {
+                reg_pj: base.reg_pj * 1.5,
+                ..base
+            },
+        ),
+        (
+            "ctrl +50%",
+            EnergyModel {
+                ctrl_pj: base.ctrl_pj * 1.5,
+                ..base
+            },
+        ),
     ];
 
     println!("Energy-model sensitivity (resnet18/cifar10 trace, {profile:?} profile)\n");

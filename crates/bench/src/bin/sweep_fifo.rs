@@ -27,8 +27,9 @@ fn determined_thresholds(batches: usize) -> Vec<f64> {
     let mut taus = Vec::with_capacity(batches);
     for b in 0..batches {
         let scale = 0.1 * (1.0 + 0.3 * ((b as f32 * 0.37).sin())) * (-(b as f32) / 200.0).exp();
-        let mut grads: Vec<f32> =
-            (0..8192).map(|_| sample_standard_normal(&mut rng) * scale).collect();
+        let mut grads: Vec<f32> = (0..8192)
+            .map(|_| sample_standard_normal(&mut rng) * scale)
+            .collect();
         pruner.prune_batch(&mut grads, &mut rng);
         if let Some(tau) = pruner.stats().last_determined_tau {
             taus.push(tau);
@@ -61,7 +62,16 @@ fn main() {
         Box::new(EmaPredictor::new(0.3)),
         Box::new(EmaPredictor::new(0.1)),
     ];
-    let labels = ["last-value", "fifo-2", "fifo-4 (paper)", "fifo-8", "fifo-16", "ema-0.7", "ema-0.3", "ema-0.1"];
+    let labels = [
+        "last-value",
+        "fifo-2",
+        "fifo-4 (paper)",
+        "fifo-8",
+        "fifo-16",
+        "ema-0.7",
+        "ema-0.3",
+        "ema-0.1",
+    ];
 
     for (p, label) in predictors.iter_mut().zip(labels) {
         let r = evaluate_predictor(p.as_mut(), &taus);

@@ -32,9 +32,15 @@ fn main() {
     for &density in &[1.0, 0.5, 0.25, 0.1, 0.03] {
         let mut rng = StdRng::seed_from_u64(3);
         let trace = SynthNet::new("fmt", "sweep")
-            .conv(SynthLayer::conv(64, 64, 32, 3).input_density(density).dout_density(density))
+            .conv(
+                SynthLayer::conv(64, 64, 32, 3)
+                    .input_density(density)
+                    .dout_density(density),
+            )
             .generate(&mut rng);
-        let LayerTrace::Conv(conv) = &trace.layers[0] else { unreachable!() };
+        let LayerTrace::Conv(conv) = &trace.layers[0] else {
+            unreachable!()
+        };
 
         let mut totals = [0u64; 4];
         let mut row_count = 0u64;

@@ -14,9 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparsetrain_bench::table::{fmt, render};
 use sparsetrain_core::dataflow::synth::{SynthLayer, SynthNet};
-use sparsetrain_core::dataflow::{
-    for_each_forward_op, for_each_gta_op, for_each_gtw_op, LayerTrace,
-};
+use sparsetrain_core::dataflow::{for_each_forward_op, for_each_gta_op, for_each_gtw_op, LayerTrace};
 use sparsetrain_sim::sched::{lower_bound, schedule, Policy};
 use sparsetrain_sparse::work::{msrc_work, osrc_work, src_work};
 
@@ -31,7 +29,9 @@ fn task_cycles(layer: &sparsetrain_core::dataflow::ConvLayerTrace) -> Vec<u64> {
         *tasks.last_mut().expect("pushed above") += cycles;
     };
     let mut last = usize::MAX;
-    for_each_forward_op(layer, |t, op| push(t, src_work(op.input, op.geom).cycles, &mut last));
+    for_each_forward_op(layer, |t, op| {
+        push(t, src_work(op.input, op.geom).cycles, &mut last)
+    });
     let mut last = usize::MAX;
     for_each_gta_op(layer, |t, op| {
         push(t, msrc_work(op.grad, op.geom, op.mask).cycles, &mut last)
@@ -58,9 +58,15 @@ fn main() {
         for &pes in &[42usize, 168, 672] {
             let mut rng = StdRng::seed_from_u64(17);
             let trace = SynthNet::new("sched-sweep", "synthetic")
-                .conv(SynthLayer::conv(64, 96, 24, 3).input_density(density).dout_density(density))
+                .conv(
+                    SynthLayer::conv(64, 96, 24, 3)
+                        .input_density(density)
+                        .dout_density(density),
+                )
                 .generate(&mut rng);
-            let LayerTrace::Conv(conv) = &trace.layers[0] else { unreachable!() };
+            let LayerTrace::Conv(conv) = &trace.layers[0] else {
+                unreachable!()
+            };
             let tasks = task_cycles(conv);
             let lb = lower_bound(&tasks, pes).max(1);
             let ratio = |p: Policy| schedule(p, &tasks, pes).makespan as f64 / lb as f64;
@@ -93,9 +99,22 @@ fn main() {
     for &density in &[0.8, 0.3, 0.08] {
         let mut rng = StdRng::seed_from_u64(21);
         let trace = SynthNet::new("sched-e2e", "synthetic")
-            .conv(SynthLayer::conv(32, 48, 24, 3).first_layer().dout_density(density))
-            .conv(SynthLayer::conv(48, 48, 24, 3).input_density(density).dout_density(density))
-            .conv(SynthLayer::conv(48, 64, 12, 3).stride(2).input_density(density).dout_density(density))
+            .conv(
+                SynthLayer::conv(32, 48, 24, 3)
+                    .first_layer()
+                    .dout_density(density),
+            )
+            .conv(
+                SynthLayer::conv(48, 48, 24, 3)
+                    .input_density(density)
+                    .dout_density(density),
+            )
+            .conv(
+                SynthLayer::conv(48, 64, 12, 3)
+                    .stride(2)
+                    .input_density(density)
+                    .dout_density(density),
+            )
             .generate(&mut rng);
         let cycles: Vec<u64> = Policy::ALL
             .iter()

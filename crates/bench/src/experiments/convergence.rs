@@ -37,6 +37,7 @@ pub fn run(model: ModelKind, dataset_name: &str, rates: &[Option<f64>], profile:
                     momentum: 0.9,
                     weight_decay: 1e-4,
                     seed: 23,
+                    engine: None,
                 },
             );
             let epochs = profile.epochs().max(6);

@@ -55,6 +55,7 @@ pub fn run_pair(model: ModelKind, dataset_name: &str, profile: Profile) -> Laten
             momentum: 0.9,
             weight_decay: 1e-4,
             seed: 5,
+            engine: None,
         },
     );
     // Warm-up epochs: fill the pruning FIFOs and develop realistic

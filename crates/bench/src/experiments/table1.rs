@@ -48,6 +48,7 @@ pub fn run(profile: Profile) -> Table1Row {
             momentum: 0.9,
             weight_decay: 1e-4,
             seed: 5,
+            engine: None,
         },
     );
     for _ in 0..2 {

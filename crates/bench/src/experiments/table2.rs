@@ -40,6 +40,7 @@ pub fn run_cell(model: ModelKind, dataset_name: &str, p: Option<f64>, profile: P
             momentum: 0.9,
             weight_decay: 1e-4,
             seed: 3,
+            engine: None,
         },
     );
     let epochs = profile.epochs().max(6);

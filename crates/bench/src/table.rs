@@ -51,10 +51,7 @@ mod tests {
 
     #[test]
     fn renders_aligned() {
-        let out = render(&[
-            vec!["a".into(), "bb".into()],
-            vec!["ccc".into(), "d".into()],
-        ]);
+        let out = render(&[vec!["a".into(), "bb".into()], vec!["ccc".into(), "d".into()]]);
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[1].starts_with("---"));

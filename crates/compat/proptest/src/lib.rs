@@ -1,0 +1,723 @@
+//! Offline compat shim for the `proptest` crate.
+//!
+//! The build environment has no network access, so this crate provides the
+//! subset of the proptest 1.x API the workspace's property tests use:
+//! the [`proptest!`], [`prop_compose!`], [`prop_oneof!`] and
+//! `prop_assert*`/`prop_assume!` macros, the [`strategy::Strategy`] trait
+//! with `prop_map`/`prop_filter`, range/tuple/[`strategy::Just`]
+//! strategies, [`collection::vec`] and `any::<bool>()`.
+//!
+//! Semantic difference from upstream: failing cases are **not shrunk** —
+//! the failing input is reported as generated. Generation is fully
+//! deterministic per (test name, case index), so failures reproduce
+//! exactly on re-run.
+
+pub mod test_runner {
+    //! Configuration, RNG and error types for the test runner.
+
+    /// Runner configuration (`cases` = number of passing cases required).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config requiring `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 64,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` (does not fail the test).
+        Reject(String),
+        /// The case failed an assertion.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Creates a rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result of one generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one `(test, case, reject)` tuple — reproducible across
+        /// runs and platforms.
+        pub fn for_case(test_name: &str, case: u32, rejects: u32) -> Self {
+            // FNV-1a over the test name gives a stable per-test stream.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let state = h ^ ((case as u64) << 32) ^ (rejects as u64) ^ 0x5DEE_CE66_D013_05C9;
+            Self { state }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `n == 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `f32` in `[0, 1)`.
+        pub fn unit_f32(&mut self) -> f32 {
+            ((self.next_u64() >> 40) as u32) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no shrinking; `generate` draws one
+    /// value directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map: f }
+        }
+
+        /// Discards generated values failing `f` (regenerating locally).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                whence,
+                pred: f,
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy (used by `prop_oneof!` to unify variant types).
+    pub fn box_strategy<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.source.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter {:?} rejected 10000 consecutive values", self.whence);
+        }
+    }
+
+    /// Weighted choice between boxed strategies of one value type.
+    pub struct Union<T> {
+        variants: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `variants` is empty or its weights sum to zero.
+        pub fn new(variants: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+            assert!(
+                variants.iter().any(|(w, _)| *w > 0),
+                "prop_oneof! weights sum to zero"
+            );
+            Self { variants }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.variants.iter().map(|(w, _)| *w as u64).sum();
+            let mut pick = rng.below(total);
+            for (w, s) in &self.variants {
+                let w = *w as u64;
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range");
+        }
+    }
+
+    macro_rules! impl_range_strategy_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                    if span == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_range_strategy_float {
+        ($t:ty, $unit:ident) => {
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + rng.$unit() * (self.end - self.start)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    start + rng.$unit() * (end - start)
+                }
+            }
+        };
+    }
+    impl_range_strategy_float!(f32, unit_f32);
+    impl_range_strategy_float!(f64, unit_f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive element-count range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec` — a vector of `size` elements drawn from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`Arbitrary`] trait and `any`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Canonical strategy for `bool`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct AnyBool;
+
+    impl Strategy for AnyBool {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = AnyBool;
+        fn arbitrary() -> AnyBool {
+            AnyBool
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty => $name:ident),*) => {$(
+            /// Canonical full-range strategy for the integer type.
+            #[derive(Debug, Clone, Copy)]
+            pub struct $name;
+
+            impl Strategy for $name {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+
+            impl Arbitrary for $t {
+                type Strategy = $name;
+                fn arbitrary() -> $name {
+                    $name
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8 => AnyU8, u16 => AnyU16, u32 => AnyU32, u64 => AnyU64,
+                        usize => AnyUsize, i8 => AnyI8, i16 => AnyI16, i32 => AnyI32,
+                        i64 => AnyI64, isize => AnyIsize);
+
+    /// `proptest::prelude::any` — the canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+}
+
+/// Defines property tests. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )* ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rejects: u32 = 0;
+            let mut __case: u32 = 0;
+            while __case < __config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                    __rejects,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::core::result::Result::Ok(()) => {
+                        __case += 1;
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(__why)) => {
+                        __rejects += 1;
+                        assert!(
+                            __rejects <= __config.max_global_rejects,
+                            "too many prop_assume! rejections (last: {})",
+                            __why
+                        );
+                    }
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest `{}` failed at case {}: {}",
+                            stringify!($name),
+                            __case,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a == *__b,
+            "assertion failed: `{:?}` == `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a == *__b, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *__a != *__b,
+            "assertion failed: `{:?}` != `{:?}`",
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(*__a != *__b, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case (it is retried with fresh inputs).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::box_strategy($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::box_strategy($strat))),+
+        ])
+    };
+}
+
+/// Composes named strategies into a derived strategy function.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)
+                 ($($binding:pat_param in $bstrat:expr),+ $(,)?)
+                 -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*) -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::Strategy::prop_map(
+                ($($bstrat,)+),
+                move |($($binding,)+)| $body
+            )
+        }
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0, 0);
+        for _ in 0..500 {
+            let v = Strategy::generate(&(3u32..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let w = Strategy::generate(&(1usize..=5), &mut rng);
+            assert!((1..=5).contains(&w));
+            let f = Strategy::generate(&(-2.0f32..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn union_respects_weights_roughly() {
+        let mut rng = TestRng::for_case("union", 0, 0);
+        let s = prop_oneof![9u32 => Just(1u8), 1u32 => Just(0u8)];
+        let ones: u32 = (0..1000).map(|_| Strategy::generate(&s, &mut rng) as u32).sum();
+        assert!(ones > 800, "weighted union skewed: {ones}");
+    }
+
+    #[test]
+    fn filter_and_map_compose() {
+        let mut rng = TestRng::for_case("fm", 0, 0);
+        let s = (0u32..100)
+            .prop_filter("even", |v| v % 2 == 0)
+            .prop_map(|v| v + 1);
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert_eq!(v % 2, 1);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = TestRng::for_case("vec", 0, 0);
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(0u8..10, 3..7), &mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let fixed = Strategy::generate(&crate::collection::vec(Just(1i32), 4usize), &mut rng);
+        assert_eq!(fixed, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = TestRng::for_case("det", 7, 0);
+        let mut b = TestRng::for_case("det", 7, 0);
+        let s = crate::collection::vec(0u64..1000, 10usize);
+        assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_smoke(x in 0u32..50, v in prop::collection::vec(-1.0f64..1.0, 0..8)) {
+            prop_assert!(x < 50);
+            prop_assume!(v.len() != 7);
+            prop_assert_ne!(v.len(), 7);
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u8..10, b in 10u8..20) -> (u8, u8) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn compose_smoke(pair in arb_pair()) {
+            prop_assert!(pair.0 < 10 && pair.1 >= 10);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Offline compat shim for the `rayon` crate.
+//!
+//! Provides the fork-join subset the workspace uses — [`scope`],
+//! [`Scope::spawn`], [`join`] and [`current_num_threads`] — implemented on
+//! `std::thread::scope`. Unlike real rayon there is no work-stealing pool:
+//! every `spawn` is an OS thread. Callers are expected to spawn **one task
+//! per band of work** (roughly [`current_num_threads`] tasks), which is how
+//! `sparsetrain_sparse::engine::ParallelEngine` uses it; with that pattern
+//! the thread-per-spawn cost is amortized over an entire layer of rows.
+//!
+//! The API matches rayon's, so swapping in the real crate is a Cargo.toml
+//! change only.
+
+use std::num::NonZeroUsize;
+
+/// Number of hardware threads the runtime will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A scope in which parallel tasks can be spawned; all tasks are joined
+/// before [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from the enclosing environment.
+    ///
+    /// The closure receives the scope again so it can spawn nested tasks,
+    /// mirroring rayon's signature.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Runs `f` with a [`Scope`]; returns once every spawned task finished.
+///
+/// Panics in spawned tasks propagate to the caller, as in rayon.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let a = s.spawn(oper_a);
+        let rb = oper_b();
+        let ra = match a.join() {
+            Ok(ra) => ra,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+pub mod prelude {
+    //! Rayon-style prelude (fork-join subset only).
+    pub use crate::{current_num_threads, join, scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn scope_allows_disjoint_mutable_borrows() {
+        let mut data = vec![0u32; 64];
+        let (left, right) = data.split_at_mut(32);
+        scope(|s| {
+            s.spawn(|_| left.iter_mut().for_each(|v| *v = 1));
+            s.spawn(|_| right.iter_mut().for_each(|v| *v = 2));
+        });
+        assert!(data[..32].iter().all(|&v| v == 1));
+        assert!(data[32..].iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn spawned_panic_propagates() {
+        scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+    }
+}

@@ -133,20 +133,30 @@ mod tests {
 
     fn conv_trace(density_mod: usize) -> ConvLayerTrace {
         let geom = ConvGeometry::new(3, 1, 1);
-        let input = Tensor3::from_fn(2, 6, 6, |c, y, x| {
-            if (c + y + x) % density_mod == 0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
-        let dout = Tensor3::from_fn(3, 6, 6, |c, y, x| {
-            if (c + y * x) % density_mod == 0 {
-                0.5
-            } else {
-                0.0
-            }
-        });
+        let input = Tensor3::from_fn(
+            2,
+            6,
+            6,
+            |c, y, x| {
+                if (c + y + x) % density_mod == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
+        let dout = Tensor3::from_fn(
+            3,
+            6,
+            6,
+            |c, y, x| {
+                if (c + y * x) % density_mod == 0 {
+                    0.5
+                } else {
+                    0.0
+                }
+            },
+        );
         let fm = SparseFeatureMap::from_tensor(&input);
         let masks = fm.masks();
         ConvLayerTrace {

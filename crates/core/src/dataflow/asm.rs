@@ -118,7 +118,10 @@ pub fn format_instr(instr: &Instr) -> String {
 pub fn disassemble(program: &Program) -> String {
     let mut out = String::new();
     if !program.is_empty() {
-        out.push_str(&format!("; sparsetrain program, {} instructions\n", program.len()));
+        out.push_str(&format!(
+            "; sparsetrain program, {} instructions\n",
+            program.len()
+        ));
     }
     for instr in &program.instrs {
         out.push_str(&format_instr(instr));
@@ -141,7 +144,10 @@ struct LineParser<'a> {
 
 impl<'a> LineParser<'a> {
     fn err(&self, kind: AsmErrorKind) -> AsmError {
-        AsmError { line: self.line_no, kind }
+        AsmError {
+            line: self.line_no,
+            kind,
+        }
     }
 
     fn check_fresh(&self, slot_is_some: bool, key: &str) -> Result<(), AsmError> {
@@ -153,13 +159,19 @@ impl<'a> LineParser<'a> {
 
     fn parse_u32(&self, key: &str, value: &str) -> Result<u32, AsmError> {
         value.parse::<u32>().map_err(|_| {
-            self.err(AsmErrorKind::BadValue { key: key.to_string(), value: value.to_string() })
+            self.err(AsmErrorKind::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            })
         })
     }
 
     fn parse_u8(&self, key: &str, value: &str) -> Result<u8, AsmError> {
         value.parse::<u8>().map_err(|_| {
-            self.err(AsmErrorKind::BadValue { key: key.to_string(), value: value.to_string() })
+            self.err(AsmErrorKind::BadValue {
+                key: key.to_string(),
+                value: value.to_string(),
+            })
         })
     }
 
@@ -331,7 +343,9 @@ mod tests {
 
     #[test]
     fn fields_in_any_order() {
-        let a = parse_line("osrc p2=4 k=5 p1=9 s=2 task=1 layer=2", 1).unwrap().unwrap();
+        let a = parse_line("osrc p2=4 k=5 p1=9 s=2 task=1 layer=2", 1)
+            .unwrap()
+            .unwrap();
         assert_eq!(a.kernel, 5);
         assert_eq!(a.stride, 2);
         assert_eq!(a.port1_nnz, 9);

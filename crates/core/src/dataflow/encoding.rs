@@ -263,11 +263,17 @@ pub fn decode_instr(bytes: &[u8; INSTR_BYTES], index: usize) -> Result<Instr, De
     }
     let kernel = ((word >> 2) & 0xF) as u8;
     if kernel == 0 {
-        return Err(DecodeError::ZeroField { index, field: Field::Kernel });
+        return Err(DecodeError::ZeroField {
+            index,
+            field: Field::Kernel,
+        });
     }
     let stride = ((word >> 6) & 0x7) as u8;
     if stride == 0 {
-        return Err(DecodeError::ZeroField { index, field: Field::Stride });
+        return Err(DecodeError::ZeroField {
+            index,
+            field: Field::Stride,
+        });
     }
     Ok(Instr {
         layer: ((word >> 16) & 0xFFFF) as u32,
@@ -322,7 +328,10 @@ pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
     let payload = &bytes[HEADER_BYTES..];
     let actual = (payload.len() / INSTR_BYTES) as u64;
     if actual != count || !payload.len().is_multiple_of(INSTR_BYTES) {
-        return Err(DecodeError::LengthMismatch { expected: count, actual });
+        return Err(DecodeError::LengthMismatch {
+            expected: count,
+            actual,
+        });
     }
     let mut program = Program::default();
     program.instrs.reserve(count as usize);
@@ -389,25 +398,38 @@ mod tests {
         i.task = MAX_FIELD24 + 1;
         assert_eq!(
             encode_instr(&i, 5),
-            Err(EncodeError::FieldOverflow { index: 5, field: Field::Task, value: MAX_FIELD24 + 1 })
+            Err(EncodeError::FieldOverflow {
+                index: 5,
+                field: Field::Task,
+                value: MAX_FIELD24 + 1
+            })
         );
         let mut i = sample_instr();
         i.kernel = MAX_KERNEL + 1;
         assert!(matches!(
             encode_instr(&i, 0),
-            Err(EncodeError::FieldOverflow { field: Field::Kernel, .. })
+            Err(EncodeError::FieldOverflow {
+                field: Field::Kernel,
+                ..
+            })
         ));
         let mut i = sample_instr();
         i.stride = 0;
         assert!(matches!(
             encode_instr(&i, 0),
-            Err(EncodeError::FieldOverflow { field: Field::Stride, .. })
+            Err(EncodeError::FieldOverflow {
+                field: Field::Stride,
+                ..
+            })
         ));
         let mut i = sample_instr();
         i.layer = MAX_LAYER + 1;
         assert!(matches!(
             encode_instr(&i, 0),
-            Err(EncodeError::FieldOverflow { field: Field::Layer, .. })
+            Err(EncodeError::FieldOverflow {
+                field: Field::Layer,
+                ..
+            })
         ));
     }
 
@@ -423,7 +445,10 @@ mod tests {
         let i = sample_instr();
         let mut bytes = encode_instr(&i, 0).unwrap();
         bytes[1] |= 0x80; // bit 15 lives in the reserved span
-        assert_eq!(decode_instr(&bytes, 0), Err(DecodeError::ReservedBits { index: 0 }));
+        assert_eq!(
+            decode_instr(&bytes, 0),
+            Err(DecodeError::ReservedBits { index: 0 })
+        );
     }
 
     #[test]
@@ -432,12 +457,18 @@ mod tests {
         let zero_kernel: u128 = 1 << 6; // opcode 0, kernel 0, stride 1
         assert_eq!(
             decode_instr(&zero_kernel.to_le_bytes(), 0),
-            Err(DecodeError::ZeroField { index: 0, field: Field::Kernel })
+            Err(DecodeError::ZeroField {
+                index: 0,
+                field: Field::Kernel
+            })
         );
         let zero_stride: u128 = 3 << 2; // opcode 0, kernel 3, stride 0
         assert_eq!(
             decode_instr(&zero_stride.to_le_bytes(), 0),
-            Err(DecodeError::ZeroField { index: 0, field: Field::Stride })
+            Err(DecodeError::ZeroField {
+                index: 0,
+                field: Field::Stride
+            })
         );
     }
 
@@ -485,28 +516,44 @@ mod tests {
         bytes[12] = 2;
         assert_eq!(
             decode_program(&bytes),
-            Err(DecodeError::LengthMismatch { expected: 2, actual: 1 })
+            Err(DecodeError::LengthMismatch {
+                expected: 2,
+                actual: 1
+            })
         );
         // Ragged payload.
         let mut p2 = Program::default();
         p2.instrs.push(sample_instr());
         let mut ragged = encode_program(&p2).unwrap();
         ragged.pop();
-        assert!(matches!(decode_program(&ragged), Err(DecodeError::LengthMismatch { .. })));
+        assert!(matches!(
+            decode_program(&ragged),
+            Err(DecodeError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
     fn error_messages_are_nonempty() {
-        let e = EncodeError::FieldOverflow { index: 0, field: Field::Port2, value: 1 };
+        let e = EncodeError::FieldOverflow {
+            index: 0,
+            field: Field::Port2,
+            value: 1,
+        };
         assert!(!e.to_string().is_empty());
         for d in [
             DecodeError::TruncatedHeader,
             DecodeError::BadMagic,
             DecodeError::UnsupportedVersion(2),
-            DecodeError::LengthMismatch { expected: 1, actual: 0 },
+            DecodeError::LengthMismatch {
+                expected: 1,
+                actual: 0,
+            },
             DecodeError::InvalidOpcode { index: 0, opcode: 3 },
             DecodeError::ReservedBits { index: 0 },
-            DecodeError::ZeroField { index: 0, field: Field::Kernel },
+            DecodeError::ZeroField {
+                index: 0,
+                field: Field::Kernel,
+            },
         ] {
             assert!(!d.to_string().is_empty());
         }

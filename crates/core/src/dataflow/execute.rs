@@ -1,0 +1,151 @@
+//! Functional execution of captured layer traces on a kernel engine.
+//!
+//! The compiler ([`super::compiler`]) lowers a trace to instruction
+//! *metadata*; this module runs the matching *numerics*: given a captured
+//! [`ConvLayerTrace`] and the layer's weights, it executes the three
+//! training stages through any [`KernelEngine`] — the same
+//! accumulate-into-scratch hot paths the training framework uses, with
+//! zero per-row heap allocation. It is the bridge that lets a compiled
+//! program be validated end to end: identical results on every engine
+//! (scalar or parallel), identical op enumeration for the simulator's
+//! engine-agnostic cycle accounting.
+
+use super::trace::ConvLayerTrace;
+use sparsetrain_sparse::rowconv;
+use sparsetrain_sparse::KernelEngine;
+use sparsetrain_tensor::{Tensor3, Tensor4};
+
+/// The numeric results of one conv layer's three training stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutedConv {
+    /// Forward output (`F × Ho × Ow`).
+    pub output: Tensor3,
+    /// Input gradient (`C × H × W`), `None` when the layer does not need
+    /// its input gradient (first layer).
+    pub input_grad: Option<Tensor3>,
+    /// Weight gradient (`F × C × K × K`).
+    pub weight_grad: Tensor4,
+}
+
+/// Executes the Forward, GTA and GTW stages of a captured conv layer on
+/// `engine` with the given `weights` and optional `bias`.
+///
+/// The GTA stage fuses the trace's forward non-zero masks, exactly as the
+/// accelerator (and `Conv2d`'s sparse-rows mode) does.
+///
+/// # Panics
+///
+/// Panics if `weights`/`bias` shapes are inconsistent with the trace.
+pub fn execute_conv(
+    trace: &ConvLayerTrace,
+    engine: &dyn KernelEngine,
+    weights: &Tensor4,
+    bias: Option<&[f32]>,
+) -> ExecutedConv {
+    assert_eq!(
+        weights.shape(),
+        (
+            trace.filters,
+            trace.input.channels(),
+            trace.geom.kernel,
+            trace.geom.kernel
+        ),
+        "weight shape inconsistent with trace"
+    );
+    let output = rowconv::forward_rows_with(engine, &trace.input, weights, bias, trace.geom);
+    let input_grad = trace.needs_input_grad.then(|| {
+        rowconv::input_grad_rows_with(
+            engine,
+            &trace.dout,
+            weights,
+            trace.geom,
+            trace.input.height(),
+            trace.input.width(),
+            &trace.input_masks,
+        )
+    });
+    let weight_grad = rowconv::weight_grad_rows_with(engine, &trace.input, &trace.dout, trace.geom);
+    ExecutedConv {
+        output,
+        input_grad,
+        weight_grad,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsetrain_sparse::rowconv::SparseFeatureMap;
+    use sparsetrain_sparse::EngineKind;
+    use sparsetrain_tensor::conv::ConvGeometry;
+
+    fn trace() -> ConvLayerTrace {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let input = Tensor3::from_fn(2, 6, 6, |c, y, x| {
+            if (c + y + x) % 3 == 0 {
+                (c + y) as f32 * 0.5 - x as f32 * 0.25
+            } else {
+                0.0
+            }
+        });
+        let dout = Tensor3::from_fn(3, 6, 6, |c, y, x| {
+            if (c + y * x) % 4 == 0 {
+                0.5 - c as f32 * 0.125
+            } else {
+                0.0
+            }
+        });
+        let fm = SparseFeatureMap::from_tensor(&input);
+        let masks = fm.masks();
+        ConvLayerTrace {
+            name: "t".into(),
+            geom,
+            filters: 3,
+            input: fm,
+            input_masks: masks,
+            dout: SparseFeatureMap::from_tensor(&dout),
+            needs_input_grad: true,
+        }
+    }
+
+    fn weights() -> Tensor4 {
+        Tensor4::from_fn(3, 2, 3, 3, |f, c, u, v| {
+            ((f * 27 + c * 9 + u * 3 + v) % 5) as f32 * 0.25 - 0.5
+        })
+    }
+
+    #[test]
+    fn engines_agree_bitwise_on_trace_execution() {
+        let t = trace();
+        let w = weights();
+        let bias = [0.25f32, -0.5, 0.0];
+        let scalar = execute_conv(&t, EngineKind::Scalar.engine(), &w, Some(&bias));
+        let parallel = execute_conv(&t, EngineKind::Parallel.engine(), &w, Some(&bias));
+        assert_eq!(scalar, parallel);
+    }
+
+    #[test]
+    fn first_layer_skips_input_grad() {
+        let mut t = trace();
+        t.needs_input_grad = false;
+        let out = execute_conv(&t, EngineKind::Scalar.engine(), &weights(), None);
+        assert!(out.input_grad.is_none());
+        assert!(out.weight_grad.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn gta_respects_masks() {
+        let t = trace();
+        let out = execute_conv(&t, EngineKind::Scalar.engine(), &weights(), None);
+        let din = out.input_grad.expect("input grad");
+        for c in 0..2 {
+            for y in 0..6 {
+                for x in 0..6 {
+                    if !t.input_masks[c * 6 + y].contains(x) {
+                        assert_eq!(din.get(c, y, x), 0.0, "masked position written");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -80,10 +80,7 @@ pub struct OsrcOp<'a> {
 /// non-empty. `on_op(task, op)` is called in task-major order.
 ///
 /// Returns the number of tasks (`F × Ho`, including all-skipped ones).
-pub fn for_each_forward_op<'a>(
-    trace: &'a ConvLayerTrace,
-    mut on_op: impl FnMut(TaskId, SrcOp<'a>),
-) -> usize {
+pub fn for_each_forward_op<'a>(trace: &'a ConvLayerTrace, mut on_op: impl FnMut(TaskId, SrcOp<'a>)) -> usize {
     let geom = trace.geom;
     let oh = trace.out_height();
     let ow = trace.out_width();
@@ -126,10 +123,7 @@ pub fn for_each_forward_op<'a>(
 ///
 /// Returns the number of tasks (`C × H`). Returns 0 immediately if the
 /// layer does not need its input gradient.
-pub fn for_each_gta_op<'a>(
-    trace: &'a ConvLayerTrace,
-    mut on_op: impl FnMut(TaskId, MsrcOp<'a>),
-) -> usize {
+pub fn for_each_gta_op<'a>(trace: &'a ConvLayerTrace, mut on_op: impl FnMut(TaskId, MsrcOp<'a>)) -> usize {
     if !trace.needs_input_grad {
         return 0;
     }
@@ -185,10 +179,7 @@ pub fn for_each_gta_op<'a>(
 /// bounds, with both operands non-empty.
 ///
 /// Returns the number of tasks (`F × C × K`).
-pub fn for_each_gtw_op<'a>(
-    trace: &'a ConvLayerTrace,
-    mut on_op: impl FnMut(TaskId, OsrcOp<'a>),
-) -> usize {
+pub fn for_each_gtw_op<'a>(trace: &'a ConvLayerTrace, mut on_op: impl FnMut(TaskId, OsrcOp<'a>)) -> usize {
     let geom = trace.geom;
     let h = trace.input.height();
     let c = trace.input.channels();
@@ -207,7 +198,14 @@ pub fn for_each_gtw_op<'a>(
                     if irow.nnz() == 0 || grow.nnz() == 0 {
                         continue;
                     }
-                    on_op(task, OsrcOp { input: irow, grad: grow, geom });
+                    on_op(
+                        task,
+                        OsrcOp {
+                            input: irow,
+                            grad: grow,
+                            geom,
+                        },
+                    );
                 }
                 task += 1;
             }
@@ -224,13 +222,7 @@ mod tests {
 
     fn trace() -> ConvLayerTrace {
         let geom = ConvGeometry::new(3, 1, 1);
-        let input = Tensor3::from_fn(2, 4, 4, |c, y, x| {
-            if (c + y + x) % 2 == 0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let input = Tensor3::from_fn(2, 4, 4, |c, y, x| if (c + y + x) % 2 == 0 { 1.0 } else { 0.0 });
         let dout = Tensor3::from_fn(3, 4, 4, |c, y, x| if (c + y * x) % 3 == 0 { 0.5 } else { 0.0 });
         let input_fm = SparseFeatureMap::from_tensor(&input);
         let masks = input_fm.masks();

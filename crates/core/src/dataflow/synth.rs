@@ -119,8 +119,10 @@ impl SynthLayer {
         if self.stride == 0 {
             return Err("stride must be positive".into());
         }
-        for (name, d) in [("input_density", self.input_density), ("dout_density", self.dout_density)]
-        {
+        for (name, d) in [
+            ("input_density", self.input_density),
+            ("dout_density", self.dout_density),
+        ] {
             if !(0.0..=1.0).contains(&d) {
                 return Err(format!("{name} {d} outside [0, 1]"));
             }
@@ -134,7 +136,11 @@ impl SynthLayer {
         let out = self.out_size();
         let dout = bernoulli_tensor(self.filters, out, out, self.dout_density, rng);
         let input = SparseFeatureMap::from_tensor(&input);
-        let input_masks = if self.needs_input_grad { input.masks() } else { Vec::new() };
+        let input_masks = if self.needs_input_grad {
+            input.masks()
+        } else {
+            Vec::new()
+        };
         ConvLayerTrace {
             name: format!("synth_conv{index}"),
             geom,
@@ -163,7 +169,12 @@ pub struct SynthFc {
 impl SynthFc {
     /// An FC spec with dense operands.
     pub fn new(in_features: usize, out_features: usize) -> Self {
-        Self { in_features, out_features, input_density: 1.0, dout_density: 1.0 }
+        Self {
+            in_features,
+            out_features,
+            input_density: 1.0,
+            dout_density: 1.0,
+        }
     }
 
     /// Sets the input density in `[0, 1]`.
@@ -205,7 +216,12 @@ pub struct SynthNet {
 impl SynthNet {
     /// Starts an empty network with the given labels.
     pub fn new(model: impl Into<String>, dataset: impl Into<String>) -> Self {
-        Self { model: model.into(), dataset: dataset.into(), convs: Vec::new(), fcs: Vec::new() }
+        Self {
+            model: model.into(),
+            dataset: dataset.into(),
+            convs: Vec::new(),
+            fcs: Vec::new(),
+        }
     }
 
     /// Appends a CONV layer spec.
@@ -260,10 +276,26 @@ pub fn alexnet_shape(input_density: f64, dout_density: f64) -> SynthNet {
                 .input_density(1.0)
                 .dout_density(dout_density),
         )
-        .conv(SynthLayer::conv(64, 192, 16, 3).input_density(input_density).dout_density(dout_density))
-        .conv(SynthLayer::conv(192, 384, 8, 3).input_density(input_density).dout_density(dout_density))
-        .conv(SynthLayer::conv(384, 256, 8, 3).input_density(input_density).dout_density(dout_density))
-        .conv(SynthLayer::conv(256, 256, 8, 3).input_density(input_density).dout_density(dout_density))
+        .conv(
+            SynthLayer::conv(64, 192, 16, 3)
+                .input_density(input_density)
+                .dout_density(dout_density),
+        )
+        .conv(
+            SynthLayer::conv(192, 384, 8, 3)
+                .input_density(input_density)
+                .dout_density(dout_density),
+        )
+        .conv(
+            SynthLayer::conv(384, 256, 8, 3)
+                .input_density(input_density)
+                .dout_density(dout_density),
+        )
+        .conv(
+            SynthLayer::conv(256, 256, 8, 3)
+                .input_density(input_density)
+                .dout_density(dout_density),
+        )
         .fc(SynthFc::new(256 * 4 * 4, 10).input_density(input_density))
 }
 
@@ -276,8 +308,7 @@ pub fn resnet18_shape(input_density: f64, dout_density: f64) -> SynthNet {
             .input_density(1.0)
             .dout_density(dout_density),
     );
-    let stages: [(usize, usize, usize); 4] =
-        [(64, 32, 4), (128, 16, 4), (256, 8, 4), (512, 4, 4)];
+    let stages: [(usize, usize, usize); 4] = [(64, 32, 4), (128, 16, 4), (256, 8, 4), (512, 4, 4)];
     let mut in_ch = 64;
     for (ch, size, blocks) in stages {
         for _ in 0..blocks {
@@ -295,13 +326,7 @@ pub fn resnet18_shape(input_density: f64, dout_density: f64) -> SynthNet {
 /// Samples a `c × h × w` tensor whose elements are non-zero with
 /// probability `density`; non-zero values are standard-normal (via a
 /// Box–Muller pair on `rng`'s uniforms).
-pub fn bernoulli_tensor<R: Rng + ?Sized>(
-    c: usize,
-    h: usize,
-    w: usize,
-    density: f64,
-    rng: &mut R,
-) -> Tensor3 {
+pub fn bernoulli_tensor<R: Rng + ?Sized>(c: usize, h: usize, w: usize, density: f64, rng: &mut R) -> Tensor3 {
     Tensor3::from_fn(c, h, w, |_, _, _| {
         if rng.gen_bool(density.clamp(0.0, 1.0)) {
             // Box–Muller: two uniforms → one standard normal.
@@ -335,10 +360,11 @@ mod tests {
     #[test]
     fn densities_land_near_targets() {
         let mut rng = StdRng::seed_from_u64(2);
-        let net =
-            SynthNet::new("m", "d").conv(SynthLayer::conv(8, 8, 32, 3).input_density(0.25));
+        let net = SynthNet::new("m", "d").conv(SynthLayer::conv(8, 8, 32, 3).input_density(0.25));
         let trace = net.generate(&mut rng);
-        let LayerTrace::Conv(conv) = &trace.layers[0] else { panic!("expected conv") };
+        let LayerTrace::Conv(conv) = &trace.layers[0] else {
+            panic!("expected conv")
+        };
         let d = conv.input_density();
         assert!((d - 0.25).abs() < 0.05, "density {d} far from 0.25");
     }
@@ -349,7 +375,9 @@ mod tests {
         let trace = SynthNet::new("m", "d")
             .conv(SynthLayer::conv(3, 4, 8, 3).first_layer())
             .generate(&mut rng);
-        let LayerTrace::Conv(conv) = &trace.layers[0] else { panic!("expected conv") };
+        let LayerTrace::Conv(conv) = &trace.layers[0] else {
+            panic!("expected conv")
+        };
         assert!(!conv.needs_input_grad);
         assert!(conv.input_masks.is_empty());
     }
@@ -360,7 +388,9 @@ mod tests {
         let trace = SynthNet::new("m", "d")
             .conv(SynthLayer::conv(2, 2, 6, 3).input_density(0.0).dout_density(0.0))
             .generate(&mut rng);
-        let LayerTrace::Conv(conv) = &trace.layers[0] else { panic!("expected conv") };
+        let LayerTrace::Conv(conv) = &trace.layers[0] else {
+            panic!("expected conv")
+        };
         assert_eq!(conv.input.nnz(), 0);
         assert_eq!(conv.dout.nnz(), 0);
     }
@@ -379,7 +409,10 @@ mod tests {
         assert!(SynthLayer::conv(0, 1, 8, 3).validate().is_err());
         assert!(SynthLayer::conv(1, 1, 8, 9).validate().is_err());
         assert!(SynthLayer::conv(1, 1, 8, 3).stride(0).validate().is_err());
-        assert!(SynthLayer::conv(1, 1, 8, 3).input_density(1.5).validate().is_err());
+        assert!(SynthLayer::conv(1, 1, 8, 3)
+            .input_density(1.5)
+            .validate()
+            .is_err());
     }
 
     #[test]

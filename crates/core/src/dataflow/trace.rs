@@ -91,9 +91,7 @@ impl ConvLayerTrace {
                 self.out_width()
             ));
         }
-        if self.needs_input_grad
-            && self.input_masks.len() != self.input.channels() * self.input.height()
-        {
+        if self.needs_input_grad && self.input_masks.len() != self.input.channels() * self.input.height() {
             return Err(format!(
                 "{}: {} masks for {} (channel, row) pairs",
                 self.name,
@@ -269,13 +267,18 @@ mod tests {
                 0.0
             }
         });
-        let dout = Tensor3::from_fn(3, 4, 4, |c, y, x| {
-            if (c + 2 * y + x) % 3 == 0 {
-                0.5
-            } else {
-                0.0
-            }
-        });
+        let dout = Tensor3::from_fn(
+            3,
+            4,
+            4,
+            |c, y, x| {
+                if (c + 2 * y + x) % 3 == 0 {
+                    0.5
+                } else {
+                    0.0
+                }
+            },
+        );
         let input_fm = SparseFeatureMap::from_tensor(&input);
         let masks = input_fm.masks();
         ConvLayerTrace {

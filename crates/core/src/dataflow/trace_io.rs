@@ -53,7 +53,13 @@ pub fn to_text(trace: &NetworkTrace) -> String {
                         write_row(&mut out, c.input.row(ci, y));
                     }
                 }
-                let _ = writeln!(out, "dout {} {} {}", c.dout.channels(), c.dout.height(), c.dout.width());
+                let _ = writeln!(
+                    out,
+                    "dout {} {} {}",
+                    c.dout.channels(),
+                    c.dout.height(),
+                    c.dout.width()
+                );
                 for fi in 0..c.dout.channels() {
                     for y in 0..c.dout.height() {
                         write_row(&mut out, c.dout.row(fi, y));
@@ -114,8 +120,9 @@ pub fn from_text(text: &str) -> Result<NetworkTrace, String> {
                 if nums.len() != 8 {
                     return Err(format!("conv {name}: expected 8 numbers, got {}", nums.len()));
                 }
-                let [k, stride, pad, filters, c, h, w, nig] =
-                    [nums[0], nums[1], nums[2], nums[3], nums[4], nums[5], nums[6], nums[7]];
+                let [k, stride, pad, filters, c, h, w, nig] = [
+                    nums[0], nums[1], nums[2], nums[3], nums[4], nums[5], nums[6], nums[7],
+                ];
                 let input = read_map(&mut lines, c, h, w)?;
                 let dout_header = lines.next().ok_or("missing dout header")?;
                 let mut dp = dout_header.split_whitespace();
@@ -130,7 +137,11 @@ pub fn from_text(text: &str) -> Result<NetworkTrace, String> {
                 }
                 let dout = read_map(&mut lines, dnums[0], dnums[1], dnums[2])?;
                 let needs_input_grad = nig != 0;
-                let input_masks = if needs_input_grad { input.masks() } else { Vec::new() };
+                let input_masks = if needs_input_grad {
+                    input.masks()
+                } else {
+                    Vec::new()
+                };
                 trace.layers.push(LayerTrace::Conv(ConvLayerTrace {
                     name,
                     geom: ConvGeometry::new(k, stride, pad),
@@ -223,13 +234,7 @@ mod tests {
                 0.0
             }
         });
-        let dout = Tensor3::from_fn(2, 3, 4, |c, y, x| {
-            if (c * y + x) % 3 == 0 {
-                -1.25
-            } else {
-                0.0
-            }
-        });
+        let dout = Tensor3::from_fn(2, 3, 4, |c, y, x| if (c * y + x) % 3 == 0 { -1.25 } else { 0.0 });
         let fm = SparseFeatureMap::from_tensor(&input);
         let masks = fm.masks();
         let mut t = NetworkTrace::new("testnet", "testdata");

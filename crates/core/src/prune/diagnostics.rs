@@ -229,8 +229,9 @@ mod tests {
     fn skewed_data_is_detected() {
         let mut rng = StdRng::seed_from_u64(6);
         // Exponential-ish: |normal| is half-normal, clearly skewed.
-        let data: Vec<f32> =
-            (0..20_000).map(|_| sample_standard_normal(&mut rng).abs()).collect();
+        let data: Vec<f32> = (0..20_000)
+            .map(|_| sample_standard_normal(&mut rng).abs())
+            .collect();
         let s = DistributionSummary::from_slice(&data);
         assert!(s.skewness > 0.5, "skew {}", s.skewness);
     }

@@ -62,7 +62,9 @@ impl FifoPredictor {
     ///
     /// Panics if `depth == 0`.
     pub fn new(depth: usize) -> Self {
-        Self { fifo: ThresholdFifo::new(depth) }
+        Self {
+            fifo: ThresholdFifo::new(depth),
+        }
     }
 
     /// The FIFO depth `N_F`.
@@ -105,7 +107,10 @@ impl EmaPredictor {
     ///
     /// Panics if `alpha ∉ (0, 1]`.
     pub fn new(alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
         Self { alpha, state: None }
     }
 

@@ -154,10 +154,7 @@ mod tests {
             sum += g[0] as f64;
         }
         let mean = sum / n as f64;
-        assert!(
-            (mean - g0 as f64).abs() < 2e-4,
-            "E[pruned] = {mean}, want {g0}"
-        );
+        assert!((mean - g0 as f64).abs() < 2e-4, "E[pruned] = {mean}, want {g0}");
     }
 
     #[test]

@@ -41,7 +41,10 @@ pub fn sigma_hat(abs_sum: f64, n: usize) -> f64 {
 /// assert!((tau - 1.6449).abs() < 1e-3);
 /// ```
 pub fn determine_threshold(sigma: f64, p: f64) -> f64 {
-    assert!((0.0..1.0).contains(&p), "target sparsity p must be in [0, 1), got {p}");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "target sparsity p must be in [0, 1), got {p}"
+    );
     if sigma == 0.0 || p == 0.0 {
         return 0.0;
     }

@@ -4,9 +4,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sparsetrain_core::prune::{
-    determine_threshold, sigma_hat, LayerPruner, PruneConfig, ThresholdFifo,
-};
+use sparsetrain_core::prune::{determine_threshold, sigma_hat, LayerPruner, PruneConfig, ThresholdFifo};
 use sparsetrain_tensor::init::sample_standard_normal;
 
 /// Two-pass reference state: the FIFO of determined thresholds. Pruning is

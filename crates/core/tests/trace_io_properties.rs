@@ -21,14 +21,23 @@ fn arb_feature_map(c: usize, h: usize, w: usize) -> impl Strategy<Value = Sparse
 fn arb_conv_layer() -> impl Strategy<Value = ConvLayerTrace> {
     (arb_feature_map(2, 5, 6), any::<bool>()).prop_map(|(input, needs_input_grad)| {
         let geom = ConvGeometry::new(3, 1, 1);
-        let dout_dense = Tensor3::from_fn(3, 5, 6, |c, y, x| {
-            if (c + 2 * y + x) % 3 == 0 {
-                0.75
-            } else {
-                0.0
-            }
-        });
-        let input_masks = if needs_input_grad { input.masks() } else { Vec::new() };
+        let dout_dense = Tensor3::from_fn(
+            3,
+            5,
+            6,
+            |c, y, x| {
+                if (c + 2 * y + x) % 3 == 0 {
+                    0.75
+                } else {
+                    0.0
+                }
+            },
+        );
+        let input_masks = if needs_input_grad {
+            input.masks()
+        } else {
+            Vec::new()
+        };
         ConvLayerTrace {
             name: "pconv".into(),
             geom,

@@ -177,7 +177,11 @@ fn class_prototype(rng: &mut StdRng, class: usize, channels: usize, size: usize)
     let coarse = 4usize;
     // Coarse grids, one per channel.
     let grids: Vec<Vec<f32>> = (0..channels)
-        .map(|_| (0..coarse * coarse).map(|_| sample_standard_normal(rng)).collect())
+        .map(|_| {
+            (0..coarse * coarse)
+                .map(|_| sample_standard_normal(rng))
+                .collect()
+        })
         .collect();
     let freq = 1.0 + (class % 5) as f32;
     let phase = (class / 5) as f32 * 0.7;

@@ -2,6 +2,7 @@
 
 use rand::RngCore;
 use sparsetrain_core::dataflow::LayerTrace;
+use sparsetrain_sparse::EngineKind;
 use sparsetrain_tensor::Tensor3;
 
 /// A trainable network layer operating on a batch of per-sample tensors.
@@ -62,6 +63,11 @@ pub trait Layer {
 
     /// Resets accumulated density statistics.
     fn reset_density_stats(&mut self) {}
+
+    /// Selects the kernel execution engine for layers with sparse row
+    /// dataflow hot paths (`Conv2d` switches to engine-driven SRC/MSRC/OSRC
+    /// execution). Layers without such a path ignore the call.
+    fn set_engine(&mut self, _kind: EngineKind) {}
 
     /// Number of trainable parameters (for reporting).
     fn param_count(&self) -> usize {

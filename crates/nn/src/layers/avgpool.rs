@@ -33,9 +33,7 @@ impl Layer for GlobalAvgPool {
                 let (c, h, w) = x.shape();
                 self.in_shape = (c, h, w);
                 let m = (h * w) as f32;
-                let data: Vec<f32> = (0..c)
-                    .map(|ci| x.channel(ci).iter().sum::<f32>() / m)
-                    .collect();
+                let data: Vec<f32> = (0..c).map(|ci| x.channel(ci).iter().sum::<f32>() / m).collect();
                 Tensor3::from_vec(c, 1, 1, data)
             })
             .collect()
@@ -87,11 +85,13 @@ mod tests {
         let y = vec![0.5f32, -1.5];
         let fwd = pool.forward(vec![x.clone()], true);
         let lhs: f32 = fwd[0].as_slice().iter().zip(&y).map(|(a, b)| a * b).sum();
-        let din = pool.backward(
-            vec![Tensor3::from_vec(2, 1, 1, y)],
-            &mut StdRng::seed_from_u64(0),
-        );
-        let rhs: f32 = din[0].as_slice().iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+        let din = pool.backward(vec![Tensor3::from_vec(2, 1, 1, y)], &mut StdRng::seed_from_u64(0));
+        let rhs: f32 = din[0]
+            .as_slice()
+            .iter()
+            .zip(x.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-5);
     }
 }

@@ -93,8 +93,7 @@ impl Layer for BatchNorm2d {
             for ci in 0..c {
                 self.running_mean[ci] =
                     (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
-                self.running_var[ci] =
-                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
+                self.running_var[ci] = (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var[ci];
             }
 
             let mut outs = Vec::with_capacity(xs.len());
@@ -137,7 +136,12 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
-        assert_eq!(grads.len(), self.ctx_xhat.len(), "{}: no stored context", self.name);
+        assert_eq!(
+            grads.len(),
+            self.ctx_xhat.len(),
+            "{}: no stored context",
+            self.name
+        );
         let (c, h, w) = grads[0].shape();
         let m = (grads.len() * h * w) as f32;
 
@@ -169,12 +173,7 @@ impl Layer for BatchNorm2d {
                         for xi in 0..w {
                             let dy = g.get(ci, y, xi);
                             let xh = xhat.get(ci, y, xi);
-                            din.set(
-                                ci,
-                                y,
-                                xi,
-                                scale * (m * dy - sum_dy[ci] - xh * sum_dy_xhat[ci]),
-                            );
+                            din.set(ci, y, xi, scale * (m * dy - sum_dy[ci] - xh * sum_dy_xhat[ci]));
                         }
                     }
                 }

@@ -4,9 +4,24 @@ use crate::layer::Layer;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use sparsetrain_core::dataflow::{ConvLayerTrace, LayerTrace};
-use sparsetrain_sparse::rowconv::SparseFeatureMap;
+use sparsetrain_sparse::rowconv::{forward_rows_with, SparseFeatureMap};
+use sparsetrain_sparse::EngineKind;
 use sparsetrain_tensor::conv::{self, ConvGeometry};
 use sparsetrain_tensor::{im2row, init, stats, Tensor3, Tensor4};
+
+/// How a [`Conv2d`] executes its three training-stage convolutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvExecution {
+    /// Dense im2row forward and dense reference backward — the original
+    /// execution mode, bit-for-bit identical to the seed semantics.
+    #[default]
+    Im2row,
+    /// Engine-driven sparse row dataflow: SRC for Forward, OSRC for GTW,
+    /// and MSRC for GTA with the forward non-zero masks fused in (the
+    /// paper's ReLU-backward fusion — input-gradient positions whose
+    /// forward activation was zero stay zero).
+    SparseRows(EngineKind),
+}
 
 /// A trainable 2-D convolution.
 ///
@@ -29,6 +44,11 @@ pub struct Conv2d {
     wgrad: Tensor4,
     bgrad: Vec<f32>,
     ctx_inputs: Vec<Tensor3>,
+    // Compressed forms of ctx_inputs, kept only in SparseRows mode so the
+    // backward pass (and trace capture) reuse the forward pass's
+    // dense-to-sparse conversion instead of redoing it per sample.
+    ctx_input_fms: Vec<SparseFeatureMap>,
+    execution: ConvExecution,
     first_layer: bool,
     capture: bool,
     captured: Option<ConvLayerTrace>,
@@ -49,7 +69,10 @@ impl Conv2d {
         geom: ConvGeometry,
         seed: u64,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0, "channel counts must be positive");
+        assert!(
+            in_channels > 0 && out_channels > 0,
+            "channel counts must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let weights = init::kaiming_conv(&mut rng, out_channels, in_channels, geom.kernel, geom.kernel);
         Self {
@@ -62,6 +85,8 @@ impl Conv2d {
             bias: vec![0.0; out_channels],
             bgrad: vec![0.0; out_channels],
             ctx_inputs: Vec::new(),
+            ctx_input_fms: Vec::new(),
+            execution: ConvExecution::default(),
             first_layer: false,
             capture: false,
             captured: None,
@@ -80,6 +105,17 @@ impl Conv2d {
     /// The layer's convolution geometry.
     pub fn geometry(&self) -> ConvGeometry {
         self.geom
+    }
+
+    /// Selects how the layer executes (dense im2row or engine-driven
+    /// sparse row dataflow).
+    pub fn set_execution(&mut self, execution: ConvExecution) {
+        self.execution = execution;
+    }
+
+    /// The active execution mode.
+    pub fn execution(&self) -> ConvExecution {
+        self.execution
     }
 
     /// Immutable access to the weights (for tests and inspection).
@@ -103,23 +139,56 @@ impl Layer for Conv2d {
     }
 
     fn forward(&mut self, xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+        let mut fms = Vec::new();
         let out = xs
             .iter()
             .map(|x| {
-                assert_eq!(x.channels(), self.in_channels, "{}: input channel mismatch", self.name);
-                im2row::forward(x, &self.weights, Some(&self.bias), self.geom)
+                assert_eq!(
+                    x.channels(),
+                    self.in_channels,
+                    "{}: input channel mismatch",
+                    self.name
+                );
+                match self.execution {
+                    ConvExecution::Im2row => im2row::forward(x, &self.weights, Some(&self.bias), self.geom),
+                    ConvExecution::SparseRows(kind) => {
+                        let fm = SparseFeatureMap::from_tensor(x);
+                        let y =
+                            forward_rows_with(kind.engine(), &fm, &self.weights, Some(&self.bias), self.geom);
+                        if train {
+                            fms.push(fm);
+                        }
+                        y
+                    }
+                }
             })
             .collect();
         if train {
-            self.ctx_inputs = xs;
+            match self.execution {
+                // Each mode caches only the representation its backward
+                // consumes; SparseRows keeps the compressed maps alone, so
+                // dense activations are not duplicated.
+                ConvExecution::Im2row => {
+                    self.ctx_inputs = xs;
+                    self.ctx_input_fms.clear();
+                }
+                ConvExecution::SparseRows(_) => {
+                    self.ctx_inputs.clear();
+                    self.ctx_input_fms = fms;
+                }
+            }
         }
         out
     }
 
     fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+        let cached = match self.execution {
+            ConvExecution::Im2row => self.ctx_inputs.len(),
+            ConvExecution::SparseRows(_) => self.ctx_input_fms.len(),
+        };
         assert_eq!(
             grads.len(),
-            self.ctx_inputs.len(),
+            cached,
             "{}: backward called with mismatched batch",
             self.name
         );
@@ -136,9 +205,17 @@ impl Layer for Conv2d {
         }
 
         if self.capture {
-            // Snapshot sample 0 as a dataflow trace.
-            let input_fm = SparseFeatureMap::from_tensor(&self.ctx_inputs[0]);
-            let masks = if self.first_layer { Vec::new() } else { input_fm.masks() };
+            // Snapshot sample 0 as a dataflow trace, reusing the forward
+            // pass's compression when the sparse-rows mode cached it.
+            let input_fm = match self.ctx_input_fms.first() {
+                Some(fm) => fm.clone(),
+                None => SparseFeatureMap::from_tensor(&self.ctx_inputs[0]),
+            };
+            let masks = if self.first_layer {
+                Vec::new()
+            } else {
+                input_fm.masks()
+            };
             self.captured = Some(ConvLayerTrace {
                 name: self.name.clone(),
                 geom: self.geom,
@@ -151,16 +228,50 @@ impl Layer for Conv2d {
         }
 
         let mut dins = Vec::with_capacity(grads.len());
-        for (x, g) in self.ctx_inputs.iter().zip(&grads) {
-            let dw = conv::weight_grad(x, g, self.geom);
-            self.wgrad.add_assign(&dw);
-            for (bg, d) in self.bgrad.iter_mut().zip(conv::bias_grad(g)) {
-                *bg += d;
+        match self.execution {
+            ConvExecution::Im2row => {
+                for (x, g) in self.ctx_inputs.iter().zip(&grads) {
+                    let dw = conv::weight_grad(x, g, self.geom);
+                    self.wgrad.add_assign(&dw);
+                    for (bg, d) in self.bgrad.iter_mut().zip(conv::bias_grad(g)) {
+                        *bg += d;
+                    }
+                    if self.first_layer {
+                        dins.push(Tensor3::zeros(x.channels(), x.height(), x.width()));
+                    } else {
+                        dins.push(conv::input_grad(
+                            g,
+                            &self.weights,
+                            self.geom,
+                            x.height(),
+                            x.width(),
+                        ));
+                    }
+                }
             }
-            if self.first_layer {
-                dins.push(Tensor3::zeros(x.channels(), x.height(), x.width()));
-            } else {
-                dins.push(conv::input_grad(g, &self.weights, self.geom, x.height(), x.width()));
+            ConvExecution::SparseRows(kind) => {
+                let engine = kind.engine();
+                for (input_fm, g) in self.ctx_input_fms.iter().zip(&grads) {
+                    let dout_fm = SparseFeatureMap::from_tensor(g);
+                    // GTW accumulates straight into the batch gradient — no
+                    // per-sample scratch tensor.
+                    engine.weight_grad_into(input_fm, &dout_fm, self.geom, &mut self.wgrad);
+                    for (bg, d) in self.bgrad.iter_mut().zip(conv::bias_grad(g)) {
+                        *bg += d;
+                    }
+                    let (c, h, w) = (input_fm.channels(), input_fm.height(), input_fm.width());
+                    if self.first_layer {
+                        dins.push(Tensor3::zeros(c, h, w));
+                    } else {
+                        // GTA with the forward masks fused in (the paper's
+                        // ReLU-backward fusion): positions whose forward
+                        // input was zero keep a zero gradient.
+                        let masks = input_fm.masks();
+                        let mut din = Tensor3::zeros(c, h, w);
+                        engine.input_grad_into(&dout_fm, &self.weights, self.geom, &masks, &mut din);
+                        dins.push(din);
+                    }
+                }
             }
         }
         dins
@@ -181,6 +292,10 @@ impl Layer for Conv2d {
         if !enable {
             self.captured = None;
         }
+    }
+
+    fn set_engine(&mut self, kind: EngineKind) {
+        self.execution = ConvExecution::SparseRows(kind);
     }
 
     fn collect_traces(&self, out: &mut Vec<LayerTrace>) {
@@ -264,7 +379,10 @@ mod tests {
             }
         })];
         conv.forward(xs, true);
-        conv.backward(vec![Tensor3::from_fn(3, 4, 4, |_, y, x| (y * x % 2) as f32)], &mut rng());
+        conv.backward(
+            vec![Tensor3::from_fn(3, 4, 4, |_, y, x| (y * x % 2) as f32)],
+            &mut rng(),
+        );
         let mut traces = Vec::new();
         conv.collect_traces(&mut traces);
         assert_eq!(traces.len(), 1);

@@ -53,7 +53,10 @@ mod tests {
     #[test]
     fn roundtrip_shape() {
         let mut f = Flatten::new("fl");
-        let out = f.forward(vec![Tensor3::from_fn(2, 3, 4, |c, y, x| (c + y + x) as f32)], true);
+        let out = f.forward(
+            vec![Tensor3::from_fn(2, 3, 4, |c, y, x| (c + y + x) as f32)],
+            true,
+        );
         assert_eq!(out[0].shape(), (24, 1, 1));
         let back = f.backward(out, &mut StdRng::seed_from_u64(0));
         assert_eq!(back[0].shape(), (2, 3, 4));

@@ -31,7 +31,10 @@ impl Linear {
     ///
     /// Panics if either feature count is zero.
     pub fn new(name: impl Into<String>, in_features: usize, out_features: usize, seed: u64) -> Self {
-        assert!(in_features > 0 && out_features > 0, "feature counts must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "feature counts must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         Self {
             name: name.into(),
@@ -96,7 +99,12 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
-        assert_eq!(grads.len(), self.ctx_inputs.len(), "{}: no stored context", self.name);
+        assert_eq!(
+            grads.len(),
+            self.ctx_inputs.len(),
+            "{}: no stored context",
+            self.name
+        );
         if self.capture {
             let x = &self.ctx_inputs[0];
             let g = grads[0].as_slice();
@@ -184,10 +192,7 @@ mod tests {
         let x = Tensor3::from_vec(3, 1, 1, vec![0.5, -1.0, 2.0]);
         let dout = vec![1.0f32, -0.5];
         lin.forward(vec![x.clone()], true);
-        let din = lin.backward(
-            vec![Tensor3::from_vec(2, 1, 1, dout.clone())],
-            &mut rng(),
-        );
+        let din = lin.backward(vec![Tensor3::from_vec(2, 1, 1, dout.clone())], &mut rng());
         // din = W^T dout; check element 0 by direct computation.
         let w = lin.weights.clone();
         let expect = w.get(0, 0) * dout[0] + w.get(1, 0) * dout[1];

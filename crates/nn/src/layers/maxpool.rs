@@ -36,7 +36,11 @@ impl MaxPool2d {
     }
 
     fn out_extent(&self, n: usize) -> usize {
-        assert!(n >= self.kernel, "input extent {n} smaller than pool kernel {}", self.kernel);
+        assert!(
+            n >= self.kernel,
+            "input extent {n} smaller than pool kernel {}",
+            self.kernel
+        );
         (n - self.kernel) / self.stride + 1
     }
 }

@@ -10,12 +10,14 @@
 use crate::layer::Layer;
 use rand::RngCore;
 use sparsetrain_core::prune::{LayerPruner, PruneConfig};
+use sparsetrain_sparse::EngineKind;
 use sparsetrain_tensor::Tensor3;
 
 /// A pruning point in the backward graph.
 pub struct PruneHook {
     name: String,
     pruner: Option<LayerPruner>,
+    engine: EngineKind,
     tap_enabled: bool,
     tapped: Option<Vec<f32>>,
 }
@@ -27,6 +29,7 @@ impl PruneHook {
         Self {
             name: name.into(),
             pruner: config.map(LayerPruner::new),
+            engine: EngineKind::default(),
             tap_enabled: false,
             tapped: None,
         }
@@ -40,6 +43,17 @@ impl PruneHook {
     /// Access to the underlying pruner's statistics.
     pub fn pruner(&self) -> Option<&LayerPruner> {
         self.pruner.as_ref()
+    }
+
+    /// The engine selection plumbed to this hook.
+    ///
+    /// The prune itself always runs sequentially — Algorithm 1's stochastic
+    /// keep/snap decisions consume the trainer RNG in element order, and
+    /// reordering them would change results between engines. The hook still
+    /// records the selection so future batch-level parallel pruning (one
+    /// RNG stream per sample) can key off it without re-plumbing.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
     }
 }
 
@@ -82,6 +96,10 @@ impl Layer for PruneHook {
         if !enable {
             self.tapped = None;
         }
+    }
+
+    fn set_engine(&mut self, kind: EngineKind) {
+        self.engine = kind;
     }
 
     fn take_tapped_grads(&mut self, out: &mut Vec<(String, Vec<f32>)>) {
@@ -159,8 +177,7 @@ mod tests {
         hook.backward(batch(&mut rng, 2), &mut rng);
         hook.set_grad_tap(true);
         let grads = batch(&mut rng, 2);
-        let original: Vec<f32> =
-            grads.iter().flat_map(|g| g.as_slice().to_vec()).collect();
+        let original: Vec<f32> = grads.iter().flat_map(|g| g.as_slice().to_vec()).collect();
         let out = hook.backward(grads, &mut rng);
         let mut tapped = Vec::new();
         hook.take_tapped_grads(&mut tapped);

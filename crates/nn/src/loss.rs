@@ -17,7 +17,11 @@
 /// ```
 pub fn softmax_cross_entropy(logits: &[f32], label: usize) -> (f32, Vec<f32>) {
     assert!(!logits.is_empty(), "logits must be non-empty");
-    assert!(label < logits.len(), "label {label} out of range {}", logits.len());
+    assert!(
+        label < logits.len(),
+        "label {label} out of range {}",
+        logits.len()
+    );
     let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
     let sum: f32 = exps.iter().sum();

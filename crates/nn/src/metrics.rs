@@ -68,7 +68,10 @@ impl ConfusionMatrix {
     /// Panics if `classes == 0`.
     pub fn new(classes: usize) -> Self {
         assert!(classes > 0, "need at least one class");
-        Self { classes, counts: vec![0; classes * classes] }
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
     }
 
     /// Number of classes.
@@ -82,7 +85,10 @@ impl ConfusionMatrix {
     ///
     /// Panics if either index is out of range.
     pub fn record(&mut self, true_class: usize, predicted: usize) {
-        assert!(true_class < self.classes && predicted < self.classes, "class out of range");
+        assert!(
+            true_class < self.classes && predicted < self.classes,
+            "class out of range"
+        );
         self.counts[true_class * self.classes + predicted] += 1;
     }
 

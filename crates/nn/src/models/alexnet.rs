@@ -129,7 +129,10 @@ mod tests {
     fn alexnet_backward_runs() {
         let mut net = alexnet(3, 16, 5, 2, Some(PruneConfig::paper_default()), 2);
         let mut rng = StdRng::seed_from_u64(0);
-        let out = net.forward(vec![Tensor3::from_fn(3, 16, 16, |_, y, x| (y * x) as f32 * 0.01)], true);
+        let out = net.forward(
+            vec![Tensor3::from_fn(3, 16, 16, |_, y, x| (y * x) as f32 * 0.01)],
+            true,
+        );
         let din = net.backward(vec![Tensor3::from_fn(5, 1, 1, |_, _, _| 0.1)], &mut rng);
         assert_eq!(out[0].shape(), (5, 1, 1));
         assert_eq!(din[0].shape(), (3, 16, 16));

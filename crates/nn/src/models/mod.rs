@@ -10,7 +10,9 @@ mod resnet;
 mod vgg;
 
 pub use alexnet::{alexnet, mini_cnn, mini_cnn_for};
-pub use resnet::{resnet, resnet50ish, resnet_bottleneck, resnet_deep, resnet18, resnet34, ResnetSpec, BOTTLENECK_EXPANSION};
+pub use resnet::{
+    resnet, resnet18, resnet34, resnet50ish, resnet_bottleneck, resnet_deep, ResnetSpec, BOTTLENECK_EXPANSION,
+};
 pub use vgg::{vgg11, vgg_from_config, VggEntry};
 
 use sparsetrain_core::prune::PruneConfig;
@@ -58,15 +60,9 @@ impl ModelKind {
     ) -> crate::Sequential {
         match self {
             ModelKind::Alexnet => alexnet(in_channels, image_size, classes, 16, prune, seed),
-            ModelKind::Resnet18 => {
-                resnet18(in_channels, classes, 8, prune, seed)
-            }
-            ModelKind::Resnet34 => {
-                resnet34(in_channels, classes, 8, prune, seed)
-            }
-            ModelKind::ResnetDeep => {
-                resnet_deep(in_channels, classes, 8, prune, seed)
-            }
+            ModelKind::Resnet18 => resnet18(in_channels, classes, 8, prune, seed),
+            ModelKind::Resnet34 => resnet34(in_channels, classes, 8, prune, seed),
+            ModelKind::ResnetDeep => resnet_deep(in_channels, classes, 8, prune, seed),
         }
     }
 }

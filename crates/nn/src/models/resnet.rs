@@ -70,7 +70,13 @@ pub fn resnet(
                 .push(PruneHook::new(format!("{name}.prune1"), prune))
                 .push(BatchNorm2d::new(format!("{name}.bn1"), out_w))
                 .push(Relu::new(format!("{name}.relu1")))
-                .push(Conv2d::new(format!("{name}.conv2"), out_w, out_w, g3, next_seed()))
+                .push(Conv2d::new(
+                    format!("{name}.conv2"),
+                    out_w,
+                    out_w,
+                    g3,
+                    next_seed(),
+                ))
                 .push(PruneHook::new(format!("{name}.prune2"), prune))
                 .push(BatchNorm2d::new(format!("{name}.bn2"), out_w));
             let shortcut = if stride != 1 || in_w != out_w {
@@ -108,7 +114,16 @@ pub fn resnet18(
     prune: Option<PruneConfig>,
     seed: u64,
 ) -> Sequential {
-    resnet(in_channels, classes, ResnetSpec { blocks: [2, 2, 2], width }, prune, seed)
+    resnet(
+        in_channels,
+        classes,
+        ResnetSpec {
+            blocks: [2, 2, 2],
+            width,
+        },
+        prune,
+        seed,
+    )
 }
 
 /// ResNet-34-style variant: `[3, 4, 3]` blocks.
@@ -119,7 +134,16 @@ pub fn resnet34(
     prune: Option<PruneConfig>,
     seed: u64,
 ) -> Sequential {
-    resnet(in_channels, classes, ResnetSpec { blocks: [3, 4, 3], width }, prune, seed)
+    resnet(
+        in_channels,
+        classes,
+        ResnetSpec {
+            blocks: [3, 4, 3],
+            width,
+        },
+        prune,
+        seed,
+    )
 }
 
 /// Deep ResNet variant (`[4, 6, 4]`), the tractable stand-in for the
@@ -132,7 +156,16 @@ pub fn resnet_deep(
     prune: Option<PruneConfig>,
     seed: u64,
 ) -> Sequential {
-    resnet(in_channels, classes, ResnetSpec { blocks: [4, 6, 4], width }, prune, seed)
+    resnet(
+        in_channels,
+        classes,
+        ResnetSpec {
+            blocks: [4, 6, 4],
+            width,
+        },
+        prune,
+        seed,
+    )
 }
 
 /// Channel expansion of a bottleneck block (output = `expansion × mid`).
@@ -178,7 +211,13 @@ pub fn resnet_bottleneck(
             let stride = if stage > 0 && b == 0 { 2 } else { 1 };
             let name = format!("s{stage}n{b}");
             let main = Sequential::new(format!("{name}.main"))
-                .push(Conv2d::new(format!("{name}.conv1"), in_w, mid, g1(1), next_seed()))
+                .push(Conv2d::new(
+                    format!("{name}.conv1"),
+                    in_w,
+                    mid,
+                    g1(1),
+                    next_seed(),
+                ))
                 .push(PruneHook::new(format!("{name}.prune1"), prune))
                 .push(BatchNorm2d::new(format!("{name}.bn1"), mid))
                 .push(Relu::new(format!("{name}.relu1")))
@@ -192,7 +231,13 @@ pub fn resnet_bottleneck(
                 .push(PruneHook::new(format!("{name}.prune2"), prune))
                 .push(BatchNorm2d::new(format!("{name}.bn2"), mid))
                 .push(Relu::new(format!("{name}.relu2")))
-                .push(Conv2d::new(format!("{name}.conv3"), mid, out_w, g1(1), next_seed()))
+                .push(Conv2d::new(
+                    format!("{name}.conv3"),
+                    mid,
+                    out_w,
+                    g1(1),
+                    next_seed(),
+                ))
                 .push(PruneHook::new(format!("{name}.prune3"), prune))
                 .push(BatchNorm2d::new(format!("{name}.bn3"), out_w));
             let shortcut = if stride != 1 || in_w != out_w {
@@ -242,8 +287,22 @@ mod tests {
 
     #[test]
     fn spec_depth() {
-        assert_eq!(ResnetSpec { blocks: [2, 2, 2], width: 8 }.depth(), 14);
-        assert_eq!(ResnetSpec { blocks: [3, 4, 3], width: 8 }.depth(), 22);
+        assert_eq!(
+            ResnetSpec {
+                blocks: [2, 2, 2],
+                width: 8
+            }
+            .depth(),
+            14
+        );
+        assert_eq!(
+            ResnetSpec {
+                blocks: [3, 4, 3],
+                width: 8
+            }
+            .depth(),
+            22
+        );
     }
 
     #[test]
@@ -258,7 +317,10 @@ mod tests {
         let mut net = resnet(
             3,
             4,
-            ResnetSpec { blocks: [1, 1, 1], width: 4 },
+            ResnetSpec {
+                blocks: [1, 1, 1],
+                width: 4,
+            },
             Some(PruneConfig::paper_default()),
             2,
         );
@@ -276,7 +338,16 @@ mod tests {
     #[test]
     fn downsample_blocks_have_projection() {
         // Stage transitions change width & resolution; forward must still work.
-        let mut net = resnet(3, 2, ResnetSpec { blocks: [1, 1, 1], width: 2 }, None, 3);
+        let mut net = resnet(
+            3,
+            2,
+            ResnetSpec {
+                blocks: [1, 1, 1],
+                width: 2,
+            },
+            None,
+            3,
+        );
         let out = net.forward(vec![Tensor3::zeros(3, 16, 16)], false);
         assert_eq!(out[0].shape(), (2, 1, 1));
     }
@@ -297,10 +368,11 @@ mod tests {
 
     #[test]
     fn bottleneck_train_step_runs() {
-        let mut net =
-            resnet_bottleneck(3, 4, [1, 1, 1], 2, Some(PruneConfig::paper_default()), 8);
+        let mut net = resnet_bottleneck(3, 4, [1, 1, 1], 2, Some(PruneConfig::paper_default()), 8);
         let mut rng = StdRng::seed_from_u64(1);
-        let xs = vec![Tensor3::from_fn(3, 8, 8, |c, y, x| ((c + y * x) % 3) as f32 * 0.3)];
+        let xs = vec![Tensor3::from_fn(3, 8, 8, |c, y, x| {
+            ((c + y * x) % 3) as f32 * 0.3
+        })];
         let out = net.forward(xs, true);
         assert_eq!(out[0].shape(), (4, 1, 1));
         let din = net.backward(vec![Tensor3::from_fn(4, 1, 1, |_, _, _| 0.1)], &mut rng);
@@ -309,7 +381,16 @@ mod tests {
 
     #[test]
     fn bottleneck_has_more_params_than_basic_at_same_blocks() {
-        let basic = resnet(3, 10, ResnetSpec { blocks: [3, 4, 3], width: 4 }, None, 1);
+        let basic = resnet(
+            3,
+            10,
+            ResnetSpec {
+                blocks: [3, 4, 3],
+                width: 4,
+            },
+            None,
+            1,
+        );
         let bottleneck = resnet50ish(3, 10, 4, None, 1);
         assert!(bottleneck.param_count() > basic.param_count());
     }

@@ -123,7 +123,9 @@ mod tests {
     fn vgg_train_step_runs_with_pruning() {
         let mut net = vgg11(3, 16, 4, 2, Some(PruneConfig::paper_default()), 2);
         let mut rng = StdRng::seed_from_u64(0);
-        let xs = vec![Tensor3::from_fn(3, 16, 16, |c, y, x| ((c + y * x) % 5) as f32 * 0.1)];
+        let xs = vec![Tensor3::from_fn(3, 16, 16, |c, y, x| {
+            ((c + y * x) % 5) as f32 * 0.1
+        })];
         net.forward(xs, true);
         let din = net.backward(vec![Tensor3::from_fn(4, 1, 1, |_, _, _| 0.2)], &mut rng);
         assert_eq!(din[0].shape(), (3, 16, 16));
@@ -131,7 +133,12 @@ mod tests {
 
     #[test]
     fn custom_config_builds() {
-        let config = [VggEntry::Conv(4), VggEntry::Pool, VggEntry::Conv(8), VggEntry::Pool];
+        let config = [
+            VggEntry::Conv(4),
+            VggEntry::Pool,
+            VggEntry::Conv(8),
+            VggEntry::Pool,
+        ];
         let mut net = vgg_from_config(3, 8, 2, &config, None, 3);
         let out = net.forward(vec![Tensor3::zeros(3, 8, 8)], false);
         assert_eq!(out[0].shape(), (2, 1, 1));
@@ -145,8 +152,8 @@ mod tests {
 
     #[test]
     fn trace_capture_covers_all_convs() {
-        use crate::train::{TrainConfig, Trainer};
         use crate::data::SyntheticSpec;
+        use crate::train::{TrainConfig, Trainer};
         let mut spec = SyntheticSpec::tiny(2);
         spec.size = 16;
         let (train, _) = spec.generate();

@@ -174,7 +174,11 @@ impl Adam {
                 v.push(vec![0.0; param.len()]);
             }
             let (mi, vi) = (&mut m[index], &mut v[index]);
-            assert_eq!(mi.len(), param.len(), "parameter {index} changed size between steps");
+            assert_eq!(
+                mi.len(),
+                param.len(),
+                "parameter {index} changed size between steps"
+            );
             for i in 0..param.len() {
                 let g = grad[i] * grad_scale + wd * param[i];
                 mi[i] = b1 * mi[i] + (1.0 - b1) * g;
@@ -295,7 +299,10 @@ mod tests {
 
     #[test]
     fn adam_converges_on_quadratic() {
-        let mut s = Scalar { w: vec![0.0], g: vec![0.0] };
+        let mut s = Scalar {
+            w: vec![0.0],
+            g: vec![0.0],
+        };
         let mut adam = Adam::new(0.1);
         for _ in 0..300 {
             s.g[0] = 2.0 * (s.w[0] - 3.0);
@@ -309,7 +316,10 @@ mod tests {
         // Adam normalizes per-coordinate scale; SGD at the same lr
         // diverges or crawls on a 1e4-conditioned quadratic.
         let run_adam = |scale: f32| {
-            let mut s = Scalar { w: vec![0.0], g: vec![0.0] };
+            let mut s = Scalar {
+                w: vec![0.0],
+                g: vec![0.0],
+            };
             let mut adam = Adam::new(0.05);
             for _ in 0..500 {
                 s.g[0] = 2.0 * scale * (s.w[0] - 3.0);
@@ -323,7 +333,10 @@ mod tests {
 
     #[test]
     fn adam_reset_clears_state() {
-        let mut s = Scalar { w: vec![0.0], g: vec![1.0] };
+        let mut s = Scalar {
+            w: vec![0.0],
+            g: vec![1.0],
+        };
         let mut adam = Adam::new(0.01);
         adam.step(&mut s, 1.0);
         adam.reset();

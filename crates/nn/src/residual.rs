@@ -121,6 +121,13 @@ impl Layer for ResidualBlock {
         }
     }
 
+    fn set_engine(&mut self, kind: sparsetrain_sparse::EngineKind) {
+        self.main.set_engine(kind);
+        if let Some(s) = &mut self.shortcut {
+            s.set_engine(kind);
+        }
+    }
+
     fn param_count(&self) -> usize {
         self.main.param_count() + self.shortcut.as_ref().map_or(0, |s| s.param_count())
     }
@@ -178,5 +185,43 @@ mod tests {
         let short = Sequential::new("s").push(Conv2d::new("sc", 2, 2, ConvGeometry::unit(), 2));
         let b = ResidualBlock::new("b", main, Some(short));
         assert_eq!(b.param_count(), (2 * 2 + 2) * 2);
+    }
+
+    #[test]
+    fn set_engine_reaches_both_paths() {
+        use sparsetrain_sparse::EngineKind;
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct EngineProbe {
+            got: Rc<Cell<Option<EngineKind>>>,
+        }
+        impl Layer for EngineProbe {
+            fn name(&self) -> &str {
+                "probe"
+            }
+            fn forward(&mut self, xs: Vec<Tensor3>, _train: bool) -> Vec<Tensor3> {
+                xs
+            }
+            fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+                grads
+            }
+            fn set_engine(&mut self, kind: EngineKind) {
+                self.got.set(Some(kind));
+            }
+        }
+
+        let main_probe = Rc::new(Cell::new(None));
+        let short_probe = Rc::new(Cell::new(None));
+        let main = Sequential::new("m").push(EngineProbe {
+            got: Rc::clone(&main_probe),
+        });
+        let short = Sequential::new("s").push(EngineProbe {
+            got: Rc::clone(&short_probe),
+        });
+        let mut b = ResidualBlock::new("b", main, Some(short));
+        b.set_engine(EngineKind::Parallel);
+        assert_eq!(main_probe.get(), Some(EngineKind::Parallel));
+        assert_eq!(short_probe.get(), Some(EngineKind::Parallel));
     }
 }

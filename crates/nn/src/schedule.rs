@@ -39,7 +39,11 @@ impl StepDecay {
             milestones.windows(2).all(|w| w[0] < w[1]),
             "milestones must be strictly increasing"
         );
-        Self { base, gamma, milestones }
+        Self {
+            base,
+            gamma,
+            milestones,
+        }
     }
 }
 
@@ -68,15 +72,18 @@ impl CosineDecay {
         assert!(base > min_rate, "base must exceed the minimum rate");
         assert!(min_rate >= 0.0, "minimum rate must be non-negative");
         assert!(total_epochs > 0, "total epochs must be positive");
-        Self { base, min_rate, total_epochs }
+        Self {
+            base,
+            min_rate,
+            total_epochs,
+        }
     }
 }
 
 impl LrSchedule for CosineDecay {
     fn rate(&self, epoch: usize) -> f32 {
         let t = (epoch.min(self.total_epochs) as f32) / self.total_epochs as f32;
-        self.min_rate
-            + 0.5 * (self.base - self.min_rate) * (1.0 + (std::f32::consts::PI * t).cos())
+        self.min_rate + 0.5 * (self.base - self.min_rate) * (1.0 + (std::f32::consts::PI * t).cos())
     }
 }
 

@@ -134,6 +134,12 @@ impl Layer for Sequential {
         }
     }
 
+    fn set_engine(&mut self, kind: sparsetrain_sparse::EngineKind) {
+        for layer in &mut self.layers {
+            layer.set_engine(kind);
+        }
+    }
+
     fn param_count(&self) -> usize {
         self.layers.iter().map(|l| l.param_count()).sum()
     }

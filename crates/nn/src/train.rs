@@ -9,6 +9,7 @@ use crate::sequential::Sequential;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparsetrain_core::dataflow::NetworkTrace;
+use sparsetrain_sparse::EngineKind;
 use sparsetrain_tensor::Tensor3;
 
 /// Training hyper-parameters.
@@ -24,6 +25,11 @@ pub struct TrainConfig {
     pub weight_decay: f32,
     /// RNG seed (shuffling and stochastic pruning).
     pub seed: u64,
+    /// Kernel execution engine for the sparse row-dataflow hot paths.
+    /// `None` keeps every layer on its default (dense im2row) execution;
+    /// `Some(kind)` switches `Conv2d` layers to engine-driven SRC/MSRC/OSRC
+    /// execution on the selected backend.
+    pub engine: Option<EngineKind>,
 }
 
 impl TrainConfig {
@@ -35,6 +41,7 @@ impl TrainConfig {
             momentum: 0.9,
             weight_decay: 5e-4,
             seed: 0,
+            engine: None,
         }
     }
 
@@ -46,7 +53,14 @@ impl TrainConfig {
             momentum: 0.9,
             weight_decay: 0.0,
             seed: 0,
+            engine: None,
         }
+    }
+
+    /// Returns the config with the sparse row-dataflow engine selected.
+    pub fn with_engine(mut self, kind: EngineKind) -> Self {
+        self.engine = Some(kind);
+        self
     }
 }
 
@@ -86,8 +100,14 @@ pub struct Trainer {
 }
 
 impl Trainer {
-    /// Creates a trainer owning the network.
-    pub fn new(net: Sequential, config: TrainConfig) -> Self {
+    /// Creates a trainer owning the network. When the config selects a
+    /// kernel engine, every layer with a sparse row-dataflow path switches
+    /// to it here.
+    pub fn new(mut net: Sequential, config: TrainConfig) -> Self {
+        if let Some(kind) = config.engine {
+            use crate::layer::Layer as _;
+            net.set_engine(kind);
+        }
         Self {
             net,
             sgd: Sgd::new(config.lr, config.momentum, config.weight_decay),

@@ -1,14 +1,14 @@
 //! Integration: the Adam extension trains the same networks the SGD path
 //! does, with pruning hooks active.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sparsetrain_core::prune::PruneConfig;
 use sparsetrain_nn::data::SyntheticSpec;
 use sparsetrain_nn::loss::softmax_cross_entropy;
 use sparsetrain_nn::models;
 use sparsetrain_nn::optim::Adam;
 use sparsetrain_nn::Layer;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sparsetrain_tensor::Tensor3;
 
 /// A minimal Adam training loop (the Trainer is SGD-specific by design —

@@ -5,12 +5,12 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sparsetrain_core::prune::PruneConfig;
+use sparsetrain_nn::data::SyntheticSpec;
 use sparsetrain_nn::layer::Layer;
 use sparsetrain_nn::layers::{BatchNorm2d, Conv2d, MaxPool2d, Relu};
 use sparsetrain_nn::models;
 use sparsetrain_nn::sequential::Sequential;
 use sparsetrain_nn::train::{TrainConfig, Trainer};
-use sparsetrain_nn::data::SyntheticSpec;
 use sparsetrain_tensor::conv::ConvGeometry;
 use sparsetrain_tensor::Tensor3;
 
@@ -70,7 +70,12 @@ fn deep_network_input_gradient_matches_finite_difference() {
     // position whose finite-difference pair disagrees on the argmax/mask
     // (kinks make the derivative one-sided there).
     let mut checked = 0;
-    for &(s, c, y, x) in &[(0usize, 0usize, 1usize, 1usize), (1, 1, 2, 2), (0, 1, 0, 3), (1, 0, 3, 0)] {
+    for &(s, c, y, x) in &[
+        (0usize, 0usize, 1usize, 1usize),
+        (1, 1, 2, 2),
+        (0, 1, 0, 3),
+        (1, 0, 3, 0),
+    ] {
         let mut plus = xs.clone();
         plus[s].add_at(c, y, x, eps);
         let mut minus = xs.clone();
@@ -147,7 +152,10 @@ fn resnet_trace_covers_all_convs() {
     let net = sparsetrain_nn::models::resnet(
         3,
         2,
-        sparsetrain_nn::models::ResnetSpec { blocks: [1, 1, 1], width: 4 },
+        sparsetrain_nn::models::ResnetSpec {
+            blocks: [1, 1, 1],
+            width: 4,
+        },
         Some(PruneConfig::paper_default()),
         5,
     );

@@ -65,7 +65,11 @@ pub fn row_stationary_report(
                 f.dense_macs(),
             ),
         };
-        let mut steps = [StepReport::default(), StepReport::default(), StepReport::default()];
+        let mut steps = [
+            StepReport::default(),
+            StepReport::default(),
+            StepReport::default(),
+        ];
         for (i, step) in steps.iter_mut().enumerate() {
             if i == 1 && !needs_gta {
                 continue;

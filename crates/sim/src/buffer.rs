@@ -37,12 +37,20 @@ impl BufferConfig {
     /// corresponds to a wider word; the *ratio* experiments only use
     /// relative numbers).
     pub fn paper_386k() -> Self {
-        Self { banks: 32, words_per_bank_per_cycle: 1, capacity_words: 386 * 1024 / 2 }
+        Self {
+            banks: 32,
+            words_per_bank_per_cycle: 1,
+            capacity_words: 386 * 1024 / 2,
+        }
     }
 
     /// A small configuration for unit tests.
     pub fn tiny() -> Self {
-        Self { banks: 4, words_per_bank_per_cycle: 1, capacity_words: 4096 }
+        Self {
+            banks: 4,
+            words_per_bank_per_cycle: 1,
+            capacity_words: 4096,
+        }
     }
 
     /// Aggregate conflict-free bandwidth, words per cycle.
@@ -126,7 +134,11 @@ impl BankedBuffer {
     /// Panics if `config` fails validation.
     pub fn new(config: BufferConfig) -> Self {
         config.validate().expect("invalid buffer configuration");
-        Self { config, stats: BufferStats::default(), bank_loads: vec![0; config.banks] }
+        Self {
+            config,
+            stats: BufferStats::default(),
+            bank_loads: vec![0; config.banks],
+        }
     }
 
     /// The buffer's configuration.
@@ -272,9 +284,21 @@ mod tests {
     #[test]
     fn invalid_configs_are_rejected() {
         for cfg in [
-            BufferConfig { banks: 0, words_per_bank_per_cycle: 1, capacity_words: 1 },
-            BufferConfig { banks: 1, words_per_bank_per_cycle: 0, capacity_words: 1 },
-            BufferConfig { banks: 1, words_per_bank_per_cycle: 1, capacity_words: 0 },
+            BufferConfig {
+                banks: 0,
+                words_per_bank_per_cycle: 1,
+                capacity_words: 1,
+            },
+            BufferConfig {
+                banks: 1,
+                words_per_bank_per_cycle: 0,
+                capacity_words: 1,
+            },
+            BufferConfig {
+                banks: 1,
+                words_per_bank_per_cycle: 1,
+                capacity_words: 0,
+            },
         ] {
             assert!(cfg.validate().is_err());
         }

@@ -102,13 +102,18 @@ mod tests {
 
     fn trace() -> NetworkTrace {
         let geom = ConvGeometry::new(3, 1, 1);
-        let input = Tensor3::from_fn(2, 6, 6, |c, y, x| {
-            if (c + 2 * y + x) % 3 == 0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
+        let input = Tensor3::from_fn(
+            2,
+            6,
+            6,
+            |c, y, x| {
+                if (c + 2 * y + x) % 3 == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let dout = Tensor3::from_fn(3, 6, 6, |c, y, x| if (c + y * x) % 4 == 0 { 0.5 } else { 0.0 });
         let fm = SparseFeatureMap::from_tensor(&input);
         let masks = fm.masks();

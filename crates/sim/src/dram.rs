@@ -221,8 +221,7 @@ impl DramModel {
 
     /// Energy of a stats record under this configuration, pJ.
     pub fn energy_pj(&self, stats: &DramStats) -> f64 {
-        stats.bursts as f64 * self.config.burst_pj
-            + stats.row_misses as f64 * self.config.activate_pj
+        stats.bursts as f64 * self.config.burst_pj + stats.row_misses as f64 * self.config.activate_pj
     }
 
     /// Effective bandwidth of a stats record, words per cycle.
@@ -257,7 +256,11 @@ mod tests {
         let s = d.read(0, words);
         let rows_touched = words / d.config().row_words as u64;
         assert_eq!(s.row_misses, rows_touched, "one miss per new row");
-        assert!(s.hit_rate() > 0.9, "hit rate {} too low for a stream", s.hit_rate());
+        assert!(
+            s.hit_rate() > 0.9,
+            "hit rate {} too low for a stream",
+            s.hit_rate()
+        );
     }
 
     #[test]
@@ -320,8 +323,18 @@ mod tests {
     #[test]
     fn energy_scales_with_misses() {
         let d = model();
-        let hits = DramStats { bursts: 10, row_hits: 10, row_misses: 0, cycles: 20 };
-        let misses = DramStats { bursts: 10, row_hits: 0, row_misses: 10, cycles: 300 };
+        let hits = DramStats {
+            bursts: 10,
+            row_hits: 10,
+            row_misses: 0,
+            cycles: 20,
+        };
+        let misses = DramStats {
+            bursts: 10,
+            row_hits: 0,
+            row_misses: 10,
+            cycles: 300,
+        };
         assert!(d.energy_pj(&misses) > d.energy_pj(&hits));
     }
 

@@ -135,7 +135,14 @@ mod tests {
         let mut expected = [0u64; 3];
         for (i, row) in rows.iter().enumerate() {
             let pe = i % 3;
-            group.enqueue(pe, QueuedOp::Src(SrcOp { input: row, geom, out_len: 8 }));
+            group.enqueue(
+                pe,
+                QueuedOp::Src(SrcOp {
+                    input: row,
+                    geom,
+                    out_len: 8,
+                }),
+            );
             expected[pe] += src_work(row, geom).cycles;
         }
         let makespan = group.run();
@@ -149,7 +156,14 @@ mod tests {
         let mut group = PeGroup::new(2, 11);
         let mut expected = OpWork::default();
         for (i, row) in rows.iter().enumerate() {
-            group.enqueue(i % 2, QueuedOp::Src(SrcOp { input: row, geom, out_len: 8 }));
+            group.enqueue(
+                i % 2,
+                QueuedOp::Src(SrcOp {
+                    input: row,
+                    geom,
+                    out_len: 8,
+                }),
+            );
             expected = expected.add(&src_work(row, geom));
         }
         group.run();
@@ -169,9 +183,30 @@ mod tests {
         let zero = SparseVec::zeros(8);
         let nonzero = SparseVec::from_dense(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
         let mut group = PeGroup::new(1, 11);
-        group.enqueue(0, QueuedOp::Src(SrcOp { input: &zero, geom, out_len: 8 }));
-        group.enqueue(0, QueuedOp::Src(SrcOp { input: &nonzero, geom, out_len: 8 }));
-        group.enqueue(0, QueuedOp::Src(SrcOp { input: &zero, geom, out_len: 8 }));
+        group.enqueue(
+            0,
+            QueuedOp::Src(SrcOp {
+                input: &zero,
+                geom,
+                out_len: 8,
+            }),
+        );
+        group.enqueue(
+            0,
+            QueuedOp::Src(SrcOp {
+                input: &nonzero,
+                geom,
+                out_len: 8,
+            }),
+        );
+        group.enqueue(
+            0,
+            QueuedOp::Src(SrcOp {
+                input: &zero,
+                geom,
+                out_len: 8,
+            }),
+        );
         let makespan = group.run();
         assert_eq!(makespan, src_work(&nonzero, geom).cycles);
     }

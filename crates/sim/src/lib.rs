@@ -45,8 +45,8 @@
 pub mod baseline;
 pub mod buffer;
 pub mod config;
-pub mod dram;
 pub mod controller;
+pub mod dram;
 pub mod energy;
 pub mod group;
 pub mod machine;
@@ -54,9 +54,9 @@ pub mod pe;
 pub mod pipeline;
 pub mod ppu;
 pub mod prune_unit;
+pub mod report;
 pub mod sched;
 pub mod update;
-pub mod report;
 
 pub use config::ArchConfig;
 pub use machine::Machine;

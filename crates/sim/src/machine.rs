@@ -145,7 +145,11 @@ impl Machine {
     /// Panics if `config` fails validation.
     pub fn with_energy(config: ArchConfig, energy: EnergyModel) -> Self {
         config.validate().expect("invalid architecture configuration");
-        Self { config, energy, policy: Policy::LeastLoaded }
+        Self {
+            config,
+            energy,
+            policy: Policy::LeastLoaded,
+        }
     }
 
     /// Returns the machine with a different task-scheduling policy (the
@@ -395,20 +399,30 @@ mod tests {
 
     fn conv_trace(density_mod: usize) -> ConvLayerTrace {
         let geom = ConvGeometry::new(3, 1, 1);
-        let input = Tensor3::from_fn(2, 6, 6, |c, y, x| {
-            if (c + y + x) % density_mod == 0 {
-                1.0
-            } else {
-                0.0
-            }
-        });
-        let dout = Tensor3::from_fn(3, 6, 6, |c, y, x| {
-            if (c + y * x) % density_mod == 0 {
-                0.5
-            } else {
-                0.0
-            }
-        });
+        let input = Tensor3::from_fn(
+            2,
+            6,
+            6,
+            |c, y, x| {
+                if (c + y + x) % density_mod == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
+        let dout = Tensor3::from_fn(
+            3,
+            6,
+            6,
+            |c, y, x| {
+                if (c + y * x) % density_mod == 0 {
+                    0.5
+                } else {
+                    0.0
+                }
+            },
+        );
         let fm = SparseFeatureMap::from_tensor(&input);
         let masks = fm.masks();
         ConvLayerTrace {

@@ -134,7 +134,9 @@ impl CycleExactPe {
         let mut left = pairs;
         for i in 0..cycles {
             let rest_cycles = cycles - i;
-            let this = (left / rest_cycles).min(k).max(u64::from(left > 0 && rest_cycles == 1));
+            let this = (left / rest_cycles)
+                .min(k)
+                .max(u64::from(left > 0 && rest_cycles == 1));
             let this = if rest_cycles == 1 { left } else { this };
             elems.push(this);
             left -= this;
@@ -240,7 +242,11 @@ mod tests {
             vec![5.0],
         ] {
             let input = sparse(&pattern);
-            let op = SrcOp { input: &input, geom, out_len: pattern.len() };
+            let op = SrcOp {
+                input: &input,
+                geom,
+                out_len: pattern.len(),
+            };
             let mut pe = CycleExactPe::new(11);
             pe.issue_src(&op);
             let got = pe.run_to_completion();
@@ -255,7 +261,12 @@ mod tests {
         let grad = sparse(&[1.0, 0.0, 0.0, 0.0, 2.0, 0.0, 1.0, 0.0]);
         for mask_offsets in [vec![3u32], vec![0, 1, 2, 3, 4, 5, 6, 7], vec![], vec![7]] {
             let mask = RowMask::from_offsets(8, &mask_offsets);
-            let op = MsrcOp { grad: &grad, mask: &mask, geom, out_len: 8 };
+            let op = MsrcOp {
+                grad: &grad,
+                mask: &mask,
+                geom,
+                out_len: 8,
+            };
             let mut pe = CycleExactPe::new(11);
             pe.issue_msrc(&op);
             let got = pe.run_to_completion();
@@ -278,7 +289,11 @@ mod tests {
         for (i_pat, g_pat) in cases {
             let input = sparse(&i_pat);
             let grad = sparse(&g_pat);
-            let op = OsrcOp { input: &input, grad: &grad, geom };
+            let op = OsrcOp {
+                input: &input,
+                grad: &grad,
+                geom,
+            };
             let mut pe = CycleExactPe::new(11);
             pe.issue_osrc(&op);
             let got = pe.run_to_completion();
@@ -293,7 +308,11 @@ mod tests {
     fn zero_work_op_takes_zero_cycles() {
         let geom = ConvGeometry::new(3, 1, 1);
         let input = sparse(&[0.0; 8]);
-        let op = SrcOp { input: &input, geom, out_len: 8 };
+        let op = SrcOp {
+            input: &input,
+            geom,
+            out_len: 8,
+        };
         let mut pe = CycleExactPe::new(3);
         pe.issue_src(&op);
         assert!(!pe.is_busy());
@@ -306,9 +325,17 @@ mod tests {
         let a = sparse(&[1.0, 2.0]);
         let b = sparse(&[3.0]);
         let mut pe = CycleExactPe::new(1);
-        pe.issue_src(&SrcOp { input: &a, geom, out_len: 2 });
+        pe.issue_src(&SrcOp {
+            input: &a,
+            geom,
+            out_len: 2,
+        });
         pe.run_to_completion();
-        pe.issue_src(&SrcOp { input: &b, geom, out_len: 1 });
+        pe.issue_src(&SrcOp {
+            input: &b,
+            geom,
+            out_len: 1,
+        });
         pe.run_to_completion();
         assert_eq!(pe.busy_cycles, (OP_SETUP_CYCLES + 2) + (OP_SETUP_CYCLES + 1));
         assert_eq!(pe.loads, 3);
@@ -320,7 +347,15 @@ mod tests {
         let geom = ConvGeometry::new(1, 1, 0);
         let a = sparse(&[1.0]);
         let mut pe = CycleExactPe::new(1);
-        pe.issue_src(&SrcOp { input: &a, geom, out_len: 1 });
-        pe.issue_src(&SrcOp { input: &a, geom, out_len: 1 });
+        pe.issue_src(&SrcOp {
+            input: &a,
+            geom,
+            out_len: 1,
+        });
+        pe.issue_src(&SrcOp {
+            input: &a,
+            geom,
+            out_len: 1,
+        });
     }
 }

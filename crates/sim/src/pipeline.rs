@@ -74,8 +74,7 @@ impl PipelineReport {
     /// Whether DMA is completely hidden behind compute (apart from the
     /// first prefetch, which nothing can hide).
     pub fn dma_hidden(&self) -> bool {
-        self.exposed_stages == 0
-            && self.pipelined_cycles <= self.compute_cycles + self.first_dma
+        self.exposed_stages == 0 && self.pipelined_cycles <= self.compute_cycles + self.first_dma
     }
 }
 
@@ -111,7 +110,11 @@ pub fn stages_from_report(report: &SimReport, cfg: &ArchConfig) -> Vec<Stage> {
     let dma = |words: u64| words.div_ceil(cfg.dram_words_per_cycle);
     let mut push = |label: String, compute: u64, dma_cycles: u64| {
         if compute > 0 || dma_cycles > 0 {
-            stages.push(Stage { label, compute_cycles: compute, dma_cycles });
+            stages.push(Stage {
+                label,
+                compute_cycles: compute,
+                dma_cycles,
+            });
         }
     };
     for layer in &report.layers {
@@ -122,8 +125,16 @@ pub fn stages_from_report(report: &SimReport, cfg: &ArchConfig) -> Vec<Stage> {
         );
     }
     for layer in report.layers.iter().rev() {
-        push(format!("{}/gta", layer.name), layer.steps[1].cycles, dma(layer.steps[1].dram_words));
-        push(format!("{}/gtw", layer.name), layer.steps[2].cycles, dma(layer.steps[2].dram_words));
+        push(
+            format!("{}/gta", layer.name),
+            layer.steps[1].cycles,
+            dma(layer.steps[1].dram_words),
+        );
+        push(
+            format!("{}/gtw", layer.name),
+            layer.steps[2].cycles,
+            dma(layer.steps[2].dram_words),
+        );
     }
     stages
 }
@@ -133,7 +144,11 @@ mod tests {
     use super::*;
 
     fn stage(c: u64, d: u64) -> Stage {
-        Stage { label: String::from("s"), compute_cycles: c, dma_cycles: d }
+        Stage {
+            label: String::from("s"),
+            compute_cycles: c,
+            dma_cycles: d,
+        }
     }
 
     #[test]
@@ -146,8 +161,7 @@ mod tests {
 
     #[test]
     fn pipelined_never_exceeds_serial() {
-        let stages: Vec<Stage> =
-            (0..20).map(|i| stage((i * 13 % 50) + 1, i * 7 % 30)).collect();
+        let stages: Vec<Stage> = (0..20).map(|i| stage((i * 13 % 50) + 1, i * 7 % 30)).collect();
         let r = pipeline_latency(&stages);
         assert!(r.pipelined_cycles <= r.serial_cycles);
         assert!(r.pipelined_cycles >= r.compute_cycles);

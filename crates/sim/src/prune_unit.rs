@@ -44,7 +44,9 @@ impl Lfsr16 {
 
     /// Creates an LFSR; a zero seed (the lock-up state) is mapped to 1.
     pub fn new(seed: u16) -> Self {
-        Self { state: if seed == 0 { 1 } else { seed } }
+        Self {
+            state: if seed == 0 { 1 } else { seed },
+        }
     }
 
     /// Advances one step and returns the new state.
@@ -113,7 +115,11 @@ pub struct PruneUnit {
 impl PruneUnit {
     /// Creates a unit with the given LFSR seed and pruning disabled.
     pub fn new(seed: u16) -> Self {
-        Self { lfsr: Lfsr16::new(seed), threshold: 0.0, stats: PruneUnitStats::default() }
+        Self {
+            lfsr: Lfsr16::new(seed),
+            threshold: 0.0,
+            stats: PruneUnitStats::default(),
+        }
     }
 
     /// Loads the predicted threshold τ̂ for the coming batch.
@@ -122,7 +128,10 @@ impl PruneUnit {
     ///
     /// Panics if `tau` is negative or non-finite.
     pub fn set_threshold(&mut self, tau: f32) {
-        assert!(tau.is_finite() && tau >= 0.0, "threshold must be finite and non-negative");
+        assert!(
+            tau.is_finite() && tau >= 0.0,
+            "threshold must be finite and non-negative"
+        );
         self.threshold = tau;
     }
 
@@ -281,8 +290,9 @@ mod tests {
         use sparsetrain_tensor::init::sample_standard_normal;
 
         let mut rng = StdRng::seed_from_u64(42);
-        let grads: Vec<f32> =
-            (0..40_000).map(|_| sample_standard_normal(&mut rng) * 0.05).collect();
+        let grads: Vec<f32> = (0..40_000)
+            .map(|_| sample_standard_normal(&mut rng) * 0.05)
+            .collect();
         let tau = 0.08f64;
 
         // Software reference (Algorithm 1's inner loop).

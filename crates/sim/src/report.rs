@@ -98,7 +98,11 @@ impl SimReport {
     pub fn energy_efficiency_over(&self, baseline: &SimReport) -> f64 {
         let own = self.energy.total_pj();
         if own == 0.0 {
-            return if baseline.energy.total_pj() == 0.0 { 1.0 } else { f64::INFINITY };
+            return if baseline.energy.total_pj() == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         baseline.energy.total_pj() / own
     }

@@ -96,8 +96,7 @@ pub fn schedule(policy: Policy, tasks: &[u64], pes: usize) -> ScheduleResult {
     assert!(pes > 0, "need at least one PE");
     let loads = match policy {
         Policy::LeastLoaded => {
-            let mut heap: BinaryHeap<(Reverse<u64>, usize)> =
-                (0..pes).map(|i| (Reverse(0), i)).collect();
+            let mut heap: BinaryHeap<(Reverse<u64>, usize)> = (0..pes).map(|i| (Reverse(0), i)).collect();
             let mut loads = vec![0u64; pes];
             for &t in tasks {
                 let (Reverse(load), idx) = heap.pop().expect("heap holds all PEs");
@@ -125,7 +124,11 @@ pub fn schedule(policy: Policy, tasks: &[u64], pes: usize) -> ScheduleResult {
         }
     };
     let makespan = loads.iter().copied().max().unwrap_or(0);
-    ScheduleResult { policy, loads, makespan }
+    ScheduleResult {
+        policy,
+        loads,
+        makespan,
+    }
 }
 
 /// Compares every policy on one task list; results are in

@@ -115,7 +115,12 @@ pub fn update_cost(params: u64, rule: UpdateRule, cfg: &ArchConfig) -> UpdateCos
     // state that never fits the buffer rides the same stream.
     let dram_words = sram_words;
     let dram_bound = dram_words.div_ceil(cfg.dram_words_per_cycle);
-    UpdateCost { cycles: compute.max(sram_bound).max(dram_bound), macs, sram_words, dram_words }
+    UpdateCost {
+        cycles: compute.max(sram_bound).max(dram_bound),
+        macs,
+        sram_words,
+        dram_words,
+    }
 }
 
 /// Per-sample share of the once-per-batch update.
@@ -177,7 +182,10 @@ mod tests {
 
     #[test]
     fn fraction_handles_zero_step() {
-        let c = UpdateCost { cycles: 10, ..Default::default() };
+        let c = UpdateCost {
+            cycles: 10,
+            ..Default::default()
+        };
         assert!(c.fraction_of(0).is_infinite());
         assert!((c.fraction_of(1000) - 0.01).abs() < 1e-12);
     }

@@ -4,9 +4,7 @@
 //! the end-to-end guarantee that the fast whole-network simulator computes
 //! cycle-accurate numbers.
 
-use sparsetrain_core::dataflow::{
-    for_each_forward_op, for_each_gta_op, for_each_gtw_op, ConvLayerTrace,
-};
+use sparsetrain_core::dataflow::{for_each_forward_op, for_each_gta_op, for_each_gtw_op, ConvLayerTrace};
 use sparsetrain_sim::group::{PeGroup, QueuedOp};
 use sparsetrain_sparse::rowconv::SparseFeatureMap;
 use sparsetrain_sparse::work::{msrc_work, osrc_work, src_work};

@@ -1,0 +1,737 @@
+//! Pluggable kernel execution engines for the SRC/MSRC/OSRC hot paths.
+//!
+//! [`KernelEngine`] is the seam between the functional dataflow model and
+//! how it actually runs: every layer-level operation writes into
+//! caller-provided tensors through the kernels' accumulate-into-scratch
+//! APIs ([`crate::src::src_accumulate`], [`crate::msrc::msrc_accumulate`],
+//! [`crate::osrc::osrc_accumulate`]), so the inner loops perform **zero
+//! per-row heap allocations** on every engine.
+//!
+//! Two engines ship today:
+//!
+//! * [`ScalarEngine`] — the reference single-threaded semantics. Iteration
+//!   order is the specification; every other engine must match it
+//!   bit-for-bit.
+//! * [`ParallelEngine`] — band-parallel execution over the layer's
+//!   *independent* output units (filters for Forward/GTW, channels for
+//!   GTA) on the rayon fork-join API. Because parallelism is only ever
+//!   across disjoint output rows while the per-row accumulation order is
+//!   untouched, its results are **bitwise identical** to the scalar
+//!   engine's — verified by the `engine_parity` property tests.
+//!
+//! [`Workspace`] is the companion scratch-buffer type for row-at-a-time
+//! callers (benches, op-stream execution): it owns reusable output/tap
+//! buffers so single-row kernel calls need no allocation either.
+//!
+//! Engine selection plumbs upward as [`EngineKind`] (a tiny `Copy` token)
+//! through `sparsetrain-nn`'s `Conv2d`/`Trainer` and the dataflow executor
+//! in `sparsetrain-core`; the simulator's cycle accounting consumes the
+//! same op enumeration and is engine-agnostic by construction.
+
+use crate::compressed::SparseVec;
+use crate::mask::RowMask;
+use crate::msrc::msrc_accumulate;
+use crate::osrc::osrc_accumulate;
+use crate::rowconv::SparseFeatureMap;
+use crate::src::src_accumulate;
+use sparsetrain_tensor::conv::ConvGeometry;
+use sparsetrain_tensor::{Tensor3, Tensor4};
+
+/// Selects a [`KernelEngine`] implementation; the token that plumbs through
+/// configuration layers (`TrainConfig`, `Conv2d`, executors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Reference single-threaded execution.
+    #[default]
+    Scalar,
+    /// Band-parallel execution over rows/channels.
+    Parallel,
+}
+
+impl EngineKind {
+    /// The shared engine instance for this kind.
+    pub fn engine(self) -> &'static dyn KernelEngine {
+        static SCALAR: ScalarEngine = ScalarEngine;
+        static PARALLEL: ParallelEngine = ParallelEngine::auto();
+        match self {
+            EngineKind::Scalar => &SCALAR,
+            EngineKind::Parallel => &PARALLEL,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Scalar => "scalar",
+            EngineKind::Parallel => "parallel",
+        }
+    }
+}
+
+/// Layer-level execution of the three training-stage convolutions.
+///
+/// All methods accumulate into caller-provided tensors (which the `*_into`
+/// contract requires to be pre-zeroed or pre-seeded by the caller) and
+/// must produce results bitwise identical to [`ScalarEngine`].
+pub trait KernelEngine: Send + Sync {
+    /// Engine name for reports and benches.
+    fn name(&self) -> &'static str;
+
+    /// Forward step: `out[fi] += Σ_ci SRC(input[ci], W[fi][ci])` (+ bias if
+    /// given, which overwrites `out` first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches between `input`, `weights`, `geom` and
+    /// `out`.
+    fn forward_into(
+        &self,
+        input: &SparseFeatureMap,
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+        out: &mut Tensor3,
+    );
+
+    /// GTA step: scatters `dout` through the rotated kernels into `din`,
+    /// skipping positions absent from `masks` (the forward non-zero masks,
+    /// one per `(channel, input row)` in channel-major order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    fn input_grad_into(
+        &self,
+        dout: &SparseFeatureMap,
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        masks: &[RowMask],
+        din: &mut Tensor3,
+    );
+
+    /// GTW step: accumulates `dW[fi][ci][u] += Σ_oy OSRC(I row, dO row)`
+    /// directly into the kernel rows of `dw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    fn weight_grad_into(
+        &self,
+        input: &SparseFeatureMap,
+        dout: &SparseFeatureMap,
+        geom: ConvGeometry,
+        dw: &mut Tensor4,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Shared shape validation
+// ---------------------------------------------------------------------------
+
+fn check_forward(
+    input: &SparseFeatureMap,
+    weights: &Tensor4,
+    bias: Option<&[f32]>,
+    geom: ConvGeometry,
+    out: &Tensor3,
+) {
+    let (f, wc, kh, kw) = weights.shape();
+    assert_eq!(wc, input.channels(), "weight/input channel mismatch");
+    assert_eq!(kh, geom.kernel);
+    assert_eq!(kw, geom.kernel);
+    if let Some(b) = bias {
+        assert_eq!(b.len(), f, "bias length mismatch");
+    }
+    let oh = geom.output_extent(input.height());
+    let ow = geom.output_extent(input.width());
+    assert_eq!(out.shape(), (f, oh, ow), "output tensor shape mismatch");
+}
+
+fn check_input_grad(
+    dout: &SparseFeatureMap,
+    weights: &Tensor4,
+    geom: ConvGeometry,
+    masks: &[RowMask],
+    din: &Tensor3,
+) {
+    let (f, c, kh, kw) = weights.shape();
+    assert_eq!(f, dout.channels(), "weight filters != dout channels");
+    assert_eq!(kh, geom.kernel);
+    assert_eq!(kw, geom.kernel);
+    let (dc, in_h, _) = din.shape();
+    assert_eq!(dc, c, "din channels != weight channels");
+    assert_eq!(masks.len(), c * in_h, "need one mask per (channel, input row)");
+}
+
+fn check_weight_grad(input: &SparseFeatureMap, dout: &SparseFeatureMap, geom: ConvGeometry, dw: &Tensor4) {
+    assert_eq!(dout.height(), geom.output_extent(input.height()));
+    assert_eq!(dout.width(), geom.output_extent(input.width()));
+    assert_eq!(
+        dw.shape(),
+        (dout.channels(), input.channels(), geom.kernel, geom.kernel),
+        "dw tensor shape mismatch"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Band workers (shared by both engines; the scalar engine is one big band)
+// ---------------------------------------------------------------------------
+
+/// Computes the forward rows of filters `f_lo..f_lo + n` into `out_band`
+/// (`n` contiguous `Oh × Ow` filter planes).
+#[allow(clippy::too_many_arguments)]
+fn forward_band(
+    input: &SparseFeatureMap,
+    weights: &Tensor4,
+    bias: Option<&[f32]>,
+    geom: ConvGeometry,
+    oh: usize,
+    ow: usize,
+    f_lo: usize,
+    out_band: &mut [f32],
+) {
+    let h = input.height() as isize;
+    for (bf, plane) in out_band.chunks_mut(oh * ow).enumerate() {
+        let fi = f_lo + bf;
+        if let Some(b) = bias {
+            plane.fill(b[fi]);
+        }
+        for (oy, out_row) in plane.chunks_mut(ow).enumerate() {
+            for u in 0..geom.kernel {
+                let iy = (oy * geom.stride) as isize - geom.pad as isize + u as isize;
+                if iy < 0 || iy >= h {
+                    continue;
+                }
+                for ci in 0..input.channels() {
+                    let krow = weights.kernel_row(fi, ci, u);
+                    src_accumulate(input.row(ci, iy as usize), krow, geom, out_row);
+                }
+            }
+        }
+    }
+}
+
+/// Computes the input-gradient rows of channels `c_lo..c_lo + n` into
+/// `din_band` (`n` contiguous `H × W` channel planes).
+#[allow(clippy::too_many_arguments)]
+fn input_grad_band(
+    dout: &SparseFeatureMap,
+    weights: &Tensor4,
+    geom: ConvGeometry,
+    masks: &[RowMask],
+    in_h: usize,
+    in_w: usize,
+    c_lo: usize,
+    din_band: &mut [f32],
+) {
+    for (bc, plane) in din_band.chunks_mut(in_h * in_w).enumerate() {
+        let ci = c_lo + bc;
+        for fi in 0..dout.channels() {
+            for oy in 0..dout.height() {
+                let grow = dout.row(fi, oy);
+                if grow.nnz() == 0 {
+                    continue;
+                }
+                for u in 0..geom.kernel {
+                    let iy = (oy * geom.stride) as isize - geom.pad as isize + u as isize;
+                    if iy < 0 || iy >= in_h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    let out_row = &mut plane[iy * in_w..(iy + 1) * in_w];
+                    msrc_accumulate(
+                        grow,
+                        weights.kernel_row(fi, ci, u),
+                        geom,
+                        &masks[ci * in_h + iy],
+                        out_row,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Accumulates the weight gradients of filters `f_lo..f_lo + n` into
+/// `dw_band` (`n` contiguous `C × K × K` filter blocks).
+fn weight_grad_band(
+    input: &SparseFeatureMap,
+    dout: &SparseFeatureMap,
+    geom: ConvGeometry,
+    f_lo: usize,
+    dw_band: &mut [f32],
+) {
+    let c = input.channels();
+    let k = geom.kernel;
+    for (bf, block) in dw_band.chunks_mut(c * k * k).enumerate() {
+        let fi = f_lo + bf;
+        for ci in 0..c {
+            for u in 0..k {
+                let taps = &mut block[(ci * k + u) * k..(ci * k + u + 1) * k];
+                for oy in 0..dout.height() {
+                    let iy = (oy * geom.stride) as isize - geom.pad as isize + u as isize;
+                    if iy < 0 || iy >= input.height() as isize {
+                        continue;
+                    }
+                    let irow = input.row(ci, iy as usize);
+                    let grow = dout.row(fi, oy);
+                    if irow.nnz() == 0 || grow.nnz() == 0 {
+                        continue;
+                    }
+                    osrc_accumulate(irow, grow, geom, taps);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ScalarEngine
+// ---------------------------------------------------------------------------
+
+/// The reference single-threaded engine; its iteration order defines the
+/// exact floating-point result every engine must reproduce.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarEngine;
+
+impl KernelEngine for ScalarEngine {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn forward_into(
+        &self,
+        input: &SparseFeatureMap,
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+        out: &mut Tensor3,
+    ) {
+        check_forward(input, weights, bias, geom, out);
+        let (_, oh, ow) = out.shape();
+        forward_band(input, weights, bias, geom, oh, ow, 0, out.as_mut_slice());
+    }
+
+    fn input_grad_into(
+        &self,
+        dout: &SparseFeatureMap,
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        masks: &[RowMask],
+        din: &mut Tensor3,
+    ) {
+        check_input_grad(dout, weights, geom, masks, din);
+        let (_, in_h, in_w) = din.shape();
+        input_grad_band(dout, weights, geom, masks, in_h, in_w, 0, din.as_mut_slice());
+    }
+
+    fn weight_grad_into(
+        &self,
+        input: &SparseFeatureMap,
+        dout: &SparseFeatureMap,
+        geom: ConvGeometry,
+        dw: &mut Tensor4,
+    ) {
+        check_weight_grad(input, dout, geom, dw);
+        weight_grad_band(input, dout, geom, 0, dw.as_mut_slice());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ParallelEngine
+// ---------------------------------------------------------------------------
+
+/// Band-parallel engine: splits the layer's independent output units
+/// (filters or channels) into one contiguous band per worker and runs the
+/// bands on rayon's fork-join scope.
+///
+/// Each band writes a disjoint region of the output tensor and reuses the
+/// exact scalar per-row accumulation order, so results are bitwise equal
+/// to [`ScalarEngine`] — parallelism changes wall-clock, never values.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelEngine {
+    threads: usize,
+}
+
+impl ParallelEngine {
+    /// Engine sizing bands to the machine's hardware parallelism.
+    pub const fn auto() -> Self {
+        Self { threads: 0 }
+    }
+
+    /// Engine with an explicit worker-band count (0 = auto).
+    pub const fn with_threads(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// Rough MAC count below which a band is not worth a worker: spawning
+    /// a scope task costs on the order of tens of microseconds (a fresh OS
+    /// thread under the compat rayon shim), which is itself worth tens of
+    /// thousands of sparse MACs — a band must carry several multiples of
+    /// that to amortize the fork-join. Applied in auto mode only — an
+    /// explicit `with_threads` count is honoured as given.
+    const MIN_OPS_PER_BAND: usize = 128 * 1024;
+
+    fn bands(&self, units: usize, ops_per_unit: usize) -> usize {
+        if self.threads != 0 {
+            return self.threads.clamp(1, units.max(1));
+        }
+        let total_ops = units.saturating_mul(ops_per_unit).max(1);
+        let by_work = total_ops.div_ceil(Self::MIN_OPS_PER_BAND);
+        rayon::current_num_threads().min(by_work).clamp(1, units.max(1))
+    }
+}
+
+/// Splits `data` (holding `units` blocks of `unit_len` elements) into
+/// `bands` near-equal contiguous bands and runs `work(first_unit, band)`
+/// for each band in parallel.
+fn for_each_band<F>(data: &mut [f32], units: usize, unit_len: usize, bands: usize, work: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(data.len(), units * unit_len);
+    if bands <= 1 || units <= 1 {
+        work(0, data);
+        return;
+    }
+    let per_band = units.div_ceil(bands);
+    let work = &work;
+    rayon::scope(|scope| {
+        let mut rest = data;
+        let mut unit = 0usize;
+        while unit < units {
+            let n = per_band.min(units - unit);
+            let (band, tail) = rest.split_at_mut(n * unit_len);
+            rest = tail;
+            let first = unit;
+            unit += n;
+            if unit >= units {
+                // Final band runs on the calling thread, which would
+                // otherwise idle inside the scope — saves one task spawn.
+                work(first, band);
+            } else {
+                scope.spawn(move |_| work(first, band));
+            }
+        }
+    });
+}
+
+impl KernelEngine for ParallelEngine {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn forward_into(
+        &self,
+        input: &SparseFeatureMap,
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+        out: &mut Tensor3,
+    ) {
+        check_forward(input, weights, bias, geom, out);
+        let (f, oh, ow) = out.shape();
+        // Per-filter work ≈ every input non-zero hits K kernel taps.
+        let bands = self.bands(f, input.nnz() * geom.kernel);
+        for_each_band(out.as_mut_slice(), f, oh * ow, bands, |f_lo, band| {
+            forward_band(input, weights, bias, geom, oh, ow, f_lo, band);
+        });
+    }
+
+    fn input_grad_into(
+        &self,
+        dout: &SparseFeatureMap,
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        masks: &[RowMask],
+        din: &mut Tensor3,
+    ) {
+        check_input_grad(dout, weights, geom, masks, din);
+        let (c, in_h, in_w) = din.shape();
+        // Per-channel work ≈ every gradient non-zero scatters K taps.
+        let bands = self.bands(c, dout.nnz() * geom.kernel);
+        for_each_band(din.as_mut_slice(), c, in_h * in_w, bands, |c_lo, band| {
+            input_grad_band(dout, weights, geom, masks, in_h, in_w, c_lo, band);
+        });
+    }
+
+    fn weight_grad_into(
+        &self,
+        input: &SparseFeatureMap,
+        dout: &SparseFeatureMap,
+        geom: ConvGeometry,
+        dw: &mut Tensor4,
+    ) {
+        check_weight_grad(input, dout, geom, dw);
+        let (f, c, k, _) = dw.shape();
+        // Per-filter work ≈ the input swept once per kernel row.
+        let bands = self.bands(f, input.nnz() * geom.kernel);
+        for_each_band(dw.as_mut_slice(), f, c * k * k, bands, |f_lo, band| {
+            weight_grad_band(input, dout, geom, f_lo, band);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace
+// ---------------------------------------------------------------------------
+
+/// Reusable scratch buffers for row-at-a-time kernel execution.
+///
+/// A `Workspace` owns one output-row buffer and one tap buffer that grow to
+/// the largest size requested and are then reused, so driving the 1-D
+/// kernels row by row (op-stream executors, benches, PE-level harnesses)
+/// performs no per-row allocation:
+///
+/// ```
+/// use sparsetrain_sparse::{engine::Workspace, SparseVec};
+/// use sparsetrain_tensor::conv::ConvGeometry;
+///
+/// let mut ws = Workspace::new();
+/// let row = SparseVec::from_dense(&[0.0, 2.0, 0.0, 4.0]);
+/// let out = ws.src(&row, &[1.0], ConvGeometry::new(1, 1, 0), 4);
+/// assert_eq!(out, &[0.0, 2.0, 0.0, 4.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    row: Vec<f32>,
+    taps: Vec<f32>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A workspace pre-sized for rows of `row_len` and kernels of `k` taps.
+    pub fn with_capacity(row_len: usize, k: usize) -> Self {
+        Self {
+            row: vec![0.0; row_len],
+            taps: vec![0.0; k],
+        }
+    }
+
+    /// A zeroed output-row buffer of length `len`, reused across calls.
+    pub fn row(&mut self, len: usize) -> &mut [f32] {
+        if self.row.len() < len {
+            self.row.resize(len, 0.0);
+        }
+        let row = &mut self.row[..len];
+        row.fill(0.0);
+        row
+    }
+
+    /// A zeroed tap buffer of length `k`, reused across calls.
+    pub fn taps(&mut self, k: usize) -> &mut [f32] {
+        if self.taps.len() < k {
+            self.taps.resize(k, 0.0);
+        }
+        let taps = &mut self.taps[..k];
+        taps.fill(0.0);
+        taps
+    }
+
+    /// One SRC operation into the reused row buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel_row.len() != geom.kernel`.
+    pub fn src(
+        &mut self,
+        input: &SparseVec,
+        kernel_row: &[f32],
+        geom: ConvGeometry,
+        out_len: usize,
+    ) -> &[f32] {
+        let out = self.row(out_len);
+        src_accumulate(input, kernel_row, geom, out);
+        out
+    }
+
+    /// One MSRC operation into the reused row buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel_row.len() != geom.kernel` or
+    /// `mask.len() != out_len`.
+    pub fn msrc(
+        &mut self,
+        grad: &SparseVec,
+        kernel_row: &[f32],
+        geom: ConvGeometry,
+        mask: &RowMask,
+        out_len: usize,
+    ) -> &[f32] {
+        let out = self.row(out_len);
+        msrc_accumulate(grad, kernel_row, geom, mask, out);
+        out
+    }
+
+    /// One OSRC operation into the reused tap buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if operand lengths are inconsistent with
+    /// `geom`.
+    pub fn osrc(&mut self, input: &SparseVec, grad: &SparseVec, geom: ConvGeometry) -> &[f32] {
+        let taps = self.taps(geom.kernel);
+        osrc_accumulate(input, grad, geom, taps);
+        taps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rowconv;
+    use sparsetrain_tensor::Tensor3;
+
+    fn pseudo(seed: &mut u64) -> f32 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        ((*seed % 2000) as f32 / 1000.0) - 1.0
+    }
+
+    fn sparse_tensor(c: usize, h: usize, w: usize, density_pct: u64, seed: &mut u64) -> Tensor3 {
+        Tensor3::from_fn(c, h, w, |_, _, _| {
+            let v = pseudo(seed);
+            let keep = {
+                *seed ^= *seed << 13;
+                *seed ^= *seed >> 7;
+                *seed % 100 < density_pct
+            };
+            if keep {
+                v
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn fixtures(
+        seed: u64,
+    ) -> (
+        SparseFeatureMap,
+        Tensor4,
+        Vec<f32>,
+        SparseFeatureMap,
+        ConvGeometry,
+    ) {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let mut s = seed;
+        let input = sparse_tensor(3, 8, 8, 40, &mut s);
+        let weights = Tensor4::from_fn(4, 3, 3, 3, |_, _, _, _| pseudo(&mut s));
+        let bias: Vec<f32> = (0..4).map(|_| pseudo(&mut s)).collect();
+        let dout = sparse_tensor(4, 8, 8, 35, &mut s);
+        (
+            SparseFeatureMap::from_tensor(&input),
+            weights,
+            bias,
+            SparseFeatureMap::from_tensor(&dout),
+            geom,
+        )
+    }
+
+    #[test]
+    fn parallel_forward_bitwise_matches_scalar() {
+        let (input, weights, bias, _, geom) = fixtures(99);
+        let scalar =
+            rowconv::forward_rows_with(EngineKind::Scalar.engine(), &input, &weights, Some(&bias), geom);
+        let parallel =
+            rowconv::forward_rows_with(EngineKind::Parallel.engine(), &input, &weights, Some(&bias), geom);
+        assert_eq!(scalar.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn parallel_input_grad_bitwise_matches_scalar() {
+        let (input, weights, _, dout, geom) = fixtures(7);
+        let masks = input.masks();
+        let scalar =
+            rowconv::input_grad_rows_with(EngineKind::Scalar.engine(), &dout, &weights, geom, 8, 8, &masks);
+        let parallel =
+            rowconv::input_grad_rows_with(EngineKind::Parallel.engine(), &dout, &weights, geom, 8, 8, &masks);
+        assert_eq!(scalar.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn parallel_weight_grad_bitwise_matches_scalar() {
+        let (input, _, _, dout, geom) = fixtures(23);
+        let scalar = rowconv::weight_grad_rows_with(EngineKind::Scalar.engine(), &input, &dout, geom);
+        let parallel = rowconv::weight_grad_rows_with(EngineKind::Parallel.engine(), &input, &dout, geom);
+        assert_eq!(scalar.as_slice(), parallel.as_slice());
+    }
+
+    #[test]
+    fn band_split_covers_all_units_for_any_band_count() {
+        for units in 1..10usize {
+            for bands in 1..6usize {
+                let mut data = vec![0.0f32; units * 4];
+                for_each_band(&mut data, units, 4, bands, |first, band| {
+                    for (i, chunk) in band.chunks_mut(4).enumerate() {
+                        chunk.fill((first + i) as f32 + 1.0);
+                    }
+                });
+                for u in 0..units {
+                    assert!(
+                        data[u * 4..(u + 1) * 4].iter().all(|&v| v == u as f32 + 1.0),
+                        "unit {u} not covered for units {units} bands {bands}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_kind_resolves_names() {
+        assert_eq!(EngineKind::Scalar.engine().name(), "scalar");
+        assert_eq!(EngineKind::Parallel.engine().name(), "parallel");
+        assert_eq!(EngineKind::default(), EngineKind::Scalar);
+    }
+
+    #[test]
+    fn workspace_reuses_buffers() {
+        let mut ws = Workspace::new();
+        let row = SparseVec::from_dense(&[1.0, 0.0, 2.0]);
+        let geom = ConvGeometry::new(1, 1, 0);
+        let a = ws.src(&row, &[2.0], geom, 3).to_vec();
+        assert_eq!(a, vec![2.0, 0.0, 4.0]);
+        // A second call must see a freshly zeroed buffer, not stale data.
+        let b = ws.src(&row, &[1.0], geom, 3).to_vec();
+        assert_eq!(b, vec![1.0, 0.0, 2.0]);
+        // Shrinking requests reuse the same storage.
+        let c = ws.src(&row, &[1.0], geom, 2).to_vec();
+        assert_eq!(c, vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn workspace_osrc_matches_allocating_wrapper() {
+        let mut ws = Workspace::new();
+        let geom = ConvGeometry::new(3, 1, 1);
+        let input = SparseVec::from_dense(&[0.0, 1.0, 0.0, 2.0, 3.0, 0.0]);
+        let grad = SparseVec::from_dense(&[1.0, 0.0, -1.0, 0.0, 2.0, 0.0]);
+        let got = ws.osrc(&input, &grad, geom).to_vec();
+        assert_eq!(got, crate::osrc::osrc_conv(&input, &grad, geom));
+    }
+
+    #[test]
+    fn workspace_msrc_honours_mask() {
+        let mut ws = Workspace::new();
+        let geom = ConvGeometry::new(1, 1, 0);
+        let grad = SparseVec::from_dense(&[1.0, 1.0, 1.0]);
+        let mask = RowMask::from_offsets(3, &[1]);
+        assert_eq!(ws.msrc(&grad, &[1.0], geom, &mask, 3), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn explicit_thread_counts_are_clamped() {
+        let (input, weights, bias, _, geom) = fixtures(5);
+        for threads in [1usize, 2, 7, 64] {
+            let engine = ParallelEngine::with_threads(threads);
+            let got = rowconv::forward_rows_with(&engine, &input, &weights, Some(&bias), geom);
+            let want = rowconv::forward_rows(&input, &weights, Some(&bias), geom);
+            assert_eq!(got.as_slice(), want.as_slice(), "threads {threads}");
+        }
+    }
+}

@@ -49,8 +49,12 @@ pub enum RowFormat {
 
 impl RowFormat {
     /// All formats, for sweeps.
-    pub const ALL: [RowFormat; 4] =
-        [RowFormat::Dense, RowFormat::OffsetValue, RowFormat::Bitmap, RowFormat::RunLength];
+    pub const ALL: [RowFormat; 4] = [
+        RowFormat::Dense,
+        RowFormat::OffsetValue,
+        RowFormat::Bitmap,
+        RowFormat::RunLength,
+    ];
 
     /// Short display name.
     pub fn name(&self) -> &'static str {
@@ -144,8 +148,7 @@ mod tests {
     use super::*;
 
     fn row_with_density(len: usize, every: usize) -> SparseVec {
-        let dense: Vec<f32> =
-            (0..len).map(|i| if i % every == 0 { 1.0 } else { 0.0 }).collect();
+        let dense: Vec<f32> = (0..len).map(|i| if i % every == 0 { 1.0 } else { 0.0 }).collect();
         SparseVec::from_dense(&dense)
     }
 
@@ -216,8 +219,7 @@ mod tests {
         // They cross at density 1/4: above it bitmap is cheaper.
         let dense_row = row_with_density(256, 2); // 50%
         assert!(
-            storage_words(&dense_row, RowFormat::Bitmap)
-                < storage_words(&dense_row, RowFormat::OffsetValue)
+            storage_words(&dense_row, RowFormat::Bitmap) < storage_words(&dense_row, RowFormat::OffsetValue)
         );
         let sparse_row = row_with_density(256, 16); // ~6%
         assert!(

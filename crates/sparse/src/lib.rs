@@ -17,8 +17,34 @@
 //! stages from these primitives and is validated against the dense reference
 //! in `sparsetrain-tensor`; [`work`] provides the analytic PE cycle model
 //! for each primitive, which the cycle-exact simulator is checked against.
+//!
+//! # The execution engine layer
+//!
+//! All three kernels expose *accumulate-into-scratch* APIs
+//! ([`src::src_accumulate`], [`msrc::msrc_accumulate`],
+//! [`osrc::osrc_accumulate`]) that write into caller-provided slices: the
+//! hot loops never touch the heap. [`engine`] builds the layer-level
+//! execution seam on top of them:
+//!
+//! * [`engine::KernelEngine`] — the trait every backend implements
+//!   (Forward / GTA / GTW of one layer, accumulating into caller tensors),
+//! * [`engine::ScalarEngine`] — the reference semantics; its iteration
+//!   order *is* the floating-point specification,
+//! * [`engine::ParallelEngine`] — band-parallel over filters/channels,
+//!   bitwise identical to the scalar engine (disjoint output bands, same
+//!   per-row order),
+//! * [`engine::Workspace`] — reusable scratch buffers for row-at-a-time
+//!   callers,
+//! * [`engine::EngineKind`] — the `Copy` selector that plumbs through
+//!   `Conv2d`, `Trainer` and the dataflow executor.
+//!
+//! [`rowconv`]'s `*_with` functions run any engine; the plain functions are
+//! the scalar-engine compatibility wrappers. Follow-on backends (SIMD,
+//! fixed-point) implement [`engine::KernelEngine`] and slot into the same
+//! plumbing.
 
 pub mod compressed;
+pub mod engine;
 pub mod formats;
 pub mod mask;
 pub mod msrc;
@@ -28,4 +54,5 @@ pub mod src;
 pub mod work;
 
 pub use compressed::SparseVec;
+pub use engine::{EngineKind, KernelEngine, ParallelEngine, ScalarEngine, Workspace};
 pub use mask::RowMask;

@@ -10,28 +10,22 @@
 use crate::compressed::SparseVec;
 use sparsetrain_tensor::conv::ConvGeometry;
 
-/// Performs one OSRC operation, producing `K` weight-gradient taps.
+/// Accumulates one OSRC operation into a caller-provided `K`-tap slice —
+/// the scratchpad register the PE holds for the convolution's lifetime.
 ///
 /// Uses a two-cursor sweep over the non-zeros of both operands, so the work
 /// is proportional to the number of *overlapping* non-zero pairs — the same
-/// quantity the hardware PE spends cycles on.
-///
-/// ```
-/// use sparsetrain_sparse::{SparseVec, osrc::osrc_conv};
-/// use sparsetrain_tensor::conv::ConvGeometry;
-///
-/// let input = SparseVec::from_dense(&[1.0, 2.0, 3.0, 4.0]);
-/// let grad = SparseVec::from_dense(&[1.0, 0.0, 1.0]);
-/// // K=2, stride 1, no pad: dw[v] = sum_ox g[ox] * i[ox+v]
-/// let dw = osrc_conv(&input, &grad, ConvGeometry::new(2, 1, 0));
-/// assert_eq!(dw, vec![1.0 + 3.0, 2.0 + 4.0]);
-/// ```
+/// quantity the hardware PE spends cycles on. The zero-allocation form used
+/// by the execution engines; taps accumulate into `dw`, so successive calls
+/// over the output rows of one kernel row build the full weight gradient in
+/// place.
 ///
 /// # Panics
 ///
-/// Panics (in debug builds) if the operand lengths are inconsistent with
-/// `geom` — i.e. `grad.len() != geom.output_extent(input.len())`.
-pub fn osrc_conv(input: &SparseVec, grad: &SparseVec, geom: ConvGeometry) -> Vec<f32> {
+/// Panics if `dw.len() != geom.kernel`; panics in debug builds if the
+/// operand lengths are inconsistent with `geom`.
+pub fn osrc_accumulate(input: &SparseVec, grad: &SparseVec, geom: ConvGeometry, dw: &mut [f32]) {
+    assert_eq!(dw.len(), geom.kernel, "tap buffer length mismatch");
     debug_assert_eq!(
         grad.len(),
         geom.output_extent(input.len()),
@@ -40,7 +34,6 @@ pub fn osrc_conv(input: &SparseVec, grad: &SparseVec, geom: ConvGeometry) -> Vec
     let k = geom.kernel;
     let stride = geom.stride as isize;
     let pad = geom.pad as isize;
-    let mut dw = vec![0.0; k];
     // For each non-zero gradient, the matching input window is
     // [ox*stride - pad, ox*stride - pad + K). Both offset lists are sorted,
     // so a cursor into the input advances monotonically.
@@ -65,6 +58,29 @@ pub fn osrc_conv(input: &SparseVec, grad: &SparseVec, geom: ConvGeometry) -> Vec
             j += 1;
         }
     }
+}
+
+/// Performs one OSRC operation, producing `K` weight-gradient taps in a
+/// fresh vector. Thin allocating wrapper over [`osrc_accumulate`].
+///
+/// ```
+/// use sparsetrain_sparse::{SparseVec, osrc::osrc_conv};
+/// use sparsetrain_tensor::conv::ConvGeometry;
+///
+/// let input = SparseVec::from_dense(&[1.0, 2.0, 3.0, 4.0]);
+/// let grad = SparseVec::from_dense(&[1.0, 0.0, 1.0]);
+/// // K=2, stride 1, no pad: dw[v] = sum_ox g[ox] * i[ox+v]
+/// let dw = osrc_conv(&input, &grad, ConvGeometry::new(2, 1, 0));
+/// assert_eq!(dw, vec![1.0 + 3.0, 2.0 + 4.0]);
+/// ```
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the operand lengths are inconsistent with
+/// `geom` — i.e. `grad.len() != geom.output_extent(input.len())`.
+pub fn osrc_conv(input: &SparseVec, grad: &SparseVec, geom: ConvGeometry) -> Vec<f32> {
+    let mut dw = vec![0.0; geom.kernel];
+    osrc_accumulate(input, grad, geom, &mut dw);
     dw
 }
 
@@ -114,7 +130,11 @@ mod tests {
         let input = [0.0, 1.0, 0.0, 2.0, 3.0, 0.0, 4.0, 0.0];
         let geom = ConvGeometry::new(3, 1, 1);
         let grad = [1.0, 0.0, -1.0, 0.0, 2.0, 0.0, 0.0, 1.0];
-        let got = osrc_conv(&SparseVec::from_dense(&input), &SparseVec::from_dense(&grad), geom);
+        let got = osrc_conv(
+            &SparseVec::from_dense(&input),
+            &SparseVec::from_dense(&grad),
+            geom,
+        );
         let want = dense_osrc(&input, &grad, geom);
         assert_eq!(got, want);
     }

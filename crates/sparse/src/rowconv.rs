@@ -6,12 +6,17 @@
 //! the SRC/MSRC/OSRC primitives. They must produce bit-identical results to
 //! the dense references in [`sparsetrain_tensor::conv`] (up to f32
 //! accumulation order), which the tests verify.
+//!
+//! Execution is delegated to a [`KernelEngine`]: the `*_with` variants take
+//! any engine (scalar reference or band-parallel), while the plain
+//! functions keep the original signatures and run on
+//! [`crate::engine::ScalarEngine`]. All engines accumulate through the
+//! kernels' scratch APIs, so no per-row heap allocation happens on any
+//! path.
 
 use crate::compressed::SparseVec;
+use crate::engine::{KernelEngine, ScalarEngine};
 use crate::mask::RowMask;
-use crate::msrc::msrc_accumulate;
-use crate::osrc::osrc_conv;
-use crate::src::src_accumulate;
 use sparsetrain_tensor::conv::ConvGeometry;
 use sparsetrain_tensor::{Tensor3, Tensor4};
 
@@ -119,10 +124,29 @@ impl SparseFeatureMap {
     }
 }
 
-/// Forward step via row-level SRC operations.
+/// Forward step via row-level SRC operations on an explicit engine.
 ///
 /// Equivalent to [`sparsetrain_tensor::conv::forward`]; every output row is
 /// the accumulation of `C × K` SRC operations.
+///
+/// # Panics
+///
+/// Panics on shape mismatches between `input`, `weights` and `geom`.
+pub fn forward_rows_with(
+    engine: &dyn KernelEngine,
+    input: &SparseFeatureMap,
+    weights: &Tensor4,
+    bias: Option<&[f32]>,
+    geom: ConvGeometry,
+) -> Tensor3 {
+    let oh = geom.output_extent(input.height());
+    let ow = geom.output_extent(input.width());
+    let mut out = Tensor3::zeros(weights.filters(), oh, ow);
+    engine.forward_into(input, weights, bias, geom, &mut out);
+    out
+}
+
+/// Forward step on the reference [`ScalarEngine`].
 ///
 /// # Panics
 ///
@@ -133,38 +157,10 @@ pub fn forward_rows(
     bias: Option<&[f32]>,
     geom: ConvGeometry,
 ) -> Tensor3 {
-    let (f, wc, kh, kw) = weights.shape();
-    assert_eq!(wc, input.channels(), "weight/input channel mismatch");
-    assert_eq!(kh, geom.kernel);
-    assert_eq!(kw, geom.kernel);
-    let oh = geom.output_extent(input.height());
-    let ow = geom.output_extent(input.width());
-    let mut out = Tensor3::zeros(f, oh, ow);
-    let row_geom = ConvGeometry::new(geom.kernel, geom.stride, geom.pad);
-    for fi in 0..f {
-        if let Some(b) = bias {
-            for oy in 0..oh {
-                out.row_mut(fi, oy).fill(b[fi]);
-            }
-        }
-        for oy in 0..oh {
-            for u in 0..geom.kernel {
-                let iy = (oy * geom.stride) as isize - geom.pad as isize + u as isize;
-                if iy < 0 || iy >= input.height() as isize {
-                    continue;
-                }
-                for ci in 0..input.channels() {
-                    let krow = weights.kernel_row(fi, ci, u);
-                    let irow = input.row(ci, iy as usize);
-                    src_accumulate(irow, krow, row_geom, out.row_mut(fi, oy));
-                }
-            }
-        }
-    }
-    out
+    forward_rows_with(&ScalarEngine, input, weights, bias, geom)
 }
 
-/// GTA step via row-level MSRC operations.
+/// GTA step via row-level MSRC operations on an explicit engine.
 ///
 /// `dout` is the (sparse) output-gradient map; `masks` are the per-row
 /// non-zero masks of the layer's forward *input* (one per `(channel, row)`
@@ -178,6 +174,25 @@ pub fn forward_rows(
 /// # Panics
 ///
 /// Panics on shape mismatches.
+pub fn input_grad_rows_with(
+    engine: &dyn KernelEngine,
+    dout: &SparseFeatureMap,
+    weights: &Tensor4,
+    geom: ConvGeometry,
+    in_h: usize,
+    in_w: usize,
+    masks: &[RowMask],
+) -> Tensor3 {
+    let mut din = Tensor3::zeros(weights.channels(), in_h, in_w);
+    engine.input_grad_into(dout, weights, geom, masks, &mut din);
+    din
+}
+
+/// GTA step on the reference [`ScalarEngine`].
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
 pub fn input_grad_rows(
     dout: &SparseFeatureMap,
     weights: &Tensor4,
@@ -186,78 +201,36 @@ pub fn input_grad_rows(
     in_w: usize,
     masks: &[RowMask],
 ) -> Tensor3 {
-    let (f, c, kh, kw) = weights.shape();
-    assert_eq!(f, dout.channels(), "weight filters != dout channels");
-    assert_eq!(kh, geom.kernel);
-    assert_eq!(kw, geom.kernel);
-    assert_eq!(masks.len(), c * in_h, "need one mask per (channel, input row)");
-    let mut din = Tensor3::zeros(c, in_h, in_w);
-    // Row-level scatter: dO row (fi, oy) scatters through kernel row u of
-    // W[fi][ci] into dI row iy = oy*stride - pad + u.
-    let row_geom = ConvGeometry::new(geom.kernel, geom.stride, geom.pad);
-    for ci in 0..c {
-        for fi in 0..f {
-            for oy in 0..dout.height() {
-                let grow = dout.row(fi, oy);
-                if grow.nnz() == 0 {
-                    continue;
-                }
-                for u in 0..geom.kernel {
-                    let iy = (oy * geom.stride) as isize - geom.pad as isize + u as isize;
-                    if iy < 0 || iy >= in_h as isize {
-                        continue;
-                    }
-                    let iy = iy as usize;
-                    let krow = weights.kernel_row(fi, ci, u);
-                    msrc_accumulate(grow, krow, row_geom, &masks[ci * in_h + iy], din.row_mut(ci, iy));
-                }
-            }
-        }
-    }
-    din
+    input_grad_rows_with(&ScalarEngine, dout, weights, geom, in_h, in_w, masks)
 }
 
-/// GTW step via row-level OSRC operations.
+/// GTW step via row-level OSRC operations on an explicit engine.
 ///
 /// Equivalent to [`sparsetrain_tensor::conv::weight_grad`]; each kernel row
-/// of `dW[fi][ci]` accumulates `Ho` OSRC results.
+/// of `dW[fi][ci]` accumulates `Ho` OSRC results in place (no per-row tap
+/// scratch).
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+pub fn weight_grad_rows_with(
+    engine: &dyn KernelEngine,
+    input: &SparseFeatureMap,
+    dout: &SparseFeatureMap,
+    geom: ConvGeometry,
+) -> Tensor4 {
+    let mut dw = Tensor4::zeros(dout.channels(), input.channels(), geom.kernel, geom.kernel);
+    engine.weight_grad_into(input, dout, geom, &mut dw);
+    dw
+}
+
+/// GTW step on the reference [`ScalarEngine`].
 ///
 /// # Panics
 ///
 /// Panics on shape mismatches.
 pub fn weight_grad_rows(input: &SparseFeatureMap, dout: &SparseFeatureMap, geom: ConvGeometry) -> Tensor4 {
-    let c = input.channels();
-    let f = dout.channels();
-    let k = geom.kernel;
-    assert_eq!(dout.height(), geom.output_extent(input.height()));
-    assert_eq!(dout.width(), geom.output_extent(input.width()));
-    let mut dw = Tensor4::zeros(f, c, k, k);
-    let row_geom = ConvGeometry::new(geom.kernel, geom.stride, geom.pad);
-    for fi in 0..f {
-        for ci in 0..c {
-            for u in 0..k {
-                // dW[fi][ci][u][*] = sum over oy of OSRC(I row iy, dO row oy)
-                for oy in 0..dout.height() {
-                    let iy = (oy * geom.stride) as isize - geom.pad as isize + u as isize;
-                    if iy < 0 || iy >= input.height() as isize {
-                        continue;
-                    }
-                    let irow = input.row(ci, iy as usize);
-                    let grow = dout.row(fi, oy);
-                    if irow.nnz() == 0 || grow.nnz() == 0 {
-                        continue;
-                    }
-                    let taps = osrc_conv(irow, grow, row_geom);
-                    for (v, t) in taps.iter().enumerate() {
-                        if *t != 0.0 {
-                            dw.add_at(fi, ci, u, v, *t);
-                        }
-                    }
-                }
-            }
-        }
-    }
-    dw
+    weight_grad_rows_with(&ScalarEngine, input, dout, geom)
 }
 
 #[cfg(test)]

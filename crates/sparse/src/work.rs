@@ -166,8 +166,23 @@ mod tests {
 
     #[test]
     fn opwork_add_sums_components() {
-        let a = OpWork { cycles: 1, macs: 2, loads: 3 };
-        let b = OpWork { cycles: 10, macs: 20, loads: 30 };
-        assert_eq!(a.add(&b), OpWork { cycles: 11, macs: 22, loads: 33 });
+        let a = OpWork {
+            cycles: 1,
+            macs: 2,
+            loads: 3,
+        };
+        let b = OpWork {
+            cycles: 10,
+            macs: 20,
+            loads: 30,
+        };
+        assert_eq!(
+            a.add(&b),
+            OpWork {
+                cycles: 11,
+                macs: 22,
+                loads: 33
+            }
+        );
     }
 }

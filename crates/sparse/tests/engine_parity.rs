@@ -1,0 +1,145 @@
+//! Property tests: the parallel engine is bitwise-identical to the scalar
+//! reference, and both match the dense reference in `sparsetrain-tensor`.
+//!
+//! Parity is asserted with exact `==` on the raw f32 slices — the parallel
+//! engine only parallelizes across disjoint output bands while keeping the
+//! scalar per-row accumulation order, so any difference at all is a bug.
+
+use proptest::prelude::*;
+use sparsetrain_sparse::rowconv::{
+    forward_rows_with, input_grad_rows_with, weight_grad_rows_with, SparseFeatureMap,
+};
+use sparsetrain_sparse::{EngineKind, ParallelEngine, Workspace};
+use sparsetrain_tensor::conv::{self, ConvGeometry};
+use sparsetrain_tensor::{Tensor3, Tensor4};
+
+const H: usize = 6;
+const W: usize = 7;
+
+fn arb_feature_map(channels: usize) -> impl Strategy<Value = SparseFeatureMap> {
+    proptest::collection::vec(
+        prop_oneof![
+            55u32 => Just(0.0f32),
+            45u32 => (-2.0f32..2.0).prop_filter("non-zero", |v| *v != 0.0),
+        ],
+        channels * H * W,
+    )
+    .prop_map(move |data| SparseFeatureMap::from_tensor(&Tensor3::from_vec(channels, H, W, data)))
+}
+
+fn arb_weights(f: usize, c: usize, k: usize) -> impl Strategy<Value = Tensor4> {
+    proptest::collection::vec(-1.5f32..1.5, f * c * k * k)
+        .prop_map(move |data| Tensor4::from_vec(f, c, k, k, data))
+}
+
+fn arb_geom() -> impl Strategy<Value = ConvGeometry> {
+    (1usize..=3, 1usize..=2, 0usize..=1).prop_map(|(k, s, p)| ConvGeometry::new(k, s, p))
+}
+
+fn assert_close(a: &[f32], b: &[f32], tol: f32) -> Result<(), proptest::test_runner::TestCaseError> {
+    prop_assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        prop_assert!(
+            (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+            "mismatch at {}: {} vs {}",
+            i,
+            x,
+            y
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Forward: parallel == scalar bitwise, for every band count.
+    #[test]
+    fn forward_parity(
+        input in arb_feature_map(3),
+        weights in arb_weights(4, 3, 3),
+        geom in arb_geom().prop_filter("kernel 3", |g| g.kernel == 3),
+        threads in 1usize..=9,
+    ) {
+        let scalar = forward_rows_with(EngineKind::Scalar.engine(), &input, &weights, None, geom);
+        let parallel = forward_rows_with(&ParallelEngine::with_threads(threads), &input, &weights, None, geom);
+        prop_assert_eq!(scalar.as_slice(), parallel.as_slice());
+    }
+
+    /// GTA: parallel == scalar bitwise under arbitrary masks.
+    #[test]
+    fn input_grad_parity(
+        dout in arb_feature_map(4),
+        mask_src in arb_feature_map(3),
+        weights in arb_weights(4, 3, 3),
+        threads in 1usize..=9,
+    ) {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let masks = mask_src.masks();
+        let scalar = input_grad_rows_with(
+            EngineKind::Scalar.engine(), &dout, &weights, geom, H, W, &masks);
+        let parallel = input_grad_rows_with(
+            &ParallelEngine::with_threads(threads), &dout, &weights, geom, H, W, &masks);
+        prop_assert_eq!(scalar.as_slice(), parallel.as_slice());
+    }
+
+    /// GTW: parallel == scalar bitwise.
+    #[test]
+    fn weight_grad_parity(
+        input in arb_feature_map(2),
+        dout in arb_feature_map(3),
+        threads in 1usize..=9,
+    ) {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let scalar = weight_grad_rows_with(EngineKind::Scalar.engine(), &input, &dout, geom);
+        let parallel = weight_grad_rows_with(&ParallelEngine::with_threads(threads), &input, &dout, geom);
+        prop_assert_eq!(scalar.as_slice(), parallel.as_slice());
+    }
+
+    /// Both engines match the dense reference forward within accumulation
+    /// tolerance.
+    #[test]
+    fn forward_matches_dense_reference(
+        input in arb_feature_map(3),
+        weights in arb_weights(4, 3, 3),
+        geom in arb_geom().prop_filter("kernel 3", |g| g.kernel == 3),
+    ) {
+        let dense_in = input.to_tensor();
+        let want = conv::forward(&dense_in, &weights, None, geom);
+        for kind in [EngineKind::Scalar, EngineKind::Parallel] {
+            let got = forward_rows_with(kind.engine(), &input, &weights, None, geom);
+            assert_close(got.as_slice(), want.as_slice(), 1e-4)?;
+        }
+    }
+
+    /// Both engines match the dense reference weight gradient.
+    #[test]
+    fn weight_grad_matches_dense_reference(
+        input in arb_feature_map(2),
+        dout in arb_feature_map(3),
+    ) {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let want = conv::weight_grad(&input.to_tensor(), &dout.to_tensor(), geom);
+        for kind in [EngineKind::Scalar, EngineKind::Parallel] {
+            let got = weight_grad_rows_with(kind.engine(), &input, &dout, geom);
+            assert_close(got.as_slice(), want.as_slice(), 1e-4)?;
+        }
+    }
+
+    /// Workspace row-at-a-time SRC agrees with the allocating wrapper for
+    /// arbitrary rows — the zero-allocation path computes the same values.
+    #[test]
+    fn workspace_src_matches_wrapper(
+        row in proptest::collection::vec(
+            prop_oneof![1u32 => Just(0.0f32), 1u32 => -3.0f32..3.0], 24),
+        geom in arb_geom(),
+    ) {
+        let sparse = sparsetrain_sparse::SparseVec::from_dense(&row);
+        let kernel: Vec<f32> = (0..geom.kernel).map(|i| 0.75 - i as f32 * 0.5).collect();
+        let out_len = geom.output_extent(24);
+        let mut ws = Workspace::new();
+        let fast = ws.src(&sparse, &kernel, geom, out_len).to_vec();
+        let slow = sparsetrain_sparse::src::src_conv(&sparse, &kernel, geom, out_len);
+        prop_assert_eq!(fast, slow);
+    }
+}

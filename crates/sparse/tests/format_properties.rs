@@ -7,11 +7,8 @@ use sparsetrain_sparse::SparseVec;
 fn arb_row() -> impl Strategy<Value = SparseVec> {
     // Arbitrary dense rows with controllable zero runs: value 0 with
     // probability ~2/3.
-    prop::collection::vec(
-        prop_oneof![2 => Just(0.0f32), 1 => 0.01f32..1.0],
-        1..512,
-    )
-    .prop_map(|dense| SparseVec::from_dense(&dense))
+    prop::collection::vec(prop_oneof![2 => Just(0.0f32), 1 => 0.01f32..1.0], 1..512)
+        .prop_map(|dense| SparseVec::from_dense(&dense))
 }
 
 proptest! {

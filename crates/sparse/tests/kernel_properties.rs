@@ -23,7 +23,6 @@ fn arb_geom() -> impl Strategy<Value = ConvGeometry> {
     (1usize..=5, 1usize..=2, 0usize..=2).prop_map(|(k, s, p)| ConvGeometry::new(k, s, p))
 }
 
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

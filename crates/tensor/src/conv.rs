@@ -144,8 +144,16 @@ pub fn input_grad(
     let (f, oh, ow) = dout.shape();
     let (wf, c, kh, kw) = weights.shape();
     assert_eq!(wf, f, "weight filters {wf} != dout channels {f}");
-    assert_eq!(oh, geom.output_extent(in_h), "dout height inconsistent with geometry");
-    assert_eq!(ow, geom.output_extent(in_w), "dout width inconsistent with geometry");
+    assert_eq!(
+        oh,
+        geom.output_extent(in_h),
+        "dout height inconsistent with geometry"
+    );
+    assert_eq!(
+        ow,
+        geom.output_extent(in_w),
+        "dout width inconsistent with geometry"
+    );
     assert_eq!(kh, geom.kernel);
     assert_eq!(kw, geom.kernel);
     let mut din = Tensor3::zeros(c, in_h, in_w);
@@ -191,7 +199,11 @@ pub fn input_grad(
 pub fn weight_grad(input: &Tensor3, dout: &Tensor3, geom: ConvGeometry) -> Tensor4 {
     let (c, h, w) = input.shape();
     let (f, oh, ow) = dout.shape();
-    assert_eq!(oh, geom.output_extent(h), "dout height inconsistent with geometry");
+    assert_eq!(
+        oh,
+        geom.output_extent(h),
+        "dout height inconsistent with geometry"
+    );
     assert_eq!(ow, geom.output_extent(w), "dout width inconsistent with geometry");
     let k = geom.kernel;
     let mut dw = Tensor4::zeros(f, c, k, k);

@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn rounding_error_bounded_by_half_epsilon() {
-        let (err, sat) = quantization_error::<8>(&[0.001, 0.1234, -0.987, 3.141_59]);
+        let (err, sat) = quantization_error::<8>(&[0.001, 0.1234, -0.987, core::f32::consts::PI]);
         assert_eq!(sat, 0);
         assert!(err <= Fixed16::<8>::EPSILON / 2.0 + f32::EPSILON);
     }

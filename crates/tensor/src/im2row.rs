@@ -88,7 +88,13 @@ mod tests {
 
     #[test]
     fn matches_reference_across_geometries() {
-        for &(k, s, p) in &[(3usize, 1usize, 1usize), (3, 2, 1), (5, 1, 2), (1, 1, 0), (3, 1, 0)] {
+        for &(k, s, p) in &[
+            (3usize, 1usize, 1usize),
+            (3, 2, 1),
+            (5, 1, 2),
+            (1, 1, 0),
+            (3, 1, 0),
+        ] {
             let geom = ConvGeometry::new(k, s, p);
             if 9 + 2 * p < k {
                 continue;

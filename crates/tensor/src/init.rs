@@ -32,7 +32,9 @@ pub fn kaiming_conv<R: Rng + ?Sized>(rng: &mut R, f: usize, c: usize, kh: usize,
 /// (`rows = out_features`, `cols = in_features`).
 pub fn kaiming_linear<R: Rng + ?Sized>(rng: &mut R, out_features: usize, in_features: usize) -> Matrix {
     let std = (2.0 / in_features.max(1) as f32).sqrt();
-    Matrix::from_fn(out_features, in_features, |_, _| sample_standard_normal(rng) * std)
+    Matrix::from_fn(out_features, in_features, |_, _| {
+        sample_standard_normal(rng) * std
+    })
 }
 
 #[cfg(test)]
@@ -61,7 +63,10 @@ mod tests {
         let n = w.len() as f32;
         let mean: f32 = w.as_slice().iter().sum::<f32>() / n;
         let std: f32 = (w.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n).sqrt();
-        assert!((std - expect_std).abs() / expect_std < 0.1, "std {std} vs expected {expect_std}");
+        assert!(
+            (std - expect_std).abs() / expect_std < 0.1,
+            "std {std} vs expected {expect_std}"
+        );
     }
 
     #[test]

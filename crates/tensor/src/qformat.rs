@@ -130,8 +130,7 @@ impl QFormat {
         if values.is_empty() {
             return None;
         }
-        let signal: f64 =
-            values.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / values.len() as f64;
+        let signal: f64 = values.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / values.len() as f64;
         if signal == 0.0 {
             return None;
         }

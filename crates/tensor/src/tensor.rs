@@ -334,6 +334,13 @@ impl Tensor4 {
         &self.data[start..start + self.shape.kw]
     }
 
+    /// Mutable view of one kernel row — the accumulation target of an OSRC
+    /// operation, so weight gradients build up in place without scratch.
+    pub fn kernel_row_mut(&mut self, f: usize, c: usize, u: usize) -> &mut [f32] {
+        let start = self.shape.index(f, c, u, 0);
+        &mut self.data[start..start + self.shape.kw]
+    }
+
     /// The underlying data slice in (F, C, KH, KW) row-major order.
     pub fn as_slice(&self) -> &[f32] {
         &self.data

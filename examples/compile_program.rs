@@ -20,12 +20,19 @@ fn main() {
     let trace = trainer.capture_trace(&train, "mini_cnn", "tiny");
     let program = compile(&trace);
 
-    println!("compiled {} instructions over {} tasks", program.len(), program.task_count());
+    println!(
+        "compiled {} instructions over {} tasks",
+        program.len(),
+        program.task_count()
+    );
     let [fwd, gta, gtw] = program.instrs_per_step();
     println!("  forward: {fwd} SRC instructions");
     println!("  gta:     {gta} MSRC instructions");
     println!("  gtw:     {gtw} OSRC instructions");
-    println!("  total streamed operand values: {}", program.total_stream_values());
+    println!(
+        "  total streamed operand values: {}",
+        program.total_stream_values()
+    );
 
     println!("\nfirst instructions of each stage:");
     for step in [StepKind::Forward, StepKind::Gta, StepKind::Gtw] {

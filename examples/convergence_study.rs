@@ -26,6 +26,7 @@ fn main() {
                 momentum: 0.9,
                 weight_decay: 1e-4,
                 seed: 0,
+                engine: None,
             },
         );
         for e in 0..epochs {

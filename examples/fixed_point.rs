@@ -22,7 +22,10 @@ use sparsetrain::tensor::qformat::QFormat;
 fn report(label: &str, values: &[f32]) {
     let q = QFormat::best_for(values);
     let err = q.roundtrip_error(values);
-    let sqnr = q.sqnr_db(values).map(|d| format!("{d:.1} dB")).unwrap_or_else(|| "-".into());
+    let sqnr = q
+        .sqnr_db(values)
+        .map(|d| format!("{d:.1} dB"))
+        .unwrap_or_else(|| "-".into());
     println!(
         "{:<22} n={:<7} best={:<6} max|err|={:<10.2e} rms={:<10.2e} sqnr={}",
         label,
@@ -49,29 +52,31 @@ fn main() {
     // Weights and weight gradients from the live network.
     let mut weights: Vec<f32> = Vec::new();
     let mut grads: Vec<f32> = Vec::new();
-    trainer.network_mut().visit_params(&mut |w: &mut [f32], g: &mut [f32]| {
-        weights.extend_from_slice(w);
-        grads.extend_from_slice(g);
-    });
+    trainer
+        .network_mut()
+        .visit_params(&mut |w: &mut [f32], g: &mut [f32]| {
+            weights.extend_from_slice(w);
+            grads.extend_from_slice(g);
+        });
     report("weights W", &weights);
     report("weight gradients dW", &grads);
 
     // Synthetic stand-ins for the streamed operands, scaled like the
     // observed gradient tensors.
     let mut rng = StdRng::seed_from_u64(3);
-    let acts: Vec<f32> =
-        (0..4096).map(|_| sample_standard_normal(&mut rng).abs() * 0.5).collect();
+    let acts: Vec<f32> = (0..4096)
+        .map(|_| sample_standard_normal(&mut rng).abs() * 0.5)
+        .collect();
     report("activations I (ReLU)", &acts);
-    let dout: Vec<f32> =
-        (0..4096).map(|_| sample_standard_normal(&mut rng) * 0.02).collect();
+    let dout: Vec<f32> = (0..4096)
+        .map(|_| sample_standard_normal(&mut rng) * 0.02)
+        .collect();
     report("act. gradients dO", &dout);
 
     // The datapath question: fix one format for the whole machine.
     println!("\nsingle-format check (Q7.8, the conventional choice):");
     let q = QFormat::q8_8();
-    for (label, vals) in
-        [("weights", &weights), ("dW", &grads), ("I", &acts), ("dO", &dout)]
-    {
+    for (label, vals) in [("weights", &weights), ("dW", &grads), ("I", &acts), ("dO", &dout)] {
         let err = q.roundtrip_error(vals);
         println!(
             "  {:<10} saturated={:<4} max|err|={:.2e}",

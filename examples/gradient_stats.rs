@@ -21,7 +21,10 @@ fn print_summary(label: &str, s: &DistributionSummary) {
     println!("{label}:");
     println!("  n = {}, zero fraction = {:.3}", s.n, s.zero_fraction);
     println!("  mean = {:+.5}, sigma = {:.5}", s.mean, s.std_dev);
-    println!("  skewness = {:+.3}, excess kurtosis = {:+.3}", s.skewness, s.excess_kurtosis);
+    println!(
+        "  skewness = {:+.3}, excess kurtosis = {:+.3}",
+        s.skewness, s.excess_kurtosis
+    );
     println!(
         "  E|g|/sigma = {:.4} (normal: {:.4})",
         s.half_normal_ratio().unwrap_or(0.0),
@@ -38,8 +41,9 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(11);
 
     // Gradient-like data: zero-mean normal, the model's home turf.
-    let grads: Vec<f32> =
-        (0..100_000).map(|_| sample_standard_normal(&mut rng) * 0.02).collect();
+    let grads: Vec<f32> = (0..100_000)
+        .map(|_| sample_standard_normal(&mut rng) * 0.02)
+        .collect();
     let s = DistributionSummary::from_slice(&grads);
     print_summary("normal gradients (sigma = 0.02)", &s);
 
@@ -51,7 +55,10 @@ fn main() {
             *g = 0.0;
         }
     }
-    print_summary("masked gradients, raw view", &DistributionSummary::from_slice(&masked));
+    print_summary(
+        "masked gradients, raw view",
+        &DistributionSummary::from_slice(&masked),
+    );
     print_summary(
         "masked gradients, non-zero view",
         &DistributionSummary::from_nonzero(&masked),
@@ -59,7 +66,10 @@ fn main() {
 
     // A deliberately non-normal stream: uniform gradients.
     let uniform: Vec<f32> = (0..100_000).map(|_| rng.gen_range(-0.05f32..0.05)).collect();
-    print_summary("uniform data (counter-example)", &DistributionSummary::from_slice(&uniform));
+    print_summary(
+        "uniform data (counter-example)",
+        &DistributionSummary::from_slice(&uniform),
+    );
 
     // What the threshold machinery does with each stream.
     println!("achieved density at target p = 0.9 after FIFO warm-up:");

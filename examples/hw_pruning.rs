@@ -37,8 +37,9 @@ fn main() {
     println!("------+------------------+------------------+-------------");
     for batch in 0..batches {
         let scale = 0.05 * (1.0 - batch as f32 / 40.0);
-        let grads: Vec<f32> =
-            (0..batch_len).map(|_| sample_standard_normal(&mut data_rng) * scale).collect();
+        let grads: Vec<f32> = (0..batch_len)
+            .map(|_| sample_standard_normal(&mut data_rng) * scale)
+            .collect();
 
         // --- software path
         let mut sw = grads.clone();

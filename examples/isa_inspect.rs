@@ -27,7 +27,11 @@ fn main() {
     let trace = trainer.capture_trace(&train, "mini_cnn", "tiny");
     let program = compile(&trace);
 
-    println!("compiled {} instructions over {} tasks", program.len(), program.task_count());
+    println!(
+        "compiled {} instructions over {} tasks",
+        program.len(),
+        program.task_count()
+    );
     let [fwd, gta, gtw] = program.instrs_per_step();
     println!("  forward (SRC):  {fwd}");
     println!("  GTA (MSRC):     {gta}");
@@ -38,14 +42,13 @@ fn main() {
     let listing = disassemble(&program);
     println!("\nassembly head:");
     for kind in StepKind::ALL {
-        if let Some(line) = listing
-            .lines()
-            .find(|l| l.starts_with(match kind {
+        if let Some(line) = listing.lines().find(|l| {
+            l.starts_with(match kind {
                 StepKind::Forward => "src ",
                 StepKind::Gta => "msrc",
                 StepKind::Gtw => "osrc",
-            }))
-        {
+            })
+        }) {
             println!("  {line}");
         }
     }
@@ -57,7 +60,11 @@ fn main() {
     println!(
         "\nbinary image: {} bytes ({} bytes/instruction incl. header)",
         bytes.len(),
-        if program.is_empty() { 0 } else { bytes.len() / program.len() }
+        if program.is_empty() {
+            0
+        } else {
+            bytes.len() / program.len()
+        }
     );
     println!("round-trip decode verified.");
 }

@@ -30,7 +30,9 @@ fn main() {
         let trace = SynthNet::new("sched", "sweep")
             .conv(SynthLayer::conv(64, 64, 32, 3).input_density(density))
             .generate(&mut rng);
-        let LayerTrace::Conv(conv) = &trace.layers[0] else { unreachable!() };
+        let LayerTrace::Conv(conv) = &trace.layers[0] else {
+            unreachable!()
+        };
 
         // One scheduling task = one output row; sum its op cycles.
         let mut tasks: Vec<u64> = Vec::new();
@@ -62,7 +64,9 @@ fn main() {
     let trace = SynthNet::new("sched", "sweep")
         .conv(SynthLayer::conv(64, 64, 32, 3).input_density(0.1))
         .generate(&mut rng);
-    let LayerTrace::Conv(conv) = &trace.layers[0] else { unreachable!() };
+    let LayerTrace::Conv(conv) = &trace.layers[0] else {
+        unreachable!()
+    };
     let mut tasks: Vec<u64> = Vec::new();
     let mut last_task = usize::MAX;
     for_each_forward_op(conv, |task, op| {

@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("sparsetrain_example.trace");
     std::fs::write(&path, trace_io::to_text(&trace))?;
     let loaded = trace_io::from_text(&std::fs::read_to_string(&path)?)?;
-    println!("trace round-tripped through {} ({} layers)", path.display(), loaded.layers.len());
+    println!(
+        "trace round-tripped through {} ({} layers)",
+        path.display(),
+        loaded.layers.len()
+    );
 
     // Static analysis: ideal bounds.
     let summary = analysis::analyze(&loaded);

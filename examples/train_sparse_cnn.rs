@@ -3,20 +3,45 @@
 //! workflow showing that accuracy holds while gradient density collapses.
 //!
 //! Run with: `cargo run --release --example train_sparse_cnn`
+//!
+//! Pass an engine name to execute the convolutions on the sparse
+//! row-dataflow engine layer instead of dense im2row:
+//! `cargo run --release --example train_sparse_cnn -- parallel`
+//! (accepted: `scalar`, `parallel`).
 
 use sparsetrain::core::prune::PruneConfig;
 use sparsetrain::nn::data::SyntheticSpec;
 use sparsetrain::nn::models::ModelKind;
 use sparsetrain::nn::train::{TrainConfig, Trainer};
+use sparsetrain::sparse::EngineKind;
 
 fn main() {
+    let engine = match std::env::args().nth(1).as_deref() {
+        Some("scalar") => Some(EngineKind::Scalar),
+        Some("parallel") => Some(EngineKind::Parallel),
+        Some(other) => {
+            eprintln!("unknown engine {other:?} (expected: scalar | parallel); using im2row");
+            None
+        }
+        None => None,
+    };
+    if let Some(kind) = engine {
+        println!(
+            "executing convolutions on the {} sparse row-dataflow engine",
+            kind.name()
+        );
+    }
     let mut spec = SyntheticSpec::cifar10_like();
     spec.size = 16; // keep the example snappy on CPU
     spec.train_samples = 400;
     spec.test_samples = 100;
     let (train, test) = spec.generate();
 
-    println!("model=alexnet dataset=cifar10-like train={} test={}", train.len(), test.len());
+    println!(
+        "model=alexnet dataset=cifar10-like train={} test={}",
+        train.len(),
+        test.len()
+    );
     println!("{:<10} {:>8} {:>10}", "p", "acc%", "rho_nnz");
 
     for p in [None, Some(0.7), Some(0.9), Some(0.99)] {
@@ -30,6 +55,7 @@ fn main() {
                 momentum: 0.9,
                 weight_decay: 1e-4,
                 seed: 3,
+                engine,
             },
         );
         for e in 0..6 {

@@ -99,7 +99,14 @@ fn full_mask_is_identity_for_gta() {
     let dout = Tensor3::from_fn(2, 4, 4, |c, y, x| ((c + y + x) % 3) as f32 - 1.0);
     let weights = Tensor4::from_fn(2, 2, 3, 3, |f, c, u, v| ((f + c + u + v) % 5) as f32 * 0.2 - 0.4);
     let masks: Vec<RowMask> = (0..2 * 4).map(|_| RowMask::full(4)).collect();
-    let got = input_grad_rows(&SparseFeatureMap::from_tensor(&dout), &weights, geom, 4, 4, &masks);
+    let got = input_grad_rows(
+        &SparseFeatureMap::from_tensor(&dout),
+        &weights,
+        geom,
+        4,
+        4,
+        &masks,
+    );
     let want = conv::input_grad(&dout, &weights, geom, 4, 4);
     assert!(close(got.as_slice(), want.as_slice()));
 }

@@ -8,7 +8,14 @@ use sparsetrain::nn::train::{TrainConfig, Trainer};
 use sparsetrain::sim::baseline::simulate_baseline;
 use sparsetrain::sim::{ArchConfig, Machine};
 
-fn trained_trainer(prune: Option<PruneConfig>, epochs: usize) -> (Trainer, sparsetrain::nn::data::Dataset, sparsetrain::nn::data::Dataset) {
+fn trained_trainer(
+    prune: Option<PruneConfig>,
+    epochs: usize,
+) -> (
+    Trainer,
+    sparsetrain::nn::data::Dataset,
+    sparsetrain::nn::data::Dataset,
+) {
     let (train, test) = SyntheticSpec::tiny(3).generate();
     let net = models::mini_cnn(3, 6, prune);
     let mut trainer = Trainer::new(net, TrainConfig::quick());

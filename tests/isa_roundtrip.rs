@@ -6,9 +6,7 @@
 //! agree with the static work analysis.
 
 use sparsetrain::core::dataflow::asm::{assemble, disassemble};
-use sparsetrain::core::dataflow::encoding::{
-    decode_program, encode_program, HEADER_BYTES, INSTR_BYTES,
-};
+use sparsetrain::core::dataflow::encoding::{decode_program, encode_program, HEADER_BYTES, INSTR_BYTES};
 use sparsetrain::core::dataflow::synth::{SynthFc, SynthLayer, SynthNet};
 use sparsetrain::core::dataflow::{analysis, compile, StepKind};
 use sparsetrain::core::prune::PruneConfig;
@@ -64,7 +62,11 @@ fn assembly_and_binary_agree_via_each_other() {
 fn program_statistics_match_work_analysis() {
     let mut rng = StdRng::seed_from_u64(5);
     let trace = SynthNet::new("check", "synthetic")
-        .conv(SynthLayer::conv(8, 12, 16, 3).input_density(0.4).dout_density(0.25))
+        .conv(
+            SynthLayer::conv(8, 12, 16, 3)
+                .input_density(0.4)
+                .dout_density(0.25),
+        )
         .fc(SynthFc::new(128, 10))
         .generate(&mut rng);
     let program = compile(&trace);
@@ -78,7 +80,10 @@ fn program_statistics_match_work_analysis() {
     assert!(program.total_stream_values() > 0);
 
     let per_step = program.instrs_per_step();
-    assert!(per_step[0] > 0 && per_step[2] > 0, "conv layers must lower Forward and GTW");
+    assert!(
+        per_step[0] > 0 && per_step[2] > 0,
+        "conv layers must lower Forward and GTW"
+    );
 
     // Every GTW instruction carries both operand streams.
     for instr in program.instrs.iter().filter(|i| i.step == StepKind::Gtw) {

@@ -15,9 +15,22 @@ use sparsetrain::sparse::work::src_work;
 fn synth_trace(density: f64) -> sparsetrain::core::dataflow::NetworkTrace {
     let mut rng = StdRng::seed_from_u64(99);
     SynthNet::new("mem-sched", "synthetic")
-        .conv(SynthLayer::conv(16, 24, 24, 3).first_layer().dout_density(density))
-        .conv(SynthLayer::conv(24, 24, 24, 3).input_density(density).dout_density(density))
-        .conv(SynthLayer::conv(24, 32, 12, 3).stride(2).input_density(density).dout_density(density))
+        .conv(
+            SynthLayer::conv(16, 24, 24, 3)
+                .first_layer()
+                .dout_density(density),
+        )
+        .conv(
+            SynthLayer::conv(24, 24, 24, 3)
+                .input_density(density)
+                .dout_density(density),
+        )
+        .conv(
+            SynthLayer::conv(24, 32, 12, 3)
+                .stride(2)
+                .input_density(density)
+                .dout_density(density),
+        )
         .generate(&mut rng)
 }
 
@@ -27,8 +40,7 @@ fn streaming_dram_sustains_near_peak_bandwidth() {
     // row-buffer model must justify that: > 90% of peak on streams.
     let mut dram = DramModel::new(DramConfig::lpddr4_like());
     let stats = dram.read(0, 512 * 1024);
-    let peak =
-        dram.config().burst_words as f64 / dram.config().burst_cycles as f64;
+    let peak = dram.config().burst_words as f64 / dram.config().burst_cycles as f64;
     let achieved = dram.effective_bandwidth(&stats);
     assert!(
         achieved > 0.9 * peak,
@@ -61,9 +73,15 @@ fn controller_policy_is_near_optimal_on_real_task_lists() {
         // PEs) that list scheduling's quantization noise stays small.
         let mut rng = StdRng::seed_from_u64(7);
         let trace = SynthNet::new("sched", "synthetic")
-            .conv(SynthLayer::conv(32, 64, 32, 3).input_density(density).dout_density(density))
+            .conv(
+                SynthLayer::conv(32, 64, 32, 3)
+                    .input_density(density)
+                    .dout_density(density),
+            )
             .generate(&mut rng);
-        let LayerTrace::Conv(conv) = &trace.layers[0] else { panic!("expected conv") };
+        let LayerTrace::Conv(conv) = &trace.layers[0] else {
+            panic!("expected conv")
+        };
         let mut tasks: Vec<u64> = Vec::new();
         let mut last = usize::MAX;
         for_each_forward_op(conv, |t, op| {
@@ -122,7 +140,10 @@ fn starved_dram_exposes_pipeline_bubbles() {
     let report = machine.simulate(&trace);
     let stages = stages_from_report(&report, machine.config());
     let p = pipeline_latency(&stages);
-    assert!(p.exposed_stages > 0, "1 word/cycle DRAM cannot hide weight traffic");
+    assert!(
+        p.exposed_stages > 0,
+        "1 word/cycle DRAM cannot hide weight traffic"
+    );
     assert!(p.pipelined_cycles > p.compute_cycles);
 }
 

@@ -88,10 +88,7 @@ fn expectation_preserved_over_many_draws() {
             sum += g[0] as f64;
         }
         let mean = sum / n as f64;
-        assert!(
-            (mean - g0 as f64).abs() < 3e-4,
-            "E[pruned({g0})] = {mean}"
-        );
+        assert!((mean - g0 as f64).abs() < 3e-4, "E[pruned({g0})] = {mean}");
     }
 }
 
@@ -131,7 +128,10 @@ fn layer_pruner_tracks_drifting_scale() {
     // Prediction should stay near determination despite the drift.
     let p = pruner.stats().last_predicted_tau.unwrap();
     let d = pruner.stats().last_determined_tau.unwrap();
-    assert!((p - d).abs() / d < 0.3, "prediction {p} drifted from determination {d}");
+    assert!(
+        (p - d).abs() / d < 0.3,
+        "prediction {p} drifted from determination {d}"
+    );
 }
 
 /// The hardware decomposition of Algorithm 1 (PPU accumulators + LFSR
@@ -153,8 +153,9 @@ fn hardware_path_matches_software_pruner() {
     let mut data_rng = StdRng::seed_from_u64(9);
 
     for batch in 0..10 {
-        let grads: Vec<f32> =
-            (0..20_000).map(|_| sample_standard_normal(&mut data_rng) * 0.04).collect();
+        let grads: Vec<f32> = (0..20_000)
+            .map(|_| sample_standard_normal(&mut data_rng) * 0.04)
+            .collect();
 
         let sw_warm = software.is_warm(); // state *entering* this batch
         let mut sw = grads.clone();

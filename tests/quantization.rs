@@ -17,15 +17,19 @@ use sparsetrain::nn::Layer;
 use sparsetrain::tensor::qformat::QFormat;
 use sparsetrain::tensor::Tensor3;
 
-fn trained_trainer() -> (Trainer, sparsetrain::nn::data::Dataset) {
+fn trained_for(epochs: usize) -> (Trainer, sparsetrain::nn::data::Dataset) {
     let (train, test) = SyntheticSpec::tiny(4).generate();
     let net = models::mini_cnn(4, 8, Some(PruneConfig::paper_default()));
     let mut trainer = Trainer::new(net, TrainConfig::quick());
-    for _ in 0..6 {
+    for _ in 0..epochs {
         trainer.train_epoch(&train);
     }
     let _ = test;
     (trainer, train)
+}
+
+fn trained_trainer() -> (Trainer, sparsetrain::nn::data::Dataset) {
+    trained_for(6)
 }
 
 #[test]
@@ -39,10 +43,12 @@ fn weight_quantization_preserves_predictions() {
 
     // Quantize every parameter tensor to its own best Q-format (per-tensor
     // scale, as a fixed-point device would configure).
-    trainer.network_mut().visit_params(&mut |w: &mut [f32], _g: &mut [f32]| {
-        let q = QFormat::best_for(w);
-        q.roundtrip_slice(w);
-    });
+    trainer
+        .network_mut()
+        .visit_params(&mut |w: &mut [f32], _g: &mut [f32]| {
+            let q = QFormat::best_for(w);
+            q.roundtrip_slice(w);
+        });
     let q_out = trainer.network_mut().forward(xs, false);
 
     let mut cm_f32 = ConfusionMatrix::new(4);
@@ -51,9 +57,7 @@ fn weight_quantization_preserves_predictions() {
     for ((a, b), &label) in f32_out.iter().zip(&q_out).zip(&labels) {
         cm_f32.record_logits(label, a.as_slice());
         cm_q.record_logits(label, b.as_slice());
-        if sparsetrain::nn::loss::argmax(a.as_slice())
-            == sparsetrain::nn::loss::argmax(b.as_slice())
-        {
+        if sparsetrain::nn::loss::argmax(a.as_slice()) == sparsetrain::nn::loss::argmax(b.as_slice()) {
             agree += 1;
         }
     }
@@ -68,7 +72,11 @@ fn weight_quantization_preserves_predictions() {
 
 #[test]
 fn gradient_statistics_survive_quantization() {
-    let (mut trainer, data) = trained_trainer();
+    // Tap after ONE epoch — the mid-training regime the 16-bit datapath is
+    // designed for. Once this toy task overfits (loss ~1e-4 by epoch 2),
+    // activation gradients fall to ~1e-7, below the LSB of every 16-bit
+    // Q-format, and no fixed-point representation can carry them.
+    let (mut trainer, data) = trained_for(1);
     let tapped = trainer.tap_gradients(&data);
     assert!(!tapped.is_empty());
 
