@@ -1,23 +1,27 @@
-//! ScalarEngine vs ParallelEngine on AlexNet-shape layer workloads.
+//! Registered kernel engines on AlexNet-shape layer workloads.
 //!
 //! Each bench executes one full layer stage (Forward / GTA / GTW) through
 //! the engine seam — the same zero-allocation accumulate-into-scratch hot
-//! path `Conv2d` and the dataflow executor use. Labels carry the engine
-//! name, so the JSON lines in `target/bench-results.jsonl` (see the
-//! criterion shim) give a machine-readable scalar-vs-parallel trajectory.
+//! path `Conv2d` and the dataflow executor use — plus a batched-vs-
+//! per-sample comparison of the batch entry points on an AlexNet-shape
+//! mini-batch. Labels carry the engine name, so the JSON lines in
+//! `target/bench-results.jsonl` (see the criterion shim) give a
+//! machine-readable cross-engine trajectory.
 //!
-//! The parallel engine bands work across filters/channels; its win scales
-//! with hardware threads (`≥1.5×` expected on 4+ cores for the forward
-//! multi-channel shapes below, parity on 1 core where it degenerates to
-//! one band).
+//! The engine set is registry-driven: every registered engine runs by
+//! default, and setting `SPARSETRAIN_ENGINE=<name>` restricts the run to
+//! that single backend (`scalar`, `parallel`, `fixed`, …).
+//!
+//! The parallel engine bands work across `samples × filters`; its win
+//! scales with hardware threads and batch size (`≥1.5×` expected on 4+
+//! cores for the batched shapes below, parity on 1 core where it
+//! degenerates to one band).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sparsetrain_sparse::rowconv::{
-    forward_rows_with, input_grad_rows_with, weight_grad_rows_with, SparseFeatureMap,
-};
-use sparsetrain_sparse::{EngineKind, Workspace};
+use sparsetrain_sparse::rowconv::SparseFeatureMap;
+use sparsetrain_sparse::{registry, EngineHandle, Workspace};
 use sparsetrain_tensor::conv::ConvGeometry;
 use sparsetrain_tensor::{Tensor3, Tensor4};
 use std::hint::black_box;
@@ -31,6 +35,10 @@ const LAYERS: [(&str, usize, usize, usize, f64, f64); 3] = [
     ("conv4_192x192x8", 192, 192, 8, 0.30, 0.05),
 ];
 
+/// Batched comparison shape: one AlexNet conv3-like layer over a
+/// mini-batch.
+const BATCH: usize = 8;
+
 struct LayerFixture {
     input: SparseFeatureMap,
     dout: SparseFeatureMap,
@@ -39,9 +47,16 @@ struct LayerFixture {
     geom: ConvGeometry,
 }
 
-fn fixture(c: usize, f: usize, hw: usize, in_density: f64, dout_density: f64) -> LayerFixture {
+fn fixture_seeded(
+    c: usize,
+    f: usize,
+    hw: usize,
+    in_density: f64,
+    dout_density: f64,
+    seed: u64,
+) -> LayerFixture {
     let geom = ConvGeometry::new(3, 1, 1);
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = StdRng::seed_from_u64(seed);
     let sparse = |rng: &mut StdRng, density: f64| {
         if rng.gen::<f64>() < density {
             rng.gen::<f32>() - 0.5
@@ -62,7 +77,18 @@ fn fixture(c: usize, f: usize, hw: usize, in_density: f64, dout_density: f64) ->
     }
 }
 
-const ENGINES: [EngineKind; 2] = [EngineKind::Scalar, EngineKind::Parallel];
+fn fixture(c: usize, f: usize, hw: usize, in_density: f64, dout_density: f64) -> LayerFixture {
+    fixture_seeded(c, f, hw, in_density, dout_density, 42)
+}
+
+/// The engines under test: the `SPARSETRAIN_ENGINE` override alone when
+/// set, every registered engine otherwise.
+fn engines() -> Vec<EngineHandle> {
+    match registry::env_override().expect("SPARSETRAIN_ENGINE must name a registered engine") {
+        Some(handle) => vec![handle],
+        None => registry::registry(),
+    }
+}
 
 fn bench_forward(c: &mut Criterion) {
     println!("hardware threads: {}", rayon::current_num_threads());
@@ -70,16 +96,14 @@ fn bench_forward(c: &mut Criterion) {
     group.sample_size(10);
     for (name, ci, fi, hw, din, dout) in LAYERS {
         let fx = fixture(ci, fi, hw, din, dout);
-        for kind in ENGINES {
-            group.bench_with_input(BenchmarkId::new(kind.name(), name), &fx, |b, fx| {
+        for handle in engines() {
+            group.bench_with_input(BenchmarkId::new(handle.name(), name), &fx, |b, fx| {
                 b.iter(|| {
-                    black_box(forward_rows_with(
-                        kind.engine(),
-                        &fx.input,
-                        &fx.weights,
-                        Some(&fx.bias),
-                        fx.geom,
-                    ))
+                    black_box(
+                        handle
+                            .engine()
+                            .forward(&fx.input, &fx.weights, Some(&fx.bias), fx.geom),
+                    )
                 });
             });
         }
@@ -93,18 +117,14 @@ fn bench_input_grad(c: &mut Criterion) {
     for (name, ci, fi, hw, din, dout) in LAYERS {
         let fx = fixture(ci, fi, hw, din, dout);
         let masks = fx.input.masks();
-        for kind in ENGINES {
-            group.bench_with_input(BenchmarkId::new(kind.name(), name), &fx, |b, fx| {
+        for handle in engines() {
+            group.bench_with_input(BenchmarkId::new(handle.name(), name), &fx, |b, fx| {
                 b.iter(|| {
-                    black_box(input_grad_rows_with(
-                        kind.engine(),
-                        &fx.dout,
-                        &fx.weights,
-                        fx.geom,
-                        hw,
-                        hw,
-                        &masks,
-                    ))
+                    black_box(
+                        handle
+                            .engine()
+                            .input_grad(&fx.dout, &fx.weights, fx.geom, hw, hw, &masks),
+                    )
                 });
             });
         }
@@ -117,11 +137,48 @@ fn bench_weight_grad(c: &mut Criterion) {
     group.sample_size(10);
     for (name, ci, fi, hw, din, dout) in LAYERS {
         let fx = fixture(ci, fi, hw, din, dout);
-        for kind in ENGINES {
-            group.bench_with_input(BenchmarkId::new(kind.name(), name), &fx, |b, fx| {
-                b.iter(|| black_box(weight_grad_rows_with(kind.engine(), &fx.input, &fx.dout, fx.geom)));
+        for handle in engines() {
+            group.bench_with_input(BenchmarkId::new(handle.name(), name), &fx, |b, fx| {
+                b.iter(|| black_box(handle.engine().weight_grad(&fx.input, &fx.dout, fx.geom)));
             });
         }
+    }
+    group.finish();
+}
+
+/// Batched vs per-sample execution of one AlexNet-shape layer over a
+/// mini-batch, per engine: the batched entry points amortize dispatch and
+/// let the parallel engine band across `samples × filters` instead of
+/// filters alone.
+fn bench_batched_vs_per_sample(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_forward_batched");
+    group.sample_size(10);
+    let (name, ci, fi, hw, din, dout) = LAYERS[1];
+    let fxs: Vec<LayerFixture> = (0..BATCH)
+        .map(|s| fixture_seeded(ci, fi, hw, din, dout, 42 + s as u64))
+        .collect();
+    let inputs: Vec<SparseFeatureMap> = fxs.iter().map(|fx| fx.input.clone()).collect();
+    let weights = &fxs[0].weights;
+    let bias = &fxs[0].bias;
+    let geom = fxs[0].geom;
+    for handle in engines() {
+        let engine = handle.engine();
+        group.bench_function(
+            BenchmarkId::new(format!("{}/per_sample", handle.name()), name),
+            |b| {
+                b.iter(|| {
+                    for input in &inputs {
+                        black_box(engine.forward(input, weights, Some(bias), geom));
+                    }
+                });
+            },
+        );
+        group.bench_function(
+            BenchmarkId::new(format!("{}/batched", handle.name()), name),
+            |b| {
+                b.iter(|| black_box(engine.forward_batch(&inputs, weights, Some(bias), geom)));
+            },
+        );
     }
     group.finish();
 }
@@ -162,6 +219,7 @@ criterion_group!(
     bench_forward,
     bench_input_grad,
     bench_weight_grad,
+    bench_batched_vs_per_sample,
     bench_workspace_vs_alloc
 );
 criterion_main!(benches);

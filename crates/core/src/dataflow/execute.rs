@@ -3,16 +3,15 @@
 //! The compiler ([`super::compiler`]) lowers a trace to instruction
 //! *metadata*; this module runs the matching *numerics*: given a captured
 //! [`ConvLayerTrace`] and the layer's weights, it executes the three
-//! training stages through any [`KernelEngine`] — the same
-//! accumulate-into-scratch hot paths the training framework uses, with
-//! zero per-row heap allocation. It is the bridge that lets a compiled
-//! program be validated end to end: identical results on every engine
-//! (scalar or parallel), identical op enumeration for the simulator's
-//! engine-agnostic cycle accounting.
+//! training stages through the engine resolved by an
+//! [`ExecutionContext`] — the same accumulate-into-scratch hot paths the
+//! training framework uses, with zero per-row heap allocation. It is the
+//! bridge that lets a compiled program be validated end to end: identical
+//! results on every float engine (scalar or parallel), identical op
+//! enumeration for the simulator's engine-agnostic cycle accounting.
 
 use super::trace::ConvLayerTrace;
-use sparsetrain_sparse::rowconv;
-use sparsetrain_sparse::KernelEngine;
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::{Tensor3, Tensor4};
 
 /// The numeric results of one conv layer's three training stages.
@@ -28,7 +27,8 @@ pub struct ExecutedConv {
 }
 
 /// Executes the Forward, GTA and GTW stages of a captured conv layer on
-/// `engine` with the given `weights` and optional `bias`.
+/// the context's resolved engine with the given `weights` and optional
+/// `bias`.
 ///
 /// The GTA stage fuses the trace's forward non-zero masks, exactly as the
 /// accelerator (and `Conv2d`'s sparse-rows mode) does.
@@ -38,7 +38,7 @@ pub struct ExecutedConv {
 /// Panics if `weights`/`bias` shapes are inconsistent with the trace.
 pub fn execute_conv(
     trace: &ConvLayerTrace,
-    engine: &dyn KernelEngine,
+    ctx: &mut ExecutionContext,
     weights: &Tensor4,
     bias: Option<&[f32]>,
 ) -> ExecutedConv {
@@ -52,10 +52,10 @@ pub fn execute_conv(
         ),
         "weight shape inconsistent with trace"
     );
-    let output = rowconv::forward_rows_with(engine, &trace.input, weights, bias, trace.geom);
+    let engine = ctx.engine();
+    let output = engine.forward(&trace.input, weights, bias, trace.geom);
     let input_grad = trace.needs_input_grad.then(|| {
-        rowconv::input_grad_rows_with(
-            engine,
+        engine.input_grad(
             &trace.dout,
             weights,
             trace.geom,
@@ -64,7 +64,7 @@ pub fn execute_conv(
             &trace.input_masks,
         )
     });
-    let weight_grad = rowconv::weight_grad_rows_with(engine, &trace.input, &trace.dout, trace.geom);
+    let weight_grad = engine.weight_grad(&trace.input, &trace.dout, trace.geom);
     ExecutedConv {
         output,
         input_grad,
@@ -76,7 +76,6 @@ pub fn execute_conv(
 mod tests {
     use super::*;
     use sparsetrain_sparse::rowconv::SparseFeatureMap;
-    use sparsetrain_sparse::EngineKind;
     use sparsetrain_tensor::conv::ConvGeometry;
 
     fn trace() -> ConvLayerTrace {
@@ -119,8 +118,18 @@ mod tests {
         let t = trace();
         let w = weights();
         let bias = [0.25f32, -0.5, 0.0];
-        let scalar = execute_conv(&t, EngineKind::Scalar.engine(), &w, Some(&bias));
-        let parallel = execute_conv(&t, EngineKind::Parallel.engine(), &w, Some(&bias));
+        let scalar = execute_conv(
+            &t,
+            &mut ExecutionContext::by_name("scalar").unwrap(),
+            &w,
+            Some(&bias),
+        );
+        let parallel = execute_conv(
+            &t,
+            &mut ExecutionContext::by_name("parallel").unwrap(),
+            &w,
+            Some(&bias),
+        );
         assert_eq!(scalar, parallel);
     }
 
@@ -128,7 +137,7 @@ mod tests {
     fn first_layer_skips_input_grad() {
         let mut t = trace();
         t.needs_input_grad = false;
-        let out = execute_conv(&t, EngineKind::Scalar.engine(), &weights(), None);
+        let out = execute_conv(&t, &mut ExecutionContext::scalar(), &weights(), None);
         assert!(out.input_grad.is_none());
         assert!(out.weight_grad.as_slice().iter().any(|&v| v != 0.0));
     }
@@ -136,7 +145,7 @@ mod tests {
     #[test]
     fn gta_respects_masks() {
         let t = trace();
-        let out = execute_conv(&t, EngineKind::Scalar.engine(), &weights(), None);
+        let out = execute_conv(&t, &mut ExecutionContext::scalar(), &weights(), None);
         let din = out.input_grad.expect("input grad");
         for c in 0..2 {
             for y in 0..6 {

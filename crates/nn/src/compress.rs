@@ -85,6 +85,7 @@ pub fn weight_density(net: &mut dyn Layer) -> f64 {
 mod tests {
     use super::*;
     use crate::models;
+    use sparsetrain_sparse::ExecutionContext;
 
     #[test]
     fn pruning_hits_target_density() {
@@ -112,7 +113,11 @@ mod tests {
         use sparsetrain_tensor::Tensor3;
         let mut net = models::mini_cnn(3, 4, None);
         magnitude_prune(&mut net, 0.8);
-        let out = net.forward(vec![Tensor3::zeros(3, 8, 8)], false);
+        let out = net.forward(
+            vec![Tensor3::zeros(3, 8, 8)].into(),
+            &mut ExecutionContext::scalar(),
+            false,
+        );
         assert_eq!(out[0].shape(), (3, 1, 1));
         assert!(out[0].as_slice().iter().all(|v| v.is_finite()));
     }

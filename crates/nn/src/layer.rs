@@ -1,17 +1,170 @@
-//! The layer abstraction: batched forward/backward with instrumentation.
+//! The layer abstraction: batched forward/backward on an execution context.
 
 use rand::RngCore;
 use sparsetrain_core::dataflow::LayerTrace;
+#[allow(deprecated)]
 use sparsetrain_sparse::EngineKind;
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
+use std::borrow::Cow;
+
+/// A batch of per-sample feature maps flowing through the network.
+///
+/// Each sample is a [`Cow`]: the batch can *borrow* images straight from
+/// the dataset (no per-batch cloning in the trainer) and layers take
+/// ownership only where they genuinely need it — a pass-through layer
+/// (prune hook, eval-mode dropout) forwards borrowed samples untouched,
+/// a mutating layer clones on first write, and compute layers emit owned
+/// outputs.
+///
+/// ```
+/// use sparsetrain_nn::layer::Batch;
+/// use sparsetrain_tensor::Tensor3;
+///
+/// let images = vec![Tensor3::zeros(1, 2, 2), Tensor3::zeros(1, 2, 2)];
+/// let batch = Batch::borrowed(&images); // no clone
+/// assert_eq!(batch.len(), 2);
+/// assert_eq!(batch[0].shape(), (1, 2, 2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Batch<'a> {
+    items: Vec<Cow<'a, Tensor3>>,
+}
+
+impl<'a> Batch<'a> {
+    /// A batch owning its samples.
+    pub fn owned(xs: Vec<Tensor3>) -> Batch<'static> {
+        Batch {
+            items: xs.into_iter().map(Cow::Owned).collect(),
+        }
+    }
+
+    /// A batch borrowing every sample from `xs`.
+    pub fn borrowed(xs: &'a [Tensor3]) -> Batch<'a> {
+        Batch {
+            items: xs.iter().map(Cow::Borrowed).collect(),
+        }
+    }
+
+    /// A batch borrowing the samples of `xs` selected by `indices` (the
+    /// shuffled mini-batch path of the trainer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds.
+    pub fn gather(xs: &'a [Tensor3], indices: &[usize]) -> Batch<'a> {
+        Batch {
+            items: indices.iter().map(|&i| Cow::Borrowed(&xs[i])).collect(),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates over the samples read-only.
+    pub fn iter(&self) -> BatchIter<'_, 'a> {
+        BatchIter {
+            inner: self.items.iter(),
+        }
+    }
+
+    /// Iterates over the samples mutably, cloning borrowed samples on
+    /// first write (clone-on-write).
+    pub fn iter_mut(&mut self) -> BatchIterMut<'_, 'a> {
+        BatchIterMut {
+            inner: self.items.iter_mut(),
+        }
+    }
+
+    /// Converts into owned tensors, cloning only samples still borrowed.
+    pub fn into_owned(self) -> Vec<Tensor3> {
+        self.items.into_iter().map(Cow::into_owned).collect()
+    }
+}
+
+impl<'b, 'a> IntoIterator for &'b Batch<'a> {
+    type Item = &'b Tensor3;
+    type IntoIter = BatchIter<'b, 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Clone-on-write mutable iterator over a [`Batch`]'s samples.
+pub struct BatchIterMut<'b, 'a> {
+    inner: std::slice::IterMut<'b, Cow<'a, Tensor3>>,
+}
+
+impl<'b> Iterator for BatchIterMut<'b, '_> {
+    type Item = &'b mut Tensor3;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(Cow::to_mut)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// Read-only iterator over a [`Batch`]'s samples.
+pub struct BatchIter<'b, 'a> {
+    inner: std::slice::Iter<'b, Cow<'a, Tensor3>>,
+}
+
+impl<'b> Iterator for BatchIter<'b, '_> {
+    type Item = &'b Tensor3;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next().map(|c| c.as_ref())
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl std::ops::Index<usize> for Batch<'_> {
+    type Output = Tensor3;
+
+    fn index(&self, index: usize) -> &Tensor3 {
+        &self.items[index]
+    }
+}
+
+impl From<Vec<Tensor3>> for Batch<'static> {
+    fn from(xs: Vec<Tensor3>) -> Self {
+        Batch::owned(xs)
+    }
+}
+
+impl FromIterator<Tensor3> for Batch<'static> {
+    fn from_iter<I: IntoIterator<Item = Tensor3>>(iter: I) -> Self {
+        Batch {
+            items: iter.into_iter().map(Cow::Owned).collect(),
+        }
+    }
+}
 
 /// A trainable network layer operating on a batch of per-sample tensors.
 ///
 /// Layers own their parameters, gradients and any context captured during
-/// the forward pass that the backward pass needs. The batch is represented
-/// as `Vec<Tensor3>` (one feature map per sample) so that batch-statistics
-/// layers (BatchNorm) see the whole batch while convolution stays a simple
-/// per-sample operation.
+/// the forward pass that the backward pass needs. The batch is a
+/// [`Batch`] (one feature map per sample, possibly borrowed from the
+/// dataset) so that batch-statistics layers (BatchNorm) see the whole
+/// batch while convolution executes one batched engine call.
+///
+/// Both passes receive the session's [`ExecutionContext`] — the engine
+/// resolved once (by name, through the registry) plus reusable scratch —
+/// so no layer ever re-resolves an engine token.
 ///
 /// Beyond compute, the trait carries the instrumentation the experiments
 /// need: parameter visitation for the optimizer, activation-gradient
@@ -25,7 +178,7 @@ pub trait Layer {
     /// Consumes the batch of inputs and produces the batch of outputs.
     /// `train` selects training behaviour (batch statistics, context
     /// retention for backward).
-    fn forward(&mut self, xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3>;
+    fn forward<'a>(&mut self, xs: Batch<'a>, ctx: &mut ExecutionContext, train: bool) -> Batch<'a>;
 
     /// Consumes the batch of output gradients and produces the batch of
     /// input gradients, accumulating parameter gradients internally.
@@ -34,7 +187,12 @@ pub trait Layer {
     /// # Panics
     ///
     /// Implementations may panic if called before `forward(…, true)`.
-    fn backward(&mut self, grads: Vec<Tensor3>, rng: &mut dyn RngCore) -> Vec<Tensor3>;
+    fn backward(
+        &mut self,
+        grads: Vec<Tensor3>,
+        ctx: &mut ExecutionContext,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Tensor3>;
 
     /// Visits every `(parameter, gradient)` slice pair, in a stable order.
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
@@ -64,10 +222,21 @@ pub trait Layer {
     /// Resets accumulated density statistics.
     fn reset_density_stats(&mut self) {}
 
-    /// Selects the kernel execution engine for layers with sparse row
-    /// dataflow hot paths (`Conv2d` switches to engine-driven SRC/MSRC/OSRC
-    /// execution). Layers without such a path ignore the call.
-    fn set_engine(&mut self, _kind: EngineKind) {}
+    /// Switches layers with a sparse row-dataflow path (`Conv2d`) between
+    /// dense execution and engine-driven SRC/MSRC/OSRC execution on the
+    /// context's engine. Layers without such a path ignore the call.
+    fn set_sparse_execution(&mut self, _enabled: bool) {}
+
+    /// Legacy engine selection; the engine itself now travels in the
+    /// [`ExecutionContext`], so this only switches sparse execution on.
+    #[deprecated(
+        since = "0.2.0",
+        note = "engines are resolved by the ExecutionContext; use set_sparse_execution"
+    )]
+    #[allow(deprecated)]
+    fn set_engine(&mut self, _kind: EngineKind) {
+        self.set_sparse_execution(true);
+    }
 
     /// Number of trainable parameters (for reporting).
     fn param_count(&self) -> usize {

@@ -1,7 +1,8 @@
 //! Global average pooling.
 
-use crate::layer::Layer;
+use crate::layer::{Batch, Layer};
 use rand::RngCore;
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
 /// Averages each channel plane to a single value: `(C, H, W) → (C, 1, 1)`.
@@ -27,7 +28,7 @@ impl Layer for GlobalAvgPool {
         &self.name
     }
 
-    fn forward(&mut self, xs: Vec<Tensor3>, _train: bool) -> Vec<Tensor3> {
+    fn forward<'a>(&mut self, xs: Batch<'a>, _ctx: &mut ExecutionContext, _train: bool) -> Batch<'a> {
         xs.into_iter()
             .map(|x| {
                 let (c, h, w) = x.shape();
@@ -39,7 +40,12 @@ impl Layer for GlobalAvgPool {
             .collect()
     }
 
-    fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+    fn backward(
+        &mut self,
+        grads: Vec<Tensor3>,
+        _ctx: &mut ExecutionContext,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<Tensor3> {
         let (c, h, w) = self.in_shape;
         let m = (h * w) as f32;
         grads
@@ -62,16 +68,21 @@ mod tests {
     fn forward_averages_channels() {
         let mut pool = GlobalAvgPool::new("gap");
         let x = Tensor3::from_fn(2, 2, 2, |c, _, _| (c + 1) as f32);
-        let out = pool.forward(vec![x], true);
+        let out = pool.forward(vec![x].into(), &mut ExecutionContext::scalar(), true);
         assert_eq!(out[0].as_slice(), &[1.0, 2.0]);
     }
 
     #[test]
     fn backward_distributes_evenly() {
         let mut pool = GlobalAvgPool::new("gap");
-        pool.forward(vec![Tensor3::zeros(1, 2, 2)], true);
+        pool.forward(
+            vec![Tensor3::zeros(1, 2, 2)].into(),
+            &mut ExecutionContext::scalar(),
+            true,
+        );
         let din = pool.backward(
             vec![Tensor3::from_vec(1, 1, 1, vec![4.0])],
+            &mut ExecutionContext::scalar(),
             &mut StdRng::seed_from_u64(0),
         );
         assert_eq!(din[0].as_slice(), &[1.0, 1.0, 1.0, 1.0]);
@@ -83,9 +94,13 @@ mod tests {
         let mut pool = GlobalAvgPool::new("gap");
         let x = Tensor3::from_fn(2, 2, 2, |c, y, xx| (c * 4 + y * 2 + xx) as f32);
         let y = vec![0.5f32, -1.5];
-        let fwd = pool.forward(vec![x.clone()], true);
+        let fwd = pool.forward(vec![x.clone()].into(), &mut ExecutionContext::scalar(), true);
         let lhs: f32 = fwd[0].as_slice().iter().zip(&y).map(|(a, b)| a * b).sum();
-        let din = pool.backward(vec![Tensor3::from_vec(2, 1, 1, y)], &mut StdRng::seed_from_u64(0));
+        let din = pool.backward(
+            vec![Tensor3::from_vec(2, 1, 1, y)],
+            &mut ExecutionContext::scalar(),
+            &mut StdRng::seed_from_u64(0),
+        );
         let rhs: f32 = din[0]
             .as_slice()
             .iter()

@@ -1,7 +1,8 @@
 //! 2-D batch normalization.
 
-use crate::layer::Layer;
+use crate::layer::{Batch, Layer};
 use rand::RngCore;
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
 /// Per-channel batch normalization over `(batch, height, width)`.
@@ -57,7 +58,7 @@ impl Layer for BatchNorm2d {
         &self.name
     }
 
-    fn forward(&mut self, xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+    fn forward<'a>(&mut self, xs: Batch<'a>, _ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {
         assert!(!xs.is_empty(), "{}: empty batch", self.name);
         let (c, h, w) = xs[0].shape();
         assert_eq!(c, self.channels, "{}: channel mismatch", self.name);
@@ -115,9 +116,10 @@ impl Layer for BatchNorm2d {
             }
             self.ctx_xhat = xhats;
             self.ctx_inv_std = inv_std;
-            outs
+            outs.into()
         } else {
-            xs.into_iter()
+            let outs: Batch<'static> = xs
+                .iter()
                 .map(|x| {
                     let mut out = Tensor3::zeros(c, h, w);
                     for ci in 0..c {
@@ -131,11 +133,17 @@ impl Layer for BatchNorm2d {
                     }
                     out
                 })
-                .collect()
+                .collect();
+            outs
         }
     }
 
-    fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+    fn backward(
+        &mut self,
+        grads: Vec<Tensor3>,
+        _ctx: &mut ExecutionContext,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<Tensor3> {
         assert_eq!(
             grads.len(),
             self.ctx_xhat.len(),
@@ -211,7 +219,7 @@ mod tests {
         let xs: Vec<Tensor3> = (0..4)
             .map(|_| Tensor3::from_fn(2, 4, 4, |_, _, _| sample_standard_normal(&mut rng) * 3.0 + 5.0))
             .collect();
-        let out = bn.forward(xs, true);
+        let out = bn.forward(xs.into(), &mut ExecutionContext::scalar(), true);
         // Per-channel mean ~0, var ~1 across the batch.
         for ci in 0..2 {
             let vals: Vec<f32> = out.iter().flat_map(|o| o.channel(ci).to_vec()).collect();
@@ -238,7 +246,7 @@ mod tests {
 
         let loss = |xs: &[Tensor3], dout: &[Tensor3]| -> f32 {
             let mut bn = BatchNorm2d::new("bn", 1);
-            let out = bn.forward(xs.to_vec(), true);
+            let out = bn.forward(xs.to_vec().into(), &mut ExecutionContext::scalar(), true);
             out.iter()
                 .zip(dout)
                 .map(|(o, d)| {
@@ -252,8 +260,8 @@ mod tests {
         };
 
         let mut bn = BatchNorm2d::new("bn", 1);
-        bn.forward(xs.clone(), true);
-        let din = bn.backward(dout.clone(), &mut rng);
+        bn.forward(xs.clone().into(), &mut ExecutionContext::scalar(), true);
+        let din = bn.backward(dout.clone(), &mut ExecutionContext::scalar(), &mut rng);
 
         let eps = 1e-2;
         for &(s, y, x) in &[(0usize, 0usize, 0usize), (1, 1, 1), (0, 1, 0)] {
@@ -279,10 +287,14 @@ mod tests {
         let xs: Vec<Tensor3> = (0..2)
             .map(|_| Tensor3::from_fn(1, 4, 4, |_, _, _| sample_standard_normal(&mut rng)))
             .collect();
-        bn.forward(xs, true);
+        bn.forward(xs.into(), &mut ExecutionContext::scalar(), true);
         let mut g = Tensor3::zeros(1, 4, 4);
         g.set(0, 1, 1, 1.0); // a single non-zero gradient
-        let din = bn.backward(vec![g, Tensor3::zeros(1, 4, 4)], &mut rng);
+        let din = bn.backward(
+            vec![g, Tensor3::zeros(1, 4, 4)],
+            &mut ExecutionContext::scalar(),
+            &mut rng,
+        );
         let nnz = din[0].as_slice().iter().filter(|&&v| v != 0.0).count();
         assert!(nnz > 8, "BN backward should densify, nnz = {nnz}");
     }
@@ -295,13 +307,13 @@ mod tests {
             let xs: Vec<Tensor3> = (0..4)
                 .map(|_| Tensor3::from_fn(1, 2, 2, |_, _, _| sample_standard_normal(&mut rng) * 2.0 + 1.0))
                 .collect();
-            bn.forward(xs, true);
+            bn.forward(xs.into(), &mut ExecutionContext::scalar(), true);
         }
         // Eval on the same distribution should be roughly normalized.
         let xs: Vec<Tensor3> = (0..16)
             .map(|_| Tensor3::from_fn(1, 2, 2, |_, _, _| sample_standard_normal(&mut rng) * 2.0 + 1.0))
             .collect();
-        let out = bn.forward(xs, false);
+        let out = bn.forward(xs.into(), &mut ExecutionContext::scalar(), false);
         let vals: Vec<f32> = out.iter().flat_map(|o| o.as_slice().to_vec()).collect();
         let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
         assert!(mean.abs() < 0.4, "eval mean {mean} not near 0");

@@ -1,11 +1,11 @@
 //! 2-D convolution layer with dataflow trace capture.
 
-use crate::layer::Layer;
+use crate::layer::{Batch, Layer};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use sparsetrain_core::dataflow::{ConvLayerTrace, LayerTrace};
-use sparsetrain_sparse::rowconv::{forward_rows_with, SparseFeatureMap};
-use sparsetrain_sparse::EngineKind;
+use sparsetrain_sparse::rowconv::SparseFeatureMap;
+use sparsetrain_sparse::{ExecutionContext, RowMask};
 use sparsetrain_tensor::conv::{self, ConvGeometry};
 use sparsetrain_tensor::{im2row, init, stats, Tensor3, Tensor4};
 
@@ -16,11 +16,12 @@ pub enum ConvExecution {
     /// execution mode, bit-for-bit identical to the seed semantics.
     #[default]
     Im2row,
-    /// Engine-driven sparse row dataflow: SRC for Forward, OSRC for GTW,
-    /// and MSRC for GTA with the forward non-zero masks fused in (the
-    /// paper's ReLU-backward fusion — input-gradient positions whose
-    /// forward activation was zero stay zero).
-    SparseRows(EngineKind),
+    /// Sparse row dataflow on the execution context's engine, one batched
+    /// engine call per stage: SRC for Forward, OSRC for GTW, and MSRC for
+    /// GTA with the forward non-zero masks fused in (the paper's
+    /// ReLU-backward fusion — input-gradient positions whose forward
+    /// activation was zero stay zero).
+    SparseRows,
 }
 
 /// A trainable 2-D convolution.
@@ -138,53 +139,56 @@ impl Layer for Conv2d {
         &self.name
     }
 
-    fn forward(&mut self, xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
-        let mut fms = Vec::new();
-        let out = xs
-            .iter()
-            .map(|x| {
-                assert_eq!(
-                    x.channels(),
-                    self.in_channels,
-                    "{}: input channel mismatch",
-                    self.name
-                );
-                match self.execution {
-                    ConvExecution::Im2row => im2row::forward(x, &self.weights, Some(&self.bias), self.geom),
-                    ConvExecution::SparseRows(kind) => {
-                        let fm = SparseFeatureMap::from_tensor(x);
-                        let y =
-                            forward_rows_with(kind.engine(), &fm, &self.weights, Some(&self.bias), self.geom);
-                        if train {
-                            fms.push(fm);
-                        }
-                        y
-                    }
-                }
-            })
-            .collect();
-        if train {
-            match self.execution {
-                // Each mode caches only the representation its backward
-                // consumes; SparseRows keeps the compressed maps alone, so
-                // dense activations are not duplicated.
-                ConvExecution::Im2row => {
-                    self.ctx_inputs = xs;
+    fn forward<'a>(&mut self, xs: Batch<'a>, ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {
+        for x in xs.iter() {
+            assert_eq!(
+                x.channels(),
+                self.in_channels,
+                "{}: input channel mismatch",
+                self.name
+            );
+        }
+        match self.execution {
+            ConvExecution::Im2row => {
+                let out: Batch<'static> = xs
+                    .iter()
+                    .map(|x| im2row::forward(x, &self.weights, Some(&self.bias), self.geom))
+                    .collect();
+                if train {
+                    // The dense backward needs the inputs; samples borrowed
+                    // from the dataset are cloned only here and only now.
+                    self.ctx_inputs = xs.into_owned();
                     self.ctx_input_fms.clear();
                 }
-                ConvExecution::SparseRows(_) => {
+                out
+            }
+            ConvExecution::SparseRows => {
+                // One batched engine call; the compressed maps alone are
+                // cached for backward, so dense activations borrowed from
+                // the dataset are never cloned.
+                let fms: Vec<SparseFeatureMap> = xs.iter().map(SparseFeatureMap::from_tensor).collect();
+                let out = ctx
+                    .forward_batch(&fms, &self.weights, Some(&self.bias), self.geom)
+                    .into_iter()
+                    .collect();
+                if train {
                     self.ctx_inputs.clear();
                     self.ctx_input_fms = fms;
                 }
+                out
             }
         }
-        out
     }
 
-    fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+    fn backward(
+        &mut self,
+        grads: Vec<Tensor3>,
+        ctx: &mut ExecutionContext,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<Tensor3> {
         let cached = match self.execution {
             ConvExecution::Im2row => self.ctx_inputs.len(),
-            ConvExecution::SparseRows(_) => self.ctx_input_fms.len(),
+            ConvExecution::SparseRows => self.ctx_input_fms.len(),
         };
         assert_eq!(
             grads.len(),
@@ -227,9 +231,9 @@ impl Layer for Conv2d {
             });
         }
 
-        let mut dins = Vec::with_capacity(grads.len());
         match self.execution {
             ConvExecution::Im2row => {
+                let mut dins = Vec::with_capacity(grads.len());
                 for (x, g) in self.ctx_inputs.iter().zip(&grads) {
                     let dw = conv::weight_grad(x, g, self.geom);
                     self.wgrad.add_assign(&dw);
@@ -248,33 +252,46 @@ impl Layer for Conv2d {
                         ));
                     }
                 }
+                dins
             }
-            ConvExecution::SparseRows(kind) => {
-                let engine = kind.engine();
-                for (input_fm, g) in self.ctx_input_fms.iter().zip(&grads) {
-                    let dout_fm = SparseFeatureMap::from_tensor(g);
-                    // GTW accumulates straight into the batch gradient — no
-                    // per-sample scratch tensor.
-                    engine.weight_grad_into(input_fm, &dout_fm, self.geom, &mut self.wgrad);
+            ConvExecution::SparseRows => {
+                let dout_fms: Vec<SparseFeatureMap> =
+                    grads.iter().map(SparseFeatureMap::from_tensor).collect();
+                // Batched GTW accumulates every sample straight into the
+                // batch gradient — one engine call, no per-sample scratch.
+                ctx.weight_grad_batch(&self.ctx_input_fms, &dout_fms, self.geom, &mut self.wgrad);
+                for g in &grads {
                     for (bg, d) in self.bgrad.iter_mut().zip(conv::bias_grad(g)) {
                         *bg += d;
                     }
-                    let (c, h, w) = (input_fm.channels(), input_fm.height(), input_fm.width());
-                    if self.first_layer {
-                        dins.push(Tensor3::zeros(c, h, w));
-                    } else {
-                        // GTA with the forward masks fused in (the paper's
-                        // ReLU-backward fusion): positions whose forward
-                        // input was zero keep a zero gradient.
-                        let masks = input_fm.masks();
-                        let mut din = Tensor3::zeros(c, h, w);
-                        engine.input_grad_into(&dout_fm, &self.weights, self.geom, &masks, &mut din);
-                        dins.push(din);
-                    }
                 }
+                // Each din takes its own sample's spatial extent, so
+                // mixed-shape batches stay correct (the engine's batched
+                // GTA falls back to per-sample execution for them).
+                let mut dins: Vec<Tensor3> = self
+                    .ctx_input_fms
+                    .iter()
+                    .map(|fm| Tensor3::zeros(fm.channels(), fm.height(), fm.width()))
+                    .collect();
+                if !self.first_layer {
+                    // Batched GTA with the forward masks fused in (the
+                    // paper's ReLU-backward fusion): positions whose
+                    // forward input was zero keep a zero gradient. The
+                    // first layer skips GTA — the network input needs no
+                    // gradient — and returns the zero tensors as-is.
+                    let masks: Vec<Vec<RowMask>> =
+                        self.ctx_input_fms.iter().map(SparseFeatureMap::masks).collect();
+                    ctx.engine().input_grad_batch_into(
+                        &dout_fms,
+                        &self.weights,
+                        self.geom,
+                        &masks,
+                        &mut dins,
+                    );
+                }
+                dins
             }
         }
-        dins
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -294,8 +311,12 @@ impl Layer for Conv2d {
         }
     }
 
-    fn set_engine(&mut self, kind: EngineKind) {
-        self.execution = ConvExecution::SparseRows(kind);
+    fn set_sparse_execution(&mut self, enabled: bool) {
+        self.execution = if enabled {
+            ConvExecution::SparseRows
+        } else {
+            ConvExecution::Im2row
+        };
     }
 
     fn collect_traces(&self, out: &mut Vec<LayerTrace>) {
@@ -330,11 +351,15 @@ mod tests {
         StdRng::seed_from_u64(0)
     }
 
+    fn ctx() -> ExecutionContext {
+        ExecutionContext::scalar()
+    }
+
     #[test]
     fn forward_shapes() {
         let mut conv = Conv2d::new("c", 3, 8, ConvGeometry::new(3, 1, 1), 1);
         let xs = vec![Tensor3::zeros(3, 8, 8), Tensor3::zeros(3, 8, 8)];
-        let out = conv.forward(xs, true);
+        let out = conv.forward(xs.into(), &mut ctx(), true);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].shape(), (8, 8, 8));
     }
@@ -346,12 +371,12 @@ mod tests {
             Tensor3::from_vec(1, 1, 2, vec![1.0, 2.0]),
             Tensor3::from_vec(1, 1, 2, vec![3.0, 4.0]),
         ];
-        conv.forward(xs, true);
+        conv.forward(xs.into(), &mut ctx(), true);
         let grads = vec![
             Tensor3::from_vec(1, 1, 2, vec![1.0, 1.0]),
             Tensor3::from_vec(1, 1, 2, vec![1.0, 1.0]),
         ];
-        conv.backward(grads, &mut rng());
+        conv.backward(grads, &mut ctx(), &mut rng());
         // dW = sum over batch of <g, x> = (1+2) + (3+4) = 10
         assert_eq!(conv.wgrad.get(0, 0, 0, 0), 10.0);
         assert_eq!(conv.bgrad[0], 4.0);
@@ -362,8 +387,12 @@ mod tests {
         let mut conv = Conv2d::new("c", 2, 2, ConvGeometry::new(3, 1, 1), 3);
         conv.set_first_layer(true);
         let xs = vec![Tensor3::from_fn(2, 4, 4, |_, y, x| (y + x) as f32)];
-        conv.forward(xs, true);
-        let dins = conv.backward(vec![Tensor3::from_fn(2, 4, 4, |_, _, _| 1.0)], &mut rng());
+        conv.forward(xs.into(), &mut ctx(), true);
+        let dins = conv.backward(
+            vec![Tensor3::from_fn(2, 4, 4, |_, _, _| 1.0)],
+            &mut ctx(),
+            &mut rng(),
+        );
         assert!(dins[0].as_slice().iter().all(|&v| v == 0.0));
     }
 
@@ -378,9 +407,10 @@ mod tests {
                 0.0
             }
         })];
-        conv.forward(xs, true);
+        conv.forward(xs.into(), &mut ctx(), true);
         conv.backward(
             vec![Tensor3::from_fn(3, 4, 4, |_, y, x| (y * x % 2) as f32)],
+            &mut ctx(),
             &mut rng(),
         );
         let mut traces = Vec::new();
@@ -397,9 +427,9 @@ mod tests {
     #[test]
     fn density_instrumentation() {
         let mut conv = Conv2d::new("c", 1, 1, ConvGeometry::new(1, 1, 0), 5);
-        conv.forward(vec![Tensor3::zeros(1, 2, 2)], true);
+        conv.forward(vec![Tensor3::zeros(1, 2, 2)].into(), &mut ctx(), true);
         let g = Tensor3::from_vec(1, 2, 2, vec![1.0, 0.0, 0.0, 0.0]);
-        conv.backward(vec![g], &mut rng());
+        conv.backward(vec![g], &mut ctx(), &mut rng());
         assert_eq!(conv.mean_dout_density(), Some(0.25));
         conv.reset_density_stats();
         assert_eq!(conv.mean_dout_density(), None);
@@ -408,8 +438,16 @@ mod tests {
     #[test]
     fn zero_grads_clears() {
         let mut conv = Conv2d::new("c", 1, 1, ConvGeometry::new(1, 1, 0), 6);
-        conv.forward(vec![Tensor3::from_vec(1, 1, 1, vec![2.0])], true);
-        conv.backward(vec![Tensor3::from_vec(1, 1, 1, vec![3.0])], &mut rng());
+        conv.forward(
+            vec![Tensor3::from_vec(1, 1, 1, vec![2.0])].into(),
+            &mut ctx(),
+            true,
+        );
+        conv.backward(
+            vec![Tensor3::from_vec(1, 1, 1, vec![3.0])],
+            &mut ctx(),
+            &mut rng(),
+        );
         assert_ne!(conv.wgrad.get(0, 0, 0, 0), 0.0);
         conv.zero_grads();
         assert_eq!(conv.wgrad.get(0, 0, 0, 0), 0.0);

@@ -4,9 +4,10 @@
 //! to the FC activations, which the FC cost model in the simulator benefits
 //! from — another instance of the natural sparsity the paper exploits.
 
-use crate::layer::Layer;
+use crate::layer::{Batch, Layer};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
 /// Inverted dropout: keeps each activation with probability `1 - rate`,
@@ -45,7 +46,7 @@ impl Layer for Dropout {
         &self.name
     }
 
-    fn forward(&mut self, mut xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+    fn forward<'a>(&mut self, mut xs: Batch<'a>, _ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {
         if !train || self.rate == 0.0 {
             if train {
                 self.masks = xs.iter().map(|x| vec![true; x.len()]).collect();
@@ -66,7 +67,12 @@ impl Layer for Dropout {
         xs
     }
 
-    fn backward(&mut self, mut grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+    fn backward(
+        &mut self,
+        mut grads: Vec<Tensor3>,
+        _ctx: &mut ExecutionContext,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<Tensor3> {
         assert_eq!(grads.len(), self.masks.len(), "{}: no stored mask", self.name);
         let scale = 1.0 / (1.0 - self.rate);
         for (g, mask) in grads.iter_mut().zip(&self.masks) {
@@ -88,7 +94,7 @@ mod tests {
     fn eval_mode_is_identity() {
         let mut d = Dropout::new("d", 0.5, 1);
         let x = Tensor3::from_fn(2, 4, 4, |c, y, xx| (c + y + xx) as f32);
-        let out = d.forward(vec![x.clone()], false);
+        let out = d.forward(vec![x.clone()].into(), &mut ExecutionContext::scalar(), false);
         assert_eq!(out[0], x);
     }
 
@@ -96,7 +102,7 @@ mod tests {
     fn training_drops_roughly_rate_fraction() {
         let mut d = Dropout::new("d", 0.4, 2);
         let x = Tensor3::from_fn(4, 16, 16, |_, _, _| 1.0);
-        let out = d.forward(vec![x], true);
+        let out = d.forward(vec![x].into(), &mut ExecutionContext::scalar(), true);
         let zeros = out[0].as_slice().iter().filter(|&&v| v == 0.0).count() as f64;
         let frac = zeros / out[0].len() as f64;
         assert!((frac - 0.4).abs() < 0.05, "dropped fraction {frac}");
@@ -106,7 +112,7 @@ mod tests {
     fn survivors_are_scaled() {
         let mut d = Dropout::new("d", 0.5, 3);
         let x = Tensor3::from_fn(1, 8, 8, |_, _, _| 1.0);
-        let out = d.forward(vec![x], true);
+        let out = d.forward(vec![x].into(), &mut ExecutionContext::scalar(), true);
         for &v in out[0].as_slice() {
             assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
         }
@@ -116,9 +122,13 @@ mod tests {
     fn backward_uses_same_mask() {
         let mut d = Dropout::new("d", 0.5, 4);
         let x = Tensor3::from_fn(1, 4, 4, |_, _, _| 1.0);
-        let out = d.forward(vec![x], true);
+        let out = d.forward(vec![x].into(), &mut ExecutionContext::scalar(), true);
         let g = Tensor3::from_fn(1, 4, 4, |_, _, _| 1.0);
-        let din = d.backward(vec![g], &mut StdRng::seed_from_u64(0));
+        let din = d.backward(
+            vec![g],
+            &mut ExecutionContext::scalar(),
+            &mut StdRng::seed_from_u64(0),
+        );
         // Gradient zero pattern matches the forward zero pattern.
         for (o, gi) in out[0].as_slice().iter().zip(din[0].as_slice()) {
             assert_eq!(*o == 0.0, *gi == 0.0);
@@ -129,7 +139,7 @@ mod tests {
     fn zero_rate_passes_through() {
         let mut d = Dropout::new("d", 0.0, 5);
         let x = Tensor3::from_fn(1, 2, 2, |_, y, xx| (y * 2 + xx) as f32);
-        let out = d.forward(vec![x.clone()], true);
+        let out = d.forward(vec![x.clone()].into(), &mut ExecutionContext::scalar(), true);
         assert_eq!(out[0], x);
     }
 

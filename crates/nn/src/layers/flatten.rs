@@ -1,7 +1,8 @@
 //! Flatten `(C, H, W)` to `(C·H·W, 1, 1)`.
 
-use crate::layer::Layer;
+use crate::layer::{Batch, Layer};
 use rand::RngCore;
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
 /// Reshapes each feature map into a column vector (and back in backward).
@@ -25,17 +26,25 @@ impl Layer for Flatten {
         &self.name
     }
 
-    fn forward(&mut self, xs: Vec<Tensor3>, _train: bool) -> Vec<Tensor3> {
-        xs.into_iter()
+    fn forward<'a>(&mut self, xs: Batch<'a>, _ctx: &mut ExecutionContext, _train: bool) -> Batch<'a> {
+        let out: Batch<'static> = xs
+            .into_owned()
+            .into_iter()
             .map(|x| {
                 self.in_shape = x.shape();
                 let n = x.len();
                 Tensor3::from_vec(n, 1, 1, x.into_vec())
             })
-            .collect()
+            .collect();
+        out
     }
 
-    fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+    fn backward(
+        &mut self,
+        grads: Vec<Tensor3>,
+        _ctx: &mut ExecutionContext,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<Tensor3> {
         let (c, h, w) = self.in_shape;
         grads
             .into_iter()
@@ -54,11 +63,16 @@ mod tests {
     fn roundtrip_shape() {
         let mut f = Flatten::new("fl");
         let out = f.forward(
-            vec![Tensor3::from_fn(2, 3, 4, |c, y, x| (c + y + x) as f32)],
+            vec![Tensor3::from_fn(2, 3, 4, |c, y, x| (c + y + x) as f32)].into(),
+            &mut ExecutionContext::scalar(),
             true,
         );
         assert_eq!(out[0].shape(), (24, 1, 1));
-        let back = f.backward(out, &mut StdRng::seed_from_u64(0));
+        let back = f.backward(
+            out.into_owned(),
+            &mut ExecutionContext::scalar(),
+            &mut StdRng::seed_from_u64(0),
+        );
         assert_eq!(back[0].shape(), (2, 3, 4));
     }
 
@@ -66,7 +80,7 @@ mod tests {
     fn preserves_data_order() {
         let mut f = Flatten::new("fl");
         let t = Tensor3::from_fn(1, 2, 2, |_, y, x| (y * 2 + x) as f32);
-        let out = f.forward(vec![t.clone()], true);
+        let out = f.forward(vec![t.clone()].into(), &mut ExecutionContext::scalar(), true);
         assert_eq!(out[0].as_slice(), t.as_slice());
     }
 }

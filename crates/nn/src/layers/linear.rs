@@ -1,9 +1,10 @@
 //! Fully-connected layer.
 
-use crate::layer::Layer;
+use crate::layer::{Batch, Layer};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use sparsetrain_core::dataflow::{FcLayerTrace, LayerTrace};
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::{init, Matrix, Tensor3};
 
 /// A fully-connected layer on `(features, 1, 1)` tensors.
@@ -77,7 +78,7 @@ impl Layer for Linear {
         &self.name
     }
 
-    fn forward(&mut self, xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+    fn forward<'a>(&mut self, xs: Batch<'a>, _ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {
         let inputs: Vec<Vec<f32>> = xs
             .iter()
             .map(|x| as_vector(x, self.in_features, &self.name))
@@ -98,7 +99,12 @@ impl Layer for Linear {
         outs
     }
 
-    fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+    fn backward(
+        &mut self,
+        grads: Vec<Tensor3>,
+        _ctx: &mut ExecutionContext,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<Tensor3> {
         assert_eq!(
             grads.len(),
             self.ctx_inputs.len(),
@@ -182,7 +188,11 @@ mod tests {
                 p.copy_from_slice(&[0.5, -0.5]);
             }
         });
-        let out = lin.forward(vec![Tensor3::from_vec(2, 1, 1, vec![1.0, 1.0])], true);
+        let out = lin.forward(
+            vec![Tensor3::from_vec(2, 1, 1, vec![1.0, 1.0])].into(),
+            &mut ExecutionContext::scalar(),
+            true,
+        );
         assert_eq!(out[0].as_slice(), &[3.5, 6.5]);
     }
 
@@ -191,8 +201,12 @@ mod tests {
         let mut lin = Linear::new("fc", 3, 2, 2);
         let x = Tensor3::from_vec(3, 1, 1, vec![0.5, -1.0, 2.0]);
         let dout = vec![1.0f32, -0.5];
-        lin.forward(vec![x.clone()], true);
-        let din = lin.backward(vec![Tensor3::from_vec(2, 1, 1, dout.clone())], &mut rng());
+        lin.forward(vec![x.clone()].into(), &mut ExecutionContext::scalar(), true);
+        let din = lin.backward(
+            vec![Tensor3::from_vec(2, 1, 1, dout.clone())],
+            &mut ExecutionContext::scalar(),
+            &mut rng(),
+        );
         // din = W^T dout; check element 0 by direct computation.
         let w = lin.weights.clone();
         let expect = w.get(0, 0) * dout[0] + w.get(1, 0) * dout[1];
@@ -206,8 +220,16 @@ mod tests {
     fn capture_records_sparsity() {
         let mut lin = Linear::new("fc", 4, 2, 3);
         lin.set_capture(true);
-        lin.forward(vec![Tensor3::from_vec(4, 1, 1, vec![1.0, 0.0, 0.0, 2.0])], true);
-        lin.backward(vec![Tensor3::from_vec(2, 1, 1, vec![0.0, 1.0])], &mut rng());
+        lin.forward(
+            vec![Tensor3::from_vec(4, 1, 1, vec![1.0, 0.0, 0.0, 2.0])].into(),
+            &mut ExecutionContext::scalar(),
+            true,
+        );
+        lin.backward(
+            vec![Tensor3::from_vec(2, 1, 1, vec![0.0, 1.0])],
+            &mut ExecutionContext::scalar(),
+            &mut rng(),
+        );
         let mut traces = Vec::new();
         lin.collect_traces(&mut traces);
         assert_eq!(traces.len(), 1);
@@ -223,6 +245,10 @@ mod tests {
     #[should_panic(expected = "expected a flattened")]
     fn wrong_input_shape_panics() {
         let mut lin = Linear::new("fc", 4, 2, 4);
-        let _ = lin.forward(vec![Tensor3::zeros(2, 1, 1)], true);
+        let _ = lin.forward(
+            vec![Tensor3::zeros(2, 1, 1)].into(),
+            &mut ExecutionContext::scalar(),
+            true,
+        );
     }
 }

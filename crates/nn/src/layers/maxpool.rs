@@ -1,7 +1,8 @@
 //! 2-D max pooling.
 
-use crate::layer::Layer;
+use crate::layer::{Batch, Layer};
 use rand::RngCore;
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
 /// Max pooling over non-overlapping (or strided) square windows.
@@ -50,7 +51,7 @@ impl Layer for MaxPool2d {
         &self.name
     }
 
-    fn forward(&mut self, xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+    fn forward<'a>(&mut self, xs: Batch<'a>, _ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {
         let mut outs = Vec::with_capacity(xs.len());
         let mut all_argmax = Vec::with_capacity(xs.len());
         for x in &xs {
@@ -87,10 +88,15 @@ impl Layer for MaxPool2d {
         if train {
             self.argmax = all_argmax;
         }
-        outs
+        outs.into()
     }
 
-    fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+    fn backward(
+        &mut self,
+        grads: Vec<Tensor3>,
+        _ctx: &mut ExecutionContext,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<Tensor3> {
         assert_eq!(grads.len(), self.argmax.len(), "{}: no stored argmax", self.name);
         let (c, h, w) = self.in_shape;
         grads
@@ -117,7 +123,7 @@ mod tests {
     fn forward_takes_window_max() {
         let mut pool = MaxPool2d::new("p", 2, 2);
         let x = Tensor3::from_vec(1, 2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
-        let out = pool.forward(vec![x], true);
+        let out = pool.forward(vec![x].into(), &mut ExecutionContext::scalar(), true);
         assert_eq!(out[0].shape(), (1, 1, 2));
         assert_eq!(out[0].as_slice(), &[6.0, 8.0]);
     }
@@ -126,9 +132,10 @@ mod tests {
     fn backward_routes_to_argmax() {
         let mut pool = MaxPool2d::new("p", 2, 2);
         let x = Tensor3::from_vec(1, 2, 2, vec![1.0, 9.0, 3.0, 4.0]);
-        pool.forward(vec![x], true);
+        pool.forward(vec![x].into(), &mut ExecutionContext::scalar(), true);
         let din = pool.backward(
             vec![Tensor3::from_vec(1, 1, 1, vec![2.5])],
+            &mut ExecutionContext::scalar(),
             &mut StdRng::seed_from_u64(0),
         );
         assert_eq!(din[0].as_slice(), &[0.0, 2.5, 0.0, 0.0]);
@@ -138,9 +145,13 @@ mod tests {
     fn gradient_sparsity_matches_pool_ratio() {
         let mut pool = MaxPool2d::new("p", 2, 2);
         let x = Tensor3::from_fn(2, 8, 8, |c, y, x| (c * 64 + y * 8 + x) as f32);
-        pool.forward(vec![x], true);
+        pool.forward(vec![x].into(), &mut ExecutionContext::scalar(), true);
         let g = Tensor3::from_fn(2, 4, 4, |_, _, _| 1.0);
-        let din = pool.backward(vec![g], &mut StdRng::seed_from_u64(0));
+        let din = pool.backward(
+            vec![g],
+            &mut ExecutionContext::scalar(),
+            &mut StdRng::seed_from_u64(0),
+        );
         let nnz = din[0].as_slice().iter().filter(|&&v| v != 0.0).count();
         assert_eq!(nnz, 2 * 4 * 4); // one per output element
     }
@@ -149,6 +160,10 @@ mod tests {
     #[should_panic(expected = "smaller than pool kernel")]
     fn pool_larger_than_input_panics() {
         let mut pool = MaxPool2d::new("p", 4, 4);
-        let _ = pool.forward(vec![Tensor3::zeros(1, 2, 2)], true);
+        let _ = pool.forward(
+            vec![Tensor3::zeros(1, 2, 2)].into(),
+            &mut ExecutionContext::scalar(),
+            true,
+        );
     }
 }

@@ -7,17 +7,23 @@
 //! exactly the tensor the paper's Fig. 4 marks as the pruning target: the
 //! gradient about to become that CONV layer's `dO` operand.
 
-use crate::layer::Layer;
+use crate::layer::{Batch, Layer};
 use rand::RngCore;
 use sparsetrain_core::prune::{LayerPruner, PruneConfig};
-use sparsetrain_sparse::EngineKind;
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
 /// A pruning point in the backward graph.
+///
+/// The prune itself always runs sequentially regardless of the engine in
+/// the [`ExecutionContext`] — Algorithm 1's stochastic keep/snap decisions
+/// consume the trainer RNG in element order, and reordering them would
+/// change results between engines. Batch-parallel pruning (one
+/// counter-based RNG stream per sample) can use the context's engine once
+/// that lands, since the context already arrives in `backward`.
 pub struct PruneHook {
     name: String,
     pruner: Option<LayerPruner>,
-    engine: EngineKind,
     tap_enabled: bool,
     tapped: Option<Vec<f32>>,
 }
@@ -29,7 +35,6 @@ impl PruneHook {
         Self {
             name: name.into(),
             pruner: config.map(LayerPruner::new),
-            engine: EngineKind::default(),
             tap_enabled: false,
             tapped: None,
         }
@@ -44,17 +49,6 @@ impl PruneHook {
     pub fn pruner(&self) -> Option<&LayerPruner> {
         self.pruner.as_ref()
     }
-
-    /// The engine selection plumbed to this hook.
-    ///
-    /// The prune itself always runs sequentially — Algorithm 1's stochastic
-    /// keep/snap decisions consume the trainer RNG in element order, and
-    /// reordering them would change results between engines. The hook still
-    /// records the selection so future batch-level parallel pruning (one
-    /// RNG stream per sample) can key off it without re-plumbing.
-    pub fn engine(&self) -> EngineKind {
-        self.engine
-    }
 }
 
 impl Layer for PruneHook {
@@ -62,11 +56,16 @@ impl Layer for PruneHook {
         &self.name
     }
 
-    fn forward(&mut self, xs: Vec<Tensor3>, _train: bool) -> Vec<Tensor3> {
+    fn forward<'a>(&mut self, xs: Batch<'a>, _ctx: &mut ExecutionContext, _train: bool) -> Batch<'a> {
         xs
     }
 
-    fn backward(&mut self, mut grads: Vec<Tensor3>, rng: &mut dyn RngCore) -> Vec<Tensor3> {
+    fn backward(
+        &mut self,
+        mut grads: Vec<Tensor3>,
+        _ctx: &mut ExecutionContext,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Tensor3> {
         if self.tap_enabled {
             let mut values = Vec::new();
             for g in &grads {
@@ -96,10 +95,6 @@ impl Layer for PruneHook {
         if !enable {
             self.tapped = None;
         }
-    }
-
-    fn set_engine(&mut self, kind: EngineKind) {
-        self.engine = kind;
     }
 
     fn take_tapped_grads(&mut self, out: &mut Vec<(String, Vec<f32>)>) {
@@ -134,7 +129,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let grads = batch(&mut rng, 2);
         let before = grads.clone();
-        let after = hook.backward(grads, &mut rng);
+        let after = hook.backward(grads, &mut ExecutionContext::scalar(), &mut rng);
         assert_eq!(after, before);
         assert!(!hook.is_enabled());
     }
@@ -145,10 +140,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..4 {
             let grads = batch(&mut rng, 4);
-            hook.backward(grads, &mut rng);
+            hook.backward(grads, &mut ExecutionContext::scalar(), &mut rng);
         }
         let grads = batch(&mut rng, 4);
-        let out = hook.backward(grads, &mut rng);
+        let out = hook.backward(grads, &mut ExecutionContext::scalar(), &mut rng);
         let nnz: usize = out
             .iter()
             .map(|g| g.as_slice().iter().filter(|&&v| v != 0.0).count())
@@ -166,7 +161,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let xs = batch(&mut rng, 1);
         let before = xs.clone();
-        assert_eq!(hook.forward(xs, true), before);
+        let out = hook.forward(xs.into(), &mut ExecutionContext::scalar(), true);
+        assert_eq!(out.into_owned(), before);
     }
 
     #[test]
@@ -174,11 +170,11 @@ mod tests {
         let mut hook = PruneHook::new("h", Some(PruneConfig::new(0.9, 1)));
         let mut rng = StdRng::seed_from_u64(9);
         // Warm the FIFO so pruning is active.
-        hook.backward(batch(&mut rng, 2), &mut rng);
+        hook.backward(batch(&mut rng, 2), &mut ExecutionContext::scalar(), &mut rng);
         hook.set_grad_tap(true);
         let grads = batch(&mut rng, 2);
         let original: Vec<f32> = grads.iter().flat_map(|g| g.as_slice().to_vec()).collect();
-        let out = hook.backward(grads, &mut rng);
+        let out = hook.backward(grads, &mut ExecutionContext::scalar(), &mut rng);
         let mut tapped = Vec::new();
         hook.take_tapped_grads(&mut tapped);
         assert_eq!(tapped.len(), 1);
@@ -190,7 +186,7 @@ mod tests {
         hook.take_tapped_grads(&mut again);
         assert!(again.is_empty());
         // Disabling clears any stored tap.
-        hook.backward(batch(&mut rng, 1), &mut rng);
+        hook.backward(batch(&mut rng, 1), &mut ExecutionContext::scalar(), &mut rng);
         hook.set_grad_tap(false);
         let mut cleared = Vec::new();
         hook.take_tapped_grads(&mut cleared);
@@ -203,7 +199,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..3 {
             let grads = batch(&mut rng, 2);
-            hook.backward(grads, &mut rng);
+            hook.backward(grads, &mut ExecutionContext::scalar(), &mut rng);
         }
         let mut out = Vec::new();
         hook.grad_densities(&mut out);

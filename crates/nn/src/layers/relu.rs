@@ -1,7 +1,8 @@
 //! ReLU activation.
 
-use crate::layer::Layer;
+use crate::layer::{Batch, Layer};
 use rand::RngCore;
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
 /// Point-wise `max(0, x)`.
@@ -28,20 +29,25 @@ impl Layer for Relu {
         &self.name
     }
 
-    fn forward(&mut self, mut xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+    fn forward<'a>(&mut self, mut xs: Batch<'a>, _ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {
         if train {
             self.masks = xs
                 .iter()
                 .map(|x| x.as_slice().iter().map(|&v| v > 0.0).collect())
                 .collect();
         }
-        for x in &mut xs {
+        for x in xs.iter_mut() {
             x.map_inplace(|v| v.max(0.0));
         }
         xs
     }
 
-    fn backward(&mut self, mut grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+    fn backward(
+        &mut self,
+        mut grads: Vec<Tensor3>,
+        _ctx: &mut ExecutionContext,
+        _rng: &mut dyn RngCore,
+    ) -> Vec<Tensor3> {
         assert_eq!(grads.len(), self.masks.len(), "{}: no stored mask", self.name);
         for (g, mask) in grads.iter_mut().zip(&self.masks) {
             for (v, &keep) in g.as_mut_slice().iter_mut().zip(mask) {
@@ -63,16 +69,27 @@ mod tests {
     #[test]
     fn forward_clamps_negatives() {
         let mut relu = Relu::new("r");
-        let out = relu.forward(vec![Tensor3::from_vec(1, 1, 4, vec![-1.0, 2.0, -3.0, 0.0])], true);
+        let mut ctx = ExecutionContext::scalar();
+        let out = relu.forward(
+            vec![Tensor3::from_vec(1, 1, 4, vec![-1.0, 2.0, -3.0, 0.0])].into(),
+            &mut ctx,
+            true,
+        );
         assert_eq!(out[0].as_slice(), &[0.0, 2.0, 0.0, 0.0]);
     }
 
     #[test]
     fn backward_masks_gradient() {
         let mut relu = Relu::new("r");
-        relu.forward(vec![Tensor3::from_vec(1, 1, 3, vec![-1.0, 2.0, 3.0])], true);
+        let mut ctx = ExecutionContext::scalar();
+        relu.forward(
+            vec![Tensor3::from_vec(1, 1, 3, vec![-1.0, 2.0, 3.0])].into(),
+            &mut ctx,
+            true,
+        );
         let din = relu.backward(
             vec![Tensor3::from_vec(1, 1, 3, vec![5.0, 5.0, 5.0])],
+            &mut ctx,
             &mut StdRng::seed_from_u64(0),
         );
         assert_eq!(din[0].as_slice(), &[0.0, 5.0, 5.0]);
@@ -81,9 +98,11 @@ mod tests {
     #[test]
     fn zero_input_is_not_positive() {
         let mut relu = Relu::new("r");
-        relu.forward(vec![Tensor3::from_vec(1, 1, 1, vec![0.0])], true);
+        let mut ctx = ExecutionContext::scalar();
+        relu.forward(vec![Tensor3::from_vec(1, 1, 1, vec![0.0])].into(), &mut ctx, true);
         let din = relu.backward(
             vec![Tensor3::from_vec(1, 1, 1, vec![7.0])],
+            &mut ctx,
             &mut StdRng::seed_from_u64(0),
         );
         assert_eq!(din[0].as_slice(), &[0.0]);

@@ -3,9 +3,12 @@
 //! A compact, dependency-free training stack that supports everything the
 //! paper's experiments need:
 //!
-//! * [`layer`] — the [`layer::Layer`] trait: batched forward/backward with
-//!   parameter visitation, trace capture and gradient-density
-//!   instrumentation.
+//! * [`layer`] — the [`layer::Layer`] trait: batched forward/backward on an
+//!   `ExecutionContext` (the engine resolved once, by name, from the open
+//!   registry in `sparsetrain-sparse`) with parameter visitation, trace
+//!   capture and gradient-density instrumentation; [`layer::Batch`] carries
+//!   clone-on-write samples so mini-batches borrow straight from the
+//!   dataset.
 //! * [`layers`] — Conv2d, ReLU, MaxPool2d, BatchNorm2d, Linear, global
 //!   AvgPool, Flatten, and the [`layers::PruneHook`] that applies the
 //!   paper's stochastic gradient pruning at the positions of Fig. 4.
@@ -49,5 +52,5 @@ pub mod schedule;
 pub mod sequential;
 pub mod train;
 
-pub use layer::Layer;
+pub use layer::{Batch, Layer};
 pub use sequential::Sequential;

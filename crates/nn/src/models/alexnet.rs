@@ -116,12 +116,17 @@ mod tests {
     use crate::layer::Layer;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use sparsetrain_sparse::ExecutionContext;
     use sparsetrain_tensor::Tensor3;
 
     #[test]
     fn alexnet_forward_shape() {
         let mut net = alexnet(3, 32, 10, 4, None, 1);
-        let out = net.forward(vec![Tensor3::zeros(3, 32, 32)], false);
+        let out = net.forward(
+            vec![Tensor3::zeros(3, 32, 32)].into(),
+            &mut ExecutionContext::scalar(),
+            false,
+        );
         assert_eq!(out[0].shape(), (10, 1, 1));
     }
 
@@ -130,10 +135,15 @@ mod tests {
         let mut net = alexnet(3, 16, 5, 2, Some(PruneConfig::paper_default()), 2);
         let mut rng = StdRng::seed_from_u64(0);
         let out = net.forward(
-            vec![Tensor3::from_fn(3, 16, 16, |_, y, x| (y * x) as f32 * 0.01)],
+            vec![Tensor3::from_fn(3, 16, 16, |_, y, x| (y * x) as f32 * 0.01)].into(),
+            &mut ExecutionContext::scalar(),
             true,
         );
-        let din = net.backward(vec![Tensor3::from_fn(5, 1, 1, |_, _, _| 0.1)], &mut rng);
+        let din = net.backward(
+            vec![Tensor3::from_fn(5, 1, 1, |_, _, _| 0.1)],
+            &mut ExecutionContext::scalar(),
+            &mut rng,
+        );
         assert_eq!(out[0].shape(), (5, 1, 1));
         assert_eq!(din[0].shape(), (3, 16, 16));
     }
@@ -141,7 +151,11 @@ mod tests {
     #[test]
     fn mini_cnn_shapes() {
         let mut net = mini_cnn(4, 4, None);
-        let out = net.forward(vec![Tensor3::zeros(3, 8, 8)], false);
+        let out = net.forward(
+            vec![Tensor3::zeros(3, 8, 8)].into(),
+            &mut ExecutionContext::scalar(),
+            false,
+        );
         assert_eq!(out[0].shape(), (4, 1, 1));
     }
 

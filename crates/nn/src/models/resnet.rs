@@ -283,6 +283,7 @@ mod tests {
     use crate::layer::Layer;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use sparsetrain_sparse::ExecutionContext;
     use sparsetrain_tensor::Tensor3;
 
     #[test]
@@ -308,7 +309,11 @@ mod tests {
     #[test]
     fn resnet_forward_shape() {
         let mut net = resnet18(3, 10, 4, None, 1);
-        let out = net.forward(vec![Tensor3::zeros(3, 16, 16)], false);
+        let out = net.forward(
+            vec![Tensor3::zeros(3, 16, 16)].into(),
+            &mut ExecutionContext::scalar(),
+            false,
+        );
         assert_eq!(out[0].shape(), (10, 1, 1));
     }
 
@@ -329,9 +334,13 @@ mod tests {
             Tensor3::from_fn(3, 8, 8, |c, y, x| ((c + y + x) % 5) as f32 * 0.2),
             Tensor3::from_fn(3, 8, 8, |c, y, x| ((c * y + x) % 7) as f32 * 0.1),
         ];
-        let out = net.forward(xs, true);
+        let out = net.forward(xs.into(), &mut ExecutionContext::scalar(), true);
         assert_eq!(out[0].shape(), (4, 1, 1));
-        let din = net.backward(vec![Tensor3::from_fn(4, 1, 1, |_, _, _| 0.3); 2], &mut rng);
+        let din = net.backward(
+            vec![Tensor3::from_fn(4, 1, 1, |_, _, _| 0.3); 2],
+            &mut ExecutionContext::scalar(),
+            &mut rng,
+        );
         assert_eq!(din[0].shape(), (3, 8, 8));
     }
 
@@ -348,7 +357,11 @@ mod tests {
             None,
             3,
         );
-        let out = net.forward(vec![Tensor3::zeros(3, 16, 16)], false);
+        let out = net.forward(
+            vec![Tensor3::zeros(3, 16, 16)].into(),
+            &mut ExecutionContext::scalar(),
+            false,
+        );
         assert_eq!(out[0].shape(), (2, 1, 1));
     }
 
@@ -362,7 +375,11 @@ mod tests {
     #[test]
     fn bottleneck_forward_shape() {
         let mut net = resnet_bottleneck(3, 10, [1, 1, 1], 4, None, 7);
-        let out = net.forward(vec![Tensor3::zeros(3, 16, 16)], false);
+        let out = net.forward(
+            vec![Tensor3::zeros(3, 16, 16)].into(),
+            &mut ExecutionContext::scalar(),
+            false,
+        );
         assert_eq!(out[0].shape(), (10, 1, 1));
     }
 
@@ -373,9 +390,13 @@ mod tests {
         let xs = vec![Tensor3::from_fn(3, 8, 8, |c, y, x| {
             ((c + y * x) % 3) as f32 * 0.3
         })];
-        let out = net.forward(xs, true);
+        let out = net.forward(xs.into(), &mut ExecutionContext::scalar(), true);
         assert_eq!(out[0].shape(), (4, 1, 1));
-        let din = net.backward(vec![Tensor3::from_fn(4, 1, 1, |_, _, _| 0.1)], &mut rng);
+        let din = net.backward(
+            vec![Tensor3::from_fn(4, 1, 1, |_, _, _| 0.1)],
+            &mut ExecutionContext::scalar(),
+            &mut rng,
+        );
         assert_eq!(din[0].shape(), (3, 8, 8));
     }
 

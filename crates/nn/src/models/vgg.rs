@@ -110,12 +110,17 @@ mod tests {
     use crate::layer::Layer;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use sparsetrain_sparse::ExecutionContext;
     use sparsetrain_tensor::Tensor3;
 
     #[test]
     fn vgg11_forward_shape() {
         let mut net = vgg11(3, 16, 10, 2, None, 1);
-        let out = net.forward(vec![Tensor3::zeros(3, 16, 16)], false);
+        let out = net.forward(
+            vec![Tensor3::zeros(3, 16, 16)].into(),
+            &mut ExecutionContext::scalar(),
+            false,
+        );
         assert_eq!(out[0].shape(), (10, 1, 1));
     }
 
@@ -126,8 +131,12 @@ mod tests {
         let xs = vec![Tensor3::from_fn(3, 16, 16, |c, y, x| {
             ((c + y * x) % 5) as f32 * 0.1
         })];
-        net.forward(xs, true);
-        let din = net.backward(vec![Tensor3::from_fn(4, 1, 1, |_, _, _| 0.2)], &mut rng);
+        net.forward(xs.into(), &mut ExecutionContext::scalar(), true);
+        let din = net.backward(
+            vec![Tensor3::from_fn(4, 1, 1, |_, _, _| 0.2)],
+            &mut ExecutionContext::scalar(),
+            &mut rng,
+        );
         assert_eq!(din[0].shape(), (3, 16, 16));
     }
 
@@ -140,7 +149,11 @@ mod tests {
             VggEntry::Pool,
         ];
         let mut net = vgg_from_config(3, 8, 2, &config, None, 3);
-        let out = net.forward(vec![Tensor3::zeros(3, 8, 8)], false);
+        let out = net.forward(
+            vec![Tensor3::zeros(3, 8, 8)].into(),
+            &mut ExecutionContext::scalar(),
+            false,
+        );
         assert_eq!(out[0].shape(), (2, 1, 1));
     }
 

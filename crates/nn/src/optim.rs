@@ -216,10 +216,20 @@ mod tests {
         fn name(&self) -> &str {
             "scalar"
         }
-        fn forward(&mut self, xs: Vec<Tensor3>, _train: bool) -> Vec<Tensor3> {
+        fn forward<'a>(
+            &mut self,
+            xs: crate::layer::Batch<'a>,
+            _ctx: &mut sparsetrain_sparse::ExecutionContext,
+            _train: bool,
+        ) -> crate::layer::Batch<'a> {
             xs
         }
-        fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+        fn backward(
+            &mut self,
+            grads: Vec<Tensor3>,
+            _ctx: &mut sparsetrain_sparse::ExecutionContext,
+            _rng: &mut dyn RngCore,
+        ) -> Vec<Tensor3> {
             grads
         }
         fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {

@@ -1,10 +1,11 @@
 //! ResNet-style basic residual block.
 
-use crate::layer::Layer;
+use crate::layer::{Batch, Layer};
 use crate::layers::Relu;
 use crate::sequential::Sequential;
 use rand::RngCore;
 use sparsetrain_core::dataflow::LayerTrace;
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
 /// `y = ReLU(main(x) + shortcut(x))`.
@@ -38,25 +39,30 @@ impl Layer for ResidualBlock {
         &self.name
     }
 
-    fn forward(&mut self, xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+    fn forward<'a>(&mut self, xs: Batch<'a>, ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {
         let skip_in = xs.clone();
-        let mut main_out = self.main.forward(xs, train);
+        let mut main_out = self.main.forward(xs, ctx, train);
         let skip_out = match &mut self.shortcut {
-            Some(s) => s.forward(skip_in, train),
+            Some(s) => s.forward(skip_in, ctx, train),
             None => skip_in,
         };
         for (m, s) in main_out.iter_mut().zip(&skip_out) {
             m.add_assign(s);
         }
-        self.relu.forward(main_out, train)
+        self.relu.forward(main_out, ctx, train)
     }
 
-    fn backward(&mut self, grads: Vec<Tensor3>, rng: &mut dyn RngCore) -> Vec<Tensor3> {
-        let grads = self.relu.backward(grads, rng);
+    fn backward(
+        &mut self,
+        grads: Vec<Tensor3>,
+        ctx: &mut ExecutionContext,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Tensor3> {
+        let grads = self.relu.backward(grads, ctx, rng);
         // The sum node copies the gradient to both branches.
-        let mut din = self.main.backward(grads.clone(), rng);
+        let mut din = self.main.backward(grads.clone(), ctx, rng);
         let skip_din = match &mut self.shortcut {
-            Some(s) => s.backward(grads, rng),
+            Some(s) => s.backward(grads, ctx, rng),
             None => grads,
         };
         for (d, s) in din.iter_mut().zip(&skip_din) {
@@ -121,10 +127,10 @@ impl Layer for ResidualBlock {
         }
     }
 
-    fn set_engine(&mut self, kind: sparsetrain_sparse::EngineKind) {
-        self.main.set_engine(kind);
+    fn set_sparse_execution(&mut self, enabled: bool) {
+        self.main.set_sparse_execution(enabled);
         if let Some(s) = &mut self.shortcut {
-            s.set_engine(kind);
+            s.set_sparse_execution(enabled);
         }
     }
 
@@ -155,10 +161,14 @@ mod tests {
     fn identity_shortcut_preserves_shape() {
         let mut b = block(4);
         let xs = vec![Tensor3::from_fn(4, 6, 6, |c, y, x| ((c + y + x) % 3) as f32); 2];
-        let out = b.forward(xs, true);
+        let out = b.forward(xs.into(), &mut ExecutionContext::scalar(), true);
         assert_eq!(out[0].shape(), (4, 6, 6));
         let mut rng = StdRng::seed_from_u64(0);
-        let din = b.backward(vec![Tensor3::from_fn(4, 6, 6, |_, _, _| 0.5); 2], &mut rng);
+        let din = b.backward(
+            vec![Tensor3::from_fn(4, 6, 6, |_, _, _| 0.5); 2],
+            &mut ExecutionContext::scalar(),
+            &mut rng,
+        );
         assert_eq!(din[0].shape(), (4, 6, 6));
     }
 
@@ -170,11 +180,15 @@ mod tests {
         // Zero the main path's parameters so only the skip contributes.
         b.visit_params(&mut |p, _| p.fill(0.0));
         let xs = vec![Tensor3::from_fn(2, 4, 4, |_, y, x| (y + x) as f32 + 0.5)];
-        let out = b.forward(xs, true);
+        let out = b.forward(xs.into(), &mut ExecutionContext::scalar(), true);
         // With zeroed BN gamma the main path is exactly zero; out == relu(skip).
         assert!(out[0].as_slice().iter().any(|&v| v > 0.0));
         let mut rng = StdRng::seed_from_u64(1);
-        let din = b.backward(vec![Tensor3::from_fn(2, 4, 4, |_, _, _| 1.0)], &mut rng);
+        let din = b.backward(
+            vec![Tensor3::from_fn(2, 4, 4, |_, _, _| 1.0)],
+            &mut ExecutionContext::scalar(),
+            &mut rng,
+        );
         let nnz = din[0].as_slice().iter().filter(|&&v| v != 0.0).count();
         assert!(nnz > 0, "no gradient reached the block input");
     }
@@ -188,40 +202,44 @@ mod tests {
     }
 
     #[test]
-    fn set_engine_reaches_both_paths() {
-        use sparsetrain_sparse::EngineKind;
+    fn set_sparse_execution_reaches_both_paths() {
         use std::cell::Cell;
         use std::rc::Rc;
 
-        struct EngineProbe {
-            got: Rc<Cell<Option<EngineKind>>>,
+        struct ExecutionProbe {
+            got: Rc<Cell<Option<bool>>>,
         }
-        impl Layer for EngineProbe {
+        impl Layer for ExecutionProbe {
             fn name(&self) -> &str {
                 "probe"
             }
-            fn forward(&mut self, xs: Vec<Tensor3>, _train: bool) -> Vec<Tensor3> {
+            fn forward<'a>(&mut self, xs: Batch<'a>, _ctx: &mut ExecutionContext, _train: bool) -> Batch<'a> {
                 xs
             }
-            fn backward(&mut self, grads: Vec<Tensor3>, _rng: &mut dyn RngCore) -> Vec<Tensor3> {
+            fn backward(
+                &mut self,
+                grads: Vec<Tensor3>,
+                _ctx: &mut ExecutionContext,
+                _rng: &mut dyn RngCore,
+            ) -> Vec<Tensor3> {
                 grads
             }
-            fn set_engine(&mut self, kind: EngineKind) {
-                self.got.set(Some(kind));
+            fn set_sparse_execution(&mut self, enabled: bool) {
+                self.got.set(Some(enabled));
             }
         }
 
         let main_probe = Rc::new(Cell::new(None));
         let short_probe = Rc::new(Cell::new(None));
-        let main = Sequential::new("m").push(EngineProbe {
+        let main = Sequential::new("m").push(ExecutionProbe {
             got: Rc::clone(&main_probe),
         });
-        let short = Sequential::new("s").push(EngineProbe {
+        let short = Sequential::new("s").push(ExecutionProbe {
             got: Rc::clone(&short_probe),
         });
         let mut b = ResidualBlock::new("b", main, Some(short));
-        b.set_engine(EngineKind::Parallel);
-        assert_eq!(main_probe.get(), Some(EngineKind::Parallel));
-        assert_eq!(short_probe.get(), Some(EngineKind::Parallel));
+        b.set_sparse_execution(true);
+        assert_eq!(main_probe.get(), Some(true));
+        assert_eq!(short_probe.get(), Some(true));
     }
 }

@@ -1,8 +1,9 @@
 //! Sequential composition of layers.
 
-use crate::layer::Layer;
+use crate::layer::{Batch, Layer};
 use rand::RngCore;
 use sparsetrain_core::dataflow::LayerTrace;
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
 /// A stack of layers executed in order (and in reverse for backward).
@@ -72,16 +73,21 @@ impl Layer for Sequential {
         &self.name
     }
 
-    fn forward(&mut self, mut xs: Vec<Tensor3>, train: bool) -> Vec<Tensor3> {
+    fn forward<'a>(&mut self, mut xs: Batch<'a>, ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {
         for layer in &mut self.layers {
-            xs = layer.forward(xs, train);
+            xs = layer.forward(xs, ctx, train);
         }
         xs
     }
 
-    fn backward(&mut self, mut grads: Vec<Tensor3>, rng: &mut dyn RngCore) -> Vec<Tensor3> {
+    fn backward(
+        &mut self,
+        mut grads: Vec<Tensor3>,
+        ctx: &mut ExecutionContext,
+        rng: &mut dyn RngCore,
+    ) -> Vec<Tensor3> {
         for layer in self.layers.iter_mut().rev() {
-            grads = layer.backward(grads, rng);
+            grads = layer.backward(grads, ctx, rng);
         }
         grads
     }
@@ -134,9 +140,9 @@ impl Layer for Sequential {
         }
     }
 
-    fn set_engine(&mut self, kind: sparsetrain_sparse::EngineKind) {
+    fn set_sparse_execution(&mut self, enabled: bool) {
         for layer in &mut self.layers {
-            layer.set_engine(kind);
+            layer.set_sparse_execution(enabled);
         }
     }
 
@@ -160,10 +166,11 @@ mod tests {
             .push(Relu::new("r1"))
             .push(Conv2d::new("c2", 2, 1, ConvGeometry::new(3, 1, 1), 2));
         let mut rng = StdRng::seed_from_u64(0);
+        let mut ctx = ExecutionContext::scalar();
         let xs = vec![Tensor3::from_fn(1, 4, 4, |_, y, x| (y + x) as f32)];
-        let out = net.forward(xs, true);
+        let out = net.forward(xs.into(), &mut ctx, true);
         assert_eq!(out[0].shape(), (1, 4, 4));
-        let din = net.backward(vec![Tensor3::from_fn(1, 4, 4, |_, _, _| 1.0)], &mut rng);
+        let din = net.backward(vec![Tensor3::from_fn(1, 4, 4, |_, _, _| 1.0)], &mut ctx, &mut rng);
         assert_eq!(din[0].shape(), (1, 4, 4));
     }
 

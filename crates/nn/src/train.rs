@@ -1,7 +1,7 @@
 //! The batch training loop with pruning, metrics and trace capture.
 
 use crate::data::Dataset;
-use crate::layer::Layer;
+use crate::layer::{Batch, Layer};
 use crate::loss::{argmax, softmax_cross_entropy};
 use crate::metrics::ConfusionMatrix;
 use crate::optim::Sgd;
@@ -9,7 +9,9 @@ use crate::sequential::Sequential;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparsetrain_core::dataflow::NetworkTrace;
+#[allow(deprecated)]
 use sparsetrain_sparse::EngineKind;
+use sparsetrain_sparse::{registry, EngineHandle, ExecutionContext};
 use sparsetrain_tensor::Tensor3;
 
 /// Training hyper-parameters.
@@ -27,9 +29,10 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Kernel execution engine for the sparse row-dataflow hot paths.
     /// `None` keeps every layer on its default (dense im2row) execution;
-    /// `Some(kind)` switches `Conv2d` layers to engine-driven SRC/MSRC/OSRC
-    /// execution on the selected backend.
-    pub engine: Option<EngineKind>,
+    /// `Some(handle)` switches `Conv2d` layers to engine-driven
+    /// SRC/MSRC/OSRC execution on the named backend (resolved through the
+    /// open registry — see [`TrainConfig::with_engine_name`]).
+    pub engine: Option<EngineHandle>,
 }
 
 impl TrainConfig {
@@ -57,10 +60,42 @@ impl TrainConfig {
         }
     }
 
-    /// Returns the config with the sparse row-dataflow engine selected.
-    pub fn with_engine(mut self, kind: EngineKind) -> Self {
-        self.engine = Some(kind);
+    /// Returns the config with the named sparse row-dataflow engine
+    /// selected (`"scalar"`, `"parallel"`, `"fixed"`, or anything added
+    /// with `sparsetrain_sparse::registry::register`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is not registered, listing the known engines.
+    pub fn with_engine_name(mut self, name: &str) -> Self {
+        let handle: EngineHandle = name.parse().unwrap_or_else(|e| panic!("{e}"));
+        self.engine = Some(handle);
         self
+    }
+
+    /// Returns the config with an already-resolved engine handle.
+    pub fn with_engine_handle(mut self, handle: EngineHandle) -> Self {
+        self.engine = Some(handle);
+        self
+    }
+
+    /// Applies the `SPARSETRAIN_ENGINE` environment override, if set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable names an unregistered engine.
+    pub fn with_env_engine(mut self) -> Self {
+        if let Some(handle) = registry::env_override().unwrap_or_else(|e| panic!("{e}")) {
+            self.engine = Some(handle);
+        }
+        self
+    }
+
+    /// Legacy engine selection by the closed `EngineKind` token.
+    #[deprecated(since = "0.2.0", note = "use with_engine_name / with_engine_handle")]
+    #[allow(deprecated)]
+    pub fn with_engine(self, kind: EngineKind) -> Self {
+        self.with_engine_handle(kind.handle())
     }
 }
 
@@ -97,22 +132,28 @@ pub struct Trainer {
     config: TrainConfig,
     sgd: Sgd,
     rng: StdRng,
+    ctx: ExecutionContext,
 }
 
 impl Trainer {
     /// Creates a trainer owning the network. When the config selects a
-    /// kernel engine, every layer with a sparse row-dataflow path switches
-    /// to it here.
+    /// kernel engine, the trainer resolves it once into its
+    /// [`ExecutionContext`] and switches every layer with a sparse
+    /// row-dataflow path to engine-driven execution.
     pub fn new(mut net: Sequential, config: TrainConfig) -> Self {
-        if let Some(kind) = config.engine {
-            use crate::layer::Layer as _;
-            net.set_engine(kind);
-        }
+        let ctx = match config.engine {
+            Some(handle) => {
+                net.set_sparse_execution(true);
+                ExecutionContext::new(handle)
+            }
+            None => ExecutionContext::scalar(),
+        };
         Self {
             net,
             sgd: Sgd::new(config.lr, config.momentum, config.weight_decay),
             rng: StdRng::seed_from_u64(config.seed),
             config,
+            ctx,
         }
     }
 
@@ -124,6 +165,17 @@ impl Trainer {
     /// Mutable access to the network.
     pub fn network_mut(&mut self) -> &mut Sequential {
         &mut self.net
+    }
+
+    /// The execution context the trainer threads through every pass.
+    pub fn context_mut(&mut self) -> &mut ExecutionContext {
+        &mut self.ctx
+    }
+
+    /// Name of the resolved kernel engine (`"scalar"` when training on the
+    /// default dense execution).
+    pub fn engine_name(&self) -> &'static str {
+        self.ctx.engine_name()
     }
 
     /// Updates the learning rate (for step schedules).
@@ -144,10 +196,12 @@ impl Trainer {
         let mut total_loss = 0.0f64;
         let mut correct = 0usize;
         for chunk in order.chunks(self.config.batch_size) {
-            let xs: Vec<Tensor3> = chunk.iter().map(|&i| data.images[i].clone()).collect();
+            // The batch borrows straight from the dataset — no per-image
+            // clone; layers take ownership only where backward needs it.
+            let xs = Batch::gather(&data.images, chunk);
             let labels: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
             self.net.zero_grads();
-            let outs = self.net.forward(xs, true);
+            let outs = self.net.forward(xs, &mut self.ctx, true);
             let mut grads = Vec::with_capacity(outs.len());
             for (out, &label) in outs.iter().zip(&labels) {
                 let logits = out.as_slice();
@@ -158,7 +212,7 @@ impl Trainer {
                 }
                 grads.push(Tensor3::from_vec(logits.len(), 1, 1, dlogits));
             }
-            self.net.backward(grads, &mut self.rng);
+            self.net.backward(grads, &mut self.ctx, &mut self.rng);
             self.sgd.step(&mut self.net, 1.0 / chunk.len() as f32);
         }
         EpochStats {
@@ -176,8 +230,8 @@ impl Trainer {
         let mut correct = 0usize;
         for chunk_start in (0..data.len()).step_by(self.config.batch_size) {
             let end = (chunk_start + self.config.batch_size).min(data.len());
-            let xs: Vec<Tensor3> = data.images[chunk_start..end].to_vec();
-            let outs = self.net.forward(xs, false);
+            let xs = Batch::borrowed(&data.images[chunk_start..end]);
+            let outs = self.net.forward(xs, &mut self.ctx, false);
             for (out, &label) in outs.iter().zip(&data.labels[chunk_start..end]) {
                 if argmax(out.as_slice()) == label {
                     correct += 1;
@@ -194,8 +248,8 @@ impl Trainer {
         let mut cm = ConfusionMatrix::new(classes);
         for chunk_start in (0..data.len()).step_by(self.config.batch_size) {
             let end = (chunk_start + self.config.batch_size).min(data.len());
-            let xs: Vec<Tensor3> = data.images[chunk_start..end].to_vec();
-            let outs = self.net.forward(xs, false);
+            let xs = Batch::borrowed(&data.images[chunk_start..end]);
+            let outs = self.net.forward(xs, &mut self.ctx, false);
             for (out, &label) in outs.iter().zip(&data.labels[chunk_start..end]) {
                 if label < classes {
                     cm.record_logits(label, out.as_slice());
@@ -214,8 +268,8 @@ impl Trainer {
         let mut hits = 0usize;
         for chunk_start in (0..data.len()).step_by(self.config.batch_size) {
             let end = (chunk_start + self.config.batch_size).min(data.len());
-            let xs: Vec<Tensor3> = data.images[chunk_start..end].to_vec();
-            let outs = self.net.forward(xs, false);
+            let xs = Batch::borrowed(&data.images[chunk_start..end]);
+            let outs = self.net.forward(xs, &mut self.ctx, false);
             for (out, &label) in outs.iter().zip(&data.labels[chunk_start..end]) {
                 if crate::metrics::in_top_k(out.as_slice(), label, k) {
                     hits += 1;
@@ -270,12 +324,13 @@ impl Trainer {
         assert!(!data.is_empty(), "cannot capture a trace from an empty dataset");
         let n = data.len();
         let bs = self.config.batch_size.min(n);
-        let xs: Vec<Tensor3> = (0..bs).map(|i| data.images[(start + i) % n].clone()).collect();
-        let labels: Vec<usize> = (0..bs).map(|i| data.labels[(start + i) % n]).collect();
+        let indices: Vec<usize> = (0..bs).map(|i| (start + i) % n).collect();
+        let xs = Batch::gather(&data.images, &indices);
+        let labels: Vec<usize> = indices.iter().map(|&i| data.labels[i]).collect();
         let labels = &labels[..];
         self.net.set_capture(true);
         self.net.zero_grads();
-        let outs = self.net.forward(xs, true);
+        let outs = self.net.forward(xs, &mut self.ctx, true);
         let grads: Vec<Tensor3> = outs
             .iter()
             .zip(labels)
@@ -284,7 +339,7 @@ impl Trainer {
                 Tensor3::from_vec(out.len(), 1, 1, dlogits)
             })
             .collect();
-        self.net.backward(grads, &mut self.rng);
+        self.net.backward(grads, &mut self.ctx, &mut self.rng);
         self.net.zero_grads(); // discard the gradient side effects
         let mut trace = NetworkTrace::new(model, dataset);
         self.net.collect_traces(&mut trace.layers);
@@ -304,11 +359,12 @@ impl Trainer {
         assert!(!data.is_empty(), "cannot tap gradients from an empty dataset");
         let n = data.len();
         let bs = self.config.batch_size.min(n);
-        let xs: Vec<Tensor3> = (0..bs).map(|i| data.images[i % n].clone()).collect();
-        let labels: Vec<usize> = (0..bs).map(|i| data.labels[i % n]).collect();
+        let indices: Vec<usize> = (0..bs).map(|i| i % n).collect();
+        let xs = Batch::gather(&data.images, &indices);
+        let labels: Vec<usize> = indices.iter().map(|&i| data.labels[i]).collect();
         self.net.set_grad_tap(true);
         self.net.zero_grads();
-        let outs = self.net.forward(xs, true);
+        let outs = self.net.forward(xs, &mut self.ctx, true);
         let grads: Vec<Tensor3> = outs
             .iter()
             .zip(&labels)
@@ -317,7 +373,7 @@ impl Trainer {
                 Tensor3::from_vec(out.len(), 1, 1, dlogits)
             })
             .collect();
-        self.net.backward(grads, &mut self.rng);
+        self.net.backward(grads, &mut self.ctx, &mut self.rng);
         self.net.zero_grads();
         let mut tapped = Vec::new();
         self.net.take_tapped_grads(&mut tapped);

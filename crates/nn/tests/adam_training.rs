@@ -9,6 +9,7 @@ use sparsetrain_nn::loss::softmax_cross_entropy;
 use sparsetrain_nn::models;
 use sparsetrain_nn::optim::Adam;
 use sparsetrain_nn::Layer;
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
 /// A minimal Adam training loop (the Trainer is SGD-specific by design —
@@ -26,7 +27,7 @@ fn train_adam(prune: Option<PruneConfig>, epochs: usize) -> (f64, f64) {
             let end = (start + batch).min(train.len());
             let xs: Vec<Tensor3> = train.images[start..end].to_vec();
             net.zero_grads();
-            let outs = net.forward(xs, true);
+            let outs = net.forward(xs.into(), &mut ExecutionContext::scalar(), true);
             let grads: Vec<Tensor3> = outs
                 .iter()
                 .zip(&train.labels[start..end])
@@ -35,7 +36,7 @@ fn train_adam(prune: Option<PruneConfig>, epochs: usize) -> (f64, f64) {
                     Tensor3::from_vec(out.len(), 1, 1, dlogits)
                 })
                 .collect();
-            net.backward(grads, &mut rng);
+            net.backward(grads, &mut ExecutionContext::scalar(), &mut rng);
             adam.step(&mut net, 1.0 / (end - start) as f32);
         }
     }
@@ -45,7 +46,7 @@ fn train_adam(prune: Option<PruneConfig>, epochs: usize) -> (f64, f64) {
     for start in (0..test.len()).step_by(batch) {
         let end = (start + batch).min(test.len());
         let xs: Vec<Tensor3> = test.images[start..end].to_vec();
-        let outs = net.forward(xs, false);
+        let outs = net.forward(xs.into(), &mut ExecutionContext::scalar(), false);
         for (out, &label) in outs.iter().zip(&test.labels[start..end]) {
             if sparsetrain_nn::loss::argmax(out.as_slice()) == label {
                 correct += 1;

@@ -8,6 +8,7 @@ use sparsetrain_nn::data::SyntheticSpec;
 use sparsetrain_nn::layer::Layer;
 use sparsetrain_nn::loss::softmax_cross_entropy;
 use sparsetrain_nn::models;
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::fixed::{quantization_error, quantize_slice};
 use sparsetrain_tensor::Tensor3;
 
@@ -18,7 +19,7 @@ fn activations_and_gradients_fit_q88_range() {
     let (train, _) = SyntheticSpec::tiny(3).generate();
     let mut net = models::mini_cnn(3, 6, None);
     let xs: Vec<Tensor3> = train.images[..8].to_vec();
-    let outs = net.forward(xs, true);
+    let outs = net.forward(xs.into(), &mut ExecutionContext::scalar(), true);
     let mut rng = StdRng::seed_from_u64(0);
     let grads: Vec<Tensor3> = outs
         .iter()
@@ -28,7 +29,7 @@ fn activations_and_gradients_fit_q88_range() {
             Tensor3::from_vec(o.len(), 1, 1, d)
         })
         .collect();
-    let dins = net.backward(grads.clone(), &mut rng);
+    let dins = net.backward(grads.clone(), &mut ExecutionContext::scalar(), &mut rng);
 
     for t in outs.iter().chain(&dins) {
         let (_err, saturated) = quantization_error::<8>(t.as_slice());

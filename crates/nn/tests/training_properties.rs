@@ -11,13 +11,14 @@ use sparsetrain_nn::layers::{BatchNorm2d, Conv2d, MaxPool2d, Relu};
 use sparsetrain_nn::models;
 use sparsetrain_nn::sequential::Sequential;
 use sparsetrain_nn::train::{TrainConfig, Trainer};
+use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::conv::ConvGeometry;
 use sparsetrain_tensor::Tensor3;
 
 /// `loss = <dout, net(x)>` — linear in the network output so the input
 /// gradient from backward should match finite differences of the loss.
 fn net_loss(net: &mut Sequential, xs: &[Tensor3], dout: &[Tensor3]) -> f32 {
-    let out = net.forward(xs.to_vec(), true);
+    let out = net.forward(xs.to_vec().into(), &mut ExecutionContext::scalar(), true);
     out.iter()
         .zip(dout)
         .map(|(o, d)| {
@@ -56,13 +57,13 @@ fn deep_network_input_gradient_matches_finite_difference() {
         .collect();
 
     let mut net = build_conv_bn_relu_pool();
-    net.forward(xs.clone(), true);
+    net.forward(xs.clone().into(), &mut ExecutionContext::scalar(), true);
     let mut rng = StdRng::seed_from_u64(0);
     let din = {
         // Re-run forward to set context right before backward.
         let mut n2 = build_conv_bn_relu_pool();
-        n2.forward(xs.clone(), true);
-        n2.backward(dout.clone(), &mut rng)
+        n2.forward(xs.clone().into(), &mut ExecutionContext::scalar(), true);
+        n2.backward(dout.clone(), &mut ExecutionContext::scalar(), &mut rng)
     };
 
     let eps = 1e-2;
@@ -134,13 +135,13 @@ fn zero_grads_between_batches_prevents_accumulation_leak() {
     let mut rng = StdRng::seed_from_u64(0);
     let xs = vec![Tensor3::from_vec(1, 1, 1, vec![2.0])];
     let g = vec![Tensor3::from_vec(1, 1, 1, vec![1.0])];
-    net.forward(xs.clone(), true);
-    net.backward(g.clone(), &mut rng);
+    net.forward(xs.clone().into(), &mut ExecutionContext::scalar(), true);
+    net.backward(g.clone(), &mut ExecutionContext::scalar(), &mut rng);
     let mut first = Vec::new();
     net.visit_params(&mut |_, grad| first.push(grad.to_vec()));
     net.zero_grads();
-    net.forward(xs, true);
-    net.backward(g, &mut rng);
+    net.forward(xs.into(), &mut ExecutionContext::scalar(), true);
+    net.backward(g, &mut ExecutionContext::scalar(), &mut rng);
     let mut second = Vec::new();
     net.visit_params(&mut |_, grad| second.push(grad.to_vec()));
     assert_eq!(first, second, "gradients leaked across zero_grads");

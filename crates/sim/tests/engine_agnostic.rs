@@ -10,7 +10,7 @@
 use sparsetrain_core::dataflow::{execute_conv, ConvLayerTrace, LayerTrace, NetworkTrace};
 use sparsetrain_sim::{ArchConfig, Machine};
 use sparsetrain_sparse::rowconv::SparseFeatureMap;
-use sparsetrain_sparse::EngineKind;
+use sparsetrain_sparse::{registry, ExecutionContext};
 use sparsetrain_tensor::conv::ConvGeometry;
 use sparsetrain_tensor::{Tensor3, Tensor4};
 
@@ -50,10 +50,17 @@ fn simulation_identical_across_engines() {
         ((f * 31 + c * 13 + u * 5 + v) % 7) as f32 * 0.125 - 0.375
     });
 
-    // Execute the trace numerics on both engines.
-    let scalar = execute_conv(&conv, EngineKind::Scalar.engine(), &weights, None);
-    let parallel = execute_conv(&conv, EngineKind::Parallel.engine(), &weights, None);
-    assert_eq!(scalar, parallel, "engine parity violated");
+    // Execute the trace numerics on both float engines, resolved by name
+    // through the registry (honouring a SPARSETRAIN_ENGINE override when it
+    // names a float engine — the fixed-point backend is intentionally not
+    // bitwise-comparable).
+    let scalar = execute_conv(&conv, &mut ExecutionContext::scalar(), &weights, None);
+    let selected = registry::env_override()
+        .expect("SPARSETRAIN_ENGINE must name a registered engine")
+        .filter(|h| h.name() != "fixed")
+        .unwrap_or_else(|| registry::lookup("parallel").unwrap());
+    let other = execute_conv(&conv, &mut ExecutionContext::new(selected), &weights, None);
+    assert_eq!(scalar, other, "engine parity violated on {}", selected.name());
 
     // The simulator consumes only the trace's op enumeration: one report,
     // no matter which engine computes the values.

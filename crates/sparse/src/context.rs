@@ -1,0 +1,200 @@
+//! The execution context: one resolved engine plus reusable scratch.
+//!
+//! [`ExecutionContext`] is the object call sites thread through a training
+//! or executor pass instead of re-resolving an engine token at every
+//! layer: it owns the resolved `&'static dyn KernelEngine` (picked once,
+//! by [`EngineHandle`]) and a [`Workspace`] of reusable scratch buffers for
+//! row-at-a-time callers. Construction is name-driven — from a registry
+//! handle, a string, or the `SPARSETRAIN_ENGINE` environment variable —
+//! so adding a backend never changes a call-site signature again.
+//!
+//! ```
+//! use sparsetrain_sparse::ExecutionContext;
+//!
+//! let mut ctx = ExecutionContext::by_name("parallel").unwrap();
+//! assert_eq!(ctx.engine_name(), "parallel");
+//! ctx.workspace().row(64); // reusable zeroed scratch
+//! ```
+
+use crate::engine::{KernelEngine, Workspace};
+use crate::mask::RowMask;
+use crate::registry::{env_override, lookup, EngineHandle, UnknownEngine};
+use crate::rowconv::SparseFeatureMap;
+use sparsetrain_tensor::conv::ConvGeometry;
+use sparsetrain_tensor::{Tensor3, Tensor4};
+
+/// A resolved engine plus the scratch it executes with.
+///
+/// Cheap to construct; the workspace grows lazily to the largest row it is
+/// asked for and is then reused, so one context per trainer/executor keeps
+/// every row-level call allocation-free.
+#[derive(Debug)]
+pub struct ExecutionContext {
+    handle: EngineHandle,
+    workspace: Workspace,
+}
+
+impl ExecutionContext {
+    /// Context executing on the engine `handle` resolves to.
+    pub fn new(handle: EngineHandle) -> Self {
+        Self {
+            handle,
+            workspace: Workspace::new(),
+        }
+    }
+
+    /// Context on the reference scalar engine.
+    pub fn scalar() -> Self {
+        Self::new(lookup("scalar").expect("scalar engine is always registered"))
+    }
+
+    /// Context on a registered engine, by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownEngine`] when `name` is not registered.
+    pub fn by_name(name: &str) -> Result<Self, UnknownEngine> {
+        name.parse().map(Self::new)
+    }
+
+    /// Context from the `SPARSETRAIN_ENGINE` environment override, falling
+    /// back to the scalar engine when the variable is unset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownEngine`] when the variable names an unregistered
+    /// engine.
+    pub fn from_env() -> Result<Self, UnknownEngine> {
+        Ok(env_override()?.map_or_else(Self::scalar, Self::new))
+    }
+
+    /// The registry handle this context resolved.
+    pub fn handle(&self) -> EngineHandle {
+        self.handle
+    }
+
+    /// The resolved engine.
+    pub fn engine(&self) -> &'static dyn KernelEngine {
+        self.handle.engine()
+    }
+
+    /// The resolved engine's registered name.
+    pub fn engine_name(&self) -> &'static str {
+        self.handle.name()
+    }
+
+    /// The reusable scratch buffers for row-at-a-time execution.
+    pub fn workspace(&mut self) -> &mut Workspace {
+        &mut self.workspace
+    }
+
+    /// Batched forward step on the resolved engine (see
+    /// [`KernelEngine::forward_batch_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward_batch(
+        &mut self,
+        inputs: &[SparseFeatureMap],
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+    ) -> Vec<Tensor3> {
+        self.engine().forward_batch(inputs, weights, bias, geom)
+    }
+
+    /// Batched GTA step on the resolved engine (see
+    /// [`KernelEngine::input_grad_batch_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn input_grad_batch(
+        &mut self,
+        douts: &[SparseFeatureMap],
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        in_h: usize,
+        in_w: usize,
+        masks: &[Vec<RowMask>],
+    ) -> Vec<Tensor3> {
+        self.engine()
+            .input_grad_batch(douts, weights, geom, in_h, in_w, masks)
+    }
+
+    /// Batched GTW step on the resolved engine, accumulating into `dw`
+    /// (see [`KernelEngine::weight_grad_batch_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn weight_grad_batch(
+        &mut self,
+        inputs: &[SparseFeatureMap],
+        douts: &[SparseFeatureMap],
+        geom: ConvGeometry,
+        dw: &mut Tensor4,
+    ) {
+        self.engine().weight_grad_batch_into(inputs, douts, geom, dw);
+    }
+}
+
+impl Default for ExecutionContext {
+    fn default() -> Self {
+        Self::scalar()
+    }
+}
+
+impl From<EngineHandle> for ExecutionContext {
+    fn from(handle: EngineHandle) -> Self {
+        Self::new(handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_scalar() {
+        let ctx = ExecutionContext::default();
+        assert_eq!(ctx.engine_name(), "scalar");
+        assert_eq!(ctx.handle().name(), "scalar");
+    }
+
+    #[test]
+    fn by_name_resolves_every_builtin() {
+        for name in ["scalar", "parallel", "fixed"] {
+            assert_eq!(ExecutionContext::by_name(name).unwrap().engine_name(), name);
+        }
+        assert!(ExecutionContext::by_name("nope").is_err());
+    }
+
+    #[test]
+    fn batch_helpers_execute_on_the_resolved_engine() {
+        let mut ctx = ExecutionContext::by_name("parallel").unwrap();
+        let geom = ConvGeometry::new(3, 1, 1);
+        let inputs: Vec<SparseFeatureMap> = (0..3)
+            .map(|s| {
+                SparseFeatureMap::from_tensor(&Tensor3::from_fn(2, 5, 5, |c, y, x| {
+                    if (s + c + y + x) % 2 == 0 {
+                        (y + x) as f32 * 0.25 - s as f32 * 0.125
+                    } else {
+                        0.0
+                    }
+                }))
+            })
+            .collect();
+        let weights = Tensor4::from_fn(2, 2, 3, 3, |f, c, u, v| ((f + c + u + v) % 3) as f32 * 0.5 - 0.5);
+        let outs = ctx.forward_batch(&inputs, &weights, None, geom);
+        assert_eq!(outs.len(), 3);
+        for (input, out) in inputs.iter().zip(&outs) {
+            let want = crate::engine::ScalarEngine.forward(input, &weights, None, geom);
+            assert_eq!(out.as_slice(), want.as_slice());
+        }
+        let mut dw = Tensor4::zeros(2, 2, 3, 3);
+        ctx.weight_grad_batch(&inputs, &inputs, geom, &mut dw);
+        assert!(dw.as_slice().iter().any(|&v| v != 0.0));
+    }
+}

@@ -19,14 +19,26 @@
 //!   untouched, its results are **bitwise identical** to the scalar
 //!   engine's — verified by the `engine_parity` property tests.
 //!
+//! Both engines also serve whole batches: the [`KernelEngine`] batch entry
+//! points (`forward_batch_into`, `input_grad_batch_into`,
+//! `weight_grad_batch_into`) default to sample-order fallbacks that define
+//! the result, and [`ParallelEngine`] overrides them to band across
+//! `samples × filters` so multi-core speedup scales with batch size, not
+//! just layer width.
+//!
 //! [`Workspace`] is the companion scratch-buffer type for row-at-a-time
 //! callers (benches, op-stream execution): it owns reusable output/tap
 //! buffers so single-row kernel calls need no allocation either.
 //!
-//! Engine selection plumbs upward as [`EngineKind`] (a tiny `Copy` token)
-//! through `sparsetrain-nn`'s `Conv2d`/`Trainer` and the dataflow executor
-//! in `sparsetrain-core`; the simulator's cycle accounting consumes the
-//! same op enumeration and is engine-agnostic by construction.
+//! Engine selection is name-keyed: the open registry in
+//! [`crate::registry`] maps `"scalar"` / `"parallel"` / `"fixed"` (and
+//! anything registered at runtime) to engine instances, and
+//! [`crate::context::ExecutionContext`] carries the resolved engine plus
+//! scratch through `sparsetrain-nn`'s `Trainer`/`Conv2d` and the dataflow
+//! executor in `sparsetrain-core`; the simulator's cycle accounting
+//! consumes the same op enumeration and is engine-agnostic by
+//! construction. The old closed [`EngineKind`] token remains as a
+//! deprecated shim.
 
 use crate::compressed::SparseVec;
 use crate::mask::RowMask;
@@ -37,26 +49,40 @@ use crate::src::src_accumulate;
 use sparsetrain_tensor::conv::ConvGeometry;
 use sparsetrain_tensor::{Tensor3, Tensor4};
 
-/// Selects a [`KernelEngine`] implementation; the token that plumbs through
-/// configuration layers (`TrainConfig`, `Conv2d`, executors).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Closed-set engine selector superseded by the open, name-keyed registry.
+///
+/// Kept for one release as a thin alias: each variant forwards to the
+/// registry entry of the same name. New code selects engines through
+/// [`crate::registry::EngineHandle`] (`"scalar"`, `"parallel"`, `"fixed"`,
+/// plus anything registered at runtime) or
+/// [`crate::context::ExecutionContext`].
+#[deprecated(
+    since = "0.2.0",
+    note = "select engines by name through the registry (`registry::lookup`, \
+            `ExecutionContext::by_name`, `TrainConfig::with_engine_name`)"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
     /// Reference single-threaded execution.
-    #[default]
     Scalar,
     /// Band-parallel execution over rows/channels.
     Parallel,
 }
 
+// Not derived: the derive would emit a deprecation warning for naming the
+// deprecated variant in generated code.
+#[allow(deprecated, clippy::derivable_impls)]
+impl Default for EngineKind {
+    fn default() -> Self {
+        EngineKind::Scalar
+    }
+}
+
+#[allow(deprecated)]
 impl EngineKind {
     /// The shared engine instance for this kind.
     pub fn engine(self) -> &'static dyn KernelEngine {
-        static SCALAR: ScalarEngine = ScalarEngine;
-        static PARALLEL: ParallelEngine = ParallelEngine::auto();
-        match self {
-            EngineKind::Scalar => &SCALAR,
-            EngineKind::Parallel => &PARALLEL,
-        }
+        self.handle().engine()
     }
 
     /// Short display name.
@@ -65,6 +91,18 @@ impl EngineKind {
             EngineKind::Scalar => "scalar",
             EngineKind::Parallel => "parallel",
         }
+    }
+
+    /// The registry handle this legacy token forwards to.
+    pub fn handle(self) -> crate::registry::EngineHandle {
+        crate::registry::lookup(self.name()).expect("built-in engines are always registered")
+    }
+}
+
+#[allow(deprecated)]
+impl From<EngineKind> for crate::registry::EngineHandle {
+    fn from(kind: EngineKind) -> Self {
+        kind.handle()
     }
 }
 
@@ -122,6 +160,179 @@ pub trait KernelEngine: Send + Sync {
         geom: ConvGeometry,
         dw: &mut Tensor4,
     );
+
+    // -- Batched entry points ------------------------------------------------
+    //
+    // One engine call per batch: the accelerator streams whole batches
+    // through the datapath to amortize control overhead, and the software
+    // engines mirror that here. The defaults fall back to the per-sample
+    // methods in sample order, which *defines* the result: every override
+    // must stay bitwise identical to it (verified by the `engine_parity`
+    // property tests).
+
+    /// Forward step for a whole batch: `outs[s]` receives the forward
+    /// output of `inputs[s]`, exactly as `forward_into` would produce it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != outs.len()` or on per-sample shape
+    /// mismatches.
+    fn forward_batch_into(
+        &self,
+        inputs: &[SparseFeatureMap],
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+        outs: &mut [Tensor3],
+    ) {
+        assert_eq!(inputs.len(), outs.len(), "batch length mismatch");
+        for (input, out) in inputs.iter().zip(outs.iter_mut()) {
+            self.forward_into(input, weights, bias, geom, out);
+        }
+    }
+
+    /// GTA step for a whole batch; `masks[s]` carries sample `s`'s forward
+    /// non-zero masks (one per `(channel, input row)` in channel-major
+    /// order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch slices disagree in length or on per-sample shape
+    /// mismatches.
+    fn input_grad_batch_into(
+        &self,
+        douts: &[SparseFeatureMap],
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        masks: &[Vec<RowMask>],
+        dins: &mut [Tensor3],
+    ) {
+        assert_eq!(douts.len(), dins.len(), "batch length mismatch");
+        assert_eq!(douts.len(), masks.len(), "batch mask length mismatch");
+        for ((dout, mask), din) in douts.iter().zip(masks).zip(dins.iter_mut()) {
+            self.input_grad_into(dout, weights, geom, mask, din);
+        }
+    }
+
+    /// GTW step for a whole batch: accumulates every sample's weight
+    /// gradient into the shared `dw`, in sample order — the batch-level
+    /// gradient the optimizer consumes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != douts.len()` or on per-sample shape
+    /// mismatches.
+    fn weight_grad_batch_into(
+        &self,
+        inputs: &[SparseFeatureMap],
+        douts: &[SparseFeatureMap],
+        geom: ConvGeometry,
+        dw: &mut Tensor4,
+    ) {
+        assert_eq!(inputs.len(), douts.len(), "batch length mismatch");
+        for (input, dout) in inputs.iter().zip(douts) {
+            self.weight_grad_into(input, dout, geom, dw);
+        }
+    }
+
+    // -- Allocating conveniences ---------------------------------------------
+
+    /// Forward step into a freshly allocated output tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    fn forward(
+        &self,
+        input: &SparseFeatureMap,
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+    ) -> Tensor3 {
+        let oh = geom.output_extent(input.height());
+        let ow = geom.output_extent(input.width());
+        let mut out = Tensor3::zeros(weights.filters(), oh, ow);
+        self.forward_into(input, weights, bias, geom, &mut out);
+        out
+    }
+
+    /// GTA step into a freshly allocated input-gradient tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    fn input_grad(
+        &self,
+        dout: &SparseFeatureMap,
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        in_h: usize,
+        in_w: usize,
+        masks: &[RowMask],
+    ) -> Tensor3 {
+        let mut din = Tensor3::zeros(weights.channels(), in_h, in_w);
+        self.input_grad_into(dout, weights, geom, masks, &mut din);
+        din
+    }
+
+    /// GTW step into a freshly allocated weight-gradient tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    fn weight_grad(&self, input: &SparseFeatureMap, dout: &SparseFeatureMap, geom: ConvGeometry) -> Tensor4 {
+        let mut dw = Tensor4::zeros(dout.channels(), input.channels(), geom.kernel, geom.kernel);
+        self.weight_grad_into(input, dout, geom, &mut dw);
+        dw
+    }
+
+    /// Batched forward step into freshly allocated output tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on per-sample shape mismatches.
+    fn forward_batch(
+        &self,
+        inputs: &[SparseFeatureMap],
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+    ) -> Vec<Tensor3> {
+        let mut outs: Vec<Tensor3> = inputs
+            .iter()
+            .map(|input| {
+                let oh = geom.output_extent(input.height());
+                let ow = geom.output_extent(input.width());
+                Tensor3::zeros(weights.filters(), oh, ow)
+            })
+            .collect();
+        self.forward_batch_into(inputs, weights, bias, geom, &mut outs);
+        outs
+    }
+
+    /// Batched GTA step into freshly allocated input-gradient tensors (all
+    /// samples share the `in_h × in_w` spatial extent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch slices disagree in length or on per-sample shape
+    /// mismatches.
+    fn input_grad_batch(
+        &self,
+        douts: &[SparseFeatureMap],
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        in_h: usize,
+        in_w: usize,
+        masks: &[Vec<RowMask>],
+    ) -> Vec<Tensor3> {
+        let mut dins: Vec<Tensor3> = douts
+            .iter()
+            .map(|_| Tensor3::zeros(weights.channels(), in_h, in_w))
+            .collect();
+        self.input_grad_batch_into(douts, weights, geom, masks, &mut dins);
+        dins
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -373,11 +584,17 @@ impl ParallelEngine {
     const MIN_OPS_PER_BAND: usize = 128 * 1024;
 
     fn bands(&self, units: usize, ops_per_unit: usize) -> usize {
+        self.bands_for_total(units, units.saturating_mul(ops_per_unit))
+    }
+
+    /// Band count for `units` independent output units carrying `total_ops`
+    /// MACs altogether (used directly by the batched paths, where per-unit
+    /// work varies across samples).
+    fn bands_for_total(&self, units: usize, total_ops: usize) -> usize {
         if self.threads != 0 {
             return self.threads.clamp(1, units.max(1));
         }
-        let total_ops = units.saturating_mul(ops_per_unit).max(1);
-        let by_work = total_ops.div_ceil(Self::MIN_OPS_PER_BAND);
+        let by_work = total_ops.max(1).div_ceil(Self::MIN_OPS_PER_BAND);
         rayon::current_num_threads().min(by_work).clamp(1, units.max(1))
     }
 }
@@ -411,6 +628,49 @@ where
                 work(first, band);
             } else {
                 scope.spawn(move |_| work(first, band));
+            }
+        }
+    });
+}
+
+/// Splits a batch of per-sample slices (each holding `units` blocks of
+/// `unit_len` elements) into `bands` near-equal contiguous chunks of the
+/// *global* `samples × units` space and runs
+/// `work(sample, first_unit, chunk)` for each chunk in parallel.
+///
+/// Chunks never span samples (a global band that crosses a sample boundary
+/// becomes one chunk per sample), so each worker sees one sample's
+/// contiguous unit range — the per-unit iteration order is exactly the
+/// scalar order and results stay bitwise identical.
+fn for_each_batch_band<F>(samples: Vec<&mut [f32]>, units: usize, unit_len: usize, bands: usize, work: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    let total_units = samples.len() * units;
+    if bands <= 1 || total_units <= 1 {
+        for (s, slice) in samples.into_iter().enumerate() {
+            work(s, 0, slice);
+        }
+        return;
+    }
+    let per_band = total_units.div_ceil(bands);
+    let work = &work;
+    rayon::scope(|scope| {
+        for (s, slice) in samples.into_iter().enumerate() {
+            debug_assert_eq!(slice.len(), units * unit_len);
+            let mut rest = slice;
+            let mut unit = 0usize;
+            while unit < units {
+                let global = s * units + unit;
+                // End of the global band this unit falls into, clamped to
+                // the sample boundary.
+                let band_end = (global / per_band + 1) * per_band;
+                let n = (band_end - global).min(units - unit);
+                let (chunk, tail) = rest.split_at_mut(n * unit_len);
+                rest = tail;
+                let first = unit;
+                unit += n;
+                scope.spawn(move |_| work(s, first, chunk));
             }
         }
     });
@@ -468,6 +728,95 @@ impl KernelEngine for ParallelEngine {
         let bands = self.bands(f, input.nnz() * geom.kernel);
         for_each_band(dw.as_mut_slice(), f, c * k * k, bands, |f_lo, band| {
             weight_grad_band(input, dout, geom, f_lo, band);
+        });
+    }
+
+    fn forward_batch_into(
+        &self,
+        inputs: &[SparseFeatureMap],
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+        outs: &mut [Tensor3],
+    ) {
+        assert_eq!(inputs.len(), outs.len(), "batch length mismatch");
+        let Some(first) = inputs.first() else { return };
+        // Mixed-shape batches band per sample instead (still bitwise equal
+        // to the scalar order — banding never reorders accumulation).
+        if !inputs
+            .iter()
+            .all(|i| i.height() == first.height() && i.width() == first.width())
+        {
+            for (input, out) in inputs.iter().zip(outs.iter_mut()) {
+                self.forward_into(input, weights, bias, geom, out);
+            }
+            return;
+        }
+        let mut oh = 0;
+        let mut ow = 0;
+        for (input, out) in inputs.iter().zip(outs.iter()) {
+            check_forward(input, weights, bias, geom, out);
+            (_, oh, ow) = out.shape();
+        }
+        let f = weights.filters();
+        let total_ops: usize = inputs.iter().map(|i| i.nnz() * geom.kernel).sum();
+        let bands = self.bands_for_total(inputs.len() * f, total_ops);
+        let slices: Vec<&mut [f32]> = outs.iter_mut().map(Tensor3::as_mut_slice).collect();
+        for_each_batch_band(slices, f, oh * ow, bands, |s, f_lo, chunk| {
+            forward_band(&inputs[s], weights, bias, geom, oh, ow, f_lo, chunk);
+        });
+    }
+
+    fn input_grad_batch_into(
+        &self,
+        douts: &[SparseFeatureMap],
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        masks: &[Vec<RowMask>],
+        dins: &mut [Tensor3],
+    ) {
+        assert_eq!(douts.len(), dins.len(), "batch length mismatch");
+        assert_eq!(douts.len(), masks.len(), "batch mask length mismatch");
+        let Some(first) = dins.first() else { return };
+        let (c, in_h, in_w) = first.shape();
+        if !dins.iter().all(|d| d.shape() == (c, in_h, in_w)) {
+            for ((dout, mask), din) in douts.iter().zip(masks).zip(dins.iter_mut()) {
+                self.input_grad_into(dout, weights, geom, mask, din);
+            }
+            return;
+        }
+        for ((dout, mask), din) in douts.iter().zip(masks).zip(dins.iter()) {
+            check_input_grad(dout, weights, geom, mask, din);
+        }
+        let total_ops: usize = douts.iter().map(|d| d.nnz() * geom.kernel).sum();
+        let bands = self.bands_for_total(dins.len() * c, total_ops);
+        let slices: Vec<&mut [f32]> = dins.iter_mut().map(Tensor3::as_mut_slice).collect();
+        for_each_batch_band(slices, c, in_h * in_w, bands, |s, c_lo, chunk| {
+            input_grad_band(&douts[s], weights, geom, &masks[s], in_h, in_w, c_lo, chunk);
+        });
+    }
+
+    fn weight_grad_batch_into(
+        &self,
+        inputs: &[SparseFeatureMap],
+        douts: &[SparseFeatureMap],
+        geom: ConvGeometry,
+        dw: &mut Tensor4,
+    ) {
+        assert_eq!(inputs.len(), douts.len(), "batch length mismatch");
+        for (input, dout) in inputs.iter().zip(douts) {
+            check_weight_grad(input, dout, geom, dw);
+        }
+        let (f, c, k, _) = dw.shape();
+        // The batch shares one dW, so parallelism stays across filters;
+        // each filter band accumulates its samples in order, keeping the
+        // per-tap accumulation sequence identical to the per-sample path.
+        let total_ops: usize = inputs.iter().map(|i| i.nnz() * geom.kernel).sum();
+        let bands = self.bands_for_total(f, total_ops);
+        for_each_band(dw.as_mut_slice(), f, c * k * k, bands, |f_lo, band| {
+            for (input, dout) in inputs.iter().zip(douts) {
+                weight_grad_band(input, dout, geom, f_lo, band);
+            }
         });
     }
 }
@@ -584,7 +933,6 @@ impl Workspace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rowconv;
     use sparsetrain_tensor::Tensor3;
 
     fn pseudo(seed: &mut u64) -> f32 {
@@ -637,10 +985,8 @@ mod tests {
     #[test]
     fn parallel_forward_bitwise_matches_scalar() {
         let (input, weights, bias, _, geom) = fixtures(99);
-        let scalar =
-            rowconv::forward_rows_with(EngineKind::Scalar.engine(), &input, &weights, Some(&bias), geom);
-        let parallel =
-            rowconv::forward_rows_with(EngineKind::Parallel.engine(), &input, &weights, Some(&bias), geom);
+        let scalar = ScalarEngine.forward(&input, &weights, Some(&bias), geom);
+        let parallel = ParallelEngine::auto().forward(&input, &weights, Some(&bias), geom);
         assert_eq!(scalar.as_slice(), parallel.as_slice());
     }
 
@@ -648,19 +994,89 @@ mod tests {
     fn parallel_input_grad_bitwise_matches_scalar() {
         let (input, weights, _, dout, geom) = fixtures(7);
         let masks = input.masks();
-        let scalar =
-            rowconv::input_grad_rows_with(EngineKind::Scalar.engine(), &dout, &weights, geom, 8, 8, &masks);
-        let parallel =
-            rowconv::input_grad_rows_with(EngineKind::Parallel.engine(), &dout, &weights, geom, 8, 8, &masks);
+        let scalar = ScalarEngine.input_grad(&dout, &weights, geom, 8, 8, &masks);
+        let parallel = ParallelEngine::auto().input_grad(&dout, &weights, geom, 8, 8, &masks);
         assert_eq!(scalar.as_slice(), parallel.as_slice());
     }
 
     #[test]
     fn parallel_weight_grad_bitwise_matches_scalar() {
         let (input, _, _, dout, geom) = fixtures(23);
-        let scalar = rowconv::weight_grad_rows_with(EngineKind::Scalar.engine(), &input, &dout, geom);
-        let parallel = rowconv::weight_grad_rows_with(EngineKind::Parallel.engine(), &input, &dout, geom);
+        let scalar = ScalarEngine.weight_grad(&input, &dout, geom);
+        let parallel = ParallelEngine::auto().weight_grad(&input, &dout, geom);
         assert_eq!(scalar.as_slice(), parallel.as_slice());
+    }
+
+    fn batch_fixtures(n: usize) -> (Vec<SparseFeatureMap>, Tensor4, Vec<f32>, Vec<SparseFeatureMap>) {
+        let mut inputs = Vec::new();
+        let mut douts = Vec::new();
+        let (mut weights, mut bias) = (None, None);
+        for s in 0..n {
+            let (input, w, b, dout, _) = fixtures(100 + s as u64 * 17);
+            inputs.push(input);
+            douts.push(dout);
+            weights.get_or_insert(w);
+            bias.get_or_insert(b);
+        }
+        (inputs, weights.unwrap(), bias.unwrap(), douts)
+    }
+
+    #[test]
+    fn parallel_batched_forward_matches_per_sample() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let (inputs, weights, bias, _) = batch_fixtures(5);
+        for threads in [1usize, 2, 3, 8] {
+            let engine = ParallelEngine::with_threads(threads);
+            let batched = engine.forward_batch(&inputs, &weights, Some(&bias), geom);
+            for (input, got) in inputs.iter().zip(&batched) {
+                let want = ScalarEngine.forward(input, &weights, Some(&bias), geom);
+                assert_eq!(got.as_slice(), want.as_slice(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_batched_weight_grad_matches_per_sample() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let (inputs, _, _, douts) = batch_fixtures(4);
+        for threads in [1usize, 2, 7] {
+            let engine = ParallelEngine::with_threads(threads);
+            let mut batched = Tensor4::zeros(4, 3, 3, 3);
+            engine.weight_grad_batch_into(&inputs, &douts, geom, &mut batched);
+            let mut want = Tensor4::zeros(4, 3, 3, 3);
+            for (input, dout) in inputs.iter().zip(&douts) {
+                ScalarEngine.weight_grad_into(input, dout, geom, &mut want);
+            }
+            assert_eq!(batched.as_slice(), want.as_slice(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_batched_input_grad_matches_per_sample() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let (inputs, weights, _, douts) = batch_fixtures(3);
+        let masks: Vec<Vec<RowMask>> = inputs.iter().map(SparseFeatureMap::masks).collect();
+        for threads in [1usize, 2, 5] {
+            let engine = ParallelEngine::with_threads(threads);
+            let batched = engine.input_grad_batch(&douts, &weights, geom, 8, 8, &masks);
+            for ((dout, mask), got) in douts.iter().zip(&masks).zip(&batched) {
+                let want = ScalarEngine.input_grad(dout, &weights, geom, 8, 8, mask);
+                assert_eq!(got.as_slice(), want.as_slice(), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_no_ops() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let weights = Tensor4::from_fn(2, 2, 3, 3, |_, _, _, _| 1.0);
+        let mut dw = Tensor4::zeros(2, 2, 3, 3);
+        for engine in [&ScalarEngine as &dyn KernelEngine, &ParallelEngine::auto()] {
+            engine.forward_batch_into(&[], &weights, None, geom, &mut []);
+            engine.input_grad_batch_into(&[], &weights, geom, &[], &mut []);
+            engine.weight_grad_batch_into(&[], &[], geom, &mut dw);
+        }
+        assert!(dw.as_slice().iter().all(|&v| v == 0.0));
     }
 
     #[test]
@@ -684,10 +1100,14 @@ mod tests {
     }
 
     #[test]
-    fn engine_kind_resolves_names() {
+    #[allow(deprecated)]
+    fn engine_kind_shim_forwards_to_registry() {
         assert_eq!(EngineKind::Scalar.engine().name(), "scalar");
         assert_eq!(EngineKind::Parallel.engine().name(), "parallel");
         assert_eq!(EngineKind::default(), EngineKind::Scalar);
+        assert_eq!(EngineKind::Parallel.handle().name(), "parallel");
+        let handle: crate::registry::EngineHandle = EngineKind::Scalar.into();
+        assert_eq!(handle.name(), "scalar");
     }
 
     #[test]
@@ -729,8 +1149,8 @@ mod tests {
         let (input, weights, bias, _, geom) = fixtures(5);
         for threads in [1usize, 2, 7, 64] {
             let engine = ParallelEngine::with_threads(threads);
-            let got = rowconv::forward_rows_with(&engine, &input, &weights, Some(&bias), geom);
-            let want = rowconv::forward_rows(&input, &weights, Some(&bias), geom);
+            let got = engine.forward(&input, &weights, Some(&bias), geom);
+            let want = ScalarEngine.forward(&input, &weights, Some(&bias), geom);
             assert_eq!(got.as_slice(), want.as_slice(), "threads {threads}");
         }
     }

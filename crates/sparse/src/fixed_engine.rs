@@ -1,0 +1,223 @@
+//! Q-format fixed-point kernel engine mirroring the 16-bit RTL datapath.
+//!
+//! The paper's accelerator computes in 16-bit fixed point while the
+//! reference training runs in float. [`FixedPointEngine`] models that
+//! datapath at the engine seam: every operand entering a convolution stage
+//! (activation/gradient rows, kernel taps, bias) is first rounded to the
+//! engine's [`QFormat`], the row accumulation itself runs in `f32`
+//! (modelling the hardware's wide accumulator), and the stage's result
+//! tensor is rounded again on store — so outputs, input gradients and the
+//! accumulated weight gradients all live on the 16-bit grid.
+//!
+//! Two consequences the tests pin down:
+//!
+//! * values already on the grid round-trip exactly, so a convolution whose
+//!   inputs, taps and exact results are representable matches
+//!   [`ScalarEngine`] bit for bit;
+//! * otherwise the error per output is bounded by the accumulated
+//!   per-term rounding (see `fixed_point_error_bounds` in the
+//!   `engine_parity` suite).
+//!
+//! This is a *modelling* backend: it clones and quantizes its operands per
+//! call and makes no attempt at speed. Select it by name (`"fixed"`) via
+//! the [registry](crate::registry).
+
+use crate::engine::{KernelEngine, ScalarEngine};
+use crate::mask::RowMask;
+use crate::rowconv::SparseFeatureMap;
+use sparsetrain_tensor::conv::ConvGeometry;
+use sparsetrain_tensor::qformat::QFormat;
+use sparsetrain_tensor::{Tensor3, Tensor4};
+
+/// Kernel engine that executes all three training stages on a 16-bit
+/// Q-format grid (default Q8.8, the paper-typical activation format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedPointEngine {
+    fmt: QFormat,
+}
+
+impl FixedPointEngine {
+    /// Engine computing in the given 16-bit Q-format.
+    pub const fn new(fmt: QFormat) -> Self {
+        Self { fmt }
+    }
+
+    /// The paper-typical Q8.8 datapath.
+    pub const fn q8_8() -> Self {
+        Self::new(QFormat::q8_8())
+    }
+
+    /// The Q-format this engine computes in.
+    pub const fn format(&self) -> QFormat {
+        self.fmt
+    }
+
+    fn quantize_map(&self, fm: &SparseFeatureMap) -> SparseFeatureMap {
+        fm.map_values(|v| self.fmt.roundtrip(v))
+    }
+
+    fn quantize_weights(&self, weights: &Tensor4) -> Tensor4 {
+        let mut q = weights.clone();
+        self.fmt.roundtrip_slice(q.as_mut_slice());
+        q
+    }
+}
+
+impl Default for FixedPointEngine {
+    fn default() -> Self {
+        Self::q8_8()
+    }
+}
+
+impl KernelEngine for FixedPointEngine {
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+
+    fn forward_into(
+        &self,
+        input: &SparseFeatureMap,
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+        out: &mut Tensor3,
+    ) {
+        let q_input = self.quantize_map(input);
+        let q_weights = self.quantize_weights(weights);
+        let q_bias = bias.map(|b| b.iter().map(|&v| self.fmt.roundtrip(v)).collect::<Vec<f32>>());
+        ScalarEngine.forward_into(&q_input, &q_weights, q_bias.as_deref(), geom, out);
+        self.fmt.roundtrip_slice(out.as_mut_slice());
+    }
+
+    fn input_grad_into(
+        &self,
+        dout: &SparseFeatureMap,
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        masks: &[RowMask],
+        din: &mut Tensor3,
+    ) {
+        let q_dout = self.quantize_map(dout);
+        let q_weights = self.quantize_weights(weights);
+        ScalarEngine.input_grad_into(&q_dout, &q_weights, geom, masks, din);
+        self.fmt.roundtrip_slice(din.as_mut_slice());
+    }
+
+    fn weight_grad_into(
+        &self,
+        input: &SparseFeatureMap,
+        dout: &SparseFeatureMap,
+        geom: ConvGeometry,
+        dw: &mut Tensor4,
+    ) {
+        let q_input = self.quantize_map(input);
+        let q_dout = self.quantize_map(dout);
+        ScalarEngine.weight_grad_into(&q_input, &q_dout, geom, dw);
+        // dW accumulates across the batch in caller-owned storage; rounding
+        // after every sample models a Q-format gradient accumulator memory.
+        self.fmt.roundtrip_slice(dw.as_mut_slice());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A feature map whose values (multiples of 0.25) and whose products
+    /// with 0.25-grid weights stay exactly representable in Q8.8.
+    fn grid_map() -> SparseFeatureMap {
+        SparseFeatureMap::from_tensor(&Tensor3::from_fn(2, 4, 4, |c, y, x| {
+            if (c + y + x) % 2 == 0 {
+                (y as f32 - x as f32) * 0.25 + c as f32 * 0.5
+            } else {
+                0.0
+            }
+        }))
+    }
+
+    fn grid_weights() -> Tensor4 {
+        Tensor4::from_fn(3, 2, 3, 3, |f, c, u, v| {
+            ((f + c + u + v) % 4) as f32 * 0.25 - 0.25
+        })
+    }
+
+    #[test]
+    fn exact_on_representable_values() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let input = grid_map();
+        let weights = grid_weights();
+        let bias = [0.5f32, -0.25, 0.0];
+        let fixed = FixedPointEngine::q8_8().forward(&input, &weights, Some(&bias), geom);
+        let float = ScalarEngine.forward(&input, &weights, Some(&bias), geom);
+        assert_eq!(fixed.as_slice(), float.as_slice());
+    }
+
+    #[test]
+    fn output_sits_on_the_q_grid() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let input = SparseFeatureMap::from_tensor(&Tensor3::from_fn(2, 5, 5, |c, y, x| {
+            ((c * 13 + y * 7 + x * 3) % 11) as f32 * 0.137 - 0.6
+        }));
+        let weights = Tensor4::from_fn(2, 2, 3, 3, |f, c, u, v| {
+            ((f * 31 + c * 17 + u * 5 + v) % 9) as f32 * 0.211 - 0.8
+        });
+        let engine = FixedPointEngine::q8_8();
+        let out = engine.forward(&input, &weights, None, geom);
+        let eps = engine.format().epsilon();
+        for &v in out.as_slice() {
+            let steps = v / eps;
+            assert_eq!(steps, steps.round(), "output {v} is off the Q8.8 grid");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_to_format_range() {
+        let geom = ConvGeometry::unit();
+        let input = SparseFeatureMap::from_tensor(&Tensor3::from_vec(1, 1, 2, vec![100.0, -100.0]));
+        let weights = Tensor4::from_vec(1, 1, 1, 1, vec![100.0]);
+        let engine = FixedPointEngine::q8_8();
+        let out = engine.forward(&input, &weights, None, geom);
+        let eps = engine.format().epsilon();
+        // The operands are representable but their product is far outside
+        // the format's range; the 16-bit store saturates it (two's
+        // complement: the negative rail reaches one epsilon further).
+        assert_eq!(out.get(0, 0, 0), engine.format().max_value());
+        assert_eq!(out.get(0, 0, 1), i16::MIN as f32 * eps);
+    }
+
+    #[test]
+    fn format_is_configurable() {
+        let coarse = FixedPointEngine::new(QFormat::new(4));
+        assert_eq!(coarse.format().frac_bits(), 4);
+        assert_eq!(coarse.name(), "fixed");
+        let geom = ConvGeometry::unit();
+        let input = SparseFeatureMap::from_tensor(&Tensor3::from_vec(1, 1, 1, vec![0.51]));
+        let weights = Tensor4::from_vec(1, 1, 1, 1, vec![1.0]);
+        // Q11.4 rounds 0.51 to 0.5.
+        let out = coarse.forward(&input, &weights, None, geom);
+        assert_eq!(out.get(0, 0, 0), 0.5);
+    }
+
+    #[test]
+    fn weight_grad_accumulator_stays_on_grid() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let engine = FixedPointEngine::q8_8();
+        let input = grid_map();
+        let dout = SparseFeatureMap::from_tensor(&Tensor3::from_fn(3, 4, 4, |c, y, x| {
+            if (c + y * x) % 3 == 0 {
+                0.375 - c as f32 * 0.125
+            } else {
+                0.0
+            }
+        }));
+        let mut dw = Tensor4::zeros(3, 2, 3, 3);
+        engine.weight_grad_into(&input, &dout, geom, &mut dw);
+        engine.weight_grad_into(&input, &dout, geom, &mut dw);
+        let eps = engine.format().epsilon();
+        for &v in dw.as_slice() {
+            let steps = v / eps;
+            assert_eq!(steps, steps.round(), "dW {v} is off the Q8.8 grid");
+        }
+        assert!(dw.as_slice().iter().any(|&v| v != 0.0));
+    }
+}

@@ -26,33 +26,57 @@
 //! hot loops never touch the heap. [`engine`] builds the layer-level
 //! execution seam on top of them:
 //!
-//! * [`engine::KernelEngine`] — the trait every backend implements
-//!   (Forward / GTA / GTW of one layer, accumulating into caller tensors),
+//! * [`engine::KernelEngine`] — the trait every backend implements. The
+//!   required methods execute Forward / GTA / GTW of one sample,
+//!   accumulating into caller tensors; the provided **batch entry points**
+//!   (`forward_batch_into`, `input_grad_batch_into`,
+//!   `weight_grad_batch_into`) stream a whole batch through one engine
+//!   call, defaulting to sample-order fallbacks that every override must
+//!   match bit for bit.
 //! * [`engine::ScalarEngine`] — the reference semantics; its iteration
-//!   order *is* the floating-point specification,
-//! * [`engine::ParallelEngine`] — band-parallel over filters/channels,
-//!   bitwise identical to the scalar engine (disjoint output bands, same
-//!   per-row order),
+//!   order *is* the floating-point specification.
+//! * [`engine::ParallelEngine`] — band-parallel over the batch's
+//!   `samples × filters` (or channels) on the batched paths, so multi-core
+//!   speedup scales with batch size as well as layer width; bitwise
+//!   identical to the scalar engine (disjoint output bands, same per-row
+//!   order).
+//! * [`fixed_engine::FixedPointEngine`] — the Q8.8 datapath model
+//!   mirroring the paper's 16-bit RTL, built on
+//!   `sparsetrain_tensor::qformat`.
 //! * [`engine::Workspace`] — reusable scratch buffers for row-at-a-time
-//!   callers,
-//! * [`engine::EngineKind`] — the `Copy` selector that plumbs through
-//!   `Conv2d`, `Trainer` and the dataflow executor.
+//!   callers.
 //!
-//! [`rowconv`]'s `*_with` functions run any engine; the plain functions are
-//! the scalar-engine compatibility wrappers. Follow-on backends (SIMD,
-//! fixed-point) implement [`engine::KernelEngine`] and slot into the same
-//! plumbing.
+//! Selection is **name-keyed and open**: [`registry`] maps `"scalar"`,
+//! `"parallel"`, `"fixed"` — plus any backend added with
+//! [`registry::register`] — to [`registry::EngineHandle`] tokens, resolved
+//! from strings (`FromStr`), configuration, or the `SPARSETRAIN_ENGINE`
+//! environment variable ([`registry::env_override`]). A resolved engine
+//! travels as a [`context::ExecutionContext`] (engine + workspace), which
+//! `sparsetrain-nn` threads through every `Layer::forward`/`backward` and
+//! `sparsetrain-core` through the dataflow executor — no call site ever
+//! re-resolves a token. The closed [`engine::EngineKind`] selector from
+//! the first release remains as a deprecated shim, as do [`rowconv`]'s
+//! engine-generic `*_with` wrappers (superseded by the [`KernelEngine`]
+//! convenience methods).
 
 pub mod compressed;
+pub mod context;
 pub mod engine;
+pub mod fixed_engine;
 pub mod formats;
 pub mod mask;
 pub mod msrc;
 pub mod osrc;
+pub mod registry;
 pub mod rowconv;
 pub mod src;
 pub mod work;
 
 pub use compressed::SparseVec;
-pub use engine::{EngineKind, KernelEngine, ParallelEngine, ScalarEngine, Workspace};
+pub use context::ExecutionContext;
+#[allow(deprecated)]
+pub use engine::EngineKind;
+pub use engine::{KernelEngine, ParallelEngine, ScalarEngine, Workspace};
+pub use fixed_engine::FixedPointEngine;
 pub use mask::RowMask;
+pub use registry::{EngineHandle, UnknownEngine, ENGINE_ENV};

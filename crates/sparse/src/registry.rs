@@ -1,0 +1,254 @@
+//! The open, name-keyed engine registry.
+//!
+//! [`EngineHandle`] is a `Copy` token pairing a stable name with a
+//! `&'static dyn KernelEngine` — the unit of engine selection everywhere a
+//! backend is configured (`TrainConfig`, `ExecutionContext`, benches,
+//! examples, the `SPARSETRAIN_ENGINE` environment variable). Three engines
+//! are registered at startup:
+//!
+//! | name       | backend                                             |
+//! |------------|-----------------------------------------------------|
+//! | `scalar`   | [`crate::engine::ScalarEngine`] — the reference     |
+//! | `parallel` | [`crate::engine::ParallelEngine`] — band-parallel   |
+//! | `fixed`    | [`crate::fixed_engine::FixedPointEngine`] — Q8.8    |
+//!
+//! The set is open: [`register`] adds a backend under a new name at
+//! runtime, after which every name-driven selection path (config, env,
+//! `FromStr`) resolves it like a built-in.
+
+use crate::engine::{KernelEngine, ParallelEngine, ScalarEngine};
+use crate::fixed_engine::FixedPointEngine;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{OnceLock, RwLock};
+
+/// Environment variable consulted by [`env_override`]: set it to a
+/// registered engine name (`scalar`, `parallel`, `fixed`, …) to select the
+/// kernel execution backend without touching code.
+pub const ENGINE_ENV: &str = "SPARSETRAIN_ENGINE";
+
+/// A named engine registration — the `Copy` selection token that plumbs
+/// through configuration layers.
+///
+/// Equality is by name: the registry guarantees one engine per name.
+#[derive(Clone, Copy)]
+pub struct EngineHandle {
+    name: &'static str,
+    summary: &'static str,
+    engine: &'static dyn KernelEngine,
+}
+
+impl EngineHandle {
+    /// The registered name (`"scalar"`, `"parallel"`, `"fixed"`, …).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line description for listings and `--help` output.
+    pub fn summary(&self) -> &'static str {
+        self.summary
+    }
+
+    /// The engine instance this handle resolves to.
+    pub fn engine(&self) -> &'static dyn KernelEngine {
+        self.engine
+    }
+}
+
+impl PartialEq for EngineHandle {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+impl Eq for EngineHandle {}
+
+impl fmt::Debug for EngineHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineHandle").field("name", &self.name).finish()
+    }
+}
+
+impl fmt::Display for EngineHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+impl FromStr for EngineHandle {
+    type Err = UnknownEngine;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        lookup(s).ok_or_else(|| UnknownEngine::new(s))
+    }
+}
+
+/// Error returned when a name does not resolve in the registry; carries
+/// the registered names for a helpful message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownEngine {
+    name: String,
+    known: Vec<&'static str>,
+}
+
+impl UnknownEngine {
+    fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            known: registry().iter().map(EngineHandle::name).collect(),
+        }
+    }
+
+    /// The name that failed to resolve.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for UnknownEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown kernel engine {:?} (registered: {})",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownEngine {}
+
+static SCALAR: ScalarEngine = ScalarEngine;
+static PARALLEL: ParallelEngine = ParallelEngine::auto();
+static FIXED: FixedPointEngine = FixedPointEngine::q8_8();
+
+fn table() -> &'static RwLock<Vec<EngineHandle>> {
+    static TABLE: OnceLock<RwLock<Vec<EngineHandle>>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(vec![
+            EngineHandle {
+                name: "scalar",
+                summary: "single-threaded reference; iteration order is the specification",
+                engine: &SCALAR,
+            },
+            EngineHandle {
+                name: "parallel",
+                summary: "band-parallel across samples and filters, bitwise equal to scalar",
+                engine: &PARALLEL,
+            },
+            EngineHandle {
+                name: "fixed",
+                summary: "Q8.8 fixed-point datapath model mirroring the 16-bit RTL",
+                engine: &FIXED,
+            },
+        ])
+    })
+}
+
+/// A snapshot of every registered engine, in registration order.
+pub fn registry() -> Vec<EngineHandle> {
+    table().read().expect("engine registry poisoned").clone()
+}
+
+/// Resolves a registered engine by name.
+pub fn lookup(name: &str) -> Option<EngineHandle> {
+    table()
+        .read()
+        .expect("engine registry poisoned")
+        .iter()
+        .find(|h| h.name == name)
+        .copied()
+}
+
+/// Registers a new engine under `name`, opening it to every name-driven
+/// selection path (`TrainConfig::with_engine_name`, [`ENGINE_ENV`],
+/// `FromStr`).
+///
+/// # Errors
+///
+/// Returns the existing handle as an error when `name` is already taken —
+/// registration never silently shadows a backend.
+pub fn register(
+    name: &'static str,
+    summary: &'static str,
+    engine: &'static dyn KernelEngine,
+) -> Result<EngineHandle, EngineHandle> {
+    let mut t = table().write().expect("engine registry poisoned");
+    if let Some(existing) = t.iter().find(|h| h.name == name) {
+        return Err(*existing);
+    }
+    let handle = EngineHandle {
+        name,
+        summary,
+        engine,
+    };
+    t.push(handle);
+    Ok(handle)
+}
+
+/// Reads the [`ENGINE_ENV`] environment override: `Ok(None)` when unset or
+/// empty, `Ok(Some(handle))` for a registered name.
+///
+/// # Errors
+///
+/// Returns [`UnknownEngine`] when the variable names an unregistered
+/// engine.
+pub fn env_override() -> Result<Option<EngineHandle>, UnknownEngine> {
+    match std::env::var(ENGINE_ENV) {
+        Ok(name) if !name.is_empty() => name.parse().map(Some),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rowconv::SparseFeatureMap;
+    use sparsetrain_tensor::conv::ConvGeometry;
+    use sparsetrain_tensor::{Tensor3, Tensor4};
+
+    #[test]
+    fn builtin_engines_resolve_by_name() {
+        for (name, expect) in [("scalar", "scalar"), ("parallel", "parallel"), ("fixed", "fixed")] {
+            let handle = lookup(name).expect(name);
+            assert_eq!(handle.name(), expect);
+            assert_eq!(handle.engine().name(), expect);
+            assert_eq!(handle.to_string(), expect);
+            assert!(!handle.summary().is_empty());
+        }
+        assert!(lookup("simd").is_none());
+    }
+
+    #[test]
+    fn from_str_reports_known_names() {
+        let handle: EngineHandle = "parallel".parse().unwrap();
+        assert_eq!(handle.name(), "parallel");
+        let err = "warp-drive".parse::<EngineHandle>().unwrap_err();
+        assert_eq!(err.name(), "warp-drive");
+        let msg = err.to_string();
+        for name in ["scalar", "parallel", "fixed"] {
+            assert!(msg.contains(name), "{msg}");
+        }
+    }
+
+    #[test]
+    fn registry_is_open_to_new_backends() {
+        // A custom backend registered at runtime resolves through every
+        // name-driven path exactly like a built-in.
+        static CUSTOM: ScalarEngine = ScalarEngine;
+        let handle =
+            register("test-custom", "scalar re-registered under a test name", &CUSTOM).expect("fresh name");
+        assert_eq!(lookup("test-custom"), Some(handle));
+        assert!(registry().contains(&handle));
+        // Duplicate names are rejected with the existing registration.
+        assert_eq!(register("test-custom", "dup", &CUSTOM), Err(handle));
+        assert_eq!(register("scalar", "dup", &CUSTOM).unwrap_err().name(), "scalar");
+        // The handle executes like any other engine.
+        let input = SparseFeatureMap::from_tensor(&Tensor3::from_fn(1, 3, 3, |_, y, x| (y * x) as f32));
+        let weights = Tensor4::from_fn(1, 1, 1, 1, |_, _, _, _| 2.0);
+        let out = handle
+            .engine()
+            .forward(&input, &weights, None, ConvGeometry::unit());
+        assert_eq!(out.get(0, 2, 2), 8.0);
+    }
+}

@@ -7,12 +7,14 @@
 //! the dense references in [`sparsetrain_tensor::conv`] (up to f32
 //! accumulation order), which the tests verify.
 //!
-//! Execution is delegated to a [`KernelEngine`]: the `*_with` variants take
-//! any engine (scalar reference or band-parallel), while the plain
-//! functions keep the original signatures and run on
-//! [`crate::engine::ScalarEngine`]. All engines accumulate through the
-//! kernels' scratch APIs, so no per-row heap allocation happens on any
-//! path.
+//! Execution is delegated to a [`KernelEngine`]: the plain functions keep
+//! the original signatures and run on [`crate::engine::ScalarEngine`],
+//! while arbitrary engines are driven through the trait's own convenience
+//! methods ([`KernelEngine::forward`], [`KernelEngine::input_grad`],
+//! [`KernelEngine::weight_grad`] and their batched variants). The old
+//! engine-generic `*_with` wrappers remain as deprecated forwarding shims.
+//! All engines accumulate through the kernels' scratch APIs, so no per-row
+//! heap allocation happens on any path.
 
 use crate::compressed::SparseVec;
 use crate::engine::{KernelEngine, ScalarEngine};
@@ -110,6 +112,33 @@ impl SparseFeatureMap {
         t
     }
 
+    /// Returns a copy with every stored value mapped through `f`; values
+    /// that map to exactly `0.0` are dropped from the compressed rows
+    /// (quantization underflow produces genuinely empty positions, exactly
+    /// as a fixed-point datapath would store them).
+    pub fn map_values(&self, f: impl Fn(f32) -> f32) -> Self {
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut mapped = SparseVec::zeros(row.len());
+                for (offset, value) in row.iter() {
+                    let m = f(value);
+                    if m != 0.0 {
+                        mapped.push(offset, m);
+                    }
+                }
+                mapped
+            })
+            .collect();
+        Self {
+            channels: self.channels,
+            height: self.height,
+            width: self.width,
+            rows,
+        }
+    }
+
     /// Per-row non-zero masks (the Forward-step masks consumed by GTA).
     pub fn masks(&self) -> Vec<RowMask> {
         self.rows
@@ -126,12 +155,13 @@ impl SparseFeatureMap {
 
 /// Forward step via row-level SRC operations on an explicit engine.
 ///
-/// Equivalent to [`sparsetrain_tensor::conv::forward`]; every output row is
-/// the accumulation of `C × K` SRC operations.
-///
 /// # Panics
 ///
 /// Panics on shape mismatches between `input`, `weights` and `geom`.
+#[deprecated(
+    since = "0.2.0",
+    note = "call `engine.forward(...)` (`KernelEngine::forward`) directly"
+)]
 pub fn forward_rows_with(
     engine: &dyn KernelEngine,
     input: &SparseFeatureMap,
@@ -139,14 +169,13 @@ pub fn forward_rows_with(
     bias: Option<&[f32]>,
     geom: ConvGeometry,
 ) -> Tensor3 {
-    let oh = geom.output_extent(input.height());
-    let ow = geom.output_extent(input.width());
-    let mut out = Tensor3::zeros(weights.filters(), oh, ow);
-    engine.forward_into(input, weights, bias, geom, &mut out);
-    out
+    engine.forward(input, weights, bias, geom)
 }
 
 /// Forward step on the reference [`ScalarEngine`].
+///
+/// Equivalent to [`sparsetrain_tensor::conv::forward`]; every output row is
+/// the accumulation of `C × K` SRC operations.
 ///
 /// # Panics
 ///
@@ -157,10 +186,31 @@ pub fn forward_rows(
     bias: Option<&[f32]>,
     geom: ConvGeometry,
 ) -> Tensor3 {
-    forward_rows_with(&ScalarEngine, input, weights, bias, geom)
+    ScalarEngine.forward(input, weights, bias, geom)
 }
 
 /// GTA step via row-level MSRC operations on an explicit engine.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "call `engine.input_grad(...)` (`KernelEngine::input_grad`) directly"
+)]
+pub fn input_grad_rows_with(
+    engine: &dyn KernelEngine,
+    dout: &SparseFeatureMap,
+    weights: &Tensor4,
+    geom: ConvGeometry,
+    in_h: usize,
+    in_w: usize,
+    masks: &[RowMask],
+) -> Tensor3 {
+    engine.input_grad(dout, weights, geom, in_h, in_w, masks)
+}
+
+/// GTA step on the reference [`ScalarEngine`].
 ///
 /// `dout` is the (sparse) output-gradient map; `masks` are the per-row
 /// non-zero masks of the layer's forward *input* (one per `(channel, row)`
@@ -174,25 +224,6 @@ pub fn forward_rows(
 /// # Panics
 ///
 /// Panics on shape mismatches.
-pub fn input_grad_rows_with(
-    engine: &dyn KernelEngine,
-    dout: &SparseFeatureMap,
-    weights: &Tensor4,
-    geom: ConvGeometry,
-    in_h: usize,
-    in_w: usize,
-    masks: &[RowMask],
-) -> Tensor3 {
-    let mut din = Tensor3::zeros(weights.channels(), in_h, in_w);
-    engine.input_grad_into(dout, weights, geom, masks, &mut din);
-    din
-}
-
-/// GTA step on the reference [`ScalarEngine`].
-///
-/// # Panics
-///
-/// Panics on shape mismatches.
 pub fn input_grad_rows(
     dout: &SparseFeatureMap,
     weights: &Tensor4,
@@ -201,10 +232,28 @@ pub fn input_grad_rows(
     in_w: usize,
     masks: &[RowMask],
 ) -> Tensor3 {
-    input_grad_rows_with(&ScalarEngine, dout, weights, geom, in_h, in_w, masks)
+    ScalarEngine.input_grad(dout, weights, geom, in_h, in_w, masks)
 }
 
 /// GTW step via row-level OSRC operations on an explicit engine.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+#[deprecated(
+    since = "0.2.0",
+    note = "call `engine.weight_grad(...)` (`KernelEngine::weight_grad`) directly"
+)]
+pub fn weight_grad_rows_with(
+    engine: &dyn KernelEngine,
+    input: &SparseFeatureMap,
+    dout: &SparseFeatureMap,
+    geom: ConvGeometry,
+) -> Tensor4 {
+    engine.weight_grad(input, dout, geom)
+}
+
+/// GTW step on the reference [`ScalarEngine`].
 ///
 /// Equivalent to [`sparsetrain_tensor::conv::weight_grad`]; each kernel row
 /// of `dW[fi][ci]` accumulates `Ho` OSRC results in place (no per-row tap
@@ -213,24 +262,8 @@ pub fn input_grad_rows(
 /// # Panics
 ///
 /// Panics on shape mismatches.
-pub fn weight_grad_rows_with(
-    engine: &dyn KernelEngine,
-    input: &SparseFeatureMap,
-    dout: &SparseFeatureMap,
-    geom: ConvGeometry,
-) -> Tensor4 {
-    let mut dw = Tensor4::zeros(dout.channels(), input.channels(), geom.kernel, geom.kernel);
-    engine.weight_grad_into(input, dout, geom, &mut dw);
-    dw
-}
-
-/// GTW step on the reference [`ScalarEngine`].
-///
-/// # Panics
-///
-/// Panics on shape mismatches.
 pub fn weight_grad_rows(input: &SparseFeatureMap, dout: &SparseFeatureMap, geom: ConvGeometry) -> Tensor4 {
-    weight_grad_rows_with(&ScalarEngine, input, dout, geom)
+    ScalarEngine.weight_grad(input, dout, geom)
 }
 
 #[cfg(test)]

@@ -1,15 +1,24 @@
-//! Property tests: the parallel engine is bitwise-identical to the scalar
-//! reference, and both match the dense reference in `sparsetrain-tensor`.
+//! Property tests pinning the engine contracts:
 //!
-//! Parity is asserted with exact `==` on the raw f32 slices — the parallel
-//! engine only parallelizes across disjoint output bands while keeping the
+//! * the parallel engine is bitwise-identical to the scalar reference on
+//!   the per-sample paths, and both match the dense reference in
+//!   `sparsetrain-tensor`;
+//! * for **every registered engine** (or just the `SPARSETRAIN_ENGINE`
+//!   override when set, as in the CI engine matrix), the batched entry
+//!   points (`forward_batch_into` / `input_grad_batch_into` /
+//!   `weight_grad_batch_into`) are bitwise-identical to running that
+//!   engine sample by sample — and for the float engines, to the scalar
+//!   reference itself;
+//! * the Q8.8 [`FixedPointEngine`] stays within its analytic quantization
+//!   error bounds against the scalar reference (golden tests).
+//!
+//! Parity is asserted with exact `==` on the raw f32 slices — banding only
+//! ever splits work across disjoint output regions while keeping the
 //! scalar per-row accumulation order, so any difference at all is a bug.
 
 use proptest::prelude::*;
-use sparsetrain_sparse::rowconv::{
-    forward_rows_with, input_grad_rows_with, weight_grad_rows_with, SparseFeatureMap,
-};
-use sparsetrain_sparse::{EngineKind, ParallelEngine, Workspace};
+use sparsetrain_sparse::rowconv::SparseFeatureMap;
+use sparsetrain_sparse::{registry, FixedPointEngine, KernelEngine, ParallelEngine, ScalarEngine, Workspace};
 use sparsetrain_tensor::conv::{self, ConvGeometry};
 use sparsetrain_tensor::{Tensor3, Tensor4};
 
@@ -27,6 +36,10 @@ fn arb_feature_map(channels: usize) -> impl Strategy<Value = SparseFeatureMap> {
     .prop_map(move |data| SparseFeatureMap::from_tensor(&Tensor3::from_vec(channels, H, W, data)))
 }
 
+fn arb_batch(channels: usize, max_len: usize) -> impl Strategy<Value = Vec<SparseFeatureMap>> {
+    proptest::collection::vec(arb_feature_map(channels), 1..=max_len)
+}
+
 fn arb_weights(f: usize, c: usize, k: usize) -> impl Strategy<Value = Tensor4> {
     proptest::collection::vec(-1.5f32..1.5, f * c * k * k)
         .prop_map(move |data| Tensor4::from_vec(f, c, k, k, data))
@@ -34,6 +47,15 @@ fn arb_weights(f: usize, c: usize, k: usize) -> impl Strategy<Value = Tensor4> {
 
 fn arb_geom() -> impl Strategy<Value = ConvGeometry> {
     (1usize..=3, 1usize..=2, 0usize..=1).prop_map(|(k, s, p)| ConvGeometry::new(k, s, p))
+}
+
+/// The registry engines under test: restricted to the `SPARSETRAIN_ENGINE`
+/// override when set (the CI matrix leg), the whole registry otherwise.
+fn engines_under_test() -> Vec<registry::EngineHandle> {
+    match registry::env_override().expect("SPARSETRAIN_ENGINE must name a registered engine") {
+        Some(handle) => vec![handle],
+        None => registry::registry(),
+    }
 }
 
 fn assert_close(a: &[f32], b: &[f32], tol: f32) -> Result<(), proptest::test_runner::TestCaseError> {
@@ -61,8 +83,8 @@ proptest! {
         geom in arb_geom().prop_filter("kernel 3", |g| g.kernel == 3),
         threads in 1usize..=9,
     ) {
-        let scalar = forward_rows_with(EngineKind::Scalar.engine(), &input, &weights, None, geom);
-        let parallel = forward_rows_with(&ParallelEngine::with_threads(threads), &input, &weights, None, geom);
+        let scalar = ScalarEngine.forward(&input, &weights, None, geom);
+        let parallel = ParallelEngine::with_threads(threads).forward(&input, &weights, None, geom);
         prop_assert_eq!(scalar.as_slice(), parallel.as_slice());
     }
 
@@ -76,10 +98,9 @@ proptest! {
     ) {
         let geom = ConvGeometry::new(3, 1, 1);
         let masks = mask_src.masks();
-        let scalar = input_grad_rows_with(
-            EngineKind::Scalar.engine(), &dout, &weights, geom, H, W, &masks);
-        let parallel = input_grad_rows_with(
-            &ParallelEngine::with_threads(threads), &dout, &weights, geom, H, W, &masks);
+        let scalar = ScalarEngine.input_grad(&dout, &weights, geom, H, W, &masks);
+        let parallel = ParallelEngine::with_threads(threads)
+            .input_grad(&dout, &weights, geom, H, W, &masks);
         prop_assert_eq!(scalar.as_slice(), parallel.as_slice());
     }
 
@@ -91,13 +112,85 @@ proptest! {
         threads in 1usize..=9,
     ) {
         let geom = ConvGeometry::new(3, 1, 1);
-        let scalar = weight_grad_rows_with(EngineKind::Scalar.engine(), &input, &dout, geom);
-        let parallel = weight_grad_rows_with(&ParallelEngine::with_threads(threads), &input, &dout, geom);
+        let scalar = ScalarEngine.weight_grad(&input, &dout, geom);
+        let parallel = ParallelEngine::with_threads(threads).weight_grad(&input, &dout, geom);
         prop_assert_eq!(scalar.as_slice(), parallel.as_slice());
     }
 
-    /// Both engines match the dense reference forward within accumulation
-    /// tolerance.
+    /// Batched forward: for every registered engine, one batch-level call
+    /// is bitwise-identical to that engine's per-sample execution — and
+    /// therefore (fixed-point excepted) to the per-sample scalar reference.
+    #[test]
+    fn forward_batch_parity_all_engines(
+        inputs in arb_batch(3, 5),
+        weights in arb_weights(4, 3, 3),
+        geom in arb_geom().prop_filter("kernel 3", |g| g.kernel == 3),
+    ) {
+        for handle in engines_under_test() {
+            let engine = handle.engine();
+            let batched = engine.forward_batch(&inputs, &weights, None, geom);
+            prop_assert_eq!(batched.len(), inputs.len());
+            for (input, got) in inputs.iter().zip(&batched) {
+                let per_sample = engine.forward(input, &weights, None, geom);
+                prop_assert_eq!(got.as_slice(), per_sample.as_slice(), "engine {}", handle.name());
+                if handle.name() != "fixed" {
+                    let reference = ScalarEngine.forward(input, &weights, None, geom);
+                    prop_assert_eq!(got.as_slice(), reference.as_slice(), "engine {}", handle.name());
+                }
+            }
+        }
+    }
+
+    /// Batched GTA: bitwise-identical to per-sample execution on every
+    /// registered engine, under arbitrary per-sample masks.
+    #[test]
+    fn input_grad_batch_parity_all_engines(
+        douts in arb_batch(4, 4),
+        mask_srcs in arb_batch(3, 4),
+        weights in arb_weights(4, 3, 3),
+    ) {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let n = douts.len().min(mask_srcs.len());
+        let douts = &douts[..n];
+        let masks: Vec<_> = mask_srcs[..n].iter().map(SparseFeatureMap::masks).collect();
+        for handle in engines_under_test() {
+            let engine = handle.engine();
+            let batched = engine.input_grad_batch(douts, &weights, geom, H, W, &masks);
+            for ((dout, mask), got) in douts.iter().zip(&masks).zip(&batched) {
+                let per_sample = engine.input_grad(dout, &weights, geom, H, W, mask);
+                prop_assert_eq!(got.as_slice(), per_sample.as_slice(), "engine {}", handle.name());
+                if handle.name() != "fixed" {
+                    let reference = ScalarEngine.input_grad(dout, &weights, geom, H, W, mask);
+                    prop_assert_eq!(got.as_slice(), reference.as_slice(), "engine {}", handle.name());
+                }
+            }
+        }
+    }
+
+    /// Batched GTW: the shared batch accumulator is bitwise-identical to
+    /// accumulating sample by sample on every registered engine.
+    #[test]
+    fn weight_grad_batch_parity_all_engines(
+        inputs in arb_batch(2, 4),
+        douts in arb_batch(3, 4),
+    ) {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let n = inputs.len().min(douts.len());
+        let (inputs, douts) = (&inputs[..n], &douts[..n]);
+        for handle in engines_under_test() {
+            let engine = handle.engine();
+            let mut batched = Tensor4::zeros(3, 2, 3, 3);
+            engine.weight_grad_batch_into(inputs, douts, geom, &mut batched);
+            let mut per_sample = Tensor4::zeros(3, 2, 3, 3);
+            for (input, dout) in inputs.iter().zip(douts) {
+                engine.weight_grad_into(input, dout, geom, &mut per_sample);
+            }
+            prop_assert_eq!(batched.as_slice(), per_sample.as_slice(), "engine {}", handle.name());
+        }
+    }
+
+    /// Both float engines match the dense reference forward within
+    /// accumulation tolerance.
     #[test]
     fn forward_matches_dense_reference(
         input in arb_feature_map(3),
@@ -106,13 +199,14 @@ proptest! {
     ) {
         let dense_in = input.to_tensor();
         let want = conv::forward(&dense_in, &weights, None, geom);
-        for kind in [EngineKind::Scalar, EngineKind::Parallel] {
-            let got = forward_rows_with(kind.engine(), &input, &weights, None, geom);
+        for name in ["scalar", "parallel"] {
+            let engine = registry::lookup(name).unwrap().engine();
+            let got = engine.forward(&input, &weights, None, geom);
             assert_close(got.as_slice(), want.as_slice(), 1e-4)?;
         }
     }
 
-    /// Both engines match the dense reference weight gradient.
+    /// Both float engines match the dense reference weight gradient.
     #[test]
     fn weight_grad_matches_dense_reference(
         input in arb_feature_map(2),
@@ -120,9 +214,68 @@ proptest! {
     ) {
         let geom = ConvGeometry::new(3, 1, 1);
         let want = conv::weight_grad(&input.to_tensor(), &dout.to_tensor(), geom);
-        for kind in [EngineKind::Scalar, EngineKind::Parallel] {
-            let got = weight_grad_rows_with(kind.engine(), &input, &dout, geom);
+        for name in ["scalar", "parallel"] {
+            let engine = registry::lookup(name).unwrap().engine();
+            let got = engine.weight_grad(&input, &dout, geom);
             assert_close(got.as_slice(), want.as_slice(), 1e-4)?;
+        }
+    }
+
+    /// Golden bound: the Q8.8 engine's forward error against the float
+    /// reference never exceeds the analytic per-term rounding budget.
+    ///
+    /// Every product of a rounded activation (error ≤ ε/2, magnitude < 2)
+    /// and a rounded tap (error ≤ ε/2, magnitude < 1.5) is off by at most
+    /// `2·ε/2 + 1.5·ε/2 + ε²/4 < 1.76ε`; an output accumulates at most
+    /// `C × K × K` such terms and one final store rounding (ε/2).
+    #[test]
+    fn fixed_point_error_bounds(
+        input in arb_feature_map(3),
+        weights in arb_weights(4, 3, 3),
+        geom in arb_geom().prop_filter("kernel 3", |g| g.kernel == 3),
+    ) {
+        let fixed = registry::lookup("fixed").unwrap().engine();
+        let got = fixed.forward(&input, &weights, None, geom);
+        let want = ScalarEngine.forward(&input, &weights, None, geom);
+        let eps = FixedPointEngine::q8_8().format().epsilon();
+        let terms = (3 * geom.kernel * geom.kernel) as f32;
+        let bound = terms * 1.76 * eps + eps / 2.0;
+        for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+            prop_assert!(
+                (g - w).abs() <= bound,
+                "output {} error {} exceeds bound {}",
+                i,
+                (g - w).abs(),
+                bound
+            );
+        }
+    }
+
+    /// Golden bound: the Q8.8 GTW error per tap is bounded by the number
+    /// of accumulated products times the per-term budget (operands < 2.0
+    /// on both sides ⇒ per-term error < `2·ε/2 + 2·ε/2 + ε²/4 < 2.1ε`),
+    /// plus the final accumulator store rounding.
+    #[test]
+    fn fixed_point_weight_grad_error_bounds(
+        input in arb_feature_map(2),
+        dout in arb_feature_map(3),
+    ) {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let fixed = registry::lookup("fixed").unwrap().engine();
+        let got = fixed.weight_grad(&input, &dout, geom);
+        let want = ScalarEngine.weight_grad(&input, &dout, geom);
+        let eps = FixedPointEngine::q8_8().format().epsilon();
+        // Each tap accumulates at most Ho × Ow products.
+        let terms = (H * W) as f32;
+        let bound = terms * 2.1 * eps + eps / 2.0;
+        for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+            prop_assert!(
+                (g - w).abs() <= bound,
+                "tap {} error {} exceeds bound {}",
+                i,
+                (g - w).abs(),
+                bound
+            );
         }
     }
 
@@ -142,4 +295,43 @@ proptest! {
         let slow = sparsetrain_sparse::src::src_conv(&sparse, &kernel, geom, out_len);
         prop_assert_eq!(fast, slow);
     }
+}
+
+/// The deprecated `rowconv::*_with` shims still forward to the engines
+/// they wrapped (kept for one release).
+#[test]
+#[allow(deprecated)]
+fn deprecated_rowconv_shims_still_forward() {
+    use sparsetrain_sparse::rowconv::{forward_rows_with, input_grad_rows_with, weight_grad_rows_with};
+    let geom = ConvGeometry::new(3, 1, 1);
+    let input = SparseFeatureMap::from_tensor(&Tensor3::from_fn(2, H, W, |c, y, x| {
+        if (c + y + x) % 2 == 0 {
+            (y as f32 - x as f32) * 0.25
+        } else {
+            0.0
+        }
+    }));
+    let dout = SparseFeatureMap::from_tensor(&Tensor3::from_fn(3, H, W, |c, y, x| {
+        if (c + y * x) % 3 == 0 {
+            0.5 - c as f32 * 0.125
+        } else {
+            0.0
+        }
+    }));
+    let weights = Tensor4::from_fn(3, 2, 3, 3, |f, c, u, v| ((f + c + u + v) % 5) as f32 * 0.25 - 0.5);
+    let masks = input.masks();
+    assert_eq!(
+        forward_rows_with(&ScalarEngine, &input, &weights, None, geom).as_slice(),
+        ScalarEngine.forward(&input, &weights, None, geom).as_slice()
+    );
+    assert_eq!(
+        input_grad_rows_with(&ScalarEngine, &dout, &weights, geom, H, W, &masks).as_slice(),
+        ScalarEngine
+            .input_grad(&dout, &weights, geom, H, W, &masks)
+            .as_slice()
+    );
+    assert_eq!(
+        weight_grad_rows_with(&ScalarEngine, &input, &dout, geom).as_slice(),
+        ScalarEngine.weight_grad(&input, &dout, geom).as_slice()
+    );
 }

@@ -36,18 +36,18 @@ impl QFormat {
     /// # Panics
     ///
     /// Panics if `frac_bits > 15` (sign bit must remain).
-    pub fn new(frac_bits: u32) -> Self {
-        assert!(frac_bits <= 15, "frac_bits must be ≤ 15, got {frac_bits}");
+    pub const fn new(frac_bits: u32) -> Self {
+        assert!(frac_bits <= 15, "frac_bits must be <= 15");
         Self { frac_bits }
     }
 
     /// The paper-typical activation format Q7.8.
-    pub fn q8_8() -> Self {
+    pub const fn q8_8() -> Self {
         Self::new(8)
     }
 
     /// Fractional bit count.
-    pub fn frac_bits(&self) -> u32 {
+    pub const fn frac_bits(&self) -> u32 {
         self.frac_bits
     }
 

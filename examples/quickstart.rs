@@ -6,6 +6,9 @@
 //!    baseline (the architecture, §V–VI).
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Set `SPARSETRAIN_ENGINE=scalar|parallel|fixed` to run the training
+//! step's convolutions on a named kernel engine from the registry.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,7 +41,10 @@ fn main() {
     // --- 2. Train a small CNN with the pruning hooks installed.
     let (train, test) = SyntheticSpec::tiny(4).generate();
     let net = models::mini_cnn(4, 8, Some(PruneConfig::paper_default()));
-    let mut trainer = Trainer::new(net, TrainConfig::quick());
+    // SPARSETRAIN_ENGINE selects a registered kernel engine by name; unset
+    // keeps the dense im2row execution.
+    let mut trainer = Trainer::new(net, TrainConfig::quick().with_env_engine());
+    println!("kernel engine: {}", trainer.engine_name());
     for epoch in 0..5 {
         let stats = trainer.train_epoch(&train);
         println!("epoch {epoch}: loss {:.3} acc {:.2}", stats.loss, stats.accuracy);

@@ -4,31 +4,41 @@
 //!
 //! Run with: `cargo run --release --example train_sparse_cnn`
 //!
-//! Pass an engine name to execute the convolutions on the sparse
-//! row-dataflow engine layer instead of dense im2row:
+//! Pass a registered engine name (or set `SPARSETRAIN_ENGINE`) to execute
+//! the convolutions on the sparse row-dataflow engine layer instead of
+//! dense im2row:
 //! `cargo run --release --example train_sparse_cnn -- parallel`
-//! (accepted: `scalar`, `parallel`).
+//! `SPARSETRAIN_ENGINE=fixed cargo run --release --example train_sparse_cnn`
+//! (registered engines: `scalar`, `parallel`, `fixed`, plus anything added
+//! through `sparsetrain::sparse::registry::register`).
 
 use sparsetrain::core::prune::PruneConfig;
 use sparsetrain::nn::data::SyntheticSpec;
 use sparsetrain::nn::models::ModelKind;
 use sparsetrain::nn::train::{TrainConfig, Trainer};
-use sparsetrain::sparse::EngineKind;
+use sparsetrain::sparse::registry;
 
 fn main() {
-    let engine = match std::env::args().nth(1).as_deref() {
-        Some("scalar") => Some(EngineKind::Scalar),
-        Some("parallel") => Some(EngineKind::Parallel),
-        Some(other) => {
-            eprintln!("unknown engine {other:?} (expected: scalar | parallel); using im2row");
-            None
-        }
-        None => None,
+    // CLI argument wins; otherwise the SPARSETRAIN_ENGINE env override.
+    let engine = match std::env::args().nth(1) {
+        Some(name) => match registry::lookup(&name) {
+            Some(handle) => Some(handle),
+            None => {
+                let known: Vec<_> = registry::registry().iter().map(|h| h.name()).collect();
+                eprintln!(
+                    "unknown engine {name:?} (registered: {}); using im2row",
+                    known.join(", ")
+                );
+                None
+            }
+        },
+        None => registry::env_override().unwrap_or_else(|e| panic!("{e}")),
     };
-    if let Some(kind) = engine {
+    if let Some(handle) = engine {
         println!(
-            "executing convolutions on the {} sparse row-dataflow engine",
-            kind.name()
+            "executing convolutions on the {} sparse row-dataflow engine ({})",
+            handle.name(),
+            handle.summary()
         );
     }
     let mut spec = SyntheticSpec::cifar10_like();

@@ -16,6 +16,7 @@ use sparsetrain::nn::train::{TrainConfig, Trainer};
 use sparsetrain::nn::Layer;
 use sparsetrain::tensor::qformat::QFormat;
 use sparsetrain::tensor::Tensor3;
+use sparsetrain_sparse::ExecutionContext;
 
 fn trained_for(epochs: usize) -> (Trainer, sparsetrain::nn::data::Dataset) {
     let (train, test) = SyntheticSpec::tiny(4).generate();
@@ -39,7 +40,9 @@ fn weight_quantization_preserves_predictions() {
     // Predictions in f32.
     let xs: Vec<Tensor3> = data.images.iter().take(24).cloned().collect();
     let labels: Vec<usize> = data.labels.iter().take(24).copied().collect();
-    let f32_out = trainer.network_mut().forward(xs.clone(), false);
+    let f32_out = trainer
+        .network_mut()
+        .forward(xs.clone().into(), &mut ExecutionContext::scalar(), false);
 
     // Quantize every parameter tensor to its own best Q-format (per-tensor
     // scale, as a fixed-point device would configure).
@@ -49,7 +52,9 @@ fn weight_quantization_preserves_predictions() {
             let q = QFormat::best_for(w);
             q.roundtrip_slice(w);
         });
-    let q_out = trainer.network_mut().forward(xs, false);
+    let q_out = trainer
+        .network_mut()
+        .forward(xs.into(), &mut ExecutionContext::scalar(), false);
 
     let mut cm_f32 = ConfusionMatrix::new(4);
     let mut cm_q = ConfusionMatrix::new(4);
