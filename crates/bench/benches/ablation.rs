@@ -11,8 +11,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
+use rand::stream::StreamKey;
 use rand::SeedableRng;
-use sparsetrain_core::prune::{prune_slice, threshold_from_slice, LayerPruner, PruneConfig};
+use sparsetrain_core::prune::{prune_slice, threshold_from_slice, BatchStream, LayerPruner, PruneConfig};
 use sparsetrain_tensor::init::sample_standard_normal;
 use std::hint::black_box;
 
@@ -39,11 +40,12 @@ fn bench_fifo_depth(c: &mut Criterion) {
                 // Drifting gradient scale: deeper FIFOs smooth more but lag.
                 let mut pruner = LayerPruner::new(PruneConfig::new(0.9, depth));
                 let mut rng = StdRng::seed_from_u64(5);
+                let key = StreamKey::new(5);
                 let mut err = 0.0f64;
-                for step in 0..24 {
+                for step in 0..24u64 {
                     let sigma = 0.05 * (1.0 - step as f32 * 0.02);
                     let mut g = batch(&mut rng, 4096, sigma);
-                    pruner.prune_batch(&mut g, &mut rng);
+                    pruner.prune_batch(&mut g, &BatchStream::contiguous(key.derive(step)));
                     if let (Some(p), Some(d)) = (
                         pruner.stats().last_predicted_tau,
                         pruner.stats().last_determined_tau,
@@ -117,15 +119,18 @@ fn bench_predicted_vs_exact(c: &mut Criterion) {
 
     group.bench_function("predicted_single_pass", |b| {
         let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 4));
-        let mut rng = StdRng::seed_from_u64(10);
+        let key = StreamKey::new(10);
+        let mut step = 0u64;
         for _ in 0..4 {
             let mut warm = data.clone();
-            pruner.prune_batch(&mut warm, &mut rng);
+            pruner.prune_batch(&mut warm, &BatchStream::contiguous(key.derive(step)));
+            step += 1;
         }
         b.iter_batched(
             || data.clone(),
             |mut g| {
-                pruner.prune_batch(&mut g, &mut rng);
+                step += 1;
+                pruner.prune_batch(&mut g, &BatchStream::contiguous(key.derive(step)));
                 black_box(g)
             },
             criterion::BatchSize::LargeInput,
@@ -144,10 +149,11 @@ fn bench_density_sweep(c: &mut Criterion) {
             b.iter(|| {
                 let mut pruner = LayerPruner::new(PruneConfig::new(p, 4));
                 let mut rng = StdRng::seed_from_u64(11);
+                let key = StreamKey::new(11);
                 let mut density = 0.0;
-                for _ in 0..6 {
+                for step in 0..6u64 {
                     let mut g = batch(&mut rng, 8192, 0.05);
-                    pruner.prune_batch(&mut g, &mut rng);
+                    pruner.prune_batch(&mut g, &BatchStream::contiguous(key.derive(step)));
                     density = pruner.stats().last_density().unwrap_or(1.0);
                 }
                 black_box(density)

@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
+use rand::stream::StreamKey;
 use rand::SeedableRng;
-use sparsetrain_core::prune::{prune_slice, LayerPruner, PruneConfig};
+use sparsetrain_core::prune::{prune_slice, BatchStream, LayerPruner, PruneConfig};
 use sparsetrain_tensor::init::sample_standard_normal;
 use std::hint::black_box;
 
@@ -49,16 +50,19 @@ fn bench_full_prune_pass(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("layer_pruner", n), &n, |b, &n| {
             let template = gradient_batch(n, 9);
             let mut pruner = LayerPruner::new(PruneConfig::paper_default());
-            let mut rng = StdRng::seed_from_u64(1);
+            let key = StreamKey::new(1);
+            let mut step = 0u64;
             // Warm up the FIFO so the benched pass actually prunes.
             for _ in 0..4 {
                 let mut batch = template.clone();
-                pruner.prune_batch(&mut batch, &mut rng);
+                pruner.prune_batch(&mut batch, &BatchStream::contiguous(key.derive(step)));
+                step += 1;
             }
             b.iter_batched(
                 || template.clone(),
                 |mut batch| {
-                    pruner.prune_batch(&mut batch, &mut rng);
+                    step += 1;
+                    pruner.prune_batch(&mut batch, &BatchStream::contiguous(key.derive(step)));
                     black_box(batch)
                 },
                 criterion::BatchSize::LargeInput,

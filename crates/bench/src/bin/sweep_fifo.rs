@@ -10,12 +10,13 @@
 //! Run with: `cargo run --release -p sparsetrain-bench --bin sweep_fifo`
 
 use rand::rngs::StdRng;
+use rand::stream::StreamKey;
 use rand::SeedableRng;
 use sparsetrain_bench::table::{fmt, render};
 use sparsetrain_core::prune::predictor::{
     evaluate_predictor, EmaPredictor, FifoPredictor, LastValuePredictor, ThresholdPredictor,
 };
-use sparsetrain_core::prune::{LayerPruner, PruneConfig};
+use sparsetrain_core::prune::{BatchStream, LayerPruner, PruneConfig};
 use sparsetrain_tensor::init::sample_standard_normal;
 
 /// Produces a determined-threshold sequence from a pruned "training run":
@@ -24,13 +25,14 @@ use sparsetrain_tensor::init::sample_standard_normal;
 fn determined_thresholds(batches: usize) -> Vec<f64> {
     let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 4));
     let mut rng = StdRng::seed_from_u64(31);
+    let key = StreamKey::new(31);
     let mut taus = Vec::with_capacity(batches);
     for b in 0..batches {
         let scale = 0.1 * (1.0 + 0.3 * ((b as f32 * 0.37).sin())) * (-(b as f32) / 200.0).exp();
         let mut grads: Vec<f32> = (0..8192)
             .map(|_| sample_standard_normal(&mut rng) * scale)
             .collect();
-        pruner.prune_batch(&mut grads, &mut rng);
+        pruner.prune_batch(&mut grads, &BatchStream::contiguous(key.derive(b as u64)));
         if let Some(tau) = pruner.stats().last_determined_tau {
             taus.push(tau);
         }

@@ -10,6 +10,13 @@
 //! **not** the ChaCha12 generator of the real crate, so seeded sequences
 //! differ from upstream `rand`. Nothing in this workspace depends on the
 //! exact stream, only on determinism.
+//!
+//! The [`stream`] module (counter-based Philox streams for deterministic
+//! parallel pruning) is a workspace extension with no upstream `rand`
+//! counterpart: when this shim is swapped for the crates.io crate, move
+//! that module into a workspace crate (its only dependency is [`RngCore`]).
+
+pub mod stream;
 
 /// A random number generator core: the object-safe part of the API.
 pub trait RngCore {

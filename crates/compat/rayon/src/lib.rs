@@ -12,12 +12,29 @@
 //! change only.
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
-/// Number of hardware threads the runtime will use.
+/// Number of threads the runtime will use: the `RAYON_NUM_THREADS`
+/// environment variable when set to a positive integer (the same override
+/// real rayon's global pool honours, read once at first use), otherwise
+/// the machine's hardware parallelism.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        threads_from_env(std::env::var("RAYON_NUM_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    })
+}
+
+/// Parses a `RAYON_NUM_THREADS` value; `None` when unset, empty, zero or
+/// unparsable (rayon treats 0 as "choose automatically").
+fn threads_from_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 /// A scope in which parallel tasks can be spawned; all tasks are joined
@@ -127,6 +144,16 @@ mod tests {
     #[test]
     fn num_threads_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn env_thread_count_parsing() {
+        assert_eq!(threads_from_env(Some("4")), Some(4));
+        assert_eq!(threads_from_env(Some(" 2 ")), Some(2));
+        assert_eq!(threads_from_env(Some("0")), None, "0 means auto, like rayon");
+        assert_eq!(threads_from_env(Some("nope")), None);
+        assert_eq!(threads_from_env(Some("")), None);
+        assert_eq!(threads_from_env(None), None);
     }
 
     #[test]

@@ -11,17 +11,18 @@
 //! # Example: prune a stream of gradient batches
 //!
 //! ```
-//! use sparsetrain_core::prune::{LayerPruner, PruneConfig};
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use sparsetrain_core::prune::{BatchStream, LayerPruner, PruneConfig};
+//! use rand::stream::StreamKey;
 //!
 //! let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 4));
-//! let mut rng = StdRng::seed_from_u64(1);
-//! for batch in 0..10 {
+//! let seed = StreamKey::new(1);
+//! for batch in 0..10u64 {
 //!     let mut grads: Vec<f32> = (0..512)
-//!         .map(|i| ((i * 31 + batch * 7) % 101) as f32 / 1000.0 - 0.05)
+//!         .map(|i| ((i * 31 + batch as usize * 7) % 101) as f32 / 1000.0 - 0.05)
 //!         .collect();
-//!     pruner.prune_batch(&mut grads, &mut rng);
+//!     // One counter-based stream per batch: deterministic at any thread
+//!     // count, on any kernel engine.
+//!     pruner.prune_batch(&mut grads, &BatchStream::contiguous(seed.derive(batch)));
 //! }
 //! // After the FIFO warms up, batches are substantially sparsified.
 //! assert!(pruner.stats().last_density().unwrap() < 0.6);

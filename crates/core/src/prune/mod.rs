@@ -14,6 +14,13 @@
 //!    exact threshold, which is pushed into the FIFO ([`threshold`]).
 //!
 //! [`LayerPruner`] ties the three together (Algorithm 1 of the paper).
+//!
+//! The stochastic draws come from counter-based RNG streams keyed by each
+//! element's training-run coordinates ([`stream`]): pruning is a pure
+//! function of the gradients and the `(seed, epoch, step, site, sample,
+//! offset)` ladder, bitwise-identical at every thread count and on every
+//! kernel engine, and prunable batch-parallel through
+//! [`LayerPruner::prune_batch_parts_on`].
 
 pub mod diagnostics;
 pub mod fifo;
@@ -21,11 +28,13 @@ pub mod normal;
 pub mod predictor;
 pub mod pruner;
 pub mod stochastic;
+pub mod stream;
 pub mod threshold;
 
 pub use diagnostics::DistributionSummary;
 pub use fifo::ThresholdFifo;
 pub use predictor::{EmaPredictor, FifoPredictor, LastValuePredictor, ThresholdPredictor};
 pub use pruner::{LayerPruner, PruneConfig, PruneStats};
-pub use stochastic::{prune_slice, PruneOutcome};
+pub use stochastic::{prune_slice, prune_slice_at, PruneOutcome};
+pub use stream::{BatchStream, StepStreams, StreamSeeds};
 pub use threshold::{determine_threshold, sigma_hat, threshold_from_slice};

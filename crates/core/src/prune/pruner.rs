@@ -1,9 +1,11 @@
 //! The per-layer pruning state machine — Algorithm 1 of the paper.
 
 use super::fifo::ThresholdFifo;
-use super::stochastic::{prune_slice, PruneOutcome};
+use super::stochastic::{prune_slice_at, PruneOutcome};
+use super::stream::BatchStream;
 use super::threshold::{determine_threshold, sigma_hat};
-use rand::Rng;
+use sparsetrain_sparse::KernelEngine;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Configuration of the layer-wise gradient pruner.
 ///
@@ -160,19 +162,62 @@ impl LayerPruner {
     /// Implements lines 2–18 of Algorithm 1 for one batch: prune under the
     /// predicted threshold (if warm), accumulate `Σ|g|` of the *original*
     /// gradients, determine this batch's threshold and push it to the FIFO.
-    pub fn prune_batch<R: Rng + ?Sized>(&mut self, grads: &mut [f32], rng: &mut R) -> PruneOutcome {
-        self.prune_batch_parts(&mut [grads], rng)
+    /// Randomness comes from `stream`'s counter-based keys, so the result
+    /// is a pure function of the gradients and the stream coordinates.
+    pub fn prune_batch(&mut self, grads: &mut [f32], stream: &BatchStream) -> PruneOutcome {
+        self.prune_batch_parts(&mut [grads], stream)
     }
 
     /// Like [`LayerPruner::prune_batch`], but the batch's gradient vector is
     /// supplied in several parts (e.g. one tensor per sample of the batch).
-    /// The parts are treated as one logical vector `g`: a single predicted
-    /// threshold prunes all of them, a single `Σ|g|` determines the next
-    /// threshold.
-    pub fn prune_batch_parts<R: Rng + ?Sized>(
+    /// The parts are treated as one logical vector `g` for *thresholding*:
+    /// a single predicted threshold prunes all of them, a single `Σ|g|`
+    /// determines the next threshold. Each part's random draws come from
+    /// `stream.part(index, elements_before)` — one independent stream per
+    /// sample under [`BatchStream::per_sample`], one contiguous stream
+    /// (invariant to the split points) under [`BatchStream::contiguous`].
+    pub fn prune_batch_parts(&mut self, parts: &mut [&mut [f32]], stream: &BatchStream) -> PruneOutcome {
+        self.prune_parts_impl(parts, stream, None)
+    }
+
+    /// Like [`LayerPruner::prune_batch_parts`], but the pruning pass runs
+    /// through `engine`'s batched element path
+    /// ([`KernelEngine::for_each_batch_chunk`]), banding the `samples ×
+    /// elements` space across workers on parallel engines. Because every
+    /// draw is keyed by position, the result is bitwise-identical to the
+    /// sequential [`LayerPruner::prune_batch_parts`] on every engine and
+    /// at every thread count.
+    pub fn prune_batch_parts_on(
         &mut self,
         parts: &mut [&mut [f32]],
-        rng: &mut R,
+        stream: &BatchStream,
+        engine: &dyn KernelEngine,
+    ) -> PruneOutcome {
+        self.prune_parts_impl(parts, stream, Some(engine))
+    }
+
+    /// Like [`LayerPruner::prune_batch_parts_on`], but **stateless**:
+    /// prunes under the currently-predicted threshold without accumulating
+    /// `Σ|g|`, pushing a FIFO entry, or touching statistics. Probe passes
+    /// (dataflow trace capture, gradient taps) prune through this so that
+    /// *inspecting* a training run never perturbs its trajectory.
+    pub fn preview_batch_parts_on(
+        &self,
+        parts: &mut [&mut [f32]],
+        stream: &BatchStream,
+        engine: &dyn KernelEngine,
+    ) -> PruneOutcome {
+        match self.predicted_threshold() {
+            Some(tau) if tau > 0.0 => prune_parts_under(parts, tau, stream, Some(engine)),
+            _ => passthrough_outcome(parts),
+        }
+    }
+
+    fn prune_parts_impl(
+        &mut self,
+        parts: &mut [&mut [f32]],
+        stream: &BatchStream,
+        engine: Option<&dyn KernelEngine>,
     ) -> PruneOutcome {
         // Σ|g| accumulates over the incoming (un-pruned) gradients — in
         // hardware the PPU taps the stream before the pruning stage.
@@ -185,26 +230,8 @@ impl LayerPruner {
 
         let predicted = self.predicted_threshold();
         let outcome = match predicted {
-            Some(tau) if tau > 0.0 => {
-                let mut total = PruneOutcome::default();
-                for part in parts.iter_mut() {
-                    total = add_outcomes(total, prune_slice(part, tau, rng));
-                }
-                total
-            }
-            _ => {
-                // Not warm (or pruning disabled): pass through, but still
-                // count the natural zero pattern.
-                let kept = parts
-                    .iter()
-                    .map(|p| p.iter().filter(|&&g| g != 0.0).count())
-                    .sum();
-                PruneOutcome {
-                    kept,
-                    snapped: 0,
-                    zeroed: n - kept,
-                }
-            }
+            Some(tau) if tau > 0.0 => prune_parts_under(parts, tau, stream, engine),
+            _ => passthrough_outcome(parts),
         };
 
         if self.config.target_sparsity > 0.0 {
@@ -237,15 +264,93 @@ impl LayerPruner {
     }
 }
 
+/// Prunes `parts` under the fixed threshold `tau` with `stream`'s
+/// coordinates — sequentially, or banded through `engine`'s batched
+/// element path. The stateless core shared by the stepping and preview
+/// paths; bitwise-identical either way because every draw is keyed by
+/// position.
+fn prune_parts_under(
+    parts: &mut [&mut [f32]],
+    tau: f64,
+    stream: &BatchStream,
+    engine: Option<&dyn KernelEngine>,
+) -> PruneOutcome {
+    // Every part's stream coordinates are fixed before pruning starts,
+    // so the pass below may visit parts in any order or in chunks.
+    let coords: Vec<(rand::stream::StreamKey, u64)> = {
+        let mut before = 0u64;
+        parts
+            .iter()
+            .enumerate()
+            .map(|(s, part)| {
+                let c = stream.part(s, before);
+                before += part.len() as u64;
+                c
+            })
+            .collect()
+    };
+    match engine {
+        None => {
+            let mut total = PruneOutcome::default();
+            for (part, &(key, base)) in parts.iter_mut().zip(&coords) {
+                total = add_outcomes(total, prune_slice_at(part, tau, key, base));
+            }
+            total
+        }
+        Some(engine) => {
+            // Outcome counts are order-free sums, so relaxed atomics keep
+            // the banded pass deterministic.
+            let kept = AtomicUsize::new(0);
+            let snapped = AtomicUsize::new(0);
+            let zeroed = AtomicUsize::new(0);
+            let views: Vec<&mut [f32]> = parts.iter_mut().map(|p| &mut **p).collect();
+            engine.for_each_batch_chunk(views, &|s, offset, chunk| {
+                let (key, base) = coords[s];
+                let out = prune_slice_at(chunk, tau, key, base + offset as u64);
+                kept.fetch_add(out.kept, Ordering::Relaxed);
+                snapped.fetch_add(out.snapped, Ordering::Relaxed);
+                zeroed.fetch_add(out.zeroed, Ordering::Relaxed);
+            });
+            PruneOutcome {
+                kept: kept.into_inner(),
+                snapped: snapped.into_inner(),
+                zeroed: zeroed.into_inner(),
+            }
+        }
+    }
+}
+
+/// Outcome counts of a pass-through (cold FIFO or disabled pruning):
+/// nothing changes, the natural zero pattern is still counted.
+fn passthrough_outcome(parts: &[&mut [f32]]) -> PruneOutcome {
+    let n: usize = parts.iter().map(|p| p.len()).sum();
+    let kept = parts
+        .iter()
+        .map(|p| p.iter().filter(|&&g| g != 0.0).count())
+        .sum();
+    PruneOutcome {
+        kept,
+        snapped: 0,
+        zeroed: n - kept,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
+    use rand::stream::StreamKey;
     use rand::SeedableRng;
     use sparsetrain_tensor::init::sample_standard_normal;
 
     fn normal_batch(rng: &mut StdRng, n: usize, sigma: f32) -> Vec<f32> {
         (0..n).map(|_| sample_standard_normal(rng) * sigma).collect()
+    }
+
+    /// One fresh batch stream per step, as the trainer's ladder would
+    /// derive them.
+    fn stream(step: u64) -> BatchStream {
+        BatchStream::contiguous(StreamKey::new(0xBA7C).derive(step))
     }
 
     #[test]
@@ -256,13 +361,13 @@ mod tests {
             assert!(!pruner.is_warm(), "warm too early at batch {i}");
             let mut batch = normal_batch(&mut rng, 1000, 0.1);
             let before = batch.clone();
-            pruner.prune_batch(&mut batch, &mut rng);
+            pruner.prune_batch(&mut batch, &stream(i));
             assert_eq!(batch, before, "batch {i} modified before warm-up");
         }
         assert!(pruner.is_warm());
         let mut batch = normal_batch(&mut rng, 1000, 0.1);
         let before = batch.clone();
-        pruner.prune_batch(&mut batch, &mut rng);
+        pruner.prune_batch(&mut batch, &stream(3));
         assert_ne!(batch, before, "warm pruner left batch unchanged");
     }
 
@@ -271,9 +376,9 @@ mod tests {
         for &p in &[0.7, 0.9, 0.99] {
             let mut pruner = LayerPruner::new(PruneConfig::new(p, 4));
             let mut rng = StdRng::seed_from_u64(99);
-            for _ in 0..10 {
+            for step in 0..10 {
                 let mut batch = normal_batch(&mut rng, 20_000, 0.05);
-                pruner.prune_batch(&mut batch, &mut rng);
+                pruner.prune_batch(&mut batch, &stream(step));
             }
             let density = pruner.stats().last_density().unwrap();
             // Stochastic pruning re-inserts ±τ values: of the fraction p
@@ -295,8 +400,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut batch = normal_batch(&mut rng, 100, 1.0);
         let before = batch.clone();
-        for _ in 0..5 {
-            pruner.prune_batch(&mut batch, &mut rng);
+        for step in 0..5 {
+            pruner.prune_batch(&mut batch, &stream(step));
             assert_eq!(batch, before);
         }
         assert_eq!(pruner.predicted_threshold(), None);
@@ -306,9 +411,9 @@ mod tests {
     fn predicted_tracks_determined() {
         let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 4));
         let mut rng = StdRng::seed_from_u64(2);
-        for _ in 0..8 {
+        for step in 0..8 {
             let mut batch = normal_batch(&mut rng, 10_000, 0.2);
-            pruner.prune_batch(&mut batch, &mut rng);
+            pruner.prune_batch(&mut batch, &stream(step));
         }
         let predicted = pruner.stats().last_predicted_tau.unwrap();
         let determined = pruner.stats().last_determined_tau.unwrap();
@@ -322,9 +427,9 @@ mod tests {
     fn stats_accumulate() {
         let mut pruner = LayerPruner::new(PruneConfig::new(0.8, 2));
         let mut rng = StdRng::seed_from_u64(3);
-        for _ in 0..6 {
+        for step in 0..6 {
             let mut batch = normal_batch(&mut rng, 1000, 0.1);
-            pruner.prune_batch(&mut batch, &mut rng);
+            pruner.prune_batch(&mut batch, &stream(step));
         }
         assert_eq!(pruner.stats().batches, 6);
         assert!(pruner.stats().mean_density().is_some());
@@ -335,7 +440,7 @@ mod tests {
         let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 1));
         let mut rng = StdRng::seed_from_u64(4);
         let mut batch = normal_batch(&mut rng, 100, 0.1);
-        pruner.prune_batch(&mut batch, &mut rng);
+        pruner.prune_batch(&mut batch, &stream(0));
         assert!(pruner.is_warm());
         pruner.reset();
         assert!(!pruner.is_warm());
@@ -345,9 +450,75 @@ mod tests {
     #[test]
     fn empty_batch_is_handled() {
         let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 1));
-        let mut rng = StdRng::seed_from_u64(5);
         let mut batch: Vec<f32> = Vec::new();
-        let out = pruner.prune_batch(&mut batch, &mut rng);
+        let out = pruner.prune_batch(&mut batch, &stream(0));
         assert_eq!(out.total(), 0);
+    }
+
+    #[test]
+    fn preview_prunes_identically_to_the_stepping_path() {
+        // `preview_batch_parts_on` takes `&self`, so statelessness is
+        // type-enforced; what needs pinning is that its *values* equal the
+        // stepping path's under the same threshold and streams.
+        use sparsetrain_sparse::ScalarEngine;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 1));
+        let mut warm = normal_batch(&mut rng, 2000, 0.05);
+        pruner.prune_batch(&mut warm, &stream(0));
+
+        let batch = normal_batch(&mut rng, 2000, 0.05);
+        let mut previewed = batch.clone();
+        let out_p = pruner.preview_batch_parts_on(&mut [&mut previewed], &stream(1), &ScalarEngine);
+        let mut stepped = batch.clone();
+        let out_s = pruner.prune_batch_parts_on(&mut [&mut stepped], &stream(1), &ScalarEngine);
+        assert_eq!(previewed, stepped, "preview diverged from the stepping prune");
+        assert_eq!(out_p, out_s);
+        // A cold pruner's preview is a pass-through.
+        let cold = LayerPruner::new(PruneConfig::new(0.9, 4));
+        let mut untouched = batch.clone();
+        let out = cold.preview_batch_parts_on(&mut [&mut untouched], &stream(2), &ScalarEngine);
+        assert_eq!(untouched, batch);
+        assert_eq!(out.snapped, 0);
+    }
+
+    #[test]
+    fn engine_banded_prune_matches_sequential() {
+        use sparsetrain_sparse::{ParallelEngine, ScalarEngine};
+        let mut rng = StdRng::seed_from_u64(6);
+        let batches: Vec<Vec<Vec<f32>>> = (0..6)
+            .map(|_| (0..4).map(|_| normal_batch(&mut rng, 700, 0.05)).collect())
+            .collect();
+        let engines: [&dyn KernelEngine; 3] = [
+            &ScalarEngine,
+            &ParallelEngine::with_threads(1),
+            &ParallelEngine::with_threads(4),
+        ];
+        let run = |engine: Option<&dyn KernelEngine>| -> (Vec<Vec<Vec<f32>>>, Vec<PruneOutcome>) {
+            let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 2));
+            let mut outs = Vec::new();
+            let mut pruned = Vec::new();
+            for (step, batch) in batches.iter().enumerate() {
+                let mut data = batch.clone();
+                let mut parts: Vec<&mut [f32]> = data.iter_mut().map(|v| v.as_mut_slice()).collect();
+                let s = BatchStream::per_sample(StreamKey::new(1).derive(step as u64));
+                outs.push(match engine {
+                    None => pruner.prune_batch_parts(&mut parts, &s),
+                    Some(e) => pruner.prune_batch_parts_on(&mut parts, &s, e),
+                });
+                pruned.push(data);
+            }
+            (pruned, outs)
+        };
+        let (want_data, want_outs) = run(None);
+        for engine in engines {
+            let (data, outs) = run(Some(engine));
+            assert_eq!(data, want_data, "engine {} diverged", engine.name());
+            assert_eq!(
+                outs,
+                want_outs,
+                "engine {} outcome counts diverged",
+                engine.name()
+            );
+        }
     }
 }

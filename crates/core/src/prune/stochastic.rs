@@ -4,7 +4,20 @@
 //! the gradient distribution and hurts convergence. Instead it is snapped to
 //! `sign(g)·τ` with probability `|g|/τ` and to `0` otherwise, which keeps
 //! `E[ĝ] = (|g|/τ)·sign(g)·τ = g` — the update is unbiased.
+//!
+//! Two implementations of the rule live here, differing only in where the
+//! random draw comes from:
+//!
+//! * [`prune_slice_at`] — the production path: each element's draw is read
+//!   from a counter-based stream ([`rand::stream::StreamKey`]) at that
+//!   element's position, so results are independent of visitation order
+//!   and thread count (see [`crate::prune::stream`]).
+//! * [`prune_slice`] — the element-order reference mirroring the hardware
+//!   PPU, whose LFSR lanes hand one draw per *non-zero sub-threshold*
+//!   value in stream order. Order-dependent by design; used by the
+//!   simulator cross-checks and statistical property tests.
 
+use rand::stream::StreamKey;
 use rand::Rng;
 
 /// Outcome counts of one pruning pass, for instrumentation.
@@ -72,6 +85,63 @@ pub fn prune_slice<R: Rng + ?Sized>(grads: &mut [f32], tau: f64, rng: &mut R) ->
         } else if (a as f64) < tau {
             // r ~ U[0,1): keep ±τ iff |g| > τ·r  ⇔  with probability |g|/τ.
             let r: f64 = rng.gen();
+            if (a as f64) > tau * r {
+                *g = if *g > 0.0 { tau_f } else { -tau_f };
+                outcome.snapped += 1;
+            } else {
+                *g = 0.0;
+                outcome.zeroed += 1;
+            }
+        } else {
+            outcome.kept += 1;
+        }
+    }
+    outcome
+}
+
+/// Applies the stochastic pruning rule to every element of `grads` with
+/// threshold `tau`, in place, drawing each element's randomness from the
+/// counter-based stream `key` at position `offset + index`. Returns the
+/// outcome counts.
+///
+/// Because the draw for an element is a pure function of `(key, position)`,
+/// the result is independent of visitation order: pruning a slice whole,
+/// in arbitrary sub-slices (with matching offsets), or banded across
+/// threads produces bitwise-identical gradients. `tau <= 0` disables
+/// pruning, and exact zeros stay zero, exactly as in [`prune_slice`].
+///
+/// ```
+/// use sparsetrain_core::prune::prune_slice_at;
+/// use rand::stream::StreamKey;
+///
+/// let key = StreamKey::new(0);
+/// let mut whole = vec![0.5, -0.001, 0.0008, 2.0];
+/// let out = prune_slice_at(&mut whole, 0.01, key, 0);
+/// assert_eq!(out.kept, 2); // 0.5 and 2.0 pass through
+///
+/// // Any partition with matching offsets reproduces the whole-slice prune.
+/// let mut parts = vec![0.5, -0.001, 0.0008, 2.0];
+/// let (head, tail) = parts.split_at_mut(2);
+/// prune_slice_at(head, 0.01, key, 0);
+/// prune_slice_at(tail, 0.01, key, 2);
+/// assert_eq!(parts, whole);
+/// ```
+pub fn prune_slice_at(grads: &mut [f32], tau: f64, key: StreamKey, offset: u64) -> PruneOutcome {
+    let mut outcome = PruneOutcome::default();
+    if tau <= 0.0 {
+        outcome.kept = grads.iter().filter(|&&g| g != 0.0).count();
+        outcome.zeroed = grads.len() - outcome.kept;
+        return outcome;
+    }
+    let tau_f = tau as f32;
+    for (i, g) in grads.iter_mut().enumerate() {
+        let a = g.abs();
+        if *g == 0.0 {
+            outcome.zeroed += 1;
+        } else if (a as f64) < tau {
+            // r ~ U[0,1) at this element's stream position: keep ±τ iff
+            // |g| > τ·r ⇔ with probability |g|/τ.
+            let r = key.uniform_at(offset.wrapping_add(i as u64));
             if (a as f64) > tau * r {
                 *g = if *g > 0.0 { tau_f } else { -tau_f };
                 outcome.snapped += 1;
@@ -165,6 +235,63 @@ mod tests {
         let n = 100_000;
         let mut g: Vec<f32> = vec![g0; n];
         let out = prune_slice(&mut g, tau, &mut rng);
+        let frac = out.snapped as f64 / n as f64;
+        assert!((frac - 0.7).abs() < 0.01, "snap fraction {frac}, want 0.7");
+    }
+
+    #[test]
+    fn stream_prune_matches_rule_semantics() {
+        let key = StreamKey::new(42);
+        let mut g: Vec<f32> = (0..1000).map(|i| (i as f32 - 500.0) * 1e-5).collect();
+        let out = prune_slice_at(&mut g, 0.01, key, 0);
+        assert_eq!(out.total(), 1000);
+        for &v in &g {
+            assert!(
+                v == 0.0 || (v.abs() - 0.01).abs() < 1e-9,
+                "value {v} is neither 0 nor ±τ"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_prune_is_order_independent() {
+        let key = StreamKey::new(7).derive(3);
+        let base: Vec<f32> = (0..512).map(|i| ((i * 37 % 101) as f32 - 50.0) * 2e-4).collect();
+        let mut whole = base.clone();
+        prune_slice_at(&mut whole, 0.008, key, 0);
+        for split in [1usize, 100, 256, 511] {
+            let mut parts = base.clone();
+            let (head, tail) = parts.split_at_mut(split);
+            let a = prune_slice_at(head, 0.008, key, 0);
+            let b = prune_slice_at(tail, 0.008, key, split as u64);
+            assert_eq!(parts, whole, "split at {split} diverged");
+            assert_eq!(a.total() + b.total(), 512);
+        }
+    }
+
+    #[test]
+    fn stream_prune_zero_tau_and_zeros() {
+        let key = StreamKey::new(0);
+        let mut g = vec![0.1, -0.2, 0.0];
+        let out = prune_slice_at(&mut g, 0.0, key, 0);
+        assert_eq!(g, vec![0.1, -0.2, 0.0]);
+        assert_eq!((out.kept, out.zeroed), (2, 1));
+        // Exact zeros never flip, whatever their stream position says.
+        let mut z = vec![0.0f32; 64];
+        let out = prune_slice_at(&mut z, 0.5, key, 0);
+        assert_eq!(out.zeroed, 64);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn stream_snap_probability_matches_ratio() {
+        // P[snap] = |g|/τ, element-wise over distinct stream positions.
+        let key = StreamKey::new(11).derive(1);
+        let tau = 0.01f64;
+        let g0 = 0.007f32;
+        let n = 100_000;
+        let mut g = vec![g0; n];
+        let out = prune_slice_at(&mut g, tau, key, 0);
         let frac = out.snapped as f64 / n as f64;
         assert!((frac - 0.7).abs() < 0.01, "snap fraction {frac}, want 0.7");
     }

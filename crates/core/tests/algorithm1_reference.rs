@@ -3,8 +3,11 @@
 //! paper's Algorithm 1 semantics.
 
 use rand::rngs::StdRng;
+use rand::stream::StreamKey;
 use rand::{Rng, SeedableRng};
-use sparsetrain_core::prune::{determine_threshold, sigma_hat, LayerPruner, PruneConfig, ThresholdFifo};
+use sparsetrain_core::prune::{
+    determine_threshold, sigma_hat, BatchStream, LayerPruner, PruneConfig, ThresholdFifo,
+};
 use sparsetrain_tensor::init::sample_standard_normal;
 
 /// Two-pass reference state: the FIFO of determined thresholds. Pruning is
@@ -40,13 +43,14 @@ fn run_both(p: f64, depth: usize, batches: usize, n: usize) -> (Vec<f64>, Vec<f6
     let mut reference = ReferencePruner::new(depth);
     let mut s_densities = Vec::new();
     let mut r_densities = Vec::new();
-    // Separate RNGs: stochastic choices differ draw-by-draw, so we compare
-    // aggregates, not bit patterns.
-    let mut rng_s = StdRng::seed_from_u64(1);
+    // Separate randomness (counter-based streams vs a sequential RNG):
+    // stochastic choices differ draw-by-draw, so we compare aggregates,
+    // not bit patterns.
+    let key_s = StreamKey::new(1);
     let mut rng_r = StdRng::seed_from_u64(2);
-    for batch in &stream {
+    for (step, batch) in stream.iter().enumerate() {
         let mut a = batch.clone();
-        streaming.prune_batch(&mut a, &mut rng_s);
+        streaming.prune_batch(&mut a, &BatchStream::contiguous(key_s.derive(step as u64)));
         s_densities.push(density(&a));
 
         // Reference accumulates Σ|g| from the original batch, as the
@@ -113,14 +117,14 @@ fn warmup_length_matches_fifo_depth() {
 fn thresholds_agree_between_implementations() {
     let mut streaming = LayerPruner::new(PruneConfig::new(0.8, 3));
     let mut fifo = ThresholdFifo::new(3);
-    let mut rng = StdRng::seed_from_u64(8);
+    let key = StreamKey::new(8);
     let mut data_rng = StdRng::seed_from_u64(9);
-    for _ in 0..10 {
+    for step in 0..10u64 {
         let batch: Vec<f32> = (0..10_000)
             .map(|_| sample_standard_normal(&mut data_rng) * 0.07)
             .collect();
         let mut a = batch.clone();
-        streaming.prune_batch(&mut a, &mut rng);
+        streaming.prune_batch(&mut a, &BatchStream::contiguous(key.derive(step)));
         let abs_sum: f64 = batch.iter().map(|&g| (g as f64).abs()).sum();
         fifo.push(determine_threshold(sigma_hat(abs_sum, batch.len()), 0.8));
     }

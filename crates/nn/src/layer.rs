@@ -1,9 +1,7 @@
 //! The layer abstraction: batched forward/backward on an execution context.
 
-use rand::RngCore;
 use sparsetrain_core::dataflow::LayerTrace;
-#[allow(deprecated)]
-use sparsetrain_sparse::EngineKind;
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 use std::borrow::Cow;
@@ -182,7 +180,11 @@ pub trait Layer {
 
     /// Consumes the batch of output gradients and produces the batch of
     /// input gradients, accumulating parameter gradients internally.
-    /// `rng` feeds stochastic pruning hooks.
+    /// `streams` carries the optimizer step's counter-based RNG
+    /// coordinates, from which stochastic pruning hooks derive their
+    /// per-sample streams — so a backward pass is a pure function of its
+    /// inputs and the step coordinates, bitwise-identical at any thread
+    /// count and on any engine.
     ///
     /// # Panics
     ///
@@ -191,7 +193,7 @@ pub trait Layer {
         &mut self,
         grads: Vec<Tensor3>,
         ctx: &mut ExecutionContext,
-        rng: &mut dyn RngCore,
+        streams: &StepStreams,
     ) -> Vec<Tensor3>;
 
     /// Visits every `(parameter, gradient)` slice pair, in a stable order.
@@ -222,21 +224,18 @@ pub trait Layer {
     /// Resets accumulated density statistics.
     fn reset_density_stats(&mut self) {}
 
+    /// Freezes (or thaws) pruning state: while frozen, pruning hooks still
+    /// prune under their currently-predicted threshold but accumulate no
+    /// `Σ|g|`, push no FIFO entry and record no statistics. Probe passes
+    /// (trace capture, gradient taps) freeze the network so inspecting a
+    /// training run never perturbs its trajectory. Layers without pruning
+    /// state ignore the call.
+    fn set_prune_frozen(&mut self, _frozen: bool) {}
+
     /// Switches layers with a sparse row-dataflow path (`Conv2d`) between
     /// dense execution and engine-driven SRC/MSRC/OSRC execution on the
     /// context's engine. Layers without such a path ignore the call.
     fn set_sparse_execution(&mut self, _enabled: bool) {}
-
-    /// Legacy engine selection; the engine itself now travels in the
-    /// [`ExecutionContext`], so this only switches sparse execution on.
-    #[deprecated(
-        since = "0.2.0",
-        note = "engines are resolved by the ExecutionContext; use set_sparse_execution"
-    )]
-    #[allow(deprecated)]
-    fn set_engine(&mut self, _kind: EngineKind) {
-        self.set_sparse_execution(true);
-    }
 
     /// Number of trainable parameters (for reporting).
     fn param_count(&self) -> usize {

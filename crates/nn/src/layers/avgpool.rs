@@ -1,7 +1,7 @@
 //! Global average pooling.
 
 use crate::layer::{Batch, Layer};
-use rand::RngCore;
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
@@ -44,7 +44,7 @@ impl Layer for GlobalAvgPool {
         &mut self,
         grads: Vec<Tensor3>,
         _ctx: &mut ExecutionContext,
-        _rng: &mut dyn RngCore,
+        _streams: &StepStreams,
     ) -> Vec<Tensor3> {
         let (c, h, w) = self.in_shape;
         let m = (h * w) as f32;
@@ -61,8 +61,6 @@ impl Layer for GlobalAvgPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn forward_averages_channels() {
@@ -83,7 +81,7 @@ mod tests {
         let din = pool.backward(
             vec![Tensor3::from_vec(1, 1, 1, vec![4.0])],
             &mut ExecutionContext::scalar(),
-            &mut StdRng::seed_from_u64(0),
+            &StepStreams::new(0, 0, 0),
         );
         assert_eq!(din[0].as_slice(), &[1.0, 1.0, 1.0, 1.0]);
     }
@@ -99,7 +97,7 @@ mod tests {
         let din = pool.backward(
             vec![Tensor3::from_vec(2, 1, 1, y)],
             &mut ExecutionContext::scalar(),
-            &mut StdRng::seed_from_u64(0),
+            &StepStreams::new(0, 0, 0),
         );
         let rhs: f32 = din[0]
             .as_slice()

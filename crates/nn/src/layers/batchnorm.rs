@@ -1,7 +1,7 @@
 //! 2-D batch normalization.
 
 use crate::layer::{Batch, Layer};
-use rand::RngCore;
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
@@ -142,7 +142,7 @@ impl Layer for BatchNorm2d {
         &mut self,
         grads: Vec<Tensor3>,
         _ctx: &mut ExecutionContext,
-        _rng: &mut dyn RngCore,
+        _streams: &StepStreams,
     ) -> Vec<Tensor3> {
         assert_eq!(
             grads.len(),
@@ -261,7 +261,11 @@ mod tests {
 
         let mut bn = BatchNorm2d::new("bn", 1);
         bn.forward(xs.clone().into(), &mut ExecutionContext::scalar(), true);
-        let din = bn.backward(dout.clone(), &mut ExecutionContext::scalar(), &mut rng);
+        let din = bn.backward(
+            dout.clone(),
+            &mut ExecutionContext::scalar(),
+            &StepStreams::new(0, 0, 0),
+        );
 
         let eps = 1e-2;
         for &(s, y, x) in &[(0usize, 0usize, 0usize), (1, 1, 1), (0, 1, 0)] {
@@ -293,7 +297,7 @@ mod tests {
         let din = bn.backward(
             vec![g, Tensor3::zeros(1, 4, 4)],
             &mut ExecutionContext::scalar(),
-            &mut rng,
+            &StepStreams::new(0, 0, 0),
         );
         let nnz = din[0].as_slice().iter().filter(|&&v| v != 0.0).count();
         assert!(nnz > 8, "BN backward should densify, nnz = {nnz}");

@@ -2,8 +2,9 @@
 
 use crate::layer::{Batch, Layer};
 use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::SeedableRng;
 use sparsetrain_core::dataflow::{ConvLayerTrace, LayerTrace};
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::rowconv::SparseFeatureMap;
 use sparsetrain_sparse::{ExecutionContext, RowMask};
 use sparsetrain_tensor::conv::{self, ConvGeometry};
@@ -184,7 +185,7 @@ impl Layer for Conv2d {
         &mut self,
         grads: Vec<Tensor3>,
         ctx: &mut ExecutionContext,
-        _rng: &mut dyn RngCore,
+        _streams: &StepStreams,
     ) -> Vec<Tensor3> {
         let cached = match self.execution {
             ConvExecution::Im2row => self.ctx_inputs.len(),
@@ -344,12 +345,6 @@ impl Layer for Conv2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(0)
-    }
 
     fn ctx() -> ExecutionContext {
         ExecutionContext::scalar()
@@ -376,7 +371,7 @@ mod tests {
             Tensor3::from_vec(1, 1, 2, vec![1.0, 1.0]),
             Tensor3::from_vec(1, 1, 2, vec![1.0, 1.0]),
         ];
-        conv.backward(grads, &mut ctx(), &mut rng());
+        conv.backward(grads, &mut ctx(), &StepStreams::new(0, 0, 0));
         // dW = sum over batch of <g, x> = (1+2) + (3+4) = 10
         assert_eq!(conv.wgrad.get(0, 0, 0, 0), 10.0);
         assert_eq!(conv.bgrad[0], 4.0);
@@ -391,7 +386,7 @@ mod tests {
         let dins = conv.backward(
             vec![Tensor3::from_fn(2, 4, 4, |_, _, _| 1.0)],
             &mut ctx(),
-            &mut rng(),
+            &StepStreams::new(0, 0, 0),
         );
         assert!(dins[0].as_slice().iter().all(|&v| v == 0.0));
     }
@@ -411,7 +406,7 @@ mod tests {
         conv.backward(
             vec![Tensor3::from_fn(3, 4, 4, |_, y, x| (y * x % 2) as f32)],
             &mut ctx(),
-            &mut rng(),
+            &StepStreams::new(0, 0, 0),
         );
         let mut traces = Vec::new();
         conv.collect_traces(&mut traces);
@@ -429,7 +424,7 @@ mod tests {
         let mut conv = Conv2d::new("c", 1, 1, ConvGeometry::new(1, 1, 0), 5);
         conv.forward(vec![Tensor3::zeros(1, 2, 2)].into(), &mut ctx(), true);
         let g = Tensor3::from_vec(1, 2, 2, vec![1.0, 0.0, 0.0, 0.0]);
-        conv.backward(vec![g], &mut ctx(), &mut rng());
+        conv.backward(vec![g], &mut ctx(), &StepStreams::new(0, 0, 0));
         assert_eq!(conv.mean_dout_density(), Some(0.25));
         conv.reset_density_stats();
         assert_eq!(conv.mean_dout_density(), None);
@@ -446,7 +441,7 @@ mod tests {
         conv.backward(
             vec![Tensor3::from_vec(1, 1, 1, vec![3.0])],
             &mut ctx(),
-            &mut rng(),
+            &StepStreams::new(0, 0, 0),
         );
         assert_ne!(conv.wgrad.get(0, 0, 0, 0), 0.0);
         conv.zero_grads();

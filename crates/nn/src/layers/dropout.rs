@@ -6,7 +6,8 @@
 
 use crate::layer::{Batch, Layer};
 use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::{Rng, SeedableRng};
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
@@ -71,7 +72,7 @@ impl Layer for Dropout {
         &mut self,
         mut grads: Vec<Tensor3>,
         _ctx: &mut ExecutionContext,
-        _rng: &mut dyn RngCore,
+        _streams: &StepStreams,
     ) -> Vec<Tensor3> {
         assert_eq!(grads.len(), self.masks.len(), "{}: no stored mask", self.name);
         let scale = 1.0 / (1.0 - self.rate);
@@ -87,8 +88,6 @@ impl Layer for Dropout {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn eval_mode_is_identity() {
@@ -127,7 +126,7 @@ mod tests {
         let din = d.backward(
             vec![g],
             &mut ExecutionContext::scalar(),
-            &mut StdRng::seed_from_u64(0),
+            &StepStreams::new(0, 0, 0),
         );
         // Gradient zero pattern matches the forward zero pattern.
         for (o, gi) in out[0].as_slice().iter().zip(din[0].as_slice()) {

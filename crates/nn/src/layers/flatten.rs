@@ -1,7 +1,7 @@
 //! Flatten `(C, H, W)` to `(C·H·W, 1, 1)`.
 
 use crate::layer::{Batch, Layer};
-use rand::RngCore;
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
@@ -43,7 +43,7 @@ impl Layer for Flatten {
         &mut self,
         grads: Vec<Tensor3>,
         _ctx: &mut ExecutionContext,
-        _rng: &mut dyn RngCore,
+        _streams: &StepStreams,
     ) -> Vec<Tensor3> {
         let (c, h, w) = self.in_shape;
         grads
@@ -56,8 +56,6 @@ impl Layer for Flatten {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn roundtrip_shape() {
@@ -71,7 +69,7 @@ mod tests {
         let back = f.backward(
             out.into_owned(),
             &mut ExecutionContext::scalar(),
-            &mut StdRng::seed_from_u64(0),
+            &StepStreams::new(0, 0, 0),
         );
         assert_eq!(back[0].shape(), (2, 3, 4));
     }

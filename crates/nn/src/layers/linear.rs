@@ -2,8 +2,9 @@
 
 use crate::layer::{Batch, Layer};
 use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::SeedableRng;
 use sparsetrain_core::dataflow::{FcLayerTrace, LayerTrace};
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::{init, Matrix, Tensor3};
 
@@ -103,7 +104,7 @@ impl Layer for Linear {
         &mut self,
         grads: Vec<Tensor3>,
         _ctx: &mut ExecutionContext,
-        _rng: &mut dyn RngCore,
+        _streams: &StepStreams,
     ) -> Vec<Tensor3> {
         assert_eq!(
             grads.len(),
@@ -170,12 +171,6 @@ impl Layer for Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(0)
-    }
 
     #[test]
     fn forward_computes_affine() {
@@ -205,7 +200,7 @@ mod tests {
         let din = lin.backward(
             vec![Tensor3::from_vec(2, 1, 1, dout.clone())],
             &mut ExecutionContext::scalar(),
-            &mut rng(),
+            &StepStreams::new(0, 0, 0),
         );
         // din = W^T dout; check element 0 by direct computation.
         let w = lin.weights.clone();
@@ -228,7 +223,7 @@ mod tests {
         lin.backward(
             vec![Tensor3::from_vec(2, 1, 1, vec![0.0, 1.0])],
             &mut ExecutionContext::scalar(),
-            &mut rng(),
+            &StepStreams::new(0, 0, 0),
         );
         let mut traces = Vec::new();
         lin.collect_traces(&mut traces);

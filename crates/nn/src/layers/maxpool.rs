@@ -1,7 +1,7 @@
 //! 2-D max pooling.
 
 use crate::layer::{Batch, Layer};
-use rand::RngCore;
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
@@ -95,7 +95,7 @@ impl Layer for MaxPool2d {
         &mut self,
         grads: Vec<Tensor3>,
         _ctx: &mut ExecutionContext,
-        _rng: &mut dyn RngCore,
+        _streams: &StepStreams,
     ) -> Vec<Tensor3> {
         assert_eq!(grads.len(), self.argmax.len(), "{}: no stored argmax", self.name);
         let (c, h, w) = self.in_shape;
@@ -116,8 +116,6 @@ impl Layer for MaxPool2d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn forward_takes_window_max() {
@@ -136,7 +134,7 @@ mod tests {
         let din = pool.backward(
             vec![Tensor3::from_vec(1, 1, 1, vec![2.5])],
             &mut ExecutionContext::scalar(),
-            &mut StdRng::seed_from_u64(0),
+            &StepStreams::new(0, 0, 0),
         );
         assert_eq!(din[0].as_slice(), &[0.0, 2.5, 0.0, 0.0]);
     }
@@ -150,7 +148,7 @@ mod tests {
         let din = pool.backward(
             vec![g],
             &mut ExecutionContext::scalar(),
-            &mut StdRng::seed_from_u64(0),
+            &StepStreams::new(0, 0, 0),
         );
         let nnz = din[0].as_slice().iter().filter(|&&v| v != 0.0).count();
         assert_eq!(nnz, 2 * 4 * 4); // one per output element

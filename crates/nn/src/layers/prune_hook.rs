@@ -8,24 +8,27 @@
 //! gradient about to become that CONV layer's `dO` operand.
 
 use crate::layer::{Batch, Layer};
-use rand::RngCore;
-use sparsetrain_core::prune::{LayerPruner, PruneConfig};
+use sparsetrain_core::prune::{LayerPruner, PruneConfig, StepStreams};
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
 /// A pruning point in the backward graph.
 ///
-/// The prune itself always runs sequentially regardless of the engine in
-/// the [`ExecutionContext`] — Algorithm 1's stochastic keep/snap decisions
-/// consume the trainer RNG in element order, and reordering them would
-/// change results between engines. Batch-parallel pruning (one
-/// counter-based RNG stream per sample) can use the context's engine once
-/// that lands, since the context already arrives in `backward`.
+/// The prune executes through the [`ExecutionContext`]'s engine: each
+/// sample of the batch draws from its own counter-based RNG stream
+/// (derived from the step's [`StepStreams`] by this hook's name and the
+/// sample index), so the engine may band the `samples × elements` space
+/// across threads and the pruned gradients stay bitwise-identical to the
+/// sequential order on every engine and at every thread count. Dropping a
+/// sample from a batch leaves every other sample's decisions unchanged.
 pub struct PruneHook {
     name: String,
     pruner: Option<LayerPruner>,
     tap_enabled: bool,
     tapped: Option<Vec<f32>>,
+    /// While frozen (probe passes), prune under the predicted threshold
+    /// but leave the pruner's FIFO and statistics untouched.
+    frozen: bool,
 }
 
 impl PruneHook {
@@ -37,6 +40,7 @@ impl PruneHook {
             pruner: config.map(LayerPruner::new),
             tap_enabled: false,
             tapped: None,
+            frozen: false,
         }
     }
 
@@ -63,8 +67,8 @@ impl Layer for PruneHook {
     fn backward(
         &mut self,
         mut grads: Vec<Tensor3>,
-        _ctx: &mut ExecutionContext,
-        rng: &mut dyn RngCore,
+        ctx: &mut ExecutionContext,
+        streams: &StepStreams,
     ) -> Vec<Tensor3> {
         if self.tap_enabled {
             let mut values = Vec::new();
@@ -74,12 +78,22 @@ impl Layer for PruneHook {
             self.tapped = Some(values);
         }
         if let Some(pruner) = &mut self.pruner {
-            // The whole batch's gradients form one logical vector g
-            // (Algorithm 1 treats one batch's gradients per layer jointly).
+            // The whole batch's gradients form one logical vector g for
+            // thresholding (Algorithm 1 treats one batch's gradients per
+            // layer jointly); each sample draws from its own stream.
+            let stream = streams.site(&self.name);
             let mut parts: Vec<&mut [f32]> = grads.iter_mut().map(|g| g.as_mut_slice()).collect();
-            pruner.prune_batch_parts(&mut parts, rng);
+            if self.frozen {
+                pruner.preview_batch_parts_on(&mut parts, &stream, ctx.engine());
+            } else {
+                pruner.prune_batch_parts_on(&mut parts, &stream, ctx.engine());
+            }
         }
         grads
+    }
+
+    fn set_prune_frozen(&mut self, frozen: bool) {
+        self.frozen = frozen;
     }
 
     fn grad_densities(&self, out: &mut Vec<(String, f64)>) {
@@ -123,13 +137,18 @@ mod tests {
             .collect()
     }
 
+    /// The trainer-side stream coordinates of optimizer step `step`.
+    fn step(step: u64) -> StepStreams {
+        StepStreams::new(0, 0, step)
+    }
+
     #[test]
     fn disabled_hook_is_identity() {
         let mut hook = PruneHook::new("h", None);
         let mut rng = StdRng::seed_from_u64(0);
         let grads = batch(&mut rng, 2);
         let before = grads.clone();
-        let after = hook.backward(grads, &mut ExecutionContext::scalar(), &mut rng);
+        let after = hook.backward(grads, &mut ExecutionContext::scalar(), &step(0));
         assert_eq!(after, before);
         assert!(!hook.is_enabled());
     }
@@ -138,12 +157,12 @@ mod tests {
     fn enabled_hook_prunes_after_warmup() {
         let mut hook = PruneHook::new("h", Some(PruneConfig::new(0.9, 2)));
         let mut rng = StdRng::seed_from_u64(1);
-        for _ in 0..4 {
+        for s in 0..4 {
             let grads = batch(&mut rng, 4);
-            hook.backward(grads, &mut ExecutionContext::scalar(), &mut rng);
+            hook.backward(grads, &mut ExecutionContext::scalar(), &step(s));
         }
         let grads = batch(&mut rng, 4);
-        let out = hook.backward(grads, &mut ExecutionContext::scalar(), &mut rng);
+        let out = hook.backward(grads, &mut ExecutionContext::scalar(), &step(4));
         let nnz: usize = out
             .iter()
             .map(|g| g.as_slice().iter().filter(|&&v| v != 0.0).count())
@@ -170,11 +189,11 @@ mod tests {
         let mut hook = PruneHook::new("h", Some(PruneConfig::new(0.9, 1)));
         let mut rng = StdRng::seed_from_u64(9);
         // Warm the FIFO so pruning is active.
-        hook.backward(batch(&mut rng, 2), &mut ExecutionContext::scalar(), &mut rng);
+        hook.backward(batch(&mut rng, 2), &mut ExecutionContext::scalar(), &step(0));
         hook.set_grad_tap(true);
         let grads = batch(&mut rng, 2);
         let original: Vec<f32> = grads.iter().flat_map(|g| g.as_slice().to_vec()).collect();
-        let out = hook.backward(grads, &mut ExecutionContext::scalar(), &mut rng);
+        let out = hook.backward(grads, &mut ExecutionContext::scalar(), &step(1));
         let mut tapped = Vec::new();
         hook.take_tapped_grads(&mut tapped);
         assert_eq!(tapped.len(), 1);
@@ -186,7 +205,7 @@ mod tests {
         hook.take_tapped_grads(&mut again);
         assert!(again.is_empty());
         // Disabling clears any stored tap.
-        hook.backward(batch(&mut rng, 1), &mut ExecutionContext::scalar(), &mut rng);
+        hook.backward(batch(&mut rng, 1), &mut ExecutionContext::scalar(), &step(2));
         hook.set_grad_tap(false);
         let mut cleared = Vec::new();
         hook.take_tapped_grads(&mut cleared);
@@ -197,13 +216,62 @@ mod tests {
     fn densities_reported() {
         let mut hook = PruneHook::new("h", Some(PruneConfig::new(0.8, 1)));
         let mut rng = StdRng::seed_from_u64(3);
-        for _ in 0..3 {
+        for s in 0..3 {
             let grads = batch(&mut rng, 2);
-            hook.backward(grads, &mut ExecutionContext::scalar(), &mut rng);
+            hook.backward(grads, &mut ExecutionContext::scalar(), &step(s));
         }
         let mut out = Vec::new();
         hook.grad_densities(&mut out);
         assert_eq!(out.len(), 1);
         assert!(out[0].1 > 0.0 && out[0].1 <= 1.0);
+    }
+
+    #[test]
+    fn pruning_is_engine_invariant_and_repeatable() {
+        // The same step coordinates must give bitwise-identical pruned
+        // gradients on every context engine — and on repeat runs.
+        let mut rng = StdRng::seed_from_u64(4);
+        let grads = batch(&mut rng, 3);
+        let run = |engine: &str| -> Vec<Vec<f32>> {
+            let mut hook = PruneHook::new("h", Some(PruneConfig::new(0.9, 1)));
+            let mut ctx = ExecutionContext::by_name(engine).unwrap();
+            hook.backward(grads.clone(), &mut ctx, &step(0)); // warm
+            hook.backward(grads.clone(), &mut ctx, &step(1))
+                .into_iter()
+                .map(|g| g.as_slice().to_vec())
+                .collect()
+        };
+        let scalar = run("scalar");
+        assert_eq!(run("scalar"), scalar, "repeat run diverged");
+        assert_eq!(run("parallel"), scalar, "parallel engine diverged");
+        assert_eq!(run("fixed"), scalar, "fixed engine diverged");
+    }
+
+    #[test]
+    fn dropping_a_sample_leaves_others_untouched() {
+        // Per-sample streams: with the applied threshold held fixed (both
+        // hooks warm their 1-deep FIFO on the same batch), pruning a batch
+        // with the last sample dropped reproduces the surviving samples'
+        // decisions bit for bit. The old shared-stream design could not do
+        // this — earlier samples' draw *counts* shifted every later draw.
+        let mut rng = StdRng::seed_from_u64(5);
+        let warm = batch(&mut rng, 4);
+        let grads = batch(&mut rng, 4);
+        let run = |gs: Vec<Tensor3>| -> Vec<Vec<f32>> {
+            let mut hook = PruneHook::new("h", Some(PruneConfig::new(0.9, 1)));
+            let mut ctx = ExecutionContext::scalar();
+            hook.backward(warm.clone(), &mut ctx, &step(0)); // identical warm-up
+            hook.backward(gs, &mut ctx, &step(1))
+                .into_iter()
+                .map(|g| g.as_slice().to_vec())
+                .collect()
+        };
+        let full = run(grads.clone());
+        let dropped = run(grads[..3].to_vec());
+        assert_eq!(
+            &full[..3],
+            &dropped[..],
+            "dropping the trailing sample changed earlier samples' pruning"
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! ReLU activation.
 
 use crate::layer::{Batch, Layer};
-use rand::RngCore;
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
@@ -46,7 +46,7 @@ impl Layer for Relu {
         &mut self,
         mut grads: Vec<Tensor3>,
         _ctx: &mut ExecutionContext,
-        _rng: &mut dyn RngCore,
+        _streams: &StepStreams,
     ) -> Vec<Tensor3> {
         assert_eq!(grads.len(), self.masks.len(), "{}: no stored mask", self.name);
         for (g, mask) in grads.iter_mut().zip(&self.masks) {
@@ -63,8 +63,6 @@ impl Layer for Relu {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn forward_clamps_negatives() {
@@ -90,7 +88,7 @@ mod tests {
         let din = relu.backward(
             vec![Tensor3::from_vec(1, 1, 3, vec![5.0, 5.0, 5.0])],
             &mut ctx,
-            &mut StdRng::seed_from_u64(0),
+            &StepStreams::new(0, 0, 0),
         );
         assert_eq!(din[0].as_slice(), &[0.0, 5.0, 5.0]);
     }
@@ -103,7 +101,7 @@ mod tests {
         let din = relu.backward(
             vec![Tensor3::from_vec(1, 1, 1, vec![7.0])],
             &mut ctx,
-            &mut StdRng::seed_from_u64(0),
+            &StepStreams::new(0, 0, 0),
         );
         assert_eq!(din[0].as_slice(), &[0.0]);
     }

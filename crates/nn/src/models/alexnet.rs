@@ -114,8 +114,8 @@ pub fn mini_cnn_for(
 mod tests {
     use super::*;
     use crate::layer::Layer;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
+    use sparsetrain_core::prune::StepStreams;
     use sparsetrain_sparse::ExecutionContext;
     use sparsetrain_tensor::Tensor3;
 
@@ -133,7 +133,6 @@ mod tests {
     #[test]
     fn alexnet_backward_runs() {
         let mut net = alexnet(3, 16, 5, 2, Some(PruneConfig::paper_default()), 2);
-        let mut rng = StdRng::seed_from_u64(0);
         let out = net.forward(
             vec![Tensor3::from_fn(3, 16, 16, |_, y, x| (y * x) as f32 * 0.01)].into(),
             &mut ExecutionContext::scalar(),
@@ -142,7 +141,7 @@ mod tests {
         let din = net.backward(
             vec![Tensor3::from_fn(5, 1, 1, |_, _, _| 0.1)],
             &mut ExecutionContext::scalar(),
-            &mut rng,
+            &StepStreams::new(0, 0, 0),
         );
         assert_eq!(out[0].shape(), (5, 1, 1));
         assert_eq!(din[0].shape(), (3, 16, 16));

@@ -281,8 +281,8 @@ pub fn resnet50ish(
 mod tests {
     use super::*;
     use crate::layer::Layer;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
+    use sparsetrain_core::prune::StepStreams;
     use sparsetrain_sparse::ExecutionContext;
     use sparsetrain_tensor::Tensor3;
 
@@ -329,7 +329,6 @@ mod tests {
             Some(PruneConfig::paper_default()),
             2,
         );
-        let mut rng = StdRng::seed_from_u64(0);
         let xs = vec![
             Tensor3::from_fn(3, 8, 8, |c, y, x| ((c + y + x) % 5) as f32 * 0.2),
             Tensor3::from_fn(3, 8, 8, |c, y, x| ((c * y + x) % 7) as f32 * 0.1),
@@ -339,7 +338,7 @@ mod tests {
         let din = net.backward(
             vec![Tensor3::from_fn(4, 1, 1, |_, _, _| 0.3); 2],
             &mut ExecutionContext::scalar(),
-            &mut rng,
+            &StepStreams::new(0, 0, 0),
         );
         assert_eq!(din[0].shape(), (3, 8, 8));
     }
@@ -386,7 +385,6 @@ mod tests {
     #[test]
     fn bottleneck_train_step_runs() {
         let mut net = resnet_bottleneck(3, 4, [1, 1, 1], 2, Some(PruneConfig::paper_default()), 8);
-        let mut rng = StdRng::seed_from_u64(1);
         let xs = vec![Tensor3::from_fn(3, 8, 8, |c, y, x| {
             ((c + y * x) % 3) as f32 * 0.3
         })];
@@ -395,7 +393,7 @@ mod tests {
         let din = net.backward(
             vec![Tensor3::from_fn(4, 1, 1, |_, _, _| 0.1)],
             &mut ExecutionContext::scalar(),
-            &mut rng,
+            &StepStreams::new(0, 0, 0),
         );
         assert_eq!(din[0].shape(), (3, 8, 8));
     }

@@ -108,8 +108,8 @@ pub fn vgg11(
 mod tests {
     use super::*;
     use crate::layer::Layer;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
+    use sparsetrain_core::prune::StepStreams;
     use sparsetrain_sparse::ExecutionContext;
     use sparsetrain_tensor::Tensor3;
 
@@ -127,7 +127,6 @@ mod tests {
     #[test]
     fn vgg_train_step_runs_with_pruning() {
         let mut net = vgg11(3, 16, 4, 2, Some(PruneConfig::paper_default()), 2);
-        let mut rng = StdRng::seed_from_u64(0);
         let xs = vec![Tensor3::from_fn(3, 16, 16, |c, y, x| {
             ((c + y * x) % 5) as f32 * 0.1
         })];
@@ -135,7 +134,7 @@ mod tests {
         let din = net.backward(
             vec![Tensor3::from_fn(4, 1, 1, |_, _, _| 0.2)],
             &mut ExecutionContext::scalar(),
-            &mut rng,
+            &StepStreams::new(0, 0, 0),
         );
         assert_eq!(din[0].shape(), (3, 16, 16));
     }

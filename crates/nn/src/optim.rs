@@ -203,7 +203,7 @@ impl Adam {
 mod tests {
     use super::*;
     use crate::layer::Layer;
-    use rand::RngCore;
+    use sparsetrain_core::prune::StepStreams;
     use sparsetrain_tensor::Tensor3;
 
     /// A single learnable scalar minimising (w - 3)^2 via its gradient.
@@ -228,7 +228,7 @@ mod tests {
             &mut self,
             grads: Vec<Tensor3>,
             _ctx: &mut sparsetrain_sparse::ExecutionContext,
-            _rng: &mut dyn RngCore,
+            _streams: &StepStreams,
         ) -> Vec<Tensor3> {
             grads
         }

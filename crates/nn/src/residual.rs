@@ -3,8 +3,8 @@
 use crate::layer::{Batch, Layer};
 use crate::layers::Relu;
 use crate::sequential::Sequential;
-use rand::RngCore;
 use sparsetrain_core::dataflow::LayerTrace;
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
@@ -56,13 +56,13 @@ impl Layer for ResidualBlock {
         &mut self,
         grads: Vec<Tensor3>,
         ctx: &mut ExecutionContext,
-        rng: &mut dyn RngCore,
+        streams: &StepStreams,
     ) -> Vec<Tensor3> {
-        let grads = self.relu.backward(grads, ctx, rng);
+        let grads = self.relu.backward(grads, ctx, streams);
         // The sum node copies the gradient to both branches.
-        let mut din = self.main.backward(grads.clone(), ctx, rng);
+        let mut din = self.main.backward(grads.clone(), ctx, streams);
         let skip_din = match &mut self.shortcut {
-            Some(s) => s.backward(grads, ctx, rng),
+            Some(s) => s.backward(grads, ctx, streams),
             None => grads,
         };
         for (d, s) in din.iter_mut().zip(&skip_din) {
@@ -113,6 +113,14 @@ impl Layer for ResidualBlock {
         }
     }
 
+    fn set_prune_frozen(&mut self, frozen: bool) {
+        self.main.set_prune_frozen(frozen);
+        if let Some(s) = &mut self.shortcut {
+            s.set_prune_frozen(frozen);
+        }
+        self.relu.set_prune_frozen(frozen);
+    }
+
     fn set_grad_tap(&mut self, enable: bool) {
         self.main.set_grad_tap(enable);
         if let Some(s) = &mut self.shortcut {
@@ -143,8 +151,7 @@ impl Layer for ResidualBlock {
 mod tests {
     use super::*;
     use crate::layers::{BatchNorm2d, Conv2d};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
     use sparsetrain_tensor::conv::ConvGeometry;
 
     fn block(ch: usize) -> ResidualBlock {
@@ -163,11 +170,10 @@ mod tests {
         let xs = vec![Tensor3::from_fn(4, 6, 6, |c, y, x| ((c + y + x) % 3) as f32); 2];
         let out = b.forward(xs.into(), &mut ExecutionContext::scalar(), true);
         assert_eq!(out[0].shape(), (4, 6, 6));
-        let mut rng = StdRng::seed_from_u64(0);
         let din = b.backward(
             vec![Tensor3::from_fn(4, 6, 6, |_, _, _| 0.5); 2],
             &mut ExecutionContext::scalar(),
-            &mut rng,
+            &StepStreams::new(0, 0, 0),
         );
         assert_eq!(din[0].shape(), (4, 6, 6));
     }
@@ -183,11 +189,10 @@ mod tests {
         let out = b.forward(xs.into(), &mut ExecutionContext::scalar(), true);
         // With zeroed BN gamma the main path is exactly zero; out == relu(skip).
         assert!(out[0].as_slice().iter().any(|&v| v > 0.0));
-        let mut rng = StdRng::seed_from_u64(1);
         let din = b.backward(
             vec![Tensor3::from_fn(2, 4, 4, |_, _, _| 1.0)],
             &mut ExecutionContext::scalar(),
-            &mut rng,
+            &StepStreams::new(0, 0, 0),
         );
         let nnz = din[0].as_slice().iter().filter(|&&v| v != 0.0).count();
         assert!(nnz > 0, "no gradient reached the block input");
@@ -220,7 +225,7 @@ mod tests {
                 &mut self,
                 grads: Vec<Tensor3>,
                 _ctx: &mut ExecutionContext,
-                _rng: &mut dyn RngCore,
+                _streams: &StepStreams,
             ) -> Vec<Tensor3> {
                 grads
             }

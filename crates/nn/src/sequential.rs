@@ -1,8 +1,8 @@
 //! Sequential composition of layers.
 
 use crate::layer::{Batch, Layer};
-use rand::RngCore;
 use sparsetrain_core::dataflow::LayerTrace;
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
@@ -84,10 +84,10 @@ impl Layer for Sequential {
         &mut self,
         mut grads: Vec<Tensor3>,
         ctx: &mut ExecutionContext,
-        rng: &mut dyn RngCore,
+        streams: &StepStreams,
     ) -> Vec<Tensor3> {
         for layer in self.layers.iter_mut().rev() {
-            grads = layer.backward(grads, ctx, rng);
+            grads = layer.backward(grads, ctx, streams);
         }
         grads
     }
@@ -128,6 +128,12 @@ impl Layer for Sequential {
         }
     }
 
+    fn set_prune_frozen(&mut self, frozen: bool) {
+        for layer in &mut self.layers {
+            layer.set_prune_frozen(frozen);
+        }
+    }
+
     fn set_grad_tap(&mut self, enable: bool) {
         for layer in &mut self.layers {
             layer.set_grad_tap(enable);
@@ -155,8 +161,7 @@ impl Layer for Sequential {
 mod tests {
     use super::*;
     use crate::layers::{Conv2d, Relu};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+
     use sparsetrain_tensor::conv::ConvGeometry;
 
     #[test]
@@ -165,12 +170,15 @@ mod tests {
             .push(Conv2d::new("c1", 1, 2, ConvGeometry::new(3, 1, 1), 1))
             .push(Relu::new("r1"))
             .push(Conv2d::new("c2", 2, 1, ConvGeometry::new(3, 1, 1), 2));
-        let mut rng = StdRng::seed_from_u64(0);
         let mut ctx = ExecutionContext::scalar();
         let xs = vec![Tensor3::from_fn(1, 4, 4, |_, y, x| (y + x) as f32)];
         let out = net.forward(xs.into(), &mut ctx, true);
         assert_eq!(out[0].shape(), (1, 4, 4));
-        let din = net.backward(vec![Tensor3::from_fn(1, 4, 4, |_, _, _| 1.0)], &mut ctx, &mut rng);
+        let din = net.backward(
+            vec![Tensor3::from_fn(1, 4, 4, |_, _, _| 1.0)],
+            &mut ctx,
+            &StepStreams::new(0, 0, 0),
+        );
         assert_eq!(din[0].shape(), (1, 4, 4));
     }
 

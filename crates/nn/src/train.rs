@@ -9,6 +9,7 @@ use crate::sequential::Sequential;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparsetrain_core::dataflow::NetworkTrace;
+use sparsetrain_core::prune::{StepStreams, StreamSeeds};
 #[allow(deprecated)]
 use sparsetrain_sparse::EngineKind;
 use sparsetrain_sparse::{registry, EngineHandle, ExecutionContext};
@@ -131,7 +132,13 @@ pub struct Trainer {
     net: Sequential,
     config: TrainConfig,
     sgd: Sgd,
+    /// Feeds data-order decisions only (epoch shuffling). Stochastic
+    /// pruning draws from the counter-based `streams` ladder instead, so
+    /// pruning never perturbs the shuffle sequence (or vice versa).
     rng: StdRng,
+    /// The `(seed, epoch, step)` ladder every backward pass derives its
+    /// pruning streams from.
+    streams: StreamSeeds,
     ctx: ExecutionContext,
 }
 
@@ -152,6 +159,7 @@ impl Trainer {
             net,
             sgd: Sgd::new(config.lr, config.momentum, config.weight_decay),
             rng: StdRng::seed_from_u64(config.seed),
+            streams: StreamSeeds::new(config.seed),
             config,
             ctx,
         }
@@ -170,6 +178,17 @@ impl Trainer {
     /// The execution context the trainer threads through every pass.
     pub fn context_mut(&mut self) -> &mut ExecutionContext {
         &mut self.ctx
+    }
+
+    /// The `(seed, epoch, step)` ladder pruning streams derive from;
+    /// advances once per trained batch and once per epoch.
+    pub fn stream_seeds(&self) -> StreamSeeds {
+        self.streams
+    }
+
+    /// The stream coordinates the next backward pass will prune under.
+    pub fn step_streams(&self) -> StepStreams {
+        self.streams.streams()
     }
 
     /// Name of the resolved kernel engine (`"scalar"` when training on the
@@ -212,9 +231,12 @@ impl Trainer {
                 }
                 grads.push(Tensor3::from_vec(logits.len(), 1, 1, dlogits));
             }
-            self.net.backward(grads, &mut self.ctx, &mut self.rng);
+            let step = self.streams.streams();
+            self.net.backward(grads, &mut self.ctx, &step);
+            self.streams.advance_step();
             self.sgd.step(&mut self.net, 1.0 / chunk.len() as f32);
         }
+        self.streams.advance_epoch();
         EpochStats {
             loss: total_loss / n as f64,
             accuracy: correct as f64 / n as f64,
@@ -339,7 +361,14 @@ impl Trainer {
                 Tensor3::from_vec(out.len(), 1, 1, dlogits)
             })
             .collect();
-        self.net.backward(grads, &mut self.ctx, &mut self.rng);
+        // Probe passes reuse the upcoming step's stream coordinates
+        // without advancing the ladder, and run with pruning state frozen
+        // (predicted thresholds applied, no FIFO/statistics updates): they
+        // are off the training path and must not perturb it.
+        let step = self.streams.streams();
+        self.net.set_prune_frozen(true);
+        self.net.backward(grads, &mut self.ctx, &step);
+        self.net.set_prune_frozen(false);
         self.net.zero_grads(); // discard the gradient side effects
         let mut trace = NetworkTrace::new(model, dataset);
         self.net.collect_traces(&mut trace.layers);
@@ -373,7 +402,12 @@ impl Trainer {
                 Tensor3::from_vec(out.len(), 1, 1, dlogits)
             })
             .collect();
-        self.net.backward(grads, &mut self.ctx, &mut self.rng);
+        // Frozen probe pass, like `capture_trace_at`: same stream
+        // coordinates as the upcoming step, no pruner state mutation.
+        let step = self.streams.streams();
+        self.net.set_prune_frozen(true);
+        self.net.backward(grads, &mut self.ctx, &step);
+        self.net.set_prune_frozen(false);
         self.net.zero_grads();
         let mut tapped = Vec::new();
         self.net.take_tapped_grads(&mut tapped);
@@ -492,6 +526,30 @@ mod tests {
         let mut out = Vec::new();
         trainer.network_mut().take_tapped_grads(&mut out);
         assert!(out.is_empty(), "taps leaked into normal training");
+    }
+
+    #[test]
+    fn probe_passes_do_not_perturb_training() {
+        // capture_trace and tap_gradients run real backward passes, but
+        // with pruning state frozen and the stream ladder unadvanced —
+        // inspecting a run must leave its trajectory bitwise unchanged.
+        let (train, _) = SyntheticSpec::tiny(3).generate();
+        let run = |probe: bool| -> Vec<f32> {
+            let net = models::mini_cnn(3, 4, Some(PruneConfig::new(0.9, 2)));
+            let mut trainer = Trainer::new(net, TrainConfig::quick());
+            trainer.train_epoch(&train);
+            if probe {
+                trainer.capture_trace(&train, "m", "d");
+                trainer.tap_gradients(&train);
+            }
+            trainer.train_epoch(&train);
+            let mut weights = Vec::new();
+            trainer
+                .network_mut()
+                .visit_params(&mut |w, _| weights.extend_from_slice(w));
+            weights
+        };
+        assert_eq!(run(false), run(true), "probe passes perturbed the trajectory");
     }
 
     #[test]

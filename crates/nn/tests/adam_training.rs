@@ -1,9 +1,7 @@
 //! Integration: the Adam extension trains the same networks the SGD path
 //! does, with pruning hooks active.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sparsetrain_core::prune::PruneConfig;
+use sparsetrain_core::prune::{PruneConfig, StepStreams};
 use sparsetrain_nn::data::SyntheticSpec;
 use sparsetrain_nn::loss::softmax_cross_entropy;
 use sparsetrain_nn::models;
@@ -19,7 +17,6 @@ fn train_adam(prune: Option<PruneConfig>, epochs: usize) -> (f64, f64) {
     let (train, test) = SyntheticSpec::tiny(4).generate();
     let mut net = models::mini_cnn(4, 8, prune);
     let mut adam = Adam::new(2e-3);
-    let mut rng = StdRng::seed_from_u64(7);
     let batch = 16usize;
 
     for _ in 0..epochs {
@@ -36,7 +33,7 @@ fn train_adam(prune: Option<PruneConfig>, epochs: usize) -> (f64, f64) {
                     Tensor3::from_vec(out.len(), 1, 1, dlogits)
                 })
                 .collect();
-            net.backward(grads, &mut ExecutionContext::scalar(), &mut rng);
+            net.backward(grads, &mut ExecutionContext::scalar(), &StepStreams::new(0, 0, 0));
             adam.step(&mut net, 1.0 / (end - start) as f32);
         }
     }

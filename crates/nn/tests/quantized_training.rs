@@ -2,8 +2,7 @@
 //! accounting: quantizing activations and gradients through a Q-format
 //! datapath does not change what a training step learns.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_nn::data::SyntheticSpec;
 use sparsetrain_nn::layer::Layer;
 use sparsetrain_nn::loss::softmax_cross_entropy;
@@ -20,7 +19,6 @@ fn activations_and_gradients_fit_q88_range() {
     let mut net = models::mini_cnn(3, 6, None);
     let xs: Vec<Tensor3> = train.images[..8].to_vec();
     let outs = net.forward(xs.into(), &mut ExecutionContext::scalar(), true);
-    let mut rng = StdRng::seed_from_u64(0);
     let grads: Vec<Tensor3> = outs
         .iter()
         .zip(&train.labels[..8])
@@ -29,7 +27,11 @@ fn activations_and_gradients_fit_q88_range() {
             Tensor3::from_vec(o.len(), 1, 1, d)
         })
         .collect();
-    let dins = net.backward(grads.clone(), &mut ExecutionContext::scalar(), &mut rng);
+    let dins = net.backward(
+        grads.clone(),
+        &mut ExecutionContext::scalar(),
+        &StepStreams::new(0, 0, 0),
+    );
 
     for t in outs.iter().chain(&dins) {
         let (_err, saturated) = quantization_error::<8>(t.as_slice());

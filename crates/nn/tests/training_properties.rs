@@ -2,9 +2,8 @@
 //! differences through deep compositions, determinism, and pruning-hook
 //! isolation.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use sparsetrain_core::prune::PruneConfig;
+use sparsetrain_core::prune::StepStreams;
 use sparsetrain_nn::data::SyntheticSpec;
 use sparsetrain_nn::layer::Layer;
 use sparsetrain_nn::layers::{BatchNorm2d, Conv2d, MaxPool2d, Relu};
@@ -58,12 +57,15 @@ fn deep_network_input_gradient_matches_finite_difference() {
 
     let mut net = build_conv_bn_relu_pool();
     net.forward(xs.clone().into(), &mut ExecutionContext::scalar(), true);
-    let mut rng = StdRng::seed_from_u64(0);
     let din = {
         // Re-run forward to set context right before backward.
         let mut n2 = build_conv_bn_relu_pool();
         n2.forward(xs.clone().into(), &mut ExecutionContext::scalar(), true);
-        n2.backward(dout.clone(), &mut ExecutionContext::scalar(), &mut rng)
+        n2.backward(
+            dout.clone(),
+            &mut ExecutionContext::scalar(),
+            &StepStreams::new(0, 0, 0),
+        )
     };
 
     let eps = 1e-2;
@@ -132,16 +134,19 @@ fn prune_hook_does_not_change_forward() {
 #[test]
 fn zero_grads_between_batches_prevents_accumulation_leak() {
     let mut net = Sequential::new("n").push(Conv2d::new("c", 1, 1, ConvGeometry::unit(), 9));
-    let mut rng = StdRng::seed_from_u64(0);
     let xs = vec![Tensor3::from_vec(1, 1, 1, vec![2.0])];
     let g = vec![Tensor3::from_vec(1, 1, 1, vec![1.0])];
     net.forward(xs.clone().into(), &mut ExecutionContext::scalar(), true);
-    net.backward(g.clone(), &mut ExecutionContext::scalar(), &mut rng);
+    net.backward(
+        g.clone(),
+        &mut ExecutionContext::scalar(),
+        &StepStreams::new(0, 0, 0),
+    );
     let mut first = Vec::new();
     net.visit_params(&mut |_, grad| first.push(grad.to_vec()));
     net.zero_grads();
     net.forward(xs.into(), &mut ExecutionContext::scalar(), true);
-    net.backward(g, &mut ExecutionContext::scalar(), &mut rng);
+    net.backward(g, &mut ExecutionContext::scalar(), &StepStreams::new(0, 0, 0));
     let mut second = Vec::new();
     net.visit_params(&mut |_, grad| second.push(grad.to_vec()));
     assert_eq!(first, second, "gradients leaked across zero_grads");

@@ -26,6 +26,12 @@
 //! `samples × filters` so multi-core speedup scales with batch size, not
 //! just layer width.
 //!
+//! Beyond the convolutions, [`KernelEngine::for_each_batch_chunk`] is the
+//! elementwise batch seam: position-pure per-element work (stochastic
+//! pruning with counter-based RNG streams) executes through it, banded
+//! across the `samples × elements` space on the parallel engine with —
+//! again — bitwise-identical results at every thread count.
+//!
 //! [`Workspace`] is the companion scratch-buffer type for row-at-a-time
 //! callers (benches, op-stream execution): it owns reusable output/tap
 //! buffers so single-row kernel calls need no allocation either.
@@ -232,6 +238,27 @@ pub trait KernelEngine: Send + Sync {
         assert_eq!(inputs.len(), douts.len(), "batch length mismatch");
         for (input, dout) in inputs.iter().zip(douts) {
             self.weight_grad_into(input, dout, geom, dw);
+        }
+    }
+
+    // -- Elementwise batch work ----------------------------------------------
+
+    /// Runs `work` over a batch of independent mutable parts (e.g. one
+    /// gradient tensor per sample), covering every element of every part
+    /// exactly once: each invocation `work(part, offset, chunk)` receives a
+    /// sub-slice of `parts[part]` beginning at element `offset` of that
+    /// part. The default visits whole parts sequentially in order; engines
+    /// may split parts into chunks and run them concurrently in any order.
+    ///
+    /// This is the seam the stochastic pruning stage executes through:
+    /// because its per-element decisions are keyed by *position*
+    /// (counter-based RNG streams), any chunking of the element space
+    /// produces bitwise-identical results. `work` must therefore be
+    /// position-pure — its effect on an element may depend only on
+    /// `(part, element index, element value)`, never on visitation order.
+    fn for_each_batch_chunk(&self, parts: Vec<&mut [f32]>, work: &(dyn Fn(usize, usize, &mut [f32]) + Sync)) {
+        for (p, part) in parts.into_iter().enumerate() {
+            work(p, 0, part);
         }
     }
 
@@ -676,6 +703,47 @@ where
     });
 }
 
+/// Splits a batch of per-part element slices (lengths may differ) into
+/// `bands` near-equal contiguous chunks of the *global* element space and
+/// runs `work(part, first_element, chunk)` for each chunk in parallel.
+///
+/// Chunks never span parts (a global band crossing a part boundary becomes
+/// one chunk per part), mirroring [`for_each_batch_band`] with per-element
+/// granularity and non-uniform part lengths.
+fn for_each_element_chunk(
+    parts: Vec<&mut [f32]>,
+    bands: usize,
+    work: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+) {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    if bands <= 1 || total <= 1 {
+        for (p, part) in parts.into_iter().enumerate() {
+            work(p, 0, part);
+        }
+        return;
+    }
+    let per_band = total.div_ceil(bands);
+    rayon::scope(|scope| {
+        let mut global = 0usize;
+        for (p, part) in parts.into_iter().enumerate() {
+            let mut rest = part;
+            let mut offset = 0usize;
+            while !rest.is_empty() {
+                // End of the global band this element falls into, clamped
+                // to the part boundary.
+                let band_end = (global / per_band + 1) * per_band;
+                let n = (band_end - global).min(rest.len());
+                let (chunk, tail) = rest.split_at_mut(n);
+                rest = tail;
+                let first = offset;
+                offset += n;
+                global += n;
+                scope.spawn(move |_| work(p, first, chunk));
+            }
+        }
+    });
+}
+
 impl KernelEngine for ParallelEngine {
     fn name(&self) -> &'static str {
         "parallel"
@@ -794,6 +862,15 @@ impl KernelEngine for ParallelEngine {
         for_each_batch_band(slices, c, in_h * in_w, bands, |s, c_lo, chunk| {
             input_grad_band(&douts[s], weights, geom, &masks[s], in_h, in_w, c_lo, chunk);
         });
+    }
+
+    fn for_each_batch_chunk(&self, parts: Vec<&mut [f32]>, work: &(dyn Fn(usize, usize, &mut [f32]) + Sync)) {
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        // A position-keyed element visit costs a handful of MACs' worth of
+        // work (one counter-based draw at most), so weight elements
+        // accordingly when sizing bands in auto mode.
+        let bands = self.bands_for_total(total, total.saturating_mul(8));
+        for_each_element_chunk(parts, bands, work);
     }
 
     fn weight_grad_batch_into(
@@ -1097,6 +1174,62 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn element_chunk_split_covers_every_element_once() {
+        // Uneven part lengths, including an empty part, for several band
+        // counts: every element must be visited exactly once with its
+        // correct (part, offset) coordinates.
+        for bands in 1..8usize {
+            let mut a = vec![0.0f32; 5];
+            let mut b: Vec<f32> = Vec::new();
+            let mut c = vec![0.0f32; 9];
+            let mut d = vec![0.0f32; 2];
+            let parts: Vec<&mut [f32]> = vec![&mut a, &mut b, &mut c, &mut d];
+            for_each_element_chunk(parts, bands, &|p, offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    // Encode the coordinates; a second visit would clobber.
+                    assert_eq!(*v, 0.0, "element visited twice (bands {bands})");
+                    *v = (p * 100 + offset + i) as f32 + 1.0;
+                }
+            });
+            for (p, part) in [&a[..], &b[..], &c[..], &d[..]].iter().enumerate() {
+                for (i, &v) in part.iter().enumerate() {
+                    assert_eq!(v, (p * 100 + i) as f32 + 1.0, "bands {bands}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_position_pure_batch_work() {
+        // A position-pure transform must come out identical under the
+        // default sequential visit and the parallel chunked visit.
+        let make = || -> Vec<Vec<f32>> {
+            (0..4)
+                .map(|p| (0..257).map(|i| (p * 1000 + i) as f32).collect())
+                .collect()
+        };
+        let run = |engine: &dyn KernelEngine| -> Vec<Vec<f32>> {
+            let mut data = make();
+            let parts: Vec<&mut [f32]> = data.iter_mut().map(|v| v.as_mut_slice()).collect();
+            engine.for_each_batch_chunk(parts, &|p, offset, chunk| {
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = v.mul_add(0.5, (p + offset + i) as f32);
+                }
+            });
+            data
+        };
+        let scalar = run(&ScalarEngine);
+        for threads in [1usize, 2, 5, 16] {
+            assert_eq!(
+                run(&ParallelEngine::with_threads(threads)),
+                scalar,
+                "threads {threads}"
+            );
+        }
+        assert_eq!(run(&ParallelEngine::auto()), scalar);
     }
 
     #[test]

@@ -297,6 +297,111 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Pruning leg of the engine matrix
+// ---------------------------------------------------------------------------
+
+/// One pruned training epoch's observables: final weights, per-site
+/// pre-prune gradient taps, and the next step's stream coordinates.
+struct PrunedEpoch {
+    weights: Vec<f32>,
+    tapped: Vec<(String, Vec<f32>)>,
+    streams: sparsetrain_core::prune::StepStreams,
+}
+
+/// Trains one epoch of a pruned mini CNN on `handle`'s engine.
+fn pruned_epoch(handle: registry::EngineHandle) -> PrunedEpoch {
+    use sparsetrain_nn::data::SyntheticSpec;
+    use sparsetrain_nn::train::{TrainConfig, Trainer};
+    use sparsetrain_nn::{models, Layer};
+
+    let (train, _) = SyntheticSpec::tiny(3).generate();
+    let net = models::mini_cnn(3, 4, Some(sparsetrain_core::prune::PruneConfig::new(0.9, 2)));
+    let mut trainer = Trainer::new(net, TrainConfig::quick().with_engine_handle(handle));
+    trainer.train_epoch(&train);
+    let tapped = trainer.tap_gradients(&train);
+    let streams = trainer.step_streams();
+    let mut weights = Vec::new();
+    trainer
+        .network_mut()
+        .visit_params(&mut |w, _| weights.extend_from_slice(w));
+    PrunedEpoch {
+        weights,
+        tapped,
+        streams,
+    }
+}
+
+/// For every registered engine: a pruned training epoch is deterministic
+/// (two independent runs agree bitwise), and the engine's banded pruning
+/// path reproduces the scalar/sequential golden bitwise on that run's
+/// *actual* activation gradients. The pruning stage is engine-invariant
+/// even for backends whose convolution datapath is not (fixed-point).
+#[test]
+fn pruning_parity_across_engines() {
+    use sparsetrain_core::prune::{LayerPruner, PruneConfig};
+
+    for handle in engines_under_test() {
+        let a = pruned_epoch(handle);
+        let b = pruned_epoch(handle);
+        assert_eq!(
+            a.weights,
+            b.weights,
+            "engine {}: pruned training not reproducible",
+            handle.name()
+        );
+        assert_eq!(
+            a.tapped,
+            b.tapped,
+            "engine {}: gradients not reproducible",
+            handle.name()
+        );
+
+        // Banded pruning on this engine == sequential scalar golden, on
+        // the real gradient tensors this engine produced, under the exact
+        // streams the trainer's PruneHook would derive for this step.
+        for (site, grads) in &a.tapped {
+            let stream = a.streams.site(site);
+            let mut warm = LayerPruner::new(PruneConfig::new(0.9, 1));
+            warm.prune_batch(&mut grads.clone(), &stream); // warm the FIFO
+            let mut sequential = warm.clone();
+            let mut banded = warm;
+            let mut seq_data = grads.clone();
+            sequential.prune_batch_parts(&mut [&mut seq_data], &stream);
+            let mut band_data = grads.clone();
+            banded.prune_batch_parts_on(&mut [&mut band_data], &stream, handle.engine());
+            assert_eq!(
+                seq_data,
+                band_data,
+                "engine {}: banded prune of {site} diverged from sequential golden",
+                handle.name()
+            );
+        }
+    }
+}
+
+/// The float engines (scalar, parallel) share one bitwise training
+/// trajectory with pruning enabled — banding the convolutions *and* the
+/// pruning across threads changes nothing.
+#[test]
+fn pruned_training_identical_on_float_engines() {
+    if registry::env_override().expect("valid engine").is_some() {
+        // The CI engine matrix pins a single engine; the cross-engine
+        // comparison runs in the unrestricted leg.
+        return;
+    }
+    let scalar = pruned_epoch(registry::lookup("scalar").unwrap());
+    let parallel = pruned_epoch(registry::lookup("parallel").unwrap());
+    assert_eq!(
+        scalar.weights, parallel.weights,
+        "float engines' pruned weights diverged"
+    );
+    assert_eq!(
+        scalar.tapped, parallel.tapped,
+        "float engines' gradient taps diverged"
+    );
+}
+
 /// The deprecated `rowconv::*_with` shims still forward to the engines
 /// they wrapped (kept for one release).
 #[test]

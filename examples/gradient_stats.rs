@@ -10,11 +10,12 @@
 //! Run with: `cargo run --release --example gradient_stats`
 
 use rand::rngs::StdRng;
+use rand::stream::StreamKey;
 use rand::{Rng, SeedableRng};
 use sparsetrain::core::prune::diagnostics::{
     DistributionSummary, HALF_NORMAL_RATIO, NORMAL_1SIGMA, NORMAL_2SIGMA,
 };
-use sparsetrain::core::prune::{LayerPruner, PruneConfig};
+use sparsetrain::core::prune::{BatchStream, LayerPruner, PruneConfig};
 use sparsetrain::tensor::init::sample_standard_normal;
 
 fn print_summary(label: &str, s: &DistributionSummary) {
@@ -75,12 +76,12 @@ fn main() {
     println!("achieved density at target p = 0.9 after FIFO warm-up:");
     for (label, data) in [("normal", &grads), ("uniform", &uniform)] {
         let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 4));
-        let mut prng = StdRng::seed_from_u64(7);
+        let prune_key = StreamKey::new(7);
         let chunk = data.len() / 8;
         let mut density = 0.0;
         for i in 0..8 {
             let mut batch = data[i * chunk..(i + 1) * chunk].to_vec();
-            pruner.prune_batch(&mut batch, &mut prng);
+            pruner.prune_batch(&mut batch, &BatchStream::contiguous(prune_key.derive(i as u64)));
             density = pruner.stats().last_density().unwrap_or(1.0);
         }
         println!("  {label:<8} density = {density:.3}");

@@ -12,9 +12,10 @@
 //! Run with: `cargo run --release --example hw_pruning`
 
 use rand::rngs::StdRng;
+use rand::stream::StreamKey;
 use rand::SeedableRng;
 use sparsetrain::core::prune::predictor::{FifoPredictor, ThresholdPredictor};
-use sparsetrain::core::prune::{determine_threshold, sigma_hat, LayerPruner, PruneConfig};
+use sparsetrain::core::prune::{determine_threshold, sigma_hat, BatchStream, LayerPruner, PruneConfig};
 use sparsetrain::sim::prune_unit::PruneUnit;
 use sparsetrain::tensor::init::sample_standard_normal;
 
@@ -24,9 +25,10 @@ fn main() {
     let batches = 12;
     let batch_len = 16_384;
 
-    // Software reference: the paper's Algorithm 1 in one object.
+    // Software reference: the paper's Algorithm 1 in one object, drawing
+    // from counter-based streams (one per batch).
     let mut software = LayerPruner::new(PruneConfig::new(target_sparsity, fifo_depth));
-    let mut sw_rng = StdRng::seed_from_u64(1);
+    let sw_key = StreamKey::new(1);
 
     // Hardware decomposition: PPU pruning stage + controller-side FIFO.
     let mut unit = PruneUnit::new(0xACE1);
@@ -43,7 +45,7 @@ fn main() {
 
         // --- software path
         let mut sw = grads.clone();
-        software.prune_batch(&mut sw, &mut sw_rng);
+        software.prune_batch(&mut sw, &BatchStream::contiguous(sw_key.derive(batch as u64)));
         let sw_density = software.stats().last_density().unwrap_or(1.0);
 
         // --- hardware path: load predicted tau (0 while FIFO cold),

@@ -11,8 +11,9 @@
 //! step's convolutions on a named kernel engine from the registry.
 
 use rand::rngs::StdRng;
+use rand::stream::StreamKey;
 use rand::SeedableRng;
-use sparsetrain::core::prune::{LayerPruner, PruneConfig};
+use sparsetrain::core::prune::{BatchStream, LayerPruner, PruneConfig};
 use sparsetrain::nn::data::SyntheticSpec;
 use sparsetrain::nn::models;
 use sparsetrain::nn::train::{TrainConfig, Trainer};
@@ -24,11 +25,14 @@ fn main() {
     // --- 1. The pruning algorithm on a synthetic gradient stream.
     let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 4));
     let mut rng = StdRng::seed_from_u64(1);
-    for batch in 0..8 {
+    // Pruning draws from counter-based streams: one key per batch, so the
+    // result is reproducible at any thread count.
+    let prune_key = StreamKey::new(1);
+    for batch in 0..8u64 {
         let mut grads: Vec<f32> = (0..4096)
             .map(|_| sample_standard_normal(&mut rng) * 0.05)
             .collect();
-        pruner.prune_batch(&mut grads, &mut rng);
+        pruner.prune_batch(&mut grads, &BatchStream::contiguous(prune_key.derive(batch)));
         if let Some(d) = pruner.stats().last_density() {
             println!(
                 "batch {batch}: density {:.3} (predicted tau {:.5})",

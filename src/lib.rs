@@ -16,17 +16,18 @@
 //! # Quickstart
 //!
 //! ```
-//! use sparsetrain::core::prune::{PruneConfig, LayerPruner};
-//! use rand::rngs::StdRng;
-//! use rand::SeedableRng;
+//! use sparsetrain::core::prune::{BatchStream, PruneConfig, LayerPruner};
+//! use rand::stream::StreamKey;
 //!
-//! // Prune a batch of activation gradients to ~90% sparsity.
+//! // Prune a batch of activation gradients to ~90% sparsity. Randomness
+//! // comes from counter-based streams (one key per batch), so the result
+//! // is bitwise-reproducible at any thread count, on any kernel engine.
 //! let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 4));
-//! let mut rng = StdRng::seed_from_u64(0);
+//! let seed = StreamKey::new(0);
 //! let mut grads: Vec<f32> = (0..1000).map(|i| ((i % 17) as f32 - 8.0) * 1e-3).collect();
-//! for _ in 0..8 {
+//! for step in 0..8u64 {
 //!     let mut batch = grads.clone();
-//!     pruner.prune_batch(&mut batch, &mut rng);
+//!     pruner.prune_batch(&mut batch, &BatchStream::contiguous(seed.derive(step)));
 //!     grads.rotate_left(7);
 //! }
 //! ```

@@ -2,9 +2,10 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
+use rand::stream::StreamKey;
 use rand::SeedableRng;
 use sparsetrain::core::prune::{
-    determine_threshold, prune_slice, sigma_hat, threshold_from_slice, LayerPruner, PruneConfig,
+    determine_threshold, prune_slice, sigma_hat, threshold_from_slice, BatchStream, LayerPruner, PruneConfig,
 };
 use sparsetrain::tensor::init::sample_standard_normal;
 
@@ -112,13 +113,14 @@ fn target_sparsity_achieved_on_normal_data() {
 fn layer_pruner_tracks_drifting_scale() {
     let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 4));
     let mut rng = StdRng::seed_from_u64(12);
+    let key = StreamKey::new(12);
     let mut last_density = 1.0;
-    for step in 0..20 {
+    for step in 0..20u64 {
         let sigma = 0.1 * (1.0 + (step as f32 * 0.3).sin() * 0.3);
         let mut g: Vec<f32> = (0..8000)
             .map(|_| sample_standard_normal(&mut rng) * sigma)
             .collect();
-        pruner.prune_batch(&mut g, &mut rng);
+        pruner.prune_batch(&mut g, &BatchStream::contiguous(key.derive(step)));
         last_density = pruner.stats().last_density().unwrap();
     }
     assert!(
@@ -147,7 +149,7 @@ fn hardware_path_matches_software_pruner() {
     let target = 0.9;
     let depth = 4;
     let mut software = LayerPruner::new(PruneConfig::new(target, depth));
-    let mut sw_rng = StdRng::seed_from_u64(5);
+    let sw_key = StreamKey::new(5);
     let mut unit = PruneUnit::new(0xACE1);
     let mut fifo = FifoPredictor::new(depth);
     let mut data_rng = StdRng::seed_from_u64(9);
@@ -159,7 +161,7 @@ fn hardware_path_matches_software_pruner() {
 
         let sw_warm = software.is_warm(); // state *entering* this batch
         let mut sw = grads.clone();
-        software.prune_batch(&mut sw, &mut sw_rng);
+        software.prune_batch(&mut sw, &BatchStream::contiguous(sw_key.derive(batch as u64)));
         let sw_density = software.stats().last_density().unwrap();
 
         let tau_hat = fifo.predict().unwrap_or(0.0);

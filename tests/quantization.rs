@@ -5,10 +5,9 @@
 //! network: quantizing weights and activations to their best Q-formats
 //! must leave classification decisions and gradient statistics intact.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::stream::StreamKey;
 use sparsetrain::core::prune::diagnostics::DistributionSummary;
-use sparsetrain::core::prune::PruneConfig;
+use sparsetrain::core::prune::{BatchStream, PruneConfig};
 use sparsetrain::nn::data::SyntheticSpec;
 use sparsetrain::nn::metrics::ConfusionMatrix;
 use sparsetrain::nn::models;
@@ -111,11 +110,11 @@ fn gradient_statistics_survive_quantization() {
         // Achieved density under the paper's pruner, float vs quantized.
         let density = |data: &[f32]| -> f64 {
             let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 1));
-            let mut rng = StdRng::seed_from_u64(13);
+            let key = StreamKey::new(13);
             let mut batch = data.to_vec();
-            pruner.prune_batch(&mut batch, &mut rng); // warm the FIFO
+            pruner.prune_batch(&mut batch, &BatchStream::contiguous(key.derive(0))); // warm the FIFO
             let mut batch = data.to_vec();
-            pruner.prune_batch(&mut batch, &mut rng);
+            pruner.prune_batch(&mut batch, &BatchStream::contiguous(key.derive(1)));
             pruner.stats().last_density().unwrap()
         };
         let d = density(values);
