@@ -15,11 +15,18 @@
 //! The parallel engine bands work across `samples × filters`; its win
 //! scales with hardware threads and batch size (`≥1.5×` expected on 4+
 //! cores for the batched shapes below, parity on 1 core where it
-//! degenerates to one band).
+//! degenerates to one band). The simd engine's win is lane-level and
+//! shows up even on one core wherever rows are dense enough to sweep
+//! (`≥1.5×` expected on AVX2 at the forward densities below). The
+//! `pruning` group covers the stochastic pruning stage: sequential
+//! `prune_batch_parts` vs engine-banded `prune_batch_parts_on` across
+//! batch sizes, with the rayon worker count in the label.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
+use rand::stream::StreamKey;
 use rand::{Rng, SeedableRng};
+use sparsetrain_core::prune::{BatchStream, LayerPruner, PruneConfig};
 use sparsetrain_sparse::rowconv::SparseFeatureMap;
 use sparsetrain_sparse::{registry, EngineHandle, Workspace};
 use sparsetrain_tensor::conv::ConvGeometry;
@@ -183,6 +190,70 @@ fn bench_batched_vs_per_sample(c: &mut Criterion) {
     group.finish();
 }
 
+/// Stochastic pruning throughput: the sequential `prune_batch_parts`
+/// golden vs the engine-banded `prune_batch_parts_on` across batch sizes,
+/// per registered engine. Labels carry the rayon worker count so the CI
+/// matrix legs (`RAYON_NUM_THREADS` ∈ {1, 4}) land as distinct series in
+/// the `target/bench-results.jsonl` trajectory; the gap between `seq` and
+/// a parallel engine's `banded` leg is the batch-parallel prune win, and
+/// the `seq` cost itself tracks the (amortized) Philox draw price on the
+/// snap/zero path.
+fn bench_pruning(c: &mut Criterion) {
+    const ELEMENTS: usize = 4096; // one sample's activation-gradient tensor
+    let threads = rayon::current_num_threads();
+    let mut group = c.benchmark_group("pruning");
+    group.sample_size(10);
+    for batch in [8usize, 32, 128] {
+        let mut rng = StdRng::seed_from_u64(0x5EED + batch as u64);
+        // Gradient-like data: ~90 % of magnitudes under the threshold the
+        // warmed pruner predicts, so most elements consume a draw.
+        let samples: Vec<Vec<f32>> = (0..batch)
+            .map(|_| (0..ELEMENTS).map(|_| (rng.gen::<f32>() - 0.5) * 0.02).collect())
+            .collect();
+        let stream = BatchStream::per_sample(StreamKey::new(0xBE7C).derive(batch as u64));
+        let warm = {
+            let mut pruner = LayerPruner::new(PruneConfig::new(0.9, 2));
+            let mut data = samples.clone();
+            let mut parts: Vec<&mut [f32]> = data.iter_mut().map(|v| v.as_mut_slice()).collect();
+            pruner.prune_batch_parts(&mut parts, &stream);
+            pruner
+        };
+        group.bench_function(
+            BenchmarkId::new(format!("seq/t{threads}"), format!("b{batch}")),
+            |b| {
+                b.iter_batched(
+                    || (warm.clone(), samples.clone()),
+                    |(mut pruner, mut data)| {
+                        let mut parts: Vec<&mut [f32]> = data.iter_mut().map(|v| v.as_mut_slice()).collect();
+                        black_box(pruner.prune_batch_parts(&mut parts, &stream));
+                    },
+                    BatchSize::LargeInput,
+                );
+            },
+        );
+        for handle in engines() {
+            group.bench_function(
+                BenchmarkId::new(
+                    format!("banded/{}/t{threads}", handle.name()),
+                    format!("b{batch}"),
+                ),
+                |b| {
+                    b.iter_batched(
+                        || (warm.clone(), samples.clone()),
+                        |(mut pruner, mut data)| {
+                            let mut parts: Vec<&mut [f32]> =
+                                data.iter_mut().map(|v| v.as_mut_slice()).collect();
+                            black_box(pruner.prune_batch_parts_on(&mut parts, &stream, handle.engine()));
+                        },
+                        BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 /// Row-at-a-time kernels: allocating wrapper vs Workspace scratch reuse —
 /// the per-row allocation the engine layer eliminated.
 fn bench_workspace_vs_alloc(c: &mut Criterion) {
@@ -220,6 +291,7 @@ criterion_group!(
     bench_input_grad,
     bench_weight_grad,
     bench_batched_vs_per_sample,
+    bench_pruning,
     bench_workspace_vs_alloc
 );
 criterion_main!(benches);

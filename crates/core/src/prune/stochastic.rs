@@ -110,6 +110,14 @@ pub fn prune_slice<R: Rng + ?Sized>(grads: &mut [f32], tau: f64, rng: &mut R) ->
 /// threads produces bitwise-identical gradients. `tau <= 0` disables
 /// pruning, and exact zeros stay zero, exactly as in [`prune_slice`].
 ///
+/// Draws are read in fixed-width runs through
+/// [`StreamKey::fill_uniform_at`], which folds the Philox key schedule
+/// once per run instead of once per element; a run's buffer is only
+/// filled when one of its elements actually needs a draw, and each
+/// element still reads the draw at its own position (the f32 rounding of
+/// the stream's 53-bit uniform), so any partition of the element space
+/// keeps producing identical results.
+///
 /// ```
 /// use sparsetrain_core::prune::prune_slice_at;
 /// use rand::stream::StreamKey;
@@ -134,23 +142,37 @@ pub fn prune_slice_at(grads: &mut [f32], tau: f64, key: StreamKey, offset: u64) 
         return outcome;
     }
     let tau_f = tau as f32;
-    for (i, g) in grads.iter_mut().enumerate() {
-        let a = g.abs();
-        if *g == 0.0 {
-            outcome.zeroed += 1;
-        } else if (a as f64) < tau {
-            // r ~ U[0,1) at this element's stream position: keep ±τ iff
-            // |g| > τ·r ⇔ with probability |g|/τ.
-            let r = key.uniform_at(offset.wrapping_add(i as u64));
-            if (a as f64) > tau * r {
-                *g = if *g > 0.0 { tau_f } else { -tau_f };
-                outcome.snapped += 1;
-            } else {
-                *g = 0.0;
+    // One run of buffered draws per fixed-width chunk: the chunk size is a
+    // multiple of the engine lane width, so lane-aligned banded callers
+    // fill whole runs.
+    const RUN: usize = 64;
+    let mut draws = [0.0f32; RUN];
+    for (run, chunk) in grads.chunks_mut(RUN).enumerate() {
+        let base = offset.wrapping_add((run * RUN) as u64);
+        let len = chunk.len();
+        let mut filled = false;
+        for (i, g) in chunk.iter_mut().enumerate() {
+            let a = g.abs();
+            if *g == 0.0 {
                 outcome.zeroed += 1;
+            } else if (a as f64) < tau {
+                if !filled {
+                    key.fill_uniform_at(base, &mut draws[..len]);
+                    filled = true;
+                }
+                // r ~ U[0,1) at this element's stream position: keep ±τ
+                // iff |g| > τ·r ⇔ with probability |g|/τ.
+                let r = draws[i] as f64;
+                if (a as f64) > tau * r {
+                    *g = if *g > 0.0 { tau_f } else { -tau_f };
+                    outcome.snapped += 1;
+                } else {
+                    *g = 0.0;
+                    outcome.zeroed += 1;
+                }
+            } else {
+                outcome.kept += 1;
             }
-        } else {
-            outcome.kept += 1;
         }
     }
     outcome

@@ -5,14 +5,17 @@
 //! layer: it owns the resolved `&'static dyn KernelEngine` (picked once,
 //! by [`EngineHandle`]) and a [`Workspace`] of reusable scratch buffers for
 //! row-at-a-time callers. Construction is name-driven — from a registry
-//! handle, a string, or the `SPARSETRAIN_ENGINE` environment variable —
-//! so adding a backend never changes a call-site signature again.
+//! handle, a string (`"scalar"`, `"parallel"`, `"simd"`,
+//! `"parallel:simd"`, `"fixed"`, `"fixed:qI.F"`, or anything registered),
+//! or the `SPARSETRAIN_ENGINE` environment variable — so adding a backend
+//! never changes a call-site signature again: the simd engine slotted into
+//! every selection path without touching one.
 //!
 //! ```
 //! use sparsetrain_sparse::ExecutionContext;
 //!
-//! let mut ctx = ExecutionContext::by_name("parallel").unwrap();
-//! assert_eq!(ctx.engine_name(), "parallel");
+//! let mut ctx = ExecutionContext::by_name("parallel:simd").unwrap();
+//! assert_eq!(ctx.engine_name(), "parallel:simd");
 //! ctx.workspace().row(64); // reusable zeroed scratch
 //! ```
 

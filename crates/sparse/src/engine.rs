@@ -7,7 +7,7 @@
 //! [`crate::osrc::osrc_accumulate`]), so the inner loops perform **zero
 //! per-row heap allocations** on every engine.
 //!
-//! Two engines ship today:
+//! The float engines shipped here:
 //!
 //! * [`ScalarEngine`] — the reference single-threaded semantics. Iteration
 //!   order is the specification; every other engine must match it
@@ -17,7 +17,12 @@
 //!   GTA) on the rayon fork-join API. Because parallelism is only ever
 //!   across disjoint output rows while the per-row accumulation order is
 //!   untouched, its results are **bitwise identical** to the scalar
-//!   engine's — verified by the `engine_parity` property tests.
+//!   engine's — verified by the `engine_parity` property tests. Each
+//!   band's computation is delegated to an *inner* engine through the
+//!   [`KernelEngine`] band methods (`forward_band` / `input_grad_band` /
+//!   `weight_grad_band`), so lane-level backends compose with banding —
+//!   [`crate::simd_engine::SimdEngine`] inside rayon bands is registered
+//!   as `"parallel:simd"`.
 //!
 //! Both engines also serve whole batches: the [`KernelEngine`] batch entry
 //! points (`forward_batch_into`, `input_grad_batch_into`,
@@ -37,7 +42,8 @@
 //! buffers so single-row kernel calls need no allocation either.
 //!
 //! Engine selection is name-keyed: the open registry in
-//! [`crate::registry`] maps `"scalar"` / `"parallel"` / `"fixed"` (and
+//! [`crate::registry`] maps `"scalar"` / `"parallel"` / `"simd"` /
+//! `"parallel:simd"` / `"fixed"` / `"fixed:qI.F"` (and
 //! anything registered at runtime) to engine instances, and
 //! [`crate::context::ExecutionContext`] carries the resolved engine plus
 //! scratch through `sparsetrain-nn`'s `Trainer`/`Conv2d` and the dataflow
@@ -124,6 +130,9 @@ pub trait KernelEngine: Send + Sync {
     /// Forward step: `out[fi] += Σ_ci SRC(input[ci], W[fi][ci])` (+ bias if
     /// given, which overwrites `out` first).
     ///
+    /// The default validates shapes and runs [`KernelEngine::forward_band`]
+    /// over the whole filter range.
+    ///
     /// # Panics
     ///
     /// Panics on shape mismatches between `input`, `weights`, `geom` and
@@ -135,11 +144,18 @@ pub trait KernelEngine: Send + Sync {
         bias: Option<&[f32]>,
         geom: ConvGeometry,
         out: &mut Tensor3,
-    );
+    ) {
+        check_forward(input, weights, bias, geom, out);
+        let (_, oh, ow) = out.shape();
+        self.forward_band(input, weights, bias, geom, oh, ow, 0, out.as_mut_slice());
+    }
 
     /// GTA step: scatters `dout` through the rotated kernels into `din`,
     /// skipping positions absent from `masks` (the forward non-zero masks,
     /// one per `(channel, input row)` in channel-major order).
+    ///
+    /// The default validates shapes and runs
+    /// [`KernelEngine::input_grad_band`] over the whole channel range.
     ///
     /// # Panics
     ///
@@ -151,10 +167,17 @@ pub trait KernelEngine: Send + Sync {
         geom: ConvGeometry,
         masks: &[RowMask],
         din: &mut Tensor3,
-    );
+    ) {
+        check_input_grad(dout, weights, geom, masks, din);
+        let (_, in_h, in_w) = din.shape();
+        self.input_grad_band(dout, weights, geom, masks, in_h, in_w, 0, din.as_mut_slice());
+    }
 
     /// GTW step: accumulates `dW[fi][ci][u] += Σ_oy OSRC(I row, dO row)`
     /// directly into the kernel rows of `dw`.
+    ///
+    /// The default validates shapes and runs
+    /// [`KernelEngine::weight_grad_band`] over the whole filter range.
     ///
     /// # Panics
     ///
@@ -165,7 +188,70 @@ pub trait KernelEngine: Send + Sync {
         dout: &SparseFeatureMap,
         geom: ConvGeometry,
         dw: &mut Tensor4,
-    );
+    ) {
+        check_weight_grad(input, dout, geom, dw);
+        self.weight_grad_band(input, dout, geom, 0, dw.as_mut_slice());
+    }
+
+    // -- Band-level workers --------------------------------------------------
+    //
+    // The banding seam: `ParallelEngine` splits a stage's independent
+    // output units into contiguous bands and delegates the per-band
+    // computation to an *inner* engine through these methods, so a
+    // vectorized backend composes with band parallelism (`"parallel:simd"`)
+    // without reimplementing the banding. The defaults are the scalar
+    // reference loops; every override must stay bitwise identical to them.
+    // Band methods trust their caller for shape validation (the `*_into`
+    // entry points run the checks).
+
+    /// Computes the forward rows of filters `f_lo..f_lo + n` into
+    /// `out_band`, which holds `n` contiguous pre-seeded `oh × ow` filter
+    /// planes.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_band(
+        &self,
+        input: &SparseFeatureMap,
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+        oh: usize,
+        ow: usize,
+        f_lo: usize,
+        out_band: &mut [f32],
+    ) {
+        scalar_forward_band(input, weights, bias, geom, oh, ow, f_lo, out_band);
+    }
+
+    /// Computes the input-gradient rows of channels `c_lo..c_lo + n` into
+    /// `din_band`, which holds `n` contiguous pre-seeded `in_h × in_w`
+    /// channel planes.
+    #[allow(clippy::too_many_arguments)]
+    fn input_grad_band(
+        &self,
+        dout: &SparseFeatureMap,
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        masks: &[RowMask],
+        in_h: usize,
+        in_w: usize,
+        c_lo: usize,
+        din_band: &mut [f32],
+    ) {
+        scalar_input_grad_band(dout, weights, geom, masks, in_h, in_w, c_lo, din_band);
+    }
+
+    /// Accumulates the weight gradients of filters `f_lo..f_lo + n` into
+    /// `dw_band`, which holds `n` contiguous `C × K × K` filter blocks.
+    fn weight_grad_band(
+        &self,
+        input: &SparseFeatureMap,
+        dout: &SparseFeatureMap,
+        geom: ConvGeometry,
+        f_lo: usize,
+        dw_band: &mut [f32],
+    ) {
+        scalar_weight_grad_band(input, dout, geom, f_lo, dw_band);
+    }
 
     // -- Batched entry points ------------------------------------------------
     //
@@ -412,13 +498,14 @@ fn check_weight_grad(input: &SparseFeatureMap, dout: &SparseFeatureMap, geom: Co
 }
 
 // ---------------------------------------------------------------------------
-// Band workers (shared by both engines; the scalar engine is one big band)
+// Scalar band workers (the trait's default band bodies; the scalar engine
+// is one big band)
 // ---------------------------------------------------------------------------
 
 /// Computes the forward rows of filters `f_lo..f_lo + n` into `out_band`
 /// (`n` contiguous `Oh × Ow` filter planes).
 #[allow(clippy::too_many_arguments)]
-fn forward_band(
+pub(crate) fn scalar_forward_band(
     input: &SparseFeatureMap,
     weights: &Tensor4,
     bias: Option<&[f32]>,
@@ -452,7 +539,7 @@ fn forward_band(
 /// Computes the input-gradient rows of channels `c_lo..c_lo + n` into
 /// `din_band` (`n` contiguous `H × W` channel planes).
 #[allow(clippy::too_many_arguments)]
-fn input_grad_band(
+pub(crate) fn scalar_input_grad_band(
     dout: &SparseFeatureMap,
     weights: &Tensor4,
     geom: ConvGeometry,
@@ -492,7 +579,7 @@ fn input_grad_band(
 
 /// Accumulates the weight gradients of filters `f_lo..f_lo + n` into
 /// `dw_band` (`n` contiguous `C × K × K` filter blocks).
-fn weight_grad_band(
+pub(crate) fn scalar_weight_grad_band(
     input: &SparseFeatureMap,
     dout: &SparseFeatureMap,
     geom: ConvGeometry,
@@ -533,45 +620,10 @@ fn weight_grad_band(
 pub struct ScalarEngine;
 
 impl KernelEngine for ScalarEngine {
+    // The trait defaults (shape checks + the scalar band workers over the
+    // whole unit range) *are* the reference semantics.
     fn name(&self) -> &'static str {
         "scalar"
-    }
-
-    fn forward_into(
-        &self,
-        input: &SparseFeatureMap,
-        weights: &Tensor4,
-        bias: Option<&[f32]>,
-        geom: ConvGeometry,
-        out: &mut Tensor3,
-    ) {
-        check_forward(input, weights, bias, geom, out);
-        let (_, oh, ow) = out.shape();
-        forward_band(input, weights, bias, geom, oh, ow, 0, out.as_mut_slice());
-    }
-
-    fn input_grad_into(
-        &self,
-        dout: &SparseFeatureMap,
-        weights: &Tensor4,
-        geom: ConvGeometry,
-        masks: &[RowMask],
-        din: &mut Tensor3,
-    ) {
-        check_input_grad(dout, weights, geom, masks, din);
-        let (_, in_h, in_w) = din.shape();
-        input_grad_band(dout, weights, geom, masks, in_h, in_w, 0, din.as_mut_slice());
-    }
-
-    fn weight_grad_into(
-        &self,
-        input: &SparseFeatureMap,
-        dout: &SparseFeatureMap,
-        geom: ConvGeometry,
-        dw: &mut Tensor4,
-    ) {
-        check_weight_grad(input, dout, geom, dw);
-        weight_grad_band(input, dout, geom, 0, dw.as_mut_slice());
     }
 }
 
@@ -583,23 +635,77 @@ impl KernelEngine for ScalarEngine {
 /// (filters or channels) into one contiguous band per worker and runs the
 /// bands on rayon's fork-join scope.
 ///
-/// Each band writes a disjoint region of the output tensor and reuses the
-/// exact scalar per-row accumulation order, so results are bitwise equal
-/// to [`ScalarEngine`] — parallelism changes wall-clock, never values.
-#[derive(Debug, Clone, Copy, Default)]
+/// The per-band computation is delegated to an **inner** engine through
+/// the [`KernelEngine`] band methods — the scalar reference by default
+/// (`"parallel"`), or any other backend (the registry wires
+/// `"parallel:simd"` as bands over [`crate::simd_engine::SimdEngine`]), so
+/// thread-level and lane-level parallelism compose.
+///
+/// Each band writes a disjoint region of the output tensor and the inner
+/// engine reproduces the exact scalar per-row accumulation order, so
+/// results are bitwise equal to [`ScalarEngine`] — parallelism changes
+/// wall-clock, never values.
+#[derive(Clone, Copy)]
 pub struct ParallelEngine {
+    name: &'static str,
     threads: usize,
+    inner: &'static dyn KernelEngine,
+}
+
+impl std::fmt::Debug for ParallelEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelEngine")
+            .field("name", &self.name)
+            .field("threads", &self.threads)
+            .field("inner", &self.inner.name())
+            .finish()
+    }
+}
+
+impl Default for ParallelEngine {
+    fn default() -> Self {
+        Self::auto()
+    }
 }
 
 impl ParallelEngine {
-    /// Engine sizing bands to the machine's hardware parallelism.
+    /// Engine sizing bands to the machine's hardware parallelism, with the
+    /// scalar reference inside each band.
     pub const fn auto() -> Self {
-        Self { threads: 0 }
+        Self::over("parallel", &ScalarEngine)
     }
 
-    /// Engine with an explicit worker-band count (0 = auto).
+    /// Engine with an explicit worker-band count (0 = auto) over the
+    /// scalar reference.
     pub const fn with_threads(threads: usize) -> Self {
-        Self { threads }
+        Self {
+            name: "parallel",
+            threads,
+            inner: &ScalarEngine,
+        }
+    }
+
+    /// Band-parallel engine delegating each band's computation to `inner`,
+    /// reported under `name` (e.g. `"parallel:simd"`). `inner` must be
+    /// bitwise-identical to the scalar reference for the composition to be
+    /// so too.
+    pub const fn over(name: &'static str, inner: &'static dyn KernelEngine) -> Self {
+        Self {
+            name,
+            threads: 0,
+            inner,
+        }
+    }
+
+    /// This engine with an explicit worker-band count (0 = auto), keeping
+    /// its name and inner engine.
+    pub const fn banded(self, threads: usize) -> Self {
+        Self { threads, ..self }
+    }
+
+    /// The engine executing inside each band.
+    pub fn inner(&self) -> &'static dyn KernelEngine {
+        self.inner
     }
 
     /// Rough MAC count below which a band is not worth a worker: spawning
@@ -709,7 +815,13 @@ where
 ///
 /// Chunks never span parts (a global band crossing a part boundary becomes
 /// one chunk per part), mirroring [`for_each_batch_band`] with per-element
-/// granularity and non-uniform part lengths.
+/// granularity and non-uniform part lengths. Chunk boundaries are rounded
+/// up to the vector lane-block width: every chunk starts at a part-local
+/// offset that is a multiple of [`crate::simd_engine::LANES`], so
+/// lane-blocked consumers of the seam (the pruned-gradient snap/zero
+/// writes, whose draw buffers fill in fixed-width runs) see whole blocks.
+/// Position-pure work is chunking-invariant, so the alignment never
+/// changes a result.
 fn for_each_element_chunk(
     parts: Vec<&mut [f32]>,
     bands: usize,
@@ -730,9 +842,16 @@ fn for_each_element_chunk(
             let mut offset = 0usize;
             while !rest.is_empty() {
                 // End of the global band this element falls into, clamped
-                // to the part boundary.
+                // to the part boundary, then lane-aligned within the part
+                // (the final chunk keeps its remainder).
                 let band_end = (global / per_band + 1) * per_band;
-                let n = (band_end - global).min(rest.len());
+                let mut n = (band_end - global).min(rest.len());
+                if n < rest.len() {
+                    n = (offset + n)
+                        .next_multiple_of(crate::simd_engine::LANES)
+                        .saturating_sub(offset)
+                        .min(rest.len());
+                }
                 let (chunk, tail) = rest.split_at_mut(n);
                 rest = tail;
                 let first = offset;
@@ -746,7 +865,7 @@ fn for_each_element_chunk(
 
 impl KernelEngine for ParallelEngine {
     fn name(&self) -> &'static str {
-        "parallel"
+        self.name
     }
 
     fn forward_into(
@@ -762,7 +881,8 @@ impl KernelEngine for ParallelEngine {
         // Per-filter work ≈ every input non-zero hits K kernel taps.
         let bands = self.bands(f, input.nnz() * geom.kernel);
         for_each_band(out.as_mut_slice(), f, oh * ow, bands, |f_lo, band| {
-            forward_band(input, weights, bias, geom, oh, ow, f_lo, band);
+            self.inner
+                .forward_band(input, weights, bias, geom, oh, ow, f_lo, band);
         });
     }
 
@@ -779,7 +899,8 @@ impl KernelEngine for ParallelEngine {
         // Per-channel work ≈ every gradient non-zero scatters K taps.
         let bands = self.bands(c, dout.nnz() * geom.kernel);
         for_each_band(din.as_mut_slice(), c, in_h * in_w, bands, |c_lo, band| {
-            input_grad_band(dout, weights, geom, masks, in_h, in_w, c_lo, band);
+            self.inner
+                .input_grad_band(dout, weights, geom, masks, in_h, in_w, c_lo, band);
         });
     }
 
@@ -795,7 +916,7 @@ impl KernelEngine for ParallelEngine {
         // Per-filter work ≈ the input swept once per kernel row.
         let bands = self.bands(f, input.nnz() * geom.kernel);
         for_each_band(dw.as_mut_slice(), f, c * k * k, bands, |f_lo, band| {
-            weight_grad_band(input, dout, geom, f_lo, band);
+            self.inner.weight_grad_band(input, dout, geom, f_lo, band);
         });
     }
 
@@ -831,7 +952,8 @@ impl KernelEngine for ParallelEngine {
         let bands = self.bands_for_total(inputs.len() * f, total_ops);
         let slices: Vec<&mut [f32]> = outs.iter_mut().map(Tensor3::as_mut_slice).collect();
         for_each_batch_band(slices, f, oh * ow, bands, |s, f_lo, chunk| {
-            forward_band(&inputs[s], weights, bias, geom, oh, ow, f_lo, chunk);
+            self.inner
+                .forward_band(&inputs[s], weights, bias, geom, oh, ow, f_lo, chunk);
         });
     }
 
@@ -860,7 +982,8 @@ impl KernelEngine for ParallelEngine {
         let bands = self.bands_for_total(dins.len() * c, total_ops);
         let slices: Vec<&mut [f32]> = dins.iter_mut().map(Tensor3::as_mut_slice).collect();
         for_each_batch_band(slices, c, in_h * in_w, bands, |s, c_lo, chunk| {
-            input_grad_band(&douts[s], weights, geom, &masks[s], in_h, in_w, c_lo, chunk);
+            self.inner
+                .input_grad_band(&douts[s], weights, geom, &masks[s], in_h, in_w, c_lo, chunk);
         });
     }
 
@@ -892,7 +1015,7 @@ impl KernelEngine for ParallelEngine {
         let bands = self.bands_for_total(f, total_ops);
         for_each_band(dw.as_mut_slice(), f, c * k * k, bands, |f_lo, band| {
             for (input, dout) in inputs.iter().zip(douts) {
-                weight_grad_band(input, dout, geom, f_lo, band);
+                self.inner.weight_grad_band(input, dout, geom, f_lo, band);
             }
         });
     }

@@ -39,15 +39,28 @@
 //!   `samples × filters` (or channels) on the batched paths, so multi-core
 //!   speedup scales with batch size as well as layer width; bitwise
 //!   identical to the scalar engine (disjoint output bands, same per-row
-//!   order).
+//!   order). Bands delegate to an **inner engine** through the trait's
+//!   band methods ([`KernelEngine::forward_band`] and friends), so
+//!   thread-level and lane-level parallelism compose.
+//! * [`simd_engine::SimdEngine`] — the vectorized backend: lanes run
+//!   across *independent output elements* (output pixels, weight-gradient
+//!   cells) with the scalar operand broadcast, never across a reduction,
+//!   so every element keeps the scalar per-element accumulation order and
+//!   the engine stays bitwise identical to the reference. Runtime
+//!   dispatch picks x86_64 AVX2+FMA intrinsics when the CPU reports them
+//!   and a portable `[f32; 8]` lane-blocked path otherwise; rows too
+//!   sparse to densify, strides ≠ 1 on the row sweeps, and `-0.0` biases
+//!   fall back to the scalar code itself.
 //! * [`fixed_engine::FixedPointEngine`] — the Q8.8 datapath model
 //!   mirroring the paper's 16-bit RTL, built on
-//!   `sparsetrain_tensor::qformat`.
+//!   `sparsetrain_tensor::qformat`. Other 16-bit grids resolve by name:
+//!   `"fixed:q4.12"` interns a Q4.12 engine on first lookup.
 //! * [`engine::Workspace`] — reusable scratch buffers for row-at-a-time
 //!   callers.
 //!
 //! Selection is **name-keyed and open**: [`registry`] maps `"scalar"`,
-//! `"parallel"`, `"fixed"` — plus any backend added with
+//! `"parallel"`, `"simd"`, `"parallel:simd"`, `"fixed"`, `"fixed:qI.F"` —
+//! plus any backend added with
 //! [`registry::register`] — to [`registry::EngineHandle`] tokens, resolved
 //! from strings (`FromStr`), configuration, or the `SPARSETRAIN_ENGINE`
 //! environment variable ([`registry::env_override`]). A resolved engine
@@ -69,6 +82,7 @@ pub mod msrc;
 pub mod osrc;
 pub mod registry;
 pub mod rowconv;
+pub mod simd_engine;
 pub mod src;
 pub mod work;
 
@@ -80,3 +94,4 @@ pub use engine::{KernelEngine, ParallelEngine, ScalarEngine, Workspace};
 pub use fixed_engine::FixedPointEngine;
 pub use mask::RowMask;
 pub use registry::{EngineHandle, UnknownEngine, ENGINE_ENV};
+pub use simd_engine::SimdEngine;

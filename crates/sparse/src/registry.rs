@@ -3,14 +3,23 @@
 //! [`EngineHandle`] is a `Copy` token pairing a stable name with a
 //! `&'static dyn KernelEngine` — the unit of engine selection everywhere a
 //! backend is configured (`TrainConfig`, `ExecutionContext`, benches,
-//! examples, the `SPARSETRAIN_ENGINE` environment variable). Three engines
+//! examples, the `SPARSETRAIN_ENGINE` environment variable). Five engines
 //! are registered at startup:
 //!
-//! | name       | backend                                             |
-//! |------------|-----------------------------------------------------|
-//! | `scalar`   | [`crate::engine::ScalarEngine`] — the reference     |
-//! | `parallel` | [`crate::engine::ParallelEngine`] — band-parallel   |
-//! | `fixed`    | [`crate::fixed_engine::FixedPointEngine`] — Q8.8    |
+//! | name            | backend                                                     |
+//! |-----------------|-------------------------------------------------------------|
+//! | `scalar`        | [`crate::engine::ScalarEngine`] — the reference             |
+//! | `parallel`      | [`crate::engine::ParallelEngine`] — band-parallel           |
+//! | `simd`          | [`crate::simd_engine::SimdEngine`] — AVX2/portable lanes    |
+//! | `parallel:simd` | [`ParallelEngine::over`] — simd inside each rayon band      |
+//! | `fixed`         | [`crate::fixed_engine::FixedPointEngine`] — Q8.8            |
+//!
+//! In addition, `fixed:qI.F` names (e.g. `"fixed:q4.12"`) resolve to a
+//! [`FixedPointEngine`] in that 16-bit Q-format — parsed, interned and
+//! registered on first lookup, so every parameterized format behaves like
+//! a built-in afterwards. `I + F` must equal 16 (the sign bit counts
+//! toward `I`); malformed specs are rejected with a descriptive
+//! [`UnknownEngine`].
 //!
 //! The set is open: [`register`] adds a backend under a new name at
 //! runtime, after which every name-driven selection path (config, env,
@@ -18,6 +27,8 @@
 
 use crate::engine::{KernelEngine, ParallelEngine, ScalarEngine};
 use crate::fixed_engine::FixedPointEngine;
+use crate::simd_engine::SimdEngine;
+use sparsetrain_tensor::qformat::QFormat;
 use std::fmt;
 use std::str::FromStr;
 use std::sync::{OnceLock, RwLock};
@@ -79,16 +90,18 @@ impl FromStr for EngineHandle {
     type Err = UnknownEngine;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        lookup(s).ok_or_else(|| UnknownEngine::new(s))
+        lookup_or_parse(s)
     }
 }
 
 /// Error returned when a name does not resolve in the registry; carries
-/// the registered names for a helpful message.
+/// the registered names for a helpful message, plus a parse diagnostic
+/// when the name was a malformed parameterized spec (`fixed:…`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnknownEngine {
     name: String,
     known: Vec<&'static str>,
+    detail: Option<String>,
 }
 
 impl UnknownEngine {
@@ -96,6 +109,14 @@ impl UnknownEngine {
         Self {
             name: name.to_string(),
             known: registry().iter().map(EngineHandle::name).collect(),
+            detail: None,
+        }
+    }
+
+    fn with_detail(name: &str, detail: String) -> Self {
+        Self {
+            detail: Some(detail),
+            ..Self::new(name)
         }
     }
 
@@ -107,12 +128,15 @@ impl UnknownEngine {
 
 impl fmt::Display for UnknownEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unknown kernel engine {:?} (registered: {})",
-            self.name,
-            self.known.join(", ")
-        )
+        match &self.detail {
+            Some(detail) => write!(f, "invalid kernel engine {:?}: {detail}", self.name),
+            None => write!(
+                f,
+                "unknown kernel engine {:?} (registered: {})",
+                self.name,
+                self.known.join(", ")
+            ),
+        }
     }
 }
 
@@ -120,6 +144,8 @@ impl std::error::Error for UnknownEngine {}
 
 static SCALAR: ScalarEngine = ScalarEngine;
 static PARALLEL: ParallelEngine = ParallelEngine::auto();
+static SIMD: SimdEngine = SimdEngine::auto();
+static PARALLEL_SIMD: ParallelEngine = ParallelEngine::over("parallel:simd", &SIMD);
 static FIXED: FixedPointEngine = FixedPointEngine::q8_8();
 
 fn table() -> &'static RwLock<Vec<EngineHandle>> {
@@ -137,6 +163,18 @@ fn table() -> &'static RwLock<Vec<EngineHandle>> {
                 engine: &PARALLEL,
             },
             EngineHandle {
+                name: "simd",
+                summary: "vector lanes across output elements (AVX2+FMA when detected, \
+                          portable blocks otherwise), bitwise equal to scalar",
+                engine: &SIMD,
+            },
+            EngineHandle {
+                name: "parallel:simd",
+                summary: "band-parallel across samples and filters with the simd engine \
+                          inside each band, bitwise equal to scalar",
+                engine: &PARALLEL_SIMD,
+            },
+            EngineHandle {
                 name: "fixed",
                 summary: "Q8.8 fixed-point datapath model mirroring the 16-bit RTL",
                 engine: &FIXED,
@@ -150,14 +188,84 @@ pub fn registry() -> Vec<EngineHandle> {
     table().read().expect("engine registry poisoned").clone()
 }
 
-/// Resolves a registered engine by name.
+/// Resolves a registered engine by name. Parameterized fixed-point names
+/// (`"fixed:qI.F"`, see [`lookup_or_parse`]) are interned on first use;
+/// malformed ones resolve to `None` (parse `"…".parse::<EngineHandle>()`
+/// for the diagnostic).
 pub fn lookup(name: &str) -> Option<EngineHandle> {
+    lookup_or_parse(name).ok()
+}
+
+fn find(name: &str) -> Option<EngineHandle> {
     table()
         .read()
         .expect("engine registry poisoned")
         .iter()
         .find(|h| h.name == name)
         .copied()
+}
+
+/// Resolves a registered engine by name, parsing and interning
+/// parameterized `fixed:qI.F` formats on first use (e.g. `"fixed:q4.12"`
+/// is a [`FixedPointEngine`] with 4 integer bits — sign included — and 12
+/// fractional bits; bare `"fixed"` stays Q8.8).
+///
+/// # Errors
+///
+/// Returns [`UnknownEngine`] for unregistered names; for a malformed
+/// `fixed:` spec the error carries a parse diagnostic instead of the
+/// registered-name list.
+pub fn lookup_or_parse(name: &str) -> Result<EngineHandle, UnknownEngine> {
+    if let Some(handle) = find(name) {
+        return Ok(handle);
+    }
+    if name.starts_with("fixed:") {
+        return match parse_fixed_spec(name) {
+            Ok(fmt) => Ok(intern_fixed(name, fmt)),
+            Err(detail) => Err(UnknownEngine::with_detail(name, detail)),
+        };
+    }
+    Err(UnknownEngine::new(name))
+}
+
+/// Parses the `qI.F` payload of a `fixed:qI.F` engine name into a 16-bit
+/// Q-format.
+fn parse_fixed_spec(name: &str) -> Result<QFormat, String> {
+    let spec = name.strip_prefix("fixed:").expect("caller checked prefix");
+    let usage = "expected \"fixed:qI.F\" with I integer bits (sign included) and F \
+                 fractional bits summing to 16, e.g. \"fixed:q4.12\"";
+    let digits = spec.strip_prefix('q').ok_or_else(|| usage.to_string())?;
+    let (int_s, frac_s) = digits.split_once('.').ok_or_else(|| usage.to_string())?;
+    let int: u32 = int_s.parse().map_err(|_| usage.to_string())?;
+    let frac: u32 = frac_s.parse().map_err(|_| usage.to_string())?;
+    if int.checked_add(frac) != Some(16) {
+        return Err(format!("q{int}.{frac} is not a 16-bit format ({usage})"));
+    }
+    if frac > 15 {
+        return Err(format!("q{int}.{frac} leaves no sign/integer bit ({usage})"));
+    }
+    Ok(QFormat::new(frac))
+}
+
+/// Registers a parsed fixed-point format under its spelled-out name,
+/// leaking one engine + name per distinct format (bounded: at most 16
+/// valid specs exist). Racing interns resolve to whichever registration
+/// landed first.
+fn intern_fixed(name: &str, fmt: QFormat) -> EngineHandle {
+    let engine: &'static FixedPointEngine = Box::leak(Box::new(FixedPointEngine::new(fmt)));
+    let summary: &'static str = Box::leak(
+        format!(
+            "Q{}.{} fixed-point datapath model (parameterized \"fixed\" variant)",
+            16 - fmt.frac_bits(),
+            fmt.frac_bits()
+        )
+        .into_boxed_str(),
+    );
+    let name: &'static str = Box::leak(name.to_string().into_boxed_str());
+    match register(name, summary, engine) {
+        Ok(handle) => handle,
+        Err(existing) => existing,
+    }
 }
 
 /// Registers a new engine under `name`, opening it to every name-driven
@@ -209,14 +317,59 @@ mod tests {
 
     #[test]
     fn builtin_engines_resolve_by_name() {
-        for (name, expect) in [("scalar", "scalar"), ("parallel", "parallel"), ("fixed", "fixed")] {
+        for name in ["scalar", "parallel", "simd", "parallel:simd", "fixed"] {
             let handle = lookup(name).expect(name);
-            assert_eq!(handle.name(), expect);
-            assert_eq!(handle.engine().name(), expect);
-            assert_eq!(handle.to_string(), expect);
+            assert_eq!(handle.name(), name);
+            assert_eq!(handle.engine().name(), name);
+            assert_eq!(handle.to_string(), name);
             assert!(!handle.summary().is_empty());
         }
-        assert!(lookup("simd").is_none());
+        assert!(lookup("warp-drive").is_none());
+    }
+
+    #[test]
+    fn parameterized_fixed_formats_resolve_and_intern() {
+        let handle = lookup("fixed:q4.12").expect("valid spec");
+        assert_eq!(handle.name(), "fixed:q4.12");
+        assert!(handle.summary().contains("Q4.12"));
+        // Second lookup returns the interned registration, not a new one.
+        assert_eq!(lookup("fixed:q4.12"), Some(handle));
+        assert!(registry().contains(&handle));
+        // The format is applied: Q4.12 has ε = 2⁻¹², so 0.51 stays 0.51
+        // only up to that grid; a coarse q14.2 rounds it to 0.5.
+        let coarse = lookup("fixed:q14.2").expect("valid spec");
+        let input = SparseFeatureMap::from_tensor(&Tensor3::from_vec(1, 1, 1, vec![0.51]));
+        let weights = Tensor4::from_vec(1, 1, 1, 1, vec![1.0]);
+        let out = coarse
+            .engine()
+            .forward(&input, &weights, None, ConvGeometry::unit());
+        assert_eq!(out.get(0, 0, 0), 0.5);
+        // `fixed:q8.8` is the parameterized spelling of the built-in grid.
+        let q88 = lookup("fixed:q8.8").expect("valid spec");
+        assert_ne!(q88, lookup("fixed").unwrap(), "distinct registration");
+        assert_eq!(q88.engine().name(), "fixed");
+    }
+
+    #[test]
+    fn malformed_fixed_specs_are_rejected_with_detail() {
+        for bad in [
+            "fixed:q4.11",         // doesn't sum to 16
+            "fixed:q0.16",         // no sign bit left
+            "fixed:q8",            // missing fraction
+            "fixed:8.8",           // missing the q
+            "fixed:qx.y",          // not numbers
+            "fixed:",              // empty spec
+            "fixed:q4294967295.1", // I + F overflows u32
+        ] {
+            assert!(lookup(bad).is_none(), "{bad} must not resolve");
+            let err = bad.parse::<EngineHandle>().unwrap_err();
+            assert_eq!(err.name(), bad);
+            let msg = err.to_string();
+            assert!(
+                msg.contains("fixed:qI.F") && msg.contains("invalid kernel engine"),
+                "unhelpful error for {bad}: {msg}"
+            );
+        }
     }
 
     #[test]

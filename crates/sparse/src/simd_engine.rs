@@ -1,0 +1,743 @@
+//! Runtime-dispatched vectorized kernel engine (`"simd"`).
+//!
+//! [`SimdEngine`] executes the SRC / MSRC / OSRC inner loops across wide
+//! lanes while staying **bitwise identical** to
+//! [`crate::engine::ScalarEngine`]. The trick is the choice of vector
+//! axis: lanes always run across *independent output elements* — output
+//! pixels for Forward/GTA, weight-gradient cells for GTW — with the scalar
+//! operand (one kernel tap, one gradient value) broadcast, and never
+//! across a reduction dimension. Each output element therefore accumulates
+//! its contributions in exactly the scalar engine's per-element order, one
+//! two-rounding `acc + x·w` at a time (the scalar kernels never fuse into
+//! `mul_add`, so neither does this engine — an FMA would change the
+//! rounding):
+//!
+//! * **SRC (Forward)** — for each kernel tap `v` (ascending, the scalar
+//!   per-element order), the whole output row takes
+//!   `out[ox] += in_dense[ox − pad + v] · w[v]`: a shifted contiguous
+//!   *axpy* sweep with the tap broadcast.
+//! * **MSRC (GTA)** — the same sweep with the taps walked *descending*
+//!   (the scatter direction reverses the per-element order) and a dense
+//!   `0.0/1.0` mask factor standing in for the skip:
+//!   `din[ix] += m[ix] · (g_dense[ix + pad − v] · w[v])`. Multiplying by
+//!   `1.0` is exact and by `0.0` contributes `±0.0`, so results match the
+//!   scalar skip bit for bit on finite data.
+//! * **OSRC (GTW)** — for each gradient non-zero (ascending, the scalar
+//!   per-tap order), all `K` taps take `dw[v] += g · in_dense[base + v]`:
+//!   a `K`-lane sweep over the contiguous input window with the gradient
+//!   broadcast. Works at any stride.
+//!
+//! The dense sweeps touch stored zeros the scalar kernels skip; those
+//! contribute `x + (±0.0·w) = x` exactly, because an accumulator that
+//! starts at `+0.0` can never become `-0.0` under round-to-nearest (an
+//! exactly cancelling sum rounds to `+0.0`). The one representable hazard
+//! — a caller-supplied literal `-0.0` in the bias or the pre-seeded
+//! accumulator — falls back to the scalar band (a cheap one-pass bit scan
+//! guards every band), as do strides ≠ 1 on the row sweeps (the gather
+//! would be non-contiguous) and rows too sparse to be worth densifying
+//! (fewer than one non-zero per lane block on average); every fallback is
+//! the scalar code itself, so parity is unconditional.
+//!
+//! Known tradeoff: the band workers densify the operand maps per **band
+//! call**, so under `"parallel:simd"` each of the `B` bands re-densifies
+//! (a `O(C·H·W)` fill against `O(C·H·W·K·F/B)` band compute — a few
+//! percent at realistic band counts). Hoisting densification above the
+//! band fan-out needs a band-context object on the trait seam; see the
+//! ROADMAP follow-up.
+//!
+//! Two implementations sit behind one runtime dispatch:
+//!
+//! * a **portable** lane-blocked path (fixed `[f32; 8]` blocks that LLVM
+//!   autovectorizes on every target), and
+//! * an **x86_64 AVX2+FMA** path (`#[target_feature]` + `std::arch`
+//!   intrinsics, selected per process via `is_x86_feature_detected!`;
+//!   `vmulps`/`vaddps` only — the FMA feature is enabled for the encoder
+//!   but never used to contract, see above).
+//!
+//! Both produce identical bits; [`SimdEngine::portable`] pins the portable
+//! path for tests and cross-checks. Thread-level parallelism composes
+//! through [`crate::engine::ParallelEngine::over`]: the registry's
+//! `"parallel:simd"` runs these band workers inside each rayon band.
+
+use crate::compressed::SparseVec;
+use crate::engine::{scalar_forward_band, scalar_input_grad_band, KernelEngine};
+use crate::mask::RowMask;
+use crate::msrc::msrc_accumulate;
+use crate::osrc::osrc_accumulate;
+use crate::rowconv::SparseFeatureMap;
+use crate::src::src_accumulate;
+use sparsetrain_tensor::conv::ConvGeometry;
+use sparsetrain_tensor::Tensor4;
+
+/// Vector lane-block width of the portable path (f32 lanes per block, one
+/// AVX2 register). Also the chunk-alignment granularity of the parallel
+/// element seam.
+pub(crate) const LANES: usize = 8;
+
+/// A sparse row is worth the dense sweep once it averages at least one
+/// non-zero per vector block: the sweep costs `len / LANES` block ops
+/// where the sparse kernel costs `nnz` scalar ops.
+const DENSE_CUTOFF_LANES: usize = LANES;
+
+fn dense_worthwhile(nnz: usize, len: usize) -> bool {
+    nnz * DENSE_CUTOFF_LANES >= len
+}
+
+fn contains_negative_zero(values: &[f32]) -> bool {
+    values.iter().any(|v| v.to_bits() == (-0.0f32).to_bits())
+}
+
+/// Whether this process supports the AVX2+FMA fast path.
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static DETECTED: OnceLock<bool> = OnceLock::new();
+        *DETECTED.get_or_init(|| is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"))
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The two vector primitives (portable + AVX2)
+// ---------------------------------------------------------------------------
+
+/// `dst[i] += src[i] * w` — multiply then add, two roundings, exactly the
+/// scalar kernels' arithmetic.
+fn saxpy(avx2: bool, dst: &mut [f32], src: &[f32], w: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        // SAFETY: `avx2` is only true when runtime detection reported
+        // AVX2+FMA support for this process.
+        unsafe { saxpy_avx2(dst, src, w) };
+        return;
+    }
+    let _ = avx2;
+    saxpy_portable(dst, src, w);
+}
+
+/// `dst[i] += mask[i] * (src[i] * w)` with `mask` ∈ {0.0, 1.0}.
+fn saxpy_masked(avx2: bool, dst: &mut [f32], src: &[f32], mask: &[f32], w: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    debug_assert_eq!(dst.len(), mask.len());
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        // SAFETY: as in `saxpy`.
+        unsafe { saxpy_masked_avx2(dst, src, mask, w) };
+        return;
+    }
+    let _ = avx2;
+    saxpy_masked_portable(dst, src, mask, w);
+}
+
+/// Portable lane-blocked axpy: fixed-width `[f32; LANES]` blocks keep the
+/// loop free of trip-count surprises so LLVM emits one vector multiply and
+/// one vector add per block on every target.
+fn saxpy_portable(dst: &mut [f32], src: &[f32], w: f32) {
+    let mut d = dst.chunks_exact_mut(LANES);
+    let mut s = src.chunks_exact(LANES);
+    for (db, sb) in (&mut d).zip(&mut s) {
+        let db: &mut [f32; LANES] = db.try_into().expect("exact chunk");
+        let sb: &[f32; LANES] = sb.try_into().expect("exact chunk");
+        for i in 0..LANES {
+            db[i] += sb[i] * w;
+        }
+    }
+    for (d1, s1) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *d1 += *s1 * w;
+    }
+}
+
+fn saxpy_masked_portable(dst: &mut [f32], src: &[f32], mask: &[f32], w: f32) {
+    let mut d = dst.chunks_exact_mut(LANES);
+    let mut s = src.chunks_exact(LANES);
+    let mut m = mask.chunks_exact(LANES);
+    for ((db, sb), mb) in (&mut d).zip(&mut s).zip(&mut m) {
+        let db: &mut [f32; LANES] = db.try_into().expect("exact chunk");
+        let sb: &[f32; LANES] = sb.try_into().expect("exact chunk");
+        let mb: &[f32; LANES] = mb.try_into().expect("exact chunk");
+        for i in 0..LANES {
+            db[i] += mb[i] * (sb[i] * w);
+        }
+    }
+    for ((d1, s1), m1) in d
+        .into_remainder()
+        .iter_mut()
+        .zip(s.remainder())
+        .zip(m.remainder())
+    {
+        *d1 += *m1 * (*s1 * w);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn saxpy_avx2(dst: &mut [f32], src: &[f32], w: f32) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let wv = _mm256_set1_ps(w);
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+        let s = _mm256_loadu_ps(src.as_ptr().add(i));
+        // Deliberately vmulps + vaddps, not vfmadd: the scalar reference
+        // rounds the product before the add.
+        let r = _mm256_add_ps(d, _mm256_mul_ps(s, wv));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), r);
+        i += LANES;
+    }
+    while i < n {
+        *dst.get_unchecked_mut(i) += *src.get_unchecked(i) * w;
+        i += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn saxpy_masked_avx2(dst: &mut [f32], src: &[f32], mask: &[f32], w: f32) {
+    use std::arch::x86_64::*;
+    let n = dst.len();
+    let wv = _mm256_set1_ps(w);
+    let mut i = 0usize;
+    while i + LANES <= n {
+        let d = _mm256_loadu_ps(dst.as_ptr().add(i));
+        let s = _mm256_loadu_ps(src.as_ptr().add(i));
+        let m = _mm256_loadu_ps(mask.as_ptr().add(i));
+        let r = _mm256_add_ps(d, _mm256_mul_ps(m, _mm256_mul_ps(s, wv)));
+        _mm256_storeu_ps(dst.as_mut_ptr().add(i), r);
+        i += LANES;
+    }
+    while i < n {
+        *dst.get_unchecked_mut(i) += *mask.get_unchecked(i) * (*src.get_unchecked(i) * w);
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Densification scratch
+// ---------------------------------------------------------------------------
+
+/// Writes the rows of `fm` selected by `select(nnz, len)` into a dense
+/// channel-major buffer (`channels × height × width`); unselected rows are
+/// left zero (they are only read through the sparse fallback).
+fn densify_map(fm: &SparseFeatureMap, select: impl Fn(&SparseVec) -> bool) -> Vec<f32> {
+    let (c, h, w) = (fm.channels(), fm.height(), fm.width());
+    let mut dense = vec![0.0f32; c * h * w];
+    for ci in 0..c {
+        for y in 0..h {
+            let row = fm.row(ci, y);
+            if select(row) {
+                let out = &mut dense[(ci * h + y) * w..(ci * h + y + 1) * w];
+                for (ix, val) in row.iter() {
+                    out[ix] = val;
+                }
+            }
+        }
+    }
+    dense
+}
+
+/// Expands one channel's row masks into dense `0.0 / 1.0` factors.
+fn densify_masks(masks: &[RowMask], ci: usize, in_h: usize, in_w: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), in_h * in_w);
+    out.fill(0.0);
+    for iy in 0..in_h {
+        let mask = &masks[ci * in_h + iy];
+        let row = &mut out[iy * in_w..(iy + 1) * in_w];
+        for ix in mask.iter() {
+            row[ix] = 1.0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimdEngine
+// ---------------------------------------------------------------------------
+
+/// The runtime-dispatched vectorized engine, registered as `"simd"` (and,
+/// banded across threads, as `"parallel:simd"`).
+///
+/// ```
+/// use sparsetrain_sparse::{registry, SimdEngine};
+///
+/// let handle = registry::lookup("simd").unwrap();
+/// assert_eq!(handle.engine().name(), "simd");
+/// // The portable path is always available and bitwise-equal to AVX2.
+/// assert_eq!(SimdEngine::portable().active_path(), "portable");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdEngine {
+    force_portable: bool,
+}
+
+impl SimdEngine {
+    /// Engine dispatching to AVX2+FMA when the CPU reports it, the
+    /// portable lane-blocked path otherwise.
+    pub const fn auto() -> Self {
+        Self {
+            force_portable: false,
+        }
+    }
+
+    /// Engine pinned to the portable lane-blocked path (tests,
+    /// cross-checks, reproducing non-x86 behaviour on x86).
+    pub const fn portable() -> Self {
+        Self { force_portable: true }
+    }
+
+    fn use_avx2(&self) -> bool {
+        !self.force_portable && avx2_available()
+    }
+
+    /// Which implementation this engine's sweeps run on right now:
+    /// `"avx2"` or `"portable"`. When AVX2 (or FMA) is reported absent —
+    /// or the engine was built with [`SimdEngine::portable`] — this is
+    /// always `"portable"`.
+    pub fn active_path(&self) -> &'static str {
+        if self.use_avx2() {
+            "avx2"
+        } else {
+            "portable"
+        }
+    }
+}
+
+impl KernelEngine for SimdEngine {
+    fn name(&self) -> &'static str {
+        "simd"
+    }
+
+    fn forward_band(
+        &self,
+        input: &SparseFeatureMap,
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+        oh: usize,
+        ow: usize,
+        f_lo: usize,
+        out_band: &mut [f32],
+    ) {
+        // Stride ≠ 1 would make the row gather non-contiguous; a literal
+        // -0.0 in the bias (or, with no bias to overwrite it, in the
+        // pre-seeded accumulator) is only preserved by the scalar skip of
+        // zero inputs.
+        if geom.stride != 1
+            || match bias {
+                Some(b) => contains_negative_zero(b),
+                None => contains_negative_zero(out_band),
+            }
+        {
+            scalar_forward_band(input, weights, bias, geom, oh, ow, f_lo, out_band);
+            return;
+        }
+        let avx2 = self.use_avx2();
+        let (h, w_in, k, pad) = (input.height(), input.width(), geom.kernel, geom.pad);
+        let worthy = |row: &SparseVec| dense_worthwhile(row.nnz(), row.len());
+        let any_worthy = (0..input.channels()).any(|ci| (0..h).any(|iy| worthy(input.row(ci, iy))));
+        let idense = if any_worthy {
+            densify_map(input, worthy)
+        } else {
+            Vec::new()
+        };
+        for (bf, plane) in out_band.chunks_mut(oh * ow).enumerate() {
+            let fi = f_lo + bf;
+            if let Some(b) = bias {
+                plane.fill(b[fi]);
+            }
+            for (oy, out_row) in plane.chunks_mut(ow).enumerate() {
+                for u in 0..k {
+                    let iy = oy as isize - pad as isize + u as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ci in 0..input.channels() {
+                        let row = input.row(ci, iy);
+                        let krow = weights.kernel_row(fi, ci, u);
+                        if !dense_worthwhile(row.nnz(), row.len()) {
+                            src_accumulate(row, krow, geom, out_row);
+                            continue;
+                        }
+                        let in_row = &idense[(ci * h + iy) * w_in..(ci * h + iy + 1) * w_in];
+                        // Taps ascending: for a fixed output pixel, ascending
+                        // tap index is ascending input index — the scalar
+                        // per-element accumulation order.
+                        for (v, &w) in krow.iter().enumerate() {
+                            if w == 0.0 {
+                                continue;
+                            }
+                            // out[ox] += in[ox - pad + v] * w over the ox
+                            // range whose input index is in bounds.
+                            let shift = v as isize - pad as isize;
+                            let lo = (-shift).max(0) as usize;
+                            let hi = (w_in as isize - shift).clamp(0, ow as isize) as usize;
+                            if lo < hi {
+                                let src =
+                                    &in_row[(lo as isize + shift) as usize..(hi as isize + shift) as usize];
+                                saxpy(avx2, &mut out_row[lo..hi], src, w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn input_grad_band(
+        &self,
+        dout: &SparseFeatureMap,
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        masks: &[RowMask],
+        in_h: usize,
+        in_w: usize,
+        c_lo: usize,
+        din_band: &mut [f32],
+    ) {
+        // Stride ≠ 1 gathers non-contiguously; a pre-seeded -0.0 in the
+        // accumulator is only preserved by the scalar skips.
+        if geom.stride != 1 || contains_negative_zero(din_band) {
+            scalar_input_grad_band(dout, weights, geom, masks, in_h, in_w, c_lo, din_band);
+            return;
+        }
+        let avx2 = self.use_avx2();
+        let (k, pad, ow) = (geom.kernel, geom.pad, dout.width());
+        let oh = dout.height();
+        let worthy = |row: &SparseVec| dense_worthwhile(row.nnz(), row.len());
+        let any_worthy = (0..dout.channels()).any(|fi| (0..oh).any(|oy| worthy(dout.row(fi, oy))));
+        let gdense = if any_worthy {
+            densify_map(dout, worthy)
+        } else {
+            Vec::new()
+        };
+        let mut maskf = if any_worthy {
+            vec![0.0f32; in_h * in_w]
+        } else {
+            Vec::new()
+        };
+        for (bc, plane) in din_band.chunks_mut(in_h * in_w).enumerate() {
+            let ci = c_lo + bc;
+            if any_worthy {
+                densify_masks(masks, ci, in_h, in_w, &mut maskf);
+            }
+            for fi in 0..dout.channels() {
+                for oy in 0..oh {
+                    let grow = dout.row(fi, oy);
+                    if grow.nnz() == 0 {
+                        continue;
+                    }
+                    for u in 0..k {
+                        let iy = oy as isize - pad as isize + u as isize;
+                        if iy < 0 || iy >= in_h as isize {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        let out_row = &mut plane[iy * in_w..(iy + 1) * in_w];
+                        let krow = weights.kernel_row(fi, ci, u);
+                        if !worthy(grow) {
+                            msrc_accumulate(grow, krow, geom, &masks[ci * in_h + iy], out_row);
+                            continue;
+                        }
+                        let g_row = &gdense[(fi * oh + oy) * ow..(fi * oh + oy + 1) * ow];
+                        let m_row = &maskf[iy * in_w..(iy + 1) * in_w];
+                        // Taps descending: the scatter reverses the map, so
+                        // for a fixed input pixel the scalar order (gradient
+                        // non-zeros ascending) is descending tap index.
+                        for v in (0..k).rev() {
+                            let w = krow[v];
+                            if w == 0.0 {
+                                continue;
+                            }
+                            // din[ix] += m[ix]·(g[ix + pad - v]·w) over the
+                            // ix range whose gradient index is in bounds.
+                            let shift = pad as isize - v as isize;
+                            let lo = (-shift).max(0) as usize;
+                            let hi = (ow as isize - shift).clamp(0, in_w as isize) as usize;
+                            if lo < hi {
+                                let src =
+                                    &g_row[(lo as isize + shift) as usize..(hi as isize + shift) as usize];
+                                saxpy_masked(avx2, &mut out_row[lo..hi], src, &m_row[lo..hi], w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn weight_grad_band(
+        &self,
+        input: &SparseFeatureMap,
+        dout: &SparseFeatureMap,
+        geom: ConvGeometry,
+        f_lo: usize,
+        dw_band: &mut [f32],
+    ) {
+        // A pre-seeded -0.0 in the accumulator is only preserved by the
+        // scalar skip of zero window positions.
+        if contains_negative_zero(dw_band) {
+            crate::engine::scalar_weight_grad_band(input, dout, geom, f_lo, dw_band);
+            return;
+        }
+        let avx2 = self.use_avx2();
+        let (c, h, w_in) = (input.channels(), input.height(), input.width());
+        let (k, stride, pad) = (geom.kernel, geom.stride as isize, geom.pad as isize);
+        let worthy = |row: &SparseVec| dense_worthwhile(row.nnz(), row.len());
+        let any_worthy = (0..c).any(|ci| (0..h).any(|iy| worthy(input.row(ci, iy))));
+        let idense = if any_worthy {
+            densify_map(input, worthy)
+        } else {
+            Vec::new()
+        };
+        for (bf, block) in dw_band.chunks_mut(c * k * k).enumerate() {
+            let fi = f_lo + bf;
+            for ci in 0..c {
+                for u in 0..k {
+                    let taps = &mut block[(ci * k + u) * k..(ci * k + u + 1) * k];
+                    for oy in 0..dout.height() {
+                        let iy = (oy * geom.stride) as isize - pad + u as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let irow = input.row(ci, iy as usize);
+                        let grow = dout.row(fi, oy);
+                        if irow.nnz() == 0 || grow.nnz() == 0 {
+                            continue;
+                        }
+                        if !dense_worthwhile(irow.nnz(), irow.len()) {
+                            osrc_accumulate(irow, grow, geom, taps);
+                            continue;
+                        }
+                        let in_row =
+                            &idense[(ci * h + iy as usize) * w_in..(ci * h + iy as usize + 1) * w_in];
+                        // Gradient non-zeros ascending: the scalar per-tap
+                        // accumulation order. All K weight-gradient cells
+                        // take the broadcast gradient in one sweep over the
+                        // contiguous input window (stride only moves the
+                        // window base, the window itself stays contiguous).
+                        for (ox, g) in grow.iter() {
+                            let base = ox as isize * stride - pad;
+                            let v_lo = (-base).max(0).min(k as isize) as usize;
+                            let v_hi = (w_in as isize - base).clamp(0, k as isize) as usize;
+                            if v_lo < v_hi {
+                                let window =
+                                    &in_row[(base + v_lo as isize) as usize..(base + v_hi as isize) as usize];
+                                saxpy(avx2, &mut taps[v_lo..v_hi], window, g);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ParallelEngine, ScalarEngine};
+    use sparsetrain_tensor::Tensor3;
+
+    fn pseudo(seed: &mut u64) -> f32 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        ((*seed % 2000) as f32 / 1000.0) - 1.0
+    }
+
+    fn sparse_tensor(c: usize, h: usize, w: usize, density_pct: u64, seed: &mut u64) -> Tensor3 {
+        Tensor3::from_fn(c, h, w, |_, _, _| {
+            let v = pseudo(seed);
+            let keep = {
+                *seed ^= *seed << 13;
+                *seed ^= *seed >> 7;
+                *seed % 100 < density_pct
+            };
+            if keep {
+                v
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn fixtures(
+        seed: u64,
+        density_pct: u64,
+        geom: ConvGeometry,
+    ) -> (SparseFeatureMap, Tensor4, Vec<f32>, SparseFeatureMap) {
+        let mut s = seed;
+        let input = sparse_tensor(3, 9, 11, density_pct, &mut s);
+        let weights = Tensor4::from_fn(4, 3, geom.kernel, geom.kernel, |_, _, _, _| {
+            // Sprinkle exact zeros so the w == 0 tap skip is exercised.
+            let v = pseudo(&mut s);
+            if v.abs() < 0.1 {
+                0.0
+            } else {
+                v
+            }
+        });
+        let bias: Vec<f32> = (0..4).map(|_| pseudo(&mut s)).collect();
+        let oh = geom.output_extent(9);
+        let ow = geom.output_extent(11);
+        let dout = sparse_tensor(4, oh, ow, density_pct, &mut s);
+        (
+            SparseFeatureMap::from_tensor(&input),
+            weights,
+            bias,
+            SparseFeatureMap::from_tensor(&dout),
+        )
+    }
+
+    fn engines() -> Vec<(&'static str, SimdEngine)> {
+        vec![("auto", SimdEngine::auto()), ("portable", SimdEngine::portable())]
+    }
+
+    /// Dense and very sparse fixtures at stride 1 and 2 (vector path,
+    /// sparse-row fallback, stride fallback): every path must match the
+    /// scalar reference bitwise.
+    #[test]
+    fn simd_matches_scalar_bitwise_on_all_paths() {
+        for geom in [
+            ConvGeometry::new(3, 1, 1),
+            ConvGeometry::new(3, 2, 1),
+            ConvGeometry::new(2, 1, 0),
+        ] {
+            for density in [5u64, 40, 90] {
+                let (input, weights, bias, dout) = fixtures(11 + density, density, geom);
+                let masks = input.masks();
+                for (label, simd) in engines() {
+                    let ctx = format!("{label} k={} s={} d={density}", geom.kernel, geom.stride);
+                    let want = ScalarEngine.forward(&input, &weights, Some(&bias), geom);
+                    let got = simd.forward(&input, &weights, Some(&bias), geom);
+                    assert_eq!(got.as_slice(), want.as_slice(), "forward {ctx}");
+
+                    let want = ScalarEngine.input_grad(&dout, &weights, geom, 9, 11, &masks);
+                    let got = simd.input_grad(&dout, &weights, geom, 9, 11, &masks);
+                    assert_eq!(got.as_slice(), want.as_slice(), "input_grad {ctx}");
+
+                    let want = ScalarEngine.weight_grad(&input, &dout, geom);
+                    let got = simd.weight_grad(&input, &dout, geom);
+                    assert_eq!(got.as_slice(), want.as_slice(), "weight_grad {ctx}");
+                }
+            }
+        }
+    }
+
+    /// The portable and AVX2 implementations agree bitwise (trivially true
+    /// off x86_64, where both are the portable path).
+    #[test]
+    fn portable_and_dispatched_paths_agree() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let (input, weights, bias, dout) = fixtures(77, 55, geom);
+        let auto = SimdEngine::auto();
+        let portable = SimdEngine::portable();
+        assert_eq!(
+            auto.forward(&input, &weights, Some(&bias), geom).as_slice(),
+            portable.forward(&input, &weights, Some(&bias), geom).as_slice(),
+        );
+        assert_eq!(
+            auto.weight_grad(&input, &dout, geom).as_slice(),
+            portable.weight_grad(&input, &dout, geom).as_slice(),
+        );
+    }
+
+    /// Dispatch contract: forcing portable always reports portable, and
+    /// when the CPU does not report AVX2+FMA the auto engine must take the
+    /// portable path too.
+    #[test]
+    fn dispatch_reports_portable_when_avx2_absent() {
+        assert_eq!(SimdEngine::portable().active_path(), "portable");
+        if !avx2_available() {
+            assert_eq!(SimdEngine::auto().active_path(), "portable");
+        } else {
+            assert_eq!(SimdEngine::auto().active_path(), "avx2");
+        }
+    }
+
+    /// A literal -0.0 bias takes the scalar fallback and survives exactly.
+    #[test]
+    fn negative_zero_bias_is_preserved() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        // All-zero input: the output is exactly the bias fill.
+        let input = SparseFeatureMap::from_tensor(&Tensor3::zeros(2, 5, 5));
+        let weights = Tensor4::from_fn(2, 2, 3, 3, |_, _, _, _| 0.5);
+        let bias = [-0.0f32, 1.0];
+        for (label, simd) in engines() {
+            let want = ScalarEngine.forward(&input, &weights, Some(&bias), geom);
+            let got = simd.forward(&input, &weights, Some(&bias), geom);
+            let want_bits: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+            let got_bits: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got_bits, want_bits, "{label}");
+        }
+    }
+
+    /// Accumulators pre-seeded with literal -0.0 take the scalar fallback
+    /// on every stage, so `*_into` accumulation parity is bitwise even for
+    /// that representable corner (the dense sweeps' spurious `+0.0` adds
+    /// would otherwise flip the sign bit).
+    #[test]
+    fn negative_zero_preseeded_accumulators_are_preserved() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let (input, weights, _, dout) = fixtures(31, 60, geom);
+        let masks = input.masks();
+        let seed = |slice: &mut [f32]| {
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = if i % 3 == 0 { -0.0 } else { 0.25 };
+            }
+        };
+        for (label, simd) in engines() {
+            let mut want = Tensor3::zeros(4, 9, 11);
+            seed(want.as_mut_slice());
+            let mut got = want.clone();
+            ScalarEngine.forward_into(&input, &weights, None, geom, &mut want);
+            simd.forward_into(&input, &weights, None, geom, &mut got);
+            let bits = |t: &Tensor3| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&got), bits(&want), "forward {label}");
+
+            let mut want = Tensor3::zeros(3, 9, 11);
+            seed(want.as_mut_slice());
+            let mut got = want.clone();
+            ScalarEngine.input_grad_into(&dout, &weights, geom, &masks, &mut want);
+            simd.input_grad_into(&dout, &weights, geom, &masks, &mut got);
+            assert_eq!(bits(&got), bits(&want), "input_grad {label}");
+
+            let mut want = Tensor4::zeros(4, 3, 3, 3);
+            seed(want.as_mut_slice());
+            let mut got = want.clone();
+            ScalarEngine.weight_grad_into(&input, &dout, geom, &mut want);
+            simd.weight_grad_into(&input, &dout, geom, &mut got);
+            let bits4 = |t: &Tensor4| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits4(&got), bits4(&want), "weight_grad {label}");
+        }
+    }
+
+    /// `parallel:simd` composition: simd bands under thread-parallel
+    /// banding stay bitwise equal to scalar at every band count.
+    #[test]
+    fn banded_simd_matches_scalar() {
+        static SIMD: SimdEngine = SimdEngine::auto();
+        let geom = ConvGeometry::new(3, 1, 1);
+        let (input, weights, bias, dout) = fixtures(5, 45, geom);
+        let masks = input.masks();
+        for threads in [0usize, 1, 2, 3, 8] {
+            let banded = ParallelEngine::over("test:parallel-simd", &SIMD).banded(threads);
+            let want = ScalarEngine.forward(&input, &weights, Some(&bias), geom);
+            let got = banded.forward(&input, &weights, Some(&bias), geom);
+            assert_eq!(got.as_slice(), want.as_slice(), "threads {threads}");
+
+            let want = ScalarEngine.input_grad(&dout, &weights, geom, 9, 11, &masks);
+            let got = banded.input_grad(&dout, &weights, geom, 9, 11, &masks);
+            assert_eq!(got.as_slice(), want.as_slice(), "threads {threads}");
+
+            let want = ScalarEngine.weight_grad(&input, &dout, geom);
+            let got = banded.weight_grad(&input, &dout, geom);
+            assert_eq!(got.as_slice(), want.as_slice(), "threads {threads}");
+        }
+    }
+}

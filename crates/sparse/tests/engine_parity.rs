@@ -3,6 +3,10 @@
 //! * the parallel engine is bitwise-identical to the scalar reference on
 //!   the per-sample paths, and both match the dense reference in
 //!   `sparsetrain-tensor`;
+//! * the registry enumeration below automatically covers every registered
+//!   backend — including `simd` (runtime-dispatched AVX2/portable lanes)
+//!   and `parallel:simd` (simd inside each rayon band), which must match
+//!   the scalar reference bitwise on every leg;
 //! * for **every registered engine** (or just the `SPARSETRAIN_ENGINE`
 //!   override when set, as in the CI engine matrix), the batched entry
 //!   points (`forward_batch_into` / `input_grad_batch_into` /
@@ -380,9 +384,10 @@ fn pruning_parity_across_engines() {
     }
 }
 
-/// The float engines (scalar, parallel) share one bitwise training
-/// trajectory with pruning enabled — banding the convolutions *and* the
-/// pruning across threads changes nothing.
+/// The float engines (scalar, parallel, simd, parallel:simd) share one
+/// bitwise training trajectory with pruning enabled — banding the
+/// convolutions across threads, sweeping them across vector lanes, *and*
+/// banding the pruning change nothing.
 #[test]
 fn pruned_training_identical_on_float_engines() {
     if registry::env_override().expect("valid engine").is_some() {
@@ -391,14 +396,59 @@ fn pruned_training_identical_on_float_engines() {
         return;
     }
     let scalar = pruned_epoch(registry::lookup("scalar").unwrap());
-    let parallel = pruned_epoch(registry::lookup("parallel").unwrap());
+    for name in ["parallel", "simd", "parallel:simd"] {
+        let other = pruned_epoch(registry::lookup(name).unwrap());
+        assert_eq!(
+            scalar.weights, other.weights,
+            "{name}: pruned weights diverged from scalar"
+        );
+        assert_eq!(
+            scalar.tapped, other.tapped,
+            "{name}: gradient taps diverged from scalar"
+        );
+    }
+}
+
+/// The simd engine's portable path (what non-AVX2 targets run) matches
+/// the dispatched engine bitwise on the conv kernels — so CI on any
+/// hardware pins both implementations.
+#[test]
+fn simd_portable_path_matches_dispatched() {
+    use sparsetrain_sparse::SimdEngine;
+    let geom = ConvGeometry::new(3, 1, 1);
+    let input = SparseFeatureMap::from_tensor(&Tensor3::from_fn(3, H, W, |c, y, x| {
+        if (c + 2 * y + 3 * x) % 3 != 0 {
+            (y as f32 - x as f32) * 0.21 + c as f32 * 0.4
+        } else {
+            0.0
+        }
+    }));
+    let dout = SparseFeatureMap::from_tensor(&Tensor3::from_fn(4, H, W, |c, y, x| {
+        if (c * y + x) % 4 == 0 {
+            0.3 - (c + x) as f32 * 0.05
+        } else {
+            0.0
+        }
+    }));
+    let weights = Tensor4::from_fn(4, 3, 3, 3, |f, c, u, v| {
+        ((f * 7 + c * 5 + u * 3 + v) % 9) as f32 * 0.125 - 0.5
+    });
+    let masks = input.masks();
+    let auto = SimdEngine::auto();
+    let portable = SimdEngine::portable();
     assert_eq!(
-        scalar.weights, parallel.weights,
-        "float engines' pruned weights diverged"
+        auto.forward(&input, &weights, None, geom).as_slice(),
+        portable.forward(&input, &weights, None, geom).as_slice()
     );
     assert_eq!(
-        scalar.tapped, parallel.tapped,
-        "float engines' gradient taps diverged"
+        auto.input_grad(&dout, &weights, geom, H, W, &masks).as_slice(),
+        portable
+            .input_grad(&dout, &weights, geom, H, W, &masks)
+            .as_slice()
+    );
+    assert_eq!(
+        auto.weight_grad(&input, &dout, geom).as_slice(),
+        portable.weight_grad(&input, &dout, geom).as_slice()
     );
 }
 

@@ -7,7 +7,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 //!
-//! Set `SPARSETRAIN_ENGINE=scalar|parallel|fixed` to run the training
+//! Set `SPARSETRAIN_ENGINE` to `scalar`, `parallel`, `simd`,
+//! `parallel:simd`, `fixed`, or a `fixed:qI.F` format to run the training
 //! step's convolutions on a named kernel engine from the registry.
 
 use rand::rngs::StdRng;

@@ -7,9 +7,10 @@
 //! Pass a registered engine name (or set `SPARSETRAIN_ENGINE`) to execute
 //! the convolutions on the sparse row-dataflow engine layer instead of
 //! dense im2row:
-//! `cargo run --release --example train_sparse_cnn -- parallel`
-//! `SPARSETRAIN_ENGINE=fixed cargo run --release --example train_sparse_cnn`
-//! (registered engines: `scalar`, `parallel`, `fixed`, plus anything added
+//! `cargo run --release --example train_sparse_cnn -- parallel:simd`
+//! `SPARSETRAIN_ENGINE=fixed:q4.12 cargo run --release --example train_sparse_cnn`
+//! (registered engines: `scalar`, `parallel`, `simd`, `parallel:simd`,
+//! `fixed`, parameterized `fixed:qI.F` formats, plus anything added
 //! through `sparsetrain::sparse::registry::register`).
 
 use sparsetrain::core::prune::PruneConfig;
