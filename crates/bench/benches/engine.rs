@@ -15,12 +15,19 @@
 //! The parallel engine bands work across `samples × filters`; its win
 //! scales with hardware threads and batch size (`≥1.5×` expected on 4+
 //! cores for the batched shapes below, parity on 1 core where it
-//! degenerates to one band). The simd engine's win is lane-level and
-//! shows up even on one core wherever rows are dense enough to sweep
-//! (`≥1.5×` expected on AVX2 at the forward densities below). The
-//! `pruning` group covers the stochastic pruning stage: sequential
-//! `prune_batch_parts` vs engine-banded `prune_batch_parts_on` across
-//! batch sizes, with the rayon worker count in the label.
+//! degenerates to one band — the CI multi-core leg gates on exactly this
+//! ratio via `sparsetrain-bench multicore`). The simd engine's win is
+//! lane-level and shows up even on one core wherever rows are dense
+//! enough to sweep (`≥1.5×` expected on AVX2 at the forward densities
+//! below); the im2row engine targets the dense early-layer forward legs
+//! (`conv1`/`conv2`), where its register-tiled patch reduction beats the
+//! row sweeps. The `pruning` group covers the stochastic pruning stage:
+//! sequential `prune_batch_parts` vs engine-banded `prune_batch_parts_on`
+//! across batch sizes, with the rayon worker count in the label.
+//!
+//! CI regression-gates the conv legs of the resulting
+//! `target/bench-results.jsonl` against the committed
+//! `crates/bench/baseline.json` (see the `sparsetrain-bench` binary).
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
@@ -35,8 +42,13 @@ use std::hint::black_box;
 
 /// AlexNet-style layer shapes (channels, filters, spatial size) at the
 /// width the paper's Table I evaluates, with representative densities for
-/// the input activations and pruned output gradients.
-const LAYERS: [(&str, usize, usize, usize, f64, f64); 3] = [
+/// the input activations and pruned output gradients. `conv1` is the
+/// dense early layer (near-dense raw-image input, wide rows) where the
+/// cache-blocked `im2row` lowering is expected to win; sparsity grows and
+/// rows shrink down the stack, handing the advantage to the sparse
+/// row kernels.
+const LAYERS: [(&str, usize, usize, usize, f64, f64); 4] = [
+    ("conv1_3x64x32", 3, 64, 32, 0.95, 0.25),
     ("conv2_64x128x16", 64, 128, 16, 0.45, 0.15),
     ("conv3_128x192x8", 128, 192, 8, 0.35, 0.10),
     ("conv4_192x192x8", 192, 192, 8, 0.30, 0.05),
@@ -160,7 +172,14 @@ fn bench_weight_grad(c: &mut Criterion) {
 fn bench_batched_vs_per_sample(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_forward_batched");
     group.sample_size(10);
-    let (name, ci, fi, hw, din, dout) = LAYERS[1];
+    // Selected by name, not position: this trajectory series (and the CI
+    // multicore gate reading it) has used the conv3 shape since the
+    // batched entry points landed — prepending layers must not silently
+    // move it.
+    let (name, ci, fi, hw, din, dout) = *LAYERS
+        .iter()
+        .find(|l| l.0 == "conv3_128x192x8")
+        .expect("conv3 layer present");
     let fxs: Vec<LayerFixture> = (0..BATCH)
         .map(|s| fixture_seeded(ci, fi, hw, din, dout, 42 + s as u64))
         .collect();

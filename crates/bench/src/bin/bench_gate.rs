@@ -1,0 +1,561 @@
+//! `sparsetrain-bench` — the bench-trajectory gate behind the CI perf jobs.
+//!
+//! The criterion shim appends every measurement as one JSON line to
+//! `target/bench-results.jsonl`. This binary turns that trajectory into
+//! enforcement:
+//!
+//! * `baseline` — collapse a results file into a committed per-leg
+//!   baseline (`crates/bench/baseline.json`, median ns per label).
+//! * `check` — regression-gate the conv legs of a fresh run against the
+//!   baseline. The gated metric is the **speedup relative to the same
+//!   run's scalar leg** (`engine_ns / scalar_ns`), so a uniformly faster
+//!   or slower runner cancels out and the gate survives runner-class
+//!   changes; a leg whose normalized ratio degrades by more than
+//!   `--max-regression` (default 20 %) fails the job. Also renders the
+//!   scalar/parallel/simd/im2row ratio table as Markdown (to
+//!   `--summary`, e.g. `$GITHUB_STEP_SUMMARY`).
+//! * `multicore` — assert the parallel engine's multi-core win on the
+//!   batched forward leg (`--min-ratio`, default the ROADMAP's 1.5×) and
+//!   record the measured ratios. Run it from a bench invocation with
+//!   `RAYON_NUM_THREADS=4` on a multi-core runner; on one core the
+//!   parallel engine degenerates to one band and the assertion would
+//!   rightly fail.
+//!
+//! Regenerate the committed baseline after intentional perf changes.
+//! Always at **one rayon worker** — the gate's ratios are single-threaded
+//! kernel comparisons, and pinning the thread count keeps a baseline from
+//! an N-core box comparable to any runner:
+//!
+//! ```sh
+//! rm -f target/bench-results.jsonl
+//! RAYON_NUM_THREADS=1 cargo bench -p sparsetrain-bench --bench engine
+//! cargo run --release -p sparsetrain-bench --bin sparsetrain-bench -- \
+//!     baseline --results target/bench-results.jsonl --out crates/bench/baseline.json
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+/// The per-stage conv bench groups the regression gate covers.
+const CONV_GROUPS: [&str; 3] = ["engine_forward", "engine_input_grad", "engine_weight_grad"];
+
+/// The group the multi-core assertion reads.
+const BATCHED_GROUP: &str = "engine_forward_batched";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match Opts::parse(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let run = || -> Result<bool, String> {
+        match cmd.as_str() {
+            "baseline" => cmd_baseline(&opts),
+            "check" => cmd_check(&opts),
+            "multicore" => cmd_multicore(&opts),
+            other => Err(format!("unknown subcommand {other:?}")),
+        }
+    };
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: sparsetrain-bench <baseline|check|multicore> [options]
+
+  baseline  --results <jsonl> --out <json>
+  check     --results <jsonl> --baseline <json>
+            [--max-regression 0.20] [--summary <path>]
+  multicore --results <jsonl> [--min-ratio 1.5] [--summary <path>]";
+
+struct Opts {
+    results: Option<String>,
+    baseline: Option<String>,
+    out: Option<String>,
+    summary: Option<String>,
+    max_regression: f64,
+    min_ratio: f64,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut opts = Opts {
+            results: None,
+            baseline: None,
+            out: None,
+            summary: None,
+            max_regression: 0.20,
+            min_ratio: 1.5,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next()
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--results" => opts.results = Some(value()?.to_string()),
+                "--baseline" => opts.baseline = Some(value()?.to_string()),
+                "--out" => opts.out = Some(value()?.to_string()),
+                "--summary" => opts.summary = Some(value()?.to_string()),
+                "--max-regression" => {
+                    opts.max_regression = value()?.parse().map_err(|e| format!("--max-regression: {e}"))?;
+                }
+                "--min-ratio" => {
+                    opts.min_ratio = value()?.parse().map_err(|e| format!("--min-ratio: {e}"))?;
+                }
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(opts)
+    }
+
+    fn results(&self) -> Result<&str, String> {
+        self.results
+            .as_deref()
+            .ok_or_else(|| "--results is required".into())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory / baseline parsing (our own shim's flat formats; no JSON crate)
+// ---------------------------------------------------------------------------
+
+/// Extracts `(label, mean_ns)` from one shim-written JSONL line.
+fn parse_jsonl_line(line: &str) -> Option<(String, f64)> {
+    let label = line.split("\"bench\":\"").nth(1)?.split('"').next()?.to_string();
+    let mean: f64 = line
+        .split("\"mean_ns\":")
+        .nth(1)?
+        .split([',', '}'])
+        .next()?
+        .trim()
+        .parse()
+        .ok()?;
+    (mean.is_finite() && mean > 0.0).then_some((label, mean))
+}
+
+/// Median ns per label across every record of a results file.
+fn load_results(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut by_label: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if let Some((label, mean)) = parse_jsonl_line(line) {
+            by_label.entry(label).or_default().push(mean);
+        }
+    }
+    if by_label.is_empty() {
+        return Err(format!("{path} contains no bench records"));
+    }
+    Ok(by_label
+        .into_iter()
+        .map(|(label, ns)| (label, median(ns)))
+        .collect())
+}
+
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.total_cmp(b));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Writes the baseline as a flat, sorted `{"label": ns}` JSON object.
+fn render_baseline(legs: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (label, ns)) in legs.iter().enumerate() {
+        let comma = if i + 1 == legs.len() { "" } else { "," };
+        let _ = writeln!(out, "  \"{label}\": {ns:.1}{comma}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Parses the flat baseline object by scanning `"label": number` pairs
+/// (labels never contain quotes).
+fn parse_baseline(text: &str) -> BTreeMap<String, f64> {
+    let mut legs = BTreeMap::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        let label = &rest[..end];
+        rest = &rest[end + 1..];
+        let value = rest
+            .trim_start_matches([':', ' '])
+            .split([',', '\n', '}'])
+            .next()
+            .unwrap_or("");
+        if let Ok(ns) = value.trim().parse::<f64>() {
+            legs.insert(label.to_string(), ns);
+        }
+    }
+    legs
+}
+
+/// Splits a per-stage label `group/engine/layer` (engine names may contain
+/// `:` but never `/`).
+fn split_leg(label: &str) -> Option<(&str, &str, &str)> {
+    let mut parts = label.splitn(3, '/');
+    Some((parts.next()?, parts.next()?, parts.next()?))
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+fn cmd_baseline(opts: &Opts) -> Result<bool, String> {
+    let results = load_results(opts.results()?)?;
+    let out = opts.out.as_deref().ok_or("--out is required")?;
+    std::fs::write(out, render_baseline(&results)).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {} legs to {out}", results.len());
+    Ok(true)
+}
+
+fn cmd_check(opts: &Opts) -> Result<bool, String> {
+    let current = load_results(opts.results()?)?;
+    let baseline_path = opts.baseline.as_deref().ok_or("--baseline is required")?;
+    let baseline_text =
+        std::fs::read_to_string(baseline_path).map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    let baseline = parse_baseline(&baseline_text);
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path} contains no legs"));
+    }
+
+    let (failures, fresh) = gate_conv_legs(&baseline, &current, opts.max_regression);
+    let mut summary = render_ratio_table(&current);
+    let _ = writeln!(
+        summary,
+        "\nGate: normalized conv-leg ratio (engine/scalar, same run) vs baseline, \
+         threshold +{:.0} %.\n",
+        opts.max_regression * 100.0
+    );
+    if failures.is_empty() {
+        let _ = writeln!(summary, "**PASS** — no conv leg regressed.");
+    } else {
+        let _ = writeln!(summary, "**FAIL** — {} conv leg(s) regressed:\n", failures.len());
+        for f in &failures {
+            let _ = writeln!(summary, "- {f}");
+        }
+    }
+    for leg in &fresh {
+        let _ = writeln!(
+            summary,
+            "- note: `{leg}` has no baseline entry — regenerate `crates/bench/baseline.json`."
+        );
+    }
+    emit_summary(opts, &summary);
+    Ok(failures.is_empty())
+}
+
+/// Gates every conv leg present in the baseline. Returns (failures,
+/// current legs missing from the baseline).
+fn gate_conv_legs(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    max_regression: f64,
+) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut fresh = Vec::new();
+    let scalar_leg = |legs: &BTreeMap<String, f64>, group: &str, layer: &str| {
+        legs.get(&format!("{group}/scalar/{layer}")).copied()
+    };
+    for (label, &base_ns) in baseline {
+        let Some((group, engine, layer)) = split_leg(label) else {
+            continue;
+        };
+        if !CONV_GROUPS.contains(&group) {
+            continue;
+        }
+        let Some(&cur_ns) = current.get(label) else {
+            failures.push(format!("`{label}`: leg missing from this run"));
+            continue;
+        };
+        if engine == "scalar" {
+            continue; // the normalization reference
+        }
+        let (Some(base_scalar), Some(cur_scalar)) = (
+            scalar_leg(baseline, group, layer),
+            scalar_leg(current, group, layer),
+        ) else {
+            continue;
+        };
+        let base_rel = base_ns / base_scalar;
+        let cur_rel = cur_ns / cur_scalar;
+        let regression = cur_rel / base_rel - 1.0;
+        if regression > max_regression {
+            failures.push(format!(
+                "`{label}`: {:.2}× scalar, was {:.2}× (+{:.0} %)",
+                cur_rel,
+                base_rel,
+                regression * 100.0
+            ));
+        }
+    }
+    for label in current.keys() {
+        if let Some((group, _, _)) = split_leg(label) {
+            if CONV_GROUPS.contains(&group) && !baseline.contains_key(label) {
+                fresh.push(label.clone());
+            }
+        }
+    }
+    (failures, fresh)
+}
+
+/// Renders the per-stage engine comparison as Markdown: one table per conv
+/// group, one row per layer, speedups relative to the same run's scalar
+/// leg.
+fn render_ratio_table(current: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("## Engine bench ratios\n");
+    for group in CONV_GROUPS {
+        // Engines and layers present for this group, in first-seen order.
+        let mut engines: Vec<&str> = Vec::new();
+        let mut layers: Vec<&str> = Vec::new();
+        for label in current.keys() {
+            if let Some((g, engine, layer)) = split_leg(label) {
+                if g == group {
+                    if !engines.contains(&engine) {
+                        engines.push(engine);
+                    }
+                    if !layers.contains(&layer) {
+                        layers.push(layer);
+                    }
+                }
+            }
+        }
+        if layers.is_empty() {
+            continue;
+        }
+        engines.sort_by_key(|e| (*e != "scalar", *e));
+        let _ = writeln!(out, "\n### {group}\n");
+        let _ = writeln!(out, "| leg | {} |", engines.join(" | "));
+        let _ = writeln!(out, "|---|{}", "---|".repeat(engines.len()));
+        for layer in layers {
+            let scalar_ns = current.get(&format!("{group}/scalar/{layer}")).copied();
+            let cells: Vec<String> = engines
+                .iter()
+                .map(|engine| {
+                    let Some(&ns) = current.get(&format!("{group}/{engine}/{layer}")) else {
+                        return "—".to_string();
+                    };
+                    match (*engine, scalar_ns) {
+                        ("scalar", _) | (_, None) => format_ns(ns),
+                        (_, Some(s)) => format!("{} ({:.2}×)", format_ns(ns), s / ns),
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "| {layer} | {} |", cells.join(" | "));
+        }
+    }
+    out
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn cmd_multicore(opts: &Opts) -> Result<bool, String> {
+    let current = load_results(opts.results()?)?;
+    let threads = std::env::var("RAYON_NUM_THREADS").unwrap_or_else(|_| "auto".into());
+    let mut summary = format!("## Multi-core validation ({threads} rayon threads)\n\n");
+    let mut best: Option<(String, f64)> = None;
+    let _ = writeln!(summary, "| leg | scalar | parallel | ratio |");
+    let _ = writeln!(summary, "|---|---|---|---|");
+    for (label, &scalar_ns) in &current {
+        let Some((group, engine, layer)) = split_leg(label) else {
+            continue;
+        };
+        if group != BATCHED_GROUP || engine != "scalar" {
+            continue;
+        }
+        // layer is e.g. "batched/conv3_128x192x8" or "per_sample/...".
+        let Some(&parallel_ns) = current.get(&format!("{group}/parallel/{layer}")) else {
+            continue;
+        };
+        let ratio = scalar_ns / parallel_ns;
+        let _ = writeln!(
+            summary,
+            "| {layer} | {} | {} | {ratio:.2}× |",
+            format_ns(scalar_ns),
+            format_ns(parallel_ns)
+        );
+        if layer.starts_with("batched/") && best.as_ref().is_none_or(|(_, b)| ratio > *b) {
+            best = Some((layer.to_string(), ratio));
+        }
+    }
+    let pass = match &best {
+        Some((layer, ratio)) => {
+            let _ = writeln!(
+                summary,
+                "\nBest batched-leg ratio: **{ratio:.2}×** (`{layer}`), required ≥ {:.2}×.",
+                opts.min_ratio
+            );
+            *ratio >= opts.min_ratio
+        }
+        None => {
+            let _ = writeln!(summary, "\nNo batched scalar/parallel leg pair found.");
+            false
+        }
+    };
+    let _ = writeln!(
+        summary,
+        "\n**{}** — the parallel engine {} the ROADMAP's multi-core win on this runner.",
+        if pass { "PASS" } else { "FAIL" },
+        if pass {
+            "demonstrates"
+        } else {
+            "did not demonstrate"
+        }
+    );
+    emit_summary(opts, &summary);
+    Ok(pass)
+}
+
+/// Appends Markdown to `--summary` (e.g. `$GITHUB_STEP_SUMMARY`) and
+/// always echoes it to stdout.
+fn emit_summary(opts: &Opts, text: &str) {
+    println!("{text}");
+    if let Some(path) = &opts.summary {
+        use std::io::Write as _;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| writeln!(f, "{text}"));
+        if let Err(e) = appended {
+            eprintln!("warning: cannot append summary to {path}: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_lines_parse() {
+        let line = r#"{"bench":"engine_forward/parallel:simd/conv2_64x128x16","mean_ns":1234.500,"stddev_ns":1.0,"samples":10,"iters":3,"unix_time":1}"#;
+        let (label, ns) = parse_jsonl_line(line).unwrap();
+        assert_eq!(label, "engine_forward/parallel:simd/conv2_64x128x16");
+        assert_eq!(ns, 1234.5);
+        assert!(parse_jsonl_line("not json").is_none());
+        assert!(parse_jsonl_line(r#"{"bench":"x","mean_ns":NaN}"#).is_none());
+    }
+
+    #[test]
+    fn median_is_robust_to_order_and_parity() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(vec![7.0]), 7.0);
+    }
+
+    #[test]
+    fn baseline_roundtrips() {
+        let mut legs = BTreeMap::new();
+        legs.insert("engine_forward/scalar/conv1_3x64x32".to_string(), 100.0);
+        legs.insert("engine_forward/parallel:im2row/conv1_3x64x32".to_string(), 40.5);
+        let text = render_baseline(&legs);
+        assert_eq!(parse_baseline(&text), legs);
+    }
+
+    fn legs(entries: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        entries.iter().map(|(l, ns)| (l.to_string(), *ns)).collect()
+    }
+
+    #[test]
+    fn gate_normalizes_by_the_same_runs_scalar_leg() {
+        let baseline = legs(&[
+            ("engine_forward/scalar/conv1", 100.0),
+            ("engine_forward/simd/conv1", 50.0), // 0.5× scalar
+        ]);
+        // A uniformly 3× slower machine: same normalized ratio — no fail.
+        let slower = legs(&[
+            ("engine_forward/scalar/conv1", 300.0),
+            ("engine_forward/simd/conv1", 150.0),
+        ]);
+        let (failures, fresh) = gate_conv_legs(&baseline, &slower, 0.20);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(fresh.is_empty());
+        // A genuine 30 % relative regression on the simd leg: fail.
+        let regressed = legs(&[
+            ("engine_forward/scalar/conv1", 100.0),
+            ("engine_forward/simd/conv1", 65.0),
+        ]);
+        let (failures, _) = gate_conv_legs(&baseline, &regressed, 0.20);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("engine_forward/simd/conv1"), "{failures:?}");
+        // Within threshold: 10 % does not fail.
+        let mild = legs(&[
+            ("engine_forward/scalar/conv1", 100.0),
+            ("engine_forward/simd/conv1", 55.0),
+        ]);
+        assert!(gate_conv_legs(&baseline, &mild, 0.20).0.is_empty());
+    }
+
+    #[test]
+    fn gate_flags_missing_and_fresh_legs() {
+        let baseline = legs(&[
+            ("engine_forward/scalar/conv1", 100.0),
+            ("engine_forward/simd/conv1", 50.0),
+        ]);
+        let current = legs(&[
+            ("engine_forward/scalar/conv1", 100.0),
+            ("engine_forward/im2row/conv1", 30.0),
+        ]);
+        let (failures, fresh) = gate_conv_legs(&baseline, &current, 0.20);
+        assert_eq!(failures.len(), 1, "baseline leg vanished must fail: {failures:?}");
+        assert_eq!(fresh, vec!["engine_forward/im2row/conv1".to_string()]);
+        // Non-conv groups are never gated.
+        let baseline = legs(&[("pruning/seq/t1/b8", 10.0)]);
+        let (failures, fresh) = gate_conv_legs(&baseline, &legs(&[]), 0.20);
+        assert!(failures.is_empty() && fresh.is_empty());
+    }
+
+    #[test]
+    fn ratio_table_lists_scalar_first_with_speedups() {
+        let current = legs(&[
+            ("engine_forward/scalar/conv1", 100.0),
+            ("engine_forward/im2row/conv1", 25.0),
+            ("engine_forward/simd/conv1", 50.0),
+        ]);
+        let table = render_ratio_table(&current);
+        assert!(table.contains("| leg | scalar | im2row | simd |"), "{table}");
+        assert!(table.contains("(4.00×)"), "{table}");
+        assert!(table.contains("(2.00×)"), "{table}");
+    }
+
+    #[test]
+    fn split_leg_keeps_colon_engine_names() {
+        let (group, engine, layer) = split_leg("engine_forward/parallel:im2row/conv1_3x64x32").unwrap();
+        assert_eq!(group, "engine_forward");
+        assert_eq!(engine, "parallel:im2row");
+        assert_eq!(layer, "conv1_3x64x32");
+        let (_, engine, layer) = split_leg("engine_forward_batched/scalar/batched/conv3").unwrap();
+        assert_eq!(engine, "scalar");
+        assert_eq!(layer, "batched/conv3");
+    }
+}

@@ -6,10 +6,14 @@
 //! by [`EngineHandle`]) and a [`Workspace`] of reusable scratch buffers for
 //! row-at-a-time callers. Construction is name-driven — from a registry
 //! handle, a string (`"scalar"`, `"parallel"`, `"simd"`,
-//! `"parallel:simd"`, `"fixed"`, `"fixed:qI.F"`, or anything registered),
-//! or the `SPARSETRAIN_ENGINE` environment variable — so adding a backend
-//! never changes a call-site signature again: the simd engine slotted into
-//! every selection path without touching one.
+//! `"parallel:simd"`, `"im2row"`, `"parallel:im2row"`, `"fixed"`,
+//! `"fixed:qI.F"`, or anything registered), or the `SPARSETRAIN_ENGINE`
+//! environment variable — so adding a backend never changes a call-site
+//! signature again: the simd and im2row engines each slotted into every
+//! selection path without touching one. Per-call operand state travels on
+//! the engine seam itself ([`crate::engine::BandContext`], built by the
+//! engine's `prepare_*` hooks), not in this context, so a context stays
+//! valid across calls of any shape.
 //!
 //! ```
 //! use sparsetrain_sparse::ExecutionContext;

@@ -31,6 +31,16 @@
 //! `samples × filters` so multi-core speedup scales with batch size, not
 //! just layer width.
 //!
+//! [`BandContext`] is the per-call operand state on the band seam: before
+//! fanning a stage out into bands, the caller asks the inner engine to
+//! **prepare** the call once (`prepare_forward` / `prepare_input_grad` /
+//! `prepare_weight_grad`) and passes the resulting context by reference
+//! into every band worker. Backends use it to hoist per-call operand
+//! transformations — the simd engine's densified operand maps, the im2row
+//! engine's blocked patch matrix — above the fan-out, so `B` bands share
+//! one preparation instead of redoing it `B` times (the documented
+//! few-percent loss of the earlier per-band densification).
+//!
 //! Beyond the convolutions, [`KernelEngine::for_each_batch_chunk`] is the
 //! elementwise batch seam: position-pure per-element work (stochastic
 //! pruning with counter-based RNG streams) executes through it, banded
@@ -118,6 +128,102 @@ impl From<EngineKind> for crate::registry::EngineHandle {
     }
 }
 
+/// Per-call operand state shared by every band of one engine call.
+///
+/// A `BandContext` is built **once per engine call** by the executing
+/// engine's `prepare_*` hook ([`KernelEngine::prepare_forward`] and
+/// friends), *above* the band fan-out, and then passed by reference into
+/// every band worker. It carries whatever per-call operand transformation
+/// the backend wants to hoist out of the bands:
+///
+/// * `dense` — a densified copy of the call's sparse operand map
+///   (channel-major `C × H × W`; the simd engine's row sweeps read it),
+/// * `patches` / `patch_len` / `dense_rows` — the im2row engine's blocked
+///   receptive-field patch matrix plus its per-output-row classification,
+/// * `ext` — an arbitrary payload for backends registered outside this
+///   crate.
+///
+/// The scalar reference needs no preparation and returns an empty context;
+/// band workers must treat an empty context as "prepare locally or fall
+/// back to the scalar path", so a context from the wrong engine can never
+/// change results — only speed. A context is only valid for the exact
+/// operands it was prepared from.
+///
+/// Memory tradeoff: the batched entry points hold **one context per
+/// sample** for the duration of the call (every sample's bands may run
+/// concurrently, so no context can be dropped early). With a preparing
+/// engine that is `batch × per-sample state` — e.g. the im2row patch
+/// matrix, `Oh·Ow·C·K²` floats per sample. Callers streaming very large
+/// batches through memory-hungry engines should split the batch; the
+/// per-call preparation cost is already amortized within each sub-batch.
+#[derive(Debug, Default)]
+pub struct BandContext {
+    dense: Vec<f32>,
+    patches: Vec<f32>,
+    patch_len: usize,
+    dense_rows: Vec<bool>,
+    ext: Option<Box<dyn std::any::Any + Send + Sync>>,
+}
+
+impl BandContext {
+    /// A context carrying no prepared state (the scalar engine's answer).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Whether no prepared state is attached at all.
+    pub fn is_empty(&self) -> bool {
+        self.dense.is_empty() && self.patches.is_empty() && self.ext.is_none()
+    }
+
+    /// Attaches a densified operand map (channel-major `C × H × W`).
+    pub fn set_dense(&mut self, map: Vec<f32>) {
+        self.dense = map;
+    }
+
+    /// The densified operand map, or `&[]` when none was prepared.
+    pub fn dense(&self) -> &[f32] {
+        &self.dense
+    }
+
+    /// Attaches an im2row patch matrix: one `patch_len`-wide row per
+    /// output position, plus the per-output-row flags saying which rows
+    /// were materialized (and thus qualify for the dense micro-kernel).
+    pub fn set_patches(&mut self, patches: Vec<f32>, patch_len: usize, dense_rows: Vec<bool>) {
+        self.patches = patches;
+        self.patch_len = patch_len;
+        self.dense_rows = dense_rows;
+    }
+
+    /// The im2row patch matrix, or `&[]` when none was prepared.
+    pub fn patches(&self) -> &[f32] {
+        &self.patches
+    }
+
+    /// Patch-row width of [`BandContext::patches`] (0 when none).
+    pub fn patch_len(&self) -> usize {
+        self.patch_len
+    }
+
+    /// Per-output-row micro-kernel eligibility flags (empty when no patch
+    /// matrix was prepared).
+    pub fn dense_rows(&self) -> &[bool] {
+        &self.dense_rows
+    }
+
+    /// Attaches an engine-specific payload (for backends outside this
+    /// crate).
+    pub fn set_ext<T: std::any::Any + Send + Sync>(&mut self, value: T) {
+        self.ext = Some(Box::new(value));
+    }
+
+    /// Downcasts the engine-specific payload, if one of type `T` is
+    /// attached.
+    pub fn ext<T: std::any::Any>(&self) -> Option<&T> {
+        self.ext.as_deref().and_then(|e| e.downcast_ref())
+    }
+}
+
 /// Layer-level execution of the three training-stage convolutions.
 ///
 /// All methods accumulate into caller-provided tensors (which the `*_into`
@@ -147,7 +253,8 @@ pub trait KernelEngine: Send + Sync {
     ) {
         check_forward(input, weights, bias, geom, out);
         let (_, oh, ow) = out.shape();
-        self.forward_band(input, weights, bias, geom, oh, ow, 0, out.as_mut_slice());
+        let ctx = self.prepare_forward(input, weights, bias, geom);
+        self.forward_band(&ctx, input, weights, bias, geom, oh, ow, 0, out.as_mut_slice());
     }
 
     /// GTA step: scatters `dout` through the rotated kernels into `din`,
@@ -170,7 +277,18 @@ pub trait KernelEngine: Send + Sync {
     ) {
         check_input_grad(dout, weights, geom, masks, din);
         let (_, in_h, in_w) = din.shape();
-        self.input_grad_band(dout, weights, geom, masks, in_h, in_w, 0, din.as_mut_slice());
+        let ctx = self.prepare_input_grad(dout, weights, geom, masks, in_h, in_w);
+        self.input_grad_band(
+            &ctx,
+            dout,
+            weights,
+            geom,
+            masks,
+            in_h,
+            in_w,
+            0,
+            din.as_mut_slice(),
+        );
     }
 
     /// GTW step: accumulates `dW[fi][ci][u] += Σ_oy OSRC(I row, dO row)`
@@ -190,7 +308,8 @@ pub trait KernelEngine: Send + Sync {
         dw: &mut Tensor4,
     ) {
         check_weight_grad(input, dout, geom, dw);
-        self.weight_grad_band(input, dout, geom, 0, dw.as_mut_slice());
+        let ctx = self.prepare_weight_grad(input, dout, geom);
+        self.weight_grad_band(&ctx, input, dout, geom, 0, dw.as_mut_slice());
     }
 
     // -- Band-level workers --------------------------------------------------
@@ -198,18 +317,64 @@ pub trait KernelEngine: Send + Sync {
     // The banding seam: `ParallelEngine` splits a stage's independent
     // output units into contiguous bands and delegates the per-band
     // computation to an *inner* engine through these methods, so a
-    // vectorized backend composes with band parallelism (`"parallel:simd"`)
-    // without reimplementing the banding. The defaults are the scalar
-    // reference loops; every override must stay bitwise identical to them.
-    // Band methods trust their caller for shape validation (the `*_into`
-    // entry points run the checks).
+    // vectorized backend composes with band parallelism (`"parallel:simd"`,
+    // `"parallel:im2row"`) without reimplementing the banding. The defaults
+    // are the scalar reference loops; every override must stay bitwise
+    // identical to them. Band methods trust their caller for shape
+    // validation (the `*_into` entry points run the checks), and every
+    // band of one call shares the [`BandContext`] the executing engine's
+    // matching `prepare_*` hook built from the same operands. An empty or
+    // foreign context never changes results: band workers re-prepare
+    // locally or take the scalar path.
+
+    /// Builds the per-call operand state for a forward call — invoked
+    /// **once**, above the band fan-out. The default prepares nothing.
+    fn prepare_forward(
+        &self,
+        input: &SparseFeatureMap,
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+    ) -> BandContext {
+        let _ = (input, weights, bias, geom);
+        BandContext::empty()
+    }
+
+    /// Builds the per-call operand state for a GTA call — invoked once,
+    /// above the band fan-out. The default prepares nothing.
+    fn prepare_input_grad(
+        &self,
+        dout: &SparseFeatureMap,
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        masks: &[RowMask],
+        in_h: usize,
+        in_w: usize,
+    ) -> BandContext {
+        let _ = (dout, weights, geom, masks, in_h, in_w);
+        BandContext::empty()
+    }
+
+    /// Builds the per-call operand state for a GTW call — invoked once,
+    /// above the band fan-out. The default prepares nothing.
+    fn prepare_weight_grad(
+        &self,
+        input: &SparseFeatureMap,
+        dout: &SparseFeatureMap,
+        geom: ConvGeometry,
+    ) -> BandContext {
+        let _ = (input, dout, geom);
+        BandContext::empty()
+    }
 
     /// Computes the forward rows of filters `f_lo..f_lo + n` into
     /// `out_band`, which holds `n` contiguous pre-seeded `oh × ow` filter
-    /// planes.
+    /// planes. `ctx` is the call's shared [`BandContext`] (from
+    /// [`KernelEngine::prepare_forward`] on the same operands).
     #[allow(clippy::too_many_arguments)]
     fn forward_band(
         &self,
+        ctx: &BandContext,
         input: &SparseFeatureMap,
         weights: &Tensor4,
         bias: Option<&[f32]>,
@@ -219,15 +384,17 @@ pub trait KernelEngine: Send + Sync {
         f_lo: usize,
         out_band: &mut [f32],
     ) {
+        let _ = ctx;
         scalar_forward_band(input, weights, bias, geom, oh, ow, f_lo, out_band);
     }
 
     /// Computes the input-gradient rows of channels `c_lo..c_lo + n` into
     /// `din_band`, which holds `n` contiguous pre-seeded `in_h × in_w`
-    /// channel planes.
+    /// channel planes. `ctx` is the call's shared [`BandContext`].
     #[allow(clippy::too_many_arguments)]
     fn input_grad_band(
         &self,
+        ctx: &BandContext,
         dout: &SparseFeatureMap,
         weights: &Tensor4,
         geom: ConvGeometry,
@@ -237,19 +404,23 @@ pub trait KernelEngine: Send + Sync {
         c_lo: usize,
         din_band: &mut [f32],
     ) {
+        let _ = ctx;
         scalar_input_grad_band(dout, weights, geom, masks, in_h, in_w, c_lo, din_band);
     }
 
     /// Accumulates the weight gradients of filters `f_lo..f_lo + n` into
     /// `dw_band`, which holds `n` contiguous `C × K × K` filter blocks.
+    /// `ctx` is the call's shared [`BandContext`].
     fn weight_grad_band(
         &self,
+        ctx: &BandContext,
         input: &SparseFeatureMap,
         dout: &SparseFeatureMap,
         geom: ConvGeometry,
         f_lo: usize,
         dw_band: &mut [f32],
     ) {
+        let _ = ctx;
         scalar_weight_grad_band(input, dout, geom, f_lo, dw_band);
     }
 
@@ -880,9 +1051,12 @@ impl KernelEngine for ParallelEngine {
         let (f, oh, ow) = out.shape();
         // Per-filter work ≈ every input non-zero hits K kernel taps.
         let bands = self.bands(f, input.nnz() * geom.kernel);
+        // One preparation for the whole call: every band borrows the same
+        // operand state instead of rebuilding it.
+        let ctx = self.inner.prepare_forward(input, weights, bias, geom);
         for_each_band(out.as_mut_slice(), f, oh * ow, bands, |f_lo, band| {
             self.inner
-                .forward_band(input, weights, bias, geom, oh, ow, f_lo, band);
+                .forward_band(&ctx, input, weights, bias, geom, oh, ow, f_lo, band);
         });
     }
 
@@ -898,9 +1072,12 @@ impl KernelEngine for ParallelEngine {
         let (c, in_h, in_w) = din.shape();
         // Per-channel work ≈ every gradient non-zero scatters K taps.
         let bands = self.bands(c, dout.nnz() * geom.kernel);
+        let ctx = self
+            .inner
+            .prepare_input_grad(dout, weights, geom, masks, in_h, in_w);
         for_each_band(din.as_mut_slice(), c, in_h * in_w, bands, |c_lo, band| {
             self.inner
-                .input_grad_band(dout, weights, geom, masks, in_h, in_w, c_lo, band);
+                .input_grad_band(&ctx, dout, weights, geom, masks, in_h, in_w, c_lo, band);
         });
     }
 
@@ -915,8 +1092,9 @@ impl KernelEngine for ParallelEngine {
         let (f, c, k, _) = dw.shape();
         // Per-filter work ≈ the input swept once per kernel row.
         let bands = self.bands(f, input.nnz() * geom.kernel);
+        let ctx = self.inner.prepare_weight_grad(input, dout, geom);
         for_each_band(dw.as_mut_slice(), f, c * k * k, bands, |f_lo, band| {
-            self.inner.weight_grad_band(input, dout, geom, f_lo, band);
+            self.inner.weight_grad_band(&ctx, input, dout, geom, f_lo, band);
         });
     }
 
@@ -950,10 +1128,15 @@ impl KernelEngine for ParallelEngine {
         let f = weights.filters();
         let total_ops: usize = inputs.iter().map(|i| i.nnz() * geom.kernel).sum();
         let bands = self.bands_for_total(inputs.len() * f, total_ops);
+        // One preparation per sample, shared by every band that touches it.
+        let ctxs: Vec<BandContext> = inputs
+            .iter()
+            .map(|input| self.inner.prepare_forward(input, weights, bias, geom))
+            .collect();
         let slices: Vec<&mut [f32]> = outs.iter_mut().map(Tensor3::as_mut_slice).collect();
         for_each_batch_band(slices, f, oh * ow, bands, |s, f_lo, chunk| {
             self.inner
-                .forward_band(&inputs[s], weights, bias, geom, oh, ow, f_lo, chunk);
+                .forward_band(&ctxs[s], &inputs[s], weights, bias, geom, oh, ow, f_lo, chunk);
         });
     }
 
@@ -980,10 +1163,19 @@ impl KernelEngine for ParallelEngine {
         }
         let total_ops: usize = douts.iter().map(|d| d.nnz() * geom.kernel).sum();
         let bands = self.bands_for_total(dins.len() * c, total_ops);
+        let ctxs: Vec<BandContext> = douts
+            .iter()
+            .zip(masks)
+            .map(|(dout, mask)| {
+                self.inner
+                    .prepare_input_grad(dout, weights, geom, mask, in_h, in_w)
+            })
+            .collect();
         let slices: Vec<&mut [f32]> = dins.iter_mut().map(Tensor3::as_mut_slice).collect();
         for_each_batch_band(slices, c, in_h * in_w, bands, |s, c_lo, chunk| {
-            self.inner
-                .input_grad_band(&douts[s], weights, geom, &masks[s], in_h, in_w, c_lo, chunk);
+            self.inner.input_grad_band(
+                &ctxs[s], &douts[s], weights, geom, &masks[s], in_h, in_w, c_lo, chunk,
+            );
         });
     }
 
@@ -1013,9 +1205,14 @@ impl KernelEngine for ParallelEngine {
         // per-tap accumulation sequence identical to the per-sample path.
         let total_ops: usize = inputs.iter().map(|i| i.nnz() * geom.kernel).sum();
         let bands = self.bands_for_total(f, total_ops);
+        let ctxs: Vec<BandContext> = inputs
+            .iter()
+            .zip(douts)
+            .map(|(input, dout)| self.inner.prepare_weight_grad(input, dout, geom))
+            .collect();
         for_each_band(dw.as_mut_slice(), f, c * k * k, bands, |f_lo, band| {
-            for (input, dout) in inputs.iter().zip(douts) {
-                self.inner.weight_grad_band(input, dout, geom, f_lo, band);
+            for ((input, dout), ctx) in inputs.iter().zip(douts).zip(&ctxs) {
+                self.inner.weight_grad_band(ctx, input, dout, geom, f_lo, band);
             }
         });
     }

@@ -19,8 +19,12 @@
 //!   `engine_parity` suite).
 //!
 //! This is a *modelling* backend: it clones and quantizes its operands per
-//! call and makes no attempt at speed. Select it by name (`"fixed"`) via
-//! the [registry](crate::registry).
+//! call and makes no attempt at speed. It overrides the `*_into` entry
+//! points directly (quantize, run the scalar reference, round the store),
+//! so the band seam ([`crate::engine::BandContext`], the `prepare_*` /
+//! `*_band` split the float engines hoist operand state through) never
+//! engages — banding a quantization model would model nothing. Select it
+//! by name (`"fixed"`) via the [registry](crate::registry).
 
 use crate::engine::{KernelEngine, ScalarEngine};
 use crate::mask::RowMask;

@@ -1,0 +1,672 @@
+//! Cache-blocked im2row dense kernel engine (`"im2row"`).
+//!
+//! Early convolution layers are exactly where the sparse row kernels have
+//! the least to skip: activations enter nearly dense (the raw image, or a
+//! map before much ReLU sparsity has developed) and rows are wide. There a
+//! classic dense lowering wins — materialize every output position's
+//! receptive field as one contiguous **patch row** and reduce it against
+//! the kernel with a register-tiled dot product, so each patch element
+//! loaded from cache feeds [`TILE`] filters at once.
+//!
+//! [`Im2RowEngine`] does that lowering *without giving up bitwise parity*
+//! with [`crate::engine::ScalarEngine`]:
+//!
+//! * **Patch layout is the scalar order.** The scalar forward accumulates
+//!   each output pixel as `(kernel row u ascending, channel ci ascending,
+//!   tap v ascending)`, so patch columns are laid out `(u, ci, v)` — *not*
+//!   the `(ci, u, v)` of a textbook im2row (`sparsetrain_tensor::im2row`)
+//!   — and the per-filter kernel weights are repacked to match. Every
+//!   output element therefore accumulates its contributions in exactly
+//!   the scalar engine's per-element order, one two-rounding `acc + x·w`
+//!   at a time (multiply then add; no FMA contraction).
+//! * **Extra zero terms are exact.** The dense reduction includes terms
+//!   the scalar kernels skip (stored-zero activations, zero kernel taps,
+//!   zero-padded window positions); each contributes `±0.0`, and an
+//!   accumulator that does not start as literal `-0.0` can never become
+//!   `-0.0` under round-to-nearest, so those adds are bit-exact no-ops.
+//! * **Everything else falls back to the scalar band code itself**:
+//!   strides ≠ 1, a literal `-0.0` bias (or pre-seeded accumulator), and
+//!   any output row fed by a row sparser than the density cutoff — so
+//!   parity is unconditional, enforced by the unmodified `engine_parity`
+//!   and `prune_determinism` suites.
+//!
+//! The patch matrix is built **once per engine call** into the
+//! [`BandContext`] by [`KernelEngine::prepare_forward`], above the band
+//! fan-out, and every band borrows it — under `"parallel:im2row"` the
+//! rayon bands share one lowering. Inside a band the loop order is
+//! filter-tile ⇒ output row ⇒ output position: the repacked weight tile
+//! (`patch_len × TILE` floats) stays register/L1-resident across a whole
+//! plane sweep while patch rows stream through, and each output row's
+//! patch block is reused by every tile — the cache blocking that gives the
+//! engine its name.
+//!
+//! The **density cutoff** is the knob deciding when a row is worth the
+//! dense treatment: an output row takes the micro-kernel only when every
+//! in-bounds input row feeding it carries at least one non-zero per
+//! `cutoff` elements (density ≥ 1/cutoff, default 1/8 — the same
+//! break-even as the simd engine's sweeps) **or is empty** (empty rows
+//! cost the reduction only exact zero terms, so they never veto a row).
+//! [`Im2RowEngine::with_cutoff`] tunes it; output rows fed by
+//! below-cutoff rows keep the work-proportional sparse kernels.
+//!
+//! GTA and GTW inherit the scalar band defaults: the backward operand (the
+//! pruned output gradient) is sparse by construction, which is the regime
+//! the SRC-family kernels and the simd sweeps already serve; lowering it
+//! densely would do strictly more work. Use `"simd"` / `"parallel:simd"`
+//! when the backward stages dominate.
+//!
+//! Like the simd engine, the micro-kernel is runtime-dispatched between an
+//! x86_64 AVX2 implementation (`vmulps`/`vaddps`, never `vfmadd`) and a
+//! portable `[f32; TILE]` block the autovectorizer handles everywhere
+//! else; both produce identical bits and [`Im2RowEngine::portable`] pins
+//! the portable path.
+
+use crate::compressed::SparseVec;
+use crate::engine::{scalar_forward_band, BandContext, KernelEngine};
+use crate::rowconv::SparseFeatureMap;
+use crate::simd_engine::{avx2_available, contains_negative_zero, densify_map};
+use crate::src::src_accumulate;
+use sparsetrain_tensor::conv::ConvGeometry;
+use sparsetrain_tensor::Tensor4;
+
+/// Filters reduced per micro-kernel invocation (one AVX2 register of
+/// accumulators; the portable path uses the same block width).
+pub const TILE: usize = 8;
+
+/// Default density cutoff: a row qualifies for the dense lowering when it
+/// averages at least one non-zero per `8` elements — the break-even where
+/// an 8-lane dense sweep costs what the sparse kernel's per-non-zero work
+/// does.
+pub const DEFAULT_CUTOFF: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Micro-kernel
+// ---------------------------------------------------------------------------
+
+/// `acc[l] += wt[idx·TILE + l] · prow[idx]` for all `idx` ascending — the
+/// register-tiled patch-row reduction. Each accumulator's chain is the
+/// scalar per-element order; the lanes are independent filters.
+fn tile_kernel(avx2: bool, acc: &mut [f32; TILE], prow: &[f32], wt: &[f32]) {
+    debug_assert_eq!(wt.len(), prow.len() * TILE);
+    #[cfg(target_arch = "x86_64")]
+    if avx2 {
+        // SAFETY: `avx2` is only true when runtime detection reported
+        // AVX2+FMA support for this process.
+        unsafe { tile_kernel_avx2(acc, prow, wt) };
+        return;
+    }
+    let _ = avx2;
+    tile_kernel_portable(acc, prow, wt);
+}
+
+/// Portable block micro-kernel: the fixed `[f32; TILE]` accumulator keeps
+/// the inner loop trip-count-free so LLVM emits one vector multiply and
+/// one vector add per patch element on every target.
+fn tile_kernel_portable(acc: &mut [f32; TILE], prow: &[f32], wt: &[f32]) {
+    for (x, wv) in prow.iter().zip(wt.chunks_exact(TILE)) {
+        let wv: &[f32; TILE] = wv.try_into().expect("exact chunk");
+        for l in 0..TILE {
+            acc[l] += wv[l] * *x;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn tile_kernel_avx2(acc: &mut [f32; TILE], prow: &[f32], wt: &[f32]) {
+    use std::arch::x86_64::*;
+    let mut a = _mm256_loadu_ps(acc.as_ptr());
+    for (idx, &x) in prow.iter().enumerate() {
+        let xv = _mm256_set1_ps(x);
+        let wv = _mm256_loadu_ps(wt.as_ptr().add(idx * TILE));
+        // Deliberately vmulps + vaddps, not vfmadd: the scalar reference
+        // rounds the product before the add.
+        a = _mm256_add_ps(a, _mm256_mul_ps(wv, xv));
+    }
+    _mm256_storeu_ps(acc.as_mut_ptr(), a);
+}
+
+// ---------------------------------------------------------------------------
+// Im2RowEngine
+// ---------------------------------------------------------------------------
+
+/// The cache-blocked im2row engine, registered as `"im2row"` (and, banded
+/// across threads, as `"parallel:im2row"`).
+///
+/// ```
+/// use sparsetrain_sparse::{registry, Im2RowEngine};
+///
+/// let handle = registry::lookup("im2row").unwrap();
+/// assert_eq!(handle.engine().name(), "im2row");
+/// // The portable micro-kernel is always available and bitwise-equal to
+/// // the AVX2 one.
+/// assert_eq!(Im2RowEngine::portable().active_path(), "portable");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Im2RowEngine {
+    cutoff: usize,
+    force_portable: bool,
+}
+
+impl Default for Im2RowEngine {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// The forward lowering of one engine call: the patch matrix, its row
+/// width, and which output rows qualified for the micro-kernel.
+struct ForwardPlan {
+    patches: Vec<f32>,
+    plen: usize,
+    dense_rows: Vec<bool>,
+}
+
+impl Im2RowEngine {
+    /// Engine with the default density cutoff, dispatching to AVX2 when
+    /// the CPU reports it.
+    pub const fn auto() -> Self {
+        Self {
+            cutoff: DEFAULT_CUTOFF,
+            force_portable: false,
+        }
+    }
+
+    /// Engine pinned to the portable micro-kernel (tests, cross-checks).
+    pub const fn portable() -> Self {
+        Self {
+            cutoff: DEFAULT_CUTOFF,
+            force_portable: true,
+        }
+    }
+
+    /// This engine with an explicit density cutoff: a row qualifies for
+    /// the dense lowering when `nnz · cutoff ≥ len` (density ≥ 1/cutoff).
+    /// `1` restricts the micro-kernel to fully dense rows; larger values
+    /// lower the entry bar. A cutoff of `0` is treated as `1`.
+    pub const fn with_cutoff(self, cutoff: usize) -> Self {
+        Self {
+            cutoff: if cutoff == 0 { 1 } else { cutoff },
+            ..self
+        }
+    }
+
+    /// The configured density cutoff (see [`Im2RowEngine::with_cutoff`]).
+    pub const fn cutoff(&self) -> usize {
+        self.cutoff
+    }
+
+    fn use_avx2(&self) -> bool {
+        !self.force_portable && avx2_available()
+    }
+
+    /// Which micro-kernel this engine runs right now: `"avx2"` or
+    /// `"portable"`.
+    pub fn active_path(&self) -> &'static str {
+        if self.use_avx2() {
+            "avx2"
+        } else {
+            "portable"
+        }
+    }
+
+    fn row_worthy(&self, row: &SparseVec) -> bool {
+        row.nnz().saturating_mul(self.cutoff) >= row.len()
+    }
+
+    /// Builds the call's forward lowering, or `None` when no output row
+    /// qualifies (the whole call routes to the scalar band code). Only
+    /// valid at stride 1 — the caller guards.
+    fn build_forward_plan(
+        &self,
+        input: &SparseFeatureMap,
+        geom: ConvGeometry,
+        oh: usize,
+        ow: usize,
+    ) -> Option<ForwardPlan> {
+        let (c, h, w) = (input.channels(), input.height(), input.width());
+        let (k, pad) = (geom.kernel, geom.pad as isize);
+        let plen = c * k * k;
+        if plen == 0 || oh * ow == 0 {
+            return None;
+        }
+        // An output row qualifies iff every in-bounds input row feeding it
+        // (all channels, all k kernel rows) meets the density cutoff or is
+        // empty. Empty rows cost the micro-kernel only exact `±0.0` terms
+        // (their patch columns stay zero), so they must not disqualify a
+        // row — on 8-wide mid-stack layers a single empty row among
+        // hundreds of contributors would otherwise veto every output row.
+        let row_ok: Vec<bool> = (0..h)
+            .map(|iy| {
+                (0..c).all(|ci| {
+                    let row = input.row(ci, iy);
+                    row.nnz() == 0 || self.row_worthy(row)
+                })
+            })
+            .collect();
+        let dense_rows: Vec<bool> = (0..oh)
+            .map(|oy| {
+                (0..k).all(|u| {
+                    let iy = oy as isize - pad + u as isize;
+                    iy < 0 || iy >= h as isize || row_ok[iy as usize]
+                })
+            })
+            .collect();
+        if !dense_rows.iter().any(|&d| d) {
+            return None;
+        }
+        // Dense staging for the worthy rows, then window copies into the
+        // (u, ci, v)-ordered patch rows; padding stays zero.
+        let dense = densify_map(input, |row| self.row_worthy(row));
+        let mut patches = vec![0.0f32; oh * ow * plen];
+        for (oy, patch_plane) in patches.chunks_mut(ow * plen).enumerate() {
+            if !dense_rows[oy] {
+                continue;
+            }
+            for (ox, prow) in patch_plane.chunks_mut(plen).enumerate() {
+                let ix0 = ox as isize - pad;
+                for u in 0..k {
+                    let iy = oy as isize - pad + u as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let drow = &dense[(iy as usize) * w..];
+                    for ci in 0..c {
+                        let drow = &drow[ci * h * w..ci * h * w + w];
+                        let dst = &mut prow[(u * c + ci) * k..(u * c + ci + 1) * k];
+                        if ix0 >= 0 && ix0 as usize + k <= w {
+                            dst.copy_from_slice(&drow[ix0 as usize..ix0 as usize + k]);
+                        } else {
+                            for (v, d) in dst.iter_mut().enumerate() {
+                                let ix = ix0 + v as isize;
+                                if ix >= 0 && (ix as usize) < w {
+                                    *d = drow[ix as usize];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(ForwardPlan {
+            patches,
+            plen,
+            dense_rows,
+        })
+    }
+}
+
+/// Repacks the band's kernel weights into per-tile interleaved columns:
+/// tile `t` holds filters `f_lo + t·TILE ..`, laid out
+/// `wt[idx · TILE + lane] = W[filter lane][idx]` with `idx` walking the
+/// patch order `(u, ci, v)`; lanes past the band edge stay zero.
+fn interleave_weights(weights: &Tensor4, f_lo: usize, n: usize, c: usize, k: usize) -> Vec<f32> {
+    let plen = c * k * k;
+    let tiles = n.div_ceil(TILE);
+    let mut wt = vec![0.0f32; tiles * plen * TILE];
+    for (t, dst) in wt.chunks_mut(plen * TILE).enumerate() {
+        for l in 0..TILE.min(n - t * TILE) {
+            let fi = f_lo + t * TILE + l;
+            for u in 0..k {
+                for ci in 0..c {
+                    let krow = weights.kernel_row(fi, ci, u);
+                    let base = (u * c + ci) * k * TILE;
+                    for (v, &wv) in krow.iter().enumerate() {
+                        dst[base + v * TILE + l] = wv;
+                    }
+                }
+            }
+        }
+    }
+    wt
+}
+
+impl KernelEngine for Im2RowEngine {
+    fn name(&self) -> &'static str {
+        "im2row"
+    }
+
+    fn prepare_forward(
+        &self,
+        input: &SparseFeatureMap,
+        _weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+    ) -> BandContext {
+        let mut ctx = BandContext::empty();
+        // When every band will fall back anyway (stride ≠ 1, literal -0.0
+        // bias), the lowering would be wasted work.
+        if geom.stride == 1 && !bias.is_some_and(contains_negative_zero) {
+            let oh = geom.output_extent(input.height());
+            let ow = geom.output_extent(input.width());
+            if let Some(plan) = self.build_forward_plan(input, geom, oh, ow) {
+                ctx.set_patches(plan.patches, plan.plen, plan.dense_rows);
+            }
+        }
+        ctx
+    }
+
+    fn forward_band(
+        &self,
+        ctx: &BandContext,
+        input: &SparseFeatureMap,
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+        oh: usize,
+        ow: usize,
+        f_lo: usize,
+        out_band: &mut [f32],
+    ) {
+        // Stride ≠ 1 and literal -0.0 seeds (bias, or the pre-seeded
+        // accumulator when there is none) are only preserved by the scalar
+        // skips.
+        if geom.stride != 1
+            || match bias {
+                Some(b) => contains_negative_zero(b),
+                None => contains_negative_zero(out_band),
+            }
+        {
+            scalar_forward_band(input, weights, bias, geom, oh, ow, f_lo, out_band);
+            return;
+        }
+        // Borrow the lowering the call prepared once above the band
+        // fan-out; rebuild locally only when invoked without one.
+        let local;
+        let (patches, plen, dense_rows): (&[f32], usize, &[bool]) = if ctx.patch_len() != 0 {
+            (ctx.patches(), ctx.patch_len(), ctx.dense_rows())
+        } else {
+            match self.build_forward_plan(input, geom, oh, ow) {
+                Some(plan) => {
+                    local = plan;
+                    (&local.patches, local.plen, &local.dense_rows)
+                }
+                None => {
+                    scalar_forward_band(input, weights, bias, geom, oh, ow, f_lo, out_band);
+                    return;
+                }
+            }
+        };
+        let plane = oh * ow;
+        let n = out_band.len() / plane;
+        let (c, k) = (input.channels(), geom.kernel);
+        let h = input.height() as isize;
+        let avx2 = self.use_avx2();
+        // Bias fill for every plane of the band (the scalar prologue).
+        if let Some(b) = bias {
+            for (bf, p) in out_band.chunks_mut(plane).enumerate() {
+                p.fill(b[f_lo + bf]);
+            }
+        }
+        // Output rows below the cutoff: the scalar row loops, per plane —
+        // work-proportional on sparse data, bitwise the reference.
+        for (bf, p) in out_band.chunks_mut(plane).enumerate() {
+            let fi = f_lo + bf;
+            for (oy, out_row) in p.chunks_mut(ow).enumerate() {
+                if dense_rows[oy] {
+                    continue;
+                }
+                for u in 0..k {
+                    let iy = oy as isize - geom.pad as isize + u as isize;
+                    if iy < 0 || iy >= h {
+                        continue;
+                    }
+                    for ci in 0..c {
+                        let krow = weights.kernel_row(fi, ci, u);
+                        src_accumulate(input.row(ci, iy as usize), krow, geom, out_row);
+                    }
+                }
+            }
+        }
+        // Dense rows: register-tiled reduction, TILE filters per pass.
+        // Loop order tile ⇒ row ⇒ position keeps the weight tile hot in
+        // L1 while each row's patch block is re-swept by every tile.
+        let wt = interleave_weights(weights, f_lo, n, c, k);
+        for (t, wtile) in wt.chunks(plen * TILE).enumerate() {
+            let t0 = t * TILE;
+            let tile_n = TILE.min(n - t0);
+            for oy in 0..oh {
+                if !dense_rows[oy] {
+                    continue;
+                }
+                for ox in 0..ow {
+                    let pos = oy * ow + ox;
+                    let prow = &patches[pos * plen..(pos + 1) * plen];
+                    let mut acc = [0.0f32; TILE];
+                    for (l, a) in acc.iter_mut().enumerate().take(tile_n) {
+                        *a = out_band[(t0 + l) * plane + pos];
+                    }
+                    tile_kernel(avx2, &mut acc, prow, wtile);
+                    for (l, a) in acc.iter().enumerate().take(tile_n) {
+                        out_band[(t0 + l) * plane + pos] = *a;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ParallelEngine, ScalarEngine};
+    use sparsetrain_tensor::Tensor3;
+
+    fn pseudo(seed: &mut u64) -> f32 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        ((*seed % 2000) as f32 / 1000.0) - 1.0
+    }
+
+    fn sparse_tensor(c: usize, h: usize, w: usize, density_pct: u64, seed: &mut u64) -> Tensor3 {
+        Tensor3::from_fn(c, h, w, |_, _, _| {
+            let v = pseudo(seed);
+            let keep = {
+                *seed ^= *seed << 13;
+                *seed ^= *seed >> 7;
+                *seed % 100 < density_pct
+            };
+            if keep {
+                v
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn fixtures(seed: u64, density_pct: u64, geom: ConvGeometry) -> (SparseFeatureMap, Tensor4, Vec<f32>) {
+        let mut s = seed;
+        let input = sparse_tensor(3, 9, 11, density_pct, &mut s);
+        let weights = Tensor4::from_fn(10, 3, geom.kernel, geom.kernel, |_, _, _, _| {
+            // Sprinkle exact zeros so the scalar w == 0 tap skip meets the
+            // dense reduction's zero terms.
+            let v = pseudo(&mut s);
+            if v.abs() < 0.1 {
+                0.0
+            } else {
+                v
+            }
+        });
+        let bias: Vec<f32> = (0..10).map(|_| pseudo(&mut s)).collect();
+        (SparseFeatureMap::from_tensor(&input), weights, bias)
+    }
+
+    fn engines() -> Vec<(&'static str, Im2RowEngine)> {
+        vec![
+            ("auto", Im2RowEngine::auto()),
+            ("portable", Im2RowEngine::portable()),
+        ]
+    }
+
+    /// Dense, mixed and very sparse fixtures across geometries (micro-
+    /// kernel, mixed dense/sparse rows, whole-call sparse fallback, stride
+    /// fallback): every path must match the scalar reference bitwise. A
+    /// filter count of 10 exercises the partial final tile (10 = 8 + 2).
+    #[test]
+    fn im2row_matches_scalar_bitwise_on_all_paths() {
+        for geom in [
+            ConvGeometry::new(3, 1, 1),
+            ConvGeometry::new(3, 2, 1),
+            ConvGeometry::new(2, 1, 0),
+            ConvGeometry::new(1, 1, 0),
+        ] {
+            for density in [3u64, 20, 55, 100] {
+                let (input, weights, bias) = fixtures(7 + density, density, geom);
+                for (label, engine) in engines() {
+                    let ctx = format!("{label} k={} s={} d={density}", geom.kernel, geom.stride);
+                    let want = ScalarEngine.forward(&input, &weights, Some(&bias), geom);
+                    let got = engine.forward(&input, &weights, Some(&bias), geom);
+                    assert_eq!(got.as_slice(), want.as_slice(), "forward {ctx}");
+                    // Without bias (accumulate into zeros) too.
+                    let want = ScalarEngine.forward(&input, &weights, None, geom);
+                    let got = engine.forward(&input, &weights, None, geom);
+                    assert_eq!(got.as_slice(), want.as_slice(), "forward no-bias {ctx}");
+                }
+            }
+        }
+    }
+
+    /// Rows exactly at the density cutoff take the micro-kernel; one
+    /// non-zero fewer routes the fed output rows to the sparse fallback.
+    /// Both sides of the boundary must match the scalar reference bitwise.
+    #[test]
+    fn cutoff_boundary_rows_match_scalar() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        const W: usize = 2 * DEFAULT_CUTOFF; // boundary: exactly 2 non-zeros per row
+        let w = W;
+        let at_boundary = |y: usize, x: usize| (x + y).is_multiple_of(DEFAULT_CUTOFF);
+        let below = |y: usize, x: usize| (x + y).is_multiple_of(W);
+        for (label, keep) in [("at", at_boundary as fn(usize, usize) -> bool), ("below", below)] {
+            let input = SparseFeatureMap::from_tensor(&Tensor3::from_fn(2, 6, w, |c, y, x| {
+                if keep(y, x) {
+                    // Strictly positive so compression never drops a kept
+                    // position and the nnz classification stays exact.
+                    0.5 + (c + y) as f32 * 0.125 + x as f32 * 0.0625
+                } else {
+                    0.0
+                }
+            }));
+            let weights = Tensor4::from_fn(9, 2, 3, 3, |f, c, u, v| {
+                ((f * 5 + c * 3 + u * 2 + v) % 7) as f32 * 0.25 - 0.75
+            });
+            for (path, engine) in engines() {
+                let want = ScalarEngine.forward(&input, &weights, None, geom);
+                let got = engine.forward(&input, &weights, None, geom);
+                assert_eq!(got.as_slice(), want.as_slice(), "{label} boundary, {path}");
+            }
+            // Sanity-pin the classification itself, not just the result.
+            let row = input.row(0, 0);
+            let expect_worthy = label == "at";
+            assert_eq!(Im2RowEngine::auto().row_worthy(row), expect_worthy, "{label}");
+        }
+    }
+
+    /// The cutoff knob moves the dense/sparse split without moving a bit
+    /// of the result.
+    #[test]
+    fn cutoff_knob_preserves_parity() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let (input, weights, bias) = fixtures(91, 30, geom);
+        let want = ScalarEngine.forward(&input, &weights, Some(&bias), geom);
+        for cutoff in [0usize, 1, 2, 8, 64, usize::MAX] {
+            let engine = Im2RowEngine::auto().with_cutoff(cutoff);
+            assert_eq!(engine.cutoff(), cutoff.max(1));
+            let got = engine.forward(&input, &weights, Some(&bias), geom);
+            assert_eq!(got.as_slice(), want.as_slice(), "cutoff {cutoff}");
+        }
+    }
+
+    /// A literal -0.0 bias takes the scalar fallback and survives exactly.
+    #[test]
+    fn negative_zero_bias_is_preserved() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let input = SparseFeatureMap::from_tensor(&Tensor3::zeros(2, 5, 5));
+        let weights = Tensor4::from_fn(2, 2, 3, 3, |_, _, _, _| 0.5);
+        let bias = [-0.0f32, 1.0];
+        for (label, engine) in engines() {
+            let want = ScalarEngine.forward(&input, &weights, Some(&bias), geom);
+            let got = engine.forward(&input, &weights, Some(&bias), geom);
+            let bits = |t: &Tensor3| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&got), bits(&want), "{label}");
+        }
+    }
+
+    /// Accumulators pre-seeded with literal -0.0 take the scalar fallback,
+    /// so `forward_into` accumulation parity is bitwise even there.
+    #[test]
+    fn negative_zero_preseeded_accumulators_are_preserved() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let (input, weights, _) = fixtures(17, 70, geom);
+        for (label, engine) in engines() {
+            let mut want = Tensor3::zeros(10, 9, 11);
+            for (i, v) in want.as_mut_slice().iter_mut().enumerate() {
+                *v = if i % 3 == 0 { -0.0 } else { 0.25 };
+            }
+            let mut got = want.clone();
+            ScalarEngine.forward_into(&input, &weights, None, geom, &mut want);
+            engine.forward_into(&input, &weights, None, geom, &mut got);
+            let bits = |t: &Tensor3| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&got), bits(&want), "{label}");
+        }
+    }
+
+    /// `parallel:im2row` composition: im2row bands under thread-parallel
+    /// banding stay bitwise equal to scalar at every band count.
+    #[test]
+    fn banded_im2row_matches_scalar() {
+        static IM2ROW: Im2RowEngine = Im2RowEngine::auto();
+        let geom = ConvGeometry::new(3, 1, 1);
+        let (input, weights, bias) = fixtures(5, 60, geom);
+        for threads in [0usize, 1, 2, 3, 8] {
+            let banded = ParallelEngine::over("test:parallel-im2row", &IM2ROW).banded(threads);
+            let want = ScalarEngine.forward(&input, &weights, Some(&bias), geom);
+            let got = banded.forward(&input, &weights, Some(&bias), geom);
+            assert_eq!(got.as_slice(), want.as_slice(), "threads {threads}");
+        }
+    }
+
+    /// The portable and AVX2 micro-kernels agree bitwise (trivially true
+    /// off x86_64, where both are the portable path), and the dispatch
+    /// contract mirrors the simd engine's.
+    #[test]
+    fn portable_and_dispatched_paths_agree() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let (input, weights, bias) = fixtures(41, 80, geom);
+        let auto = Im2RowEngine::auto();
+        let portable = Im2RowEngine::portable();
+        assert_eq!(
+            auto.forward(&input, &weights, Some(&bias), geom).as_slice(),
+            portable.forward(&input, &weights, Some(&bias), geom).as_slice(),
+        );
+        assert_eq!(portable.active_path(), "portable");
+        if avx2_available() {
+            assert_eq!(auto.active_path(), "avx2");
+        } else {
+            assert_eq!(auto.active_path(), "portable");
+        }
+    }
+
+    /// The backward stages inherit the scalar band defaults — pinned so a
+    /// future override cannot silently change the engine's contract.
+    #[test]
+    fn backward_stages_are_the_scalar_reference() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let mut s = 3u64;
+        let input = SparseFeatureMap::from_tensor(&sparse_tensor(3, 9, 11, 50, &mut s));
+        let dout = SparseFeatureMap::from_tensor(&sparse_tensor(10, 9, 11, 20, &mut s));
+        let weights = Tensor4::from_fn(10, 3, 3, 3, |_, _, _, _| pseudo(&mut s));
+        let masks = input.masks();
+        let engine = Im2RowEngine::auto();
+        assert_eq!(
+            engine.input_grad(&dout, &weights, geom, 9, 11, &masks).as_slice(),
+            ScalarEngine
+                .input_grad(&dout, &weights, geom, 9, 11, &masks)
+                .as_slice(),
+        );
+        assert_eq!(
+            engine.weight_grad(&input, &dout, geom).as_slice(),
+            ScalarEngine.weight_grad(&input, &dout, geom).as_slice(),
+        );
+    }
+}

@@ -42,6 +42,12 @@
 //!   order). Bands delegate to an **inner engine** through the trait's
 //!   band methods ([`KernelEngine::forward_band`] and friends), so
 //!   thread-level and lane-level parallelism compose.
+//! * [`engine::BandContext`] — the **band-context seam**: per-call operand
+//!   state (densified rows, im2row patch matrices, engine-specific
+//!   payloads) built exactly once by the inner engine's `prepare_*` hooks
+//!   ([`KernelEngine::prepare_forward`] and friends) *above* the band
+//!   fan-out, then shared by reference across every band — so banding an
+//!   engine never multiplies its per-call operand transformations.
 //! * [`simd_engine::SimdEngine`] — the vectorized backend: lanes run
 //!   across *independent output elements* (output pixels, weight-gradient
 //!   cells) with the scalar operand broadcast, never across a reduction,
@@ -51,6 +57,13 @@
 //!   and a portable `[f32; 8]` lane-blocked path otherwise; rows too
 //!   sparse to densify, strides ≠ 1 on the row sweeps, and `-0.0` biases
 //!   fall back to the scalar code itself.
+//! * [`im2row_engine::Im2RowEngine`] — the cache-blocked dense lowering
+//!   for dense early layers: receptive fields are materialized once per
+//!   call into `(u, ci, v)`-ordered patch rows (the scalar accumulation
+//!   order, so parity stays bitwise) inside the [`engine::BandContext`],
+//!   and a register-tiled micro-kernel reduces each patch row against
+//!   eight filters at a time. Output rows fed by rows below the density
+//!   cutoff, strides ≠ 1 and `-0.0` seeds keep the sparse scalar path.
 //! * [`fixed_engine::FixedPointEngine`] — the Q8.8 datapath model
 //!   mirroring the paper's 16-bit RTL, built on
 //!   `sparsetrain_tensor::qformat`. Other 16-bit grids resolve by name:
@@ -59,7 +72,8 @@
 //!   callers.
 //!
 //! Selection is **name-keyed and open**: [`registry`] maps `"scalar"`,
-//! `"parallel"`, `"simd"`, `"parallel:simd"`, `"fixed"`, `"fixed:qI.F"` —
+//! `"parallel"`, `"simd"`, `"parallel:simd"`, `"im2row"`,
+//! `"parallel:im2row"`, `"fixed"`, `"fixed:qI.F"` —
 //! plus any backend added with
 //! [`registry::register`] — to [`registry::EngineHandle`] tokens, resolved
 //! from strings (`FromStr`), configuration, or the `SPARSETRAIN_ENGINE`
@@ -77,6 +91,7 @@ pub mod context;
 pub mod engine;
 pub mod fixed_engine;
 pub mod formats;
+pub mod im2row_engine;
 pub mod mask;
 pub mod msrc;
 pub mod osrc;
@@ -90,8 +105,9 @@ pub use compressed::SparseVec;
 pub use context::ExecutionContext;
 #[allow(deprecated)]
 pub use engine::EngineKind;
-pub use engine::{KernelEngine, ParallelEngine, ScalarEngine, Workspace};
+pub use engine::{BandContext, KernelEngine, ParallelEngine, ScalarEngine, Workspace};
 pub use fixed_engine::FixedPointEngine;
+pub use im2row_engine::Im2RowEngine;
 pub use mask::RowMask;
 pub use registry::{EngineHandle, UnknownEngine, ENGINE_ENV};
 pub use simd_engine::SimdEngine;

@@ -3,16 +3,18 @@
 //! [`EngineHandle`] is a `Copy` token pairing a stable name with a
 //! `&'static dyn KernelEngine` — the unit of engine selection everywhere a
 //! backend is configured (`TrainConfig`, `ExecutionContext`, benches,
-//! examples, the `SPARSETRAIN_ENGINE` environment variable). Five engines
+//! examples, the `SPARSETRAIN_ENGINE` environment variable). Seven engines
 //! are registered at startup:
 //!
-//! | name            | backend                                                     |
-//! |-----------------|-------------------------------------------------------------|
-//! | `scalar`        | [`crate::engine::ScalarEngine`] — the reference             |
-//! | `parallel`      | [`crate::engine::ParallelEngine`] — band-parallel           |
-//! | `simd`          | [`crate::simd_engine::SimdEngine`] — AVX2/portable lanes    |
-//! | `parallel:simd` | [`ParallelEngine::over`] — simd inside each rayon band      |
-//! | `fixed`         | [`crate::fixed_engine::FixedPointEngine`] — Q8.8            |
+//! | name              | backend                                                      |
+//! |-------------------|--------------------------------------------------------------|
+//! | `scalar`          | [`crate::engine::ScalarEngine`] — the reference              |
+//! | `parallel`        | [`crate::engine::ParallelEngine`] — band-parallel            |
+//! | `simd`            | [`crate::simd_engine::SimdEngine`] — AVX2/portable lanes     |
+//! | `parallel:simd`   | [`ParallelEngine::over`] — simd inside each rayon band       |
+//! | `im2row`          | [`crate::im2row_engine::Im2RowEngine`] — cache-blocked dense |
+//! | `parallel:im2row` | [`ParallelEngine::over`] — im2row inside each rayon band     |
+//! | `fixed`           | [`crate::fixed_engine::FixedPointEngine`] — Q8.8             |
 //!
 //! In addition, `fixed:qI.F` names (e.g. `"fixed:q4.12"`) resolve to a
 //! [`FixedPointEngine`] in that 16-bit Q-format — parsed, interned and
@@ -27,6 +29,7 @@
 
 use crate::engine::{KernelEngine, ParallelEngine, ScalarEngine};
 use crate::fixed_engine::FixedPointEngine;
+use crate::im2row_engine::Im2RowEngine;
 use crate::simd_engine::SimdEngine;
 use sparsetrain_tensor::qformat::QFormat;
 use std::fmt;
@@ -146,6 +149,8 @@ static SCALAR: ScalarEngine = ScalarEngine;
 static PARALLEL: ParallelEngine = ParallelEngine::auto();
 static SIMD: SimdEngine = SimdEngine::auto();
 static PARALLEL_SIMD: ParallelEngine = ParallelEngine::over("parallel:simd", &SIMD);
+static IM2ROW: Im2RowEngine = Im2RowEngine::auto();
+static PARALLEL_IM2ROW: ParallelEngine = ParallelEngine::over("parallel:im2row", &IM2ROW);
 static FIXED: FixedPointEngine = FixedPointEngine::q8_8();
 
 fn table() -> &'static RwLock<Vec<EngineHandle>> {
@@ -173,6 +178,18 @@ fn table() -> &'static RwLock<Vec<EngineHandle>> {
                 summary: "band-parallel across samples and filters with the simd engine \
                           inside each band, bitwise equal to scalar",
                 engine: &PARALLEL_SIMD,
+            },
+            EngineHandle {
+                name: "im2row",
+                summary: "cache-blocked im2row dense lowering for dense early layers, \
+                          bitwise equal to scalar",
+                engine: &IM2ROW,
+            },
+            EngineHandle {
+                name: "parallel:im2row",
+                summary: "band-parallel across samples and filters with the im2row \
+                          lowering inside each band, bitwise equal to scalar",
+                engine: &PARALLEL_IM2ROW,
             },
             EngineHandle {
                 name: "fixed",
@@ -317,7 +334,15 @@ mod tests {
 
     #[test]
     fn builtin_engines_resolve_by_name() {
-        for name in ["scalar", "parallel", "simd", "parallel:simd", "fixed"] {
+        for name in [
+            "scalar",
+            "parallel",
+            "simd",
+            "parallel:simd",
+            "im2row",
+            "parallel:im2row",
+            "fixed",
+        ] {
             let handle = lookup(name).expect(name);
             assert_eq!(handle.name(), name);
             assert_eq!(handle.engine().name(), name);

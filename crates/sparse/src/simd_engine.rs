@@ -38,12 +38,14 @@
 //! (fewer than one non-zero per lane block on average); every fallback is
 //! the scalar code itself, so parity is unconditional.
 //!
-//! Known tradeoff: the band workers densify the operand maps per **band
-//! call**, so under `"parallel:simd"` each of the `B` bands re-densifies
-//! (a `O(C·H·W)` fill against `O(C·H·W·K·F/B)` band compute — a few
-//! percent at realistic band counts). Hoisting densification above the
-//! band fan-out needs a band-context object on the trait seam; see the
-//! ROADMAP follow-up.
+//! Densification is hoisted **above the band fan-out**: the engine's
+//! `prepare_*` hooks build the densified operand map once per engine call
+//! into a [`crate::engine::BandContext`], and every band worker borrows it
+//! — under `"parallel:simd"` the `B` bands share one `O(C·H·W)` fill
+//! instead of redoing it `B` times (the few-percent per-band loss the
+//! first release documented). A band invoked without a prepared context
+//! (direct band calls) densifies locally, so results never depend on who
+//! prepared.
 //!
 //! Two implementations sit behind one runtime dispatch:
 //!
@@ -60,7 +62,7 @@
 //! `"parallel:simd"` runs these band workers inside each rayon band.
 
 use crate::compressed::SparseVec;
-use crate::engine::{scalar_forward_band, scalar_input_grad_band, KernelEngine};
+use crate::engine::{scalar_forward_band, scalar_input_grad_band, BandContext, KernelEngine};
 use crate::mask::RowMask;
 use crate::msrc::msrc_accumulate;
 use crate::osrc::osrc_accumulate;
@@ -83,12 +85,13 @@ fn dense_worthwhile(nnz: usize, len: usize) -> bool {
     nnz * DENSE_CUTOFF_LANES >= len
 }
 
-fn contains_negative_zero(values: &[f32]) -> bool {
+pub(crate) fn contains_negative_zero(values: &[f32]) -> bool {
     values.iter().any(|v| v.to_bits() == (-0.0f32).to_bits())
 }
 
-/// Whether this process supports the AVX2+FMA fast path.
-fn avx2_available() -> bool {
+/// Whether this process supports the AVX2+FMA fast path (shared with the
+/// im2row engine's dispatch).
+pub(crate) fn avx2_available() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         use std::sync::OnceLock;
@@ -224,7 +227,7 @@ unsafe fn saxpy_masked_avx2(dst: &mut [f32], src: &[f32], mask: &[f32], w: f32) 
 /// Writes the rows of `fm` selected by `select(nnz, len)` into a dense
 /// channel-major buffer (`channels × height × width`); unselected rows are
 /// left zero (they are only read through the sparse fallback).
-fn densify_map(fm: &SparseFeatureMap, select: impl Fn(&SparseVec) -> bool) -> Vec<f32> {
+pub(crate) fn densify_map(fm: &SparseFeatureMap, select: impl Fn(&SparseVec) -> bool) -> Vec<f32> {
     let (c, h, w) = (fm.channels(), fm.height(), fm.width());
     let mut dense = vec![0.0f32; c * h * w];
     for ci in 0..c {
@@ -239,6 +242,15 @@ fn densify_map(fm: &SparseFeatureMap, select: impl Fn(&SparseVec) -> bool) -> Ve
         }
     }
     dense
+}
+
+/// Densifies every dense-worthy row of `fm`, or `None` when no row
+/// qualifies for the vector sweeps (the whole map routes to the sparse
+/// kernels and no buffer is needed).
+fn densify_worthy(fm: &SparseFeatureMap) -> Option<Vec<f32>> {
+    let worthy = |row: &SparseVec| dense_worthwhile(row.nnz(), row.len());
+    let any = (0..fm.channels()).any(|ci| (0..fm.height()).any(|y| worthy(fm.row(ci, y))));
+    any.then(|| densify_map(fm, worthy))
 }
 
 /// Expands one channel's row masks into dense `0.0 / 1.0` factors.
@@ -311,8 +323,27 @@ impl KernelEngine for SimdEngine {
         "simd"
     }
 
+    fn prepare_forward(
+        &self,
+        input: &SparseFeatureMap,
+        _weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+    ) -> BandContext {
+        let mut ctx = BandContext::empty();
+        // When every band will take the scalar fallback anyway (stride ≠ 1,
+        // literal -0.0 bias), densifying would be wasted work.
+        if geom.stride == 1 && !bias.is_some_and(contains_negative_zero) {
+            if let Some(dense) = densify_worthy(input) {
+                ctx.set_dense(dense);
+            }
+        }
+        ctx
+    }
+
     fn forward_band(
         &self,
+        ctx: &BandContext,
         input: &SparseFeatureMap,
         weights: &Tensor4,
         bias: Option<&[f32]>,
@@ -337,12 +368,14 @@ impl KernelEngine for SimdEngine {
         }
         let avx2 = self.use_avx2();
         let (h, w_in, k, pad) = (input.height(), input.width(), geom.kernel, geom.pad);
-        let worthy = |row: &SparseVec| dense_worthwhile(row.nnz(), row.len());
-        let any_worthy = (0..input.channels()).any(|ci| (0..h).any(|iy| worthy(input.row(ci, iy))));
-        let idense = if any_worthy {
-            densify_map(input, worthy)
+        // Borrow the densified map the call prepared once above the band
+        // fan-out; densify locally only when invoked without one.
+        let local;
+        let idense: &[f32] = if !ctx.dense().is_empty() {
+            ctx.dense()
         } else {
-            Vec::new()
+            local = densify_worthy(input).unwrap_or_default();
+            &local
         };
         for (bf, plane) in out_band.chunks_mut(oh * ow).enumerate() {
             let fi = f_lo + bf;
@@ -388,8 +421,27 @@ impl KernelEngine for SimdEngine {
         }
     }
 
+    fn prepare_input_grad(
+        &self,
+        dout: &SparseFeatureMap,
+        _weights: &Tensor4,
+        geom: ConvGeometry,
+        _masks: &[RowMask],
+        _in_h: usize,
+        _in_w: usize,
+    ) -> BandContext {
+        let mut ctx = BandContext::empty();
+        if geom.stride == 1 {
+            if let Some(dense) = densify_worthy(dout) {
+                ctx.set_dense(dense);
+            }
+        }
+        ctx
+    }
+
     fn input_grad_band(
         &self,
+        ctx: &BandContext,
         dout: &SparseFeatureMap,
         weights: &Tensor4,
         geom: ConvGeometry,
@@ -408,13 +460,17 @@ impl KernelEngine for SimdEngine {
         let avx2 = self.use_avx2();
         let (k, pad, ow) = (geom.kernel, geom.pad, dout.width());
         let oh = dout.height();
-        let worthy = |row: &SparseVec| dense_worthwhile(row.nnz(), row.len());
-        let any_worthy = (0..dout.channels()).any(|fi| (0..oh).any(|oy| worthy(dout.row(fi, oy))));
-        let gdense = if any_worthy {
-            densify_map(dout, worthy)
+        let local;
+        let gdense: &[f32] = if !ctx.dense().is_empty() {
+            ctx.dense()
         } else {
-            Vec::new()
+            local = densify_worthy(dout).unwrap_or_default();
+            &local
         };
+        let any_worthy = !gdense.is_empty();
+        let worthy = |row: &SparseVec| dense_worthwhile(row.nnz(), row.len());
+        // The dense mask factors are per *band channel* (each band touches
+        // disjoint channels), so this scratch stays band-local.
         let mut maskf = if any_worthy {
             vec![0.0f32; in_h * in_w]
         } else {
@@ -470,8 +526,22 @@ impl KernelEngine for SimdEngine {
         }
     }
 
+    fn prepare_weight_grad(
+        &self,
+        input: &SparseFeatureMap,
+        _dout: &SparseFeatureMap,
+        _geom: ConvGeometry,
+    ) -> BandContext {
+        let mut ctx = BandContext::empty();
+        if let Some(dense) = densify_worthy(input) {
+            ctx.set_dense(dense);
+        }
+        ctx
+    }
+
     fn weight_grad_band(
         &self,
+        ctx: &BandContext,
         input: &SparseFeatureMap,
         dout: &SparseFeatureMap,
         geom: ConvGeometry,
@@ -487,12 +557,12 @@ impl KernelEngine for SimdEngine {
         let avx2 = self.use_avx2();
         let (c, h, w_in) = (input.channels(), input.height(), input.width());
         let (k, stride, pad) = (geom.kernel, geom.stride as isize, geom.pad as isize);
-        let worthy = |row: &SparseVec| dense_worthwhile(row.nnz(), row.len());
-        let any_worthy = (0..c).any(|ci| (0..h).any(|iy| worthy(input.row(ci, iy))));
-        let idense = if any_worthy {
-            densify_map(input, worthy)
+        let local;
+        let idense: &[f32] = if !ctx.dense().is_empty() {
+            ctx.dense()
         } else {
-            Vec::new()
+            local = densify_worthy(input).unwrap_or_default();
+            &local
         };
         for (bf, block) in dw_band.chunks_mut(c * k * k).enumerate() {
             let fi = f_lo + bf;

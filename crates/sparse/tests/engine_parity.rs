@@ -4,9 +4,13 @@
 //!   the per-sample paths, and both match the dense reference in
 //!   `sparsetrain-tensor`;
 //! * the registry enumeration below automatically covers every registered
-//!   backend — including `simd` (runtime-dispatched AVX2/portable lanes)
-//!   and `parallel:simd` (simd inside each rayon band), which must match
-//!   the scalar reference bitwise on every leg;
+//!   backend — including `simd` (runtime-dispatched AVX2/portable lanes),
+//!   `im2row` (cache-blocked dense lowering) and their `parallel:*` banded
+//!   compositions, which must match the scalar reference bitwise on every
+//!   leg;
+//! * one engine call prepares its [`BandContext`] (densified operands,
+//!   im2row patches) exactly once regardless of band count, and every band
+//!   borrows the shared state;
 //! * for **every registered engine** (or just the `SPARSETRAIN_ENGINE`
 //!   override when set, as in the CI engine matrix), the batched entry
 //!   points (`forward_batch_into` / `input_grad_batch_into` /
@@ -22,7 +26,10 @@
 
 use proptest::prelude::*;
 use sparsetrain_sparse::rowconv::SparseFeatureMap;
-use sparsetrain_sparse::{registry, FixedPointEngine, KernelEngine, ParallelEngine, ScalarEngine, Workspace};
+use sparsetrain_sparse::{
+    registry, BandContext, FixedPointEngine, KernelEngine, ParallelEngine, ScalarEngine, SimdEngine,
+    Workspace,
+};
 use sparsetrain_tensor::conv::{self, ConvGeometry};
 use sparsetrain_tensor::{Tensor3, Tensor4};
 
@@ -384,9 +391,10 @@ fn pruning_parity_across_engines() {
     }
 }
 
-/// The float engines (scalar, parallel, simd, parallel:simd) share one
-/// bitwise training trajectory with pruning enabled — banding the
-/// convolutions across threads, sweeping them across vector lanes, *and*
+/// The float engines (scalar, parallel, simd, parallel:simd, im2row,
+/// parallel:im2row) share one bitwise training trajectory with pruning
+/// enabled — banding the convolutions across threads, sweeping them across
+/// vector lanes, lowering dense layers through im2row patches, *and*
 /// banding the pruning change nothing.
 #[test]
 fn pruned_training_identical_on_float_engines() {
@@ -396,7 +404,7 @@ fn pruned_training_identical_on_float_engines() {
         return;
     }
     let scalar = pruned_epoch(registry::lookup("scalar").unwrap());
-    for name in ["parallel", "simd", "parallel:simd"] {
+    for name in ["parallel", "simd", "parallel:simd", "im2row", "parallel:im2row"] {
         let other = pruned_epoch(registry::lookup(name).unwrap());
         assert_eq!(
             scalar.weights, other.weights,
@@ -450,6 +458,145 @@ fn simd_portable_path_matches_dispatched() {
         auto.weight_grad(&input, &dout, geom).as_slice(),
         portable.weight_grad(&input, &dout, geom).as_slice()
     );
+}
+
+/// BandContext reuse: one engine call prepares (densifies) its operands
+/// **exactly once**, no matter how many bands the call fans out into, and
+/// every band receives the shared prepared state. Pinned through the
+/// public seam with a counting wrapper around the simd engine, which is
+/// exactly how `"parallel:simd"` is composed.
+#[test]
+fn band_context_prepared_once_per_engine_call() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountingEngine {
+        prepares: AtomicUsize,
+        bands: AtomicUsize,
+    }
+
+    impl KernelEngine for CountingEngine {
+        fn name(&self) -> &'static str {
+            "counting-simd"
+        }
+
+        fn prepare_forward(
+            &self,
+            input: &SparseFeatureMap,
+            weights: &Tensor4,
+            bias: Option<&[f32]>,
+            geom: ConvGeometry,
+        ) -> BandContext {
+            self.prepares.fetch_add(1, Ordering::SeqCst);
+            SimdEngine::auto().prepare_forward(input, weights, bias, geom)
+        }
+
+        #[allow(clippy::too_many_arguments)]
+        fn forward_band(
+            &self,
+            ctx: &BandContext,
+            input: &SparseFeatureMap,
+            weights: &Tensor4,
+            bias: Option<&[f32]>,
+            geom: ConvGeometry,
+            oh: usize,
+            ow: usize,
+            f_lo: usize,
+            out_band: &mut [f32],
+        ) {
+            self.bands.fetch_add(1, Ordering::SeqCst);
+            // The input below is dense, so the preparation must have
+            // densified it — every band borrows that one map instead of
+            // re-densifying (the pre-BandContext per-band loss).
+            assert!(
+                !ctx.dense().is_empty(),
+                "band did not receive the prepared densified operand map"
+            );
+            SimdEngine::auto().forward_band(ctx, input, weights, bias, geom, oh, ow, f_lo, out_band);
+        }
+    }
+
+    static COUNTING: CountingEngine = CountingEngine {
+        prepares: AtomicUsize::new(0),
+        bands: AtomicUsize::new(0),
+    };
+
+    // Fully dense input: every row is sweep-worthy, so prepare densifies.
+    let geom = ConvGeometry::new(3, 1, 1);
+    let input = SparseFeatureMap::from_tensor(&Tensor3::from_fn(3, H, W, |c, y, x| {
+        0.25 + (c + y + x) as f32 * 0.125
+    }));
+    let weights = Tensor4::from_fn(8, 3, 3, 3, |f, c, u, v| ((f + c + u + v) % 5) as f32 * 0.25 - 0.5);
+    let want = ScalarEngine.forward(&input, &weights, None, geom);
+
+    let mut expected_prepares = 0;
+    for threads in [1usize, 2, 4, 7] {
+        let engine = ParallelEngine::over("test:counting", &COUNTING).banded(threads);
+        let bands_before = COUNTING.bands.load(Ordering::SeqCst);
+        let got = engine.forward(&input, &weights, None, geom);
+        assert_eq!(got.as_slice(), want.as_slice(), "threads {threads}");
+        expected_prepares += 1;
+        assert_eq!(
+            COUNTING.prepares.load(Ordering::SeqCst),
+            expected_prepares,
+            "exactly one preparation per engine call at {threads} bands"
+        );
+        // Near-equal contiguous splitting: requesting `threads` bands over
+        // 8 filters yields ceil(8 / ceil(8 / threads)) band calls.
+        let per_band = 8usize.div_ceil(threads);
+        assert_eq!(
+            COUNTING.bands.load(Ordering::SeqCst) - bands_before,
+            8usize.div_ceil(per_band),
+            "band fan-out at {threads} bands"
+        );
+    }
+
+    // Batched entry point: one preparation per sample, not per band chunk.
+    let inputs = vec![input.clone(), input.clone(), input];
+    let engine = ParallelEngine::over("test:counting", &COUNTING).banded(5);
+    let outs = engine.forward_batch(&inputs, &weights, None, geom);
+    for out in &outs {
+        assert_eq!(out.as_slice(), want.as_slice());
+    }
+    assert_eq!(
+        COUNTING.prepares.load(Ordering::SeqCst),
+        expected_prepares + inputs.len(),
+        "batched call prepares once per sample"
+    );
+}
+
+/// The im2row fallback legs through the registry handle: stride ≠ 1 (the
+/// lowering is stride-1 only), a literal -0.0 bias (only the scalar skips
+/// preserve its sign bit), and a map straddling the density cutoff (mixed
+/// micro-kernel/sparse output rows) all stay bitwise equal to scalar.
+#[test]
+fn im2row_fallback_legs_match_scalar() {
+    let engine = registry::lookup("im2row").expect("registered").engine();
+    let weights = Tensor4::from_fn(9, 3, 3, 3, |f, c, u, v| {
+        ((f * 7 + c * 5 + u * 3 + v) % 9) as f32 * 0.125 - 0.5
+    });
+
+    // Mixed-density map: channel 0 dense, channel 1 at the 1/8 cutoff
+    // boundary, channel 2 far below it.
+    let input = SparseFeatureMap::from_tensor(&Tensor3::from_fn(3, H, 16, |c, y, x| match c {
+        0 => 0.3 + (y + x) as f32 * 0.05,
+        1 if (y + x) % 8 == 0 => 1.0 + y as f32 * 0.25,
+        2 if (y * 16 + x) % 40 == 0 => -0.75,
+        _ => 0.0,
+    }));
+
+    for geom in [ConvGeometry::new(3, 1, 1), ConvGeometry::new(3, 2, 1)] {
+        let want = ScalarEngine.forward(&input, &weights, None, geom);
+        let got = engine.forward(&input, &weights, None, geom);
+        assert_eq!(got.as_slice(), want.as_slice(), "stride {}", geom.stride);
+    }
+
+    let geom = ConvGeometry::new(3, 1, 1);
+    let mut bias = vec![0.5f32; 9];
+    bias[4] = -0.0;
+    let want = ScalarEngine.forward(&input, &weights, Some(&bias), geom);
+    let got = engine.forward(&input, &weights, Some(&bias), geom);
+    let bits = |t: &Tensor3| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&got), bits(&want), "-0.0 bias leg");
 }
 
 /// The deprecated `rowconv::*_with` shims still forward to the engines

@@ -8,8 +8,9 @@
 //! Run with: `cargo run --release --example quickstart`
 //!
 //! Set `SPARSETRAIN_ENGINE` to `scalar`, `parallel`, `simd`,
-//! `parallel:simd`, `fixed`, or a `fixed:qI.F` format to run the training
-//! step's convolutions on a named kernel engine from the registry.
+//! `parallel:simd`, `im2row`, `parallel:im2row`, `fixed`, or a
+//! `fixed:qI.F` format to run the training step's convolutions on a named
+//! kernel engine from the registry.
 
 use rand::rngs::StdRng;
 use rand::stream::StreamKey;

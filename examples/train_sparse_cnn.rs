@@ -10,8 +10,9 @@
 //! `cargo run --release --example train_sparse_cnn -- parallel:simd`
 //! `SPARSETRAIN_ENGINE=fixed:q4.12 cargo run --release --example train_sparse_cnn`
 //! (registered engines: `scalar`, `parallel`, `simd`, `parallel:simd`,
-//! `fixed`, parameterized `fixed:qI.F` formats, plus anything added
-//! through `sparsetrain::sparse::registry::register`).
+//! `im2row`, `parallel:im2row`, `fixed`, parameterized `fixed:qI.F`
+//! formats, plus anything added through
+//! `sparsetrain::sparse::registry::register`).
 
 use sparsetrain::core::prune::PruneConfig;
 use sparsetrain::nn::data::SyntheticSpec;
