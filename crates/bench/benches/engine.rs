@@ -21,7 +21,10 @@
 //! enough to sweep (`≥1.5×` expected on AVX2 at the forward densities
 //! below); the im2row engine targets the dense early-layer forward legs
 //! (`conv1`/`conv2`), where its register-tiled patch reduction beats the
-//! row sweeps. The `pruning` group covers the stochastic pruning stage:
+//! row sweeps. The `engine_end_to_end` group runs all three stages of each
+//! layer through the planned `ExecutionContext` seam, pitting the `auto`
+//! planner's per-(layer, stage) choices against every single global
+//! engine. The `pruning` group covers the stochastic pruning stage:
 //! sequential `prune_batch_parts` vs engine-banded `prune_batch_parts_on`
 //! across batch sizes, with the rayon worker count in the label.
 //!
@@ -35,7 +38,7 @@ use rand::stream::StreamKey;
 use rand::{Rng, SeedableRng};
 use sparsetrain_core::prune::{BatchStream, LayerPruner, PruneConfig};
 use sparsetrain_sparse::rowconv::SparseFeatureMap;
-use sparsetrain_sparse::{registry, EngineHandle, Workspace};
+use sparsetrain_sparse::{registry, EngineHandle, ExecutionContext, Workspace};
 use sparsetrain_tensor::conv::ConvGeometry;
 use sparsetrain_tensor::{Tensor3, Tensor4};
 use std::hint::black_box;
@@ -209,6 +212,56 @@ fn bench_batched_vs_per_sample(c: &mut Criterion) {
     group.finish();
 }
 
+/// One full training step (Forward + GTA + GTW) of each AlexNet-shape
+/// layer through the planned `ExecutionContext` entry points — the
+/// `auto`-vs-best-single-engine comparison. Fixed engines execute every
+/// stage on themselves; the `auto` leg probes each (layer, stage) cell on
+/// its first iteration (absorbed by criterion's warm-up) and then replays
+/// the frozen plan, so its steady-state time should match or beat the best
+/// single engine on every layer and clearly beat the worst end to end.
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_end_to_end");
+    group.sample_size(10);
+    for (name, ci, fi, hw, din, dout) in LAYERS {
+        let fx = fixture(ci, fi, hw, din, dout);
+        let masks = vec![fx.input.masks()];
+        for handle in engines() {
+            group.bench_with_input(BenchmarkId::new(handle.name(), name), &fx, |b, fx| {
+                let mut ctx = ExecutionContext::new(handle);
+                b.iter(|| {
+                    black_box(ctx.forward_batch_for(
+                        name,
+                        std::slice::from_ref(&fx.input),
+                        &fx.weights,
+                        Some(&fx.bias),
+                        fx.geom,
+                    ));
+                    let mut dins = vec![Tensor3::zeros(ci, hw, hw)];
+                    ctx.input_grad_batch_for_into(
+                        name,
+                        std::slice::from_ref(&fx.dout),
+                        &fx.weights,
+                        fx.geom,
+                        &masks,
+                        &mut dins,
+                    );
+                    black_box(&dins);
+                    let mut dw = Tensor4::zeros(fi, ci, 3, 3);
+                    ctx.weight_grad_batch_for(
+                        name,
+                        std::slice::from_ref(&fx.input),
+                        std::slice::from_ref(&fx.dout),
+                        fx.geom,
+                        &mut dw,
+                    );
+                    black_box(dw);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Stochastic pruning throughput: the sequential `prune_batch_parts`
 /// golden vs the engine-banded `prune_batch_parts_on` across batch sizes,
 /// per registered engine. Labels carry the rayon worker count so the CI
@@ -310,6 +363,7 @@ criterion_group!(
     bench_input_grad,
     bench_weight_grad,
     bench_batched_vs_per_sample,
+    bench_end_to_end,
     bench_pruning,
     bench_workspace_vs_alloc
 );

@@ -11,9 +11,15 @@
 //!   run's scalar leg** (`engine_ns / scalar_ns`), so a uniformly faster
 //!   or slower runner cancels out and the gate survives runner-class
 //!   changes; a leg whose normalized ratio degrades by more than
-//!   `--max-regression` (default 20 %) fails the job. Also renders the
+//!   `--max-regression` (default 20 %) fails the job. The pruning group's
+//!   engine-banded legs are gated the same way, normalized by the same
+//!   run's sequential (`pruning/seq/…`) reference leg. Also renders the
 //!   scalar/parallel/simd/im2row ratio table as Markdown (to
 //!   `--summary`, e.g. `$GITHUB_STEP_SUMMARY`).
+//! * `plan` — probe the density-adaptive planner on the AlexNet-shape
+//!   bench fixtures and print the frozen per-(layer, stage) execution
+//!   plan as a Markdown table (what the `auto` engine decides on this
+//!   machine at these densities).
 //! * `multicore` — assert the parallel engine's multi-core win on the
 //!   batched forward leg (`--min-ratio`, default the ROADMAP's 1.5×) and
 //!   record the measured ratios. Run it from a bench invocation with
@@ -61,6 +67,7 @@ fn main() -> ExitCode {
             "baseline" => cmd_baseline(&opts),
             "check" => cmd_check(&opts),
             "multicore" => cmd_multicore(&opts),
+            "plan" => cmd_plan(&opts),
             other => Err(format!("unknown subcommand {other:?}")),
         }
     };
@@ -75,12 +82,13 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: sparsetrain-bench <baseline|check|multicore> [options]
+usage: sparsetrain-bench <baseline|check|multicore|plan> [options]
 
   baseline  --results <jsonl> --out <json>
   check     --results <jsonl> --baseline <json>
             [--max-regression 0.20] [--summary <path>]
-  multicore --results <jsonl> [--min-ratio 1.5] [--summary <path>]";
+  multicore --results <jsonl> [--min-ratio 1.5] [--summary <path>]
+  plan      [--summary <path>]";
 
 struct Opts {
     results: Option<String>,
@@ -240,18 +248,21 @@ fn cmd_check(opts: &Opts) -> Result<bool, String> {
         return Err(format!("{baseline_path} contains no legs"));
     }
 
-    let (failures, fresh) = gate_conv_legs(&baseline, &current, opts.max_regression);
+    let (mut failures, mut fresh) = gate_conv_legs(&baseline, &current, opts.max_regression);
+    let (prune_failures, prune_fresh) = gate_pruning_legs(&baseline, &current, opts.max_regression);
+    failures.extend(prune_failures);
+    fresh.extend(prune_fresh);
     let mut summary = render_ratio_table(&current);
     let _ = writeln!(
         summary,
-        "\nGate: normalized conv-leg ratio (engine/scalar, same run) vs baseline, \
-         threshold +{:.0} %.\n",
+        "\nGate: normalized conv-leg ratio (engine/scalar, same run) and banded-pruning \
+         ratio (banded/seq, same run) vs baseline, threshold +{:.0} %.\n",
         opts.max_regression * 100.0
     );
     if failures.is_empty() {
-        let _ = writeln!(summary, "**PASS** — no conv leg regressed.");
+        let _ = writeln!(summary, "**PASS** — no gated leg regressed.");
     } else {
-        let _ = writeln!(summary, "**FAIL** — {} conv leg(s) regressed:\n", failures.len());
+        let _ = writeln!(summary, "**FAIL** — {} leg(s) regressed:\n", failures.len());
         for f in &failures {
             let _ = writeln!(summary, "- {f}");
         }
@@ -315,6 +326,55 @@ fn gate_conv_legs(
             if CONV_GROUPS.contains(&group) && !baseline.contains_key(label) {
                 fresh.push(label.clone());
             }
+        }
+    }
+    (failures, fresh)
+}
+
+/// Gates the pruning group's engine-banded legs
+/// (`pruning/banded/{engine}/t{threads}/b{batch}`) against the baseline,
+/// normalized by the same run's sequential reference leg
+/// (`pruning/seq/t{threads}/b{batch}`). The seq legs themselves are
+/// reference-only and never gated. Returns (failures, current banded legs
+/// missing from the baseline).
+fn gate_pruning_legs(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    max_regression: f64,
+) -> (Vec<String>, Vec<String>) {
+    let mut failures = Vec::new();
+    let mut fresh = Vec::new();
+    // "pruning/banded/{engine}/{tail}" → its "pruning/seq/{tail}" reference
+    // (engine names may contain ':' but never '/').
+    let seq_ref = |label: &str| -> Option<String> {
+        let spec = label.strip_prefix("pruning/banded/")?;
+        let (_engine, tail) = spec.split_once('/')?;
+        Some(format!("pruning/seq/{tail}"))
+    };
+    for (label, &base_ns) in baseline {
+        let Some(seq) = seq_ref(label) else { continue };
+        let Some(&cur_ns) = current.get(label) else {
+            failures.push(format!("`{label}`: leg missing from this run"));
+            continue;
+        };
+        let (Some(&base_seq), Some(&cur_seq)) = (baseline.get(&seq), current.get(&seq)) else {
+            continue;
+        };
+        let base_rel = base_ns / base_seq;
+        let cur_rel = cur_ns / cur_seq;
+        let regression = cur_rel / base_rel - 1.0;
+        if regression > max_regression {
+            failures.push(format!(
+                "`{label}`: {:.2}× seq, was {:.2}× (+{:.0} %)",
+                cur_rel,
+                base_rel,
+                regression * 100.0
+            ));
+        }
+    }
+    for label in current.keys() {
+        if seq_ref(label).is_some() && !baseline.contains_key(label) {
+            fresh.push(label.clone());
         }
     }
     (failures, fresh)
@@ -435,6 +495,71 @@ fn cmd_multicore(opts: &Opts) -> Result<bool, String> {
     Ok(pass)
 }
 
+/// Probes the density-adaptive planner on the AlexNet-shape bench
+/// fixtures (the same shapes, densities and seed as `benches/engine.rs`)
+/// and prints the frozen plan as a Markdown table. With `SPARSETRAIN_PLAN`
+/// set, prints that plan's decisions over the same cells instead of
+/// probing.
+fn cmd_plan(opts: &Opts) -> Result<bool, String> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sparsetrain_sparse::rowconv::SparseFeatureMap;
+    use sparsetrain_sparse::ExecutionContext;
+    use sparsetrain_tensor::conv::ConvGeometry;
+    use sparsetrain_tensor::{Tensor3, Tensor4};
+
+    // The AlexNet-style layer table of benches/engine.rs: (name, channels,
+    // filters, spatial, input density, pruned-gradient density).
+    const LAYERS: [(&str, usize, usize, usize, f64, f64); 4] = [
+        ("conv1_3x64x32", 3, 64, 32, 0.95, 0.25),
+        ("conv2_64x128x16", 64, 128, 16, 0.45, 0.15),
+        ("conv3_128x192x8", 128, 192, 8, 0.35, 0.10),
+        ("conv4_192x192x8", 192, 192, 8, 0.30, 0.05),
+    ];
+
+    let mut ctx = ExecutionContext::by_name("auto").map_err(|e| e.to_string())?;
+    let geom = ConvGeometry::new(3, 1, 1);
+    for (name, c, f, hw, din, dgrad) in LAYERS {
+        let mut rng = StdRng::seed_from_u64(42);
+        let sparse = |rng: &mut StdRng, density: f64| {
+            if rng.gen::<f64>() < density {
+                rng.gen::<f32>() - 0.5
+            } else {
+                0.0
+            }
+        };
+        let input =
+            SparseFeatureMap::from_tensor(&Tensor3::from_fn(c, hw, hw, |_, _, _| sparse(&mut rng, din)));
+        let dout =
+            SparseFeatureMap::from_tensor(&Tensor3::from_fn(f, hw, hw, |_, _, _| sparse(&mut rng, dgrad)));
+        let weights = Tensor4::from_fn(f, c, 3, 3, |_, _, _, _| rng.gen::<f32>() - 0.5);
+        let masks = vec![input.masks()];
+        ctx.forward_batch_for(name, std::slice::from_ref(&input), &weights, None, geom);
+        let mut dins = vec![Tensor3::zeros(c, hw, hw)];
+        ctx.input_grad_batch_for_into(
+            name,
+            std::slice::from_ref(&dout),
+            &weights,
+            geom,
+            &masks,
+            &mut dins,
+        );
+        let mut dw = Tensor4::zeros(f, c, 3, 3);
+        ctx.weight_grad_batch_for(
+            name,
+            std::slice::from_ref(&input),
+            std::slice::from_ref(&dout),
+            geom,
+            &mut dw,
+        );
+    }
+    let plan = ctx.plan().expect("auto context is planned");
+    let mut summary = String::from("## Density-adaptive execution plan\n\n");
+    summary.push_str(&plan.to_markdown());
+    emit_summary(opts, &summary);
+    Ok(true)
+}
+
 /// Appends Markdown to `--summary` (e.g. `$GITHUB_STEP_SUMMARY`) and
 /// always echoes it to stdout.
 fn emit_summary(opts: &Opts, text: &str) {
@@ -529,9 +654,47 @@ mod tests {
         let (failures, fresh) = gate_conv_legs(&baseline, &current, 0.20);
         assert_eq!(failures.len(), 1, "baseline leg vanished must fail: {failures:?}");
         assert_eq!(fresh, vec!["engine_forward/im2row/conv1".to_string()]);
-        // Non-conv groups are never gated.
+        // Non-conv groups are never gated by the conv gate.
         let baseline = legs(&[("pruning/seq/t1/b8", 10.0)]);
         let (failures, fresh) = gate_conv_legs(&baseline, &legs(&[]), 0.20);
+        assert!(failures.is_empty() && fresh.is_empty());
+    }
+
+    #[test]
+    fn pruning_gate_normalizes_banded_legs_by_the_seq_reference() {
+        let baseline = legs(&[
+            ("pruning/seq/t1/b8", 100.0),
+            ("pruning/banded/parallel:simd/t1/b8", 50.0), // 0.5× seq
+        ]);
+        // Uniformly slower runner, same ratio: pass.
+        let slower = legs(&[
+            ("pruning/seq/t1/b8", 200.0),
+            ("pruning/banded/parallel:simd/t1/b8", 100.0),
+        ]);
+        let (failures, fresh) = gate_pruning_legs(&baseline, &slower, 0.20);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert!(fresh.is_empty());
+        // Genuine 30 % relative regression on the banded leg: fail.
+        let regressed = legs(&[
+            ("pruning/seq/t1/b8", 100.0),
+            ("pruning/banded/parallel:simd/t1/b8", 65.0),
+        ]);
+        let (failures, _) = gate_pruning_legs(&baseline, &regressed, 0.20);
+        assert_eq!(failures.len(), 1);
+        assert!(
+            failures[0].contains("pruning/banded/parallel:simd/t1/b8"),
+            "{failures:?}"
+        );
+        // A baseline banded leg missing from the run fails; a fresh banded
+        // leg is only noted; seq legs are never gated themselves.
+        let missing = legs(&[("pruning/seq/t1/b8", 100.0), ("pruning/banded/auto/t1/b8", 60.0)]);
+        let (failures, fresh) = gate_pruning_legs(&baseline, &missing, 0.20);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("leg missing"), "{failures:?}");
+        assert_eq!(fresh, vec!["pruning/banded/auto/t1/b8".to_string()]);
+        // A seq-only baseline gates nothing.
+        let seq_only = legs(&[("pruning/seq/t1/b8", 10.0)]);
+        let (failures, fresh) = gate_pruning_legs(&seq_only, &legs(&[]), 0.20);
         assert!(failures.is_empty() && fresh.is_empty());
     }
 

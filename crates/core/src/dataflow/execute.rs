@@ -52,19 +52,46 @@ pub fn execute_conv(
         ),
         "weight shape inconsistent with trace"
     );
-    let engine = ctx.engine();
-    let output = engine.forward(&trace.input, weights, bias, trace.geom);
-    let input_grad = trace.needs_input_grad.then(|| {
-        engine.input_grad(
-            &trace.dout,
+    // Batch-of-one planned calls: on a planned ("auto") context each stage
+    // resolves its engine through the (layer, stage) plan cell keyed by the
+    // trace's layer name; on any other context they are the plain
+    // per-sample engine calls (the batched defaults execute sample order,
+    // so the results are bitwise identical either way).
+    let output = ctx
+        .forward_batch_for(
+            &trace.name,
+            std::slice::from_ref(&trace.input),
             weights,
+            bias,
             trace.geom,
+        )
+        .pop()
+        .expect("batch of one");
+    let input_grad = trace.needs_input_grad.then(|| {
+        let mut dins = vec![Tensor3::zeros(
+            trace.input.channels(),
             trace.input.height(),
             trace.input.width(),
-            &trace.input_masks,
-        )
+        )];
+        ctx.input_grad_batch_for_into(
+            &trace.name,
+            std::slice::from_ref(&trace.dout),
+            weights,
+            trace.geom,
+            std::slice::from_ref(&trace.input_masks),
+            &mut dins,
+        );
+        dins.pop().expect("batch of one")
     });
-    let weight_grad = engine.weight_grad(&trace.input, &trace.dout, trace.geom);
+    let (f, c, k, _) = weights.shape();
+    let mut weight_grad = Tensor4::zeros(f, c, k, k);
+    ctx.weight_grad_batch_for(
+        &trace.name,
+        std::slice::from_ref(&trace.input),
+        std::slice::from_ref(&trace.dout),
+        trace.geom,
+        &mut weight_grad,
+    );
     ExecutedConv {
         output,
         input_grad,
@@ -131,6 +158,22 @@ mod tests {
             Some(&bias),
         );
         assert_eq!(scalar, parallel);
+    }
+
+    #[test]
+    fn planned_execution_probes_each_stage_and_matches_scalar() {
+        let t = trace();
+        let w = weights();
+        let scalar = execute_conv(&t, &mut ExecutionContext::scalar(), &w, None);
+        let mut auto = ExecutionContext::by_name("auto").unwrap();
+        // First execution probes and freezes the plan; the second replays
+        // it. Both must be bitwise equal to the scalar reference.
+        let probed = execute_conv(&t, &mut auto, &w, None);
+        assert_eq!(scalar, probed);
+        let plan = auto.plan().expect("auto context is planned");
+        assert_eq!(plan.len(), 3, "forward, GTA and GTW cells all frozen");
+        let replayed = execute_conv(&t, &mut auto, &w, None);
+        assert_eq!(scalar, replayed);
     }
 
     #[test]

@@ -169,7 +169,7 @@ impl Layer for Conv2d {
                 // the dataset are never cloned.
                 let fms: Vec<SparseFeatureMap> = xs.iter().map(SparseFeatureMap::from_tensor).collect();
                 let out = ctx
-                    .forward_batch(&fms, &self.weights, Some(&self.bias), self.geom)
+                    .forward_batch_for(&self.name, &fms, &self.weights, Some(&self.bias), self.geom)
                     .into_iter()
                     .collect();
                 if train {
@@ -260,7 +260,13 @@ impl Layer for Conv2d {
                     grads.iter().map(SparseFeatureMap::from_tensor).collect();
                 // Batched GTW accumulates every sample straight into the
                 // batch gradient — one engine call, no per-sample scratch.
-                ctx.weight_grad_batch(&self.ctx_input_fms, &dout_fms, self.geom, &mut self.wgrad);
+                ctx.weight_grad_batch_for(
+                    &self.name,
+                    &self.ctx_input_fms,
+                    &dout_fms,
+                    self.geom,
+                    &mut self.wgrad,
+                );
                 for g in &grads {
                     for (bg, d) in self.bgrad.iter_mut().zip(conv::bias_grad(g)) {
                         *bg += d;
@@ -282,7 +288,8 @@ impl Layer for Conv2d {
                     // gradient — and returns the zero tensors as-is.
                     let masks: Vec<Vec<RowMask>> =
                         self.ctx_input_fms.iter().map(SparseFeatureMap::masks).collect();
-                    ctx.engine().input_grad_batch_into(
+                    ctx.input_grad_batch_for_into(
+                        &self.name,
                         &dout_fms,
                         &self.weights,
                         self.geom,

@@ -10,8 +10,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparsetrain_core::dataflow::NetworkTrace;
 use sparsetrain_core::prune::{StepStreams, StreamSeeds};
-#[allow(deprecated)]
-use sparsetrain_sparse::EngineKind;
 use sparsetrain_sparse::{registry, EngineHandle, ExecutionContext};
 use sparsetrain_tensor::Tensor3;
 
@@ -62,8 +60,8 @@ impl TrainConfig {
     }
 
     /// Returns the config with the named sparse row-dataflow engine
-    /// selected (`"scalar"`, `"parallel"`, `"fixed"`, or anything added
-    /// with `sparsetrain_sparse::registry::register`).
+    /// selected (`"scalar"`, `"parallel"`, `"fixed"`, `"auto"`, or
+    /// anything added with `sparsetrain_sparse::registry::register`).
     ///
     /// # Panics
     ///
@@ -90,13 +88,6 @@ impl TrainConfig {
             self.engine = Some(handle);
         }
         self
-    }
-
-    /// Legacy engine selection by the closed `EngineKind` token.
-    #[deprecated(since = "0.2.0", note = "use with_engine_name / with_engine_handle")]
-    #[allow(deprecated)]
-    pub fn with_engine(self, kind: EngineKind) -> Self {
-        self.with_engine_handle(kind.handle())
     }
 }
 

@@ -93,6 +93,76 @@ fn scalar_and_parallel_training_trajectories_are_bitwise_equal() {
     assert_eq!(scalar, parallel);
 }
 
+/// The planner's probe epoch leaves the training trajectory unchanged:
+/// every probe candidate is bitwise-identical to scalar, so which engine
+/// wins each (layer, stage) race can never show up in the weights. Two
+/// epochs under `auto` — the first probing and freezing the plan, the
+/// second replaying it — must land bit-for-bit on the scalar trajectory.
+#[test]
+fn auto_planner_training_trajectory_is_bitwise_scalar() {
+    let (train, _) = SyntheticSpec::tiny(2).generate();
+    let collect_params = |name: &str| -> Vec<f32> {
+        let net = models::mini_cnn(2, 4, None);
+        let mut trainer = Trainer::new(net, TrainConfig::quick().with_engine_name(name));
+        trainer.train_epoch(&train);
+        if name == "auto" {
+            let plan = trainer.context_mut().plan().expect("auto context is planned");
+            assert!(
+                !plan.is_empty(),
+                "the first (probe) epoch must freeze at least one plan cell"
+            );
+        }
+        trainer.train_epoch(&train);
+        let mut params = Vec::new();
+        trainer.network_mut().visit_params(&mut |w: &mut [f32], _| {
+            params.extend_from_slice(w);
+        });
+        params
+    };
+    assert_eq!(collect_params("auto"), collect_params("scalar"));
+}
+
+/// A replayed plan is honoured end to end: pin one conv's forward cell to
+/// `simd` through `ExecutionContext::with_plan`, train, and check the plan
+/// kept the pinned decision while the trajectory stayed bitwise scalar.
+#[test]
+fn replayed_plan_trains_on_the_pinned_engines() {
+    use sparsetrain_sparse::{Plan, Stage};
+    let (train, _) = SyntheticSpec::tiny(2).generate();
+    let scalar = {
+        let mut trainer = Trainer::new(
+            models::mini_cnn(2, 4, None),
+            TrainConfig::quick().with_engine_name("scalar"),
+        );
+        trainer.train_epoch(&train);
+        let mut params = Vec::new();
+        trainer.network_mut().visit_params(&mut |w: &mut [f32], _| {
+            params.extend_from_slice(w);
+        });
+        params
+    };
+    let mut plan = Plan::new("scalar".parse().unwrap());
+    plan.set("conv1", Stage::Forward, "simd".parse().unwrap());
+    let mut trainer = Trainer::new(
+        models::mini_cnn(2, 4, None),
+        TrainConfig::quick().with_engine_name("auto"),
+    );
+    *trainer.context_mut() = ExecutionContext::with_plan(plan);
+    trainer.train_epoch(&train);
+    let decided = trainer
+        .context_mut()
+        .plan()
+        .expect("planned context")
+        .get("conv1", Stage::Forward)
+        .expect("pinned cell survives replay");
+    assert_eq!(decided.name(), "simd");
+    let mut params = Vec::new();
+    trainer.network_mut().visit_params(&mut |w: &mut [f32], _| {
+        params.extend_from_slice(w);
+    });
+    assert_eq!(params, scalar);
+}
+
 /// End-to-end engine selection by name for **every** registered engine —
 /// the fixed-point backend included: one epoch must execute and produce
 /// finite loss on each (Q8.8 gradients underflow on toy nets, so learning

@@ -7,28 +7,45 @@
 //! row-at-a-time callers. Construction is name-driven — from a registry
 //! handle, a string (`"scalar"`, `"parallel"`, `"simd"`,
 //! `"parallel:simd"`, `"im2row"`, `"parallel:im2row"`, `"fixed"`,
-//! `"fixed:qI.F"`, or anything registered), or the `SPARSETRAIN_ENGINE`
-//! environment variable — so adding a backend never changes a call-site
-//! signature again: the simd and im2row engines each slotted into every
-//! selection path without touching one. Per-call operand state travels on
-//! the engine seam itself ([`crate::engine::BandContext`], built by the
-//! engine's `prepare_*` hooks), not in this context, so a context stays
-//! valid across calls of any shape.
+//! `"fixed:qI.F"`, `"auto"`, or anything registered), or the
+//! `SPARSETRAIN_ENGINE` environment variable — so adding a backend never
+//! changes a call-site signature again: the simd and im2row engines each
+//! slotted into every selection path without touching one. Per-call
+//! operand state travels on the engine seam itself
+//! ([`crate::engine::BandContext`], built by the engine's `prepare_*`
+//! hooks), not in this context, so a context stays valid across calls of
+//! any shape.
+//!
+//! # Planned execution
+//!
+//! Selecting the `"auto"` engine attaches a [`Planner`]: the planned
+//! entry points ([`ExecutionContext::forward_batch_for`] and friends) then
+//! resolve their engine **per (layer, stage) cell** instead of globally.
+//! The first execution of an undecided cell races every bitwise-safe
+//! candidate engine and freezes the fastest (probe mode); when
+//! `SPARSETRAIN_PLAN` names a serialized plan file, that plan replays
+//! instead and no probing happens. Every candidate is bitwise-identical
+//! to the scalar reference, so planning — probed or replayed — affects
+//! speed, never results. Contexts on any other engine treat the planned
+//! entry points as plain batched calls on the resolved engine.
 //!
 //! ```
 //! use sparsetrain_sparse::ExecutionContext;
 //!
 //! let mut ctx = ExecutionContext::by_name("parallel:simd").unwrap();
 //! assert_eq!(ctx.engine_name(), "parallel:simd");
+//! assert!(ctx.plan().is_none()); // not a planned context
 //! ctx.workspace().row(64); // reusable zeroed scratch
 //! ```
 
 use crate::engine::{KernelEngine, Workspace};
 use crate::mask::RowMask;
+use crate::planner::{batch_density, env_plan, Plan, Planner, Stage};
 use crate::registry::{env_override, lookup, EngineHandle, UnknownEngine};
 use crate::rowconv::SparseFeatureMap;
 use sparsetrain_tensor::conv::ConvGeometry;
 use sparsetrain_tensor::{Tensor3, Tensor4};
+use std::time::Instant;
 
 /// A resolved engine plus the scratch it executes with.
 ///
@@ -39,20 +56,45 @@ use sparsetrain_tensor::{Tensor3, Tensor4};
 pub struct ExecutionContext {
     handle: EngineHandle,
     workspace: Workspace,
+    planner: Option<Planner>,
 }
 
 impl ExecutionContext {
-    /// Context executing on the engine `handle` resolves to.
+    /// Context executing on the engine `handle` resolves to. Selecting the
+    /// `"auto"` engine attaches a [`Planner`] — probing by default,
+    /// replaying the plan file `SPARSETRAIN_PLAN` names when set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `SPARSETRAIN_PLAN` is set but names a file that cannot
+    /// be read or parsed (consistent with the other misconfigured-
+    /// environment panics on the selection paths).
     pub fn new(handle: EngineHandle) -> Self {
+        let planner = (handle.name() == "auto").then(|| match env_plan().unwrap_or_else(|e| panic!("{e}")) {
+            Some(plan) => Planner::replay(plan),
+            None => Planner::probing(),
+        });
         Self {
             handle,
             workspace: Workspace::new(),
+            planner,
         }
     }
 
     /// Context on the reference scalar engine.
     pub fn scalar() -> Self {
         Self::new(lookup("scalar").expect("scalar engine is always registered"))
+    }
+
+    /// A planned context replaying `plan`: the planned entry points
+    /// resolve each (layer, stage) cell through it, with the density
+    /// heuristic (not probing) deciding cells the plan misses.
+    pub fn with_plan(plan: Plan) -> Self {
+        Self {
+            handle: lookup("auto").expect("auto engine is always registered"),
+            workspace: Workspace::new(),
+            planner: Some(Planner::replay(plan)),
+        }
     }
 
     /// Context on a registered engine, by name.
@@ -88,6 +130,13 @@ impl ExecutionContext {
     /// The resolved engine's registered name.
     pub fn engine_name(&self) -> &'static str {
         self.handle.name()
+    }
+
+    /// The execution plan as decided so far — `Some` only on planned
+    /// (`"auto"`) contexts. Probed cells appear here once their first
+    /// execution froze a winner.
+    pub fn plan(&self) -> Option<&Plan> {
+        self.planner.as_ref().map(Planner::plan)
     }
 
     /// The reusable scratch buffers for row-at-a-time execution.
@@ -145,6 +194,166 @@ impl ExecutionContext {
     ) {
         self.engine().weight_grad_batch_into(inputs, douts, geom, dw);
     }
+
+    // -- Planned entry points ------------------------------------------------
+    //
+    // The per-(layer, stage) seam: callers with a layer identity (Conv2d,
+    // the dataflow executor) resolve their engine through the plan. Each
+    // method decides its cell once — probing every candidate with a timed
+    // full execution, or taking the replayed/heuristic decision — and then
+    // replays the frozen choice forever. Probe runs execute candidates
+    // into cloned scratch so accumulate-into contracts see exactly one
+    // execution's worth of updates, and every candidate is bitwise equal
+    // to scalar, so which one's output is kept can never matter.
+
+    /// Resolves the engine for one planned cell, deciding (and freezing)
+    /// it if necessary. Returns `None` when the cell is undecided and must
+    /// be probed by the caller.
+    fn planned_engine(
+        &mut self,
+        layer: &str,
+        stage: Stage,
+        density: impl Fn() -> f64,
+    ) -> Option<EngineHandle> {
+        match &mut self.planner {
+            None => Some(self.handle),
+            Some(p) => {
+                if let Some(h) = p.decided(layer, stage) {
+                    Some(h)
+                } else if p.probing_enabled() {
+                    None
+                } else {
+                    let h = p.fallback(stage, density());
+                    p.record(layer, stage, h);
+                    Some(h)
+                }
+            }
+        }
+    }
+
+    fn record(&mut self, layer: &str, stage: Stage, handle: EngineHandle) {
+        self.planner
+            .as_mut()
+            .expect("probe implies a planner")
+            .record(layer, stage, handle);
+    }
+
+    fn probe_candidates(&self) -> Vec<EngineHandle> {
+        self.planner
+            .as_ref()
+            .expect("probe implies a planner")
+            .candidates()
+            .to_vec()
+    }
+
+    /// Planned batched forward step: like
+    /// [`ExecutionContext::forward_batch`], but the engine is resolved per
+    /// `(layer, Forward)` cell on planned contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn forward_batch_for(
+        &mut self,
+        layer: &str,
+        inputs: &[SparseFeatureMap],
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+    ) -> Vec<Tensor3> {
+        if let Some(h) = self.planned_engine(layer, Stage::Forward, || batch_density(inputs)) {
+            return h.engine().forward_batch(inputs, weights, bias, geom);
+        }
+        let mut best: Option<(std::time::Duration, EngineHandle, Vec<Tensor3>)> = None;
+        for cand in self.probe_candidates() {
+            let start = Instant::now();
+            let outs = cand.engine().forward_batch(inputs, weights, bias, geom);
+            let elapsed = start.elapsed();
+            if best.as_ref().is_none_or(|(t, _, _)| elapsed < *t) {
+                best = Some((elapsed, cand, outs));
+            }
+        }
+        let (_, winner, outs) = best.expect("candidate set is never empty");
+        self.record(layer, Stage::Forward, winner);
+        outs
+    }
+
+    /// Planned batched GTA step, accumulating into the pre-seeded `dins`:
+    /// like [`KernelEngine::input_grad_batch_into`] on the resolved
+    /// engine, but resolved per `(layer, InputGrad)` cell on planned
+    /// contexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn input_grad_batch_for_into(
+        &mut self,
+        layer: &str,
+        douts: &[SparseFeatureMap],
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        masks: &[Vec<RowMask>],
+        dins: &mut [Tensor3],
+    ) {
+        if let Some(h) = self.planned_engine(layer, Stage::InputGrad, || batch_density(douts)) {
+            h.engine()
+                .input_grad_batch_into(douts, weights, geom, masks, dins);
+            return;
+        }
+        let mut best: Option<(std::time::Duration, EngineHandle, Vec<Tensor3>)> = None;
+        for cand in self.probe_candidates() {
+            let mut scratch: Vec<Tensor3> = dins.to_vec();
+            let start = Instant::now();
+            cand.engine()
+                .input_grad_batch_into(douts, weights, geom, masks, &mut scratch);
+            let elapsed = start.elapsed();
+            if best.as_ref().is_none_or(|(t, _, _)| elapsed < *t) {
+                best = Some((elapsed, cand, scratch));
+            }
+        }
+        let (_, winner, scratch) = best.expect("candidate set is never empty");
+        self.record(layer, Stage::InputGrad, winner);
+        for (din, s) in dins.iter_mut().zip(scratch) {
+            *din = s;
+        }
+    }
+
+    /// Planned batched GTW step, accumulating into `dw`: like
+    /// [`ExecutionContext::weight_grad_batch`], but resolved per
+    /// `(layer, WeightGrad)` cell on planned contexts. Probe runs
+    /// accumulate each candidate into a clone of `dw`, so `dw` receives
+    /// exactly one execution's gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn weight_grad_batch_for(
+        &mut self,
+        layer: &str,
+        inputs: &[SparseFeatureMap],
+        douts: &[SparseFeatureMap],
+        geom: ConvGeometry,
+        dw: &mut Tensor4,
+    ) {
+        if let Some(h) = self.planned_engine(layer, Stage::WeightGrad, || batch_density(douts)) {
+            h.engine().weight_grad_batch_into(inputs, douts, geom, dw);
+            return;
+        }
+        let mut best: Option<(std::time::Duration, EngineHandle, Tensor4)> = None;
+        for cand in self.probe_candidates() {
+            let mut scratch = dw.clone();
+            let start = Instant::now();
+            cand.engine()
+                .weight_grad_batch_into(inputs, douts, geom, &mut scratch);
+            let elapsed = start.elapsed();
+            if best.as_ref().is_none_or(|(t, _, _)| elapsed < *t) {
+                best = Some((elapsed, cand, scratch));
+            }
+        }
+        let (_, winner, scratch) = best.expect("candidate set is never empty");
+        self.record(layer, Stage::WeightGrad, winner);
+        *dw = scratch;
+    }
 }
 
 impl Default for ExecutionContext {
@@ -168,19 +377,21 @@ mod tests {
         let ctx = ExecutionContext::default();
         assert_eq!(ctx.engine_name(), "scalar");
         assert_eq!(ctx.handle().name(), "scalar");
+        assert!(ctx.plan().is_none());
     }
 
     #[test]
     fn by_name_resolves_every_builtin() {
         for name in ["scalar", "parallel", "fixed"] {
-            assert_eq!(ExecutionContext::by_name(name).unwrap().engine_name(), name);
+            let ctx = ExecutionContext::by_name(name).unwrap();
+            assert_eq!(ctx.engine_name(), name);
+            assert!(ctx.plan().is_none(), "{name} must not attach a planner");
         }
+        assert_eq!(ExecutionContext::by_name("auto").unwrap().engine_name(), "auto");
         assert!(ExecutionContext::by_name("nope").is_err());
     }
 
-    #[test]
-    fn batch_helpers_execute_on_the_resolved_engine() {
-        let mut ctx = ExecutionContext::by_name("parallel").unwrap();
+    fn batch_fixture() -> (Vec<SparseFeatureMap>, Tensor4, ConvGeometry) {
         let geom = ConvGeometry::new(3, 1, 1);
         let inputs: Vec<SparseFeatureMap> = (0..3)
             .map(|s| {
@@ -194,6 +405,13 @@ mod tests {
             })
             .collect();
         let weights = Tensor4::from_fn(2, 2, 3, 3, |f, c, u, v| ((f + c + u + v) % 3) as f32 * 0.5 - 0.5);
+        (inputs, weights, geom)
+    }
+
+    #[test]
+    fn batch_helpers_execute_on_the_resolved_engine() {
+        let mut ctx = ExecutionContext::by_name("parallel").unwrap();
+        let (inputs, weights, geom) = batch_fixture();
         let outs = ctx.forward_batch(&inputs, &weights, None, geom);
         assert_eq!(outs.len(), 3);
         for (input, out) in inputs.iter().zip(&outs) {
@@ -203,5 +421,94 @@ mod tests {
         let mut dw = Tensor4::zeros(2, 2, 3, 3);
         ctx.weight_grad_batch(&inputs, &inputs, geom, &mut dw);
         assert!(dw.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn planned_entry_points_are_plain_calls_on_unplanned_contexts() {
+        let mut ctx = ExecutionContext::by_name("simd").unwrap();
+        let (inputs, weights, geom) = batch_fixture();
+        let planned = ctx.forward_batch_for("conv1", &inputs, &weights, None, geom);
+        let plain = ctx.forward_batch(&inputs, &weights, None, geom);
+        for (a, b) in planned.iter().zip(&plain) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        assert!(ctx.plan().is_none(), "no plan state accrues without a planner");
+    }
+
+    #[test]
+    fn probing_context_freezes_each_cell_and_stays_bitwise_scalar() {
+        let mut auto = ExecutionContext::by_name("auto").unwrap();
+        let mut scalar = ExecutionContext::scalar();
+        let (inputs, weights, geom) = batch_fixture();
+        assert_eq!(auto.plan().map(Plan::len), Some(0));
+
+        // Forward: the probe decides the cell and returns scalar's bits.
+        let probed = auto.forward_batch_for("c1", &inputs, &weights, None, geom);
+        let reference = scalar.forward_batch_for("c1", &inputs, &weights, None, geom);
+        for (a, b) in probed.iter().zip(&reference) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        let frozen = auto
+            .plan()
+            .unwrap()
+            .get("c1", Stage::Forward)
+            .expect("cell frozen");
+        // The replayed second call takes the frozen engine and agrees.
+        let replayed = auto.forward_batch_for("c1", &inputs, &weights, None, geom);
+        for (a, b) in replayed.iter().zip(&reference) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        assert_eq!(auto.plan().unwrap().get("c1", Stage::Forward), Some(frozen));
+
+        // GTW: probing must accumulate exactly one execution into dw.
+        let mut dw_auto = Tensor4::zeros(2, 2, 3, 3);
+        let mut dw_scalar = Tensor4::zeros(2, 2, 3, 3);
+        auto.weight_grad_batch_for("c1", &inputs, &inputs, geom, &mut dw_auto);
+        scalar.weight_grad_batch_for("c1", &inputs, &inputs, geom, &mut dw_scalar);
+        assert_eq!(dw_auto.as_slice(), dw_scalar.as_slice());
+        assert!(auto.plan().unwrap().get("c1", Stage::WeightGrad).is_some());
+
+        // GTA likewise, through the into-style planned path.
+        let masks: Vec<Vec<RowMask>> = inputs.iter().map(SparseFeatureMap::masks).collect();
+        let mut dins_auto: Vec<Tensor3> = inputs.iter().map(|_| Tensor3::zeros(2, 5, 5)).collect();
+        let mut dins_scalar = dins_auto.clone();
+        auto.input_grad_batch_for_into("c1", &inputs, &weights, geom, &masks, &mut dins_auto);
+        scalar.input_grad_batch_for_into("c1", &inputs, &weights, geom, &masks, &mut dins_scalar);
+        for (a, b) in dins_auto.iter().zip(&dins_scalar) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        assert_eq!(auto.plan().map(Plan::len), Some(3), "all three cells frozen");
+    }
+
+    #[test]
+    fn replayed_plan_is_honoured_and_heuristic_fills_gaps() {
+        let mut plan = Plan::new(lookup("scalar").unwrap());
+        plan.set("c1", Stage::Forward, lookup("simd").unwrap());
+        let mut ctx = ExecutionContext::with_plan(plan);
+        assert_eq!(ctx.engine_name(), "auto");
+        let (inputs, weights, geom) = batch_fixture();
+        let outs = ctx.forward_batch_for("c1", &inputs, &weights, None, geom);
+        let reference = crate::engine::ScalarEngine.forward_batch(&inputs, &weights, None, geom);
+        for (a, b) in outs.iter().zip(&reference) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+        // The pinned cell stays pinned; an unplanned cell is decided by
+        // the heuristic (never probed) and then frozen.
+        assert_eq!(
+            ctx.plan().unwrap().get("c1", Stage::Forward).unwrap().name(),
+            "simd"
+        );
+        let mut dw = Tensor4::zeros(2, 2, 3, 3);
+        ctx.weight_grad_batch_for("c1", &inputs, &inputs, geom, &mut dw);
+        let decided = ctx
+            .plan()
+            .unwrap()
+            .get("c1", Stage::WeightGrad)
+            .expect("heuristic froze the cell");
+        assert!(
+            crate::planner::CANDIDATE_NAMES.contains(&decided.name()),
+            "heuristic must pick a bitwise-safe candidate, got {}",
+            decided.name()
+        );
     }
 }

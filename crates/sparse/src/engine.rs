@@ -59,8 +59,7 @@
 //! scratch through `sparsetrain-nn`'s `Trainer`/`Conv2d` and the dataflow
 //! executor in `sparsetrain-core`; the simulator's cycle accounting
 //! consumes the same op enumeration and is engine-agnostic by
-//! construction. The old closed [`EngineKind`] token remains as a
-//! deprecated shim.
+//! construction.
 
 use crate::compressed::SparseVec;
 use crate::mask::RowMask;
@@ -70,63 +69,6 @@ use crate::rowconv::SparseFeatureMap;
 use crate::src::src_accumulate;
 use sparsetrain_tensor::conv::ConvGeometry;
 use sparsetrain_tensor::{Tensor3, Tensor4};
-
-/// Closed-set engine selector superseded by the open, name-keyed registry.
-///
-/// Kept for one release as a thin alias: each variant forwards to the
-/// registry entry of the same name. New code selects engines through
-/// [`crate::registry::EngineHandle`] (`"scalar"`, `"parallel"`, `"fixed"`,
-/// plus anything registered at runtime) or
-/// [`crate::context::ExecutionContext`].
-#[deprecated(
-    since = "0.2.0",
-    note = "select engines by name through the registry (`registry::lookup`, \
-            `ExecutionContext::by_name`, `TrainConfig::with_engine_name`)"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum EngineKind {
-    /// Reference single-threaded execution.
-    Scalar,
-    /// Band-parallel execution over rows/channels.
-    Parallel,
-}
-
-// Not derived: the derive would emit a deprecation warning for naming the
-// deprecated variant in generated code.
-#[allow(deprecated, clippy::derivable_impls)]
-impl Default for EngineKind {
-    fn default() -> Self {
-        EngineKind::Scalar
-    }
-}
-
-#[allow(deprecated)]
-impl EngineKind {
-    /// The shared engine instance for this kind.
-    pub fn engine(self) -> &'static dyn KernelEngine {
-        self.handle().engine()
-    }
-
-    /// Short display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            EngineKind::Scalar => "scalar",
-            EngineKind::Parallel => "parallel",
-        }
-    }
-
-    /// The registry handle this legacy token forwards to.
-    pub fn handle(self) -> crate::registry::EngineHandle {
-        crate::registry::lookup(self.name()).expect("built-in engines are always registered")
-    }
-}
-
-#[allow(deprecated)]
-impl From<EngineKind> for crate::registry::EngineHandle {
-    fn from(kind: EngineKind) -> Self {
-        kind.handle()
-    }
-}
 
 /// Per-call operand state shared by every band of one engine call.
 ///
@@ -1550,17 +1492,6 @@ mod tests {
             );
         }
         assert_eq!(run(&ParallelEngine::auto()), scalar);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn engine_kind_shim_forwards_to_registry() {
-        assert_eq!(EngineKind::Scalar.engine().name(), "scalar");
-        assert_eq!(EngineKind::Parallel.engine().name(), "parallel");
-        assert_eq!(EngineKind::default(), EngineKind::Scalar);
-        assert_eq!(EngineKind::Parallel.handle().name(), "parallel");
-        let handle: crate::registry::EngineHandle = EngineKind::Scalar.into();
-        assert_eq!(handle.name(), "scalar");
     }
 
     #[test]

@@ -73,7 +73,7 @@
 //!
 //! Selection is **name-keyed and open**: [`registry`] maps `"scalar"`,
 //! `"parallel"`, `"simd"`, `"parallel:simd"`, `"im2row"`,
-//! `"parallel:im2row"`, `"fixed"`, `"fixed:qI.F"` —
+//! `"parallel:im2row"`, `"fixed"`, `"fixed:qI.F"`, `"auto"` —
 //! plus any backend added with
 //! [`registry::register`] — to [`registry::EngineHandle`] tokens, resolved
 //! from strings (`FromStr`), configuration, or the `SPARSETRAIN_ENGINE`
@@ -81,10 +81,21 @@
 //! travels as a [`context::ExecutionContext`] (engine + workspace), which
 //! `sparsetrain-nn` threads through every `Layer::forward`/`backward` and
 //! `sparsetrain-core` through the dataflow executor — no call site ever
-//! re-resolves a token. The closed [`engine::EngineKind`] selector from
-//! the first release remains as a deprecated shim, as do [`rowconv`]'s
-//! engine-generic `*_with` wrappers (superseded by the [`KernelEngine`]
-//! convenience methods).
+//! re-resolves a token.
+//!
+//! [`planner`] closes the loop the paper's scheduler closes in hardware:
+//! operand density differs per layer and per stage and keeps falling as
+//! pruning bites, and the engines have *disjoint* win regions (im2row on
+//! dense forward legs, simd at mid density, the sparse scalar kernels on
+//! heavily pruned backward operands). A [`planner::Plan`] maps
+//! `(layer, stage)` cells to engines; the `"auto"` engine
+//! ([`planner::AutoEngine`]) dispatches per call on observed density, and
+//! a planned [`ExecutionContext`] upgrades that to measure-and-cache: the
+//! first execution of each cell races every bitwise-safe candidate and
+//! freezes the fastest, later executions replay the frozen plan (or a
+//! plan file named by `SPARSETRAIN_PLAN`). Every candidate is bitwise
+//! identical to the scalar reference, so planning affects speed, never
+//! results.
 
 pub mod compressed;
 pub mod context;
@@ -95,6 +106,7 @@ pub mod im2row_engine;
 pub mod mask;
 pub mod msrc;
 pub mod osrc;
+pub mod planner;
 pub mod registry;
 pub mod rowconv;
 pub mod simd_engine;
@@ -103,11 +115,10 @@ pub mod work;
 
 pub use compressed::SparseVec;
 pub use context::ExecutionContext;
-#[allow(deprecated)]
-pub use engine::EngineKind;
 pub use engine::{BandContext, KernelEngine, ParallelEngine, ScalarEngine, Workspace};
 pub use fixed_engine::FixedPointEngine;
 pub use im2row_engine::Im2RowEngine;
 pub use mask::RowMask;
+pub use planner::{AutoEngine, Plan, PlanError, Planner, Stage, PLAN_ENV};
 pub use registry::{EngineHandle, UnknownEngine, ENGINE_ENV};
 pub use simd_engine::SimdEngine;

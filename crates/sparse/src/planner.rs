@@ -1,0 +1,741 @@
+//! Density-adaptive execution planning: one engine per (layer, stage).
+//!
+//! The registry's engines have *disjoint win regions* — the cache-blocked
+//! im2row lowering dominates dense forward legs, the simd engine wins
+//! mid-density gradient legs, and the sparse scalar kernels win once
+//! pruning pushes operand density toward 0.05 — yet a global engine name
+//! applies one backend to every convolution of every stage. This module
+//! closes that gap the way the paper's hardware scheduler does: execution
+//! is planned **per cell**, where a cell is a `(layer id, stage)` pair and
+//! the stages are the three training convolutions ([`Stage::Forward`],
+//! [`Stage::InputGrad`] for GTA, [`Stage::WeightGrad`] for GTW).
+//!
+//! Three layers of machinery:
+//!
+//! * [`Plan`] — the frozen decision table mapping cells to
+//!   [`EngineHandle`]s, with a default engine for unplanned cells. Plans
+//!   serialize to a line-oriented text format (see [`Plan::from_text`])
+//!   so a probed plan can be saved and replayed via the
+//!   [`PLAN_ENV`] (`SPARSETRAIN_PLAN`) environment variable, and render
+//!   as a Markdown table ([`Plan::to_markdown`]) for reports.
+//! * [`Planner`] — the online decision state
+//!   [`crate::ExecutionContext`] carries when the `"auto"` engine is
+//!   selected. In **probe mode** the first execution of each cell times
+//!   every candidate engine (via `std::time::Instant`) and caches the
+//!   winner; afterwards the frozen plan replays. Probing happens entirely
+//!   outside the deterministic numeric path: every candidate is
+//!   bitwise-identical to the scalar reference (the parity suites enforce
+//!   this), so the plan affects speed, never results — the fixed-point
+//!   engines are deliberately **not** candidates.
+//! * [`AutoEngine`] — the `"auto"` registry entry itself: a
+//!   [`KernelEngine`] that picks a delegate per call from the observed
+//!   operand density ([`SparseFeatureMap::density`]) and the win-region
+//!   heuristic ([`heuristic_name`]). It covers every call site that has
+//!   no layer identity to plan against (benches, raw engine calls); the
+//!   planned entry points on `ExecutionContext` add the per-cell
+//!   measure-and-cache layer on top.
+
+use crate::engine::KernelEngine;
+use crate::mask::RowMask;
+use crate::registry::{lookup, EngineHandle};
+use crate::rowconv::SparseFeatureMap;
+use sparsetrain_tensor::conv::ConvGeometry;
+use sparsetrain_tensor::{Tensor3, Tensor4};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Environment variable naming a serialized plan file: when set (and the
+/// `"auto"` engine is selected), the plan is loaded and replayed instead
+/// of probing — see [`env_plan`].
+pub const PLAN_ENV: &str = "SPARSETRAIN_PLAN";
+
+/// The three training-stage convolutions a plan decides independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// SRC: the forward convolution (sparse activations × weights).
+    Forward,
+    /// MSRC / GTA: the input-gradient convolution (sparse output
+    /// gradients × rotated weights, forward masks fused).
+    InputGrad,
+    /// OSRC / GTW: the weight-gradient correlation (sparse activations ×
+    /// sparse output gradients).
+    WeightGrad,
+}
+
+impl Stage {
+    /// All stages, in execution order.
+    pub const ALL: [Stage; 3] = [Stage::Forward, Stage::InputGrad, Stage::WeightGrad];
+
+    /// The stable serialization name (`forward`, `input_grad`,
+    /// `weight_grad`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Forward => "forward",
+            Stage::InputGrad => "input_grad",
+            Stage::WeightGrad => "weight_grad",
+        }
+    }
+
+    /// Parses a serialization name back to the stage.
+    pub fn parse(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The probe candidate set: every float engine, all bitwise-identical to
+/// the scalar reference. The fixed-point engines are excluded on purpose —
+/// swapping one in would change numeric results, and the planner must only
+/// ever trade speed.
+pub const CANDIDATE_NAMES: [&str; 6] = [
+    "scalar",
+    "parallel",
+    "simd",
+    "parallel:simd",
+    "im2row",
+    "parallel:im2row",
+];
+
+/// Resolves [`CANDIDATE_NAMES`] to handles.
+pub fn candidates() -> Vec<EngineHandle> {
+    CANDIDATE_NAMES
+        .iter()
+        .map(|name| lookup(name).expect("candidate engines are always registered"))
+        .collect()
+}
+
+/// Density above which the forward stage takes the cache-blocked im2row
+/// dense lowering (its internal per-row cutoff is 1/8; by 0.20 aggregate
+/// density the dense micro-kernel carries the call).
+const IM2ROW_FORWARD_DENSITY: f64 = 0.20;
+
+/// Density below which rows are too sparse for lane sweeps to pay off and
+/// the work-proportional sparse scalar kernels win (the d ≈ 0.05 regime of
+/// pruned gradients).
+const SPARSE_SCALAR_DENSITY: f64 = 0.08;
+
+/// The win-region heuristic: the engine name for one cell, given the
+/// stage, the observed density of the cell's sparse operand (activations
+/// for Forward, pruned output gradients for the backward stages), and
+/// whether band parallelism is worth composing (more than one rayon
+/// worker).
+///
+/// Rules distilled from the committed bench baselines: im2row dominates
+/// dense forward legs (aggregate density ≥ 0.20), simd wins mid-density
+/// legs on every stage, and below ≈ 0.08 density the sparse scalar kernels
+/// win — work proportional to nnz beats any dense sweep.
+pub fn heuristic_name(stage: Stage, density: f64, parallel: bool) -> &'static str {
+    let base = match stage {
+        Stage::Forward if density >= IM2ROW_FORWARD_DENSITY => "im2row",
+        _ if density >= SPARSE_SCALAR_DENSITY => "simd",
+        _ => "scalar",
+    };
+    match (parallel, base) {
+        (false, base) => base,
+        (true, "im2row") => "parallel:im2row",
+        (true, "simd") => "parallel:simd",
+        (true, _) => "parallel",
+    }
+}
+
+/// [`heuristic_name`] resolved to a handle, with band parallelism composed
+/// in when the rayon pool has more than one worker.
+pub fn heuristic_handle(stage: Stage, density: f64) -> EngineHandle {
+    let name = heuristic_name(stage, density, rayon::current_num_threads() > 1);
+    lookup(name).expect("heuristic engines are always registered")
+}
+
+/// Mean density over a batch of sparse maps (total nnz / total elements).
+pub fn batch_density(maps: &[SparseFeatureMap]) -> f64 {
+    let mut nnz = 0usize;
+    let mut total = 0usize;
+    for m in maps {
+        nnz += m.nnz();
+        total += m.channels() * m.height() * m.width();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        nnz as f64 / total as f64
+    }
+}
+
+/// Error from plan parsing or loading ([`Plan::from_text`], [`env_plan`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(String);
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid execution plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A frozen execution plan: `(layer id, stage) → engine`, with a default
+/// engine for cells the plan does not name.
+///
+/// ```
+/// use sparsetrain_sparse::planner::{Plan, Stage};
+/// use sparsetrain_sparse::registry;
+///
+/// let mut plan = Plan::new(registry::lookup("scalar").unwrap());
+/// plan.set("conv1", Stage::Forward, registry::lookup("im2row").unwrap());
+/// assert_eq!(plan.resolve("conv1", Stage::Forward).name(), "im2row");
+/// assert_eq!(plan.resolve("conv1", Stage::WeightGrad).name(), "scalar");
+/// let text = plan.to_text();
+/// assert_eq!(Plan::from_text(&text).unwrap(), plan);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    default: EngineHandle,
+    cells: BTreeMap<(String, Stage), EngineHandle>,
+}
+
+impl Plan {
+    /// An empty plan resolving every cell to `default`.
+    pub fn new(default: EngineHandle) -> Self {
+        Self {
+            default,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// The engine unplanned cells resolve to.
+    pub fn default_engine(&self) -> EngineHandle {
+        self.default
+    }
+
+    /// Pins `layer`'s `stage` to `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `layer` contains whitespace (layer ids are
+    /// whitespace-delimited in the text format).
+    pub fn set(&mut self, layer: &str, stage: Stage, engine: EngineHandle) {
+        assert!(
+            !layer.chars().any(char::is_whitespace) && !layer.is_empty(),
+            "layer id {layer:?} must be non-empty and whitespace-free"
+        );
+        self.cells.insert((layer.to_string(), stage), engine);
+    }
+
+    /// The planned engine for a cell, if one was decided.
+    pub fn get(&self, layer: &str, stage: Stage) -> Option<EngineHandle> {
+        self.cells.get(&(layer.to_string(), stage)).copied()
+    }
+
+    /// The engine a cell executes on: the planned one, or the default.
+    pub fn resolve(&self, layer: &str, stage: Stage) -> EngineHandle {
+        self.get(layer, stage).unwrap_or(self.default)
+    }
+
+    /// Number of decided cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cell has been decided yet.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Iterates the decided cells in `(layer, stage)` order.
+    pub fn cells(&self) -> impl Iterator<Item = (&str, Stage, EngineHandle)> {
+        self.cells
+            .iter()
+            .map(|((layer, stage), h)| (layer.as_str(), *stage, *h))
+    }
+
+    /// Serializes the plan to the line-oriented text format
+    /// [`Plan::from_text`] parses.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# sparsetrain execution plan v1\n");
+        out.push_str(&format!("default {}\n", self.default.name()));
+        for (layer, stage, handle) in self.cells() {
+            out.push_str(&format!("{layer} {stage} {}\n", handle.name()));
+        }
+        out
+    }
+
+    /// Parses the text format: one `layer stage engine` triple per line
+    /// (stage ∈ `forward` / `input_grad` / `weight_grad`), an optional
+    /// `default <engine>` line, blank lines and `#` comments ignored.
+    /// Engine names resolve through the open registry, so a plan may name
+    /// anything registered — including `fixed:qI.F` grids, though plans
+    /// mixing fixed-point cells trade bitwise reproducibility away.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] on malformed lines, unknown stages, or engine
+    /// names that do not resolve.
+    pub fn from_text(text: &str) -> Result<Self, PlanError> {
+        let engine = |name: &str, line_no: usize| {
+            lookup(name)
+                .ok_or_else(|| PlanError(format!("line {line_no}: {name:?} is not a registered engine")))
+        };
+        let mut plan = Plan::new(lookup("scalar").expect("scalar engine is always registered"));
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            match fields.as_slice() {
+                ["default", name] => plan.default = engine(name, i + 1)?,
+                [layer, stage, name] => {
+                    let stage = Stage::parse(stage).ok_or_else(|| {
+                        PlanError(format!(
+                            "line {}: unknown stage {stage:?} (expected forward, input_grad or weight_grad)",
+                            i + 1
+                        ))
+                    })?;
+                    plan.set(layer, stage, engine(name, i + 1)?);
+                }
+                _ => {
+                    return Err(PlanError(format!(
+                        "line {}: expected \"layer stage engine\" or \"default engine\", got {line:?}",
+                        i + 1
+                    )))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Renders the plan as a Markdown table: one row per layer, one column
+    /// per stage, unplanned cells shown as the default engine.
+    pub fn to_markdown(&self) -> String {
+        let mut layers: Vec<&str> = Vec::new();
+        for (layer, _, _) in self.cells() {
+            if layers.last() != Some(&layer) {
+                layers.push(layer);
+            }
+        }
+        let mut out = String::from("| layer | forward | input_grad | weight_grad |\n|---|---|---|---|\n");
+        for layer in layers {
+            let cell = |stage| {
+                self.get(layer, stage)
+                    .map_or_else(|| format!("({})", self.default.name()), |h| h.name().to_string())
+            };
+            out.push_str(&format!(
+                "| {layer} | {} | {} | {} |\n",
+                cell(Stage::Forward),
+                cell(Stage::InputGrad),
+                cell(Stage::WeightGrad)
+            ));
+        }
+        out.push_str(&format!("\nDefault engine: `{}`.\n", self.default.name()));
+        out
+    }
+}
+
+/// Loads and parses a serialized plan file.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] when the file cannot be read or parsed.
+pub fn load_plan(path: &str) -> Result<Plan, PlanError> {
+    let text = std::fs::read_to_string(path).map_err(|e| PlanError(format!("cannot read {path}: {e}")))?;
+    Plan::from_text(&text).map_err(|e| PlanError(format!("{path}: {}", e.0)))
+}
+
+/// Reads the [`PLAN_ENV`] override: `Ok(None)` when unset or empty,
+/// otherwise the plan loaded from the file the variable points at.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] when the named file cannot be read or parsed.
+pub fn env_plan() -> Result<Option<Plan>, PlanError> {
+    match std::env::var(PLAN_ENV) {
+        Ok(path) if !path.is_empty() => load_plan(&path).map(Some),
+        _ => Ok(None),
+    }
+}
+
+/// The online decision state a planned [`crate::ExecutionContext`]
+/// carries: a [`Plan`] under construction (probe mode) or under replay,
+/// plus the probe candidate set.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    plan: Plan,
+    probe: bool,
+    candidates: Vec<EngineHandle>,
+}
+
+impl Planner {
+    /// A measure-and-cache planner: the first execution of each cell
+    /// probes every candidate and freezes the fastest.
+    pub fn probing() -> Self {
+        Self {
+            plan: Plan::new(lookup("scalar").expect("scalar engine is always registered")),
+            probe: true,
+            candidates: candidates(),
+        }
+    }
+
+    /// A replay planner: cells named by `plan` execute on their pinned
+    /// engine; cells the plan misses fall back to the density heuristic
+    /// (decided once, then frozen) instead of probing.
+    pub fn replay(plan: Plan) -> Self {
+        Self {
+            plan,
+            probe: false,
+            candidates: candidates(),
+        }
+    }
+
+    /// Whether undecided cells are probed (vs decided heuristically).
+    pub fn probing_enabled(&self) -> bool {
+        self.probe
+    }
+
+    /// The engines an undecided cell races in probe mode.
+    pub fn candidates(&self) -> &[EngineHandle] {
+        &self.candidates
+    }
+
+    /// The plan as decided so far.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The frozen decision for a cell, if one exists.
+    pub fn decided(&self, layer: &str, stage: Stage) -> Option<EngineHandle> {
+        self.plan.get(layer, stage)
+    }
+
+    /// Freezes a cell's decision.
+    pub fn record(&mut self, layer: &str, stage: Stage, engine: EngineHandle) {
+        self.plan.set(layer, stage, engine);
+    }
+
+    /// The heuristic fallback for an undecided cell in replay mode.
+    pub fn fallback(&self, stage: Stage, density: f64) -> EngineHandle {
+        heuristic_handle(stage, density)
+    }
+}
+
+/// The `"auto"` registry engine: density-adaptive per-call dispatch.
+///
+/// Every call inspects its sparse operand's density and delegates to the
+/// win-region heuristic's engine ([`heuristic_name`]) — the activations
+/// for Forward, the (pruned) output gradients for GTA and GTW. All
+/// delegates are float engines bitwise-identical to the scalar reference,
+/// so `auto` is itself bitwise-identical to `scalar` on every call, at
+/// whatever speed the densities allow. Call sites with a layer identity
+/// get the stronger per-(layer, stage) measure-and-cache treatment through
+/// [`crate::ExecutionContext`]'s planned entry points; this engine is the
+/// zero-configuration floor underneath.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AutoEngine;
+
+impl AutoEngine {
+    fn pick(stage: Stage, density: f64) -> &'static dyn KernelEngine {
+        heuristic_handle(stage, density).engine()
+    }
+}
+
+impl KernelEngine for AutoEngine {
+    fn name(&self) -> &'static str {
+        "auto"
+    }
+
+    fn forward_into(
+        &self,
+        input: &SparseFeatureMap,
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+        out: &mut Tensor3,
+    ) {
+        Self::pick(Stage::Forward, input.density()).forward_into(input, weights, bias, geom, out);
+    }
+
+    fn input_grad_into(
+        &self,
+        dout: &SparseFeatureMap,
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        masks: &[RowMask],
+        din: &mut Tensor3,
+    ) {
+        Self::pick(Stage::InputGrad, dout.density()).input_grad_into(dout, weights, geom, masks, din);
+    }
+
+    fn weight_grad_into(
+        &self,
+        input: &SparseFeatureMap,
+        dout: &SparseFeatureMap,
+        geom: ConvGeometry,
+        dw: &mut Tensor4,
+    ) {
+        Self::pick(Stage::WeightGrad, dout.density()).weight_grad_into(input, dout, geom, dw);
+    }
+
+    fn forward_batch_into(
+        &self,
+        inputs: &[SparseFeatureMap],
+        weights: &Tensor4,
+        bias: Option<&[f32]>,
+        geom: ConvGeometry,
+        outs: &mut [Tensor3],
+    ) {
+        Self::pick(Stage::Forward, batch_density(inputs))
+            .forward_batch_into(inputs, weights, bias, geom, outs);
+    }
+
+    fn input_grad_batch_into(
+        &self,
+        douts: &[SparseFeatureMap],
+        weights: &Tensor4,
+        geom: ConvGeometry,
+        masks: &[Vec<RowMask>],
+        dins: &mut [Tensor3],
+    ) {
+        Self::pick(Stage::InputGrad, batch_density(douts))
+            .input_grad_batch_into(douts, weights, geom, masks, dins);
+    }
+
+    fn weight_grad_batch_into(
+        &self,
+        inputs: &[SparseFeatureMap],
+        douts: &[SparseFeatureMap],
+        geom: ConvGeometry,
+        dw: &mut Tensor4,
+    ) {
+        Self::pick(Stage::WeightGrad, batch_density(douts)).weight_grad_batch_into(inputs, douts, geom, dw);
+    }
+
+    fn for_each_batch_chunk(&self, parts: Vec<&mut [f32]>, work: &(dyn Fn(usize, usize, &mut [f32]) + Sync)) {
+        // Elementwise batch work (the pruning seam) is position-pure by
+        // contract, so any chunking is bitwise-identical — hand it to the
+        // band-parallel engine, which degenerates to sequential on one
+        // worker.
+        lookup("parallel")
+            .expect("parallel engine is always registered")
+            .engine()
+            .for_each_batch_chunk(parts, work);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ScalarEngine;
+    use sparsetrain_tensor::Tensor3;
+
+    fn handle(name: &str) -> EngineHandle {
+        lookup(name).expect(name)
+    }
+
+    #[test]
+    fn heuristic_matches_the_measured_win_regions() {
+        // Dense forward → the cache-blocked im2row lowering.
+        assert_eq!(heuristic_name(Stage::Forward, 0.95, false), "im2row");
+        assert_eq!(heuristic_name(Stage::Forward, 0.30, false), "im2row");
+        // Mid-density forward and gradient legs → lane sweeps.
+        assert_eq!(heuristic_name(Stage::Forward, 0.10, false), "simd");
+        assert_eq!(heuristic_name(Stage::InputGrad, 0.15, false), "simd");
+        assert_eq!(heuristic_name(Stage::WeightGrad, 0.25, false), "simd");
+        // The pruned d ≈ 0.05 backward regime → sparse scalar kernels.
+        assert_eq!(heuristic_name(Stage::InputGrad, 0.05, false), "scalar");
+        assert_eq!(heuristic_name(Stage::WeightGrad, 0.05, false), "scalar");
+        // Gradient stages never take the forward-only im2row lowering.
+        assert_eq!(heuristic_name(Stage::InputGrad, 0.95, false), "simd");
+        // Band parallelism composes on multi-worker pools.
+        assert_eq!(heuristic_name(Stage::Forward, 0.95, true), "parallel:im2row");
+        assert_eq!(heuristic_name(Stage::InputGrad, 0.15, true), "parallel:simd");
+        assert_eq!(heuristic_name(Stage::WeightGrad, 0.05, true), "parallel");
+    }
+
+    #[test]
+    fn candidates_exclude_fixed_point_engines() {
+        let set = candidates();
+        assert_eq!(set.len(), CANDIDATE_NAMES.len());
+        for h in &set {
+            assert!(
+                !h.name().starts_with("fixed"),
+                "{} would change numerics",
+                h.name()
+            );
+            assert_ne!(h.name(), "auto", "auto must not probe itself");
+        }
+    }
+
+    #[test]
+    fn plan_resolves_cells_and_falls_back_to_default() {
+        let mut plan = Plan::new(handle("scalar"));
+        assert!(plan.is_empty());
+        plan.set("conv1", Stage::Forward, handle("im2row"));
+        plan.set("conv1", Stage::WeightGrad, handle("simd"));
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.resolve("conv1", Stage::Forward).name(), "im2row");
+        assert_eq!(plan.resolve("conv1", Stage::WeightGrad).name(), "simd");
+        assert_eq!(plan.resolve("conv1", Stage::InputGrad).name(), "scalar");
+        assert_eq!(plan.resolve("conv9", Stage::Forward).name(), "scalar");
+        assert_eq!(plan.get("conv9", Stage::Forward), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "whitespace-free")]
+    fn plan_rejects_whitespace_layer_ids() {
+        Plan::new(handle("scalar")).set("conv 1", Stage::Forward, handle("simd"));
+    }
+
+    #[test]
+    fn plan_text_roundtrips() {
+        let mut plan = Plan::new(handle("simd"));
+        plan.set("conv1", Stage::Forward, handle("parallel:im2row"));
+        plan.set("conv2", Stage::InputGrad, handle("scalar"));
+        plan.set("conv2", Stage::WeightGrad, handle("fixed:q4.12"));
+        let text = plan.to_text();
+        assert_eq!(Plan::from_text(&text).unwrap(), plan);
+        // Comments, blank lines and inline comments are tolerated.
+        let relaxed = format!("\n# a comment\n{text}\nconv3 forward im2row # trailing\n");
+        let parsed = Plan::from_text(&relaxed).unwrap();
+        assert_eq!(parsed.resolve("conv3", Stage::Forward).name(), "im2row");
+        assert_eq!(parsed.default_engine().name(), "simd");
+    }
+
+    #[test]
+    fn plan_parse_errors_are_descriptive() {
+        let unknown_engine = Plan::from_text("conv1 forward warp-drive").unwrap_err();
+        assert!(
+            unknown_engine.to_string().contains("warp-drive"),
+            "{unknown_engine}"
+        );
+        let unknown_stage = Plan::from_text("conv1 sideways simd").unwrap_err();
+        assert!(unknown_stage.to_string().contains("sideways"), "{unknown_stage}");
+        assert!(
+            unknown_stage.to_string().contains("input_grad"),
+            "{unknown_stage}"
+        );
+        let malformed = Plan::from_text("conv1 forward simd extra words").unwrap_err();
+        assert!(malformed.to_string().contains("line 1"), "{malformed}");
+        let bad_default = Plan::from_text("default warp-drive").unwrap_err();
+        assert!(bad_default.to_string().contains("warp-drive"), "{bad_default}");
+    }
+
+    #[test]
+    fn plan_renders_markdown() {
+        let mut plan = Plan::new(handle("scalar"));
+        plan.set("conv1", Stage::Forward, handle("im2row"));
+        plan.set("conv1", Stage::InputGrad, handle("simd"));
+        plan.set("conv2", Stage::WeightGrad, handle("parallel"));
+        let md = plan.to_markdown();
+        assert!(
+            md.contains("| layer | forward | input_grad | weight_grad |"),
+            "{md}"
+        );
+        assert!(md.contains("| conv1 | im2row | simd | (scalar) |"), "{md}");
+        assert!(md.contains("| conv2 | (scalar) | (scalar) | parallel |"), "{md}");
+        assert!(md.contains("Default engine: `scalar`"), "{md}");
+    }
+
+    #[test]
+    fn plan_file_loads_through_env_path_machinery() {
+        let path = std::env::temp_dir().join(format!("sparsetrain-plan-{}.txt", std::process::id()));
+        let path = path.to_str().expect("utf-8 temp path").to_string();
+        std::fs::write(&path, "default simd\nconv1 forward im2row\n").unwrap();
+        let plan = load_plan(&path).unwrap();
+        assert_eq!(plan.default_engine().name(), "simd");
+        assert_eq!(plan.resolve("conv1", Stage::Forward).name(), "im2row");
+        std::fs::remove_file(&path).ok();
+        let err = load_plan(&path).unwrap_err();
+        assert!(err.to_string().contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn planner_probe_and_replay_state() {
+        let mut probing = Planner::probing();
+        assert!(probing.probing_enabled());
+        assert!(probing.decided("c1", Stage::Forward).is_none());
+        probing.record("c1", Stage::Forward, handle("im2row"));
+        assert_eq!(
+            probing.decided("c1", Stage::Forward).map(|h| h.name()),
+            Some("im2row")
+        );
+
+        let mut plan = Plan::new(handle("scalar"));
+        plan.set("c1", Stage::InputGrad, handle("simd"));
+        let replay = Planner::replay(plan);
+        assert!(!replay.probing_enabled());
+        assert_eq!(
+            replay.decided("c1", Stage::InputGrad).map(|h| h.name()),
+            Some("simd")
+        );
+        // Replay fallback is the heuristic, never a probe.
+        assert_eq!(
+            replay.fallback(Stage::WeightGrad, 0.05).name(),
+            heuristic_name(Stage::WeightGrad, 0.05, rayon::current_num_threads() > 1)
+        );
+    }
+
+    #[test]
+    fn auto_engine_is_bitwise_identical_to_scalar() {
+        let geom = ConvGeometry::new(3, 1, 1);
+        // One dense map (im2row territory) and one sparse map (scalar
+        // territory): the delegate changes, the bits must not.
+        for density in [90u64, 5] {
+            let mut seed = 0x5EED + density;
+            let mut pseudo = move || {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((seed >> 33) % 1000) as f32 / 1000.0 - 0.5
+            };
+            let input = Tensor3::from_fn(3, 9, 9, |c, y, x| {
+                if (c + 3 * y + 7 * x) as u64 % 100 < density {
+                    pseudo()
+                } else {
+                    0.0
+                }
+            });
+            let dout = Tensor3::from_fn(4, 9, 9, |c, y, x| {
+                if (5 * c + y + 2 * x) as u64 % 100 < density {
+                    pseudo()
+                } else {
+                    0.0
+                }
+            });
+            let weights = Tensor4::from_fn(4, 3, 3, 3, |_, _, _, _| pseudo());
+            let bias: Vec<f32> = (0..4).map(|_| pseudo()).collect();
+            let input = SparseFeatureMap::from_tensor(&input);
+            let dout = SparseFeatureMap::from_tensor(&dout);
+            let masks = input.masks();
+
+            let auto = AutoEngine;
+            assert_eq!(
+                auto.forward(&input, &weights, Some(&bias), geom).as_slice(),
+                ScalarEngine
+                    .forward(&input, &weights, Some(&bias), geom)
+                    .as_slice()
+            );
+            assert_eq!(
+                auto.input_grad(&dout, &weights, geom, 9, 9, &masks).as_slice(),
+                ScalarEngine
+                    .input_grad(&dout, &weights, geom, 9, 9, &masks)
+                    .as_slice()
+            );
+            assert_eq!(
+                auto.weight_grad(&input, &dout, geom).as_slice(),
+                ScalarEngine.weight_grad(&input, &dout, geom).as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_density_aggregates_over_samples() {
+        let dense = SparseFeatureMap::from_tensor(&Tensor3::from_fn(1, 2, 2, |_, _, _| 1.0));
+        let empty = SparseFeatureMap::from_tensor(&Tensor3::zeros(1, 2, 2));
+        assert_eq!(batch_density(std::slice::from_ref(&dense)), 1.0);
+        assert_eq!(batch_density(&[dense, empty]), 0.5);
+        assert_eq!(batch_density(&[]), 0.0);
+    }
+}

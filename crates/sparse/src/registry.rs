@@ -3,7 +3,7 @@
 //! [`EngineHandle`] is a `Copy` token pairing a stable name with a
 //! `&'static dyn KernelEngine` — the unit of engine selection everywhere a
 //! backend is configured (`TrainConfig`, `ExecutionContext`, benches,
-//! examples, the `SPARSETRAIN_ENGINE` environment variable). Seven engines
+//! examples, the `SPARSETRAIN_ENGINE` environment variable). Eight engines
 //! are registered at startup:
 //!
 //! | name              | backend                                                      |
@@ -15,6 +15,7 @@
 //! | `im2row`          | [`crate::im2row_engine::Im2RowEngine`] — cache-blocked dense |
 //! | `parallel:im2row` | [`ParallelEngine::over`] — im2row inside each rayon band     |
 //! | `fixed`           | [`crate::fixed_engine::FixedPointEngine`] — Q8.8             |
+//! | `auto`            | [`crate::planner::AutoEngine`] — density-adaptive dispatch   |
 //!
 //! In addition, `fixed:qI.F` names (e.g. `"fixed:q4.12"`) resolve to a
 //! [`FixedPointEngine`] in that 16-bit Q-format — parsed, interned and
@@ -30,6 +31,7 @@
 use crate::engine::{KernelEngine, ParallelEngine, ScalarEngine};
 use crate::fixed_engine::FixedPointEngine;
 use crate::im2row_engine::Im2RowEngine;
+use crate::planner::AutoEngine;
 use crate::simd_engine::SimdEngine;
 use sparsetrain_tensor::qformat::QFormat;
 use std::fmt;
@@ -132,14 +134,15 @@ impl UnknownEngine {
 impl fmt::Display for UnknownEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.detail {
-            Some(detail) => write!(f, "invalid kernel engine {:?}: {detail}", self.name),
-            None => write!(
-                f,
-                "unknown kernel engine {:?} (registered: {})",
-                self.name,
-                self.known.join(", ")
-            ),
+            Some(detail) => write!(f, "invalid kernel engine {:?}: {detail}", self.name)?,
+            None => write!(f, "unknown kernel engine {:?}", self.name)?,
         }
+        write!(
+            f,
+            " (registered: {}; \"fixed:qI.F\" selects a parameterized 16-bit grid, \"auto\" plans \
+             per layer/stage and honours a serialized SPARSETRAIN_PLAN)",
+            self.known.join(", ")
+        )
     }
 }
 
@@ -152,6 +155,7 @@ static PARALLEL_SIMD: ParallelEngine = ParallelEngine::over("parallel:simd", &SI
 static IM2ROW: Im2RowEngine = Im2RowEngine::auto();
 static PARALLEL_IM2ROW: ParallelEngine = ParallelEngine::over("parallel:im2row", &IM2ROW);
 static FIXED: FixedPointEngine = FixedPointEngine::q8_8();
+static AUTO: AutoEngine = AutoEngine;
 
 fn table() -> &'static RwLock<Vec<EngineHandle>> {
     static TABLE: OnceLock<RwLock<Vec<EngineHandle>>> = OnceLock::new();
@@ -195,6 +199,13 @@ fn table() -> &'static RwLock<Vec<EngineHandle>> {
                 name: "fixed",
                 summary: "Q8.8 fixed-point datapath model mirroring the 16-bit RTL",
                 engine: &FIXED,
+            },
+            EngineHandle {
+                name: "auto",
+                summary: "density-adaptive selection over the float engines (per-call win-region \
+                          heuristic; per-(layer, stage) measure-and-cache through the planner), \
+                          bitwise equal to scalar",
+                engine: &AUTO,
             },
         ])
     })
@@ -342,6 +353,7 @@ mod tests {
             "im2row",
             "parallel:im2row",
             "fixed",
+            "auto",
         ] {
             let handle = lookup(name).expect(name);
             assert_eq!(handle.name(), name);
@@ -404,9 +416,13 @@ mod tests {
         let err = "warp-drive".parse::<EngineHandle>().unwrap_err();
         assert_eq!(err.name(), "warp-drive");
         let msg = err.to_string();
-        for name in ["scalar", "parallel", "fixed"] {
+        for name in ["scalar", "parallel", "fixed", "auto"] {
             assert!(msg.contains(name), "{msg}");
         }
+        // A typoed SPARSETRAIN_ENGINE is self-diagnosing: the message also
+        // names the parameterized and planned selection specs.
+        assert!(msg.contains("fixed:qI.F"), "{msg}");
+        assert!(msg.contains("SPARSETRAIN_PLAN"), "{msg}");
     }
 
     #[test]

@@ -11,8 +11,7 @@
 //! the original signatures and run on [`crate::engine::ScalarEngine`],
 //! while arbitrary engines are driven through the trait's own convenience
 //! methods ([`KernelEngine::forward`], [`KernelEngine::input_grad`],
-//! [`KernelEngine::weight_grad`] and their batched variants). The old
-//! engine-generic `*_with` wrappers remain as deprecated forwarding shims.
+//! [`KernelEngine::weight_grad`] and their batched variants).
 //! All engines accumulate through the kernels' scratch APIs, so no per-row
 //! heap allocation happens on any path.
 
@@ -153,25 +152,6 @@ impl SparseFeatureMap {
     }
 }
 
-/// Forward step via row-level SRC operations on an explicit engine.
-///
-/// # Panics
-///
-/// Panics on shape mismatches between `input`, `weights` and `geom`.
-#[deprecated(
-    since = "0.2.0",
-    note = "call `engine.forward(...)` (`KernelEngine::forward`) directly"
-)]
-pub fn forward_rows_with(
-    engine: &dyn KernelEngine,
-    input: &SparseFeatureMap,
-    weights: &Tensor4,
-    bias: Option<&[f32]>,
-    geom: ConvGeometry,
-) -> Tensor3 {
-    engine.forward(input, weights, bias, geom)
-}
-
 /// Forward step on the reference [`ScalarEngine`].
 ///
 /// Equivalent to [`sparsetrain_tensor::conv::forward`]; every output row is
@@ -187,27 +167,6 @@ pub fn forward_rows(
     geom: ConvGeometry,
 ) -> Tensor3 {
     ScalarEngine.forward(input, weights, bias, geom)
-}
-
-/// GTA step via row-level MSRC operations on an explicit engine.
-///
-/// # Panics
-///
-/// Panics on shape mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "call `engine.input_grad(...)` (`KernelEngine::input_grad`) directly"
-)]
-pub fn input_grad_rows_with(
-    engine: &dyn KernelEngine,
-    dout: &SparseFeatureMap,
-    weights: &Tensor4,
-    geom: ConvGeometry,
-    in_h: usize,
-    in_w: usize,
-    masks: &[RowMask],
-) -> Tensor3 {
-    engine.input_grad(dout, weights, geom, in_h, in_w, masks)
 }
 
 /// GTA step on the reference [`ScalarEngine`].
@@ -233,24 +192,6 @@ pub fn input_grad_rows(
     masks: &[RowMask],
 ) -> Tensor3 {
     ScalarEngine.input_grad(dout, weights, geom, in_h, in_w, masks)
-}
-
-/// GTW step via row-level OSRC operations on an explicit engine.
-///
-/// # Panics
-///
-/// Panics on shape mismatches.
-#[deprecated(
-    since = "0.2.0",
-    note = "call `engine.weight_grad(...)` (`KernelEngine::weight_grad`) directly"
-)]
-pub fn weight_grad_rows_with(
-    engine: &dyn KernelEngine,
-    input: &SparseFeatureMap,
-    dout: &SparseFeatureMap,
-    geom: ConvGeometry,
-) -> Tensor4 {
-    engine.weight_grad(input, dout, geom)
 }
 
 /// GTW step on the reference [`ScalarEngine`].

@@ -598,42 +598,3 @@ fn im2row_fallback_legs_match_scalar() {
     let bits = |t: &Tensor3| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
     assert_eq!(bits(&got), bits(&want), "-0.0 bias leg");
 }
-
-/// The deprecated `rowconv::*_with` shims still forward to the engines
-/// they wrapped (kept for one release).
-#[test]
-#[allow(deprecated)]
-fn deprecated_rowconv_shims_still_forward() {
-    use sparsetrain_sparse::rowconv::{forward_rows_with, input_grad_rows_with, weight_grad_rows_with};
-    let geom = ConvGeometry::new(3, 1, 1);
-    let input = SparseFeatureMap::from_tensor(&Tensor3::from_fn(2, H, W, |c, y, x| {
-        if (c + y + x) % 2 == 0 {
-            (y as f32 - x as f32) * 0.25
-        } else {
-            0.0
-        }
-    }));
-    let dout = SparseFeatureMap::from_tensor(&Tensor3::from_fn(3, H, W, |c, y, x| {
-        if (c + y * x) % 3 == 0 {
-            0.5 - c as f32 * 0.125
-        } else {
-            0.0
-        }
-    }));
-    let weights = Tensor4::from_fn(3, 2, 3, 3, |f, c, u, v| ((f + c + u + v) % 5) as f32 * 0.25 - 0.5);
-    let masks = input.masks();
-    assert_eq!(
-        forward_rows_with(&ScalarEngine, &input, &weights, None, geom).as_slice(),
-        ScalarEngine.forward(&input, &weights, None, geom).as_slice()
-    );
-    assert_eq!(
-        input_grad_rows_with(&ScalarEngine, &dout, &weights, geom, H, W, &masks).as_slice(),
-        ScalarEngine
-            .input_grad(&dout, &weights, geom, H, W, &masks)
-            .as_slice()
-    );
-    assert_eq!(
-        weight_grad_rows_with(&ScalarEngine, &input, &dout, geom).as_slice(),
-        ScalarEngine.weight_grad(&input, &dout, geom).as_slice()
-    );
-}

@@ -8,9 +8,11 @@
 //! Run with: `cargo run --release --example quickstart`
 //!
 //! Set `SPARSETRAIN_ENGINE` to `scalar`, `parallel`, `simd`,
-//! `parallel:simd`, `im2row`, `parallel:im2row`, `fixed`, or a
-//! `fixed:qI.F` format to run the training step's convolutions on a named
-//! kernel engine from the registry.
+//! `parallel:simd`, `im2row`, `parallel:im2row`, `fixed`, a
+//! `fixed:qI.F` format, or `auto` (the density-adaptive planner: probes
+//! each layer/stage cell once, then replays the frozen plan — identical
+//! output, adaptive speed) to run the training step's convolutions on a
+//! named kernel engine from the registry.
 
 use rand::rngs::StdRng;
 use rand::stream::StreamKey;
