@@ -20,6 +20,11 @@
 //!   bench fixtures and print the frozen per-(layer, stage) execution
 //!   plan as a Markdown table (what the `auto` engine decides on this
 //!   machine at these densities).
+//! * `ckpt` — measure the checkpoint subsystem on an AlexNet-shape model:
+//!   snapshot encode, decode, and the atomic save round-trip (write +
+//!   fsync + rename), plus the snapshot size. Appends one shim-format
+//!   line per leg to the results trajectory (default
+//!   `target/bench-results.jsonl`; `--results` overrides).
 //! * `multicore` — assert the parallel engine's multi-core win on the
 //!   batched forward leg (`--min-ratio`, default the ROADMAP's 1.5×) and
 //!   record the measured ratios. Run it from a bench invocation with
@@ -68,6 +73,7 @@ fn main() -> ExitCode {
             "check" => cmd_check(&opts),
             "multicore" => cmd_multicore(&opts),
             "plan" => cmd_plan(&opts),
+            "ckpt" => cmd_ckpt(&opts),
             other => Err(format!("unknown subcommand {other:?}")),
         }
     };
@@ -82,13 +88,14 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: sparsetrain-bench <baseline|check|multicore|plan> [options]
+usage: sparsetrain-bench <baseline|check|multicore|plan|ckpt> [options]
 
   baseline  --results <jsonl> --out <json>
   check     --results <jsonl> --baseline <json>
             [--max-regression 0.20] [--summary <path>]
   multicore --results <jsonl> [--min-ratio 1.5] [--summary <path>]
-  plan      [--summary <path>]";
+  plan      [--summary <path>]
+  ckpt      [--results <jsonl>] [--summary <path>]";
 
 struct Opts {
     results: Option<String>,
@@ -558,6 +565,141 @@ fn cmd_plan(opts: &Opts) -> Result<bool, String> {
     summary.push_str(&plan.to_markdown());
     emit_summary(opts, &summary);
     Ok(true)
+}
+
+/// Measures the checkpoint subsystem on an AlexNet-shape model: snapshot
+/// encode, decode, and the atomic save round-trip (write + fsync +
+/// rename), plus the snapshot size. Appends shim-format lines to the
+/// results trajectory so the numbers travel with the bench history.
+fn cmd_ckpt(opts: &Opts) -> Result<bool, String> {
+    use sparsetrain_checkpoint::{CheckpointManager, CheckpointPolicy, Snapshot};
+    use sparsetrain_core::prune::PruneConfig;
+    use sparsetrain_nn::data::SyntheticSpec;
+    use sparsetrain_nn::models::ModelKind;
+    use sparsetrain_nn::train::{TrainConfig, Trainer};
+
+    // AlexNet on the CIFAR-10-like fixture, trained one short epoch so the
+    // snapshot carries developed state (velocities, FIFOs, densities) —
+    // an untrained model would undersell the payload.
+    let mut spec = SyntheticSpec::cifar10_like();
+    spec.size = 16;
+    spec.train_samples = 64;
+    spec.test_samples = 0;
+    let (train, _) = spec.generate();
+    let net = ModelKind::Alexnet.build(
+        spec.channels,
+        spec.size,
+        spec.classes,
+        Some(PruneConfig::new(0.9, 4)),
+        7,
+    );
+    let mut trainer = Trainer::new(
+        net,
+        TrainConfig {
+            batch_size: 16,
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 3,
+            engine: None,
+            checkpoint: None,
+        },
+    );
+    trainer.train_epoch(&train);
+
+    let snap = trainer.snapshot();
+    let bytes = snap.encode().map_err(|e| format!("encode failed: {e}"))?;
+    let size = bytes.len();
+
+    let dir = std::env::temp_dir().join(format!("sparsetrain-ckpt-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut mgr = CheckpointManager::new(CheckpointPolicy::every_epochs(&dir, 1).with_keep(1))
+        .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+
+    const SAMPLES: usize = 10;
+    let encode = measure(SAMPLES, 5, || {
+        let bytes = snap.encode().unwrap();
+        std::hint::black_box(bytes.len());
+    });
+    let decode = measure(SAMPLES, 5, || {
+        let decoded = Snapshot::decode(&bytes).unwrap();
+        std::hint::black_box(decoded.layers.len());
+    });
+    let save = measure(SAMPLES, 1, || {
+        let path = mgr.save(&snap).unwrap();
+        std::hint::black_box(&path);
+    });
+    std::fs::remove_dir_all(&dir).map_err(|e| format!("cannot clean {}: {e}", dir.display()))?;
+
+    let results = opts.results.as_deref().unwrap_or("target/bench-results.jsonl");
+    if let Some(parent) = std::path::Path::new(results).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let legs = [
+        ("ckpt/encode/alexnet", encode, SAMPLES, 5),
+        ("ckpt/decode/alexnet", decode, SAMPLES, 5),
+        ("ckpt/save_fsync/alexnet", save, SAMPLES, 1),
+        // Size rides the same trajectory: the "ns" field carries bytes.
+        ("ckpt/snapshot_bytes/alexnet", (size as f64, 0.0), 1, 1),
+    ];
+    {
+        use std::io::Write as _;
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(results)
+            .map_err(|e| format!("cannot open {results}: {e}"))?;
+        for (label, (mean, stddev), samples, iters) in &legs {
+            writeln!(
+                file,
+                "{{\"bench\":\"{label}\",\"mean_ns\":{mean:.3},\"stddev_ns\":{stddev:.3},\
+                 \"samples\":{samples},\"iters\":{iters},\"unix_time\":{unix_time}}}"
+            )
+            .map_err(|e| format!("cannot write {results}: {e}"))?;
+        }
+    }
+
+    let mut summary = String::from("## Checkpoint round-trip (AlexNet-shape)\n\n");
+    let _ = writeln!(summary, "| leg | mean | stddev |");
+    let _ = writeln!(summary, "|---|---|---|");
+    for (label, (mean, stddev), _, _) in legs.iter().take(3) {
+        let _ = writeln!(
+            summary,
+            "| {label} | {} | {} |",
+            format_ns(*mean),
+            format_ns(*stddev)
+        );
+    }
+    let _ = writeln!(
+        summary,
+        "\nSnapshot size: **{:.1} KiB** ({size} bytes, {} layer-state entries). \
+         Appended {} legs to `{results}`.",
+        size as f64 / 1024.0,
+        snap.layers.len(),
+        legs.len()
+    );
+    emit_summary(opts, &summary);
+    Ok(true)
+}
+
+/// Mean/stddev ns of `iters` calls to `f`, over `samples` timed samples.
+fn measure(samples: usize, iters: usize, mut f: impl FnMut()) -> (f64, f64) {
+    f(); // warm-up
+    let mut per_iter = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let started = std::time::Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        per_iter.push(started.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let var = per_iter.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / per_iter.len() as f64;
+    (mean, var.sqrt())
 }
 
 /// Appends Markdown to `--summary` (e.g. `$GITHUB_STEP_SUMMARY`) and

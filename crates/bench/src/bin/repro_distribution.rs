@@ -53,6 +53,7 @@ fn main() {
                 weight_decay: 1e-4,
                 seed: 5,
                 engine: None,
+                checkpoint: None,
             },
         );
         // A little training so the gradients are shaped by the data, not

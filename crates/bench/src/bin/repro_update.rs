@@ -57,6 +57,7 @@ fn main() {
                 weight_decay: 1e-4,
                 seed: 5,
                 engine: None,
+                checkpoint: None,
             },
         );
         for _ in 0..2 {

@@ -38,6 +38,7 @@ pub fn run(model: ModelKind, dataset_name: &str, rates: &[Option<f64>], profile:
                     weight_decay: 1e-4,
                     seed: 23,
                     engine: None,
+                    checkpoint: None,
                 },
             );
             let epochs = profile.epochs().max(6);

@@ -56,6 +56,7 @@ pub fn run_pair(model: ModelKind, dataset_name: &str, profile: Profile) -> Laten
             weight_decay: 1e-4,
             seed: 5,
             engine: None,
+            checkpoint: None,
         },
     );
     // Warm-up epochs: fill the pruning FIFOs and develop realistic

@@ -49,6 +49,7 @@ pub fn run(profile: Profile) -> Table1Row {
             weight_decay: 1e-4,
             seed: 5,
             engine: None,
+            checkpoint: None,
         },
     );
     for _ in 0..2 {

@@ -41,6 +41,7 @@ pub fn run_cell(model: ModelKind, dataset_name: &str, p: Option<f64>, profile: P
             weight_decay: 1e-4,
             seed: 3,
             engine: None,
+            checkpoint: None,
         },
     );
     let epochs = profile.epochs().max(6);

@@ -1,0 +1,21 @@
+//! Bitwise-resumable training snapshots.
+//!
+//! Because pruning randomness is counter-based (the Philox stream ladder in
+//! `sparsetrain_core::prune::stream`), a training run's entire trajectory is a pure function of
+//! its recorded state: model parameters, optimizer velocities, pruner accumulators, the
+//! `StreamSeeds` ladder position, the shuffling RNG, and the frozen execution plan. This crate
+//! captures all of that in a [`Snapshot`], serializes it with a derive-free versioned binary
+//! codec (no external serde — see [`codec`]), and persists it atomically with keep-K rotation
+//! (see [`policy`]). A run killed at any step and resumed from a snapshot is **bitwise
+//! identical** to the uninterrupted run.
+//!
+//! The trainer-facing integration (`Trainer::snapshot` / `Trainer::resume`) lives in
+//! `sparsetrain-nn`; this crate is deliberately dependency-free plain data + IO.
+
+pub mod codec;
+pub mod policy;
+pub mod snapshot;
+
+pub use codec::{decode_snapshot, encode_snapshot, DecodeError, EncodeError, Section};
+pub use policy::{latest_in, load, CheckpointManager, CheckpointPolicy, LoadError, CHECKPOINT_DIR_ENV};
+pub use snapshot::{LayerState, OptimizerState, PrunerState, RunPosition, Snapshot};

@@ -1,0 +1,311 @@
+//! Checkpoint cadence, atomic persistence, and keep-K rotation.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::codec::DecodeError;
+use crate::snapshot::Snapshot;
+
+/// Environment variable naming the checkpoint run directory, consistent with
+/// `SPARSETRAIN_ENGINE` / `SPARSETRAIN_PLAN`.
+pub const CHECKPOINT_DIR_ENV: &str = "SPARSETRAIN_CHECKPOINT_DIR";
+
+/// File extension for snapshot files.
+pub const SNAPSHOT_EXT: &str = "stck";
+
+/// When and where to write checkpoints.
+///
+/// Cadence is expressed in optimizer steps and/or completed epochs; either (or both) may be
+/// set. `keep` bounds how many snapshot files survive rotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Run directory snapshots are written into (created on first use).
+    pub dir: PathBuf,
+    /// Write a snapshot every N optimizer steps.
+    pub every_steps: Option<u64>,
+    /// Write a snapshot every N completed epochs.
+    pub every_epochs: Option<u64>,
+    /// Keep at most this many snapshot files (oldest deleted first). 0 means keep all.
+    pub keep: usize,
+}
+
+impl CheckpointPolicy {
+    /// Snapshot after every `n` completed epochs into `dir`, keeping the 3 most recent files.
+    pub fn every_epochs(dir: impl Into<PathBuf>, n: u64) -> Self {
+        assert!(n > 0, "epoch cadence must be positive");
+        CheckpointPolicy {
+            dir: dir.into(),
+            every_steps: None,
+            every_epochs: Some(n),
+            keep: 3,
+        }
+    }
+
+    /// Snapshot after every `n` optimizer steps into `dir`, keeping the 3 most recent files.
+    pub fn every_steps(dir: impl Into<PathBuf>, n: u64) -> Self {
+        assert!(n > 0, "step cadence must be positive");
+        CheckpointPolicy {
+            dir: dir.into(),
+            every_steps: Some(n),
+            every_epochs: None,
+            keep: 3,
+        }
+    }
+
+    /// Override the keep-K rotation bound.
+    pub fn with_keep(mut self, keep: usize) -> Self {
+        self.keep = keep;
+        self
+    }
+
+    /// Build a per-epoch policy from [`CHECKPOINT_DIR_ENV`], if set (empty value = unset).
+    pub fn from_env() -> Option<Self> {
+        match std::env::var(CHECKPOINT_DIR_ENV) {
+            Ok(dir) if !dir.is_empty() => Some(CheckpointPolicy::every_epochs(dir, 1)),
+            _ => None,
+        }
+    }
+
+    /// Whether a snapshot is due after `steps` total optimizer steps.
+    pub fn step_due(&self, steps: u64) -> bool {
+        matches!(self.every_steps, Some(n) if steps > 0 && steps.is_multiple_of(n))
+    }
+
+    /// Whether a snapshot is due after `epochs` completed epochs.
+    pub fn epoch_due(&self, epochs: u64) -> bool {
+        matches!(self.every_epochs, Some(n) if epochs > 0 && epochs.is_multiple_of(n))
+    }
+}
+
+/// Errors raised while loading a snapshot file.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(io::Error),
+    /// The bytes did not parse as a snapshot.
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "checkpoint read failed: {e}"),
+            LoadError::Decode(e) => write!(f, "checkpoint decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Writes snapshots atomically (write `.tmp`, fsync, rename) and rotates old files.
+#[derive(Debug)]
+pub struct CheckpointManager {
+    policy: CheckpointPolicy,
+    written: Vec<PathBuf>,
+}
+
+impl CheckpointManager {
+    /// Create the run directory if needed and adopt any snapshot files already present (so
+    /// rotation keeps working across resumed processes).
+    pub fn new(policy: CheckpointPolicy) -> io::Result<Self> {
+        fs::create_dir_all(&policy.dir)?;
+        let mut written = snapshot_files(&policy.dir)?;
+        written.sort();
+        Ok(CheckpointManager { policy, written })
+    }
+
+    /// The policy this manager enforces.
+    pub fn policy(&self) -> &CheckpointPolicy {
+        &self.policy
+    }
+
+    /// Encode and persist `snap` atomically, then rotate down to `keep` files.
+    /// Returns the final snapshot path.
+    pub fn save(&mut self, snap: &Snapshot) -> io::Result<PathBuf> {
+        let bytes = snap
+            .encode()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let name = format!(
+            "ckpt-e{:05}-s{:09}.{SNAPSHOT_EXT}",
+            snap.position.epoch, snap.position.step
+        );
+        let path = self.policy.dir.join(&name);
+        let tmp = self.policy.dir.join(format!("{name}.tmp"));
+        {
+            let mut file = fs::File::create(&tmp)?;
+            io::Write::write_all(&mut file, &bytes)?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        if !self.written.contains(&path) {
+            self.written.push(path.clone());
+        }
+        self.rotate()?;
+        Ok(path)
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        if self.policy.keep == 0 {
+            return Ok(());
+        }
+        while self.written.len() > self.policy.keep {
+            let old = self.written.remove(0);
+            match fs::remove_file(&old) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Paths of the snapshot files this manager currently tracks, oldest first.
+    pub fn files(&self) -> &[PathBuf] {
+        &self.written
+    }
+}
+
+/// Most recent snapshot file in `dir` (filenames sort chronologically), if any.
+pub fn latest_in(dir: &Path) -> io::Result<Option<PathBuf>> {
+    let mut files = snapshot_files(dir)?;
+    files.sort();
+    Ok(files.pop())
+}
+
+/// Read and decode a snapshot file.
+pub fn load(path: &Path) -> Result<Snapshot, LoadError> {
+    let bytes = fs::read(path).map_err(LoadError::Io)?;
+    Snapshot::decode(&bytes).map_err(LoadError::Decode)
+}
+
+fn snapshot_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let path = entry?.path();
+        if path.extension().and_then(|e| e.to_str()) == Some(SNAPSHOT_EXT) {
+            out.push(path);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{OptimizerState, RunPosition};
+
+    fn tiny_snapshot(epoch: u64, step: u64) -> Snapshot {
+        Snapshot {
+            position: RunPosition {
+                seed: 1,
+                epoch,
+                step,
+                steps_into_epoch: 0,
+            },
+            shuffle_rng: [1, 2, 3, 4],
+            plan: None,
+            optimizer: OptimizerState {
+                lr: 0.1,
+                velocities: vec![],
+            },
+            layers: vec![],
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sparsetrain-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn cadence_checks() {
+        let p = CheckpointPolicy::every_steps("/tmp/x", 10);
+        assert!(!p.step_due(0));
+        assert!(!p.step_due(9));
+        assert!(p.step_due(10));
+        assert!(p.step_due(20));
+        assert!(!p.epoch_due(1));
+
+        let p = CheckpointPolicy::every_epochs("/tmp/x", 2);
+        assert!(!p.epoch_due(0));
+        assert!(!p.epoch_due(1));
+        assert!(p.epoch_due(2));
+        assert!(!p.step_due(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence must be positive")]
+    fn zero_cadence_panics() {
+        let _ = CheckpointPolicy::every_epochs("/tmp/x", 0);
+    }
+
+    #[test]
+    fn save_rotate_and_reload() {
+        let dir = temp_dir("rotate");
+        let mut mgr = CheckpointManager::new(CheckpointPolicy::every_epochs(&dir, 1).with_keep(2)).unwrap();
+        for epoch in 1..=4 {
+            mgr.save(&tiny_snapshot(epoch, epoch * 10)).unwrap();
+        }
+        assert_eq!(mgr.files().len(), 2, "rotation should keep only 2 files");
+        let latest = latest_in(&dir).unwrap().expect("a snapshot should exist");
+        assert!(latest.to_string_lossy().contains("e00004"));
+        let snap = load(&latest).unwrap();
+        assert_eq!(snap.position.epoch, 4);
+        // No .tmp leftovers after atomic renames.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files left behind: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manager_adopts_existing_files() {
+        let dir = temp_dir("adopt");
+        let mut mgr = CheckpointManager::new(CheckpointPolicy::every_epochs(&dir, 1).with_keep(2)).unwrap();
+        mgr.save(&tiny_snapshot(1, 10)).unwrap();
+        mgr.save(&tiny_snapshot(2, 20)).unwrap();
+        drop(mgr);
+        // A fresh manager (simulating a resumed process) must rotate the old files too.
+        let mut mgr = CheckpointManager::new(CheckpointPolicy::every_epochs(&dir, 1).with_keep(2)).unwrap();
+        assert_eq!(mgr.files().len(), 2);
+        mgr.save(&tiny_snapshot(3, 30)).unwrap();
+        assert_eq!(mgr.files().len(), 2);
+        let names: Vec<_> = mgr
+            .files()
+            .iter()
+            .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names[0].contains("e00002") && names[1].contains("e00003"),
+            "kept: {names:?}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_reports_typed_errors() {
+        let dir = temp_dir("load-errors");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.stck");
+        fs::write(&path, b"not a checkpoint").unwrap();
+        match load(&path) {
+            Err(LoadError::Decode(DecodeError::BadMagic)) => {}
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
+        match load(&dir.join("absent.stck")) {
+            Err(LoadError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -208,6 +208,19 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// The raw xoshiro256++ state words (workspace extension, used by the
+        /// checkpoint subsystem to make shuffling bitwise-resumable).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from [`StdRng::state`] output. Panics on the
+        /// all-zero state, which xoshiro cannot occupy.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0; 4], "xoshiro256++ state must not be all zero");
+            StdRng { s }
+        }
     }
 
     impl RngCore for StdRng {
@@ -306,6 +319,24 @@ mod tests {
         assert!((0.0..1.0).contains(&f));
         let n = dynr.gen_range(0..10usize);
         assert!(n < 10);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_stream() {
+        let mut a = StdRng::seed_from_u64(21);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = StdRng::from_state(a.state());
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all zero")]
+    fn all_zero_state_is_rejected() {
+        let _ = StdRng::from_state([0; 4]);
     }
 
     #[test]

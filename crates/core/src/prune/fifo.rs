@@ -82,6 +82,28 @@ impl ThresholdFifo {
     pub fn reset(&mut self) {
         self.values.clear();
     }
+
+    /// The stored thresholds, oldest first (checkpoint export).
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// Replaces the stored thresholds (checkpoint restore). Values beyond
+    /// `depth` are rejected rather than silently evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` holds more than [`ThresholdFifo::depth`] entries.
+    pub fn load(&mut self, values: &[f64]) {
+        assert!(
+            values.len() <= self.depth,
+            "cannot load {} thresholds into a depth-{} FIFO",
+            values.len(),
+            self.depth
+        );
+        self.values.clear();
+        self.values.extend(values.iter().copied());
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +146,25 @@ mod tests {
     #[should_panic(expected = "depth must be positive")]
     fn zero_depth_rejected() {
         let _ = ThresholdFifo::new(0);
+    }
+
+    #[test]
+    fn values_roundtrip_through_load() {
+        let mut f = ThresholdFifo::new(3);
+        f.push(1.0);
+        f.push(2.0);
+        let stored: Vec<f64> = f.values().collect();
+        assert_eq!(stored, vec![1.0, 2.0]);
+        let mut g = ThresholdFifo::new(3);
+        g.load(&stored);
+        assert_eq!(g, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot load")]
+    fn load_rejects_overfull() {
+        let mut f = ThresholdFifo::new(1);
+        f.load(&[1.0, 2.0]);
     }
 
     #[test]

@@ -262,6 +262,86 @@ impl LayerPruner {
         self.fifo.reset();
         self.stats = PruneStats::default();
     }
+
+    /// Exports the pruner's complete mutable state for checkpointing.
+    pub fn snapshot_state(&self) -> PrunerSnapshot {
+        PrunerSnapshot {
+            target_sparsity: self.config.target_sparsity,
+            fifo_depth: self.config.fifo_depth,
+            fifo: self.fifo.values().collect(),
+            batches: self.stats.batches,
+            last_outcome: self.stats.last_outcome,
+            last_density: self.stats.last_density,
+            density_sum: self.stats.density_sum,
+            density_count: self.stats.density_count,
+            last_predicted_tau: self.stats.last_predicted_tau,
+            last_determined_tau: self.stats.last_determined_tau,
+        }
+    }
+
+    /// Restores state exported by [`LayerPruner::snapshot_state`]. The
+    /// snapshot's config echo must match this pruner's configuration —
+    /// restoring into a differently-configured pruner would silently change
+    /// the trajectory, so it is an error instead.
+    pub fn restore_state(&mut self, snap: &PrunerSnapshot) -> Result<(), String> {
+        if snap.target_sparsity != self.config.target_sparsity {
+            return Err(format!(
+                "pruner target sparsity mismatch: snapshot {}, configured {}",
+                snap.target_sparsity, self.config.target_sparsity
+            ));
+        }
+        if snap.fifo_depth != self.config.fifo_depth {
+            return Err(format!(
+                "pruner FIFO depth mismatch: snapshot {}, configured {}",
+                snap.fifo_depth, self.config.fifo_depth
+            ));
+        }
+        if snap.fifo.len() > self.config.fifo_depth {
+            return Err(format!(
+                "pruner snapshot holds {} thresholds for a depth-{} FIFO",
+                snap.fifo.len(),
+                self.config.fifo_depth
+            ));
+        }
+        self.fifo.load(&snap.fifo);
+        self.stats = PruneStats {
+            batches: snap.batches,
+            last_outcome: snap.last_outcome,
+            last_density: snap.last_density,
+            density_sum: snap.density_sum,
+            density_count: snap.density_count,
+            last_predicted_tau: snap.last_predicted_tau,
+            last_determined_tau: snap.last_determined_tau,
+        };
+        Ok(())
+    }
+}
+
+/// Plain-data export of a [`LayerPruner`]'s mutable state plus a config
+/// echo, produced by [`LayerPruner::snapshot_state`] and consumed by
+/// [`LayerPruner::restore_state`]. The checkpoint crate serializes this.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrunerSnapshot {
+    /// Config echo: target sparsity the pruner was built with.
+    pub target_sparsity: f64,
+    /// Config echo: FIFO depth the pruner was built with.
+    pub fifo_depth: usize,
+    /// FIFO contents, oldest first.
+    pub fifo: Vec<f64>,
+    /// Batches processed.
+    pub batches: usize,
+    /// Outcome of the most recent batch.
+    pub last_outcome: Option<PruneOutcome>,
+    /// Density of the most recent pruned batch.
+    pub last_density: Option<f64>,
+    /// Running density sum.
+    pub density_sum: f64,
+    /// Batches included in the density sum.
+    pub density_count: usize,
+    /// Most recent predicted threshold.
+    pub last_predicted_tau: Option<f64>,
+    /// Most recent determined threshold.
+    pub last_determined_tau: Option<f64>,
 }
 
 /// Prunes `parts` under the fixed threshold `tau` with `stream`'s
@@ -483,6 +563,54 @@ mod tests {
         let out = cold.preview_batch_parts_on(&mut [&mut untouched], &stream(2), &ScalarEngine);
         assert_eq!(untouched, batch);
         assert_eq!(out.snapped, 0);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_trajectory() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let batches: Vec<Vec<f32>> = (0..12).map(|_| normal_batch(&mut rng, 2000, 0.1)).collect();
+
+        // Straight run over all 12 batches.
+        let mut straight = LayerPruner::new(PruneConfig::new(0.9, 3));
+        let mut want = Vec::new();
+        for (step, batch) in batches.iter().enumerate() {
+            let mut b = batch.clone();
+            straight.prune_batch(&mut b, &stream(step as u64));
+            want.push(b);
+        }
+
+        // Run 6 batches, snapshot, restore into a fresh pruner, run the rest.
+        let mut first = LayerPruner::new(PruneConfig::new(0.9, 3));
+        let mut got = Vec::new();
+        for (step, batch) in batches.iter().take(6).enumerate() {
+            let mut b = batch.clone();
+            first.prune_batch(&mut b, &stream(step as u64));
+            got.push(b);
+        }
+        let snap = first.snapshot_state();
+        let mut resumed = LayerPruner::new(PruneConfig::new(0.9, 3));
+        resumed.restore_state(&snap).unwrap();
+        for (step, batch) in batches.iter().enumerate().skip(6) {
+            let mut b = batch.clone();
+            resumed.prune_batch(&mut b, &stream(step as u64));
+            got.push(b);
+        }
+
+        assert_eq!(got, want, "resumed pruning diverged from the straight run");
+        assert_eq!(resumed.stats(), straight.stats());
+        assert_eq!(resumed.snapshot_state(), straight.snapshot_state());
+    }
+
+    #[test]
+    fn restore_rejects_config_mismatch() {
+        let warm = LayerPruner::new(PruneConfig::new(0.9, 3));
+        let snap = warm.snapshot_state();
+        let mut other = LayerPruner::new(PruneConfig::new(0.8, 3));
+        let err = other.restore_state(&snap).unwrap_err();
+        assert!(err.contains("target sparsity"), "unexpected error: {err}");
+        let mut other = LayerPruner::new(PruneConfig::new(0.9, 4));
+        let err = other.restore_state(&snap).unwrap_err();
+        assert!(err.contains("FIFO depth"), "unexpected error: {err}");
     }
 
     #[test]

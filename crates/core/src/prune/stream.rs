@@ -68,6 +68,11 @@ impl StreamSeeds {
         }
     }
 
+    /// A ladder restored to an arbitrary position (checkpoint resume).
+    pub const fn at(seed: u64, epoch: u64, step: u64) -> Self {
+        Self { seed, epoch, step }
+    }
+
     /// The run seed.
     pub const fn seed(&self) -> u64 {
         self.seed

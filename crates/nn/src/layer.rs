@@ -1,5 +1,6 @@
 //! The layer abstraction: batched forward/backward on an execution context.
 
+use sparsetrain_checkpoint::LayerState;
 use sparsetrain_core::dataflow::LayerTrace;
 use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
@@ -236,6 +237,19 @@ pub trait Layer {
     /// dense execution and engine-driven SRC/MSRC/OSRC execution on the
     /// context's engine. Layers without such a path ignore the call.
     fn set_sparse_execution(&mut self, _enabled: bool) {}
+
+    /// Appends this layer's checkpointable state entries to `out`, in a
+    /// stable traversal order (parameters, embedded RNGs, density
+    /// accumulators, pruner state). Stateless layers append nothing.
+    fn collect_state(&self, _out: &mut Vec<LayerState>) {}
+
+    /// Offers one snapshot entry back to the layer tree. Returns
+    /// `Ok(true)` if this layer consumed it, `Ok(false)` if the entry
+    /// belongs to some other layer, and `Err` if the entry names this
+    /// layer but does not fit (shape or config mismatch).
+    fn restore_state(&mut self, _state: &LayerState) -> Result<bool, String> {
+        Ok(false)
+    }
 
     /// Number of trainable parameters (for reporting).
     fn param_count(&self) -> usize {

@@ -1,6 +1,7 @@
 //! 2-D batch normalization.
 
 use crate::layer::{Batch, Layer};
+use sparsetrain_checkpoint::LayerState;
 use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
@@ -198,6 +199,39 @@ impl Layer for BatchNorm2d {
     fn zero_grads(&mut self) {
         self.dgamma.fill(0.0);
         self.dbeta.fill(0.0);
+    }
+
+    fn collect_state(&self, out: &mut Vec<LayerState>) {
+        // Running statistics are not visited by the optimizer but drive
+        // eval-mode normalization, so they belong in the snapshot too.
+        out.push(LayerState::Params {
+            layer: self.name.clone(),
+            tensors: vec![
+                self.gamma.clone(),
+                self.beta.clone(),
+                self.running_mean.clone(),
+                self.running_var.clone(),
+            ],
+        });
+    }
+
+    fn restore_state(&mut self, state: &LayerState) -> Result<bool, String> {
+        match state {
+            LayerState::Params { layer, tensors } if *layer == self.name => match tensors.as_slice() {
+                [g, b, rm, rv] if [g, b, rm, rv].iter().all(|t| t.len() == self.channels) => {
+                    self.gamma.copy_from_slice(g);
+                    self.beta.copy_from_slice(b);
+                    self.running_mean.copy_from_slice(rm);
+                    self.running_var.copy_from_slice(rv);
+                    Ok(true)
+                }
+                _ => Err(format!(
+                    "batchnorm layer {:?}: snapshot params do not match 4×{}",
+                    self.name, self.channels
+                )),
+            },
+            _ => Ok(false),
+        }
     }
 
     fn param_count(&self) -> usize {

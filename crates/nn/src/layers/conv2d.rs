@@ -3,6 +3,7 @@
 use crate::layer::{Batch, Layer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sparsetrain_checkpoint::LayerState;
 use sparsetrain_core::dataflow::{ConvLayerTrace, LayerTrace};
 use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::rowconv::SparseFeatureMap;
@@ -342,6 +343,44 @@ impl Layer for Conv2d {
     fn reset_density_stats(&mut self) {
         self.dout_density_sum = 0.0;
         self.dout_density_count = 0;
+    }
+
+    fn collect_state(&self, out: &mut Vec<LayerState>) {
+        out.push(LayerState::Params {
+            layer: self.name.clone(),
+            tensors: vec![self.weights.as_slice().to_vec(), self.bias.clone()],
+        });
+        // The density accumulators feed ρ_nnz reporting, so a resumed run
+        // must continue them for a byte-identical metric trajectory.
+        out.push(LayerState::Density {
+            layer: self.name.clone(),
+            sum: self.dout_density_sum,
+            count: self.dout_density_count as u64,
+        });
+    }
+
+    fn restore_state(&mut self, state: &LayerState) -> Result<bool, String> {
+        match state {
+            LayerState::Params { layer, tensors } if *layer == self.name => match tensors.as_slice() {
+                [w, b] if w.len() == self.weights.len() && b.len() == self.bias.len() => {
+                    self.weights.as_mut_slice().copy_from_slice(w);
+                    self.bias.copy_from_slice(b);
+                    Ok(true)
+                }
+                _ => Err(format!(
+                    "conv layer {:?}: snapshot params do not match [{}, {}]",
+                    self.name,
+                    self.weights.len(),
+                    self.bias.len()
+                )),
+            },
+            LayerState::Density { layer, sum, count } if *layer == self.name => {
+                self.dout_density_sum = *sum;
+                self.dout_density_count = *count as usize;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
     }
 
     fn param_count(&self) -> usize {

@@ -7,6 +7,7 @@
 use crate::layer::{Batch, Layer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sparsetrain_checkpoint::LayerState;
 use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
@@ -82,6 +83,25 @@ impl Layer for Dropout {
             }
         }
         grads
+    }
+
+    fn collect_state(&self, out: &mut Vec<LayerState>) {
+        // The mask stream advances every training forward pass, so a
+        // bitwise resume must restart it from the captured state.
+        out.push(LayerState::Rng {
+            layer: self.name.clone(),
+            state: self.rng.state(),
+        });
+    }
+
+    fn restore_state(&mut self, state: &LayerState) -> Result<bool, String> {
+        match state {
+            LayerState::Rng { layer, state } if *layer == self.name => {
+                self.rng = StdRng::from_state(*state);
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
     }
 }
 

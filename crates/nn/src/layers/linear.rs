@@ -3,6 +3,7 @@
 use crate::layer::{Batch, Layer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sparsetrain_checkpoint::LayerState;
 use sparsetrain_core::dataflow::{FcLayerTrace, LayerTrace};
 use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
@@ -160,6 +161,32 @@ impl Layer for Linear {
     fn collect_traces(&self, out: &mut Vec<LayerTrace>) {
         if let Some(t) = &self.captured {
             out.push(LayerTrace::Fc(t.clone()));
+        }
+    }
+
+    fn collect_state(&self, out: &mut Vec<LayerState>) {
+        out.push(LayerState::Params {
+            layer: self.name.clone(),
+            tensors: vec![self.weights.as_slice().to_vec(), self.bias.clone()],
+        });
+    }
+
+    fn restore_state(&mut self, state: &LayerState) -> Result<bool, String> {
+        match state {
+            LayerState::Params { layer, tensors } if *layer == self.name => match tensors.as_slice() {
+                [w, b] if w.len() == self.weights.len() && b.len() == self.bias.len() => {
+                    self.weights.as_mut_slice().copy_from_slice(w);
+                    self.bias.copy_from_slice(b);
+                    Ok(true)
+                }
+                _ => Err(format!(
+                    "linear layer {:?}: snapshot params do not match [{}, {}]",
+                    self.name,
+                    self.weights.len(),
+                    self.bias.len()
+                )),
+            },
+            _ => Ok(false),
         }
     }
 

@@ -8,7 +8,8 @@
 //! gradient about to become that CONV layer's `dO` operand.
 
 use crate::layer::{Batch, Layer};
-use sparsetrain_core::prune::{LayerPruner, PruneConfig, StepStreams};
+use sparsetrain_checkpoint::{LayerState, PrunerState};
+use sparsetrain_core::prune::{LayerPruner, PruneConfig, PruneOutcome, PrunerSnapshot, StepStreams};
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
@@ -121,6 +122,69 @@ impl Layer for PruneHook {
         // Keep the FIFO (threshold state) but clear reported statistics by
         // re-creating stats via reset would lose warm-up; statistics are
         // cheap enough to keep, so this is a no-op by design.
+    }
+
+    fn collect_state(&self, out: &mut Vec<LayerState>) {
+        if let Some(pruner) = &self.pruner {
+            out.push(LayerState::Pruner {
+                layer: self.name.clone(),
+                state: Box::new(pruner_state_from(&pruner.snapshot_state())),
+            });
+        }
+    }
+
+    fn restore_state(&mut self, state: &LayerState) -> Result<bool, String> {
+        match state {
+            LayerState::Pruner { layer, state } if *layer == self.name => {
+                let pruner = self.pruner.as_mut().ok_or_else(|| {
+                    format!(
+                        "prune hook {:?} is disabled but snapshot has pruner state",
+                        self.name
+                    )
+                })?;
+                pruner.restore_state(&pruner_snapshot_from(state))?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+}
+
+/// Core → checkpoint plain-data conversion.
+fn pruner_state_from(snap: &PrunerSnapshot) -> PrunerState {
+    PrunerState {
+        target_sparsity: snap.target_sparsity,
+        fifo_depth: snap.fifo_depth as u64,
+        fifo: snap.fifo.clone(),
+        batches: snap.batches as u64,
+        last_outcome: snap
+            .last_outcome
+            .map(|o| [o.kept as u64, o.snapped as u64, o.zeroed as u64]),
+        last_density: snap.last_density,
+        density_sum: snap.density_sum,
+        density_count: snap.density_count as u64,
+        last_predicted_tau: snap.last_predicted_tau,
+        last_determined_tau: snap.last_determined_tau,
+    }
+}
+
+/// Checkpoint → core plain-data conversion.
+fn pruner_snapshot_from(state: &PrunerState) -> PrunerSnapshot {
+    PrunerSnapshot {
+        target_sparsity: state.target_sparsity,
+        fifo_depth: state.fifo_depth as usize,
+        fifo: state.fifo.clone(),
+        batches: state.batches as usize,
+        last_outcome: state.last_outcome.map(|[kept, snapped, zeroed]| PruneOutcome {
+            kept: kept as usize,
+            snapped: snapped as usize,
+            zeroed: zeroed as usize,
+        }),
+        last_density: state.last_density,
+        density_sum: state.density_sum,
+        density_count: state.density_count as usize,
+        last_predicted_tau: state.last_predicted_tau,
+        last_determined_tau: state.last_determined_tau,
     }
 }
 

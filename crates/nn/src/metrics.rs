@@ -170,6 +170,255 @@ impl ConfusionMatrix {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Per-epoch training metrics and early stopping
+// ---------------------------------------------------------------------------
+
+/// One epoch's training metrics, as recorded by `Trainer::train`.
+///
+/// `epoch` counts completed epochs (1-based), monotone across a
+/// checkpoint resume. Optional fields are omitted from the jsonl line when
+/// absent, so a resumed run's trajectory stays byte-identical to the
+/// uninterrupted run's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRecord {
+    /// Completed-epoch count (1-based).
+    pub epoch: u64,
+    /// Mean training loss over the epoch.
+    pub loss: f64,
+    /// Training accuracy over the epoch.
+    pub accuracy: f64,
+    /// Validation loss, when a validation set was supplied.
+    pub val_loss: Option<f64>,
+    /// Validation accuracy, when a validation set was supplied.
+    pub val_accuracy: Option<f64>,
+    /// Mean activation-gradient density ρ_nnz across pruning sites.
+    pub rho_nnz: Option<f64>,
+    /// Mean optimizer-step latency in nanoseconds. Only recorded when the
+    /// store has latency enabled — wall-clock readings are inherently
+    /// non-reproducible, so determinism comparisons keep this off.
+    pub step_latency_ns: Option<f64>,
+}
+
+impl MetricRecord {
+    /// Renders the record as one JSON object per line, in the same style as
+    /// the bench trajectory (`target/bench-results.jsonl`): fixed key
+    /// order, `{}`-formatted (shortest round-trip) floats, absent optional
+    /// fields omitted.
+    pub fn to_jsonl(&self) -> String {
+        let mut line = format!(
+            "{{\"epoch\":{},\"loss\":{},\"accuracy\":{}",
+            self.epoch, self.loss, self.accuracy
+        );
+        if let Some(v) = self.val_loss {
+            line.push_str(&format!(",\"val_loss\":{v}"));
+        }
+        if let Some(v) = self.val_accuracy {
+            line.push_str(&format!(",\"val_accuracy\":{v}"));
+        }
+        if let Some(v) = self.rho_nnz {
+            line.push_str(&format!(",\"rho_nnz\":{v}"));
+        }
+        if let Some(v) = self.step_latency_ns {
+            line.push_str(&format!(",\"step_latency_ns\":{v:.3}"));
+        }
+        line.push('}');
+        line
+    }
+}
+
+/// Records the per-epoch metric trajectory, in memory and optionally to a
+/// jsonl file (appended and flushed per record, so the trajectory survives
+/// a killed process).
+#[derive(Debug, Default)]
+pub struct MetricStore {
+    records: Vec<MetricRecord>,
+    path: Option<std::path::PathBuf>,
+    record_latency: bool,
+}
+
+impl MetricStore {
+    /// An in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A store that also appends each record to the jsonl file at `path`.
+    pub fn with_jsonl(path: impl Into<std::path::PathBuf>) -> Self {
+        MetricStore {
+            records: Vec::new(),
+            path: Some(path.into()),
+            record_latency: false,
+        }
+    }
+
+    /// Builder form of [`MetricStore::set_record_latency`].
+    pub fn with_latency(mut self) -> Self {
+        self.record_latency = true;
+        self
+    }
+
+    /// Enables (or disables) step-latency recording. Off by default:
+    /// wall-clock readings differ run to run, and the bitwise-resume
+    /// guarantee covers the *deterministic* fields only.
+    pub fn set_record_latency(&mut self, enable: bool) {
+        self.record_latency = enable;
+    }
+
+    /// Whether step latency is being recorded.
+    pub fn records_latency(&self) -> bool {
+        self.record_latency
+    }
+
+    /// Appends one record (and writes its jsonl line, if a path is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the jsonl file cannot be written — metric loss is a
+    /// misconfigured environment, consistent with the trainer's handling
+    /// of `SPARSETRAIN_*` misconfiguration.
+    pub fn record(&mut self, mut record: MetricRecord) {
+        if !self.record_latency {
+            record.step_latency_ns = None;
+        }
+        if let Some(path) = &self.path {
+            use std::io::Write;
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("cannot open metrics file {}: {e}", path.display()));
+            writeln!(file, "{}", record.to_jsonl())
+                .and_then(|()| file.flush())
+                .unwrap_or_else(|e| panic!("cannot write metrics file {}: {e}", path.display()));
+        }
+        self.records.push(record);
+    }
+
+    /// All records so far, oldest first.
+    pub fn records(&self) -> &[MetricRecord] {
+        &self.records
+    }
+
+    /// The most recent record.
+    pub fn last(&self) -> Option<&MetricRecord> {
+        self.records.last()
+    }
+
+    /// The whole trajectory as jsonl text (one line per record).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_jsonl());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A pluggable early-stopping rule, polled once per epoch by
+/// `Trainer::train`. Returns `Some(reason)` to stop.
+pub trait StopCondition {
+    /// Inspects the newest record; `Some(reason)` ends training.
+    fn check(&mut self, record: &MetricRecord) -> Option<String>;
+}
+
+/// Stops when the validation loss (or training loss, if no validation set
+/// is supplied) has not improved for `patience` consecutive epochs.
+#[derive(Debug, Clone)]
+pub struct Patience {
+    patience: usize,
+    best: f64,
+    epochs_without_improvement: usize,
+}
+
+impl Patience {
+    /// Creates the rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patience == 0`.
+    pub fn new(patience: usize) -> Self {
+        assert!(patience > 0, "patience must be positive");
+        Patience {
+            patience,
+            best: f64::INFINITY,
+            epochs_without_improvement: 0,
+        }
+    }
+}
+
+impl StopCondition for Patience {
+    fn check(&mut self, record: &MetricRecord) -> Option<String> {
+        let loss = record.val_loss.unwrap_or(record.loss);
+        if loss < self.best {
+            self.best = loss;
+            self.epochs_without_improvement = 0;
+            return None;
+        }
+        self.epochs_without_improvement += 1;
+        (self.epochs_without_improvement >= self.patience).then(|| {
+            format!(
+                "loss has not improved below {} for {} epoch(s)",
+                self.best, self.patience
+            )
+        })
+    }
+}
+
+/// Stops when the validation accuracy (or training accuracy, if no
+/// validation set is supplied) reaches `target`.
+#[derive(Debug, Clone, Copy)]
+pub struct TargetAccuracy {
+    target: f64,
+}
+
+impl TargetAccuracy {
+    /// Creates the rule; `target` is a fraction in `[0, 1]`.
+    pub fn new(target: f64) -> Self {
+        TargetAccuracy { target }
+    }
+}
+
+impl StopCondition for TargetAccuracy {
+    fn check(&mut self, record: &MetricRecord) -> Option<String> {
+        let acc = record.val_accuracy.unwrap_or(record.accuracy);
+        (acc >= self.target).then(|| format!("accuracy {acc} reached target {}", self.target))
+    }
+}
+
+/// Stops when the wall-clock budget is exhausted. The clock starts at the
+/// first `check` call, so constructing the rule ahead of training is free.
+#[derive(Debug, Clone)]
+pub struct WallClockBudget {
+    budget: std::time::Duration,
+    started: Option<std::time::Instant>,
+}
+
+impl WallClockBudget {
+    /// Creates the rule.
+    pub fn new(budget: std::time::Duration) -> Self {
+        WallClockBudget {
+            budget,
+            started: None,
+        }
+    }
+}
+
+impl StopCondition for WallClockBudget {
+    fn check(&mut self, _record: &MetricRecord) -> Option<String> {
+        let started = *self.started.get_or_insert_with(std::time::Instant::now);
+        let elapsed = started.elapsed();
+        (elapsed >= self.budget).then(|| {
+            format!(
+                "wall-clock budget exhausted ({:.1}s >= {:.1}s)",
+                elapsed.as_secs_f64(),
+                self.budget.as_secs_f64()
+            )
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,5 +530,108 @@ mod tests {
     #[should_panic(expected = "at least one class")]
     fn zero_classes_panics() {
         let _ = ConfusionMatrix::new(0);
+    }
+
+    fn record(epoch: u64, loss: f64) -> MetricRecord {
+        MetricRecord {
+            epoch,
+            loss,
+            accuracy: 0.5,
+            val_loss: None,
+            val_accuracy: None,
+            rho_nnz: None,
+            step_latency_ns: None,
+        }
+    }
+
+    #[test]
+    fn jsonl_line_omits_absent_fields() {
+        let line = record(1, 0.25).to_jsonl();
+        assert_eq!(line, "{\"epoch\":1,\"loss\":0.25,\"accuracy\":0.5}");
+        let mut full = record(2, 0.125);
+        full.val_loss = Some(0.5);
+        full.val_accuracy = Some(0.75);
+        full.rho_nnz = Some(0.1);
+        full.step_latency_ns = Some(1234.5);
+        assert_eq!(
+            full.to_jsonl(),
+            "{\"epoch\":2,\"loss\":0.125,\"accuracy\":0.5,\"val_loss\":0.5,\
+             \"val_accuracy\":0.75,\"rho_nnz\":0.1,\"step_latency_ns\":1234.500}"
+        );
+    }
+
+    #[test]
+    fn store_appends_to_jsonl_file() {
+        let path = std::env::temp_dir().join(format!("sparsetrain-metrics-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut store = MetricStore::with_jsonl(&path);
+        store.record(record(1, 0.5));
+        store.record(record(2, 0.25));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert_eq!(text, store.to_jsonl());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn latency_is_dropped_unless_enabled() {
+        let mut store = MetricStore::new();
+        let mut r = record(1, 0.5);
+        r.step_latency_ns = Some(99.0);
+        store.record(r.clone());
+        assert_eq!(store.last().unwrap().step_latency_ns, None);
+        store.set_record_latency(true);
+        store.record(r);
+        assert_eq!(store.last().unwrap().step_latency_ns, Some(99.0));
+    }
+
+    #[test]
+    fn patience_stops_after_stall() {
+        let mut p = Patience::new(2);
+        assert_eq!(p.check(&record(1, 1.0)), None);
+        assert_eq!(p.check(&record(2, 0.5)), None); // improvement
+        assert_eq!(p.check(&record(3, 0.6)), None); // stall 1
+        let reason = p.check(&record(4, 0.7)); // stall 2
+        assert!(reason.is_some_and(|r| r.contains("not improved")));
+    }
+
+    #[test]
+    fn patience_prefers_validation_loss() {
+        let mut p = Patience::new(1);
+        let mut r = record(1, 0.1);
+        r.val_loss = Some(5.0);
+        assert_eq!(p.check(&r), None);
+        let mut r2 = record(2, 0.05); // train loss improves...
+        r2.val_loss = Some(6.0); // ...but validation loss worsens
+        assert!(p.check(&r2).is_some());
+    }
+
+    #[test]
+    fn target_accuracy_triggers() {
+        let mut t = TargetAccuracy::new(0.6);
+        assert_eq!(t.check(&record(1, 0.5)), None); // accuracy 0.5
+        let mut r = record(2, 0.4);
+        r.accuracy = 0.7;
+        assert!(t.check(&r).is_some_and(|s| s.contains("0.6")));
+        // Validation accuracy takes precedence when present.
+        let mut t = TargetAccuracy::new(0.6);
+        let mut r = record(1, 0.4);
+        r.accuracy = 0.9;
+        r.val_accuracy = Some(0.5);
+        assert_eq!(t.check(&r), None);
+    }
+
+    #[test]
+    fn wall_clock_budget_elapses() {
+        let mut w = WallClockBudget::new(std::time::Duration::ZERO);
+        assert!(w.check(&record(1, 0.5)).is_some());
+        let mut w = WallClockBudget::new(std::time::Duration::from_secs(3600));
+        assert_eq!(w.check(&record(1, 0.5)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience must be positive")]
+    fn zero_patience_panics() {
+        let _ = Patience::new(0);
     }
 }

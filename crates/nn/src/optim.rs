@@ -85,6 +85,18 @@ impl Sgd {
     pub fn reset(&mut self) {
         self.velocities.clear();
     }
+
+    /// The velocity buffers in [`Layer::visit_params`] order (checkpoint
+    /// export). Empty until the first step.
+    pub fn velocities(&self) -> &[Vec<f32>] {
+        &self.velocities
+    }
+
+    /// Replaces the velocity buffers (checkpoint restore). Buffer sizes are
+    /// re-validated against the parameters on the next step.
+    pub fn restore_velocities(&mut self, velocities: Vec<Vec<f32>>) {
+        self.velocities = velocities;
+    }
 }
 
 /// Adam optimizer (Kingma & Ba), with decoupled-style L2 applied to the

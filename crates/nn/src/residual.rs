@@ -3,6 +3,7 @@
 use crate::layer::{Batch, Layer};
 use crate::layers::Relu;
 use crate::sequential::Sequential;
+use sparsetrain_checkpoint::LayerState;
 use sparsetrain_core::dataflow::LayerTrace;
 use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
@@ -140,6 +141,26 @@ impl Layer for ResidualBlock {
         if let Some(s) = &mut self.shortcut {
             s.set_sparse_execution(enabled);
         }
+    }
+
+    fn collect_state(&self, out: &mut Vec<LayerState>) {
+        self.main.collect_state(out);
+        if let Some(s) = &self.shortcut {
+            s.collect_state(out);
+        }
+        self.relu.collect_state(out);
+    }
+
+    fn restore_state(&mut self, state: &LayerState) -> Result<bool, String> {
+        if self.main.restore_state(state)? {
+            return Ok(true);
+        }
+        if let Some(s) = &mut self.shortcut {
+            if s.restore_state(state)? {
+                return Ok(true);
+            }
+        }
+        self.relu.restore_state(state)
     }
 
     fn param_count(&self) -> usize {

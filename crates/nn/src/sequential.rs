@@ -1,6 +1,7 @@
 //! Sequential composition of layers.
 
 use crate::layer::{Batch, Layer};
+use sparsetrain_checkpoint::LayerState;
 use sparsetrain_core::dataflow::LayerTrace;
 use sparsetrain_core::prune::StepStreams;
 use sparsetrain_sparse::ExecutionContext;
@@ -150,6 +151,21 @@ impl Layer for Sequential {
         for layer in &mut self.layers {
             layer.set_sparse_execution(enabled);
         }
+    }
+
+    fn collect_state(&self, out: &mut Vec<LayerState>) {
+        for layer in &self.layers {
+            layer.collect_state(out);
+        }
+    }
+
+    fn restore_state(&mut self, state: &LayerState) -> Result<bool, String> {
+        for layer in &mut self.layers {
+            if layer.restore_state(state)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 
     fn param_count(&self) -> usize {

@@ -3,18 +3,19 @@
 use crate::data::Dataset;
 use crate::layer::{Batch, Layer};
 use crate::loss::{argmax, softmax_cross_entropy};
-use crate::metrics::ConfusionMatrix;
+use crate::metrics::{ConfusionMatrix, MetricRecord, MetricStore, StopCondition};
 use crate::optim::Sgd;
 use crate::sequential::Sequential;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sparsetrain_checkpoint::{CheckpointManager, CheckpointPolicy, OptimizerState, RunPosition, Snapshot};
 use sparsetrain_core::dataflow::NetworkTrace;
 use sparsetrain_core::prune::{StepStreams, StreamSeeds};
-use sparsetrain_sparse::{registry, EngineHandle, ExecutionContext};
+use sparsetrain_sparse::{registry, EngineHandle, ExecutionContext, Plan};
 use sparsetrain_tensor::Tensor3;
 
 /// Training hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
     /// Mini-batch size.
     pub batch_size: usize,
@@ -32,6 +33,8 @@ pub struct TrainConfig {
     /// SRC/MSRC/OSRC execution on the named backend (resolved through the
     /// open registry — see [`TrainConfig::with_engine_name`]).
     pub engine: Option<EngineHandle>,
+    /// Checkpoint cadence and run directory; `None` disables snapshots.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl TrainConfig {
@@ -44,6 +47,7 @@ impl TrainConfig {
             weight_decay: 5e-4,
             seed: 0,
             engine: None,
+            checkpoint: None,
         }
     }
 
@@ -56,6 +60,7 @@ impl TrainConfig {
             weight_decay: 0.0,
             seed: 0,
             engine: None,
+            checkpoint: None,
         }
     }
 
@@ -89,6 +94,22 @@ impl TrainConfig {
         }
         self
     }
+
+    /// Returns the config with periodic checkpointing under `policy`.
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+
+    /// Applies the `SPARSETRAIN_CHECKPOINT_DIR` environment override, if
+    /// set: snapshots after every epoch into the named directory
+    /// (consistent with `SPARSETRAIN_ENGINE` / `SPARSETRAIN_PLAN`).
+    pub fn with_env_checkpoint_dir(mut self) -> Self {
+        if let Some(policy) = CheckpointPolicy::from_env() {
+            self.checkpoint = Some(policy);
+        }
+        self
+    }
 }
 
 impl Default for TrainConfig {
@@ -104,6 +125,60 @@ pub struct EpochStats {
     pub loss: f64,
     /// Training accuracy over the epoch.
     pub accuracy: f64,
+}
+
+/// Why [`Trainer::resume`] rejected a snapshot.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The snapshot was taken under a different run seed; resuming it
+    /// would splice two unrelated pruning-stream ladders together.
+    SeedMismatch {
+        /// Seed recorded in the snapshot.
+        snapshot: u64,
+        /// Seed of this trainer's config.
+        config: u64,
+    },
+    /// A layer recognised a state entry but its shape/config disagreed.
+    Layer(String),
+    /// No layer in the network claimed this state entry (the snapshot was
+    /// taken from a differently-shaped model).
+    UnclaimedState {
+        /// The layer name recorded in the snapshot.
+        layer: String,
+        /// The state kind (`"params"`, `"rng"`, …).
+        kind: &'static str,
+    },
+    /// The embedded execution plan did not parse against the registry.
+    Plan(String),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::SeedMismatch { snapshot, config } => write!(
+                f,
+                "snapshot was taken under seed {snapshot} but the trainer is configured \
+                 with seed {config}; resuming would break stream determinism"
+            ),
+            ResumeError::Layer(msg) => write!(f, "layer state mismatch: {msg}"),
+            ResumeError::UnclaimedState { layer, kind } => write!(
+                f,
+                "no layer in the network claimed the snapshot's {kind} state for {layer:?}"
+            ),
+            ResumeError::Plan(msg) => write!(f, "embedded execution plan rejected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// What [`Trainer::train`] did: how far it got and why it stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainOutcome {
+    /// Epochs actually run in this call (not counting resumed history).
+    pub epochs_run: usize,
+    /// `Some(reason)` when a [`StopCondition`] ended the run early.
+    pub stopped: Option<String>,
 }
 
 /// Drives training of a [`Sequential`] network.
@@ -131,6 +206,15 @@ pub struct Trainer {
     /// pruning streams from.
     streams: StreamSeeds,
     ctx: ExecutionContext,
+    /// `rng`'s state captured just before the current epoch's shuffle, so a
+    /// mid-epoch snapshot can replay the identical data order on resume.
+    epoch_start_rng: [u64; 4],
+    /// Optimizer steps taken in the current (possibly partial) epoch.
+    steps_into_epoch: u64,
+    /// Batches the next `train_epoch` must skip after a mid-epoch resume
+    /// (they were already trained before the snapshot).
+    resume_skip: u64,
+    checkpoints: Option<CheckpointManager>,
 }
 
 impl Trainer {
@@ -146,13 +230,22 @@ impl Trainer {
             }
             None => ExecutionContext::scalar(),
         };
+        let checkpoints = config.checkpoint.clone().map(|policy| {
+            CheckpointManager::new(policy)
+                .unwrap_or_else(|e| panic!("cannot initialise checkpoint directory: {e}"))
+        });
+        let rng = StdRng::seed_from_u64(config.seed);
         Self {
             net,
             sgd: Sgd::new(config.lr, config.momentum, config.weight_decay),
-            rng: StdRng::seed_from_u64(config.seed),
+            epoch_start_rng: rng.state(),
+            rng,
             streams: StreamSeeds::new(config.seed),
             config,
             ctx,
+            steps_into_epoch: 0,
+            resume_skip: 0,
+            checkpoints,
         }
     }
 
@@ -193,19 +286,37 @@ impl Trainer {
         self.sgd.set_learning_rate(lr);
     }
 
+    /// The checkpoint manager, when the config enables checkpointing.
+    pub fn checkpoints(&self) -> Option<&CheckpointManager> {
+        self.checkpoints.as_ref()
+    }
+
     /// Runs one epoch over `data` and returns loss/accuracy.
+    ///
+    /// After a mid-epoch [`Trainer::resume`], the first call replays the
+    /// snapshot epoch's shuffle and skips the batches trained before the
+    /// snapshot, so the trajectory continues bitwise where it left off (the
+    /// returned stats then cover only the remaining batches).
     pub fn train_epoch(&mut self, data: &Dataset) -> EpochStats {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         let n = data.len();
+        self.epoch_start_rng = self.rng.state();
         let mut order: Vec<usize> = (0..n).collect();
         for i in (1..n).rev() {
             let j = self.rng.gen_range(0..=i);
             order.swap(i, j);
         }
 
+        let skip = std::mem::take(&mut self.resume_skip);
+        self.steps_into_epoch = skip;
         let mut total_loss = 0.0f64;
         let mut correct = 0usize;
-        for chunk in order.chunks(self.config.batch_size) {
+        let mut seen = 0usize;
+        for (chunk_idx, chunk) in order.chunks(self.config.batch_size).enumerate() {
+            if (chunk_idx as u64) < skip {
+                continue; // trained before the snapshot this run resumed from
+            }
+            seen += chunk.len();
             // The batch borrows straight from the dataset — no per-image
             // clone; layers take ownership only where backward needs it.
             let xs = Batch::gather(&data.images, chunk);
@@ -226,11 +337,200 @@ impl Trainer {
             self.net.backward(grads, &mut self.ctx, &step);
             self.streams.advance_step();
             self.sgd.step(&mut self.net, 1.0 / chunk.len() as f32);
+            self.steps_into_epoch += 1;
+            self.write_due_checkpoint(false);
         }
         self.streams.advance_epoch();
+        self.steps_into_epoch = 0;
+        self.write_due_checkpoint(true);
+        let denom = seen.max(1) as f64;
         EpochStats {
-            loss: total_loss / n as f64,
-            accuracy: correct as f64 / n as f64,
+            loss: total_loss / denom,
+            accuracy: correct as f64 / denom,
+        }
+    }
+
+    /// Writes a snapshot when the checkpoint policy says one is due —
+    /// `epoch_boundary` selects between the per-epoch and per-step cadence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot cannot be persisted; silently losing
+    /// checkpoints would defeat their purpose.
+    fn write_due_checkpoint(&mut self, epoch_boundary: bool) {
+        let due = match &self.checkpoints {
+            Some(mgr) if epoch_boundary => mgr.policy().epoch_due(self.streams.epoch()),
+            Some(mgr) => mgr.policy().step_due(self.streams.step()),
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        let snap = self.snapshot();
+        let mgr = self.checkpoints.as_mut().expect("due implies a manager");
+        mgr.save(&snap)
+            .unwrap_or_else(|e| panic!("cannot write checkpoint: {e}"));
+    }
+
+    /// Captures the complete mutable training state as a [`Snapshot`]:
+    /// parameters, optimizer velocities, pruner statistics, RNG positions,
+    /// the `(seed, epoch, step)` ladder, and the active execution plan (if
+    /// the `auto` planner froze one). Feeding it to [`Trainer::resume`] on
+    /// a fresh trainer reproduces the remaining run bitwise.
+    pub fn snapshot(&self) -> Snapshot {
+        // Mid-epoch the shuffle must be replayed from the epoch's start, so
+        // store the pre-shuffle state; at an epoch boundary the live state
+        // is exactly what the next epoch will shuffle from.
+        let shuffle_rng = if self.steps_into_epoch == 0 {
+            self.rng.state()
+        } else {
+            self.epoch_start_rng
+        };
+        let mut layers = Vec::new();
+        self.net.collect_state(&mut layers);
+        Snapshot {
+            position: RunPosition {
+                seed: self.streams.seed(),
+                epoch: self.streams.epoch(),
+                step: self.streams.step(),
+                steps_into_epoch: self.steps_into_epoch,
+            },
+            shuffle_rng,
+            plan: self.ctx.plan().map(Plan::to_text),
+            optimizer: OptimizerState {
+                lr: self.sgd.learning_rate(),
+                velocities: self.sgd.velocities().to_vec(),
+            },
+            layers,
+        }
+    }
+
+    /// Restores the trainer to `snap`'s position. The network must have the
+    /// same architecture (layer names and shapes) and the config the same
+    /// seed as the run that produced the snapshot; continuing afterwards
+    /// reproduces the original trajectory bitwise.
+    ///
+    /// When the snapshot embeds an execution plan and this trainer runs on
+    /// the `auto` engine, the frozen plan is replayed instead of re-probing
+    /// (an explicitly pinned engine takes precedence over the plan).
+    ///
+    /// # Errors
+    ///
+    /// Rejects seed mismatches, unparseable embedded plans, and layer state
+    /// that no layer claims or that disagrees with the network's shapes.
+    /// The trainer may be partially restored after a layer error.
+    pub fn resume(&mut self, snap: &Snapshot) -> Result<(), ResumeError> {
+        if snap.position.seed != self.config.seed {
+            return Err(ResumeError::SeedMismatch {
+                snapshot: snap.position.seed,
+                config: self.config.seed,
+            });
+        }
+        if let Some(text) = &snap.plan {
+            if self.ctx.engine_name() == "auto" {
+                let plan = Plan::from_text(text).map_err(|e| ResumeError::Plan(e.to_string()))?;
+                self.ctx = ExecutionContext::with_plan(plan);
+            }
+        }
+        for state in &snap.layers {
+            match self.net.restore_state(state) {
+                Ok(true) => {}
+                Ok(false) => {
+                    return Err(ResumeError::UnclaimedState {
+                        layer: state.layer().to_string(),
+                        kind: state.kind_name(),
+                    })
+                }
+                Err(msg) => return Err(ResumeError::Layer(msg)),
+            }
+        }
+        self.sgd.set_learning_rate(snap.optimizer.lr);
+        self.sgd.restore_velocities(snap.optimizer.velocities.clone());
+        self.streams = StreamSeeds::at(snap.position.seed, snap.position.epoch, snap.position.step);
+        self.rng = StdRng::from_state(snap.shuffle_rng);
+        self.epoch_start_rng = snap.shuffle_rng;
+        self.steps_into_epoch = snap.position.steps_into_epoch;
+        self.resume_skip = snap.position.steps_into_epoch;
+        Ok(())
+    }
+
+    /// Runs up to `epochs` training epochs, recording one [`MetricRecord`]
+    /// per epoch into `metrics` (training loss/accuracy, validation stats
+    /// when `val` is given, mean ρ_nnz, and mean per-step latency), and
+    /// consulting `stops` after every epoch.
+    ///
+    /// Epoch numbers continue across [`Trainer::resume`] — a run resumed at
+    /// epoch 3 records epochs 4, 5, … — so trajectories of a straight run
+    /// and a resumed run line up record-for-record.
+    pub fn train(
+        &mut self,
+        train: &Dataset,
+        val: Option<&Dataset>,
+        epochs: usize,
+        metrics: &mut MetricStore,
+        stops: &mut [Box<dyn StopCondition>],
+    ) -> TrainOutcome {
+        let mut epochs_run = 0;
+        for _ in 0..epochs {
+            let step_before = self.streams.step();
+            let started = std::time::Instant::now();
+            let stats = self.train_epoch(train);
+            let elapsed = started.elapsed();
+            let steps = self.streams.step() - step_before;
+            epochs_run += 1;
+            let vstats = val.map(|d| self.evaluate_stats(d));
+            metrics.record(MetricRecord {
+                epoch: self.streams.epoch(),
+                loss: stats.loss,
+                accuracy: stats.accuracy,
+                val_loss: vstats.map(|s| s.loss),
+                val_accuracy: vstats.map(|s| s.accuracy),
+                rho_nnz: self.mean_grad_density(),
+                step_latency_ns: (steps > 0).then(|| elapsed.as_nanos() as f64 / steps as f64),
+            });
+            let record = metrics.last().expect("record just pushed").clone();
+            for stop in stops.iter_mut() {
+                if let Some(reason) = stop.check(&record) {
+                    return TrainOutcome {
+                        epochs_run,
+                        stopped: Some(reason),
+                    };
+                }
+            }
+        }
+        TrainOutcome {
+            epochs_run,
+            stopped: None,
+        }
+    }
+
+    /// Evaluates mean loss and accuracy on `data` (no parameter updates,
+    /// evaluation-mode batch norm and dropout — trajectory-neutral).
+    pub fn evaluate_stats(&mut self, data: &Dataset) -> EpochStats {
+        if data.is_empty() {
+            return EpochStats {
+                loss: 0.0,
+                accuracy: 0.0,
+            };
+        }
+        let mut total_loss = 0.0f64;
+        let mut correct = 0usize;
+        for chunk_start in (0..data.len()).step_by(self.config.batch_size) {
+            let end = (chunk_start + self.config.batch_size).min(data.len());
+            let xs = Batch::borrowed(&data.images[chunk_start..end]);
+            let outs = self.net.forward(xs, &mut self.ctx, false);
+            for (out, &label) in outs.iter().zip(&data.labels[chunk_start..end]) {
+                let logits = out.as_slice();
+                let (loss, _) = softmax_cross_entropy(logits, label);
+                total_loss += loss as f64;
+                if argmax(logits) == label {
+                    correct += 1;
+                }
+            }
+        }
+        EpochStats {
+            loss: total_loss / data.len() as f64,
+            accuracy: correct as f64 / data.len() as f64,
         }
     }
 
@@ -541,6 +841,183 @@ mod tests {
             weights
         };
         assert_eq!(run(false), run(true), "probe passes perturbed the trajectory");
+    }
+
+    fn all_params(trainer: &mut Trainer) -> Vec<f32> {
+        let mut weights = Vec::new();
+        trainer
+            .network_mut()
+            .visit_params(&mut |w, _| weights.extend_from_slice(w));
+        weights
+    }
+
+    #[test]
+    fn resume_restores_state_byte_identically() {
+        let (train, _) = SyntheticSpec::tiny(3).generate();
+        let make = || {
+            Trainer::new(
+                models::mini_cnn(3, 4, Some(PruneConfig::new(0.9, 2))),
+                TrainConfig::quick(),
+            )
+        };
+        let mut first = make();
+        first.train_epoch(&train);
+        let snap = first.snapshot();
+        let mut resumed = make();
+        resumed.resume(&snap).unwrap();
+        assert_eq!(
+            all_params(&mut first),
+            all_params(&mut resumed),
+            "params differ right after resume"
+        );
+        assert_eq!(first.stream_seeds(), resumed.stream_seeds());
+        assert_eq!(
+            snap.encode().unwrap(),
+            resumed.snapshot().encode().unwrap(),
+            "re-snapshot differs"
+        );
+    }
+
+    #[test]
+    fn snapshot_resume_continues_bitwise_at_epoch_boundary() {
+        let (train, _) = SyntheticSpec::tiny(3).generate();
+        let make = || {
+            Trainer::new(
+                models::mini_cnn(3, 4, Some(PruneConfig::new(0.9, 2))),
+                TrainConfig::quick(),
+            )
+        };
+        let mut straight = make();
+        straight.train_epoch(&train);
+
+        let mut first = make();
+        first.train_epoch(&train);
+        let snap = first.snapshot();
+        let bytes = snap.encode().unwrap();
+        drop(first);
+
+        let mut resumed = make();
+        resumed
+            .resume(&sparsetrain_checkpoint::Snapshot::decode(&bytes).unwrap())
+            .unwrap();
+        let stats_resumed = resumed.train_epoch(&train);
+        let stats_straight = straight.train_epoch(&train);
+
+        assert_eq!(all_params(&mut straight), all_params(&mut resumed));
+        assert_eq!(stats_straight, stats_resumed, "epoch stats diverged after resume");
+    }
+
+    #[test]
+    fn snapshot_resume_continues_bitwise_mid_epoch() {
+        let (train, _) = SyntheticSpec::tiny(3).generate();
+        let make = || {
+            Trainer::new(
+                models::mini_cnn(3, 4, Some(PruneConfig::new(0.9, 2))),
+                TrainConfig::quick(),
+            )
+        };
+        // Straight run: two epochs.
+        let mut straight = make();
+        straight.train_epoch(&train);
+        straight.train_epoch(&train);
+
+        // Checkpoint every 3 steps: the last due snapshot lands mid-epoch 2.
+        let dir = std::env::temp_dir().join(format!("sparsetrain-midresume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config =
+            TrainConfig::quick().with_checkpoint_policy(CheckpointPolicy::every_steps(&dir, 3).with_keep(1));
+        let mut first = Trainer::new(models::mini_cnn(3, 4, Some(PruneConfig::new(0.9, 2))), config);
+        first.train_epoch(&train);
+        first.train_epoch(&train);
+        let latest = sparsetrain_checkpoint::latest_in(&dir)
+            .unwrap()
+            .expect("snapshot written");
+        let snap = sparsetrain_checkpoint::load(&latest).unwrap();
+        assert!(
+            snap.position.steps_into_epoch > 0,
+            "expected a mid-epoch snapshot"
+        );
+
+        let mut resumed = make();
+        resumed.resume(&snap).unwrap();
+        resumed.train_epoch(&train); // finishes the partial epoch
+
+        assert_eq!(all_params(&mut straight), all_params(&mut resumed));
+        assert_eq!(straight.stream_seeds(), resumed.stream_seeds());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_seed_mismatch_and_foreign_layers() {
+        let (train, _) = SyntheticSpec::tiny(2).generate();
+        let mut trainer = Trainer::new(models::mini_cnn(2, 4, None), TrainConfig::quick());
+        trainer.train_epoch(&train);
+        let snap = trainer.snapshot();
+
+        let mut other_seed = Trainer::new(
+            models::mini_cnn(2, 4, None),
+            TrainConfig {
+                seed: 9,
+                ..TrainConfig::quick()
+            },
+        );
+        match other_seed.resume(&snap) {
+            Err(ResumeError::SeedMismatch {
+                snapshot: 0,
+                config: 9,
+            }) => {}
+            other => panic!("expected SeedMismatch, got {other:?}"),
+        }
+
+        // A differently-shaped network leaves state unclaimed or mismatched.
+        let mut other_net = Trainer::new(models::mini_cnn(2, 8, None), TrainConfig::quick());
+        assert!(other_net.resume(&snap).is_err());
+    }
+
+    #[test]
+    fn train_harness_records_metrics_and_stops() {
+        use crate::metrics::{MetricStore, Patience, TargetAccuracy};
+
+        let (train, test) = SyntheticSpec::tiny(3).generate();
+        let net = models::mini_cnn(3, 4, Some(PruneConfig::new(0.9, 2)));
+        let mut trainer = Trainer::new(net, TrainConfig::quick());
+        let mut store = MetricStore::new().with_latency();
+        let mut stops: Vec<Box<dyn StopCondition>> = vec![Box::new(TargetAccuracy::new(2.0))];
+        let outcome = trainer.train(&train, Some(&test), 3, &mut store, &mut stops);
+        assert_eq!(outcome.epochs_run, 3);
+        assert!(outcome.stopped.is_none(), "accuracy 2.0 is unreachable");
+        assert_eq!(store.records().len(), 3);
+        let rec = store.last().unwrap();
+        assert_eq!(rec.epoch, 3);
+        assert!(rec.val_loss.is_some() && rec.val_accuracy.is_some());
+        assert!(rec.rho_nnz.is_some(), "pruned net must report density");
+        assert!(rec.step_latency_ns.is_some(), "harness records latency");
+
+        // A vanishing learning rate stalls the loss, so patience triggers.
+        let net = models::mini_cnn(3, 4, None);
+        let mut trainer = Trainer::new(
+            net,
+            TrainConfig {
+                lr: 1e-30,
+                ..TrainConfig::quick()
+            },
+        );
+        let mut store = MetricStore::new();
+        let mut stops: Vec<Box<dyn StopCondition>> = vec![Box::new(Patience::new(1))];
+        let outcome = trainer.train(&train, None, 5, &mut store, &mut stops);
+        assert!(outcome.stopped.is_some(), "zero-lr run should stall out");
+        assert!(outcome.epochs_run < 5);
+    }
+
+    #[test]
+    fn env_checkpoint_dir_sets_policy() {
+        // Serialised via a dedicated env var name; no other test reads it.
+        std::env::set_var(sparsetrain_checkpoint::CHECKPOINT_DIR_ENV, "/tmp/ckpt-env-test");
+        let config = TrainConfig::quick().with_env_checkpoint_dir();
+        std::env::remove_var(sparsetrain_checkpoint::CHECKPOINT_DIR_ENV);
+        let policy = config.checkpoint.expect("env override should apply");
+        assert_eq!(policy.dir, std::path::PathBuf::from("/tmp/ckpt-env-test"));
+        assert_eq!(policy.every_epochs, Some(1));
     }
 
     #[test]

@@ -195,8 +195,9 @@ fn env_override_selects_engine_end_to_end() {
     if expected != "scalar" {
         assert_eq!(config.engine.map(|h| h.name()), Some(expected));
     }
+    let engine = config.engine;
     let mut trainer = Trainer::new(models::mini_cnn(2, 4, None), config);
-    if config.engine.is_some() {
+    if engine.is_some() {
         assert_eq!(trainer.engine_name(), expected);
     }
     let stats = trainer.train_epoch(&train);

@@ -37,7 +37,7 @@
 
 use crate::engine::KernelEngine;
 use crate::mask::RowMask;
-use crate::registry::{lookup, EngineHandle};
+use crate::registry::{lookup, lookup_or_parse, EngineHandle};
 use crate::rowconv::SparseFeatureMap;
 use sparsetrain_tensor::conv::ConvGeometry;
 use sparsetrain_tensor::{Tensor3, Tensor4};
@@ -276,8 +276,7 @@ impl Plan {
     /// names that do not resolve.
     pub fn from_text(text: &str) -> Result<Self, PlanError> {
         let engine = |name: &str, line_no: usize| {
-            lookup(name)
-                .ok_or_else(|| PlanError(format!("line {line_no}: {name:?} is not a registered engine")))
+            lookup_or_parse(name).map_err(|e| PlanError(format!("line {line_no}: {e}")))
         };
         let mut plan = Plan::new(lookup("scalar").expect("scalar engine is always registered"));
         for (i, raw) in text.lines().enumerate() {
@@ -620,6 +619,23 @@ mod tests {
         assert!(malformed.to_string().contains("line 1"), "{malformed}");
         let bad_default = Plan::from_text("default warp-drive").unwrap_err();
         assert!(bad_default.to_string().contains("warp-drive"), "{bad_default}");
+    }
+
+    #[test]
+    fn plan_unknown_engine_surfaces_registry_detail() {
+        // Regression: an unregistered engine in a plan must carry the full
+        // `UnknownEngine` detail (registered names + spec forms), not a bare
+        // "not registered" message.
+        for text in ["conv1 forward warp-drive", "default warp-drive"] {
+            let err = Plan::from_text(text).unwrap_err().to_string();
+            assert!(err.contains("warp-drive"), "{err}");
+            assert!(err.contains("registered:"), "missing registry list: {err}");
+            assert!(err.contains("scalar"), "missing registered names: {err}");
+            assert!(err.contains("fixed:qI.F"), "missing spec forms: {err}");
+        }
+        // A parameterized spec that isn't pre-registered still resolves.
+        let plan = Plan::from_text("default fixed:q4.12").unwrap();
+        assert_eq!(plan.default_engine().name(), "fixed:q4.12");
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn main() {
                 weight_decay: 1e-4,
                 seed: 0,
                 engine: None,
+                checkpoint: None,
             },
         );
         for e in 0..epochs {

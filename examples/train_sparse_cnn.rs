@@ -13,9 +13,14 @@
 //! `im2row`, `parallel:im2row`, `fixed`, parameterized `fixed:qI.F`
 //! formats, plus anything added through
 //! `sparsetrain::sparse::registry::register`).
+//!
+//! Set `SPARSETRAIN_CHECKPOINT_DIR=/some/dir` to snapshot each run after
+//! every epoch (atomic write + keep-3 rotation); per-epoch metrics stream
+//! to `target/train-metrics-<label>.jsonl` either way.
 
 use sparsetrain::core::prune::PruneConfig;
 use sparsetrain::nn::data::SyntheticSpec;
+use sparsetrain::nn::metrics::{MetricStore, Patience, StopCondition};
 use sparsetrain::nn::models::ModelKind;
 use sparsetrain::nn::train::{TrainConfig, Trainer};
 use sparsetrain::sparse::registry;
@@ -54,32 +59,44 @@ fn main() {
         train.len(),
         test.len()
     );
-    println!("{:<10} {:>8} {:>10}", "p", "acc%", "rho_nnz");
+    println!("{:<10} {:>8} {:>10} {:>8}", "p", "acc%", "rho_nnz", "epochs");
 
     for p in [None, Some(0.7), Some(0.9), Some(0.99)] {
         let prune = p.map(|p| PruneConfig::new(p, 4));
         let net = ModelKind::Alexnet.build(spec.channels, spec.size, spec.classes, prune, 7);
-        let mut trainer = Trainer::new(
-            net,
-            TrainConfig {
-                batch_size: 16,
-                lr: 0.01,
-                momentum: 0.9,
-                weight_decay: 1e-4,
-                seed: 3,
-                engine,
-            },
-        );
-        for e in 0..6 {
-            if e == 4 {
-                trainer.set_learning_rate(0.002);
+        let label = p.map_or("dense".to_string(), |p| format!("{p}"));
+        let base = TrainConfig {
+            batch_size: 16,
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            seed: 3,
+            engine,
+            checkpoint: None,
+        };
+        // With SPARSETRAIN_CHECKPOINT_DIR set, each epoch ends with an
+        // atomically-written snapshot any later run can resume bitwise.
+        let mut trainer = Trainer::new(net, base.with_env_checkpoint_dir());
+        let mut metrics =
+            MetricStore::with_jsonl(format!("target/train-metrics-{label}.jsonl")).with_latency();
+        let mut stops: Vec<Box<dyn StopCondition>> = vec![Box::new(Patience::new(3))];
+        // Two segments implement the step LR schedule (0.01 for four
+        // epochs, then 0.002); epoch numbering continues across them.
+        let first = trainer.train(&train, Some(&test), 4, &mut metrics, &mut stops);
+        let mut epochs_run = first.epochs_run;
+        if first.stopped.is_none() {
+            trainer.set_learning_rate(0.002);
+            let second = trainer.train(&train, Some(&test), 2, &mut metrics, &mut stops);
+            epochs_run += second.epochs_run;
+            if let Some(reason) = second.stopped {
+                eprintln!("{label}: stopped early: {reason}");
             }
-            trainer.train_epoch(&train);
+        } else if let Some(reason) = first.stopped {
+            eprintln!("{label}: stopped early: {reason}");
         }
         let acc = trainer.evaluate(&test);
         let density = trainer.mean_grad_density().unwrap_or(1.0);
-        let label = p.map_or("dense".to_string(), |p| format!("{p}"));
-        println!("{label:<10} {:>8.1} {density:>10.3}", acc * 100.0);
+        println!("{label:<10} {:>8.1} {density:>10.3} {epochs_run:>8}", acc * 100.0);
     }
     println!("\nexpected shape (paper Table II): accuracy roughly flat, density falling with p");
 }

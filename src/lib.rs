@@ -8,6 +8,8 @@
 //! * [`sparse`] — compressed rows, masks and the SRC/MSRC/OSRC 1-D kernels,
 //! * [`core`] — stochastic activation-gradient pruning and the 1-D
 //!   convolution training dataflow compiler (the paper's contribution),
+//! * [`checkpoint`] — versioned binary training snapshots with atomic
+//!   keep-K rotation (bitwise-exact resume),
 //! * [`nn`] — a CNN training framework with AlexNet/ResNet-style models,
 //!   synthetic datasets and a trainer with pruning hooks,
 //! * [`sim`] — a cycle-accurate simulator of the SparseTrain accelerator
@@ -32,6 +34,7 @@
 //! }
 //! ```
 
+pub use sparsetrain_checkpoint as checkpoint;
 pub use sparsetrain_core as core;
 pub use sparsetrain_nn as nn;
 pub use sparsetrain_sim as sim;
