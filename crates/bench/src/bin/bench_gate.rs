@@ -19,7 +19,12 @@
 //! * `plan` — probe the density-adaptive planner on the AlexNet-shape
 //!   bench fixtures and print the frozen per-(layer, stage) execution
 //!   plan as a Markdown table (what the `auto` engine decides on this
-//!   machine at these densities).
+//!   machine at these densities). `--emit <file>` compiles the probed
+//!   plan into a binary `STPLAN` execution program; `--replay <file>`
+//!   decodes such a program in a fresh process and replays it through
+//!   the plan VM over the same fixtures, failing unless every program
+//!   cell executes. The emitted artifact is also what `SPARSETRAIN_PLAN`
+//!   accepts (alongside the legacy text format).
 //! * `ckpt` — measure the checkpoint subsystem on an AlexNet-shape model:
 //!   snapshot encode, decode, and the atomic save round-trip (write +
 //!   fsync + rename), plus the snapshot size. Appends one shim-format
@@ -94,7 +99,7 @@ usage: sparsetrain-bench <baseline|check|multicore|plan|ckpt> [options]
   check     --results <jsonl> --baseline <json>
             [--max-regression 0.20] [--summary <path>]
   multicore --results <jsonl> [--min-ratio 1.5] [--summary <path>]
-  plan      [--summary <path>]
+  plan      [--emit <file>] [--replay <file>] [--summary <path>]
   ckpt      [--results <jsonl>] [--summary <path>]";
 
 struct Opts {
@@ -102,6 +107,8 @@ struct Opts {
     baseline: Option<String>,
     out: Option<String>,
     summary: Option<String>,
+    emit: Option<String>,
+    replay: Option<String>,
     max_regression: f64,
     min_ratio: f64,
 }
@@ -113,6 +120,8 @@ impl Opts {
             baseline: None,
             out: None,
             summary: None,
+            emit: None,
+            replay: None,
             max_regression: 0.20,
             min_ratio: 1.5,
         };
@@ -128,6 +137,8 @@ impl Opts {
                 "--baseline" => opts.baseline = Some(value()?.to_string()),
                 "--out" => opts.out = Some(value()?.to_string()),
                 "--summary" => opts.summary = Some(value()?.to_string()),
+                "--emit" => opts.emit = Some(value()?.to_string()),
+                "--replay" => opts.replay = Some(value()?.to_string()),
                 "--max-regression" => {
                     opts.max_regression = value()?.parse().map_err(|e| format!("--max-regression: {e}"))?;
                 }
@@ -502,17 +513,22 @@ fn cmd_multicore(opts: &Opts) -> Result<bool, String> {
     Ok(pass)
 }
 
-/// Probes the density-adaptive planner on the AlexNet-shape bench
-/// fixtures (the same shapes, densities and seed as `benches/engine.rs`)
-/// and prints the frozen plan as a Markdown table. With `SPARSETRAIN_PLAN`
-/// set, prints that plan's decisions over the same cells instead of
-/// probing.
-fn cmd_plan(opts: &Opts) -> Result<bool, String> {
+/// One AlexNet-shape bench layer's deterministic operands (same shapes,
+/// densities and seed as `benches/engine.rs`).
+struct PlanFixture {
+    name: &'static str,
+    c: usize,
+    f: usize,
+    hw: usize,
+    input: sparsetrain_sparse::rowconv::SparseFeatureMap,
+    dout: sparsetrain_sparse::rowconv::SparseFeatureMap,
+    weights: sparsetrain_tensor::Tensor4,
+}
+
+fn plan_fixtures() -> Vec<PlanFixture> {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
     use sparsetrain_sparse::rowconv::SparseFeatureMap;
-    use sparsetrain_sparse::ExecutionContext;
-    use sparsetrain_tensor::conv::ConvGeometry;
     use sparsetrain_tensor::{Tensor3, Tensor4};
 
     // The AlexNet-style layer table of benches/engine.rs: (name, channels,
@@ -524,38 +540,126 @@ fn cmd_plan(opts: &Opts) -> Result<bool, String> {
         ("conv4_192x192x8", 192, 192, 8, 0.30, 0.05),
     ];
 
-    let mut ctx = ExecutionContext::by_name("auto").map_err(|e| e.to_string())?;
-    let geom = ConvGeometry::new(3, 1, 1);
-    for (name, c, f, hw, din, dgrad) in LAYERS {
-        let mut rng = StdRng::seed_from_u64(42);
-        let sparse = |rng: &mut StdRng, density: f64| {
-            if rng.gen::<f64>() < density {
-                rng.gen::<f32>() - 0.5
-            } else {
-                0.0
+    LAYERS
+        .into_iter()
+        .map(|(name, c, f, hw, din, dgrad)| {
+            let mut rng = StdRng::seed_from_u64(42);
+            let sparse = |rng: &mut StdRng, density: f64| {
+                if rng.gen::<f64>() < density {
+                    rng.gen::<f32>() - 0.5
+                } else {
+                    0.0
+                }
+            };
+            let input =
+                SparseFeatureMap::from_tensor(&Tensor3::from_fn(c, hw, hw, |_, _, _| sparse(&mut rng, din)));
+            let dout = SparseFeatureMap::from_tensor(&Tensor3::from_fn(f, hw, hw, |_, _, _| {
+                sparse(&mut rng, dgrad)
+            }));
+            let weights = Tensor4::from_fn(f, c, 3, 3, |_, _, _, _| rng.gen::<f32>() - 0.5);
+            PlanFixture {
+                name,
+                c,
+                f,
+                hw,
+                input,
+                dout,
+                weights,
             }
-        };
-        let input =
-            SparseFeatureMap::from_tensor(&Tensor3::from_fn(c, hw, hw, |_, _, _| sparse(&mut rng, din)));
-        let dout =
-            SparseFeatureMap::from_tensor(&Tensor3::from_fn(f, hw, hw, |_, _, _| sparse(&mut rng, dgrad)));
-        let weights = Tensor4::from_fn(f, c, 3, 3, |_, _, _, _| rng.gen::<f32>() - 0.5);
-        let masks = vec![input.masks()];
-        ctx.forward_batch_for(name, std::slice::from_ref(&input), &weights, None, geom);
-        let mut dins = vec![Tensor3::zeros(c, hw, hw)];
+        })
+        .collect()
+}
+
+/// Probes the density-adaptive planner on the AlexNet-shape bench
+/// fixtures and prints the frozen plan as a Markdown table. `--emit`
+/// compiles the probed plan into a binary `STPLAN` program on disk;
+/// `--replay` instead decodes such a program and replays it through the
+/// plan VM over the same fixtures, passing only when every program cell
+/// executed (so a stale artifact that no longer matches the fixtures
+/// fails loudly).
+fn cmd_plan(opts: &Opts) -> Result<bool, String> {
+    use sparsetrain_sparse::{ExecutionContext, ExecutionProgram, PlanVm, Stage};
+    use sparsetrain_tensor::conv::ConvGeometry;
+    use sparsetrain_tensor::{Tensor3, Tensor4};
+
+    let geom = ConvGeometry::new(3, 1, 1);
+    let fixtures = plan_fixtures();
+
+    if let Some(path) = &opts.replay {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let program = ExecutionProgram::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        let mut vm = PlanVm::new(program).map_err(|e| format!("{path}: {e}"))?;
+        for fix in &fixtures {
+            vm.forward_batch(
+                fix.name,
+                std::slice::from_ref(&fix.input),
+                &fix.weights,
+                None,
+                geom,
+            );
+            let masks = vec![fix.input.masks()];
+            let mut dins = vec![Tensor3::zeros(fix.c, fix.hw, fix.hw)];
+            vm.input_grad_batch_into(
+                fix.name,
+                std::slice::from_ref(&fix.dout),
+                &fix.weights,
+                geom,
+                &masks,
+                &mut dins,
+            );
+            let mut dw = Tensor4::zeros(fix.f, fix.c, 3, 3);
+            vm.weight_grad_batch(
+                fix.name,
+                std::slice::from_ref(&fix.input),
+                std::slice::from_ref(&fix.dout),
+                geom,
+                &mut dw,
+            );
+        }
+        let pending = vm.pending_cells();
+        let mut summary = String::from("## Replayed execution program\n\n");
+        summary.push_str(&vm.plan().to_markdown());
+        let pass = pending.is_empty();
+        if pass {
+            let _ = writeln!(
+                summary,
+                "\nEvery program cell executed ({} cells).",
+                vm.program().cells().len()
+            );
+        } else {
+            let _ = writeln!(summary, "\n**Unreplayed program cells:**\n");
+            for (layer, stage) in &pending {
+                let _ = writeln!(summary, "- `{layer}` / {}", stage.name());
+            }
+        }
+        emit_summary(opts, &summary);
+        return Ok(pass);
+    }
+
+    let mut ctx = ExecutionContext::by_name("auto").map_err(|e| e.to_string())?;
+    for fix in &fixtures {
+        let masks = vec![fix.input.masks()];
+        ctx.forward_batch_for(
+            fix.name,
+            std::slice::from_ref(&fix.input),
+            &fix.weights,
+            None,
+            geom,
+        );
+        let mut dins = vec![Tensor3::zeros(fix.c, fix.hw, fix.hw)];
         ctx.input_grad_batch_for_into(
-            name,
-            std::slice::from_ref(&dout),
-            &weights,
+            fix.name,
+            std::slice::from_ref(&fix.dout),
+            &fix.weights,
             geom,
             &masks,
             &mut dins,
         );
-        let mut dw = Tensor4::zeros(f, c, 3, 3);
+        let mut dw = Tensor4::zeros(fix.f, fix.c, 3, 3);
         ctx.weight_grad_batch_for(
-            name,
-            std::slice::from_ref(&input),
-            std::slice::from_ref(&dout),
+            fix.name,
+            std::slice::from_ref(&fix.input),
+            std::slice::from_ref(&fix.dout),
             geom,
             &mut dw,
         );
@@ -563,6 +667,24 @@ fn cmd_plan(opts: &Opts) -> Result<bool, String> {
     let plan = ctx.plan().expect("auto context is planned");
     let mut summary = String::from("## Density-adaptive execution plan\n\n");
     summary.push_str(&plan.to_markdown());
+    if let Some(path) = &opts.emit {
+        let mut program = plan.to_program();
+        for fix in &fixtures {
+            let (in_nnz, out_nnz) = (fix.input.nnz() as u64, fix.dout.nnz() as u64);
+            program.note_workspace(fix.name, Stage::Forward, in_nnz);
+            program.note_workspace(fix.name, Stage::InputGrad, out_nnz);
+            program.note_workspace(fix.name, Stage::WeightGrad, in_nnz + out_nnz);
+            program.note_prune_point(fix.name, out_nnz);
+        }
+        let bytes = program.encode().map_err(|e| format!("encode: {e}"))?;
+        std::fs::write(path, &bytes).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let _ = writeln!(
+            summary,
+            "\nCompiled program: `{path}` ({} bytes, {} cells).",
+            bytes.len(),
+            program.cells().len()
+        );
+    }
     emit_summary(opts, &summary);
     Ok(true)
 }

@@ -8,14 +8,16 @@
 //! ```
 //!
 //! Sections appear at most once each; `Position`, `ShuffleRng`, `Optimizer`, and `Layers` are
-//! mandatory, `Plan` is optional. Decoding is strict: unknown tags, duplicate or missing
+//! mandatory, `Plan` and `PlanProgram` are optional (and mutually exclusive: a snapshot carries
+//! its frozen plan either as legacy text or as a compiled `STPLAN` binary program, never both).
+//! Decoding is strict: unknown tags, duplicate or missing
 //! sections, short payloads, and trailing bytes are all typed [`DecodeError`]s that name the
 //! offending section — corrupt snapshots must never panic.
 
 use std::error::Error;
 use std::fmt;
 
-use crate::snapshot::{LayerState, OptimizerState, PrunerState, RunPosition, Snapshot};
+use crate::snapshot::{LayerState, OptimizerState, PlanPayload, PrunerState, RunPosition, Snapshot};
 
 /// File magic: "STCKPT" + format epoch byte + NUL.
 pub const MAGIC: [u8; 8] = *b"STCKPT\x01\x00";
@@ -27,6 +29,7 @@ const TAG_SHUFFLE_RNG: u16 = 2;
 const TAG_PLAN: u16 = 3;
 const TAG_OPTIMIZER: u16 = 4;
 const TAG_LAYERS: u16 = 5;
+const TAG_PLAN_PROGRAM: u16 = 6;
 
 const KIND_PARAMS: u8 = 1;
 const KIND_RNG: u8 = 2;
@@ -41,6 +44,7 @@ pub enum Section {
     Plan,
     Optimizer,
     Layers,
+    PlanProgram,
 }
 
 impl Section {
@@ -51,6 +55,7 @@ impl Section {
             TAG_PLAN => Some(Section::Plan),
             TAG_OPTIMIZER => Some(Section::Optimizer),
             TAG_LAYERS => Some(Section::Layers),
+            TAG_PLAN_PROGRAM => Some(Section::PlanProgram),
             _ => None,
         }
     }
@@ -64,6 +69,7 @@ impl fmt::Display for Section {
             Section::Plan => "plan",
             Section::Optimizer => "optimizer",
             Section::Layers => "layers",
+            Section::PlanProgram => "plan-program",
         };
         f.write_str(name)
     }
@@ -201,6 +207,12 @@ impl Writer {
         Ok(())
     }
 
+    fn bytes(&mut self, field: &'static str, xs: &[u8]) -> Result<(), EncodeError> {
+        self.count(field, xs.len())?;
+        self.buf.extend_from_slice(xs);
+        Ok(())
+    }
+
     fn f32_slice(&mut self, field: &'static str, xs: &[f32]) -> Result<(), EncodeError> {
         self.count(field, xs.len())?;
         for &x in xs {
@@ -301,6 +313,11 @@ impl<'a> Reader<'a> {
         String::from_utf8(raw.to_vec()).map_err(|_| self.invalid(field))
     }
 
+    fn byte_vec(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.count()?;
+        Ok(self.take(n)?.to_vec())
+    }
+
     fn f32_vec(&mut self) -> Result<Vec<f32>, DecodeError> {
         let n = self.count()?;
         let mut out = Vec::with_capacity(n.min(self.bytes.len() / 4 + 1));
@@ -359,10 +376,18 @@ pub fn encode_snapshot(snap: &Snapshot) -> Result<Vec<u8>, EncodeError> {
     }
     sections.push((TAG_SHUFFLE_RNG, w.buf));
 
-    if let Some(plan) = &snap.plan {
-        let mut w = Writer::new(Section::Plan);
-        w.str("plan text", plan)?;
-        sections.push((TAG_PLAN, w.buf));
+    match &snap.plan {
+        Some(PlanPayload::Text(text)) => {
+            let mut w = Writer::new(Section::Plan);
+            w.str("plan text", text)?;
+            sections.push((TAG_PLAN, w.buf));
+        }
+        Some(PlanPayload::Program(bytes)) => {
+            let mut w = Writer::new(Section::PlanProgram);
+            w.bytes("plan program bytes", bytes)?;
+            sections.push((TAG_PLAN_PROGRAM, w.buf));
+        }
+        None => {}
     }
 
     let mut w = Writer::new(Section::Optimizer);
@@ -463,7 +488,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, DecodeError> {
 
     let mut position: Option<RunPosition> = None;
     let mut shuffle_rng: Option<[u64; 4]> = None;
-    let mut plan: Option<String> = None;
+    let mut plan: Option<PlanPayload> = None;
     let mut optimizer: Option<OptimizerState> = None;
     let mut layers: Option<Vec<LayerState>> = None;
 
@@ -511,13 +536,23 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, DecodeError> {
                 shuffle_rng = Some(state);
             }
             Section::Plan => {
+                // Shares the plan slot with PlanProgram: a snapshot carries one frozen plan.
                 if plan.is_some() {
                     return Err(DecodeError::DuplicateSection { section });
                 }
                 let mut r = Reader::new(section, payload);
                 let text = r.str("plan text")?;
                 r.finish()?;
-                plan = Some(text);
+                plan = Some(PlanPayload::Text(text));
+            }
+            Section::PlanProgram => {
+                if plan.is_some() {
+                    return Err(DecodeError::DuplicateSection { section });
+                }
+                let mut r = Reader::new(section, payload);
+                let bytes = r.byte_vec()?;
+                r.finish()?;
+                plan = Some(PlanPayload::Program(bytes));
             }
             Section::Optimizer => {
                 if optimizer.is_some() {
@@ -653,7 +688,9 @@ mod tests {
                 steps_into_epoch: 7,
             },
             shuffle_rng: [0x1111, 0x2222, 0x3333, 0x4444],
-            plan: Some("# sparsetrain execution plan v1\ndefault scalar\n".to_string()),
+            plan: Some(PlanPayload::Text(
+                "# sparsetrain execution plan v1\ndefault scalar\n".to_string(),
+            )),
             optimizer: OptimizerState {
                 lr: 0.01,
                 velocities: vec![vec![0.5, -0.25, f32::MIN_POSITIVE], vec![], vec![1.0e-30]],
@@ -706,6 +743,77 @@ mod tests {
         let bytes = snap.encode().unwrap();
         let back = Snapshot::decode(&bytes).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn roundtrips_with_binary_plan_program() {
+        let mut snap = sample_snapshot();
+        snap.plan = Some(PlanPayload::Program(vec![0x53, 0x54, 0x00, 0xFF, 0x01]));
+        let bytes = snap.encode().unwrap();
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn plan_program_section_golden_bytes() {
+        // The tag-6 payload layout is pinned: count u32 (LE) + raw bytes. A change here is a
+        // wire-format break and must bump VERSION.
+        let mut snap = sample_snapshot();
+        snap.plan = Some(PlanPayload::Program(vec![1, 2, 3]));
+        let bytes = snap.encode().unwrap();
+        // Locate the tag-6 section by walking the container.
+        let mut pos = 16usize;
+        let mut found = None;
+        while pos + 12 <= bytes.len() {
+            let tag = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]);
+            let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+            if tag == TAG_PLAN_PROGRAM {
+                found = Some(&bytes[pos + 12..pos + 12 + len]);
+                break;
+            }
+            pos += 12 + len;
+        }
+        assert_eq!(
+            found.expect("tag-6 section present"),
+            &[0x03, 0x00, 0x00, 0x00, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn text_and_program_plan_sections_are_mutually_exclusive() {
+        // Hand-build a container carrying both plan forms; the decoder must reject it as a
+        // duplicate of the (single) plan slot.
+        let text_snap = sample_snapshot();
+        let text_bytes = text_snap.encode().unwrap();
+        let mut program_snap = sample_snapshot();
+        program_snap.plan = Some(PlanPayload::Program(vec![9, 9]));
+        let program_bytes = program_snap.encode().unwrap();
+
+        let section = |bytes: &[u8], want: u16| -> Vec<u8> {
+            let mut pos = 16usize;
+            loop {
+                let tag = u16::from_le_bytes([bytes[pos], bytes[pos + 1]]);
+                let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
+                if tag == want {
+                    return bytes[pos..pos + 12 + len].to_vec();
+                }
+                pos += 12 + len;
+            }
+        };
+
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 2]);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&section(&text_bytes, TAG_PLAN));
+        bytes.extend_from_slice(&section(&program_bytes, TAG_PLAN_PROGRAM));
+        assert_eq!(
+            Snapshot::decode(&bytes),
+            Err(DecodeError::DuplicateSection {
+                section: Section::PlanProgram
+            })
+        );
     }
 
     #[test]

@@ -18,4 +18,4 @@ pub mod snapshot;
 
 pub use codec::{decode_snapshot, encode_snapshot, DecodeError, EncodeError, Section};
 pub use policy::{latest_in, load, CheckpointManager, CheckpointPolicy, LoadError, CHECKPOINT_DIR_ENV};
-pub use snapshot::{LayerState, OptimizerState, PrunerState, RunPosition, Snapshot};
+pub use snapshot::{LayerState, OptimizerState, PlanPayload, PrunerState, RunPosition, Snapshot};

@@ -106,12 +106,14 @@ pub struct CheckpointManager {
 }
 
 impl CheckpointManager {
-    /// Create the run directory if needed and adopt any snapshot files already present (so
-    /// rotation keeps working across resumed processes).
+    /// Create the run directory if needed, sweep any `.tmp` files a crashed predecessor left
+    /// between write and rename, and adopt the snapshot files already present (so rotation
+    /// keeps working across resumed processes).
     pub fn new(policy: CheckpointPolicy) -> io::Result<Self> {
         fs::create_dir_all(&policy.dir)?;
+        sweep_orphaned_tmp(&policy.dir)?;
         let mut written = snapshot_files(&policy.dir)?;
-        written.sort();
+        sort_chronologically(&mut written);
         Ok(CheckpointManager { policy, written })
     }
 
@@ -138,6 +140,8 @@ impl CheckpointManager {
             file.sync_all()?;
         }
         fs::rename(&tmp, &path)?;
+        // The rename is only durable once the directory entry itself is on disk.
+        sync_dir(&self.policy.dir)?;
         if !self.written.contains(&path) {
             self.written.push(path.clone());
         }
@@ -166,10 +170,10 @@ impl CheckpointManager {
     }
 }
 
-/// Most recent snapshot file in `dir` (filenames sort chronologically), if any.
+/// Most recent snapshot file in `dir`, by numeric `(epoch, step)` position, if any.
 pub fn latest_in(dir: &Path) -> io::Result<Option<PathBuf>> {
     let mut files = snapshot_files(dir)?;
-    files.sort();
+    sort_chronologically(&mut files);
     Ok(files.pop())
 }
 
@@ -177,6 +181,61 @@ pub fn latest_in(dir: &Path) -> io::Result<Option<PathBuf>> {
 pub fn load(path: &Path) -> Result<Snapshot, LoadError> {
     let bytes = fs::read(path).map_err(LoadError::Io)?;
     Snapshot::decode(&bytes).map_err(LoadError::Decode)
+}
+
+/// Numeric `(epoch, step)` of a `ckpt-e{epoch}-s{step}.stck` path, if it matches the scheme.
+fn parse_position(path: &Path) -> Option<(u64, u64)> {
+    let stem = path.file_stem()?.to_str()?;
+    let rest = stem.strip_prefix("ckpt-e")?;
+    let (epoch, step) = rest.split_once("-s")?;
+    Some((epoch.parse().ok()?, step.parse().ok()?))
+}
+
+/// Oldest-first by numeric `(epoch, step)` — NOT lexicographically: once a step outgrows the
+/// zero-padded `{:09}` width, `1_000_000_000` sorts before `999_999_999` as a string. Files
+/// outside the naming scheme sort first (no position), ties fall back to the path.
+fn sort_chronologically(files: &mut [PathBuf]) {
+    files.sort_by(|a, b| (parse_position(a), a).cmp(&(parse_position(b), b)));
+}
+
+/// Remove `*.{SNAPSHOT_EXT}.tmp` files a crashed process left between write and rename. Only
+/// this manager's own naming scheme is touched; a concurrent writer renaming a swept file away
+/// is tolerated.
+fn sweep_orphaned_tmp(dir: &Path) -> io::Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e),
+    };
+    let suffix = format!(".{SNAPSHOT_EXT}.tmp");
+    for entry in entries {
+        let path = entry?.path();
+        let is_orphan = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(&suffix));
+        if is_orphan {
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Flush a directory's entry table so a preceding rename survives power loss.
+#[cfg(unix)]
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    fs::File::open(dir)?.sync_all()
+}
+
+/// Directories cannot be opened for syncing on this platform; renames stay
+/// atomic-but-not-durable, as before.
+#[cfg(not(unix))]
+fn sync_dir(_dir: &Path) -> io::Result<()> {
+    Ok(())
 }
 
 fn snapshot_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
@@ -289,6 +348,52 @@ mod tests {
             names[0].contains("e00002") && names[1].contains("e00003"),
             "kept: {names:?}"
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn latest_in_orders_numerically_across_padding_overflow() {
+        // Regression: step 1_000_000_000 outgrows the `{:09}` zero padding, so a
+        // lexicographic sort ranked it *before* 999_999_999 and resume picked the older file.
+        let dir = temp_dir("overflow");
+        let mut mgr = CheckpointManager::new(CheckpointPolicy::every_steps(&dir, 1).with_keep(0)).unwrap();
+        mgr.save(&tiny_snapshot(1, 999_999_999)).unwrap();
+        mgr.save(&tiny_snapshot(1, 1_000_000_000)).unwrap();
+        let latest = latest_in(&dir).unwrap().expect("snapshots exist");
+        assert_eq!(load(&latest).unwrap().position.step, 1_000_000_000);
+
+        // Epoch overflow across the `{:05}` width, same story.
+        mgr.save(&tiny_snapshot(99_999, 5)).unwrap();
+        mgr.save(&tiny_snapshot(100_000, 1)).unwrap();
+        let latest = latest_in(&dir).unwrap().expect("snapshots exist");
+        assert_eq!(load(&latest).unwrap().position.epoch, 100_000);
+
+        // Rotation on a fresh manager must also drop the numerically-oldest file first.
+        let mgr = CheckpointManager::new(CheckpointPolicy::every_steps(&dir, 1).with_keep(2)).unwrap();
+        let first = mgr.files().first().and_then(|p| parse_position(p)).unwrap();
+        assert_eq!(
+            first,
+            (1, 999_999_999),
+            "oldest must sort first: {:?}",
+            mgr.files()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manager_sweeps_orphaned_tmp_files() {
+        // Regression: a crash between write and rename stranded `*.stck.tmp` files forever.
+        let dir = temp_dir("sweep");
+        fs::create_dir_all(&dir).unwrap();
+        let orphan = dir.join(format!("ckpt-e00001-s000000010.{SNAPSHOT_EXT}.tmp"));
+        fs::write(&orphan, b"half-written").unwrap();
+        let unrelated = dir.join("notes.tmp");
+        fs::write(&unrelated, b"keep me").unwrap();
+
+        let mgr = CheckpointManager::new(CheckpointPolicy::every_epochs(&dir, 1)).unwrap();
+        assert!(!orphan.exists(), "orphaned snapshot tmp must be swept");
+        assert!(unrelated.exists(), "files outside the naming scheme must survive");
+        assert!(mgr.files().is_empty(), "a tmp file is not a snapshot");
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -79,6 +79,18 @@ impl LayerState {
     }
 }
 
+/// A frozen execution plan embedded in a snapshot, in either of the planner's serialized forms.
+/// The bytes are opaque here — this crate stores and round-trips them bit-exactly; the trainer
+/// resolves them through the planner's parsers on resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanPayload {
+    /// The line-oriented text format (`Plan::to_text`) — what snapshots before the binary
+    /// program format carried.
+    Text(String),
+    /// A compiled `STPLAN` binary execution program (`ExecutionProgram::encode`).
+    Program(Vec<u8>),
+}
+
 /// A complete, resumable training snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
@@ -86,8 +98,8 @@ pub struct Snapshot {
     pub position: RunPosition,
     /// Shuffling `StdRng` (xoshiro256++) state as captured at the start of the current epoch.
     pub shuffle_rng: [u64; 4],
-    /// Frozen execution plan (`Plan::to_text` payload), if the run used the `auto` engine.
-    pub plan: Option<String>,
+    /// Frozen execution plan, if the run used the `auto` engine.
+    pub plan: Option<PlanPayload>,
     /// Optimizer state.
     pub optimizer: OptimizerState,
     /// Per-layer state entries in network traversal order.

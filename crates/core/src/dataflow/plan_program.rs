@@ -1,0 +1,141 @@
+//! Lowering a planner [`Plan`] into a binary [`ExecutionProgram`].
+//!
+//! The container format, codec, and VM live with the planner in
+//! `sparsetrain_sparse::plan_program` (the dependency points core →
+//! sparse); this module is the **compiler back half**: it walks a compiled
+//! instruction [`Program`] alongside its [`NetworkTrace`] and folds the
+//! per-instruction operand populations into the program's workspace hints
+//! and each conv layer's pruned-gradient population into its prune points.
+//! The result is the self-contained artifact the `sparsetrain-bench plan
+//! --emit`/`--replay` flow and `SPARSETRAIN_PLAN` ship across processes.
+
+use super::compiler::Program;
+use super::ops::StepKind;
+use super::trace::{LayerTrace, NetworkTrace};
+use sparsetrain_sparse::plan_program::ExecutionProgram;
+use sparsetrain_sparse::planner::{Plan, Stage};
+
+/// The planner stage a compiled instruction step executes in.
+pub fn stage_of(step: StepKind) -> Stage {
+    match step {
+        StepKind::Forward => Stage::Forward,
+        StepKind::Gta => Stage::InputGrad,
+        StepKind::Gtw => Stage::WeightGrad,
+    }
+}
+
+/// Lowers `plan` into a binary [`ExecutionProgram`], enriched with the
+/// workspace hints and prune points of the compiled instruction `program`
+/// (whose `layer` indices resolve through `trace.layers`).
+///
+/// The lowering is **lossless** on the plan: the program's cell table and
+/// default engine round-trip back to an identical [`Plan`] through
+/// [`Plan::from_program`]. The metadata is advisory — workspace hints
+/// record the largest single-instruction operand population per
+/// `(layer, stage)` cell (what one row op streams through scratch), prune
+/// points the total pruned output-gradient population per conv layer (the
+/// density regime the plan's decisions were made for).
+pub fn compile_plan(plan: &Plan, trace: &NetworkTrace, program: &Program) -> ExecutionProgram {
+    let mut out = plan.to_program();
+    for instr in &program.instrs {
+        let Some(layer) = trace.layers.get(instr.layer as usize) else {
+            continue;
+        };
+        let elements = u64::from(instr.port1_nnz) + u64::from(instr.port2_nnz) + u64::from(instr.mask_nnz);
+        out.note_workspace(layer.name(), stage_of(instr.step), elements);
+    }
+    for layer in &trace.layers {
+        if let LayerTrace::Conv(conv) = layer {
+            out.note_prune_point(&conv.name, conv.dout.nnz() as u64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataflow::compiler::compile;
+    use crate::dataflow::trace::ConvLayerTrace;
+    use sparsetrain_sparse::registry::lookup;
+    use sparsetrain_sparse::rowconv::SparseFeatureMap;
+    use sparsetrain_tensor::conv::ConvGeometry;
+    use sparsetrain_tensor::Tensor3;
+
+    fn conv_trace(name: &str) -> ConvLayerTrace {
+        let geom = ConvGeometry::new(3, 1, 1);
+        let input = SparseFeatureMap::from_tensor(&Tensor3::from_fn(2, 6, 6, |c, y, x| {
+            if (c + 2 * y + x) % 3 == 0 {
+                0.5
+            } else {
+                0.0
+            }
+        }));
+        let dout = SparseFeatureMap::from_tensor(&Tensor3::from_fn(3, 6, 6, |c, y, x| {
+            if (c + y + x) % 4 == 0 {
+                0.25
+            } else {
+                0.0
+            }
+        }));
+        let input_masks = input.masks();
+        ConvLayerTrace {
+            name: name.to_string(),
+            geom,
+            filters: 3,
+            input,
+            input_masks,
+            dout,
+            needs_input_grad: true,
+        }
+    }
+
+    #[test]
+    fn compile_plan_is_lossless_and_carries_trace_metadata() {
+        let mut trace = NetworkTrace::default();
+        trace.layers.push(LayerTrace::Conv(conv_trace("conv1")));
+        trace.layers.push(LayerTrace::Conv(conv_trace("conv2")));
+        let program = compile(&trace);
+        assert!(!program.instrs.is_empty());
+
+        let mut plan = Plan::new(lookup("scalar").unwrap());
+        plan.set("conv1", Stage::Forward, lookup("im2row").unwrap());
+        plan.set("conv2", Stage::WeightGrad, lookup("simd").unwrap());
+
+        let compiled = compile_plan(&plan, &trace, &program);
+        // Lossless on the plan itself.
+        assert_eq!(Plan::from_program(&compiled).unwrap(), plan);
+        let bytes = compiled.encode().unwrap();
+        assert_eq!(ExecutionProgram::decode(&bytes).unwrap(), compiled);
+
+        // Every (conv layer, stage) the instruction stream touches has a
+        // workspace hint; every conv layer has its prune point.
+        for name in ["conv1", "conv2"] {
+            for stage in Stage::ALL {
+                assert!(
+                    compiled.workspace_hint(name, stage).is_some(),
+                    "missing hint for ({name}, {stage})"
+                );
+            }
+            let conv = conv_trace(name);
+            assert_eq!(compiled.prune_point(name), Some(conv.dout.nnz() as u64));
+        }
+
+        // The hint is the max per-instruction operand population.
+        let expect: u64 = program
+            .instrs
+            .iter()
+            .filter(|i| i.layer == 0 && i.step == StepKind::Forward)
+            .map(|i| u64::from(i.port1_nnz) + u64::from(i.port2_nnz) + u64::from(i.mask_nnz))
+            .max()
+            .unwrap();
+        assert_eq!(compiled.workspace_hint("conv1", Stage::Forward), Some(expect));
+    }
+
+    #[test]
+    fn stage_mapping_covers_every_step() {
+        assert_eq!(stage_of(StepKind::Forward), Stage::Forward);
+        assert_eq!(stage_of(StepKind::Gta), Stage::InputGrad);
+        assert_eq!(stage_of(StepKind::Gtw), Stage::WeightGrad);
+    }
+}

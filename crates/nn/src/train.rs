@@ -8,10 +8,12 @@ use crate::optim::Sgd;
 use crate::sequential::Sequential;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sparsetrain_checkpoint::{CheckpointManager, CheckpointPolicy, OptimizerState, RunPosition, Snapshot};
+use sparsetrain_checkpoint::{
+    CheckpointManager, CheckpointPolicy, OptimizerState, PlanPayload, RunPosition, Snapshot,
+};
 use sparsetrain_core::dataflow::NetworkTrace;
 use sparsetrain_core::prune::{StepStreams, StreamSeeds};
-use sparsetrain_sparse::{registry, EngineHandle, ExecutionContext, Plan};
+use sparsetrain_sparse::{registry, EngineHandle, ExecutionContext, ExecutionProgram, Plan};
 use sparsetrain_tensor::Tensor3;
 
 /// Training hyper-parameters.
@@ -375,8 +377,9 @@ impl Trainer {
     /// Captures the complete mutable training state as a [`Snapshot`]:
     /// parameters, optimizer velocities, pruner statistics, RNG positions,
     /// the `(seed, epoch, step)` ladder, and the active execution plan (if
-    /// the `auto` planner froze one). Feeding it to [`Trainer::resume`] on
-    /// a fresh trainer reproduces the remaining run bitwise.
+    /// the `auto` planner froze one — embedded as a compiled binary
+    /// `ExecutionProgram`). Feeding it to [`Trainer::resume`] on a fresh
+    /// trainer reproduces the remaining run bitwise.
     pub fn snapshot(&self) -> Snapshot {
         // Mid-epoch the shuffle must be replayed from the epoch's start, so
         // store the pre-shuffle state; at an epoch boundary the live state
@@ -396,7 +399,13 @@ impl Trainer {
                 steps_into_epoch: self.steps_into_epoch,
             },
             shuffle_rng,
-            plan: self.ctx.plan().map(Plan::to_text),
+            plan: self.ctx.plan().map(|plan| {
+                let bytes = plan
+                    .to_program()
+                    .encode()
+                    .expect("frozen plans are always encodable");
+                PlanPayload::Program(bytes)
+            }),
             optimizer: OptimizerState {
                 lr: self.sgd.learning_rate(),
                 velocities: self.sgd.velocities().to_vec(),
@@ -410,9 +419,10 @@ impl Trainer {
     /// seed as the run that produced the snapshot; continuing afterwards
     /// reproduces the original trajectory bitwise.
     ///
-    /// When the snapshot embeds an execution plan and this trainer runs on
-    /// the `auto` engine, the frozen plan is replayed instead of re-probing
-    /// (an explicitly pinned engine takes precedence over the plan).
+    /// When the snapshot embeds an execution plan — binary program or
+    /// legacy text payload — and this trainer runs on the `auto` engine,
+    /// the frozen plan is replayed instead of re-probing (an explicitly
+    /// pinned engine takes precedence over the plan).
     ///
     /// # Errors
     ///
@@ -426,9 +436,18 @@ impl Trainer {
                 config: self.config.seed,
             });
         }
-        if let Some(text) = &snap.plan {
+        if let Some(payload) = &snap.plan {
             if self.ctx.engine_name() == "auto" {
-                let plan = Plan::from_text(text).map_err(|e| ResumeError::Plan(e.to_string()))?;
+                let plan = match payload {
+                    PlanPayload::Text(text) => {
+                        Plan::from_text(text).map_err(|e| ResumeError::Plan(e.to_string()))?
+                    }
+                    PlanPayload::Program(bytes) => {
+                        let program =
+                            ExecutionProgram::decode(bytes).map_err(|e| ResumeError::Plan(e.to_string()))?;
+                        Plan::from_program(&program).map_err(|e| ResumeError::Plan(e.to_string()))?
+                    }
+                };
                 self.ctx = ExecutionContext::with_plan(plan);
             }
         }

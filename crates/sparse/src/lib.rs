@@ -106,6 +106,7 @@ pub mod im2row_engine;
 pub mod mask;
 pub mod msrc;
 pub mod osrc;
+pub mod plan_program;
 pub mod planner;
 pub mod registry;
 pub mod rowconv;
@@ -119,6 +120,7 @@ pub use engine::{BandContext, KernelEngine, ParallelEngine, ScalarEngine, Worksp
 pub use fixed_engine::FixedPointEngine;
 pub use im2row_engine::Im2RowEngine;
 pub use mask::RowMask;
+pub use plan_program::{ExecutionProgram, PlanVm};
 pub use planner::{AutoEngine, Plan, PlanError, Planner, Stage, PLAN_ENV};
 pub use registry::{EngineHandle, UnknownEngine, ENGINE_ENV};
 pub use simd_engine::SimdEngine;

@@ -15,8 +15,11 @@
 //! * [`Plan`] — the frozen decision table mapping cells to
 //!   [`EngineHandle`]s, with a default engine for unplanned cells. Plans
 //!   serialize to a line-oriented text format (see [`Plan::from_text`])
+//!   and to the compiled binary program format
+//!   ([`crate::plan_program::ExecutionProgram`], via [`Plan::to_program`])
 //!   so a probed plan can be saved and replayed via the
-//!   [`PLAN_ENV`] (`SPARSETRAIN_PLAN`) environment variable, and render
+//!   [`PLAN_ENV`] (`SPARSETRAIN_PLAN`) environment variable — which
+//!   accepts either format, sniffing the binary magic — and render
 //!   as a Markdown table ([`Plan::to_markdown`]) for reports.
 //! * [`Planner`] — the online decision state
 //!   [`crate::ExecutionContext`] carries when the `"auto"` engine is
@@ -44,9 +47,11 @@ use sparsetrain_tensor::{Tensor3, Tensor4};
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Environment variable naming a serialized plan file: when set (and the
-/// `"auto"` engine is selected), the plan is loaded and replayed instead
-/// of probing — see [`env_plan`].
+/// Environment variable naming a serialized plan file — either the
+/// line-oriented text format or a compiled `STPLAN` binary program
+/// ([`load_plan`] sniffs the magic). When set (and the `"auto"` engine is
+/// selected), the plan is loaded and replayed instead of probing — see
+/// [`env_plan`].
 pub const PLAN_ENV: &str = "SPARSETRAIN_PLAN";
 
 /// The three training-stage convolutions a plan decides independently.
@@ -169,10 +174,31 @@ pub fn batch_density(maps: &[SparseFeatureMap]) -> f64 {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanError(String);
 
+impl PlanError {
+    /// A plan error carrying `detail` — the crate-internal constructor
+    /// sibling modules (the binary program codec) build errors through.
+    pub(crate) fn new(detail: impl Into<String>) -> Self {
+        PlanError(detail.into())
+    }
+}
+
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "invalid execution plan: {}", self.0)
     }
+}
+
+/// Layer ids must survive the text format, where they are
+/// whitespace-delimited and `#` starts a comment; both serializers refuse
+/// anything else up front rather than emitting lines that parse back
+/// differently (or not at all).
+fn check_layer_id(layer: &str) -> Result<(), PlanError> {
+    if layer.is_empty() || layer.chars().any(char::is_whitespace) || layer.contains('#') {
+        return Err(PlanError(format!(
+            "layer id {layer:?} must be non-empty, whitespace-free and '#'-free"
+        )));
+    }
+    Ok(())
 }
 
 impl std::error::Error for PlanError {}
@@ -215,14 +241,27 @@ impl Plan {
     ///
     /// # Panics
     ///
-    /// Panics when `layer` contains whitespace (layer ids are
-    /// whitespace-delimited in the text format).
+    /// Panics when `layer` is empty, contains whitespace, or contains
+    /// `#` — ids the text format cannot round-trip (whitespace-delimited
+    /// fields, `#` comments). Use [`Plan::try_set`] where the layer id is
+    /// untrusted input.
     pub fn set(&mut self, layer: &str, stage: Stage, engine: EngineHandle) {
-        assert!(
-            !layer.chars().any(char::is_whitespace) && !layer.is_empty(),
-            "layer id {layer:?} must be non-empty and whitespace-free"
-        );
+        self.try_set(layer, stage, engine)
+            .unwrap_or_else(|e| panic!("{}", e.0));
+    }
+
+    /// Fallible [`Plan::set`]: the insertion path deserializers use
+    /// ([`Plan::from_text`], [`Plan::from_program`]), rejecting layer ids
+    /// the text format cannot round-trip instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] when `layer` is empty, contains whitespace,
+    /// or contains `#`.
+    pub fn try_set(&mut self, layer: &str, stage: Stage, engine: EngineHandle) -> Result<(), PlanError> {
+        check_layer_id(layer)?;
         self.cells.insert((layer.to_string(), stage), engine);
+        Ok(())
     }
 
     /// The planned engine for a cell, if one was decided.
@@ -258,6 +297,9 @@ impl Plan {
         let mut out = String::from("# sparsetrain execution plan v1\n");
         out.push_str(&format!("default {}\n", self.default.name()));
         for (layer, stage, handle) in self.cells() {
+            // `set`/`try_set` enforce serializable ids; a violation here
+            // means a cell bypassed them.
+            debug_assert!(check_layer_id(layer).is_ok(), "unserializable layer id {layer:?}");
             out.push_str(&format!("{layer} {stage} {}\n", handle.name()));
         }
         out
@@ -294,7 +336,8 @@ impl Plan {
                             i + 1
                         ))
                     })?;
-                    plan.set(layer, stage, engine(name, i + 1)?);
+                    plan.try_set(layer, stage, engine(name, i + 1)?)
+                        .map_err(|e| PlanError(format!("line {}: {}", i + 1, e.0)))?;
                 }
                 _ => {
                     return Err(PlanError(format!(
@@ -334,13 +377,26 @@ impl Plan {
     }
 }
 
-/// Loads and parses a serialized plan file.
+/// Loads and parses a serialized plan file — a compiled `STPLAN` binary
+/// program or the legacy text format, distinguished by sniffing the
+/// binary magic ([`crate::plan_program::is_binary_plan`]).
 ///
 /// # Errors
 ///
-/// Returns [`PlanError`] when the file cannot be read or parsed.
+/// Returns [`PlanError`] when the file cannot be read or parsed in the
+/// format its leading bytes select.
 pub fn load_plan(path: &str) -> Result<Plan, PlanError> {
-    let text = std::fs::read_to_string(path).map_err(|e| PlanError(format!("cannot read {path}: {e}")))?;
+    let bytes = std::fs::read(path).map_err(|e| PlanError(format!("cannot read {path}: {e}")))?;
+    if crate::plan_program::is_binary_plan(&bytes) {
+        let program = crate::plan_program::ExecutionProgram::decode(&bytes)
+            .map_err(|e| PlanError(format!("{path}: {e}")))?;
+        return Plan::from_program(&program).map_err(|e| PlanError(format!("{path}: {}", e.0)));
+    }
+    let text = String::from_utf8(bytes).map_err(|_| {
+        PlanError(format!(
+            "{path}: not UTF-8 text (and not an STPLAN binary program)"
+        ))
+    })?;
     Plan::from_text(&text).map_err(|e| PlanError(format!("{path}: {}", e.0)))
 }
 
@@ -585,6 +641,29 @@ mod tests {
     #[should_panic(expected = "whitespace-free")]
     fn plan_rejects_whitespace_layer_ids() {
         Plan::new(handle("scalar")).set("conv 1", Stage::Forward, handle("simd"));
+    }
+
+    #[test]
+    #[should_panic(expected = "'#'")]
+    fn plan_rejects_comment_chars_in_layer_ids() {
+        // Regression: `to_text` wrote `conv#1` unescaped while `from_text`
+        // strips everything after `#`, so the round-trip silently dropped
+        // the cell. Such ids are now rejected at insertion.
+        Plan::new(handle("scalar")).set("conv#1", Stage::Forward, handle("simd"));
+    }
+
+    #[test]
+    fn try_set_reports_unserializable_layer_ids() {
+        let mut plan = Plan::new(handle("scalar"));
+        for hostile in ["conv #1", "my conv", "", "tab\tid", "line\nid"] {
+            let err = plan.try_set(hostile, Stage::Forward, handle("simd")).unwrap_err();
+            assert!(err.to_string().contains("non-empty"), "{hostile:?}: {err}");
+            assert!(plan.is_empty(), "{hostile:?} must not be inserted");
+        }
+        plan.try_set("conv1", Stage::Forward, handle("simd")).unwrap();
+        assert_eq!(plan.resolve("conv1", Stage::Forward).name(), "simd");
+        // The serialized form stays parseable — the round-trip the bug broke.
+        assert_eq!(Plan::from_text(&plan.to_text()).unwrap(), plan);
     }
 
     #[test]

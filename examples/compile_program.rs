@@ -1,14 +1,18 @@
 //! Inspects the compiled instruction program of one training step — the
 //! artifact the paper's "simple compiler" produces to drive the
-//! accelerator.
+//! accelerator — and then lowers an execution plan over the same trace
+//! into the binary `STPLAN` program that `SPARSETRAIN_PLAN` and the plan
+//! VM replay.
 //!
 //! Run with: `cargo run --release --example compile_program`
 
-use sparsetrain::core::dataflow::{compile, StepKind};
+use sparsetrain::core::dataflow::{compile, compile_plan, LayerTrace, StepKind};
 use sparsetrain::core::prune::PruneConfig;
 use sparsetrain::nn::data::SyntheticSpec;
 use sparsetrain::nn::models;
 use sparsetrain::nn::train::{TrainConfig, Trainer};
+use sparsetrain::sparse::planner::{batch_density, heuristic_handle};
+use sparsetrain::sparse::{registry, ExecutionProgram, Plan, Stage};
 
 fn main() {
     let (train, _) = SyntheticSpec::tiny(4).generate();
@@ -50,4 +54,51 @@ fn main() {
             );
         }
     }
+
+    // Lower a per-(layer, stage) execution plan over the same trace into
+    // the binary STPLAN program — the artifact `SPARSETRAIN_PLAN` accepts
+    // and the plan VM replays.
+    let mut plan = Plan::new(registry::lookup("scalar").expect("scalar is always registered"));
+    for layer in &trace.layers {
+        if let LayerTrace::Conv(conv) = layer {
+            let din = batch_density(std::slice::from_ref(&conv.input));
+            let dgrad = batch_density(std::slice::from_ref(&conv.dout));
+            plan.set(&conv.name, Stage::Forward, heuristic_handle(Stage::Forward, din));
+            plan.set(
+                &conv.name,
+                Stage::InputGrad,
+                heuristic_handle(Stage::InputGrad, dgrad),
+            );
+            plan.set(
+                &conv.name,
+                Stage::WeightGrad,
+                heuristic_handle(Stage::WeightGrad, dgrad),
+            );
+        }
+    }
+    let compiled = compile_plan(&plan, &trace, &program);
+    let bytes = compiled.encode().expect("frozen plans always encode");
+    println!(
+        "\ncompiled execution program: {} bytes, {} cells, {} workspace hints, {} prune points",
+        bytes.len(),
+        compiled.cells().len(),
+        compiled.workspace_hints().len(),
+        compiled.prune_points().len()
+    );
+    for (layer, stage, engine) in compiled.cell_names() {
+        let hint = compiled.workspace_hint(layer, stage).unwrap_or(0);
+        println!(
+            "  {layer:<8} {:<11} -> {engine:<15} (workspace hint {hint} elements)",
+            stage.name()
+        );
+    }
+
+    let decoded = ExecutionProgram::decode(&bytes).expect("own encoding always decodes");
+    assert_eq!(decoded, compiled, "binary round-trip must be lossless");
+    assert_eq!(
+        Plan::from_program(&decoded).expect("engines resolve"),
+        plan,
+        "plan survives the program form"
+    );
+    println!("round-trip: decode(encode(program)) is lossless");
 }

@@ -5,13 +5,14 @@
 //! `resume-determinism` job runs this suite again at `RAYON_NUM_THREADS=4`
 //! so band-parallel reductions are covered too.
 
-use sparsetrain::checkpoint::{self, CheckpointPolicy, Snapshot};
+use sparsetrain::checkpoint::{self, CheckpointPolicy, PlanPayload, Snapshot};
 use sparsetrain::core::prune::PruneConfig;
 use sparsetrain::nn::data::{Dataset, SyntheticSpec};
 use sparsetrain::nn::layer::Layer;
 use sparsetrain::nn::metrics::MetricStore;
 use sparsetrain::nn::models;
 use sparsetrain::nn::train::{TrainConfig, Trainer};
+use sparsetrain::sparse::{ExecutionProgram, Plan};
 
 /// The float engines the bitwise-resume guarantee is enforced on (`auto`
 /// additionally exercises plan embed/replay; fixed-point engines are
@@ -181,18 +182,56 @@ fn resume_replays_the_frozen_auto_plan() {
     let mut first = trainer("auto", None);
     first.train_epoch(&train);
     let snap = first.snapshot();
-    let plan_text = snap.plan.clone().expect("auto run embeds its plan");
-    assert!(plan_text.contains("sparsetrain execution plan"), "{plan_text}");
+    // Snapshots embed the frozen plan as a compiled binary program.
+    let payload = snap.plan.clone().expect("auto run embeds its plan");
+    let PlanPayload::Program(bytes) = &payload else {
+        panic!("snapshots embed the binary program form, got {payload:?}");
+    };
+    let program = ExecutionProgram::decode(bytes).expect("embedded program decodes");
+    assert!(!Plan::from_program(&program).expect("program resolves").is_empty());
 
     let mut resumed = trainer("auto", None);
     resumed.resume(&snap).expect("resume");
     // The replayed context carries the frozen plan instead of re-probing.
     let replayed = resumed.snapshot().plan.expect("plan survives resume");
-    assert_eq!(plan_text, replayed, "plan changed across resume");
+    assert_eq!(payload, replayed, "plan changed across resume");
 
     // A pinned engine ignores the embedded plan.
     let mut pinned = trainer("scalar", None);
     pinned.resume(&snap).expect("resume under pinned engine");
     assert_eq!(pinned.engine_name(), "scalar");
     assert_eq!(pinned.snapshot().plan, None);
+}
+
+#[test]
+fn resume_accepts_legacy_text_plan_payloads() {
+    // Snapshots written before the binary program format carried
+    // `Plan::to_text`; resume must keep honouring them.
+    let (train, _) = data();
+    let mut first = trainer("auto", None);
+    first.train_epoch(&train);
+    let mut snap = first.snapshot();
+    let PlanPayload::Program(bytes) = snap.plan.clone().expect("plan embedded") else {
+        panic!("expected binary payload");
+    };
+    let plan = Plan::from_program(&ExecutionProgram::decode(&bytes).expect("decodes")).expect("resolves");
+    snap.plan = Some(PlanPayload::Text(plan.to_text()));
+
+    let mut resumed = trainer("auto", None);
+    resumed.resume(&snap).expect("text-payload resume");
+    let replayed = resumed.snapshot().plan.expect("plan survives resume");
+    // Re-snapshotting normalizes to the binary form; the plan inside is unchanged.
+    let PlanPayload::Program(replayed_bytes) = &replayed else {
+        panic!("snapshots always re-embed the binary form, got {replayed:?}");
+    };
+    let replayed_plan =
+        Plan::from_program(&ExecutionProgram::decode(replayed_bytes).expect("decodes")).expect("resolves");
+    assert_eq!(replayed_plan, plan, "plan changed across text-payload resume");
+
+    // A corrupt text payload surfaces as a typed resume error.
+    snap.plan = Some(PlanPayload::Text("conv1 sideways simd".to_string()));
+    let err = trainer("auto", None)
+        .resume(&snap)
+        .expect_err("bad plan rejected");
+    assert!(err.to_string().contains("sideways"), "{err}");
 }
