@@ -36,6 +36,12 @@
 //!   `RAYON_NUM_THREADS=4` on a multi-core runner; on one core the
 //!   parallel engine degenerates to one band and the assertion would
 //!   rightly fail.
+//! * `chaos` — run the seeded fault-injection campaign: kill mid-epoch,
+//!   torn/failed checkpoint writes, truncated reads and injected engine
+//!   panics, each recovered by the training supervisor and required to
+//!   land **bitwise** on the fault-free run's parameters. `--seed` fixes
+//!   the campaign, `--extra` appends seeded randomized kill scenarios,
+//!   and one `{"chaos":{...}}` line per scenario is appended to `--out`.
 //!
 //! Regenerate the committed baseline after intentional perf changes.
 //! Always at **one rayon worker** — the gate's ratios are single-threaded
@@ -79,6 +85,7 @@ fn main() -> ExitCode {
             "multicore" => cmd_multicore(&opts),
             "plan" => cmd_plan(&opts),
             "ckpt" => cmd_ckpt(&opts),
+            "chaos" => cmd_chaos(&opts),
             other => Err(format!("unknown subcommand {other:?}")),
         }
     };
@@ -93,14 +100,16 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: sparsetrain-bench <baseline|check|multicore|plan|ckpt> [options]
+usage: sparsetrain-bench <baseline|check|multicore|plan|ckpt|chaos> [options]
 
   baseline  --results <jsonl> --out <json>
   check     --results <jsonl> --baseline <json>
             [--max-regression 0.20] [--summary <path>]
   multicore --results <jsonl> [--min-ratio 1.5] [--summary <path>]
   plan      [--emit <file>] [--replay <file>] [--summary <path>]
-  ckpt      [--results <jsonl>] [--summary <path>]";
+  ckpt      [--results <jsonl>] [--summary <path>]
+  chaos     [--seed 42] [--extra 2] [--out target/chaos-results.jsonl]
+            [--summary <path>]";
 
 struct Opts {
     results: Option<String>,
@@ -111,6 +120,8 @@ struct Opts {
     replay: Option<String>,
     max_regression: f64,
     min_ratio: f64,
+    seed: u64,
+    extra: usize,
 }
 
 impl Opts {
@@ -124,6 +135,8 @@ impl Opts {
             replay: None,
             max_regression: 0.20,
             min_ratio: 1.5,
+            seed: 42,
+            extra: 2,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -144,6 +157,12 @@ impl Opts {
                 }
                 "--min-ratio" => {
                     opts.min_ratio = value()?.parse().map_err(|e| format!("--min-ratio: {e}"))?;
+                }
+                "--seed" => {
+                    opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--extra" => {
+                    opts.extra = value()?.parse().map_err(|e| format!("--extra: {e}"))?;
                 }
                 other => return Err(format!("unknown flag {other:?}")),
             }
@@ -806,6 +825,39 @@ fn cmd_ckpt(opts: &Opts) -> Result<bool, String> {
     );
     emit_summary(opts, &summary);
     Ok(true)
+}
+
+/// Runs the seeded chaos campaign (see `sparsetrain_bench::chaos`): every
+/// scenario injects faults through the real seams, trains through them
+/// under the supervisor, and must land bitwise on the fault-free run's
+/// parameters. Appends one `{"chaos":{...}}` jsonl line per scenario to
+/// `--out` (default `target/chaos-results.jsonl`) and fails the job when
+/// any scenario diverges.
+fn cmd_chaos(opts: &Opts) -> Result<bool, String> {
+    let report = sparsetrain_bench::chaos::run_campaign(opts.seed, opts.extra)?;
+    let out = opts.out.as_deref().unwrap_or("target/chaos-results.jsonl");
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(out)
+            .map_err(|e| format!("cannot open {out}: {e}"))?;
+        for outcome in &report.outcomes {
+            writeln!(file, "{}", outcome.to_jsonl()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        }
+    }
+    let mut summary = report.to_markdown();
+    let _ = writeln!(
+        summary,
+        "\nAppended {} scenario records to `{out}`.",
+        report.outcomes.len()
+    );
+    emit_summary(opts, &summary);
+    Ok(report.all_pass())
 }
 
 /// Mean/stddev ns of `iters` calls to `f`, over `samples` timed samples.

@@ -1,0 +1,485 @@
+//! The chaos campaign behind `sparsetrain-bench chaos` and the CI `chaos`
+//! job.
+//!
+//! Each scenario installs a seeded [`FaultPlan`] (kill mid-epoch, torn
+//! checkpoint write, truncated read, injected engine panic, or a storm of
+//! all of them), runs a short supervised training job through the faults,
+//! and asserts the recovered run's final parameters are **bitwise
+//! identical** to a fault-free reference run. Because every fault draw is
+//! counter-keyed and every site is checked on the trainer's main thread,
+//! the campaign is reproducible at any `RAYON_NUM_THREADS`.
+//!
+//! `extra` appends seeded randomized kill scenarios (kill step drawn from
+//! the campaign seed's [`StreamKey`] ladder) on top of the five named
+//! ones, so successive CI runs with different seeds keep widening
+//! coverage without losing reproducibility.
+
+use rand::stream::StreamKey;
+use sparsetrain_checkpoint::CheckpointPolicy;
+use sparsetrain_core::prune::PruneConfig;
+use sparsetrain_faults::{self as faults, FaultPlan, Site, Trigger};
+use sparsetrain_nn::data::{Dataset, SyntheticSpec};
+use sparsetrain_nn::layer::Layer;
+use sparsetrain_nn::metrics::MetricStore;
+use sparsetrain_nn::models;
+use sparsetrain_nn::supervisor::{Supervisor, SupervisorConfig};
+use sparsetrain_nn::train::{TrainConfig, Trainer};
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Engine under test: parity-pinned, so quarantine fallback to scalar must
+/// be bitwise-neutral.
+const ENGINE: &str = "parallel:simd";
+
+/// Epochs per scenario run.
+const EPOCHS: usize = 3;
+
+/// Checkpoint step cadence of every scenario.
+const CADENCE: u64 = 3;
+
+/// Domain separator for the campaign's own randomized-scenario draws
+/// (disjoint from the faults crate's `FAULT_DOMAIN`: b"CHAOS").
+const CHAOS_DOMAIN: u64 = 0x0043_4841_4F53;
+
+/// One scenario's verdict.
+pub struct ScenarioOutcome {
+    /// Scenario name (stable across runs; keys the jsonl record).
+    pub name: String,
+    /// Whether every assertion held.
+    pub pass: bool,
+    /// `"ok"`, or what went wrong.
+    pub detail: String,
+    /// Recoveries the supervisor performed.
+    pub recoveries: usize,
+    /// Engines quarantined during the run.
+    pub quarantined: Vec<String>,
+    /// Recovery kinds observed, in order (`kill`, `engine-panic`, ...).
+    pub kinds: Vec<String>,
+    /// Corrupt/unreadable snapshots skipped across all recoveries.
+    pub skipped: usize,
+    /// Total backoff slept across recoveries, in milliseconds.
+    pub backoff_ms: u64,
+    /// Total time spent restoring state across recoveries (time to
+    /// recover), in milliseconds.
+    pub recover_ms: u64,
+    /// Scenario wall-clock, in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+impl ScenarioOutcome {
+    /// Renders the outcome as one `{"chaos":{...}}` jsonl line.
+    pub fn to_jsonl(&self) -> String {
+        let quarantined: Vec<String> = self.quarantined.iter().map(|q| format!("\"{q}\"")).collect();
+        let kinds: Vec<String> = self.kinds.iter().map(|k| format!("\"{k}\"")).collect();
+        format!(
+            "{{\"chaos\":{{\"name\":\"{}\",\"pass\":{},\"recoveries\":{},\"quarantined\":[{}],\
+             \"kinds\":[{}],\"skipped\":{},\"backoff_ms\":{},\"recover_ms\":{},\"elapsed_ms\":{},\
+             \"detail\":\"{}\"}}}}",
+            self.name,
+            self.pass,
+            self.recoveries,
+            quarantined.join(","),
+            kinds.join(","),
+            self.skipped,
+            self.backoff_ms,
+            self.recover_ms,
+            self.elapsed_ms,
+            self.detail.replace('\\', "\\\\").replace('"', "\\\""),
+        )
+    }
+}
+
+/// The whole campaign's verdict.
+pub struct CampaignReport {
+    /// Campaign seed (feeds every scenario's fault plan).
+    pub seed: u64,
+    /// Optimizer steps per epoch of the fixture (fault triggers are
+    /// expressed relative to it).
+    pub steps_per_epoch: u64,
+    /// Per-scenario verdicts, in execution order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl CampaignReport {
+    /// Whether every scenario passed.
+    pub fn all_pass(&self) -> bool {
+        self.outcomes.iter().all(|o| o.pass)
+    }
+
+    /// Renders the campaign as a Markdown summary table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!(
+            "## Chaos campaign (seed {}, {} steps/epoch, engine `{ENGINE}`)\n\n",
+            self.seed, self.steps_per_epoch
+        );
+        let _ = writeln!(
+            out,
+            "| scenario | verdict | recoveries | kinds | quarantined | skipped | backoff | recover |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|");
+        for o in &self.outcomes {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} ms | {} ms |",
+                o.name,
+                if o.pass { "PASS" } else { "**FAIL**" },
+                o.recoveries,
+                if o.kinds.is_empty() {
+                    "—".to_string()
+                } else {
+                    o.kinds.join(", ")
+                },
+                if o.quarantined.is_empty() {
+                    "—".to_string()
+                } else {
+                    o.quarantined.join(", ")
+                },
+                o.skipped,
+                o.backoff_ms,
+                o.recover_ms,
+            );
+        }
+        let failed: Vec<&ScenarioOutcome> = self.outcomes.iter().filter(|o| !o.pass).collect();
+        if failed.is_empty() {
+            let _ = writeln!(
+                out,
+                "\n**PASS** — every recovered run matched the fault-free run bitwise."
+            );
+        } else {
+            let _ = writeln!(out, "\n**FAIL** — {} scenario(s) diverged:\n", failed.len());
+            for o in failed {
+                let _ = writeln!(out, "- `{}`: {}", o.name, o.detail);
+            }
+        }
+        out
+    }
+}
+
+/// What a scenario injects and what it must observe beyond bitwise
+/// equality.
+struct Scenario {
+    name: String,
+    plan: FaultPlan,
+    min_recoveries: usize,
+    expect_quarantined: Option<&'static str>,
+    /// Expect at least one corrupt snapshot skipped during recovery.
+    expect_skipped: bool,
+}
+
+fn fixture_dataset() -> Dataset {
+    SyntheticSpec::tiny(3).generate().0
+}
+
+fn make_trainer(config: TrainConfig) -> Trainer {
+    Trainer::new(models::mini_cnn(3, 4, Some(PruneConfig::new(0.9, 2))), config)
+}
+
+fn param_bits(trainer: &mut Trainer) -> Vec<u32> {
+    let mut bits = Vec::new();
+    trainer
+        .network_mut()
+        .visit_params(&mut |w, _| bits.extend(w.iter().map(|v| v.to_bits())));
+    bits
+}
+
+fn supervisor() -> Supervisor {
+    Supervisor::new(SupervisorConfig {
+        max_retries: 5,
+        backoff_base: Duration::from_millis(1),
+        backoff_max: Duration::from_millis(8),
+    })
+}
+
+/// The five named scenarios plus `extra` seeded randomized kills.
+///
+/// `e` is the fixture's steps per epoch; `s` below is a checkpoint-cadence
+/// step deep enough into epoch 2 that the *previous* snapshot still beats
+/// the supervisor's epoch-boundary shadow — so corrupting the newest
+/// snapshot genuinely exercises the skip-and-fall-back path.
+fn scenarios(seed: u64, extra: usize, e: u64) -> Vec<Scenario> {
+    let s = (e + 5).div_ceil(CADENCE) * CADENCE;
+    let mut list = vec![
+        // SIGKILL-shaped crash mid-epoch 2: resume from the newest snapshot.
+        Scenario {
+            name: "kill-mid-epoch".into(),
+            plan: FaultPlan::new(seed).with(Site::StepKill, Trigger::At(e + e / 2)),
+            min_recoveries: 1,
+            expect_quarantined: None,
+            expect_skipped: false,
+        },
+        // The write at step s is torn (truncated but renamed into place),
+        // then the process dies right after: recovery must skip the corrupt
+        // newest snapshot and restart from the older valid one.
+        Scenario {
+            name: "torn-write-newest".into(),
+            plan: FaultPlan::new(seed)
+                .with(Site::CkptWriteTorn, Trigger::At(s / CADENCE - 1))
+                .with(Site::StepKill, Trigger::At(s - 1)),
+            min_recoveries: 1,
+            expect_quarantined: None,
+            expect_skipped: true,
+        },
+        // A kernel engine blows up mid-dispatch: quarantine it and degrade
+        // to scalar, bitwise-neutrally.
+        Scenario {
+            name: "engine-panic".into(),
+            plan: FaultPlan::new(seed).with_engine(Site::EnginePanic, Trigger::At(20), ENGINE),
+            min_recoveries: 1,
+            expect_quarantined: Some(ENGINE),
+            expect_skipped: false,
+        },
+        // The newest snapshot reads back short (torn at rest): the first
+        // load of the recovery scan is truncated and must be skipped.
+        Scenario {
+            name: "short-read-newest".into(),
+            plan: FaultPlan::new(seed)
+                .with(Site::CkptReadShort, Trigger::At(0))
+                .with(Site::StepKill, Trigger::At(s - 1)),
+            min_recoveries: 1,
+            expect_quarantined: None,
+            expect_skipped: true,
+        },
+        // Everything at once: an ENOSPC-shaped write failure, a torn write,
+        // an engine panic and a kill, in one run.
+        Scenario {
+            name: "storm".into(),
+            plan: FaultPlan::new(seed)
+                .with(Site::CkptWriteError, Trigger::At(2))
+                .with(Site::CkptWriteTorn, Trigger::At(4))
+                .with_engine(Site::EnginePanic, Trigger::At(200), ENGINE)
+                .with(Site::StepKill, Trigger::At(s - 1)),
+            min_recoveries: 3,
+            expect_quarantined: Some(ENGINE),
+            expect_skipped: false,
+        },
+    ];
+    // Seeded randomized kills: the kill step is a pure function of
+    // (campaign seed, scenario index) via the stream ladder, so "random"
+    // still replays exactly.
+    let key = StreamKey::new(seed).derive(CHAOS_DOMAIN);
+    for i in 0..extra {
+        let kill_step = 1 + key.derive(i as u64).word_at(0) % (EPOCHS as u64 * e - 1);
+        list.push(Scenario {
+            name: format!("random-kill-{i}@{kill_step}"),
+            plan: FaultPlan::new(seed ^ (i as u64 + 1)).with(Site::StepKill, Trigger::At(kill_step - 1)),
+            min_recoveries: 1,
+            expect_quarantined: None,
+            expect_skipped: false,
+        });
+    }
+    list
+}
+
+/// Runs the full campaign: fault-free reference first, then every
+/// scenario, asserting each recovered run reproduces the reference
+/// parameters bit for bit.
+pub fn run_campaign(seed: u64, extra: usize) -> Result<CampaignReport, String> {
+    let train = fixture_dataset();
+    let e = {
+        let mut probe = make_trainer(TrainConfig::quick());
+        probe.train_epoch(&train);
+        probe.stream_seeds().step()
+    };
+
+    // Fault-free supervised reference run (no checkpoints, no faults).
+    faults::clear();
+    let reference = {
+        let mut trainer = make_trainer(TrainConfig::quick().with_engine_name(ENGINE));
+        let mut metrics = MetricStore::new();
+        let out = supervisor()
+            .train(&mut trainer, &train, None, EPOCHS, &mut metrics, &mut [])
+            .map_err(|err| format!("fault-free reference run failed: {err}"))?;
+        if out.recoveries != 0 {
+            return Err(format!(
+                "fault-free reference run performed {} recoveries",
+                out.recoveries
+            ));
+        }
+        param_bits(&mut trainer)
+    };
+
+    let mut outcomes = Vec::new();
+    for scenario in scenarios(seed, extra, e) {
+        outcomes.push(run_scenario(&scenario, &train, &reference));
+        faults::clear();
+    }
+    Ok(CampaignReport {
+        seed,
+        steps_per_epoch: e,
+        outcomes,
+    })
+}
+
+fn scenario_dir(name: &str) -> PathBuf {
+    let slug: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    std::env::temp_dir().join(format!("sparsetrain-chaos-{}-{slug}", std::process::id()))
+}
+
+fn run_scenario(scenario: &Scenario, train: &Dataset, reference: &[u32]) -> ScenarioOutcome {
+    let started = Instant::now();
+    let dir = scenario_dir(&scenario.name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut outcome = ScenarioOutcome {
+        name: scenario.name.clone(),
+        pass: false,
+        detail: "ok".into(),
+        recoveries: 0,
+        quarantined: Vec::new(),
+        kinds: Vec::new(),
+        skipped: 0,
+        backoff_ms: 0,
+        recover_ms: 0,
+        elapsed_ms: 0,
+    };
+
+    faults::install(scenario.plan.clone());
+    let config = TrainConfig::quick()
+        .with_engine_name(ENGINE)
+        .with_checkpoint_policy(CheckpointPolicy::every_steps(&dir, CADENCE).with_keep(3));
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        let mut trainer = make_trainer(config);
+        let mut metrics = MetricStore::new();
+        let supervised = supervisor().train(&mut trainer, train, None, EPOCHS, &mut metrics, &mut []);
+        (supervised, param_bits(&mut trainer), metrics)
+    }));
+    faults::clear();
+
+    match run {
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("non-string panic payload");
+            outcome.detail = format!("escaped the supervisor: {msg}");
+        }
+        Ok((Err(err), _, metrics)) => {
+            outcome.recoveries = metrics.recoveries().len();
+            outcome.detail = format!("supervisor gave up: {err}");
+        }
+        Ok((Ok(supervised), bits, metrics)) => {
+            outcome.recoveries = supervised.recoveries;
+            outcome.quarantined = supervised.quarantined.clone();
+            for rec in metrics.recoveries() {
+                outcome.kinds.push(rec.kind.clone());
+                outcome.skipped += rec.skipped.len();
+                outcome.backoff_ms += rec.backoff_ms;
+                outcome.recover_ms += rec.recover_ms;
+            }
+            outcome.detail =
+                check_expectations(scenario, &supervised.quarantined, &outcome, &bits, reference);
+            outcome.pass = outcome.detail == "ok";
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome.elapsed_ms = started.elapsed().as_millis() as u64;
+    outcome
+}
+
+fn check_expectations(
+    scenario: &Scenario,
+    quarantined: &[String],
+    outcome: &ScenarioOutcome,
+    bits: &[u32],
+    reference: &[u32],
+) -> String {
+    if bits != reference {
+        let diverged = bits.iter().zip(reference).filter(|(a, b)| a != b).count();
+        return format!(
+            "final parameters diverged from the fault-free run ({diverged} of {} words differ)",
+            reference.len()
+        );
+    }
+    if outcome.recoveries < scenario.min_recoveries {
+        return format!(
+            "expected at least {} recoveries, saw {}",
+            scenario.min_recoveries, outcome.recoveries
+        );
+    }
+    if let Some(engine) = scenario.expect_quarantined {
+        if !quarantined.iter().any(|q| q == engine) {
+            return format!("expected `{engine}` to be quarantined, got {quarantined:?}");
+        }
+    }
+    if scenario.expect_skipped && outcome.skipped == 0 {
+        return "expected at least one corrupt snapshot to be skipped".into();
+    }
+    "ok".into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_outcomes_render_jsonl() {
+        let outcome = ScenarioOutcome {
+            name: "torn-write-newest".into(),
+            pass: true,
+            detail: "ok".into(),
+            recoveries: 1,
+            quarantined: vec![],
+            kinds: vec!["kill".into()],
+            skipped: 1,
+            backoff_ms: 0,
+            recover_ms: 2,
+            elapsed_ms: 100,
+        };
+        assert_eq!(
+            outcome.to_jsonl(),
+            "{\"chaos\":{\"name\":\"torn-write-newest\",\"pass\":true,\"recoveries\":1,\
+             \"quarantined\":[],\"kinds\":[\"kill\"],\"skipped\":1,\"backoff_ms\":0,\
+             \"recover_ms\":2,\"elapsed_ms\":100,\"detail\":\"ok\"}}"
+        );
+    }
+
+    #[test]
+    fn scenario_list_scales_with_extra_and_stays_seeded() {
+        let a = scenarios(42, 2, 13);
+        let b = scenarios(42, 2, 13);
+        assert_eq!(a.len(), 7);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name, "randomized scenarios must replay from the seed");
+            assert_eq!(x.plan, y.plan);
+        }
+        assert_eq!(scenarios(42, 0, 13).len(), 5);
+        // A different campaign seed produces different fault plans.
+        let c = scenarios(43, 2, 13);
+        assert_ne!(a[5].plan, c[5].plan);
+    }
+
+    #[test]
+    fn markdown_report_flags_failures() {
+        let report = CampaignReport {
+            seed: 42,
+            steps_per_epoch: 13,
+            outcomes: vec![ScenarioOutcome {
+                name: "kill-mid-epoch".into(),
+                pass: false,
+                detail: "final parameters diverged from the fault-free run (3 of 9 words differ)".into(),
+                recoveries: 1,
+                quarantined: vec![],
+                kinds: vec!["kill".into()],
+                skipped: 0,
+                backoff_ms: 0,
+                recover_ms: 1,
+                elapsed_ms: 10,
+            }],
+        };
+        let md = report.to_markdown();
+        assert!(md.contains("**FAIL**"), "{md}");
+        assert!(md.contains("parameters diverged"), "{md}");
+        assert!(!report.all_pass());
+    }
+}

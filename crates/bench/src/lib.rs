@@ -14,8 +14,11 @@
 //!
 //! The Criterion benches in `benches/` cover the kernel, pruning, simulator
 //! and training-step micro-costs plus the design-choice ablations listed in
-//! DESIGN.md.
+//! DESIGN.md. [`chaos`] holds the fault-injection campaign behind
+//! `sparsetrain-bench chaos`: seeded crash/corruption scenarios that must
+//! recover bitwise through the training supervisor.
 
+pub mod chaos;
 pub mod experiments;
 pub mod profile;
 pub mod table;

@@ -10,12 +10,20 @@
 //! identical** to the uninterrupted run.
 //!
 //! The trainer-facing integration (`Trainer::snapshot` / `Trainer::resume`) lives in
-//! `sparsetrain-nn`; this crate is deliberately dependency-free plain data + IO.
+//! `sparsetrain-nn`; this crate is deliberately plain data + IO (its only dependency is the
+//! zero-cost `sparsetrain-faults` injection seams threaded through save and load).
+//!
+//! Recovery support: [`policy::scan_latest_valid`] walks a run directory newest-first and
+//! returns the newest snapshot that actually decodes, reporting (not aborting on) corrupt or
+//! truncated files via [`LoadError`]s that name the offending file.
 
 pub mod codec;
 pub mod policy;
 pub mod snapshot;
 
 pub use codec::{decode_snapshot, encode_snapshot, DecodeError, EncodeError, Section};
-pub use policy::{latest_in, load, CheckpointManager, CheckpointPolicy, LoadError, CHECKPOINT_DIR_ENV};
+pub use policy::{
+    latest_in, load, scan_latest_valid, snapshot_files_in, CheckpointManager, CheckpointPolicy, LoadError,
+    ScanOutcome, CHECKPOINT_DIR_ENV,
+};
 pub use snapshot::{LayerState, OptimizerState, PlanPayload, PrunerState, RunPosition, Snapshot};

@@ -78,20 +78,45 @@ impl CheckpointPolicy {
     }
 }
 
-/// Errors raised while loading a snapshot file.
+/// Errors raised while loading a snapshot file. Both variants name the
+/// offending file, so a recovery scan can report exactly which snapshot it
+/// skipped and why.
 #[derive(Debug)]
 pub enum LoadError {
     /// The file could not be read.
-    Io(io::Error),
+    Io {
+        /// The snapshot file that failed to read.
+        path: PathBuf,
+        /// The underlying I/O error.
+        error: io::Error,
+    },
     /// The bytes did not parse as a snapshot.
-    Decode(DecodeError),
+    Decode {
+        /// The snapshot file that failed to decode.
+        path: PathBuf,
+        /// The typed decode failure.
+        error: DecodeError,
+    },
+}
+
+impl LoadError {
+    /// The snapshot file this error is about.
+    pub fn path(&self) -> &Path {
+        match self {
+            LoadError::Io { path, .. } | LoadError::Decode { path, .. } => path,
+        }
+    }
 }
 
 impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LoadError::Io(e) => write!(f, "checkpoint read failed: {e}"),
-            LoadError::Decode(e) => write!(f, "checkpoint decode failed: {e}"),
+            LoadError::Io { path, error } => {
+                write!(f, "checkpoint read failed for {}: {error}", path.display())
+            }
+            LoadError::Decode { path, error } => {
+                write!(f, "checkpoint decode failed for {}: {error}", path.display())
+            }
         }
     }
 }
@@ -125,9 +150,26 @@ impl CheckpointManager {
     /// Encode and persist `snap` atomically, then rotate down to `keep` files.
     /// Returns the final snapshot path.
     pub fn save(&mut self, snap: &Snapshot) -> io::Result<PathBuf> {
-        let bytes = snap
+        let mut bytes = snap
             .encode()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        // Fault seams: a write-error fault fails the save before anything hits
+        // disk (an ENOSPC-style transient); a torn-write fault persists only a
+        // prefix but still completes the rename, leaving a corrupt final file
+        // for recovery scans to detect and skip.
+        match sparsetrain_faults::on_checkpoint_write() {
+            Some(sparsetrain_faults::WriteFault::Error) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "injected checkpoint write failure (ENOSPC)",
+                ));
+            }
+            Some(sparsetrain_faults::WriteFault::Torn) => {
+                let half = bytes.len() / 2;
+                bytes.truncate(half);
+            }
+            None => {}
+        }
         let name = format!(
             "ckpt-e{:05}-s{:09}.{SNAPSHOT_EXT}",
             snap.position.epoch, snap.position.step
@@ -179,8 +221,62 @@ pub fn latest_in(dir: &Path) -> io::Result<Option<PathBuf>> {
 
 /// Read and decode a snapshot file.
 pub fn load(path: &Path) -> Result<Snapshot, LoadError> {
-    let bytes = fs::read(path).map_err(LoadError::Io)?;
-    Snapshot::decode(&bytes).map_err(LoadError::Decode)
+    let mut bytes = fs::read(path).map_err(|error| LoadError::Io {
+        path: path.to_path_buf(),
+        error,
+    })?;
+    // Fault seams: a short-read fault drops the second half of the bytes; a
+    // bit-flip fault corrupts one seeded bit. Both must surface as typed
+    // decode errors, never panics.
+    match sparsetrain_faults::on_checkpoint_read() {
+        Some(sparsetrain_faults::ReadFault::Short) => {
+            let half = bytes.len() / 2;
+            bytes.truncate(half);
+        }
+        Some(sparsetrain_faults::ReadFault::BitFlip { salt }) => {
+            sparsetrain_faults::flip_bit(&mut bytes, salt);
+        }
+        None => {}
+    }
+    Snapshot::decode(&bytes).map_err(|error| LoadError::Decode {
+        path: path.to_path_buf(),
+        error,
+    })
+}
+
+/// Result of [`scan_latest_valid`]: the newest snapshot that actually
+/// decodes, plus a typed record of every newer file the scan had to skip.
+#[derive(Debug)]
+pub struct ScanOutcome {
+    /// Newest decodable snapshot, with its path; `None` when the directory
+    /// holds no valid snapshot at all.
+    pub latest_valid: Option<(PathBuf, Snapshot)>,
+    /// Load failures for the newer files skipped on the way (newest first),
+    /// each naming its file.
+    pub skipped: Vec<LoadError>,
+}
+
+/// Scan `dir` newest-first for a snapshot that loads, skipping corrupt,
+/// truncated, or unreadable files instead of aborting — a crashed run's
+/// torn final write must not block resuming from the older valid snapshot
+/// behind it. Only directory enumeration itself can fail.
+pub fn scan_latest_valid(dir: &Path) -> io::Result<ScanOutcome> {
+    let mut skipped = Vec::new();
+    for path in snapshot_files_in(dir)?.into_iter().rev() {
+        match load(&path) {
+            Ok(snap) => {
+                return Ok(ScanOutcome {
+                    latest_valid: Some((path, snap)),
+                    skipped,
+                })
+            }
+            Err(e) => skipped.push(e),
+        }
+    }
+    Ok(ScanOutcome {
+        latest_valid: None,
+        skipped,
+    })
 }
 
 /// Numeric `(epoch, step)` of a `ckpt-e{epoch}-s{step}.stck` path, if it matches the scheme.
@@ -238,6 +334,13 @@ fn sync_dir(_dir: &Path) -> io::Result<()> {
     Ok(())
 }
 
+/// Snapshot files in `dir`, oldest first by numeric `(epoch, step)`.
+pub fn snapshot_files_in(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = snapshot_files(dir)?;
+    sort_chronologically(&mut files);
+    Ok(files)
+}
+
 fn snapshot_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let entries = match fs::read_dir(dir) {
@@ -281,6 +384,13 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("sparsetrain-ckpt-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
+    }
+
+    /// Tests that install a fault plan share process-global state with each
+    /// other; serialize them (tolerating poison from an unrelated panic).
+    fn fault_test_guard() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     #[test]
@@ -398,19 +508,152 @@ mod tests {
     }
 
     #[test]
-    fn load_reports_typed_errors() {
+    fn load_reports_typed_errors_naming_the_file() {
         let dir = temp_dir("load-errors");
         fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.stck");
         fs::write(&path, b"not a checkpoint").unwrap();
         match load(&path) {
-            Err(LoadError::Decode(DecodeError::BadMagic)) => {}
+            Err(
+                e @ LoadError::Decode {
+                    error: DecodeError::BadMagic,
+                    ..
+                },
+            ) => {
+                assert_eq!(e.path(), path.as_path());
+                assert!(e.to_string().contains("bad.stck"), "{e}");
+            }
             other => panic!("expected BadMagic, got {other:?}"),
         }
         match load(&dir.join("absent.stck")) {
-            Err(LoadError::Io(_)) => {}
+            Err(e @ LoadError::Io { .. }) => {
+                assert!(e.to_string().contains("absent.stck"), "{e}");
+            }
             other => panic!("expected Io error, got {other:?}"),
         }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_skips_truncated_newest_and_resumes_from_older_valid() {
+        // Regression: a torn final write must not block recovery — the scan
+        // has to report the corrupt newest file by name and fall back to the
+        // valid snapshot behind it.
+        let dir = temp_dir("scan-truncated");
+        let mut mgr = CheckpointManager::new(CheckpointPolicy::every_steps(&dir, 1).with_keep(0)).unwrap();
+        mgr.save(&tiny_snapshot(1, 10)).unwrap();
+        let newest = mgr.save(&tiny_snapshot(2, 20)).unwrap();
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+
+        let outcome = scan_latest_valid(&dir).unwrap();
+        let (path, snap) = outcome.latest_valid.expect("older snapshot is valid");
+        assert_eq!(snap.position.epoch, 1);
+        assert!(path.to_string_lossy().contains("e00001"));
+        assert_eq!(outcome.skipped.len(), 1);
+        assert_eq!(outcome.skipped[0].path(), newest.as_path());
+        assert!(
+            matches!(outcome.skipped[0], LoadError::Decode { .. }),
+            "truncation must surface as a typed decode error: {:?}",
+            outcome.skipped[0]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_skips_zero_length_newest() {
+        let dir = temp_dir("scan-empty");
+        let mut mgr = CheckpointManager::new(CheckpointPolicy::every_steps(&dir, 1).with_keep(0)).unwrap();
+        mgr.save(&tiny_snapshot(1, 10)).unwrap();
+        fs::write(dir.join("ckpt-e00002-s000000020.stck"), b"").unwrap();
+
+        let outcome = scan_latest_valid(&dir).unwrap();
+        let (_, snap) = outcome.latest_valid.expect("older snapshot is valid");
+        assert_eq!(snap.position.epoch, 1);
+        assert_eq!(outcome.skipped.len(), 1);
+        assert!(outcome.skipped[0].path().to_string_lossy().contains("e00002"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_with_no_valid_snapshot_reports_every_skip() {
+        let dir = temp_dir("scan-none");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("ckpt-e00001-s000000010.stck"), b"garbage").unwrap();
+        fs::write(dir.join("ckpt-e00002-s000000020.stck"), b"").unwrap();
+        let outcome = scan_latest_valid(&dir).unwrap();
+        assert!(outcome.latest_valid.is_none());
+        assert_eq!(outcome.skipped.len(), 2, "{:?}", outcome.skipped);
+        // An empty directory scans clean.
+        let empty = temp_dir("scan-void");
+        let outcome = scan_latest_valid(&empty).unwrap();
+        assert!(outcome.latest_valid.is_none() && outcome.skipped.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_write_faults_tear_and_fail_saves() {
+        let _g = fault_test_guard();
+        let dir = temp_dir("fault-write");
+        let mut mgr = CheckpointManager::new(CheckpointPolicy::every_steps(&dir, 1).with_keep(0)).unwrap();
+        sparsetrain_faults::install(
+            sparsetrain_faults::FaultPlan::new(5)
+                .with(
+                    sparsetrain_faults::Site::CkptWriteError,
+                    sparsetrain_faults::Trigger::At(0),
+                )
+                .with(
+                    sparsetrain_faults::Site::CkptWriteTorn,
+                    sparsetrain_faults::Trigger::At(1),
+                ),
+        );
+        let err = mgr
+            .save(&tiny_snapshot(1, 10))
+            .expect_err("write-error fault fails the save");
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert!(latest_in(&dir).unwrap().is_none(), "nothing hit disk");
+
+        let torn = mgr
+            .save(&tiny_snapshot(2, 20))
+            .expect("torn write still renames into place");
+        assert!(matches!(load(&torn), Err(LoadError::Decode { .. })));
+
+        let good = mgr.save(&tiny_snapshot(3, 30)).expect("faults exhausted");
+        sparsetrain_faults::clear();
+        assert_eq!(load(&good).unwrap().position.epoch, 3);
+        // The recovery scan rides over the torn file.
+        let outcome = scan_latest_valid(&dir).unwrap();
+        assert_eq!(outcome.latest_valid.unwrap().1.position.epoch, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_read_faults_surface_as_decode_errors() {
+        let _g = fault_test_guard();
+        let dir = temp_dir("fault-read");
+        let mut mgr = CheckpointManager::new(CheckpointPolicy::every_steps(&dir, 1).with_keep(0)).unwrap();
+        let path = mgr.save(&tiny_snapshot(1, 10)).unwrap();
+        sparsetrain_faults::install(
+            sparsetrain_faults::FaultPlan::new(6)
+                .with(
+                    sparsetrain_faults::Site::CkptReadShort,
+                    sparsetrain_faults::Trigger::At(0),
+                )
+                .with(
+                    sparsetrain_faults::Site::CkptReadFlip,
+                    sparsetrain_faults::Trigger::At(1),
+                ),
+        );
+        assert!(matches!(load(&path), Err(LoadError::Decode { .. })), "short read");
+        // The format has no checksum, so a flipped bit either fails to decode
+        // or decodes to a *different* snapshot — never silently round-trips.
+        match load(&path) {
+            Err(LoadError::Decode { .. }) => {}
+            Ok(snap) => assert_ne!(snap, tiny_snapshot(1, 10), "flip must corrupt something"),
+            other => panic!("unexpected: {other:?}"),
+        }
+        sparsetrain_faults::clear();
+        assert_eq!(load(&path).unwrap().position.epoch, 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,600 @@
+//! Deterministic, seeded fault injection for the training stack.
+//!
+//! Recovery code that is only exercised by hand-built fixtures is recovery
+//! code that has never run. This crate plants *injection sites* at the real
+//! failure seams — checkpoint write/read I/O, plan decoding, engine
+//! dispatch, the data loader, the optimizer-step boundary — and drives them
+//! from a [`FaultPlan`]: a seeded, counter-keyed schedule of faults.
+//!
+//! # Determinism
+//!
+//! Every fire/no-fire decision is a pure function of
+//! `(seed, site, directive, occurrence)`: each directive keeps its own
+//! occurrence counter, and the decision for occurrence `k` draws from the
+//! Philox [`StreamKey`] ladder under the [`FAULT_DOMAIN`] separator —
+//! exactly the scheme stochastic pruning uses, so a fault campaign replays
+//! bitwise at any `RAYON_NUM_THREADS`. (All sites sit on the trainer's
+//! driver thread, above the band fan-out, so occurrence order itself is
+//! thread-count independent.)
+//!
+//! # Cost when disabled
+//!
+//! Every `on_*` hook opens with a single relaxed [`AtomicBool`] load and
+//! returns immediately when no plan is installed — branch-predicted to
+//! free on the hot path. Production runs without `SPARSETRAIN_FAULTS` pay
+//! nothing else.
+//!
+//! # Activation
+//!
+//! Either programmatically ([`install`] / [`clear`], as the chaos campaign
+//! runner does per scenario) or through the [`FAULTS_ENV`] environment
+//! variable, parsed once by [`init_from_env`]:
+//!
+//! ```text
+//! SPARSETRAIN_FAULTS="seed=42;step.kill@7;ckpt.torn-write@2;engine.panic@50:parallel:simd"
+//! ```
+//!
+//! `site@k` fires at the k-th (0-based) eligible occurrence; `site~p` fires
+//! any occurrence whose seeded uniform draw lands below `p`. An optional
+//! `:engine` suffix (the rest of the item, so composite names like
+//! `parallel:simd` work) restricts `engine.panic` to one engine's
+//! dispatches.
+//!
+//! ```
+//! use sparsetrain_faults::{FaultPlan, Site, Trigger};
+//!
+//! let plan = FaultPlan::new(42).with(Site::StepKill, Trigger::At(7));
+//! assert_eq!(plan.to_spec(), "seed=42;step.kill@7");
+//! assert_eq!(FaultPlan::from_spec(&plan.to_spec()).unwrap(), plan);
+//! ```
+
+use rand::stream::StreamKey;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Environment variable holding a fault-plan spec, consistent with
+/// `SPARSETRAIN_ENGINE` / `SPARSETRAIN_PLAN` / `SPARSETRAIN_CHECKPOINT_DIR`.
+pub const FAULTS_ENV: &str = "SPARSETRAIN_FAULTS";
+
+/// Domain separator folded under the run seed for every fault draw
+/// (`"FAULT"` in ASCII), keeping fault streams statistically independent
+/// of the pruning ladder's `PRUNE` domain.
+pub const FAULT_DOMAIN: u64 = 0x0046_4155_4C54;
+
+/// One injection site: a named seam in the training stack where a fault
+/// can be planted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Checkpoint save writes only a truncated prefix of the snapshot but
+    /// still renames it into place — a lying disk / torn write.
+    CkptWriteTorn,
+    /// Checkpoint save fails with an I/O error before writing (ENOSPC-style
+    /// transient failure).
+    CkptWriteError,
+    /// Checkpoint load sees only a prefix of the file — a short read.
+    CkptReadShort,
+    /// Checkpoint load sees one flipped bit.
+    CkptReadFlip,
+    /// Execution-plan decode sees one flipped bit.
+    PlanDecodeFlip,
+    /// Engine dispatch panics (a kernel blowing up mid-band).
+    EnginePanic,
+    /// The data loader fails while assembling a batch.
+    LoaderError,
+    /// The process "dies" right after an optimizer step (simulated kill;
+    /// surfaces as a panic the supervisor treats as a crash).
+    StepKill,
+}
+
+impl Site {
+    /// Every defined site.
+    pub const ALL: [Site; 8] = [
+        Site::CkptWriteTorn,
+        Site::CkptWriteError,
+        Site::CkptReadShort,
+        Site::CkptReadFlip,
+        Site::PlanDecodeFlip,
+        Site::EnginePanic,
+        Site::LoaderError,
+        Site::StepKill,
+    ];
+
+    /// The spec-grammar name of the site (also the stream-derivation
+    /// component, so renaming a site re-seeds its draws).
+    pub fn name(self) -> &'static str {
+        match self {
+            Site::CkptWriteTorn => "ckpt.torn-write",
+            Site::CkptWriteError => "ckpt.write-error",
+            Site::CkptReadShort => "ckpt.read-short",
+            Site::CkptReadFlip => "ckpt.read-flip",
+            Site::PlanDecodeFlip => "plan.flip",
+            Site::EnginePanic => "engine.panic",
+            Site::LoaderError => "loader.error",
+            Site::StepKill => "step.kill",
+        }
+    }
+
+    fn parse(name: &str) -> Option<Site> {
+        Site::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+/// When a directive fires, as a function of its eligible-occurrence
+/// counter `k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fire exactly at occurrence `k == n` (0-based) — the precise,
+    /// replayable form campaigns use.
+    At(u64),
+    /// Fire whenever the seeded uniform draw for occurrence `k` lands
+    /// below `p` — randomized soak testing, still bitwise-reproducible
+    /// under the same seed.
+    Prob(f64),
+}
+
+/// One scheduled fault: a site, a trigger, and (for [`Site::EnginePanic`])
+/// an optional engine-name filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Directive {
+    /// Where to inject.
+    pub site: Site,
+    /// When to inject.
+    pub trigger: Trigger,
+    /// Only count (and fire on) dispatches of this engine, when set.
+    pub engine: Option<String>,
+}
+
+/// A complete seeded fault schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed of the fault stream ladder (independent of the training seed).
+    pub seed: u64,
+    /// The scheduled faults; an empty list injects nothing.
+    pub directives: Vec<Directive>,
+}
+
+/// A fault-plan spec string that did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {FAULTS_ENV} spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl FaultPlan {
+    /// An empty plan under `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            directives: Vec::new(),
+        }
+    }
+
+    /// Adds a directive (builder form).
+    pub fn with(mut self, site: Site, trigger: Trigger) -> Self {
+        self.directives.push(Directive {
+            site,
+            trigger,
+            engine: None,
+        });
+        self
+    }
+
+    /// Adds an engine-filtered directive (builder form); only dispatches of
+    /// `engine` count toward — and can fire — this directive.
+    pub fn with_engine(mut self, site: Site, trigger: Trigger, engine: &str) -> Self {
+        self.directives.push(Directive {
+            site,
+            trigger,
+            engine: Some(engine.to_string()),
+        });
+        self
+    }
+
+    /// Parses the `;`-separated spec grammar documented at the crate root.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on unknown sites, malformed triggers, or
+    /// probabilities outside `[0, 1]`.
+    pub fn from_spec(spec: &str) -> Result<FaultPlan, SpecError> {
+        let mut plan = FaultPlan::new(0);
+        for item in spec.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some(seed) = item.strip_prefix("seed=") {
+                plan.seed = seed
+                    .parse()
+                    .map_err(|_| SpecError(format!("bad seed {seed:?}")))?;
+                continue;
+            }
+            let (kind, at) = match (item.find('@'), item.find('~')) {
+                (Some(i), None) => ('@', i),
+                (None, Some(i)) => ('~', i),
+                _ => {
+                    return Err(SpecError(format!(
+                        "{item:?}: expected site@occurrence or site~probability"
+                    )))
+                }
+            };
+            let site = Site::parse(&item[..at])
+                .ok_or_else(|| SpecError(format!("unknown site {:?}", &item[..at])))?;
+            let rest = &item[at + 1..];
+            // The engine filter is everything after the *first* ':', so
+            // composite engine names (parallel:simd, fixed:q8.8) survive.
+            let (value, engine) = match rest.split_once(':') {
+                Some((v, e)) if !e.is_empty() => (v, Some(e.to_string())),
+                Some((v, _)) => (v, None),
+                None => (rest, None),
+            };
+            let trigger = match kind {
+                '@' => Trigger::At(
+                    value
+                        .parse()
+                        .map_err(|_| SpecError(format!("{item:?}: bad occurrence {value:?}")))?,
+                ),
+                _ => {
+                    let p: f64 = value
+                        .parse()
+                        .map_err(|_| SpecError(format!("{item:?}: bad probability {value:?}")))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(SpecError(format!("{item:?}: probability {p} outside [0, 1]")));
+                    }
+                    Trigger::Prob(p)
+                }
+            };
+            plan.directives.push(Directive {
+                site,
+                trigger,
+                engine,
+            });
+        }
+        Ok(plan)
+    }
+
+    /// Renders the plan back into the spec grammar
+    /// (`from_spec(to_spec())` is the identity).
+    pub fn to_spec(&self) -> String {
+        let mut out = format!("seed={}", self.seed);
+        for d in &self.directives {
+            out.push(';');
+            out.push_str(d.site.name());
+            match d.trigger {
+                Trigger::At(n) => out.push_str(&format!("@{n}")),
+                Trigger::Prob(p) => out.push_str(&format!("~{p}")),
+            }
+            if let Some(engine) = &d.engine {
+                out.push_str(&format!(":{engine}"));
+            }
+        }
+        out
+    }
+}
+
+/// Installed plan plus its per-directive occurrence counters.
+struct State {
+    plan: FaultPlan,
+    counters: Vec<AtomicU64>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<Arc<State>>> = Mutex::new(None);
+
+/// Installs `plan`, arming every hook, with fresh occurrence counters.
+/// Replaces any previously installed plan.
+pub fn install(plan: FaultPlan) {
+    let state = Arc::new(State {
+        counters: plan.directives.iter().map(|_| AtomicU64::new(0)).collect(),
+        plan,
+    });
+    *STATE.lock().expect("fault state lock") = Some(state);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Disarms every hook (they return to the single-load fast path).
+pub fn clear() {
+    ACTIVE.store(false, Ordering::Release);
+    *STATE.lock().expect("fault state lock") = None;
+}
+
+/// Whether a plan is installed.
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Reads [`FAULTS_ENV`] exactly once per process and installs the plan it
+/// specifies, if any. Call-site friendly: every subsequent call is a no-op.
+///
+/// # Panics
+///
+/// Panics when the variable is set but does not parse — a misconfigured
+/// environment, consistent with the other `SPARSETRAIN_*` overrides.
+pub fn init_from_env() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        if let Ok(spec) = std::env::var(FAULTS_ENV) {
+            if !spec.is_empty() {
+                install(FaultPlan::from_spec(&spec).unwrap_or_else(|e| panic!("{e}")));
+            }
+        }
+    });
+}
+
+/// Checks every directive for `site` (respecting the engine filter),
+/// advancing the eligible-occurrence counter of each. Returns the seeded
+/// salt word of the first directive that fires, if any.
+fn fire(site: Site, engine: Option<&str>) -> Option<u64> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    let state = STATE.lock().expect("fault state lock").clone()?;
+    let mut salt = None;
+    for (index, d) in state.plan.directives.iter().enumerate() {
+        if d.site != site {
+            continue;
+        }
+        if let Some(want) = &d.engine {
+            if engine != Some(want.as_str()) {
+                continue;
+            }
+        }
+        let k = state.counters[index].fetch_add(1, Ordering::Relaxed);
+        let key = StreamKey::new(state.plan.seed)
+            .derive(FAULT_DOMAIN)
+            .derive_str(site.name())
+            .derive(index as u64);
+        let hit = match d.trigger {
+            Trigger::At(n) => k == n,
+            Trigger::Prob(p) => key.uniform_at(k) < p,
+        };
+        if hit && salt.is_none() {
+            salt = Some(key.word_at(k));
+        }
+    }
+    salt
+}
+
+/// What [`on_checkpoint_write`] asks the save path to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Persist only a truncated prefix of the snapshot bytes (and complete
+    /// the rename, leaving a corrupt final file).
+    Torn,
+    /// Fail the save with a transient I/O error before writing anything.
+    Error,
+}
+
+/// What [`on_checkpoint_read`] asks the load path to do to the bytes read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFault {
+    /// Drop the second half of the bytes.
+    Short,
+    /// Flip the bit `salt` selects (see [`flip_bit`]).
+    BitFlip {
+        /// Seeded word choosing the bit position.
+        salt: u64,
+    },
+}
+
+/// Checkpoint-save hook; write-error directives take precedence over
+/// torn-write directives when both fire on the same save.
+pub fn on_checkpoint_write() -> Option<WriteFault> {
+    if !is_active() {
+        return None;
+    }
+    let error = fire(Site::CkptWriteError, None).is_some();
+    let torn = fire(Site::CkptWriteTorn, None).is_some();
+    if error {
+        Some(WriteFault::Error)
+    } else if torn {
+        Some(WriteFault::Torn)
+    } else {
+        None
+    }
+}
+
+/// Checkpoint-load hook; short reads take precedence over bit flips when
+/// both fire on the same load.
+pub fn on_checkpoint_read() -> Option<ReadFault> {
+    if !is_active() {
+        return None;
+    }
+    let short = fire(Site::CkptReadShort, None).is_some();
+    let flip = fire(Site::CkptReadFlip, None);
+    if short {
+        Some(ReadFault::Short)
+    } else {
+        flip.map(|salt| ReadFault::BitFlip { salt })
+    }
+}
+
+/// Plan-decode hook: `Some(salt)` means flip the bit `salt` selects in the
+/// encoded plan bytes before decoding.
+pub fn on_plan_decode() -> Option<u64> {
+    fire(Site::PlanDecodeFlip, None)
+}
+
+/// Engine-dispatch hook: `true` means the caller must panic (via
+/// [`panic_injected`] with the engine name as detail, so the supervisor
+/// can quarantine it).
+pub fn on_engine_dispatch(engine: &str) -> bool {
+    fire(Site::EnginePanic, Some(engine)).is_some()
+}
+
+/// Data-loader hook: `true` means batch assembly must fail.
+pub fn on_loader() -> bool {
+    fire(Site::LoaderError, None).is_some()
+}
+
+/// Step-boundary hook: `true` means the process "dies" here.
+pub fn on_step_kill() -> bool {
+    fire(Site::StepKill, None).is_some()
+}
+
+/// Flips the single bit `salt` selects (mod the buffer's bit length);
+/// no-op on an empty buffer.
+pub fn flip_bit(bytes: &mut [u8], salt: u64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let bit = salt % (bytes.len() as u64 * 8);
+    bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+}
+
+/// Panic payload of an injected fault, downcastable by a supervisor's
+/// `catch_unwind` handler to classify the failure. For
+/// [`Site::EnginePanic`], `detail` is the dispatched engine's name.
+#[derive(Debug, Clone)]
+pub struct InjectedFault {
+    /// The site that fired.
+    pub site: Site,
+    /// Human-readable context (engine name, step index, ...).
+    pub detail: String,
+}
+
+impl std::fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "injected fault at {}: {}", self.site.name(), self.detail)
+    }
+}
+
+/// Panics with an [`InjectedFault`] payload.
+pub fn panic_injected(site: Site, detail: impl Into<String>) -> ! {
+    std::panic::panic_any(InjectedFault {
+        site,
+        detail: detail.into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The hooks read process-global state; tests touching it serialize
+    /// here (and tolerate a poisoned lock from an unrelated test panic).
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn inactive_hooks_fire_nothing() {
+        let _g = guard();
+        clear();
+        assert!(!is_active());
+        assert!(on_checkpoint_write().is_none());
+        assert!(on_checkpoint_read().is_none());
+        assert!(on_plan_decode().is_none());
+        assert!(!on_engine_dispatch("scalar"));
+        assert!(!on_loader());
+        assert!(!on_step_kill());
+    }
+
+    #[test]
+    fn exact_occurrence_fires_exactly_once() {
+        let _g = guard();
+        install(FaultPlan::new(1).with(Site::StepKill, Trigger::At(2)));
+        let fires: Vec<bool> = (0..6).map(|_| on_step_kill()).collect();
+        assert_eq!(fires, [false, false, true, false, false, false]);
+        clear();
+    }
+
+    #[test]
+    fn engine_filter_counts_only_matching_dispatches() {
+        let _g = guard();
+        install(FaultPlan::new(1).with_engine(Site::EnginePanic, Trigger::At(1), "simd"));
+        assert!(!on_engine_dispatch("simd")); // occurrence 0
+        assert!(!on_engine_dispatch("scalar")); // filtered out, does not count
+        assert!(!on_engine_dispatch("parallel"));
+        assert!(on_engine_dispatch("simd")); // occurrence 1 fires
+        assert!(!on_engine_dispatch("simd"));
+        clear();
+    }
+
+    #[test]
+    fn probability_draws_are_seed_deterministic() {
+        let _g = guard();
+        let run = |seed: u64| -> Vec<bool> {
+            install(FaultPlan::new(seed).with(Site::LoaderError, Trigger::Prob(0.5)));
+            let fires = (0..64).map(|_| on_loader()).collect();
+            clear();
+            fires
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed must replay the same schedule");
+        assert_ne!(a, run(8), "different seeds should differ");
+        assert!(a.iter().any(|&f| f) && a.iter().any(|&f| !f));
+    }
+
+    #[test]
+    fn write_and_read_hooks_map_sites_to_actions() {
+        let _g = guard();
+        install(
+            FaultPlan::new(3)
+                .with(Site::CkptWriteError, Trigger::At(0))
+                .with(Site::CkptWriteTorn, Trigger::At(1))
+                .with(Site::CkptReadShort, Trigger::At(0))
+                .with(Site::CkptReadFlip, Trigger::At(1)),
+        );
+        assert_eq!(on_checkpoint_write(), Some(WriteFault::Error));
+        assert_eq!(on_checkpoint_write(), Some(WriteFault::Torn));
+        assert_eq!(on_checkpoint_write(), None);
+        assert_eq!(on_checkpoint_read(), Some(ReadFault::Short));
+        assert!(matches!(on_checkpoint_read(), Some(ReadFault::BitFlip { .. })));
+        assert_eq!(on_checkpoint_read(), None);
+        clear();
+    }
+
+    #[test]
+    fn spec_round_trips() {
+        let plan = FaultPlan::new(42)
+            .with(Site::StepKill, Trigger::At(7))
+            .with(Site::CkptWriteTorn, Trigger::At(2))
+            .with_engine(Site::EnginePanic, Trigger::At(50), "parallel:simd")
+            .with(Site::LoaderError, Trigger::Prob(0.25));
+        let spec = plan.to_spec();
+        assert_eq!(
+            spec,
+            "seed=42;step.kill@7;ckpt.torn-write@2;engine.panic@50:parallel:simd;loader.error~0.25"
+        );
+        assert_eq!(FaultPlan::from_spec(&spec).unwrap(), plan);
+        // Whitespace and empty items are tolerated.
+        assert_eq!(
+            FaultPlan::from_spec(" seed=1 ; step.kill@0 ; ").unwrap(),
+            FaultPlan::new(1).with(Site::StepKill, Trigger::At(0))
+        );
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        for bad in [
+            "seed=abc",
+            "nope.site@1",
+            "step.kill",
+            "step.kill@x",
+            "loader.error~1.5",
+            "loader.error~p",
+        ] {
+            assert!(FaultPlan::from_spec(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn flip_bit_flips_exactly_one_bit() {
+        let mut bytes = vec![0u8; 16];
+        flip_bit(&mut bytes, 1234);
+        assert_eq!(bytes.iter().map(|b| b.count_ones()).sum::<u32>(), 1);
+        flip_bit(&mut bytes, 1234);
+        assert!(bytes.iter().all(|&b| b == 0), "same salt flips back");
+        flip_bit(&mut [], 9); // empty buffer is a no-op
+    }
+
+    #[test]
+    fn fault_domain_is_disjoint_from_pruning() {
+        // The PRUNE domain constant lives in sparsetrain-core; the ladders
+        // only stay independent if the separators differ.
+        assert_ne!(FAULT_DOMAIN, 0x0050_5255_4E45);
+    }
+}

@@ -21,6 +21,9 @@
 //! * [`loss`] / [`optim`] — softmax cross-entropy and SGD with momentum.
 //! * [`train`] — the batch training loop with pruning, density metrics and
 //!   trace capture for the accelerator simulator.
+//! * [`supervisor`] — the self-healing wrapper around the training loop:
+//!   crash isolation, retry with backoff, engine quarantine and
+//!   auto-resume from the newest valid checkpoint.
 //!
 //! # Example: train a tiny CNN on synthetic data
 //!
@@ -50,6 +53,7 @@ pub mod optim;
 pub mod residual;
 pub mod schedule;
 pub mod sequential;
+pub mod supervisor;
 pub mod train;
 
 pub use layer::{Batch, Layer};

@@ -227,13 +227,114 @@ impl MetricRecord {
     }
 }
 
+/// Escapes a free-text string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One recovery event, as the supervisor records it into the metric
+/// trajectory: what failed, how the run got back on track, and what it
+/// cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryRecord {
+    /// Failure classification (`"kill"`, `"engine-panic"`, `"loader"`,
+    /// `"transient-io"`, `"step-panic"`).
+    pub kind: String,
+    /// Free-text detail of the failure (panic payload / engine name).
+    pub detail: String,
+    /// Stream-ladder epoch at the moment of failure.
+    pub epoch: u64,
+    /// Stream-ladder step at the moment of failure.
+    pub step: u64,
+    /// Consecutive-failure attempt number (1-based).
+    pub attempt: u64,
+    /// Engine newly quarantined by this recovery, if any.
+    pub quarantined: Option<String>,
+    /// Epoch the run restarted from.
+    pub resumed_epoch: u64,
+    /// Step the run restarted from.
+    pub resumed_step: u64,
+    /// Where the restart state came from: `"disk"` (checkpoint directory)
+    /// or `"shadow"` (the in-memory epoch-start snapshot).
+    pub source: String,
+    /// Snapshot files the recovery scan skipped as corrupt/unreadable,
+    /// with their typed errors rendered to text.
+    pub skipped: Vec<String>,
+    /// Backoff slept before this recovery, in milliseconds.
+    pub backoff_ms: u64,
+    /// Wall-clock time the recovery itself took, in milliseconds.
+    pub recover_ms: u64,
+}
+
+impl RecoveryRecord {
+    /// Renders the record as one `{"recovery":{...}}` jsonl line, fixed
+    /// key order, so recovery events interleave with [`MetricRecord`]
+    /// lines in the same trajectory file without colliding with them.
+    pub fn to_jsonl(&self) -> String {
+        let mut line = format!(
+            "{{\"recovery\":{{\"kind\":\"{}\",\"detail\":\"{}\",\"epoch\":{},\"step\":{},\"attempt\":{}",
+            escape_json(&self.kind),
+            escape_json(&self.detail),
+            self.epoch,
+            self.step,
+            self.attempt
+        );
+        if let Some(q) = &self.quarantined {
+            line.push_str(&format!(",\"quarantined\":\"{}\"", escape_json(q)));
+        }
+        line.push_str(&format!(
+            ",\"resumed_epoch\":{},\"resumed_step\":{},\"source\":\"{}\"",
+            self.resumed_epoch,
+            self.resumed_step,
+            escape_json(&self.source)
+        ));
+        if !self.skipped.is_empty() {
+            line.push_str(",\"skipped\":[");
+            for (i, s) in self.skipped.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("\"{}\"", escape_json(s)));
+            }
+            line.push(']');
+        }
+        line.push_str(&format!(
+            ",\"backoff_ms\":{},\"recover_ms\":{}}}}}",
+            self.backoff_ms, self.recover_ms
+        ));
+        line
+    }
+}
+
 /// Records the per-epoch metric trajectory, in memory and optionally to a
-/// jsonl file (appended and flushed per record, so the trajectory survives
-/// a killed process).
+/// jsonl file.
+///
+/// File appends are crash-safe: each record is rendered to one complete
+/// line in memory and handed to the kernel as a **single** `write_all` on
+/// an `O_APPEND` handle, then `sync_data`ed — so a process killed at any
+/// moment leaves either the whole line or nothing. Records are written at
+/// epoch boundaries, so the sync doubles as the epoch-boundary flush. On
+/// first open, a torn trailing half-line left by a previous kill (from a
+/// pre-crash-safe writer or a mid-`write` power cut) is truncated away, so
+/// resumed runs always splice onto a clean line boundary.
 #[derive(Debug, Default)]
 pub struct MetricStore {
     records: Vec<MetricRecord>,
+    recoveries: Vec<RecoveryRecord>,
     path: Option<std::path::PathBuf>,
+    file: Option<std::fs::File>,
     record_latency: bool,
 }
 
@@ -247,9 +348,57 @@ impl MetricStore {
     pub fn with_jsonl(path: impl Into<std::path::PathBuf>) -> Self {
         MetricStore {
             records: Vec::new(),
+            recoveries: Vec::new(),
             path: Some(path.into()),
+            file: None,
             record_latency: false,
         }
+    }
+
+    /// Truncates a torn trailing half-record (no final newline) back to
+    /// the last complete line, or to empty when no newline exists at all.
+    fn repair_torn_tail(path: &std::path::Path) -> std::io::Result<()> {
+        let Ok(bytes) = std::fs::read(path) else {
+            return Ok(()); // absent file: nothing to repair
+        };
+        if bytes.last().is_none_or(|&b| b == b'\n') {
+            return Ok(());
+        }
+        let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(keep as u64)
+    }
+
+    /// Appends one complete jsonl line atomically and syncs it to disk.
+    fn append_line(&mut self, line: &str) {
+        let Some(path) = &self.path else { return };
+        use std::io::Write;
+        if self.file.is_none() {
+            Self::repair_torn_tail(path)
+                .unwrap_or_else(|e| panic!("cannot repair metrics file {}: {e}", path.display()));
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("cannot open metrics file {}: {e}", path.display()));
+            self.file = Some(file);
+        }
+        let mut buf = String::with_capacity(line.len() + 1);
+        buf.push_str(line);
+        buf.push('\n');
+        let file = self.file.as_mut().expect("opened above");
+        // One write_all on an O_APPEND handle: the kernel appends the whole
+        // buffer in one atomic operation, so a kill leaves no half-record.
+        file.write_all(buf.as_bytes())
+            .and_then(|()| file.sync_data())
+            .unwrap_or_else(|e| {
+                panic!(
+                    "cannot write metrics file {}: {e}",
+                    self.path.as_ref().expect("path set").display()
+                )
+            });
     }
 
     /// Builder form of [`MetricStore::set_record_latency`].
@@ -281,18 +430,25 @@ impl MetricStore {
         if !self.record_latency {
             record.step_latency_ns = None;
         }
-        if let Some(path) = &self.path {
-            use std::io::Write;
-            let mut file = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-                .unwrap_or_else(|e| panic!("cannot open metrics file {}: {e}", path.display()));
-            writeln!(file, "{}", record.to_jsonl())
-                .and_then(|()| file.flush())
-                .unwrap_or_else(|e| panic!("cannot write metrics file {}: {e}", path.display()));
-        }
+        self.append_line(&record.to_jsonl());
         self.records.push(record);
+    }
+
+    /// Appends one recovery event (and writes its `{"recovery":...}` jsonl
+    /// line, if a path is set).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the jsonl file cannot be written, like
+    /// [`MetricStore::record`].
+    pub fn record_recovery(&mut self, record: RecoveryRecord) {
+        self.append_line(&record.to_jsonl());
+        self.recoveries.push(record);
+    }
+
+    /// All recovery events so far, oldest first.
+    pub fn recoveries(&self) -> &[RecoveryRecord] {
+        &self.recoveries
     }
 
     /// All records so far, oldest first.
@@ -570,6 +726,92 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert_eq!(text, store.to_jsonl());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_on_open() {
+        // A killed writer can leave a trailing half-record; the next store
+        // must truncate it back to the last complete line before appending.
+        let path =
+            std::env::temp_dir().join(format!("sparsetrain-metrics-torn-{}.jsonl", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\"epoch\":1,\"loss\":0.5,\"accuracy\":0.5}\n{\"epoch\":2,\"lo",
+        )
+        .unwrap();
+        let mut store = MetricStore::with_jsonl(&path);
+        store.record(record(2, 0.25));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            text,
+            "{\"epoch\":1,\"loss\":0.5,\"accuracy\":0.5}\n{\"epoch\":2,\"loss\":0.25,\"accuracy\":0.5}\n"
+        );
+        // A file that is nothing but a torn record repairs to empty.
+        std::fs::write(&path, "{\"epo").unwrap();
+        let mut store = MetricStore::with_jsonl(&path);
+        store.record(record(1, 0.5));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"epoch\":1,\"loss\":0.5,\"accuracy\":0.5}\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    fn recovery(kind: &str) -> RecoveryRecord {
+        RecoveryRecord {
+            kind: kind.to_string(),
+            detail: "injected fault at step.kill: after step 7".to_string(),
+            epoch: 2,
+            step: 7,
+            attempt: 1,
+            quarantined: None,
+            resumed_epoch: 1,
+            resumed_step: 6,
+            source: "disk".to_string(),
+            skipped: vec![],
+            backoff_ms: 0,
+            recover_ms: 3,
+        }
+    }
+
+    #[test]
+    fn recovery_record_renders_jsonl() {
+        let line = recovery("kill").to_jsonl();
+        assert_eq!(
+            line,
+            "{\"recovery\":{\"kind\":\"kill\",\"detail\":\"injected fault at step.kill: after step 7\",\
+             \"epoch\":2,\"step\":7,\"attempt\":1,\"resumed_epoch\":1,\"resumed_step\":6,\
+             \"source\":\"disk\",\"backoff_ms\":0,\"recover_ms\":3}}"
+        );
+        let mut full = recovery("engine-panic");
+        full.detail = "a \"quoted\"\npayload".to_string();
+        full.quarantined = Some("parallel:simd".to_string());
+        full.skipped = vec!["ckpt-e00002-s000000009.stck: truncated".to_string()];
+        let line = full.to_jsonl();
+        assert!(line.contains("\"quarantined\":\"parallel:simd\""), "{line}");
+        assert!(
+            line.contains("\\\"quoted\\\"\\n"),
+            "free text must be escaped: {line}"
+        );
+        assert!(
+            line.contains("\"skipped\":[\"ckpt-e00002-s000000009.stck: truncated\"]"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn recovery_records_interleave_in_the_store_file() {
+        let path = std::env::temp_dir().join(format!("sparsetrain-metrics-rec-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut store = MetricStore::with_jsonl(&path);
+        store.record(record(1, 0.5));
+        store.record_recovery(recovery("kill"));
+        store.record(record(2, 0.25));
+        assert_eq!(store.recoveries().len(), 1);
+        assert_eq!(store.records().len(), 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("{\"recovery\":{"));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -225,6 +225,9 @@ impl Trainer {
     /// [`ExecutionContext`] and switches every layer with a sparse
     /// row-dataflow path to engine-driven execution.
     pub fn new(mut net: Sequential, config: TrainConfig) -> Self {
+        // Arm the fault-injection layer from SPARSETRAIN_FAULTS (a no-op
+        // unless the variable is set; one env read per process).
+        sparsetrain_faults::init_from_env();
         let ctx = match config.engine {
             Some(handle) => {
                 net.set_sparse_execution(true);
@@ -318,6 +321,14 @@ impl Trainer {
             if (chunk_idx as u64) < skip {
                 continue; // trained before the snapshot this run resumed from
             }
+            // Fault seam: a loader fault fails batch assembly, surfacing as
+            // a panic the supervisor classifies as transient.
+            if sparsetrain_faults::on_loader() {
+                sparsetrain_faults::panic_injected(
+                    sparsetrain_faults::Site::LoaderError,
+                    format!("batch {chunk_idx} of epoch {}", self.streams.epoch() + 1),
+                );
+            }
             seen += chunk.len();
             // The batch borrows straight from the dataset — no per-image
             // clone; layers take ownership only where backward needs it.
@@ -341,6 +352,15 @@ impl Trainer {
             self.sgd.step(&mut self.net, 1.0 / chunk.len() as f32);
             self.steps_into_epoch += 1;
             self.write_due_checkpoint(false);
+            // Fault seam: a step-kill fault "crashes the process" right
+            // after a step (and any due checkpoint) completed — the point a
+            // real SIGKILL is most likely to land.
+            if sparsetrain_faults::on_step_kill() {
+                sparsetrain_faults::panic_injected(
+                    sparsetrain_faults::Site::StepKill,
+                    format!("after step {}", self.streams.step()),
+                );
+            }
         }
         self.streams.advance_epoch();
         self.steps_into_epoch = 0;
@@ -443,6 +463,16 @@ impl Trainer {
                         Plan::from_text(text).map_err(|e| ResumeError::Plan(e.to_string()))?
                     }
                     PlanPayload::Program(bytes) => {
+                        // Fault seam: a plan-decode fault flips one seeded
+                        // bit in the embedded program (cloning only when the
+                        // fault actually fires), which must surface as a
+                        // typed ResumeError so recovery skips this snapshot.
+                        let flipped = sparsetrain_faults::on_plan_decode().map(|salt| {
+                            let mut bytes = bytes.clone();
+                            sparsetrain_faults::flip_bit(&mut bytes, salt);
+                            bytes
+                        });
+                        let bytes = flipped.as_deref().unwrap_or(bytes);
                         let program =
                             ExecutionProgram::decode(bytes).map_err(|e| ResumeError::Plan(e.to_string()))?;
                         Plan::from_program(&program).map_err(|e| ResumeError::Plan(e.to_string()))?

@@ -45,6 +45,7 @@ use crate::registry::{env_override, lookup, EngineHandle, UnknownEngine};
 use crate::rowconv::SparseFeatureMap;
 use sparsetrain_tensor::conv::ConvGeometry;
 use sparsetrain_tensor::{Tensor3, Tensor4};
+use std::cell::Cell;
 use std::time::Instant;
 
 /// A resolved engine plus the scratch it executes with.
@@ -52,11 +53,24 @@ use std::time::Instant;
 /// Cheap to construct; the workspace grows lazily to the largest row it is
 /// asked for and is then reused, so one context per trainer/executor keeps
 /// every row-level call allocation-free.
+///
+/// # Quarantine
+///
+/// A supervisor that catches an engine panicking mid-band can
+/// [`quarantine`](ExecutionContext::quarantine) that engine: every
+/// subsequent dispatch of it (direct, planned, or probed) silently falls
+/// back to the `scalar` reference engine instead. Because every float
+/// engine is parity-pinned bitwise to scalar, quarantine degrades speed,
+/// never the training trajectory. (`fixed` is outside that parity
+/// guarantee — quarantining a fixed-point context changes its numerics,
+/// which is why the supervisor only ever quarantines float engines.)
 #[derive(Debug)]
 pub struct ExecutionContext {
     handle: EngineHandle,
     workspace: Workspace,
     planner: Option<Planner>,
+    quarantined: Vec<String>,
+    last_dispatch: Cell<Option<&'static str>>,
 }
 
 impl ExecutionContext {
@@ -78,6 +92,8 @@ impl ExecutionContext {
             handle,
             workspace: Workspace::new(),
             planner,
+            quarantined: Vec::new(),
+            last_dispatch: Cell::new(None),
         }
     }
 
@@ -94,6 +110,8 @@ impl ExecutionContext {
             handle: lookup("auto").expect("auto engine is always registered"),
             workspace: Workspace::new(),
             planner: Some(Planner::replay(plan)),
+            quarantined: Vec::new(),
+            last_dispatch: Cell::new(None),
         }
     }
 
@@ -122,14 +140,72 @@ impl ExecutionContext {
         self.handle
     }
 
-    /// The resolved engine.
+    /// The resolved engine (quarantine-mapped; see
+    /// [`quarantine`](ExecutionContext::quarantine)).
     pub fn engine(&self) -> &'static dyn KernelEngine {
-        self.handle.engine()
+        self.dispatch(self.handle)
     }
 
-    /// The resolved engine's registered name.
+    /// The resolved engine's registered name. This is the *configured*
+    /// name — it does not change when the engine is quarantined, so
+    /// identity checks (auto-selection reporting, snapshot validation)
+    /// keep working; [`last_dispatched_engine`](Self::last_dispatched_engine)
+    /// reports what actually ran.
     pub fn engine_name(&self) -> &'static str {
         self.handle.name()
+    }
+
+    // -- Quarantine ----------------------------------------------------------
+
+    /// Quarantines `name`: every later dispatch of that engine falls back
+    /// to `scalar`. Returns `true` if the engine was newly quarantined,
+    /// `false` for duplicates and for `"scalar"` itself (the reference
+    /// engine is the fallback and can never be quarantined).
+    pub fn quarantine(&mut self, name: &str) -> bool {
+        if name == "scalar" || self.is_quarantined(name) {
+            return false;
+        }
+        self.quarantined.push(name.to_string());
+        true
+    }
+
+    /// Whether `name` is currently quarantined.
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        self.quarantined.iter().any(|q| q == name)
+    }
+
+    /// Names of all quarantined engines, in quarantine order.
+    pub fn quarantined(&self) -> &[String] {
+        &self.quarantined
+    }
+
+    /// The engine name of the most recent dispatch through this context
+    /// (after quarantine mapping), if any — a supervisor's hint for which
+    /// engine was live when a step panicked.
+    pub fn last_dispatched_engine(&self) -> Option<&'static str> {
+        self.last_dispatch.get()
+    }
+
+    /// Maps `handle` through the quarantine list: a quarantined engine
+    /// resolves to `scalar`, anything else resolves to itself.
+    fn effective(&self, handle: EngineHandle) -> EngineHandle {
+        if self.is_quarantined(handle.name()) {
+            lookup("scalar").expect("scalar engine is always registered")
+        } else {
+            handle
+        }
+    }
+
+    /// The single choke point every execution goes through: applies the
+    /// quarantine mapping, records the dispatched engine, and gives the
+    /// fault-injection layer its engine-panic seam.
+    fn dispatch(&self, handle: EngineHandle) -> &'static dyn KernelEngine {
+        let effective = self.effective(handle);
+        self.last_dispatch.set(Some(effective.name()));
+        if sparsetrain_faults::on_engine_dispatch(effective.name()) {
+            sparsetrain_faults::panic_injected(sparsetrain_faults::Site::EnginePanic, effective.name());
+        }
+        effective.engine()
     }
 
     /// The execution plan as decided so far — `Some` only on planned
@@ -239,11 +315,18 @@ impl ExecutionContext {
     }
 
     fn probe_candidates(&self) -> Vec<EngineHandle> {
+        // Quarantined engines never compete (their wins would be remapped to
+        // scalar at dispatch anyway, freezing a lie into the plan). `scalar`
+        // is always a candidate and never quarantinable, so the set stays
+        // non-empty.
         self.planner
             .as_ref()
             .expect("probe implies a planner")
             .candidates()
-            .to_vec()
+            .iter()
+            .filter(|h| !self.is_quarantined(h.name()))
+            .copied()
+            .collect()
     }
 
     /// Planned batched forward step: like
@@ -262,12 +345,12 @@ impl ExecutionContext {
         geom: ConvGeometry,
     ) -> Vec<Tensor3> {
         if let Some(h) = self.planned_engine(layer, Stage::Forward, || batch_density(inputs)) {
-            return h.engine().forward_batch(inputs, weights, bias, geom);
+            return self.dispatch(h).forward_batch(inputs, weights, bias, geom);
         }
         let mut best: Option<(std::time::Duration, EngineHandle, Vec<Tensor3>)> = None;
         for cand in self.probe_candidates() {
             let start = Instant::now();
-            let outs = cand.engine().forward_batch(inputs, weights, bias, geom);
+            let outs = self.dispatch(cand).forward_batch(inputs, weights, bias, geom);
             let elapsed = start.elapsed();
             if best.as_ref().is_none_or(|(t, _, _)| elapsed < *t) {
                 best = Some((elapsed, cand, outs));
@@ -296,7 +379,7 @@ impl ExecutionContext {
         dins: &mut [Tensor3],
     ) {
         if let Some(h) = self.planned_engine(layer, Stage::InputGrad, || batch_density(douts)) {
-            h.engine()
+            self.dispatch(h)
                 .input_grad_batch_into(douts, weights, geom, masks, dins);
             return;
         }
@@ -304,7 +387,7 @@ impl ExecutionContext {
         for cand in self.probe_candidates() {
             let mut scratch: Vec<Tensor3> = dins.to_vec();
             let start = Instant::now();
-            cand.engine()
+            self.dispatch(cand)
                 .input_grad_batch_into(douts, weights, geom, masks, &mut scratch);
             let elapsed = start.elapsed();
             if best.as_ref().is_none_or(|(t, _, _)| elapsed < *t) {
@@ -336,14 +419,14 @@ impl ExecutionContext {
         dw: &mut Tensor4,
     ) {
         if let Some(h) = self.planned_engine(layer, Stage::WeightGrad, || batch_density(douts)) {
-            h.engine().weight_grad_batch_into(inputs, douts, geom, dw);
+            self.dispatch(h).weight_grad_batch_into(inputs, douts, geom, dw);
             return;
         }
         let mut best: Option<(std::time::Duration, EngineHandle, Tensor4)> = None;
         for cand in self.probe_candidates() {
             let mut scratch = dw.clone();
             let start = Instant::now();
-            cand.engine()
+            self.dispatch(cand)
                 .weight_grad_batch_into(inputs, douts, geom, &mut scratch);
             let elapsed = start.elapsed();
             if best.as_ref().is_none_or(|(t, _, _)| elapsed < *t) {
@@ -478,6 +561,71 @@ mod tests {
             assert_eq!(a.as_slice(), b.as_slice());
         }
         assert_eq!(auto.plan().map(Plan::len), Some(3), "all three cells frozen");
+    }
+
+    #[test]
+    fn quarantine_falls_back_to_scalar_bitwise() {
+        let mut ctx = ExecutionContext::by_name("parallel:simd").unwrap();
+        let (inputs, weights, geom) = batch_fixture();
+        let before = ctx.forward_batch(&inputs, &weights, None, geom);
+        assert_eq!(ctx.last_dispatched_engine(), Some("parallel:simd"));
+
+        assert!(ctx.quarantine("parallel:simd"));
+        assert!(!ctx.quarantine("parallel:simd"), "duplicates are refused");
+        assert!(!ctx.quarantine("scalar"), "the fallback engine is untouchable");
+        assert_eq!(ctx.quarantined(), ["parallel:simd".to_string()]);
+
+        let after = ctx.forward_batch(&inputs, &weights, None, geom);
+        assert_eq!(ctx.last_dispatched_engine(), Some("scalar"));
+        assert_eq!(ctx.engine_name(), "parallel:simd", "configured name survives");
+        for (a, b) in after.iter().zip(&before) {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "parity pin makes fallback bitwise-safe"
+            );
+        }
+    }
+
+    #[test]
+    fn quarantined_engines_never_win_probes() {
+        let mut auto = ExecutionContext::by_name("auto").unwrap();
+        for name in crate::planner::CANDIDATE_NAMES {
+            if name != "scalar" {
+                assert!(auto.quarantine(name));
+            }
+        }
+        let (inputs, weights, geom) = batch_fixture();
+        let outs = auto.forward_batch_for("c1", &inputs, &weights, None, geom);
+        let decided = auto
+            .plan()
+            .unwrap()
+            .get("c1", Stage::Forward)
+            .expect("cell frozen");
+        assert_eq!(decided.name(), "scalar", "only unquarantined candidate left");
+        let reference = crate::engine::ScalarEngine.forward_batch(&inputs, &weights, None, geom);
+        for (a, b) in outs.iter().zip(&reference) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn replayed_plan_cells_respect_quarantine_at_dispatch() {
+        let mut plan = Plan::new(lookup("scalar").unwrap());
+        plan.set("c1", Stage::Forward, lookup("simd").unwrap());
+        let mut ctx = ExecutionContext::with_plan(plan);
+        ctx.quarantine("simd");
+        let (inputs, weights, geom) = batch_fixture();
+        let outs = ctx.forward_batch_for("c1", &inputs, &weights, None, geom);
+        assert_eq!(
+            ctx.last_dispatched_engine(),
+            Some("scalar"),
+            "pinned cell remapped"
+        );
+        let reference = crate::engine::ScalarEngine.forward_batch(&inputs, &weights, None, geom);
+        for (a, b) in outs.iter().zip(&reference) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
     }
 
     #[test]

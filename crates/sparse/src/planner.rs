@@ -386,7 +386,12 @@ impl Plan {
 /// Returns [`PlanError`] when the file cannot be read or parsed in the
 /// format its leading bytes select.
 pub fn load_plan(path: &str) -> Result<Plan, PlanError> {
-    let bytes = std::fs::read(path).map_err(|e| PlanError(format!("cannot read {path}: {e}")))?;
+    let mut bytes = std::fs::read(path).map_err(|e| PlanError(format!("cannot read {path}: {e}")))?;
+    // Fault seam: a plan-decode fault flips one seeded bit in the bytes
+    // read, which must surface as a typed PlanError, never a panic.
+    if let Some(salt) = sparsetrain_faults::on_plan_decode() {
+        sparsetrain_faults::flip_bit(&mut bytes, salt);
+    }
     if crate::plan_program::is_binary_plan(&bytes) {
         let program = crate::plan_program::ExecutionProgram::decode(&bytes)
             .map_err(|e| PlanError(format!("{path}: {e}")))?;
