@@ -36,6 +36,18 @@
 //!   `RAYON_NUM_THREADS=4` on a multi-core runner; on one core the
 //!   parallel engine degenerates to one band and the assertion would
 //!   rightly fail.
+//! * `shard` — assert the sharded data-parallel trainer's multi-worker
+//!   win: one epoch of a compute-heavy mini-CNN at 1 worker vs 4 workers
+//!   (scalar-engine replicas, so all parallelism comes from the worker
+//!   pool), requiring the 4-worker epoch to be `--min-ratio`× faster
+//!   (default 1.5×) **and** the final parameters of the 1-, 2- and
+//!   4-worker runs to be bitwise identical. Run it on a multi-core
+//!   runner; on one core the workers serialise and the ratio assertion
+//!   would rightly fail.
+//! * `doccheck` — verify every relative Markdown link in `README.md` and
+//!   `docs/*.md` resolves to an existing file (external URLs and pure
+//!   `#anchor` links are skipped; fenced code blocks are ignored). The
+//!   CI docs job runs this so the architecture book cannot rot silently.
 //! * `chaos` — run the seeded fault-injection campaign: kill mid-epoch,
 //!   torn/failed checkpoint writes, truncated reads and injected engine
 //!   panics, each recovered by the training supervisor and required to
@@ -83,6 +95,8 @@ fn main() -> ExitCode {
             "baseline" => cmd_baseline(&opts),
             "check" => cmd_check(&opts),
             "multicore" => cmd_multicore(&opts),
+            "shard" => cmd_shard(&opts),
+            "doccheck" => cmd_doccheck(&opts),
             "plan" => cmd_plan(&opts),
             "ckpt" => cmd_ckpt(&opts),
             "chaos" => cmd_chaos(&opts),
@@ -100,12 +114,14 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: sparsetrain-bench <baseline|check|multicore|plan|ckpt|chaos> [options]
+usage: sparsetrain-bench <baseline|check|multicore|shard|doccheck|plan|ckpt|chaos> [options]
 
   baseline  --results <jsonl> --out <json>
   check     --results <jsonl> --baseline <json>
             [--max-regression 0.20] [--summary <path>]
   multicore --results <jsonl> [--min-ratio 1.5] [--summary <path>]
+  shard     [--min-ratio 1.5] [--summary <path>]
+  doccheck  [--summary <path>]
   plan      [--emit <file>] [--replay <file>] [--summary <path>]
   ckpt      [--results <jsonl>] [--summary <path>]
   chaos     [--seed 42] [--extra 2] [--out target/chaos-results.jsonl]
@@ -532,6 +548,183 @@ fn cmd_multicore(opts: &Opts) -> Result<bool, String> {
     Ok(pass)
 }
 
+/// One epoch of a compute-heavy mini-CNN at the given worker count:
+/// returns the epoch wall time and the final parameter bit patterns.
+fn shard_epoch(train: &sparsetrain_nn::data::Dataset, workers: usize) -> (f64, Vec<u32>) {
+    use sparsetrain_core::prune::PruneConfig;
+    use sparsetrain_nn::layer::Layer as _;
+    use sparsetrain_nn::models;
+    use sparsetrain_nn::train::{TrainConfig, Trainer};
+
+    // Scalar-engine worker replicas: every bit of parallelism in the
+    // sharded leg comes from the worker pool, not from rayon bands.
+    let net = models::mini_cnn_for(3, 16, 3, 16, Some(PruneConfig::new(0.9, 2)), 42);
+    let config = TrainConfig::quick()
+        .with_engine_name("scalar")
+        .with_workers(workers);
+    let mut trainer = Trainer::new(net, config);
+    let started = std::time::Instant::now();
+    trainer.train_epoch(train);
+    let secs = started.elapsed().as_secs_f64();
+    let mut bits = Vec::new();
+    trainer
+        .network_mut()
+        .visit_params(&mut |w, _| bits.extend(w.iter().map(|v| v.to_bits())));
+    (secs, bits)
+}
+
+fn cmd_shard(opts: &Opts) -> Result<bool, String> {
+    use sparsetrain_nn::data::SyntheticSpec;
+
+    // 16×16 images + width-16 convs make per-granule compute dominate the
+    // coordinator's per-step serial work (tau broadcast + SGD step).
+    let spec = SyntheticSpec {
+        classes: 3,
+        train_samples: 96,
+        test_samples: 1,
+        channels: 3,
+        size: 16,
+        noise: 0.35,
+        seed: 7,
+    };
+    let (train, _) = spec.generate();
+
+    let mut summary = String::from("## Sharded data-parallel validation\n\n");
+    let _ = writeln!(summary, "| workers | epoch time | speedup vs 1 |");
+    let _ = writeln!(summary, "|---|---|---|");
+    let mut reference: Option<Vec<u32>> = None;
+    let mut base_secs = 0.0;
+    let mut ratio = 0.0;
+    let mut invariant = true;
+    for workers in [1usize, 2, 4] {
+        let (secs, bits) = shard_epoch(&train, workers);
+        match &reference {
+            None => {
+                reference = Some(bits);
+                base_secs = secs;
+            }
+            Some(one) => invariant &= *one == bits,
+        }
+        let speedup = base_secs / secs;
+        if workers == 4 {
+            ratio = speedup;
+        }
+        let _ = writeln!(
+            summary,
+            "| {workers} | {} | {speedup:.2}× |",
+            format_ns(secs * 1e9)
+        );
+    }
+    let pass = invariant && ratio >= opts.min_ratio;
+    let _ = writeln!(
+        summary,
+        "\n4-worker speedup: **{ratio:.2}×**, required ≥ {:.2}×. Final parameters \
+         across 1/2/4 workers: **{}**.",
+        opts.min_ratio,
+        if invariant {
+            "bitwise identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+    let _ = writeln!(
+        summary,
+        "\n**{}** — the sharded trainer {} the multi-worker win with a bitwise-stable aggregate.",
+        if pass { "PASS" } else { "FAIL" },
+        if pass {
+            "demonstrates"
+        } else {
+            "did not demonstrate"
+        }
+    );
+    emit_summary(opts, &summary);
+    Ok(pass)
+}
+
+/// Extracts inline Markdown link targets (`[text](target)`) from one line.
+fn markdown_link_targets(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(pos) = rest.find("](") {
+        let after = &rest[pos + 2..];
+        let Some(end) = after.find(')') else { break };
+        // Drop an optional `"title"` suffix inside the parentheses.
+        let target = after[..end].split_whitespace().next().unwrap_or("");
+        if !target.is_empty() {
+            out.push(target);
+        }
+        rest = &after[end + 1..];
+    }
+    out
+}
+
+fn cmd_doccheck(opts: &Opts) -> Result<bool, String> {
+    let mut files = vec![std::path::PathBuf::from("README.md")];
+    let docs = std::path::Path::new("docs");
+    if docs.is_dir() {
+        let mut entries: Vec<_> = std::fs::read_dir(docs)
+            .map_err(|e| format!("cannot read docs/: {e}"))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "md"))
+            .collect();
+        entries.sort();
+        files.extend(entries);
+    }
+
+    let mut checked = 0usize;
+    let mut broken = Vec::new();
+    for file in &files {
+        let text =
+            std::fs::read_to_string(file).map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let dir = file.parent().filter(|p| !p.as_os_str().is_empty());
+        let dir = dir.unwrap_or_else(|| std::path::Path::new("."));
+        let mut in_fence = false;
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                continue;
+            }
+            for target in markdown_link_targets(line) {
+                if target.starts_with("http://")
+                    || target.starts_with("https://")
+                    || target.starts_with("mailto:")
+                    || target.starts_with('#')
+                {
+                    continue;
+                }
+                let path_part = target.split('#').next().unwrap_or("");
+                if path_part.is_empty() {
+                    continue;
+                }
+                checked += 1;
+                if !dir.join(path_part).exists() {
+                    broken.push(format!("{}:{}: broken link `{target}`", file.display(), idx + 1));
+                }
+            }
+        }
+    }
+
+    let mut summary = String::from("## Documentation link check\n\n");
+    let _ = writeln!(
+        summary,
+        "Checked {checked} relative link(s) across {} file(s).",
+        files.len()
+    );
+    if broken.is_empty() {
+        let _ = writeln!(summary, "\n**PASS** — every relative link resolves.");
+    } else {
+        let _ = writeln!(summary, "\n**FAIL** — {} broken link(s):\n", broken.len());
+        for b in &broken {
+            let _ = writeln!(summary, "- {b}");
+        }
+    }
+    emit_summary(opts, &summary);
+    Ok(broken.is_empty())
+}
+
 /// One AlexNet-shape bench layer's deterministic operands (same shapes,
 /// densities and seed as `benches/engine.rs`).
 struct PlanFixture {
@@ -744,6 +937,7 @@ fn cmd_ckpt(opts: &Opts) -> Result<bool, String> {
             seed: 3,
             engine: None,
             checkpoint: None,
+            shard: None,
         },
     );
     trainer.train_epoch(&train);

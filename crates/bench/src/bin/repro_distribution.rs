@@ -54,6 +54,7 @@ fn main() {
                 seed: 5,
                 engine: None,
                 checkpoint: None,
+                shard: None,
             },
         );
         // A little training so the gradients are shaped by the data, not

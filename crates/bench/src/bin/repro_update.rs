@@ -58,6 +58,7 @@ fn main() {
                 seed: 5,
                 engine: None,
                 checkpoint: None,
+                shard: None,
             },
         );
         for _ in 0..2 {

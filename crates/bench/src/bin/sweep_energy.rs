@@ -38,6 +38,7 @@ fn main() {
             seed: 5,
             engine: None,
             checkpoint: None,
+            shard: None,
         },
     );
     for _ in 0..profile.sim_warmup_epochs() {

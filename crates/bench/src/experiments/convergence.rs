@@ -39,6 +39,7 @@ pub fn run(model: ModelKind, dataset_name: &str, rates: &[Option<f64>], profile:
                     seed: 23,
                     engine: None,
                     checkpoint: None,
+                    shard: None,
                 },
             );
             let epochs = profile.epochs().max(6);

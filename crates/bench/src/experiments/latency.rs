@@ -57,6 +57,7 @@ pub fn run_pair(model: ModelKind, dataset_name: &str, profile: Profile) -> Laten
             seed: 5,
             engine: None,
             checkpoint: None,
+            shard: None,
         },
     );
     // Warm-up epochs: fill the pruning FIFOs and develop realistic

@@ -50,6 +50,7 @@ pub fn run(profile: Profile) -> Table1Row {
             seed: 5,
             engine: None,
             checkpoint: None,
+            shard: None,
         },
     );
     for _ in 0..2 {

@@ -42,6 +42,7 @@ pub fn run_cell(model: ModelKind, dataset_name: &str, p: Option<f64>, profile: P
             seed: 3,
             engine: None,
             checkpoint: None,
+            shard: None,
         },
     );
     let epochs = profile.epochs().max(6);

@@ -16,6 +16,26 @@
 //! Recovery support: [`policy::scan_latest_valid`] walks a run directory newest-first and
 //! returns the newest snapshot that actually decodes, reporting (not aborting on) corrupt or
 //! truncated files via [`LoadError`]s that name the offending file.
+//!
+//! # The `.stck` container
+//!
+//! On disk a snapshot is a tagged-section container (magic `STCKPT`, version 1; all integers
+//! little-endian, floats as raw IEEE-754 bit patterns):
+//!
+//! | Tag | Section | Presence | Contents |
+//! |---|---|---|---|
+//! | 1 | `position` | mandatory | run seed + epoch/step/steps-into-epoch counters |
+//! | 2 | `shuffle-rng` | mandatory | the dataset-shuffle RNG's four `u64` state words |
+//! | 3 | `plan` | optional¹ | the frozen execution plan as legacy text |
+//! | 4 | `optimizer` | mandatory | learning rate + per-tensor momentum velocity buffers |
+//! | 5 | `layers` | mandatory | per-layer params / RNG / density / pruner state entries |
+//! | 6 | `plan-program` | optional¹ | the frozen plan as a compiled binary `STPLAN` program |
+//!
+//! ¹ A snapshot carries its plan in exactly one of the two forms; a container holding both is
+//! rejected as a duplicate section. The normative byte-level layout (including the per-kind
+//! `layers` bodies) is `docs/FORMATS.md` at the repository root; the implementation is
+//! [`codec`], whose golden-byte tests pin the layout — any change there is a wire-format
+//! break and must bump [`codec::VERSION`].
 
 pub mod codec;
 pub mod policy;

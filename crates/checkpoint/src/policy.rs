@@ -124,6 +124,26 @@ impl std::fmt::Display for LoadError {
 impl std::error::Error for LoadError {}
 
 /// Writes snapshots atomically (write `.tmp`, fsync, rename) and rotates old files.
+///
+/// ```
+/// use sparsetrain_checkpoint::{
+///     CheckpointManager, CheckpointPolicy, OptimizerState, RunPosition, Snapshot,
+/// };
+///
+/// let dir = std::env::temp_dir().join(format!("stck-doctest-{}", std::process::id()));
+/// let mut mgr = CheckpointManager::new(CheckpointPolicy::every_steps(&dir, 1).with_keep(2))?;
+/// let snap = Snapshot {
+///     position: RunPosition { seed: 1, epoch: 0, step: 0, steps_into_epoch: 0 },
+///     shuffle_rng: [0; 4],
+///     plan: None,
+///     optimizer: OptimizerState { lr: 0.1, velocities: vec![] },
+///     layers: vec![],
+/// };
+/// let path = mgr.save(&snap)?;
+/// assert_eq!(sparsetrain_checkpoint::load(&path)?.position.seed, 1);
+/// # std::fs::remove_dir_all(&dir).ok();
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug)]
 pub struct CheckpointManager {
     policy: CheckpointPolicy,

@@ -105,6 +105,36 @@ fn add_outcomes(a: PruneOutcome, b: PruneOutcome) -> PruneOutcome {
     }
 }
 
+/// What one pruned batch (or one shard of it) contributes to a
+/// [`LayerPruner`]'s state: the `Σ|g|` of the incoming gradients, their
+/// count, and the prune outcome. Produced worker-side by
+/// [`shard_prune_parts_on`], reduced in fixed granule order by a shard
+/// coordinator ([`SiteStats::accumulate`] — `abs_sum` is an f64 sum, so
+/// the order is part of the result), and absorbed into the authoritative
+/// pruner by [`LayerPruner::absorb_batch`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SiteStats {
+    /// `Σ|g|` over the incoming (un-pruned) gradients, accumulated in
+    /// part order exactly as [`LayerPruner::prune_batch_parts`] does.
+    pub abs_sum: f64,
+    /// Number of gradient elements covered.
+    pub elements: usize,
+    /// Keep/snap/zero counts of the prune pass.
+    pub outcome: PruneOutcome,
+}
+
+impl SiteStats {
+    /// Folds `next` into `self`. `abs_sum` is a floating-point sum: a
+    /// coordinator must call this in the same (granule-index) order for
+    /// every worker count, or the determined threshold — and with it the
+    /// whole trajectory — ceases to be N-invariant.
+    pub fn accumulate(&mut self, next: &SiteStats) {
+        self.abs_sum += next.abs_sum;
+        self.elements += next.elements;
+        self.outcome = add_outcomes(self.outcome, next.outcome);
+    }
+}
+
 /// Per-layer streaming gradient pruner (Algorithm 1).
 ///
 /// One instance is attached to each CONV layer's pruning position (Fig. 4):
@@ -228,32 +258,55 @@ impl LayerPruner {
             n += part.len();
         }
 
-        let predicted = self.predicted_threshold();
-        let outcome = match predicted {
+        let outcome = match self.predicted_threshold() {
             Some(tau) if tau > 0.0 => prune_parts_under(parts, tau, stream, engine),
             _ => passthrough_outcome(parts),
         };
 
+        self.absorb_batch(&SiteStats {
+            abs_sum,
+            elements: n,
+            outcome,
+        });
+        outcome
+    }
+
+    /// Advances the pruner's state by one batch whose prune pass already
+    /// happened elsewhere — the coordinator side of a sharded step. The
+    /// workers prune statelessly under this pruner's
+    /// [`LayerPruner::predicted_threshold`] (via [`shard_prune_parts_on`])
+    /// and the coordinator reduces their [`SiteStats`] in fixed granule
+    /// order before absorbing them here. This is, by construction, the
+    /// exact state tail of the in-process stepping path
+    /// ([`LayerPruner::prune_batch_parts_on`] calls it), so one absorbed
+    /// batch is indistinguishable from one pruned batch.
+    pub fn absorb_batch(&mut self, batch: &SiteStats) {
+        // The prediction that pruned this batch — read before the FIFO
+        // push below changes it.
+        let predicted = self.predicted_threshold();
+
         if self.config.target_sparsity > 0.0 {
-            let tau = determine_threshold(sigma_hat(abs_sum, n), self.config.target_sparsity);
+            let tau = determine_threshold(
+                sigma_hat(batch.abs_sum, batch.elements),
+                self.config.target_sparsity,
+            );
             self.fifo.push(tau);
             self.stats.last_determined_tau = Some(tau);
         }
 
         self.stats.batches += 1;
         self.stats.last_predicted_tau = predicted;
-        let density = if n == 0 {
+        let density = if batch.elements == 0 {
             1.0
         } else {
-            (outcome.kept + outcome.snapped) as f64 / n as f64
+            (batch.outcome.kept + batch.outcome.snapped) as f64 / batch.elements as f64
         };
         self.stats.last_density = Some(density);
         if predicted.is_some() {
             self.stats.density_sum += density;
             self.stats.density_count += 1;
         }
-        self.stats.last_outcome = Some(outcome);
-        outcome
+        self.stats.last_outcome = Some(batch.outcome);
     }
 
     /// Clears the FIFO and statistics (e.g. when the learning-rate schedule
@@ -342,6 +395,42 @@ pub struct PrunerSnapshot {
     pub last_predicted_tau: Option<f64>,
     /// Most recent determined threshold.
     pub last_determined_tau: Option<f64>,
+}
+
+/// The worker side of a sharded prune: prunes `parts` statelessly under
+/// the coordinator-broadcast threshold (`None` while the coordinator's
+/// FIFO is cold — pass-through, exactly like the in-process cold path)
+/// and returns the [`SiteStats`] the coordinator needs to advance the
+/// authoritative [`LayerPruner`] via [`LayerPruner::absorb_batch`].
+///
+/// `stream` must carry the part's *global* batch position
+/// ([`BatchStream::with_base`] /
+/// [`super::stream::StepStreams::with_sample_base`]) so the draws are the
+/// whole-batch run's draws. The `Σ|g|` accumulation visits parts in
+/// order, exactly as [`LayerPruner::prune_batch_parts`] does, so a
+/// granule-ordered reduction of the returned stats reproduces the
+/// in-process sum bitwise when each granule is one part.
+pub fn shard_prune_parts_on(
+    tau: Option<f64>,
+    parts: &mut [&mut [f32]],
+    stream: &BatchStream,
+    engine: &dyn KernelEngine,
+) -> SiteStats {
+    let mut abs_sum = 0.0f64;
+    let mut n = 0usize;
+    for part in parts.iter() {
+        abs_sum += part.iter().map(|&g| (g as f64).abs()).sum::<f64>();
+        n += part.len();
+    }
+    let outcome = match tau {
+        Some(tau) if tau > 0.0 => prune_parts_under(parts, tau, stream, Some(engine)),
+        _ => passthrough_outcome(parts),
+    };
+    SiteStats {
+        abs_sum,
+        elements: n,
+        outcome,
+    }
 }
 
 /// Prunes `parts` under the fixed threshold `tau` with `stream`'s
@@ -611,6 +700,48 @@ mod tests {
         let mut other = LayerPruner::new(PruneConfig::new(0.9, 4));
         let err = other.restore_state(&snap).unwrap_err();
         assert!(err.contains("FIFO depth"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn sharded_prune_and_absorb_match_the_stepping_path() {
+        // The sharded decomposition — workers prune statelessly under the
+        // broadcast prediction via `shard_prune_parts_on`, the coordinator
+        // reduces their stats in granule order and `absorb_batch`es them —
+        // must be indistinguishable from the in-process stepping path:
+        // same pruned values, same FIFO, same statistics, over a sequence
+        // of batches (so the FIFO warms and predictions flow through).
+        use sparsetrain_sparse::ScalarEngine;
+        let mut rng = StdRng::seed_from_u64(8);
+        let batches: Vec<Vec<Vec<f32>>> = (0..6)
+            .map(|_| (0..5).map(|_| normal_batch(&mut rng, 400, 0.05)).collect())
+            .collect();
+
+        let mut legacy = LayerPruner::new(PruneConfig::new(0.9, 2));
+        let mut sharded = LayerPruner::new(PruneConfig::new(0.9, 2));
+        for (step, batch) in batches.iter().enumerate() {
+            let key = StreamKey::new(11).derive(step as u64);
+
+            let mut want = batch.clone();
+            let mut parts: Vec<&mut [f32]> = want.iter_mut().map(|v| v.as_mut_slice()).collect();
+            legacy.prune_batch_parts_on(&mut parts, &BatchStream::per_sample(key), &ScalarEngine);
+
+            // Sharded: one granule per sample, each pruned on its own
+            // base-shifted stream slice as a worker would, reduced in
+            // granule order.
+            let tau = sharded.predicted_threshold();
+            let mut got = batch.clone();
+            let mut reduced = SiteStats::default();
+            for (s, sample) in got.iter_mut().enumerate() {
+                let slice = BatchStream::per_sample(key).with_base(s as u64);
+                let stats = shard_prune_parts_on(tau, &mut [sample.as_mut_slice()], &slice, &ScalarEngine);
+                reduced.accumulate(&stats);
+            }
+            sharded.absorb_batch(&reduced);
+
+            assert_eq!(got, want, "step {step}: sharded prune diverged");
+        }
+        assert_eq!(sharded.stats(), legacy.stats());
+        assert_eq!(sharded.snapshot_state(), legacy.snapshot_state());
     }
 
     #[test]

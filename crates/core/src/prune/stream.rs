@@ -40,6 +40,15 @@ use rand::stream::StreamKey;
 /// init, …).
 const PRUNE_DOMAIN: u64 = 0x0050_5255_4E45;
 
+/// Domain separator for shard-coordinator scheduling draws ("SHARD" in
+/// ASCII). Disjoint from the private `PRUNE_DOMAIN` and from the faults crate's
+/// `FAULT` domain, so a coordinator consuming scheduling randomness can
+/// never collide with (and therefore never perturb) a pruning or fault
+/// draw made under the same run seed. Scheduling draws only ever decide
+/// *where* work runs; the fixed-order reduction keeps results invariant
+/// to them.
+pub const SHARD_DOMAIN: u64 = 0x0053_4841_5244;
+
 /// The trainer-owned root of the ladder: run seed plus the epoch/step
 /// counters that advance as training proceeds.
 ///
@@ -109,6 +118,7 @@ impl StreamSeeds {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepStreams {
     key: StreamKey,
+    sample_base: u64,
 }
 
 impl StepStreams {
@@ -119,12 +129,32 @@ impl StepStreams {
                 .derive(PRUNE_DOMAIN)
                 .derive(epoch)
                 .derive(step),
+            sample_base: 0,
         }
     }
 
     /// Coordinates from an already-derived key (tests, custom ladders).
     pub const fn from_key(key: StreamKey) -> Self {
-        Self { key }
+        Self { key, sample_base: 0 }
+    }
+
+    /// The same step coordinates, with every site's batch stream shifted
+    /// by `base` parts: part `i` of a site stream draws exactly what part
+    /// `base + i` draws on the unshifted stream. This is how a shard
+    /// worker processing samples `[base, base + n)` of the global batch
+    /// reproduces the whole-batch pruning draws bitwise while only
+    /// holding its own slice.
+    pub const fn with_sample_base(self, base: u64) -> Self {
+        Self {
+            key: self.key,
+            sample_base: base,
+        }
+    }
+
+    /// The part shift applied to every site stream (0 unless constructed
+    /// via [`StepStreams::with_sample_base`]).
+    pub const fn sample_base(&self) -> u64 {
+        self.sample_base
     }
 
     /// This step's derived key.
@@ -135,7 +165,7 @@ impl StepStreams {
     /// The per-sample batch stream of one pruning site, identified by its
     /// stable layer name.
     pub fn site(&self, name: &str) -> BatchStream {
-        BatchStream::per_sample(self.key.derive_str(name))
+        BatchStream::per_sample(self.key.derive_str(name)).with_base(self.sample_base)
     }
 }
 
@@ -158,6 +188,7 @@ enum StreamLayout {
 pub struct BatchStream {
     key: StreamKey,
     layout: StreamLayout,
+    base: u64,
 }
 
 impl BatchStream {
@@ -169,6 +200,7 @@ impl BatchStream {
         Self {
             key,
             layout: StreamLayout::PerSample,
+            base: 0,
         }
     }
 
@@ -178,6 +210,21 @@ impl BatchStream {
         Self {
             key,
             layout: StreamLayout::Contiguous,
+            base: 0,
+        }
+    }
+
+    /// The same stream, shifted so that local part `i` occupies the
+    /// position that part/element `base + i` holds on the unshifted
+    /// stream. Units follow the layout: per-sample streams shift by
+    /// *parts* (samples); contiguous streams shift by *elements*. A
+    /// worker handed a slice of a larger batch uses this to draw exactly
+    /// what the whole-batch run draws for those positions.
+    pub const fn with_base(self, base: u64) -> Self {
+        Self {
+            key: self.key,
+            layout: self.layout,
+            base,
         }
     }
 
@@ -186,12 +233,18 @@ impl BatchStream {
         self.key
     }
 
+    /// The part/element shift (0 unless constructed via
+    /// [`BatchStream::with_base`]).
+    pub const fn base(&self) -> u64 {
+        self.base
+    }
+
     /// The `(stream key, base offset)` of part `index`, given the total
     /// element count of all earlier parts.
     pub fn part(&self, index: usize, elements_before: u64) -> (StreamKey, u64) {
         match self.layout {
-            StreamLayout::PerSample => (self.key.derive(index as u64), 0),
-            StreamLayout::Contiguous => (self.key, elements_before),
+            StreamLayout::PerSample => (self.key.derive(self.base + index as u64), 0),
+            StreamLayout::Contiguous => (self.key, self.base + elements_before),
         }
     }
 }
@@ -233,6 +286,27 @@ mod tests {
         assert_eq!(k0, k0_again, "per-sample keys must not depend on earlier parts");
         assert_eq!(o0, 0);
         assert_ne!(k0, b.part(1, 0).0);
+    }
+
+    #[test]
+    fn sample_base_shifts_per_sample_parts() {
+        let step = StepStreams::new(1, 2, 3);
+        let whole = step.site("conv1");
+        let shifted = step.with_sample_base(5).site("conv1");
+        assert_eq!(shifted.part(0, 0), whole.part(5, 0));
+        assert_eq!(shifted.part(2, 0), whole.part(7, 0));
+        assert_eq!(step.sample_base(), 0);
+        assert_eq!(step.with_sample_base(5).sample_base(), 5);
+    }
+
+    #[test]
+    fn element_base_shifts_contiguous_parts() {
+        let whole = BatchStream::contiguous(StreamKey::new(5));
+        let shifted = whole.with_base(64);
+        assert_eq!(shifted.part(0, 0), whole.part(0, 64));
+        assert_eq!(shifted.part(1, 32), whole.part(1, 96));
+        assert_eq!(whole.base(), 0);
+        assert_eq!(shifted.base(), 64);
     }
 
     #[test]

@@ -3,8 +3,24 @@
 //! Recovery code that is only exercised by hand-built fixtures is recovery
 //! code that has never run. This crate plants *injection sites* at the real
 //! failure seams — checkpoint write/read I/O, plan decoding, engine
-//! dispatch, the data loader, the optimizer-step boundary — and drives them
-//! from a [`FaultPlan`]: a seeded, counter-keyed schedule of faults.
+//! dispatch, the data loader, the optimizer-step boundary, the shard
+//! workers — and drives them from a [`FaultPlan`]: a seeded, counter-keyed
+//! schedule of faults.
+//!
+//! # Sites
+//!
+//! | spec name | seam (hook) | effect when fired |
+//! |---|---|---|
+//! | `ckpt.torn-write` | checkpoint save ([`on_checkpoint_write`]) | only a truncated prefix is persisted, rename still completes |
+//! | `ckpt.write-error` | checkpoint save ([`on_checkpoint_write`]) | save fails with an ENOSPC-shaped `io::Error` before writing |
+//! | `ckpt.read-short` | checkpoint load ([`on_checkpoint_read`]) | the file reads back truncated to half |
+//! | `ckpt.read-flip` | checkpoint load ([`on_checkpoint_read`]) | one seeded bit flipped in the read bytes |
+//! | `plan.flip` | plan decode ([`on_plan_decode`]) | one seeded bit flipped in the `STPLAN` program |
+//! | `engine.panic` | engine dispatch ([`on_engine_dispatch`]) | the dispatch panics (`:engine` filter available) |
+//! | `loader.error` | batch assembly ([`on_loader`]) | the batch fetch panics |
+//! | `step.kill` | optimizer-step boundary ([`on_step_kill`]) | SIGKILL-shaped crash of the epoch loop |
+//! | `worker.kill` | shard coordinator ([`on_worker_kill`]) | a shard worker dies mid-step, abandoning its granules (`:rank` filter) |
+//! | `worker.slow` | shard coordinator ([`on_worker_slow`]) | a shard worker stalls for a seeded delay, scrambling completion order (`:rank` filter) |
 //!
 //! # Determinism
 //!
@@ -36,9 +52,11 @@
 //!
 //! `site@k` fires at the k-th (0-based) eligible occurrence; `site~p` fires
 //! any occurrence whose seeded uniform draw lands below `p`. An optional
-//! `:engine` suffix (the rest of the item, so composite names like
-//! `parallel:simd` work) restricts `engine.panic` to one engine's
-//! dispatches.
+//! `:filter` suffix (the rest of the item, so composite names like
+//! `parallel:simd` work) restricts which occurrences count: an engine name
+//! for `engine.panic`, a decimal worker rank for `worker.kill` /
+//! `worker.slow` (e.g. `worker.kill@2:1` kills rank 1 at its third
+//! eligible step).
 //!
 //! ```
 //! use sparsetrain_faults::{FaultPlan, Site, Trigger};
@@ -84,11 +102,20 @@ pub enum Site {
     /// The process "dies" right after an optimizer step (simulated kill;
     /// surfaces as a panic the supervisor treats as a crash).
     StepKill,
+    /// A shard worker dies mid-step: it abandons its outstanding granules
+    /// and its thread exits, forcing the coordinator to respawn it and
+    /// replay the work. The optional `:filter` selects one worker rank.
+    WorkerKill,
+    /// A shard worker stalls: a seeded delay is inserted before it
+    /// processes a granule, perturbing completion *order* (which the
+    /// rank-ordered reduction must absorb without changing results). The
+    /// optional `:filter` selects one worker rank.
+    WorkerSlow,
 }
 
 impl Site {
     /// Every defined site.
-    pub const ALL: [Site; 8] = [
+    pub const ALL: [Site; 10] = [
         Site::CkptWriteTorn,
         Site::CkptWriteError,
         Site::CkptReadShort,
@@ -97,6 +124,8 @@ impl Site {
         Site::EnginePanic,
         Site::LoaderError,
         Site::StepKill,
+        Site::WorkerKill,
+        Site::WorkerSlow,
     ];
 
     /// The spec-grammar name of the site (also the stream-derivation
@@ -111,6 +140,8 @@ impl Site {
             Site::EnginePanic => "engine.panic",
             Site::LoaderError => "loader.error",
             Site::StepKill => "step.kill",
+            Site::WorkerKill => "worker.kill",
+            Site::WorkerSlow => "worker.slow",
         }
     }
 
@@ -132,15 +163,18 @@ pub enum Trigger {
     Prob(f64),
 }
 
-/// One scheduled fault: a site, a trigger, and (for [`Site::EnginePanic`])
-/// an optional engine-name filter.
+/// One scheduled fault: a site, a trigger, and an optional occurrence
+/// filter — an engine name for [`Site::EnginePanic`], a worker rank for
+/// [`Site::WorkerKill`] / [`Site::WorkerSlow`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct Directive {
     /// Where to inject.
     pub site: Site,
     /// When to inject.
     pub trigger: Trigger,
-    /// Only count (and fire on) dispatches of this engine, when set.
+    /// Only count (and fire on) occurrences matching this filter, when
+    /// set: the dispatched engine's name at [`Site::EnginePanic`], the
+    /// decimal worker rank at the `worker.*` sites.
     pub engine: Option<String>,
 }
 
@@ -433,6 +467,24 @@ pub fn on_step_kill() -> bool {
     fire(Site::StepKill, None).is_some()
 }
 
+/// Shard-worker kill hook: `true` means worker `rank` must die mid-step
+/// (abandon its granules, exit its thread). Checked by the *coordinator*
+/// once per `(step, rank)` in rank order on the driver thread, so the
+/// occurrence counter — and with it the whole campaign — replays
+/// identically at any worker count and thread count; the kill itself is
+/// then executed worker-side.
+pub fn on_worker_kill(rank: usize) -> bool {
+    fire(Site::WorkerKill, Some(&rank.to_string())).is_some()
+}
+
+/// Shard-worker stall hook: `Some(salt)` means worker `rank` must sleep a
+/// salt-derived delay before its next granule. Checked coordinator-side
+/// like [`on_worker_kill`]. The delay only perturbs completion *order*;
+/// the rank-ordered reduction keeps results bitwise regardless.
+pub fn on_worker_slow(rank: usize) -> Option<u64> {
+    fire(Site::WorkerSlow, Some(&rank.to_string()))
+}
+
 /// Flips the single bit `salt` selects (mod the buffer's bit length);
 /// no-op on an empty buffer.
 pub fn flip_bit(bytes: &mut [u8], salt: u64) {
@@ -545,6 +597,34 @@ mod tests {
         assert!(matches!(on_checkpoint_read(), Some(ReadFault::BitFlip { .. })));
         assert_eq!(on_checkpoint_read(), None);
         clear();
+    }
+
+    #[test]
+    fn worker_sites_filter_by_rank() {
+        let _g = guard();
+        install(
+            FaultPlan::new(5)
+                .with_engine(Site::WorkerKill, Trigger::At(1), "1")
+                .with(Site::WorkerSlow, Trigger::At(0)),
+        );
+        assert!(!on_worker_kill(1)); // rank 1, occurrence 0
+        assert!(!on_worker_kill(0)); // filtered out, does not count
+        assert!(on_worker_kill(1)); // rank 1, occurrence 1 fires
+        assert!(!on_worker_kill(1));
+        // Unfiltered slow directive counts every rank's occurrences.
+        assert!(on_worker_slow(3).is_some());
+        assert!(on_worker_slow(3).is_none());
+        clear();
+    }
+
+    #[test]
+    fn worker_spec_round_trips() {
+        let plan = FaultPlan::new(9)
+            .with_engine(Site::WorkerKill, Trigger::At(2), "1")
+            .with(Site::WorkerSlow, Trigger::Prob(0.5));
+        let spec = plan.to_spec();
+        assert_eq!(spec, "seed=9;worker.kill@2:1;worker.slow~0.5");
+        assert_eq!(FaultPlan::from_spec(&spec).unwrap(), plan);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use sparsetrain_checkpoint::LayerState;
 use sparsetrain_core::dataflow::LayerTrace;
-use sparsetrain_core::prune::StepStreams;
+use sparsetrain_core::prune::{SiteStats, StepStreams};
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 use std::borrow::Cow;
@@ -169,7 +169,11 @@ impl FromIterator<Tensor3> for Batch<'static> {
 /// need: parameter visitation for the optimizer, activation-gradient
 /// density reporting (Table II), and dataflow trace capture for the
 /// accelerator simulator (Figs. 8–9).
-pub trait Layer {
+///
+/// Layers are `Send`: the sharded trainer ([`crate::shard`]) moves
+/// network replicas onto worker threads, so layer internals must be
+/// thread-portable (plain buffers, counter-based RNGs — not `Rc`).
+pub trait Layer: Send {
     /// Human-readable layer name (unique within a network is helpful but
     /// not required).
     fn name(&self) -> &str;
@@ -255,6 +259,52 @@ pub trait Layer {
     fn param_count(&self) -> usize {
         0
     }
+
+    /// Attempts to clone this layer into an independent replica (shard
+    /// workers run replicas of the coordinator's network). Returns `None`
+    /// for layers that cannot be replicated mechanically; composites
+    /// return `None` if any child does. Whether a *cloneable* layer is
+    /// also *semantically safe* to shard is a separate question —
+    /// [`Layer::shard_blockers`] answers that one.
+    fn try_clone(&self) -> Option<Box<dyn Layer>> {
+        None
+    }
+
+    /// Appends the names of layers whose semantics break under sharded
+    /// replica execution: cross-sample batch statistics (BatchNorm sees
+    /// only its worker's slice, and its running EMAs are visit-order
+    /// state) or embedded sequential RNGs (train-mode Dropout draws from
+    /// a stream whose position depends on every prior draw). The sharded
+    /// trainer refuses construction while this list is non-empty.
+    fn shard_blockers(&self, _out: &mut Vec<String>) {}
+
+    /// Switches pruning hooks between normal (stepping) mode and shard
+    /// *worker* mode. In worker mode a hook's backward pass prunes
+    /// statelessly under the coordinator-broadcast threshold (set per
+    /// step via [`Layer::set_shard_taus`]) and records per-backward
+    /// [`SiteStats`] for [`Layer::take_shard_stats`] instead of stepping
+    /// its own pruner. Layers without pruning state ignore the call.
+    fn set_shard_prune(&mut self, _worker: bool) {}
+
+    /// Broadcasts this step's predicted thresholds to worker-mode pruning
+    /// hooks: each hook adopts the entry whose name matches its own.
+    fn set_shard_taus(&mut self, _taus: &[(String, Option<f64>)]) {}
+
+    /// Moves the [`SiteStats`] recorded by worker-mode pruning hooks
+    /// since the last call out as `(site name, stats)` pairs, in forward
+    /// order.
+    fn take_shard_stats(&mut self, _out: &mut Vec<(String, SiteStats)>) {}
+
+    /// Coordinator side of the broadcast: appends each pruning hook's
+    /// `(site name, predicted threshold)` for the upcoming step, in
+    /// forward order.
+    fn collect_prune_taus(&self, _out: &mut Vec<(String, Option<f64>)>) {}
+
+    /// Coordinator side of the reduction: advances each pruning hook's
+    /// authoritative pruner by one batch using the granule-order-reduced
+    /// stats whose name matches (see
+    /// `sparsetrain_core::prune::LayerPruner::absorb_batch`).
+    fn absorb_prune_stats(&mut self, _stats: &[(String, SiteStats)]) {}
 }
 
 /// Helper: total parameter count of a layer tree.

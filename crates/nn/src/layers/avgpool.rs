@@ -8,6 +8,7 @@ use sparsetrain_tensor::Tensor3;
 /// Averages each channel plane to a single value: `(C, H, W) → (C, 1, 1)`.
 ///
 /// Used as the ResNet head before the classifier.
+#[derive(Clone)]
 pub struct GlobalAvgPool {
     name: String,
     in_shape: (usize, usize, usize),
@@ -26,6 +27,10 @@ impl GlobalAvgPool {
 impl Layer for GlobalAvgPool {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
     }
 
     fn forward<'a>(&mut self, xs: Batch<'a>, _ctx: &mut ExecutionContext, _train: bool) -> Batch<'a> {

@@ -13,6 +13,7 @@ use sparsetrain_tensor::Tensor3;
 /// layer that makes ResNet's activation gradients dense (`dO` loses the
 /// ReLU zero pattern after passing through BN backward) — the situation the
 /// paper's pruning algorithm exists to fix.
+#[derive(Clone)]
 pub struct BatchNorm2d {
     name: String,
     channels: usize,
@@ -57,6 +58,16 @@ impl BatchNorm2d {
 impl Layer for BatchNorm2d {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn shard_blockers(&self, out: &mut Vec<String>) {
+        // Batch statistics are cross-sample (a worker sees only its
+        // slice) and the running EMAs are visit-order state.
+        out.push(self.name.clone());
     }
 
     fn forward<'a>(&mut self, xs: Batch<'a>, _ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {

@@ -37,6 +37,7 @@ pub enum ConvExecution {
 /// gradients each backward pass (Table II's ρ_nnz), and when capture is
 /// enabled it snapshots a [`ConvLayerTrace`] of sample 0 for the
 /// accelerator simulator.
+#[derive(Clone)]
 pub struct Conv2d {
     name: String,
     geom: ConvGeometry,
@@ -139,6 +140,10 @@ impl Conv2d {
 impl Layer for Conv2d {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
     }
 
     fn forward<'a>(&mut self, xs: Batch<'a>, ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {

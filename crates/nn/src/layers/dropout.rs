@@ -14,6 +14,7 @@ use sparsetrain_tensor::Tensor3;
 
 /// Inverted dropout: keeps each activation with probability `1 - rate`,
 /// scaling survivors by `1 / (1 - rate)`; identity in evaluation mode.
+#[derive(Clone)]
 pub struct Dropout {
     name: String,
     rate: f32,
@@ -46,6 +47,17 @@ impl Dropout {
 impl Layer for Dropout {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn shard_blockers(&self, out: &mut Vec<String>) {
+        // The train-mode mask draws from an embedded sequential RNG
+        // whose position depends on every prior draw; replicas would
+        // fork that stream.
+        out.push(self.name.clone());
     }
 
     fn forward<'a>(&mut self, mut xs: Batch<'a>, _ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {

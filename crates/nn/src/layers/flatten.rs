@@ -6,6 +6,7 @@ use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
 /// Reshapes each feature map into a column vector (and back in backward).
+#[derive(Clone)]
 pub struct Flatten {
     name: String,
     in_shape: (usize, usize, usize),
@@ -24,6 +25,10 @@ impl Flatten {
 impl Layer for Flatten {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
     }
 
     fn forward<'a>(&mut self, xs: Batch<'a>, _ctx: &mut ExecutionContext, _train: bool) -> Batch<'a> {

@@ -13,6 +13,7 @@ use sparsetrain_tensor::{init, Matrix, Tensor3};
 ///
 /// Captures an [`FcLayerTrace`] (input/gradient sparsity counts) for the
 /// simulator when capture is enabled.
+#[derive(Clone)]
 pub struct Linear {
     name: String,
     in_features: usize,
@@ -78,6 +79,10 @@ fn as_vector(t: &Tensor3, expect: usize, name: &str) -> Vec<f32> {
 impl Layer for Linear {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
     }
 
     fn forward<'a>(&mut self, xs: Batch<'a>, _ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {

@@ -10,6 +10,7 @@ use sparsetrain_tensor::Tensor3;
 /// The forward pass records the argmax position of each window; the
 /// backward pass routes the gradient there — the MaxPool half of the
 /// paper's forward masks.
+#[derive(Clone)]
 pub struct MaxPool2d {
     name: String,
     kernel: usize,
@@ -49,6 +50,10 @@ impl MaxPool2d {
 impl Layer for MaxPool2d {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
     }
 
     fn forward<'a>(&mut self, xs: Batch<'a>, _ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {

@@ -9,7 +9,9 @@
 
 use crate::layer::{Batch, Layer};
 use sparsetrain_checkpoint::{LayerState, PrunerState};
-use sparsetrain_core::prune::{LayerPruner, PruneConfig, PruneOutcome, PrunerSnapshot, StepStreams};
+use sparsetrain_core::prune::{
+    shard_prune_parts_on, LayerPruner, PruneConfig, PruneOutcome, PrunerSnapshot, SiteStats, StepStreams,
+};
 use sparsetrain_sparse::ExecutionContext;
 use sparsetrain_tensor::Tensor3;
 
@@ -22,6 +24,7 @@ use sparsetrain_tensor::Tensor3;
 /// across threads and the pruned gradients stay bitwise-identical to the
 /// sequential order on every engine and at every thread count. Dropping a
 /// sample from a batch leaves every other sample's decisions unchanged.
+#[derive(Clone)]
 pub struct PruneHook {
     name: String,
     pruner: Option<LayerPruner>,
@@ -30,6 +33,19 @@ pub struct PruneHook {
     /// While frozen (probe passes), prune under the predicted threshold
     /// but leave the pruner's FIFO and statistics untouched.
     frozen: bool,
+    /// Shard-worker mode, when set: backward prunes statelessly under the
+    /// coordinator-broadcast threshold and records [`SiteStats`] instead
+    /// of stepping `pruner` (whose clone is a stale template in a worker).
+    shard: Option<ShardMode>,
+}
+
+/// Per-worker pruning state of one hook: the threshold broadcast for the
+/// current step and the stats recorded since the coordinator last drained
+/// them.
+#[derive(Clone, Default)]
+struct ShardMode {
+    tau: Option<f64>,
+    recorded: Vec<SiteStats>,
 }
 
 impl PruneHook {
@@ -42,6 +58,7 @@ impl PruneHook {
             tap_enabled: false,
             tapped: None,
             frozen: false,
+            shard: None,
         }
     }
 
@@ -81,13 +98,23 @@ impl Layer for PruneHook {
         if let Some(pruner) = &mut self.pruner {
             // The whole batch's gradients form one logical vector g for
             // thresholding (Algorithm 1 treats one batch's gradients per
-            // layer jointly); each sample draws from its own stream.
+            // layer jointly); each sample draws from its own stream — the
+            // step coordinates' sample base shifts every draw to its
+            // global batch position when this backward covers only a
+            // shard worker's slice.
             let stream = streams.site(&self.name);
             let mut parts: Vec<&mut [f32]> = grads.iter_mut().map(|g| g.as_mut_slice()).collect();
-            if self.frozen {
-                pruner.preview_batch_parts_on(&mut parts, &stream, ctx.engine());
-            } else {
-                pruner.prune_batch_parts_on(&mut parts, &stream, ctx.engine());
+            match (&mut self.shard, self.frozen) {
+                (Some(shard), false) => {
+                    let stats = shard_prune_parts_on(shard.tau, &mut parts, &stream, ctx.engine());
+                    shard.recorded.push(stats);
+                }
+                (_, true) => {
+                    pruner.preview_batch_parts_on(&mut parts, &stream, ctx.engine());
+                }
+                (None, false) => {
+                    pruner.prune_batch_parts_on(&mut parts, &stream, ctx.engine());
+                }
             }
         }
         grads
@@ -130,6 +157,44 @@ impl Layer for PruneHook {
                 layer: self.name.clone(),
                 state: Box::new(pruner_state_from(&pruner.snapshot_state())),
             });
+        }
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn set_shard_prune(&mut self, worker: bool) {
+        self.shard = worker.then(ShardMode::default);
+    }
+
+    fn set_shard_taus(&mut self, taus: &[(String, Option<f64>)]) {
+        if let Some(shard) = &mut self.shard {
+            if let Some((_, tau)) = taus.iter().find(|(n, _)| *n == self.name) {
+                shard.tau = *tau;
+            }
+        }
+    }
+
+    fn take_shard_stats(&mut self, out: &mut Vec<(String, SiteStats)>) {
+        if let Some(shard) = &mut self.shard {
+            for stats in shard.recorded.drain(..) {
+                out.push((self.name.clone(), stats));
+            }
+        }
+    }
+
+    fn collect_prune_taus(&self, out: &mut Vec<(String, Option<f64>)>) {
+        if let Some(pruner) = &self.pruner {
+            out.push((self.name.clone(), pruner.predicted_threshold()));
+        }
+    }
+
+    fn absorb_prune_stats(&mut self, stats: &[(String, SiteStats)]) {
+        if let Some(pruner) = &mut self.pruner {
+            if let Some((_, batch)) = stats.iter().find(|(n, _)| *n == self.name) {
+                pruner.absorb_batch(batch);
+            }
         }
     }
 

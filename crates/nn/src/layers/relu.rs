@@ -9,6 +9,7 @@ use sparsetrain_tensor::Tensor3;
 ///
 /// The forward pass records the positive mask; the backward pass replays it
 /// — exactly the `mask` mechanism of §II that the GTA step reuses.
+#[derive(Clone)]
 pub struct Relu {
     name: String,
     masks: Vec<Vec<bool>>,
@@ -27,6 +28,10 @@ impl Relu {
 impl Layer for Relu {
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn Layer>> {
+        Some(Box::new(self.clone()))
     }
 
     fn forward<'a>(&mut self, mut xs: Batch<'a>, _ctx: &mut ExecutionContext, train: bool) -> Batch<'a> {

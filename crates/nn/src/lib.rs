@@ -24,6 +24,11 @@
 //! * [`supervisor`] — the self-healing wrapper around the training loop:
 //!   crash isolation, retry with backoff, engine quarantine and
 //!   auto-resume from the newest valid checkpoint.
+//! * [`shard`] — sharded data-parallel training: a coordinator scatters
+//!   each batch as fixed-size granules to worker replicas (threads today,
+//!   any [`shard::WorkerTransport`] tomorrow) and reduces gradients in
+//!   fixed granule order, so the aggregated step is bitwise-identical at
+//!   any worker count.
 //!
 //! # Example: train a tiny CNN on synthetic data
 //!
@@ -53,6 +58,7 @@ pub mod optim;
 pub mod residual;
 pub mod schedule;
 pub mod sequential;
+pub mod shard;
 pub mod supervisor;
 pub mod train;
 

@@ -166,6 +166,62 @@ impl Layer for ResidualBlock {
     fn param_count(&self) -> usize {
         self.main.param_count() + self.shortcut.as_ref().map_or(0, |s| s.param_count())
     }
+
+    fn try_clone(&self) -> Option<Box<dyn Layer>> {
+        let main = self.main.try_replicate()?;
+        let shortcut = match &self.shortcut {
+            Some(s) => Some(s.try_replicate()?),
+            None => None,
+        };
+        Some(Box::new(ResidualBlock {
+            name: self.name.clone(),
+            main,
+            shortcut,
+            relu: self.relu.clone(),
+        }))
+    }
+
+    fn shard_blockers(&self, out: &mut Vec<String>) {
+        self.main.shard_blockers(out);
+        if let Some(s) = &self.shortcut {
+            s.shard_blockers(out);
+        }
+    }
+
+    fn set_shard_prune(&mut self, worker: bool) {
+        self.main.set_shard_prune(worker);
+        if let Some(s) = &mut self.shortcut {
+            s.set_shard_prune(worker);
+        }
+    }
+
+    fn set_shard_taus(&mut self, taus: &[(String, Option<f64>)]) {
+        self.main.set_shard_taus(taus);
+        if let Some(s) = &mut self.shortcut {
+            s.set_shard_taus(taus);
+        }
+    }
+
+    fn take_shard_stats(&mut self, out: &mut Vec<(String, sparsetrain_core::prune::SiteStats)>) {
+        self.main.take_shard_stats(out);
+        if let Some(s) = &mut self.shortcut {
+            s.take_shard_stats(out);
+        }
+    }
+
+    fn collect_prune_taus(&self, out: &mut Vec<(String, Option<f64>)>) {
+        self.main.collect_prune_taus(out);
+        if let Some(s) = &self.shortcut {
+            s.collect_prune_taus(out);
+        }
+    }
+
+    fn absorb_prune_stats(&mut self, stats: &[(String, sparsetrain_core::prune::SiteStats)]) {
+        self.main.absorb_prune_stats(stats);
+        if let Some(s) = &mut self.shortcut {
+            s.absorb_prune_stats(stats);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -229,11 +285,10 @@ mod tests {
 
     #[test]
     fn set_sparse_execution_reaches_both_paths() {
-        use std::cell::Cell;
-        use std::rc::Rc;
+        use std::sync::{Arc, Mutex};
 
         struct ExecutionProbe {
-            got: Rc<Cell<Option<bool>>>,
+            got: Arc<Mutex<Option<bool>>>,
         }
         impl Layer for ExecutionProbe {
             fn name(&self) -> &str {
@@ -251,21 +306,21 @@ mod tests {
                 grads
             }
             fn set_sparse_execution(&mut self, enabled: bool) {
-                self.got.set(Some(enabled));
+                *self.got.lock().unwrap() = Some(enabled);
             }
         }
 
-        let main_probe = Rc::new(Cell::new(None));
-        let short_probe = Rc::new(Cell::new(None));
+        let main_probe = Arc::new(Mutex::new(None));
+        let short_probe = Arc::new(Mutex::new(None));
         let main = Sequential::new("m").push(ExecutionProbe {
-            got: Rc::clone(&main_probe),
+            got: Arc::clone(&main_probe),
         });
         let short = Sequential::new("s").push(ExecutionProbe {
-            got: Rc::clone(&short_probe),
+            got: Arc::clone(&short_probe),
         });
         let mut b = ResidualBlock::new("b", main, Some(short));
         b.set_sparse_execution(true);
-        assert_eq!(main_probe.get(), Some(true));
-        assert_eq!(short_probe.get(), Some(true));
+        assert_eq!(*main_probe.lock().unwrap(), Some(true));
+        assert_eq!(*short_probe.lock().unwrap(), Some(true));
     }
 }

@@ -67,6 +67,22 @@ impl Sequential {
     pub fn iter(&self) -> impl Iterator<Item = &dyn Layer> {
         self.layers.iter().map(|b| b.as_ref())
     }
+
+    /// Attempts to replicate the whole stack into an independent network
+    /// — the shard workers' copy of the coordinator's template. Returns
+    /// `None` if any child layer cannot be cloned mechanically
+    /// ([`Layer::try_clone`]); semantic shardability is the separate
+    /// [`Layer::shard_blockers`] question.
+    pub fn try_replicate(&self) -> Option<Sequential> {
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            layers.push(layer.try_clone()?);
+        }
+        Some(Sequential {
+            name: self.name.clone(),
+            layers,
+        })
+    }
 }
 
 impl Layer for Sequential {
@@ -170,6 +186,46 @@ impl Layer for Sequential {
 
     fn param_count(&self) -> usize {
         self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    fn try_clone(&self) -> Option<Box<dyn Layer>> {
+        self.try_replicate().map(|s| Box::new(s) as Box<dyn Layer>)
+    }
+
+    fn shard_blockers(&self, out: &mut Vec<String>) {
+        for layer in &self.layers {
+            layer.shard_blockers(out);
+        }
+    }
+
+    fn set_shard_prune(&mut self, worker: bool) {
+        for layer in &mut self.layers {
+            layer.set_shard_prune(worker);
+        }
+    }
+
+    fn set_shard_taus(&mut self, taus: &[(String, Option<f64>)]) {
+        for layer in &mut self.layers {
+            layer.set_shard_taus(taus);
+        }
+    }
+
+    fn take_shard_stats(&mut self, out: &mut Vec<(String, sparsetrain_core::prune::SiteStats)>) {
+        for layer in &mut self.layers {
+            layer.take_shard_stats(out);
+        }
+    }
+
+    fn collect_prune_taus(&self, out: &mut Vec<(String, Option<f64>)>) {
+        for layer in &self.layers {
+            layer.collect_prune_taus(out);
+        }
+    }
+
+    fn absorb_prune_stats(&mut self, stats: &[(String, sparsetrain_core::prune::SiteStats)]) {
+        for layer in &mut self.layers {
+            layer.absorb_prune_stats(stats);
+        }
     }
 }
 

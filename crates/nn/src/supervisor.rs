@@ -461,6 +461,26 @@ mod tests {
     }
 
     #[test]
+    fn supervise_error_display_names_every_detail() {
+        let exhausted = SuperviseError::RetriesExhausted {
+            attempts: 6,
+            last: "injected step.kill after step 12".into(),
+        }
+        .to_string();
+        assert!(
+            exhausted.contains("6 consecutive failures") && exhausted.contains("after step 12"),
+            "{exhausted}"
+        );
+
+        let unrecoverable =
+            SuperviseError::Unrecoverable("shadow snapshot refused: seed mismatch".into()).to_string();
+        assert!(
+            unrecoverable.contains("unrecoverable") && unrecoverable.contains("seed mismatch"),
+            "{unrecoverable}"
+        );
+    }
+
+    #[test]
     fn classification_maps_sites_and_payloads() {
         let engine_panic: Box<dyn Any + Send> = Box::new(InjectedFault {
             site: Site::EnginePanic,

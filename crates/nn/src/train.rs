@@ -6,6 +6,7 @@ use crate::loss::{argmax, softmax_cross_entropy};
 use crate::metrics::{ConfusionMatrix, MetricRecord, MetricStore, StopCondition};
 use crate::optim::Sgd;
 use crate::sequential::Sequential;
+use crate::shard::{self, EngineSetup, ShardError, ShardPool, ShardSpec, StepInput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sparsetrain_checkpoint::{
@@ -37,6 +38,9 @@ pub struct TrainConfig {
     pub engine: Option<EngineHandle>,
     /// Checkpoint cadence and run directory; `None` disables snapshots.
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Sharded data-parallel execution; `None` trains single-threaded on
+    /// the coordinator. See [`crate::shard`].
+    pub shard: Option<ShardSpec>,
 }
 
 impl TrainConfig {
@@ -50,6 +54,7 @@ impl TrainConfig {
             seed: 0,
             engine: None,
             checkpoint: None,
+            shard: None,
         }
     }
 
@@ -63,6 +68,7 @@ impl TrainConfig {
             seed: 0,
             engine: None,
             checkpoint: None,
+            shard: None,
         }
     }
 
@@ -110,6 +116,19 @@ impl TrainConfig {
         if let Some(policy) = CheckpointPolicy::from_env() {
             self.checkpoint = Some(policy);
         }
+        self
+    }
+
+    /// Returns the config with sharded data-parallel training over
+    /// `workers` workers (one-sample granules, default retry policy).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.shard = Some(ShardSpec::new(workers));
+        self
+    }
+
+    /// Returns the config with the full shard spec.
+    pub fn with_shard_spec(mut self, spec: ShardSpec) -> Self {
+        self.shard = Some(spec);
         self
     }
 }
@@ -165,7 +184,8 @@ impl std::fmt::Display for ResumeError {
             ResumeError::Layer(msg) => write!(f, "layer state mismatch: {msg}"),
             ResumeError::UnclaimedState { layer, kind } => write!(
                 f,
-                "no layer in the network claimed the snapshot's {kind} state for {layer:?}"
+                "no layer in the network claimed the snapshot's {kind} state for layer \"{layer}\" \
+                 (the snapshot was taken from a differently-shaped model)"
             ),
             ResumeError::Plan(msg) => write!(f, "embedded execution plan rejected: {msg}"),
         }
@@ -217,6 +237,10 @@ pub struct Trainer {
     /// (they were already trained before the snapshot).
     resume_skip: u64,
     checkpoints: Option<CheckpointManager>,
+    /// The worker pool when the config shards training; spawned lazily so
+    /// that `resume` can tear it down (a resumed plan must reach the
+    /// workers) and the next epoch rebuilds it.
+    shard_pool: Option<ShardPool>,
 }
 
 impl Trainer {
@@ -224,7 +248,35 @@ impl Trainer {
     /// kernel engine, the trainer resolves it once into its
     /// [`ExecutionContext`] and switches every layer with a sparse
     /// row-dataflow path to engine-driven execution.
-    pub fn new(mut net: Sequential, config: TrainConfig) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics when the config shards training but the network cannot be
+    /// sharded; [`Trainer::new_sharded`] is the typed-error path.
+    pub fn new(net: Sequential, config: TrainConfig) -> Self {
+        match Self::new_sharded(net, config) {
+            Ok(trainer) => trainer,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Creates a trainer like [`Trainer::new`], returning a typed
+    /// [`ShardError`] instead of panicking when the config shards training
+    /// and the network is rejected — layers with cross-sample semantics
+    /// (BatchNorm) or embedded sequential RNGs (train-mode Dropout) cannot
+    /// run as worker replicas ([`crate::layer::Layer::shard_blockers`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ShardError`] from [`shard::validate`].
+    pub fn new_sharded(net: Sequential, config: TrainConfig) -> Result<Self, ShardError> {
+        if let Some(spec) = &config.shard {
+            shard::validate(&net, spec)?;
+        }
+        Ok(Self::build(net, config))
+    }
+
+    fn build(mut net: Sequential, config: TrainConfig) -> Self {
         // Arm the fault-injection layer from SPARSETRAIN_FAULTS (a no-op
         // unless the variable is set; one env read per process).
         sparsetrain_faults::init_from_env();
@@ -251,6 +303,7 @@ impl Trainer {
             steps_into_epoch: 0,
             resume_skip: 0,
             checkpoints,
+            shard_pool: None,
         }
     }
 
@@ -303,6 +356,9 @@ impl Trainer {
     /// snapshot, so the trajectory continues bitwise where it left off (the
     /// returned stats then cover only the remaining batches).
     pub fn train_epoch(&mut self, data: &Dataset) -> EpochStats {
+        if self.config.shard.is_some() {
+            return self.train_epoch_sharded(data);
+        }
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         let n = data.len();
         self.epoch_start_rng = self.rng.state();
@@ -370,6 +426,125 @@ impl Trainer {
             loss: total_loss / denom,
             accuracy: correct as f64 / denom,
         }
+    }
+
+    /// The sharded mirror of [`Trainer::train_epoch`]: identical shuffle,
+    /// fault seams, checkpoint cadence and stream-ladder advancement, but
+    /// each batch is scattered as granules to the worker pool and the
+    /// gradients/pruning statistics are reduced in fixed granule order
+    /// before the (coordinator-side) optimizer step — see [`crate::shard`].
+    fn train_epoch_sharded(&mut self, data: &Dataset) -> EpochStats {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        self.ensure_shard_pool();
+        let granule = self.config.shard.as_ref().expect("sharded path").granule;
+        let n = data.len();
+        self.epoch_start_rng = self.rng.state();
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+
+        let skip = std::mem::take(&mut self.resume_skip);
+        self.steps_into_epoch = skip;
+        let mut total_loss = 0.0f64;
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        for (chunk_idx, chunk) in order.chunks(self.config.batch_size).enumerate() {
+            if (chunk_idx as u64) < skip {
+                continue; // trained before the snapshot this run resumed from
+            }
+            // Same loader fault seam as the single-threaded path.
+            if sparsetrain_faults::on_loader() {
+                sparsetrain_faults::panic_injected(
+                    sparsetrain_faults::Site::LoaderError,
+                    format!("batch {chunk_idx} of epoch {}", self.streams.epoch() + 1),
+                );
+            }
+            seen += chunk.len();
+            let mut taus = Vec::new();
+            self.net.collect_prune_taus(&mut taus);
+            let mut params = Vec::new();
+            self.net.visit_params(&mut |p, _| params.extend_from_slice(p));
+            let input = StepInput {
+                seed: self.streams.seed(),
+                epoch: self.streams.epoch(),
+                step: self.streams.step(),
+                params,
+                taus,
+                granules: shard::granules_of(data, chunk, granule),
+            };
+            let pool = self.shard_pool.as_mut().expect("pool spawned above");
+            let reduced = pool.run_step(&input);
+            total_loss += reduced.loss;
+            correct += reduced.correct;
+            // Install the granule-order-reduced gradients and advance the
+            // authoritative pruners, exactly where the single-threaded
+            // backward pass would have left them.
+            self.net.zero_grads();
+            let mut offset = 0usize;
+            self.net.visit_params(&mut |_, g| {
+                g.copy_from_slice(&reduced.grads[offset..offset + g.len()]);
+                offset += g.len();
+            });
+            self.net.absorb_prune_stats(&reduced.prune_stats);
+            self.streams.advance_step();
+            self.sgd.step(&mut self.net, 1.0 / chunk.len() as f32);
+            self.steps_into_epoch += 1;
+            self.write_due_checkpoint(false);
+            // Same step-kill fault seam as the single-threaded path.
+            if sparsetrain_faults::on_step_kill() {
+                sparsetrain_faults::panic_injected(
+                    sparsetrain_faults::Site::StepKill,
+                    format!("after step {}", self.streams.step()),
+                );
+            }
+        }
+        self.streams.advance_epoch();
+        self.steps_into_epoch = 0;
+        self.write_due_checkpoint(true);
+        let denom = seen.max(1) as f64;
+        EpochStats {
+            loss: total_loss / denom,
+            accuracy: correct as f64 / denom,
+        }
+    }
+
+    /// Spawns the worker pool if the config shards training and no pool is
+    /// live: replicates the network as the respawn template and resolves
+    /// the engine setup — distributing the frozen execution plan as
+    /// compiled `STPLAN` bytes when the `auto` planner holds one.
+    fn ensure_shard_pool(&mut self) {
+        let Some(spec) = self.config.shard.clone() else {
+            return;
+        };
+        if self.shard_pool.is_some() {
+            return;
+        }
+        let setup = if let Some(plan) = self.ctx.plan() {
+            let bytes = plan
+                .to_program()
+                .encode()
+                .expect("frozen plans are always encodable");
+            EngineSetup::Program(bytes)
+        } else if let Some(handle) = self.config.engine {
+            EngineSetup::Engine(handle)
+        } else {
+            EngineSetup::Dense
+        };
+        let template = self
+            .net
+            .try_replicate()
+            .expect("shardability was validated at construction");
+        let pool = ShardPool::threads(spec, template, setup)
+            .unwrap_or_else(|e| panic!("cannot spawn shard worker pool: {e}"));
+        self.shard_pool = Some(pool);
+    }
+
+    /// Self-healing counters of the live worker pool (`None` when training
+    /// is not sharded or no pool has been spawned yet).
+    pub fn shard_health(&self) -> Option<crate::shard::ShardHealth> {
+        self.shard_pool.as_ref().map(ShardPool::health)
     }
 
     /// Writes a snapshot when the checkpoint policy says one is due —
@@ -500,6 +675,11 @@ impl Trainer {
         self.epoch_start_rng = snap.shuffle_rng;
         self.steps_into_epoch = snap.position.steps_into_epoch;
         self.resume_skip = snap.position.steps_into_epoch;
+        // A resumed snapshot may have installed a different execution plan;
+        // tear the worker pool down so the next epoch respawns it with the
+        // restored plan (snapshots are shard-agnostic, so resuming under a
+        // different worker count is fine).
+        self.shard_pool = None;
         Ok(())
     }
 
@@ -1056,6 +1236,36 @@ mod tests {
         let outcome = trainer.train(&train, None, 5, &mut store, &mut stops);
         assert!(outcome.stopped.is_some(), "zero-lr run should stall out");
         assert!(outcome.epochs_run < 5);
+    }
+
+    #[test]
+    fn resume_error_display_names_every_detail() {
+        // One assertion per variant: the rendered message must carry the
+        // identifying detail (seed values, layer name, state kind, plan
+        // parser message) so a failed resume is diagnosable from the log
+        // line alone.
+        let seed = ResumeError::SeedMismatch {
+            snapshot: 7,
+            config: 9,
+        }
+        .to_string();
+        assert!(seed.contains("seed 7") && seed.contains("seed 9"), "{seed}");
+
+        let layer = ResumeError::Layer("conv1: expected 18 weights, got 20".into()).to_string();
+        assert!(layer.contains("conv1: expected 18 weights"), "{layer}");
+
+        let unclaimed = ResumeError::UnclaimedState {
+            layer: "fc".into(),
+            kind: "rng",
+        }
+        .to_string();
+        assert!(
+            unclaimed.contains("rng state") && unclaimed.contains("\"fc\""),
+            "{unclaimed}"
+        );
+
+        let plan = ResumeError::Plan("bad magic".into()).to_string();
+        assert!(plan.contains("bad magic"), "{plan}");
     }
 
     #[test]

@@ -28,6 +28,7 @@ fn main() {
                 seed: 0,
                 engine: None,
                 checkpoint: None,
+                shard: None,
             },
         );
         for e in 0..epochs {

@@ -73,6 +73,7 @@ fn main() {
             seed: 3,
             engine,
             checkpoint: None,
+            shard: None,
         };
         // With SPARSETRAIN_CHECKPOINT_DIR set, each epoch ends with an
         // atomically-written snapshot any later run can resume bitwise.

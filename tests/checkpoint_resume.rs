@@ -36,6 +36,7 @@ fn trainer(engine: &str, checkpoint: Option<CheckpointPolicy>) -> Trainer {
         seed: 5,
         engine: None,
         checkpoint,
+        shard: None,
     }
     .with_engine_name(engine);
     Trainer::new(net, config)
